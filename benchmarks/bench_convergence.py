@@ -1,0 +1,51 @@
+"""Supplementary bench: estimator convergence and the Theorem-4 guarantee.
+
+Checks the two properties the sampling theory promises: Monte-Carlo-rate
+error decay, and an empirical (ε, δ) violation rate below δ at the
+Equation-(3) budget.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.convergence import error_curve, guarantee_check
+from repro.utils.tables import render_table
+
+
+def test_error_decays_at_monte_carlo_rate(benchmark, bench_config):
+    rows = benchmark.pedantic(
+        error_curve,
+        kwargs={
+            "dataset": "citation",
+            "seed": bench_config.seed,
+            "truth_samples": 8_000,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(rows, title="MAE vs sample budget"))
+    # MAE must shrink by at least 3x from the smallest to largest budget
+    # (sqrt(3200/50) = 8x in theory; leave slack for noise).
+    assert float(rows[-1]["mae"]) < float(rows[0]["mae"]) / 3.0
+    # And the normalised column should be flat-ish: max/min < 4.
+    normalised = [float(row["mae*sqrt(t)"]) for row in rows]
+    assert max(normalised) / min(normalised) < 4.0
+
+
+def test_epsilon_delta_guarantee_holds(benchmark, bench_config):
+    result = benchmark.pedantic(
+        guarantee_check,
+        kwargs={
+            "dataset": "citation",
+            "epsilon": bench_config.epsilon,
+            "delta": bench_config.delta,
+            "trials": 10,
+            "seed": bench_config.seed,
+            "truth_samples": 8_000,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table([result], title="(epsilon, delta) guarantee check"))
+    assert result["meets_guarantee"]

@@ -1,0 +1,32 @@
+"""Benchmark E-F4: regenerate Figure 4 (bottom-k parameter tuning).
+
+Runs BSRBK across the bk grid on the four Figure-4 datasets and prints
+the precision series.  Expected shape: precision stabilises by bk≈8-16.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig4_bk import BK_GRID, run
+from repro.utils.tables import render_table
+
+
+def _mean_precision_by_bk(rows):
+    by_bk: dict[int, list[float]] = {}
+    for row in rows:
+        by_bk.setdefault(int(row["bk"]), []).append(float(row["precision"]))
+    return {bk: sum(v) / len(v) for bk, v in by_bk.items()}
+
+
+def test_fig4_bk_tuning(benchmark, bench_config):
+    rows = benchmark.pedantic(run, args=(bench_config,), rounds=1, iterations=1)
+    assert {int(row["bk"]) for row in rows} == set(BK_GRID)
+    print()
+    print(render_table(rows, title="Figure 4 — BSRBK precision vs bk"))
+    means = _mean_precision_by_bk(rows)
+    print()
+    print(render_table(
+        [{"bk": bk, "mean_precision": round(means[bk], 4)} for bk in BK_GRID],
+        title="Mean precision per bk (expect saturation by bk=8-16)",
+    ))
+    # Sanity: larger sketches must not hurt precision materially.
+    assert means[64] >= means[4] - 0.1

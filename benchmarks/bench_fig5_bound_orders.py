@@ -1,0 +1,27 @@
+"""Benchmark E-F5: regenerate Figure 5 (bound-order tuning heatmaps).
+
+Sweeps (lower order, upper order) in {1..5}^2 at k = 5%|V| and prints
+the candidate-size cells.  Expected shape: a sharp drop from order 1 to
+2, then a plateau — the basis for the paper fixing both orders to 2.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig5_bounds import ORDER_GRID, run
+from repro.utils.tables import render_table
+
+
+def test_fig5_bound_orders(benchmark, bench_config):
+    rows = benchmark.pedantic(run, args=(bench_config,), rounds=1, iterations=1)
+    assert len(rows) == 4 * len(ORDER_GRID) ** 2
+    print()
+    print(render_table(rows, title="Figure 5 — candidate size vs bound orders"))
+    # The paper's plateau claim: (2,2) is already close to (5,5).
+    by_key = {
+        (row["dataset"], row["lower_order"], row["upper_order"]): int(
+            row["candidates"]
+        )
+        for row in rows
+    }
+    for dataset in {row["dataset"] for row in rows}:
+        assert by_key[(dataset, 2, 2)] <= by_key[(dataset, 1, 1)]

@@ -1,0 +1,57 @@
+"""Benchmark E-F6: regenerate Figure 6 (efficiency of the five methods).
+
+Besides the end-to-end harness timing, each method is also benchmarked
+individually on one representative dataset so pytest-benchmark's stats
+capture the runtime ordering N > SN > SR > BSR > BSRBK directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.registry import ALL_METHODS, make_detector
+from repro.datasets.registry import load_dataset
+from repro.experiments.fig6_efficiency import run, speedup_summary
+from repro.utils.tables import render_table
+
+
+def test_fig6_full_harness(benchmark, bench_config):
+    rows = benchmark.pedantic(
+        run, args=(bench_config,), rounds=1, iterations=1
+    )
+    assert rows, "harness produced no rows"
+    print()
+    print(render_table(rows, title="Figure 6 — per (dataset, method, k)"))
+    summary = speedup_summary(rows)
+    print()
+    print(render_table(summary, title="Speedup over N (mean across k)"))
+    # Shape check on the engine-neutral work metric (per-world node draws
+    # + edge examinations): the paper's ordering N > SN > SR > BSR and
+    # BSR >= BSRBK must hold on average across datasets, and BSRBK's
+    # saving over N must be large (the paper's headline is up to 100x).
+    work: dict[str, list[float]] = {}
+    for row in rows:
+        work.setdefault(str(row["method"]), []).append(float(row["work"]))
+    mean_work = {m: sum(v) / len(v) for m, v in work.items()}
+    assert mean_work["N"] > mean_work["SN"] > mean_work["SR"] > mean_work["BSR"]
+    assert mean_work["BSR"] >= mean_work["BSRBK"]
+    assert mean_work["N"] / mean_work["BSRBK"] > 10.0
+
+
+@pytest.mark.parametrize("method", ALL_METHODS)
+def test_fig6_method_on_guarantee(benchmark, bench_config, method):
+    loaded = load_dataset("guarantee", seed=bench_config.seed)
+    k = loaded.k_for_percent(5.0)
+    detector = make_detector(
+        method,
+        samples=bench_config.naive_samples,
+        epsilon=bench_config.epsilon,
+        delta=bench_config.delta,
+        bound_order=bench_config.bound_order,
+        lower_order=bench_config.bound_order,
+        upper_order=bench_config.bound_order,
+        bk=bench_config.bk,
+        seed=bench_config.seed,
+    )
+    result = benchmark(detector.detect, loaded.graph, k)
+    assert len(result.nodes) == k

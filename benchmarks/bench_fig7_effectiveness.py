@@ -1,0 +1,39 @@
+"""Benchmark E-F7: regenerate Figure 7 (precision of the five methods).
+
+Runs all five methods against the Monte-Carlo ground truth on the four
+effectiveness datasets.  Expected shape: all methods within a few
+precision points; N (largest budget) at or near the top.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig7_effectiveness import run
+from repro.utils.tables import render_table
+
+
+def _mean_precision_by_method(rows):
+    by_method: dict[str, list[float]] = {}
+    for row in rows:
+        by_method.setdefault(str(row["method"]), []).append(
+            float(row["precision"])
+        )
+    return {m: sum(v) / len(v) for m, v in by_method.items()}
+
+
+def test_fig7_effectiveness(benchmark, bench_config):
+    rows = benchmark.pedantic(run, args=(bench_config,), rounds=1, iterations=1)
+    assert rows
+    print()
+    print(render_table(rows, title="Figure 7 — precision vs ground truth"))
+    means = _mean_precision_by_method(rows)
+    print()
+    print(render_table(
+        [{"method": m, "mean_precision": round(p, 4)} for m, p in means.items()],
+        title="Mean precision per method",
+    ))
+    # Shape checks: every method lands in a usable band, and the whole
+    # line-up stays within a narrow spread (the paper reports <= 3 points
+    # at full scale; small scales are a little noisier).
+    for method, precision in means.items():
+        assert precision > 0.55, f"{method} collapsed to {precision:.2f}"
+    assert max(means.values()) - min(means.values()) < 0.25

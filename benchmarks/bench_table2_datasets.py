@@ -1,0 +1,17 @@
+"""Benchmark E-T2: regenerate Table 2 (dataset statistics).
+
+Times the full dataset substrate (all eight generators + probability
+assignment) and prints the paper-vs-generated statistics table.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table2_datasets import run
+from repro.utils.tables import render_table
+
+
+def test_table2_generation(benchmark, bench_config):
+    rows = benchmark.pedantic(run, args=(bench_config,), rounds=1, iterations=1)
+    assert len(rows) == 8
+    print()
+    print(render_table(rows, title="Table 2 — paper vs generated statistics"))

@@ -1,0 +1,34 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark uses the ``quick`` experiment preset scaled further down
+(`BENCH` below) so ``pytest benchmarks/ --benchmark-only`` completes in
+minutes while still exercising the full pipeline of each experiment.
+Crank the scales up (or switch to ``get_config("paper")``) to reproduce
+the paper-sized runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+#: The configuration all benchmarks run under.
+BENCH = ExperimentConfig(
+    name="bench",
+    seed=7,
+    epsilon=0.3,
+    delta=0.1,
+    k_percents=(2.0, 6.0, 10.0),
+    ground_truth_samples=1_500,
+    naive_samples=1_500,
+    scale_override=None,  # per-dataset default scales from the specs
+    panel_nodes=600,
+    panel_edges=690,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """The benchmark-suite experiment configuration."""
+    return BENCH

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Loan default prediction case study (the paper's Table 3, §5.2).
+
+Builds a temporal guaranteed-loan panel (train on 2012, predict
+2014-2016), trains all eleven baselines plus the paper's BSR/BSRBK
+scorers, and prints the per-year AUC table.  The shape to look for:
+contagion-aware scoring (BSR/BSRBK) on top, graph-aware ML (HGAR,
+INDDP) next, feature-only ML in the middle, structure-only baselines
+at the bottom.
+
+Run:
+    python examples/default_prediction_study.py [--nodes 1500]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.datasets.temporal import build_guarantee_panel
+from repro.experiments.config import get_config
+from repro.experiments.table3_prediction import run
+from repro.utils.tables import render_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=1500,
+                        help="enterprises in the simulated panel")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    edges = round(args.nodes * 1.15)  # the Guarantee dataset's density
+    print(f"Simulating a {args.nodes}-enterprise guarantee panel "
+          f"(2012 training year, 2014-2016 test years)...")
+    panel = build_guarantee_panel(
+        num_nodes=args.nodes, num_edges=edges, seed=args.seed
+    )
+    for year, snapshot in sorted(panel.snapshots.items()):
+        print(f"  {year}: default rate {snapshot.labels.mean():.1%}")
+
+    print("\nTraining 11 baselines + BSR/BSRBK and scoring each test year...")
+    config = get_config("default").with_overrides(seed=args.seed)
+    rows = run(config, panel=panel)
+    print()
+    print(render_table(rows, title="Default prediction AUC (cf. paper Table 3)"))
+
+    by_method = {row["method"]: row for row in rows}
+    years = [key for key in rows[0] if key.startswith("AUC")]
+    our_best = max(float(by_method["BSR"][y]) for y in years)
+    ml_best = max(float(by_method[m][y]) for y in years
+                  for m in ("Wide", "Wide & Deep", "GBDT", "CNN-max",
+                            "crDNN", "INDDP", "HGAR"))
+    print(f"\nBest contagion-aware AUC: {our_best:.4f}")
+    print(f"Best ML-baseline AUC:     {ml_best:.4f}")
+    if our_best > ml_best:
+        print("=> modelling default *diffusion* beats pure prediction, the "
+              "paper's §5.2 conclusion.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Card-fraud exposure screening on a transaction network.
+
+Mirrors the paper's Fraud dataset scenario: a bipartite network of
+merchants and consumers where a compromised merchant leaks risk to the
+consumers who traded there.  The script finds the top-k at-risk
+accounts, then breaks the answer down by node type and shows how the
+candidate-pruning machinery concentrates the sampling effort on the
+heavy-tail mega-merchants' customers.
+
+Run:
+    python examples/fraud_screening.py [--scale 0.05]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.algorithms.bsr import BoundedSampleReverseDetector
+from repro.bounds.candidates import reduce_candidates
+from repro.bounds.iterative import bound_pair
+from repro.datasets.registry import load_dataset
+from repro.utils.tables import render_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--k-percent", type=float, default=5.0)
+    parser.add_argument("--seed", type=int, default=17)
+    args = parser.parse_args()
+
+    print(f"Building the fraud transaction network (scale={args.scale})...")
+    loaded = load_dataset("fraud", scale=args.scale, seed=args.seed)
+    graph = loaded.graph
+    merchants = [l for l in graph.labels() if l.startswith("merchant_")]
+    consumers = [l for l in graph.labels() if l.startswith("consumer_")]
+    print(f"  {len(merchants)} merchants, {len(consumers)} consumers, "
+          f"{graph.num_edges} transactions")
+
+    k = loaded.k_for_percent(args.k_percent)
+
+    # Show the pruning pipeline explicitly before running the detector.
+    lower, upper = bound_pair(graph, 2, 2)
+    reduction = reduce_candidates(graph, lower, upper, k)
+    print(f"\nAlgorithm 4 at k={k}:")
+    print(f"  verified outright: {reduction.k_verified}")
+    print(f"  candidate set |B|: {reduction.candidate_size} "
+          f"({reduction.candidate_size / graph.num_nodes:.1%} of all nodes)")
+
+    detector = BoundedSampleReverseDetector(
+        epsilon=0.3, delta=0.1, seed=args.seed
+    )
+    result = detector.detect(graph, k)
+    print(f"  reverse-sampled worlds: {result.samples_used} "
+          f"(vs {graph.num_nodes} nodes to estimate naively)")
+
+    at_risk_merchants = [n for n in result.nodes if n.startswith("merchant_")]
+    at_risk_consumers = [n for n in result.nodes if n.startswith("consumer_")]
+    print(f"\nTop-{k} at-risk accounts: {len(at_risk_merchants)} merchants, "
+          f"{len(at_risk_consumers)} consumers")
+
+    rows = []
+    for rank, label in enumerate(result.nodes[:12], start=1):
+        rows.append(
+            {
+                "rank": rank,
+                "account": label,
+                "type": "merchant" if label.startswith("merchant_") else "consumer",
+                "est. risk": round(result.scores[label], 4),
+                "self-risk": round(graph.self_risk(label), 4),
+                "exposure (in-deg)": graph.in_degree(label),
+            }
+        )
+    print()
+    print(render_table(rows, title="Fraud watch list (top 12 shown)"))
+    print("\nConsumers on the list typically trade with many risky"
+          "\nmerchants - their risk is almost entirely contagion-driven.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Guaranteed-loan portfolio risk screening (the paper's §5 scenario).
+
+Simulates what the deployed VulnDS system does monthly: build the
+bank's guarantee network, attach feature-calibrated probabilities, find
+the top-k vulnerable SMEs with BSRBK, and print a risk report a loan
+officer could act on — including how much of the answer the bound
+machinery certified without any sampling.
+
+Run:
+    python examples/guaranteed_loan_risk.py [--scale 0.05] [--k-percent 5]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import BottomKDetector, BoundedSampleReverseDetector
+from repro.datasets.registry import load_dataset
+from repro.experiments.ground_truth import ground_truth_for
+from repro.metrics.ranking import precision_at_k
+from repro.utils.tables import render_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="fraction of the 31k-node network to simulate")
+    parser.add_argument("--k-percent", type=float, default=5.0,
+                        help="answer size as %% of enterprises")
+    parser.add_argument("--seed", type=int, default=2022)
+    args = parser.parse_args()
+
+    print("Building the guaranteed-loan network "
+          f"(scale={args.scale} of the paper's 31,309 enterprises)...")
+    loaded = load_dataset("guarantee", scale=args.scale, seed=args.seed)
+    graph = loaded.graph
+    stats = graph.stats()
+    print(f"  {stats.num_nodes} enterprises, {stats.num_edges} guarantees, "
+          f"max degree {stats.max_degree} (the mega-guarantor hub)")
+
+    k = loaded.k_for_percent(args.k_percent)
+    print(f"\nScreening for the top-{k} vulnerable enterprises...")
+
+    bsrbk = BottomKDetector(bk=16, epsilon=0.3, delta=0.1, seed=args.seed)
+    result = bsrbk.detect(graph, k)
+    print(f"  BSRBK: {result.samples_used} sampled worlds over "
+          f"{result.candidate_size} candidates "
+          f"({result.k_verified} answers certified by bounds alone), "
+          f"{result.elapsed_seconds:.2f}s")
+
+    bsr = BoundedSampleReverseDetector(epsilon=0.3, delta=0.1, seed=args.seed)
+    bsr_result = bsr.detect(graph, k)
+    overlap = precision_at_k(result.nodes, bsr_result.top_set())
+    print(f"  BSR agreement with BSRBK: {overlap:.0%}")
+
+    print("\nValidating against a 5,000-world Monte-Carlo ground truth...")
+    truth = ground_truth_for(loaded, samples=5000)
+    truth_set = truth.top_k_labels(graph, k)
+    print(f"  precision@{k}: {precision_at_k(result.nodes, truth_set):.2%}")
+
+    rows = []
+    for rank, label in enumerate(result.nodes[:15], start=1):
+        index = graph.index(label)
+        rows.append(
+            {
+                "rank": rank,
+                "enterprise": label,
+                "est. default prob": round(result.scores[label], 4),
+                "self-risk": round(graph.self_risk(label), 4),
+                "guarantees given": graph.out_degree(label),
+                "guarantees received": graph.in_degree(label),
+                "certified": rank <= result.k_verified,
+            }
+        )
+    print()
+    print(render_table(rows, title="Watch list (top 15 shown)"))
+    print("\nEnterprises whose estimated default probability far exceeds"
+          "\ntheir self-risk are endangered mainly by contagion - the"
+          "\nguarantee chains the paper's introduction warns about.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Interbank contagion stress test on a maximum-entropy network.
+
+Builds the paper's Interbank dataset (125 banks, exposures estimated by
+the maximum-entropy approach of Anand, Craig & von Peter), then:
+
+1. ranks banks by default probability under normal conditions;
+2. stresses the system by forcing a chosen bank into distress and
+   re-ranks — showing which banks a single failure endangers;
+3. compares the vulnerability ranking against simple balance-sheet
+   intuition (self-risk alone), demonstrating why contagion matters.
+
+Run:
+    python examples/interbank_stress_test.py [--stress-bank 0]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import ForwardSampler
+from repro.algorithms.bsrbk import BottomKDetector
+from repro.datasets.registry import load_dataset
+from repro.utils.tables import render_table
+
+
+def rank_banks(graph, samples: int, seed: int) -> np.ndarray:
+    """Monte-Carlo default probabilities for every bank."""
+    return ForwardSampler(graph, seed=seed).estimate_probabilities(samples)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--stress-bank", type=int, default=None,
+                        help="index of the bank to force into distress "
+                             "(default: the most systemically risky one)")
+    parser.add_argument("--samples", type=int, default=8000)
+    parser.add_argument("--seed", type=int, default=99)
+    args = parser.parse_args()
+
+    print("Estimating the interbank network via maximum entropy (RAS)...")
+    loaded = load_dataset("interbank", seed=args.seed)
+    graph = loaded.graph
+    print(f"  {graph.num_nodes} banks, {graph.num_edges} exposures")
+
+    print("\nBaseline vulnerability (BSRBK top-10):")
+    detector = BottomKDetector(bk=16, seed=args.seed)
+    baseline_topk = detector.detect(graph, 10)
+    baseline = rank_banks(graph, args.samples, args.seed)
+    rows = []
+    for rank, label in enumerate(baseline_topk.nodes, start=1):
+        index = graph.index(label)
+        rows.append(
+            {
+                "rank": rank,
+                "bank": label,
+                "p(default)": round(float(baseline[index]), 4),
+                "self-risk": round(graph.self_risk(label), 4),
+                "contagion lift": round(
+                    float(baseline[index]) - graph.self_risk(label), 4
+                ),
+                "creditors": graph.out_degree(label),
+            }
+        )
+    print(render_table(rows))
+
+    # Pick the stress target: the bank whose distress would matter most
+    # (most creditors) unless the user chose one.
+    if args.stress_bank is None:
+        out_degrees = graph.out_csr().degrees
+        target_index = int(np.argmax(out_degrees))
+    else:
+        target_index = args.stress_bank
+    target = graph.label(target_index)
+    print(f"\nStress scenario: {target} forced into distress "
+          f"(self-risk -> 0.99; it lends to {graph.out_degree(target)} banks)")
+
+    stressed_graph = graph.copy()
+    stressed_graph.set_self_risk(target, 0.99)
+    stressed = rank_banks(stressed_graph, args.samples, args.seed + 1)
+
+    lift = stressed - baseline
+    worst = np.argsort(-lift)[:10]
+    rows = [
+        {
+            "bank": graph.label(int(i)),
+            "baseline p": round(float(baseline[i]), 4),
+            "stressed p": round(float(stressed[i]), 4),
+            "increase": round(float(lift[i]), 4),
+        }
+        for i in worst
+        if lift[i] > 1e-6
+    ]
+    print()
+    print(render_table(rows, title="Banks most endangered by the failure"))
+
+    spillover = float(lift[np.arange(len(lift)) != target_index].sum())
+    print(f"\nTotal spillover (sum of probability increases elsewhere): "
+          f"{spillover:.3f} expected additional defaults")
+
+
+if __name__ == "__main__":
+    main()

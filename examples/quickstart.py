@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Quickstart: build an uncertain graph and find its vulnerable nodes.
+
+Recreates the paper's running example (Figure 3 / Examples 1-3): five
+enterprises A-E in a guaranteed-loan network, every self-risk and
+diffusion probability 0.2, and asks each of the five detection methods
+for the top-2 vulnerable nodes.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ALL_METHODS,
+    UncertainGraph,
+    exact_default_probabilities,
+    exact_top_k,
+    make_detector,
+    precision_at_k,
+)
+
+
+def build_figure3_graph() -> UncertainGraph:
+    """The toy guaranteed-loan network of the paper's Figure 3."""
+    graph = UncertainGraph()
+    for enterprise in "ABCDE":
+        graph.add_node(enterprise, self_risk=0.2)
+    guarantees = [
+        ("A", "B"),  # B guarantees A: A's default can pull B down
+        ("A", "C"),
+        ("B", "D"),
+        ("B", "E"),
+        ("C", "E"),
+        ("D", "E"),
+    ]
+    for borrower, guarantor in guarantees:
+        graph.add_edge(borrower, guarantor, probability=0.2)
+    return graph
+
+
+def main() -> None:
+    graph = build_figure3_graph()
+    print(f"Graph: {graph}")
+
+    # Exact default probabilities via possible-world enumeration (the
+    # graph is tiny; real graphs need the samplers below).
+    exact = exact_default_probabilities(graph)
+    print("\nExact default probabilities (Definition 1):")
+    for label in graph.nodes():
+        print(f"  p({label}) = {exact[graph.index(label)]:.5f}")
+    print("(the paper's Example 1 computes p(B) = 0.232)")
+
+    k = 2
+    truth = set(exact_top_k(graph, k))
+    print(f"\nGround-truth top-{k}: {sorted(truth)}")
+
+    print(f"\nTop-{k} according to each method:")
+    header = f"{'method':8s} {'answer':12s} {'worlds':>7s} {'verified':>9s} {'precision':>10s}"
+    print(header)
+    print("-" * len(header))
+    for method in ALL_METHODS:
+        detector = make_detector(
+            method, samples=5000, epsilon=0.2, delta=0.1, seed=7
+        )
+        result = detector.detect(graph, k)
+        precision = precision_at_k(result.nodes, truth)
+        print(
+            f"{method:8s} {','.join(result.nodes):12s} "
+            f"{result.samples_used:7d} {result.k_verified:9d} "
+            f"{precision:10.2f}"
+        )
+
+    print(
+        "\nNote: p(D)-p(B) is only 0.005, far below epsilon=0.2, so the"
+        "\nsampling methods may legitimately answer {E,B} or {E,C} - that"
+        "\nis exactly the (epsilon, delta) guarantee of Definition 2."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Risk attribution and intervention planning on a guarantee network.
+
+Detection (the paper's contribution) tells a bank *who* is vulnerable;
+this example shows the follow-up analytics a risk team runs next:
+
+1. find the top-k vulnerable enterprises (BSRBK);
+2. attribute the top enterprise's risk to its upstream contagion
+   sources;
+3. rank candidate de-risking interventions by how many expected
+   defaults they prevent system-wide;
+4. verify the best intervention with a what-if re-simulation.
+
+Run:
+    python examples/risk_attribution.py [--scale 0.02]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.algorithms.bsrbk import BottomKDetector
+from repro.analysis.contagion import attribution, systemic_importance
+from repro.analysis.whatif import derisk_impact, rank_interventions
+from repro.datasets.registry import load_dataset
+from repro.utils.tables import render_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.02)
+    parser.add_argument("--seed", type=int, default=5)
+    parser.add_argument("--samples", type=int, default=3000)
+    args = parser.parse_args()
+
+    loaded = load_dataset("guarantee", scale=args.scale, seed=args.seed)
+    graph = loaded.graph
+    print(f"Guarantee network: {graph.num_nodes} enterprises, "
+          f"{graph.num_edges} guarantees")
+
+    # 1. Detection.
+    k = loaded.k_for_percent(5.0)
+    result = BottomKDetector(bk=16, seed=args.seed).detect(graph, k)
+    target = result.nodes[0]
+    print(f"\nMost vulnerable enterprise: {target} "
+          f"(estimated default probability {result.scores[target]:.3f})")
+
+    # 2. Attribution: whose defaults reach it?
+    blame = attribution(graph, target, samples=args.samples, seed=args.seed)
+    blame_rows = [
+        {"source": label, "share of default worlds": round(fraction, 3)}
+        for label, fraction in sorted(
+            blame.items(), key=lambda kv: -kv[1]
+        )[:8]
+    ]
+    print()
+    print(render_table(blame_rows, title=f"Where {target}'s risk comes from"))
+
+    # 3. Intervention planning over the most systemically important nodes.
+    importance = systemic_importance(graph, samples=args.samples // 2,
+                                     seed=args.seed)
+    candidate_indices = importance.argsort()[::-1][:5]
+    candidates = [graph.label(int(i)) for i in candidate_indices]
+    ranking = rank_interventions(
+        graph, candidates, new_self_risk=0.01,
+        samples=args.samples // 2, seed=args.seed,
+    )
+    print()
+    print(render_table(
+        [
+            {"intervention": f"de-risk {label}",
+             "expected defaults prevented": round(benefit, 3)}
+            for label, benefit in ranking
+        ],
+        title="Intervention ranking (best first)",
+    ))
+
+    # 4. Verify the winner with a full what-if run.
+    best, _ = ranking[0]
+    impact = derisk_impact(graph, best, 0.01, samples=args.samples,
+                           seed=args.seed + 1)
+    print(f"\nVerification — {impact.description}:")
+    print(f"  expected defaults prevented: "
+          f"{impact.total_risk_reduction:.3f}")
+    for label, reduction in impact.top_beneficiaries(graph, count=5):
+        print(f"  {label}: default probability -{reduction:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""The full VulnDS risk-control pipeline of the paper's Section 5.
+
+Wires together the three stages of the deployed system — rule engine,
+vulnerable-node detection, and loan evaluation — over a simulated
+guaranteed-loan book, then pushes a month of loan applications through
+it and prints the decisions and the audit trail.
+
+Run:
+    python examples/vulnds_pipeline.py [--scale 0.02]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.datasets.registry import load_dataset
+from repro.sampling.rng import make_rng
+from repro.system import (
+    BlacklistRule,
+    Enterprise,
+    ExposureComplianceRule,
+    LoanApplication,
+    RiskControlCenter,
+    RuleEngine,
+    SectorComplianceRule,
+    TermComplianceRule,
+    VulnDS,
+    WhitelistRule,
+)
+from repro.utils.tables import render_table
+
+SECTORS = ("manufacturing", "retail", "construction", "logistics", "mining")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.02)
+    parser.add_argument("--applications", type=int, default=12)
+    parser.add_argument("--seed", type=int, default=31)
+    args = parser.parse_args()
+
+    rng = make_rng(args.seed)
+    print(f"Loading the guarantee network (scale={args.scale})...")
+    loaded = load_dataset("guarantee", scale=args.scale, seed=args.seed)
+    graph = loaded.graph
+    labels = [str(label) for label in graph.labels()]
+    print(f"  {graph.num_nodes} enterprises, {graph.num_edges} guarantees")
+
+    # Stage 1: the rule book (paper: blacklist, whitelist, Basel rules).
+    blacklist = set(rng.choice(labels, size=3, replace=False))
+    whitelist = {labels[0]}
+    engine = RuleEngine(
+        [
+            WhitelistRule(whitelist),
+            BlacklistRule(blacklist),
+            SectorComplianceRule(["mining"]),
+            ExposureComplianceRule(max_capital_multiple=2.0),
+            TermComplianceRule(max_term_months=60),
+        ]
+    )
+
+    # Stages 2+3: VulnDS detection feeding the evaluation module.
+    center = RiskControlCenter(
+        rule_engine=engine,
+        vulnds=VulnDS(graph),
+        watch_fraction=0.1,
+        review_threshold=0.45,
+    )
+
+    # A month of applications, a few engineered to hit each rule.
+    applications = []
+    applicants = rng.choice(labels, size=args.applications, replace=False)
+    applicants[0] = next(iter(blacklist))  # guaranteed rule hit
+    applicants[1] = labels[0]  # whitelisted
+    for i, enterprise_id in enumerate(applicants):
+        capital = float(rng.uniform(200, 2000))
+        sector = SECTORS[int(rng.integers(len(SECTORS)))]
+        applications.append(
+            LoanApplication(
+                application_id=f"2026-06-{i:03d}",
+                enterprise=Enterprise(
+                    enterprise_id=str(enterprise_id),
+                    registered_capital=capital,
+                    sector=sector,
+                    credit_rating=float(rng.uniform(0.3, 0.9)),
+                ),
+                amount=float(rng.uniform(100, 3000)),
+                term_months=int(rng.integers(6, 72)),
+            )
+        )
+
+    print(f"\nProcessing {len(applications)} applications "
+          "(one monthly VulnDS batch)...")
+    decisions = center.process_batch(applications)
+
+    rows = []
+    for decision in decisions:
+        rows.append(
+            {
+                "application": decision.application.application_id,
+                "enterprise": decision.application.enterprise.enterprise_id,
+                "decision": decision.decision.value,
+                "vulnerability": (
+                    round(decision.vulnerability, 3)
+                    if decision.vulnerability is not None
+                    else "-"
+                ),
+                "granted": (
+                    round(decision.terms.granted_amount, 0)
+                    if decision.terms
+                    else "-"
+                ),
+                "rate": (
+                    f"{decision.terms.annual_interest_rate:.2%}"
+                    if decision.terms
+                    else "-"
+                ),
+            }
+        )
+    print()
+    print(render_table(rows, title="Loan decisions"))
+
+    print("\nAudit trail (last 8 events):")
+    for record in center.audit_log[-8:]:
+        print(f"  [{record.event}] {record.detail}")
+
+
+if __name__ == "__main__":
+    main()

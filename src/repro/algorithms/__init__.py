@@ -1,0 +1,22 @@
+"""The five top-k vulnerable node detectors evaluated in the paper."""
+
+from repro.algorithms.base import DetectionResult, VulnerableNodeDetector
+from repro.algorithms.bsr import BoundedSampleReverseDetector
+from repro.algorithms.bsrbk import BottomKDetector
+from repro.algorithms.naive import NaiveDetector
+from repro.algorithms.registry import ALL_METHODS, detector_class, make_detector
+from repro.algorithms.sn import SampledNaiveDetector
+from repro.algorithms.sr import SampleReverseDetector
+
+__all__ = [
+    "DetectionResult",
+    "VulnerableNodeDetector",
+    "NaiveDetector",
+    "SampledNaiveDetector",
+    "SampleReverseDetector",
+    "BoundedSampleReverseDetector",
+    "BottomKDetector",
+    "ALL_METHODS",
+    "detector_class",
+    "make_detector",
+]

@@ -1,0 +1,128 @@
+"""Common interface and result type for the five detection algorithms.
+
+Every detector consumes an :class:`~repro.core.graph.UncertainGraph` and an
+answer size ``k`` and produces a :class:`DetectionResult` — the ranked
+top-k vulnerable nodes plus enough telemetry (sample counts, candidate
+sizes, wall time) for the efficiency experiments of Figure 6 to be
+regenerated without re-instrumenting the algorithms.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.graph import NodeLabel, UncertainGraph
+from repro.core.topk import validate_k
+from repro.sampling.rng import SeedLike
+
+__all__ = ["DetectionResult", "VulnerableNodeDetector"]
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Outcome of one top-k vulnerable nodes detection run.
+
+    Attributes
+    ----------
+    method:
+        Short method name ("N", "SN", "SR", "BSR", "BSRBK").
+    k:
+        Requested answer size.
+    nodes:
+        The ``k`` detected labels, most vulnerable first.
+    scores:
+        Mapping from each returned label to the score it was ranked by
+        (estimated default probability; for bound-verified nodes, the
+        lower bound that certified them).
+    samples_used:
+        Number of possible worlds materialised.
+    candidate_size:
+        ``|B|`` after pruning (equals ``n`` for methods without pruning).
+    k_verified:
+        ``k'`` — answers certified by Lemma 1 rule 1 without sampling.
+    elapsed_seconds:
+        Wall-clock time of the detection call.
+    details:
+        Free-form per-method diagnostics (thresholds, bound orders, …).
+    """
+
+    method: str
+    k: int
+    nodes: list[NodeLabel]
+    scores: dict[NodeLabel, float]
+    samples_used: int
+    candidate_size: int
+    k_verified: int
+    elapsed_seconds: float
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def top_set(self) -> frozenset:
+        """The answer as a set (what precision@k compares)."""
+        return frozenset(self.nodes)
+
+    def summary(self) -> dict[str, Any]:
+        """Flat dict for experiment tables."""
+        return {
+            "method": self.method,
+            "k": self.k,
+            "samples": self.samples_used,
+            "candidates": self.candidate_size,
+            "verified": self.k_verified,
+            "seconds": round(self.elapsed_seconds, 4),
+        }
+
+
+class VulnerableNodeDetector(abc.ABC):
+    """Abstract base class for top-k vulnerable node detectors.
+
+    Subclasses implement :meth:`_detect`; the public :meth:`detect` wraps
+    it with argument validation and wall-clock timing so every method is
+    measured identically in the benchmarks.
+
+    Parameters
+    ----------
+    seed:
+        Seed/generator for all randomness of this detector instance.
+    """
+
+    #: Short name used in experiment tables; subclasses override.
+    name: str = "abstract"
+
+    def __init__(self, seed: SeedLike = None) -> None:
+        self._seed = seed
+
+    @abc.abstractmethod
+    def _detect(self, graph: UncertainGraph, k: int) -> DetectionResult:
+        """Run the detection; *k* is already validated."""
+
+    def detect(self, graph: UncertainGraph, k: int) -> DetectionResult:
+        """Detect the top-*k* vulnerable nodes of *graph*.
+
+        Raises
+        ------
+        GraphError
+            If ``k`` is not in ``[1, n]`` or the graph is empty.
+        """
+        k = validate_k(k, graph.num_nodes)
+        started = time.perf_counter()
+        result = self._detect(graph, k)
+        elapsed = time.perf_counter() - started
+        # Timing is recorded here so subclasses cannot forget it; the
+        # dataclass is frozen, so rebuild with the measured elapsed time.
+        return DetectionResult(
+            method=result.method,
+            k=result.k,
+            nodes=result.nodes,
+            scores=result.scores,
+            samples_used=result.samples_used,
+            candidate_size=result.candidate_size,
+            k_verified=result.k_verified,
+            elapsed_seconds=elapsed,
+            details=result.details,
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

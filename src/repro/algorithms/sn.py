@@ -1,0 +1,70 @@
+"""Method SN — Algorithm 1 with the Theorem-4 sample size.
+
+Identical sampling machinery to method N, but the budget comes from
+Equation (3): ``t = ceil(2/eps^2 * ln(k (n-k) / delta))``, which makes the
+result an (eps, delta)-approximation while usually needing far fewer
+worlds than a fixed conservative budget.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import DetectionResult, VulnerableNodeDetector
+from repro.core.graph import UncertainGraph
+from repro.core.topk import top_k_indices
+from repro.sampling.forward import ForwardSampler
+from repro.sampling.rng import SeedLike
+from repro.sampling.sample_size import basic_sample_size, validate_epsilon_delta
+
+__all__ = ["SampledNaiveDetector"]
+
+
+class SampledNaiveDetector(VulnerableNodeDetector):
+    """Forward sampling with the Equation-(3) budget (method **SN**).
+
+    Parameters
+    ----------
+    epsilon, delta:
+        The (eps, delta)-approximation target of Definition 2.  The paper's
+        experiments fix ``epsilon=0.3`` and ``delta=0.1``.
+    seed, batch_size:
+        Randomness and vectorisation controls.
+    """
+
+    name = "SN"
+
+    def __init__(
+        self,
+        epsilon: float = 0.3,
+        delta: float = 0.1,
+        seed: SeedLike = None,
+        batch_size: int = 256,
+    ) -> None:
+        super().__init__(seed)
+        self._epsilon, self._delta = validate_epsilon_delta(epsilon, delta)
+        self._batch_size = batch_size
+
+    def _detect(self, graph: UncertainGraph, k: int) -> DetectionResult:
+        n = graph.num_nodes
+        samples = basic_sample_size(n, k, self._epsilon, self._delta)
+        sampler = ForwardSampler(
+            graph, seed=self._seed, batch_size=self._batch_size
+        )
+        probabilities = sampler.run(samples).probabilities
+        top = top_k_indices(probabilities, k)
+        nodes = [graph.label(int(i)) for i in top]
+        return DetectionResult(
+            method=self.name,
+            k=k,
+            nodes=nodes,
+            scores={graph.label(int(i)): float(probabilities[i]) for i in top},
+            samples_used=samples,
+            candidate_size=n,
+            k_verified=0,
+            elapsed_seconds=0.0,
+            details={
+                "epsilon": self._epsilon,
+                "delta": self._delta,
+                "nodes_touched": sampler.nodes_touched,
+                "edges_touched": sampler.edges_touched,
+            },
+        )

@@ -1,0 +1,23 @@
+"""Risk analytics beyond detection: attribution and what-if analysis."""
+
+from repro.analysis.contagion import (
+    attribution,
+    default_correlation,
+    systemic_importance,
+)
+from repro.analysis.whatif import (
+    InterventionImpact,
+    cut_guarantee_impact,
+    derisk_impact,
+    rank_interventions,
+)
+
+__all__ = [
+    "attribution",
+    "default_correlation",
+    "systemic_importance",
+    "InterventionImpact",
+    "cut_guarantee_impact",
+    "derisk_impact",
+    "rank_interventions",
+]

@@ -1,0 +1,182 @@
+"""Contagion analytics on top of the sampling engines.
+
+The detectors answer "who is most likely to default"; risk managers next
+ask "*because of whom*".  This module quantifies that:
+
+* :func:`systemic_importance` — for every node, the expected number of
+  *other* nodes it drags down per world (its contagion footprint under
+  the full model, self-risks included — unlike the IC-model InfMax
+  baseline, which ignores ``ps``);
+* :func:`default_correlation` — pairwise co-default correlations between
+  selected nodes, exposing guarantee-circle coupling;
+* :func:`attribution` — for one target node, how often each upstream
+  node was the *source* that infected it, estimated over sampled worlds.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.core.errors import SamplingError
+from repro.core.graph import NodeLabel, UncertainGraph
+from repro.sampling.forward import ForwardSampler
+from repro.sampling.rng import SeedLike, make_rng
+
+__all__ = ["systemic_importance", "default_correlation", "attribution"]
+
+
+def systemic_importance(
+    graph: UncertainGraph, samples: int = 2000, seed: SeedLike = None
+) -> np.ndarray:
+    """Expected number of downstream defaults each node *causes*.
+
+    For every sampled world, each self-defaulting node is credited with
+    the nodes it (alone among the seeds) can reach through surviving
+    edges; nodes reachable from several seeds split the credit equally.
+    The returned vector is the per-node average credit — a risk-adjusted
+    contagion footprint.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph.
+    samples:
+        Number of possible worlds to average over.
+    seed:
+        Randomness control.
+    """
+    if samples <= 0:
+        raise SamplingError(f"samples must be positive, got {samples}")
+    rng = make_rng(seed)
+    n, m = graph.num_nodes, graph.num_edges
+    ps = graph.self_risk_array
+    _, _, pe = graph.edge_array
+    out_csr = graph.out_csr()
+    credit = np.zeros(n, dtype=np.float64)
+    reach_count = np.zeros(n, dtype=np.int64)
+    stamp = np.full(n, -1, dtype=np.int64)
+    for world_index in range(samples):
+        self_default = rng.random(n) <= ps
+        seeds = np.flatnonzero(self_default)
+        if seeds.size == 0:
+            continue
+        edge_survives = rng.random(m) <= pe
+        # Count, per node, how many seeds reach it (to split credit).
+        reach_count[:] = 0
+        reach_sets: list[tuple[int, list[int]]] = []
+        for seed_node in seeds:
+            visited: list[int] = []
+            queue: deque[int] = deque((int(seed_node),))
+            stamp[seed_node] = world_index * n + seed_node  # unique stamp
+            local_stamp = stamp[seed_node]
+            while queue:
+                u = queue.popleft()
+                start, stop = out_csr.indptr[u], out_csr.indptr[u + 1]
+                for pos in range(start, stop):
+                    v = int(out_csr.indices[pos])
+                    if stamp[v] == local_stamp:
+                        continue
+                    if edge_survives[out_csr.edge_ids[pos]]:
+                        stamp[v] = local_stamp
+                        visited.append(v)
+                        queue.append(v)
+            downstream = [v for v in visited if v != seed_node]
+            for v in downstream:
+                reach_count[v] += 1
+            reach_sets.append((int(seed_node), downstream))
+        for seed_node, downstream in reach_sets:
+            for v in downstream:
+                credit[seed_node] += 1.0 / reach_count[v]
+    return credit / samples
+
+
+def default_correlation(
+    graph: UncertainGraph,
+    labels: list[NodeLabel],
+    samples: int = 2000,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Pairwise Pearson correlation of default indicators.
+
+    Returns a ``(len(labels), len(labels))`` matrix; entry ``(i, j)`` is
+    the correlation between "labels[i] defaults" and "labels[j]
+    defaults" over sampled worlds.  Degenerate nodes (never/always
+    defaulting in the sample) get zero off-diagonal correlation.
+    """
+    if not labels:
+        raise SamplingError("labels must not be empty")
+    indices = np.array([graph.index(label) for label in labels])
+    sampler = ForwardSampler(graph, seed=seed)
+    outcomes = np.zeros((samples, indices.size), dtype=bool)
+    collected = 0
+    while collected < samples:
+        batch = sampler.sample_batch(min(256, samples - collected))
+        outcomes[collected : collected + batch.shape[0]] = batch[:, indices]
+        collected += batch.shape[0]
+    x = outcomes.astype(np.float64)
+    std = x.std(axis=0)
+    centred = x - x.mean(axis=0)
+    cov = centred.T @ centred / samples
+    denom = np.outer(std, std)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        corr = np.where(denom > 0, cov / denom, 0.0)
+    np.fill_diagonal(corr, 1.0)
+    return corr
+
+
+def attribution(
+    graph: UncertainGraph,
+    target: NodeLabel,
+    samples: int = 2000,
+    seed: SeedLike = None,
+) -> dict[NodeLabel, float]:
+    """Where does *target*'s default risk come from?
+
+    Over sampled worlds in which the target defaults, counts how often
+    each node was a self-defaulting seed with a surviving path to the
+    target (the target itself counts when it self-defaults).  Returned
+    values are fractions of the target's defaulting worlds and can sum
+    to more than 1 (several seeds can hit the target in one world).
+    """
+    if samples <= 0:
+        raise SamplingError(f"samples must be positive, got {samples}")
+    rng = make_rng(seed)
+    n, m = graph.num_nodes, graph.num_edges
+    target_index = graph.index(target)
+    ps = graph.self_risk_array
+    _, _, pe = graph.edge_array
+    in_csr = graph.in_csr()
+    blame = np.zeros(n, dtype=np.int64)
+    target_defaults = 0
+    visited = np.full(n, -1, dtype=np.int64)
+    for world in range(samples):
+        self_default = rng.random(n) <= ps
+        edge_survives = rng.random(m) <= pe
+        # Backward reachability from the target through surviving edges:
+        # every self-defaulting node in that set infected the target.
+        sources: list[int] = []
+        queue: deque[int] = deque((target_index,))
+        visited[target_index] = world
+        while queue:
+            u = queue.popleft()
+            if self_default[u]:
+                sources.append(u)
+            start, stop = in_csr.indptr[u], in_csr.indptr[u + 1]
+            for pos in range(start, stop):
+                v = int(in_csr.indices[pos])
+                if visited[v] == world:
+                    continue
+                if edge_survives[in_csr.edge_ids[pos]]:
+                    visited[v] = world
+                    queue.append(v)
+        if sources:
+            target_defaults += 1
+            blame[sources] += 1
+    if target_defaults == 0:
+        return {}
+    return {
+        graph.label(int(i)): float(blame[i] / target_defaults)
+        for i in np.flatnonzero(blame)
+    }

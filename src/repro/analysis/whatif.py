@@ -1,0 +1,158 @@
+"""What-if intervention analysis.
+
+The deployed system's purpose (paper §5) is to *act* on vulnerability:
+restructure a guarantee, de-risk an enterprise, dissolve a circle.  This
+module quantifies interventions before they are taken:
+
+* :func:`derisk_impact` — lower one node's self-risk and measure how
+  every node's default probability responds;
+* :func:`cut_guarantee_impact` — remove (or weaken) one guarantee edge
+  and measure the system-wide response;
+* :func:`rank_interventions` — greedily score a set of candidate
+  single-node interventions by total system risk reduction, giving the
+  risk manager an ordered action list.
+
+All impacts are estimated with common random numbers (same seed for the
+baseline and intervened runs), which cancels most Monte-Carlo noise in
+the difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import SamplingError
+from repro.core.graph import NodeLabel, UncertainGraph
+from repro.sampling.forward import ForwardSampler
+from repro.sampling.rng import SeedLike
+
+__all__ = ["InterventionImpact", "derisk_impact", "cut_guarantee_impact", "rank_interventions"]
+
+
+@dataclass(frozen=True)
+class InterventionImpact:
+    """Measured effect of one intervention.
+
+    Attributes
+    ----------
+    description:
+        Human-readable intervention summary.
+    baseline:
+        Per-node default-probability estimates before the intervention.
+    intervened:
+        Per-node estimates after it.
+    """
+
+    description: str
+    baseline: np.ndarray
+    intervened: np.ndarray
+
+    @property
+    def delta(self) -> np.ndarray:
+        """Per-node probability change (negative = risk reduced)."""
+        return self.intervened - self.baseline
+
+    @property
+    def total_risk_reduction(self) -> float:
+        """Expected number of defaults prevented across the system."""
+        return float(-self.delta.sum())
+
+    def top_beneficiaries(
+        self, graph: UncertainGraph, count: int = 5
+    ) -> list[tuple[NodeLabel, float]]:
+        """Nodes whose risk fell the most, as (label, reduction) pairs."""
+        order = np.argsort(self.delta)[:count]
+        return [
+            (graph.label(int(i)), float(-self.delta[i]))
+            for i in order
+            if self.delta[i] < 0
+        ]
+
+
+def _estimate(graph: UncertainGraph, samples: int, seed: SeedLike) -> np.ndarray:
+    return ForwardSampler(graph, seed=seed).estimate_probabilities(samples)
+
+
+def derisk_impact(
+    graph: UncertainGraph,
+    label: NodeLabel,
+    new_self_risk: float,
+    samples: int = 4000,
+    seed: SeedLike = 0,
+) -> InterventionImpact:
+    """Impact of setting ``ps(label)`` to *new_self_risk*.
+
+    Models actions like additional collateral or a capital injection for
+    one enterprise.  Uses common random numbers for noise cancellation.
+    """
+    if samples <= 0:
+        raise SamplingError(f"samples must be positive, got {samples}")
+    baseline = _estimate(graph, samples, seed)
+    original = graph.self_risk(label)
+    modified = graph.copy()
+    modified.set_self_risk(label, new_self_risk)
+    intervened = _estimate(modified, samples, seed)
+    return InterventionImpact(
+        description=(
+            f"self-risk of {label!r}: {original:.3f} -> {new_self_risk:.3f}"
+        ),
+        baseline=baseline,
+        intervened=intervened,
+    )
+
+
+def cut_guarantee_impact(
+    graph: UncertainGraph,
+    src: NodeLabel,
+    dst: NodeLabel,
+    new_probability: float = 0.0,
+    samples: int = 4000,
+    seed: SeedLike = 0,
+) -> InterventionImpact:
+    """Impact of weakening the contagion edge ``src -> dst``.
+
+    ``new_probability = 0`` models dissolving the guarantee entirely.
+    """
+    if samples <= 0:
+        raise SamplingError(f"samples must be positive, got {samples}")
+    baseline = _estimate(graph, samples, seed)
+    original = graph.edge_probability(src, dst)
+    modified = graph.copy()
+    modified.set_edge_probability(src, dst, new_probability)
+    intervened = _estimate(modified, samples, seed)
+    return InterventionImpact(
+        description=(
+            f"guarantee {src!r} -> {dst!r}: p {original:.3f} -> "
+            f"{new_probability:.3f}"
+        ),
+        baseline=baseline,
+        intervened=intervened,
+    )
+
+
+def rank_interventions(
+    graph: UncertainGraph,
+    candidates: list[NodeLabel],
+    new_self_risk: float = 0.01,
+    samples: int = 2000,
+    seed: SeedLike = 0,
+) -> list[tuple[NodeLabel, float]]:
+    """Order candidate de-risking interventions by system-wide benefit.
+
+    Evaluates :func:`derisk_impact` for every candidate independently
+    (against the same common-random-number baseline) and returns
+    ``(label, total_risk_reduction)`` pairs, best first — the ordered
+    action list a risk manager works through.
+    """
+    if not candidates:
+        raise SamplingError("candidates must not be empty")
+    results: list[tuple[NodeLabel, float]] = []
+    for label in candidates:
+        impact = derisk_impact(
+            graph, label, new_self_risk, samples=samples, seed=seed
+        )
+        results.append((label, impact.total_risk_reduction))
+    results.sort(key=lambda pair: -pair[1])
+    return results

@@ -1,0 +1,35 @@
+"""Baselines of the case study: structural scorers and ML classifiers."""
+
+from repro.baselines.ml import (
+    BinaryClassifier,
+    CNNMaxClassifier,
+    CompetingRisksDNN,
+    GradientBoostedTrees,
+    HGARClassifier,
+    INDDPClassifier,
+    WideDeepClassifier,
+    WideLogisticRegression,
+)
+from repro.baselines.structural import (
+    STRUCTURAL_SCORERS,
+    betweenness_scores,
+    influence_scores,
+    kcore_scores,
+    pagerank_scores,
+)
+
+__all__ = [
+    "BinaryClassifier",
+    "CNNMaxClassifier",
+    "CompetingRisksDNN",
+    "GradientBoostedTrees",
+    "HGARClassifier",
+    "INDDPClassifier",
+    "WideDeepClassifier",
+    "WideLogisticRegression",
+    "STRUCTURAL_SCORERS",
+    "betweenness_scores",
+    "influence_scores",
+    "kcore_scores",
+    "pagerank_scores",
+]

@@ -1,0 +1,27 @@
+"""Numpy reimplementations of the Table-3 machine-learning baselines."""
+
+from repro.baselines.ml.base import BinaryClassifier, StandardScaler, log_loss, sigmoid
+from repro.baselines.ml.cnn_max import CNNMaxClassifier
+from repro.baselines.ml.crdnn import CompetingRisksDNN
+from repro.baselines.ml.gbdt import GradientBoostedTrees, RegressionTree
+from repro.baselines.ml.hgar import HGARClassifier, attention_aggregate
+from repro.baselines.ml.inddp import INDDPClassifier, neighbor_mean
+from repro.baselines.ml.linear import WideLogisticRegression
+from repro.baselines.ml.wide_deep import WideDeepClassifier
+
+__all__ = [
+    "BinaryClassifier",
+    "StandardScaler",
+    "log_loss",
+    "sigmoid",
+    "CNNMaxClassifier",
+    "CompetingRisksDNN",
+    "GradientBoostedTrees",
+    "RegressionTree",
+    "HGARClassifier",
+    "attention_aggregate",
+    "INDDPClassifier",
+    "neighbor_mean",
+    "WideLogisticRegression",
+    "WideDeepClassifier",
+]

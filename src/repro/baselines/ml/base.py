@@ -1,0 +1,105 @@
+"""Shared infrastructure for the Table-3 prediction baselines.
+
+The paper's case study compares TensorFlow models on GPU servers; offline
+we reimplement each model family in pure numpy (see DESIGN.md for the
+substitution table).  This module holds the pieces they share: the
+classifier interface, feature standardisation, and loss utilities.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.core.errors import NotFittedError, ReproError
+
+__all__ = ["BinaryClassifier", "StandardScaler", "sigmoid", "log_loss"]
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(x, dtype=np.float64)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    expx = np.exp(x[~positive])
+    out[~positive] = expx / (1.0 + expx)
+    return out
+
+
+def log_loss(y_true: np.ndarray, y_prob: np.ndarray, eps: float = 1e-12) -> float:
+    """Mean binary cross-entropy."""
+    y_prob = np.clip(y_prob, eps, 1.0 - eps)
+    return float(
+        -np.mean(y_true * np.log(y_prob) + (1.0 - y_true) * np.log(1.0 - y_prob))
+    )
+
+
+class StandardScaler:
+    """Column-wise standardisation fitted on training data only."""
+
+    def __init__(self) -> None:
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        """Record column means and standard deviations of *X*."""
+        X = np.asarray(X, dtype=np.float64)
+        self._mean = X.mean(axis=0)
+        std = X.std(axis=0)
+        std[std == 0.0] = 1.0  # constant columns pass through centred
+        self._std = std
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Standardise *X* with the fitted statistics."""
+        if self._mean is None or self._std is None:
+            raise NotFittedError("StandardScaler used before fit()")
+        X = np.asarray(X, dtype=np.float64)
+        return (X - self._mean) / self._std
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit then transform in one call."""
+        return self.fit(X).transform(X)
+
+
+class BinaryClassifier(abc.ABC):
+    """Interface every Table-3 baseline implements.
+
+    Subclasses set :attr:`name` to the label used in the paper's table and
+    implement :meth:`fit` / :meth:`predict_proba`.
+    """
+
+    #: Display name matching Table 3's row label.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    @abc.abstractmethod
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "BinaryClassifier":
+        """Train on features *X* (n, d) and binary labels *y* (n,)."""
+
+    @abc.abstractmethod
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Default-probability scores for each row of *X*."""
+
+    def _check_training_inputs(
+        self, X: np.ndarray, y: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Validate and coerce fit() inputs."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2:
+            raise ReproError(f"X must be 2-D, got shape {X.shape}")
+        if y.shape != (X.shape[0],):
+            raise ReproError(
+                f"y has shape {y.shape}, expected ({X.shape[0]},)"
+            )
+        if not np.isin(y, (0.0, 1.0)).all():
+            raise ReproError("labels must be binary 0/1")
+        return X, y
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(f"{type(self).__name__} used before fit()")

@@ -1,0 +1,79 @@
+"""The "crDNN" baseline — deep competing-risks style MLP.
+
+Stands in for the deep competing-risks representation model of Table 3
+[29]: a plain deep network (three hidden ReLU layers) on the standardised
+features, trained with Adam on binary cross-entropy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.ml.base import BinaryClassifier, StandardScaler, sigmoid
+from repro.baselines.ml.nn import Dense, ReLU, Sequential, train_network
+from repro.sampling.rng import SeedLike, make_rng
+
+__all__ = ["CompetingRisksDNN"]
+
+
+class CompetingRisksDNN(BinaryClassifier):
+    """Three-hidden-layer MLP binary classifier.
+
+    Parameters
+    ----------
+    hidden:
+        Hidden-layer widths.
+    epochs, batch_size, lr:
+        Training-loop controls.
+    seed:
+        Initialisation/shuffling randomness.
+    """
+
+    name = "crDNN"
+
+    def __init__(
+        self,
+        hidden: tuple[int, ...] = (64, 32, 16),
+        epochs: int = 60,
+        batch_size: int = 64,
+        lr: float = 3e-3,
+        seed: SeedLike = 0,
+    ) -> None:
+        super().__init__()
+        self._hidden = tuple(int(h) for h in hidden)
+        self._epochs = int(epochs)
+        self._batch_size = int(batch_size)
+        self._lr = float(lr)
+        self._seed = seed
+        self._scaler = StandardScaler()
+        self._model: Sequential | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "CompetingRisksDNN":
+        X, y = self._check_training_inputs(X, y)
+        Xs = self._scaler.fit_transform(X)
+        rng = make_rng(self._seed)
+        layers = []
+        fan_in = Xs.shape[1]
+        for width in self._hidden:
+            layers.append(Dense(fan_in, width, rng))
+            layers.append(ReLU())
+            fan_in = width
+        layers.append(Dense(fan_in, 1, rng))
+        self._model = Sequential(layers)
+        train_network(
+            self._model,
+            Xs,
+            y,
+            epochs=self._epochs,
+            batch_size=self._batch_size,
+            lr=self._lr,
+            seed=rng,
+        )
+        self._fitted = True
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        assert self._model is not None
+        Xs = self._scaler.transform(np.asarray(X, dtype=np.float64))
+        return sigmoid(self._model.forward(Xs).ravel())

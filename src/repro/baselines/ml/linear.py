@@ -1,0 +1,65 @@
+"""The "Wide" baseline — L2-regularised logistic regression.
+
+Stands in for the follow-the-regularised-leader wide model of Table 3
+([25]).  Full-batch gradient descent with an L2 penalty; deterministic
+given the data (no random initialisation needed for a convex model).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.ml.base import BinaryClassifier, StandardScaler, sigmoid
+from repro.core.errors import ReproError
+
+__all__ = ["WideLogisticRegression"]
+
+
+class WideLogisticRegression(BinaryClassifier):
+    """Logistic regression trained by gradient descent.
+
+    Parameters
+    ----------
+    l2:
+        L2 penalty strength on the weights (not the intercept).
+    lr:
+        Gradient-descent step size.
+    epochs:
+        Number of full-batch iterations.
+    """
+
+    name = "Wide"
+
+    def __init__(self, l2: float = 1e-3, lr: float = 0.5, epochs: int = 300) -> None:
+        super().__init__()
+        if epochs <= 0:
+            raise ReproError(f"epochs must be positive, got {epochs}")
+        self._l2 = float(l2)
+        self._lr = float(lr)
+        self._epochs = int(epochs)
+        self._scaler = StandardScaler()
+        self._weights: np.ndarray | None = None
+        self._bias = 0.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "WideLogisticRegression":
+        X, y = self._check_training_inputs(X, y)
+        Xs = self._scaler.fit_transform(X)
+        n, d = Xs.shape
+        weights = np.zeros(d)
+        bias = 0.0
+        for _ in range(self._epochs):
+            probability = sigmoid(Xs @ weights + bias)
+            error = probability - y
+            grad_weights = Xs.T @ error / n + self._l2 * weights
+            grad_bias = float(error.mean())
+            weights -= self._lr * grad_weights
+            bias -= self._lr * grad_bias
+        self._weights = weights
+        self._bias = bias
+        self._fitted = True
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        Xs = self._scaler.transform(np.asarray(X, dtype=np.float64))
+        return sigmoid(Xs @ self._weights + self._bias)

@@ -1,0 +1,290 @@
+"""A minimal feed-forward neural-network engine in numpy.
+
+Supports exactly what the Table-3 baselines need: dense layers, ReLU /
+LeakyReLU, 1-D convolution with global max pooling, Adam, and a logistic
+(binary cross-entropy with logits) loss.  Backward passes are written by
+hand and verified against finite differences in the test suite.
+
+This is deliberately a small engine, not a framework: layers own their
+parameters and cache what their backward pass needs; :class:`Sequential`
+chains them; :class:`Adam` updates whatever ``parameters()`` exposes.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.core.errors import ReproError
+from repro.sampling.rng import SeedLike, make_rng
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "ReLU",
+    "LeakyReLU",
+    "Conv1D",
+    "GlobalMaxPool1D",
+    "Sequential",
+    "Adam",
+    "bce_with_logits",
+    "bce_grad",
+    "train_network",
+]
+
+
+class Layer(abc.ABC):
+    """One differentiable stage of a network."""
+
+    @abc.abstractmethod
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Compute the layer output, caching anything backward needs."""
+
+    @abc.abstractmethod
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Propagate *grad* (dL/d-output) to dL/d-input; stash dL/d-params."""
+
+    def parameters(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """(parameter, gradient) pairs; default: no parameters."""
+        return []
+
+
+class Dense(Layer):
+    """Affine layer ``y = x W + b`` with He-style initialisation."""
+
+    def __init__(self, fan_in: int, fan_out: int, rng: np.random.Generator) -> None:
+        scale = np.sqrt(2.0 / fan_in)
+        self.weight = rng.normal(0.0, scale, size=(fan_in, fan_out))
+        self.bias = np.zeros(fan_out)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._input: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._input = x
+        return x @ self.weight + self.bias
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise ReproError("backward called before forward")
+        self.grad_weight[...] = self._input.T @ grad
+        self.grad_bias[...] = grad.sum(axis=0)
+        return grad @ self.weight.T
+
+    def parameters(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        return [(self.weight, self.grad_weight), (self.bias, self.grad_bias)]
+
+
+class ReLU(Layer):
+    """Element-wise ``max(0, x)``."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ReproError("backward called before forward")
+        return grad * self._mask
+
+
+class LeakyReLU(Layer):
+    """Leaky rectifier with configurable negative slope."""
+
+    def __init__(self, slope: float = 0.2) -> None:
+        self._slope = float(slope)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, self._slope * x)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ReproError("backward called before forward")
+        return np.where(self._mask, grad, self._slope * grad)
+
+
+class Conv1D(Layer):
+    """Valid 1-D convolution over single-channel sequences.
+
+    Input shape ``(batch, length)``, output ``(batch, length - k + 1,
+    filters)``.  Implemented with a sliding-window view (im2col), so both
+    passes are plain matrix products.
+    """
+
+    def __init__(
+        self, kernel_size: int, filters: int, rng: np.random.Generator
+    ) -> None:
+        if kernel_size < 1:
+            raise ReproError(f"kernel_size must be >= 1, got {kernel_size}")
+        self._kernel = int(kernel_size)
+        scale = np.sqrt(2.0 / kernel_size)
+        self.weight = rng.normal(0.0, scale, size=(kernel_size, filters))
+        self.bias = np.zeros(filters)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._windows: np.ndarray | None = None
+        self._input_length = 0
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] < self._kernel:
+            raise ReproError(
+                f"Conv1D needs (batch, length >= {self._kernel}), got {x.shape}"
+            )
+        self._input_length = x.shape[1]
+        windows = np.lib.stride_tricks.sliding_window_view(x, self._kernel, axis=1)
+        self._windows = windows  # (batch, length - k + 1, k)
+        return windows @ self.weight + self.bias
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._windows is None:
+            raise ReproError("backward called before forward")
+        self.grad_weight[...] = np.einsum("blk,blf->kf", self._windows, grad)
+        self.grad_bias[...] = grad.sum(axis=(0, 1))
+        # dL/dx: scatter each window's contribution back to its positions.
+        batch = grad.shape[0]
+        grad_input = np.zeros((batch, self._input_length))
+        per_window = grad @ self.weight.T  # (batch, positions, k)
+        for offset in range(self._kernel):
+            grad_input[:, offset : offset + per_window.shape[1]] += per_window[
+                :, :, offset
+            ]
+        return grad_input
+
+    def parameters(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        return [(self.weight, self.grad_weight), (self.bias, self.grad_bias)]
+
+
+class GlobalMaxPool1D(Layer):
+    """Max over the positions axis of ``(batch, positions, filters)``."""
+
+    def __init__(self) -> None:
+        self._argmax: np.ndarray | None = None
+        self._shape: tuple[int, ...] = ()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3:
+            raise ReproError(f"expected 3-D input, got shape {x.shape}")
+        self._argmax = x.argmax(axis=1)  # (batch, filters)
+        self._shape = x.shape
+        return x.max(axis=1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._argmax is None:
+            raise ReproError("backward called before forward")
+        batch, positions, filters = self._shape
+        grad_input = np.zeros(self._shape)
+        batch_index = np.arange(batch)[:, None]
+        filter_index = np.arange(filters)[None, :]
+        grad_input[batch_index, self._argmax, filter_index] = grad
+        return grad_input
+
+
+class Sequential:
+    """A chain of layers with a joint forward/backward."""
+
+    def __init__(self, layers: list[Layer]) -> None:
+        if not layers:
+            raise ReproError("Sequential needs at least one layer")
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run all layers; returns the final activation (e.g. logits)."""
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Back-propagate through all layers, filling parameter grads."""
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def parameters(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """All (parameter, gradient) pairs of the chain."""
+        pairs: list[tuple[np.ndarray, np.ndarray]] = []
+        for layer in self.layers:
+            pairs.extend(layer.parameters())
+        return pairs
+
+
+class Adam:
+    """Adam optimiser over ``(parameter, gradient)`` pairs."""
+
+    def __init__(
+        self,
+        parameters: list[tuple[np.ndarray, np.ndarray]],
+        lr: float = 1e-2,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        self._pairs = parameters
+        self._lr = float(lr)
+        self._beta1 = float(beta1)
+        self._beta2 = float(beta2)
+        self._eps = float(eps)
+        self._m = [np.zeros_like(p) for p, _ in parameters]
+        self._v = [np.zeros_like(p) for p, _ in parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        """Apply one update using the gradients currently stored."""
+        self._t += 1
+        for i, (param, grad) in enumerate(self._pairs):
+            self._m[i] = self._beta1 * self._m[i] + (1 - self._beta1) * grad
+            self._v[i] = self._beta2 * self._v[i] + (1 - self._beta2) * grad**2
+            m_hat = self._m[i] / (1 - self._beta1**self._t)
+            v_hat = self._v[i] / (1 - self._beta2**self._t)
+            param -= self._lr * m_hat / (np.sqrt(v_hat) + self._eps)
+
+
+def bce_with_logits(logits: np.ndarray, y: np.ndarray) -> float:
+    """Mean binary cross-entropy computed stably from logits."""
+    z = logits.ravel()
+    return float(np.mean(np.maximum(z, 0) - z * y + np.log1p(np.exp(-np.abs(z)))))
+
+
+def bce_grad(logits: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """dL/dlogits of mean BCE: ``(sigmoid(z) - y) / n``, shaped like logits."""
+    z = logits.ravel()
+    probability = np.empty_like(z)
+    positive = z >= 0
+    probability[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    expz = np.exp(z[~positive])
+    probability[~positive] = expz / (1.0 + expz)
+    return ((probability - y) / y.size).reshape(logits.shape)
+
+
+def train_network(
+    model: Sequential,
+    X: np.ndarray,
+    y: np.ndarray,
+    epochs: int,
+    batch_size: int,
+    lr: float,
+    seed: SeedLike = None,
+) -> list[float]:
+    """Mini-batch Adam training loop; returns the per-epoch losses."""
+    rng = make_rng(seed)
+    optimiser = Adam(model.parameters(), lr=lr)
+    n = X.shape[0]
+    losses: list[float] = []
+    for _ in range(epochs):
+        order = rng.permutation(n)
+        epoch_loss = 0.0
+        batches = 0
+        for start in range(0, n, batch_size):
+            rows = order[start : start + batch_size]
+            logits = model.forward(X[rows])
+            epoch_loss += bce_with_logits(logits, y[rows])
+            batches += 1
+            model.backward(bce_grad(logits, y[rows]))
+            optimiser.step()
+        losses.append(epoch_loss / max(batches, 1))
+    return losses

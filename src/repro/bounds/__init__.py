@@ -1,0 +1,12 @@
+"""Bound derivation (Algorithms 2/3) and candidate reduction (Algorithm 4)."""
+
+from repro.bounds.candidates import CandidateReduction, reduce_candidates
+from repro.bounds.iterative import bound_pair, lower_bounds, upper_bounds
+
+__all__ = [
+    "CandidateReduction",
+    "reduce_candidates",
+    "bound_pair",
+    "lower_bounds",
+    "upper_bounds",
+]

@@ -1,0 +1,152 @@
+"""Candidate reduction — Algorithm 4 and Lemma 1.
+
+Given per-node lower bounds ``pl`` and upper bounds ``pu`` and the answer
+size ``k``:
+
+* ``Tl`` is the k-th largest lower bound, ``Tu`` the k-th largest upper
+  bound.
+* Rule 1 (verification): a node with ``pl(v) >= Tu`` *must* be in the
+  top-k; it is moved straight into the answer, shrinking the effective
+  ``k``.
+* Rule 2 (filtering): a node with ``pu(v) < Tl`` *cannot* be in the top-k
+  and is dropped.  Everything else becomes the candidate set ``B`` whose
+  probabilities must be estimated by sampling.
+
+Tie handling: when bounds are heavily tied, rule 1 can certify more than
+``k`` nodes (all of them provably belong to *a* valid top-k under ties).
+We cap verification at ``k`` nodes, preferring higher lower bounds and
+breaking remaining ties by node index, so downstream code can rely on
+``k' <= k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import SamplingError
+from repro.core.graph import UncertainGraph
+from repro.core.topk import kth_largest, validate_k
+
+__all__ = ["CandidateReduction", "reduce_candidates"]
+
+
+@dataclass(frozen=True)
+class CandidateReduction:
+    """Output of Algorithm 4.
+
+    Attributes
+    ----------
+    verified:
+        Internal indices certified into the answer by rule 1 (``k'`` of
+        them), ordered by decreasing lower bound.
+    candidates:
+        Internal indices of the surviving candidate set ``B`` (excludes
+        verified nodes), ordered by node index.
+    threshold_lower:
+        ``Tl``, the k-th largest lower bound.
+    threshold_upper:
+        ``Tu``, the k-th largest upper bound.
+    k:
+        The requested answer size this reduction was computed for.
+    """
+
+    verified: np.ndarray
+    candidates: np.ndarray
+    threshold_lower: float
+    threshold_upper: float
+    k: int
+
+    @property
+    def k_verified(self) -> int:
+        """The paper's ``k'``."""
+        return int(self.verified.size)
+
+    @property
+    def k_remaining(self) -> int:
+        """``k - k'``: answers still to be found by sampling."""
+        return self.k - self.k_verified
+
+    @property
+    def candidate_size(self) -> int:
+        """``|B|``."""
+        return int(self.candidates.size)
+
+    def summary(self) -> dict[str, float | int]:
+        """Small dict for experiment logging."""
+        return {
+            "k": self.k,
+            "k_verified": self.k_verified,
+            "candidate_size": self.candidate_size,
+            "Tl": self.threshold_lower,
+            "Tu": self.threshold_upper,
+        }
+
+
+def reduce_candidates(
+    graph: UncertainGraph,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    k: int,
+) -> CandidateReduction:
+    """Run Algorithm 4 and return the reduction.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph (only its size is needed, but taking the graph
+        keeps the call site symmetrical with the bound functions).
+    lower, upper:
+        Per-node bound vectors from Algorithms 2 and 3.  ``lower <= upper``
+        must hold element-wise.
+    k:
+        Requested answer size.
+
+    Raises
+    ------
+    SamplingError
+        If the bound vectors disagree in shape or violate ``lower <= upper``
+        beyond floating-point noise.
+    """
+    n = graph.num_nodes
+    k = validate_k(k, n)
+    lower = np.asarray(lower, dtype=np.float64)
+    upper = np.asarray(upper, dtype=np.float64)
+    if lower.shape != (n,) or upper.shape != (n,):
+        raise SamplingError(
+            f"bound vectors must have shape ({n},); "
+            f"got {lower.shape} and {upper.shape}"
+        )
+    if np.any(lower > upper + 1e-9):
+        worst = int(np.argmax(lower - upper))
+        raise SamplingError(
+            "lower bound exceeds upper bound at node index "
+            f"{worst}: {lower[worst]} > {upper[worst]}"
+        )
+    # Clamp one-ulp float noise so ties never make pu < pl (which would
+    # let a node escape both rules of Lemma 1).
+    upper = np.maximum(upper, lower)
+    threshold_lower = kth_largest(lower, k)
+    threshold_upper = kth_largest(upper, k)
+
+    verified_mask = lower >= threshold_upper
+    verified = np.flatnonzero(verified_mask)
+    if verified.size > k:
+        # Ties made rule 1 over-certify; keep the k best lower bounds
+        # (stable order so results stay deterministic).
+        order = np.argsort(-lower[verified], kind="stable")
+        verified = np.sort(verified[order[:k]])
+    candidate_mask = (upper >= threshold_lower) & ~np.isin(
+        np.arange(n), verified, assume_unique=False
+    )
+    candidates = np.flatnonzero(candidate_mask)
+    # Order verified nodes by decreasing lower bound for reporting.
+    verified = verified[np.argsort(-lower[verified], kind="stable")]
+    return CandidateReduction(
+        verified=verified,
+        candidates=candidates,
+        threshold_lower=float(threshold_lower),
+        threshold_upper=float(threshold_upper),
+        k=k,
+    )

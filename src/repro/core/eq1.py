@@ -1,0 +1,163 @@
+"""Equation (1): the recursive default-probability operator.
+
+The paper defines the default probability of a node as
+
+    p(v) = 1 - (1 - ps(v)) * prod over in-neighbours x of (1 - p(v|x) p(x))
+
+This module implements one application of that operator
+(:func:`apply_eq1`), iterated evaluation from a starting vector
+(:func:`iterate_eq1`), and an exact topological evaluation for DAGs
+(:func:`dag_default_probabilities`).
+
+Semantics caveat (documented in DESIGN.md): Equation (1) treats the
+default events of in-neighbours as independent.  On trees/forests this is
+exact; on graphs with shared ancestors it is an approximation of the
+possible-world value.  The library therefore uses Equation (1) exactly
+where the paper uses it — to derive the lower/upper bounds of Algorithms 2
+and 3 — and uses Monte Carlo / enumeration for unbiased values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import GraphError
+from repro.core.graph import UncertainGraph
+
+__all__ = [
+    "apply_eq1",
+    "iterate_eq1",
+    "dag_default_probabilities",
+    "topological_order",
+]
+
+
+def apply_eq1(graph: UncertainGraph, current: np.ndarray) -> np.ndarray:
+    """One application of the Equation-(1) operator.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph.
+    current:
+        ``float64`` array over internal node indices holding the current
+        estimate of every node's default probability (``p(x)`` on the
+        right-hand side of Equation (1)).
+
+    Returns
+    -------
+    numpy.ndarray
+        New estimates ``p'(v) = 1 - (1 - ps(v)) * prod (1 - p(v|x) p(x))``.
+
+    Notes
+    -----
+    Vectorised: the per-node product over in-edges is computed as
+    ``exp(sum(log1p(-p(v|x) p(x))))`` with segment sums over the in-CSR,
+    which is numerically stable for small probabilities and handles
+    zero-probability factors via ``-inf`` logs.
+    """
+    n = graph.num_nodes
+    current = np.asarray(current, dtype=np.float64)
+    if current.shape != (n,):
+        raise GraphError(f"current has shape {current.shape}, expected ({n},)")
+    ps = graph.self_risk_array
+    if n == 0:
+        return ps.copy()
+    in_csr = graph.in_csr()
+    # Per in-edge factor (1 - p(v|x) p(x)), aligned with the in-CSR layout.
+    factors = 1.0 - in_csr.probs * current[in_csr.indices]
+    with np.errstate(divide="ignore"):
+        logs = np.log(np.maximum(factors, 0.0))
+    # Segment-sum of logs per destination node.
+    sums = np.zeros(n, dtype=np.float64)
+    if logs.size:
+        destinations = np.repeat(np.arange(n), np.diff(in_csr.indptr))
+        np.add.at(sums, destinations, logs)
+    survive = np.exp(sums)  # prod of (1 - p(v|x) p(x)); exp(-inf) == 0.
+    return 1.0 - (1.0 - ps) * survive
+
+
+def iterate_eq1(
+    graph: UncertainGraph,
+    start: np.ndarray | None = None,
+    max_iter: int = 100,
+    tol: float = 1e-12,
+) -> tuple[np.ndarray, int]:
+    """Iterate Equation (1) to (approximate) fixed point.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph.
+    start:
+        Initial estimate vector; defaults to the self-risk vector ``ps``.
+    max_iter:
+        Iteration cap.
+    tol:
+        Stop when the max absolute change drops below this.
+
+    Returns
+    -------
+    tuple
+        ``(probabilities, iterations_used)``.
+
+    Notes
+    -----
+    Starting from ``ps`` the operator is monotone non-decreasing and
+    bounded by 1, so the iteration always converges.
+    """
+    current = graph.self_risk_array if start is None else np.asarray(
+        start, dtype=np.float64
+    ).copy()
+    iterations = 0
+    for iterations in range(1, max_iter + 1):
+        updated = apply_eq1(graph, current)
+        if np.max(np.abs(updated - current), initial=0.0) < tol:
+            current = updated
+            break
+        current = updated
+    return current, iterations
+
+
+def topological_order(graph: UncertainGraph) -> list[int]:
+    """Topological order of internal indices; raises on cycles.
+
+    Kahn's algorithm on the out-CSR.  Used by the exact DAG evaluator and
+    by dataset validators that must certify acyclicity.
+    """
+    n = graph.num_nodes
+    in_deg = graph.in_csr().degrees.copy()
+    out = graph.out_csr()
+    order: list[int] = [int(i) for i in np.flatnonzero(in_deg == 0)]
+    head = 0
+    while head < len(order):
+        u = order[head]
+        head += 1
+        for v in out.neighbors(u):
+            in_deg[v] -= 1
+            if in_deg[v] == 0:
+                order.append(int(v))
+    if len(order) != n:
+        raise GraphError("graph has a directed cycle; no topological order")
+    return order
+
+
+def dag_default_probabilities(graph: UncertainGraph) -> np.ndarray:
+    """Evaluate Equation (1) exactly on a DAG in one topological pass.
+
+    On a DAG every node's in-neighbours are fully evaluated before the node
+    itself, so a single sweep reaches the Equation-(1) fixed point.  (The
+    value still assumes in-neighbour independence; on trees it equals the
+    possible-world probability exactly.)
+    """
+    order = topological_order(graph)
+    in_csr = graph.in_csr()
+    ps = graph.self_risk_array
+    p = ps.copy()
+    for v in order:
+        start, stop = in_csr.indptr[v], in_csr.indptr[v + 1]
+        survive = 1.0
+        for pos in range(start, stop):
+            survive *= 1.0 - in_csr.probs[pos] * p[in_csr.indices[pos]]
+        p[v] = 1.0 - (1.0 - ps[v]) * survive
+    return p

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "UnknownNodeError",
+    "DuplicateEdgeError",
+    "ProbabilityError",
+    "SamplingError",
+    "NotFittedError",
+    "DatasetError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class GraphError(ReproError):
+    """Raised for structural problems with an :class:`UncertainGraph`."""
+
+
+class UnknownNodeError(GraphError, KeyError):
+    """Raised when a node label is not present in the graph."""
+
+    def __init__(self, label: object) -> None:
+        super().__init__(label)
+        self.label = label
+
+    def __str__(self) -> str:  # KeyError quotes its repr; give a message.
+        return f"unknown node label: {self.label!r}"
+
+
+class DuplicateEdgeError(GraphError):
+    """Raised when inserting an edge that already exists."""
+
+
+class ProbabilityError(ReproError, ValueError):
+    """Raised when a probability value falls outside ``[0, 1]``."""
+
+
+class SamplingError(ReproError):
+    """Raised when a sampling routine is configured inconsistently."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """Raised when a model is used before :meth:`fit` was called."""
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset specification cannot be satisfied."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment configuration is invalid."""

@@ -1,0 +1,578 @@
+"""Directed uncertain graph container.
+
+This module implements :class:`UncertainGraph`, the data structure every
+algorithm in the library operates on.  It models the graph of the paper's
+Section 2.1: a directed graph where each node ``v`` carries a *self-risk
+probability* ``ps(v)`` and each edge ``(u, v)`` carries a *diffusion
+probability* ``p(v|u)``.
+
+Design notes
+------------
+* Nodes are identified by arbitrary hashable *labels* at the API surface
+  (enterprise ids, strings, ints).  Internally every node gets a dense
+  integer *index* so the hot sampling loops can run on numpy arrays.
+* Adjacency is stored twice in CSR (compressed sparse row) form — once for
+  out-neighbours (forward propagation, Algorithm 1) and once for
+  in-neighbours (Equation 1 and the reverse sampling of Algorithm 5).  The
+  CSR views are built lazily and invalidated by any mutation.
+* All probabilities are validated on insertion; values outside ``[0, 1]``
+  raise :class:`~repro.core.errors.ProbabilityError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.errors import (
+    DuplicateEdgeError,
+    GraphError,
+    ProbabilityError,
+    UnknownNodeError,
+)
+
+__all__ = ["UncertainGraph", "CSRAdjacency", "GraphStats"]
+
+NodeLabel = Hashable
+
+
+def _check_probability(value: float, what: str) -> float:
+    """Validate that *value* is a probability and return it as a float."""
+    p = float(value)
+    if not 0.0 <= p <= 1.0:
+        raise ProbabilityError(f"{what} must be in [0, 1], got {value!r}")
+    if np.isnan(p):
+        raise ProbabilityError(f"{what} must not be NaN")
+    return p
+
+
+@dataclass(frozen=True)
+class CSRAdjacency:
+    """A compressed-sparse-row view of one direction of adjacency.
+
+    Attributes
+    ----------
+    indptr:
+        ``int64`` array of length ``n + 1``; neighbours of node ``i`` live
+        in ``indices[indptr[i]:indptr[i + 1]]``.
+    indices:
+        ``int64`` array of neighbour indices, one entry per edge.
+    probs:
+        ``float64`` array aligned with ``indices`` holding the diffusion
+        probability of each edge.
+    edge_ids:
+        ``int64`` array aligned with ``indices`` giving each entry's
+        position in the graph's canonical edge ordering.  Both the forward
+        and the reverse CSR views refer to the *same* edge ids, which lets
+        samplers share one random draw per edge between directions.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    probs: np.ndarray
+    edge_ids: np.ndarray
+
+    def neighbors(self, index: int) -> np.ndarray:
+        """Neighbour indices of the node at internal *index*."""
+        return self.indices[self.indptr[index] : self.indptr[index + 1]]
+
+    def edge_probs(self, index: int) -> np.ndarray:
+        """Diffusion probabilities aligned with :meth:`neighbors`."""
+        return self.probs[self.indptr[index] : self.indptr[index + 1]]
+
+    def edges_of(self, index: int) -> np.ndarray:
+        """Canonical edge ids aligned with :meth:`neighbors`."""
+        return self.edge_ids[self.indptr[index] : self.indptr[index + 1]]
+
+    def degree(self, index: int) -> int:
+        """Number of neighbours of the node at internal *index*."""
+        return int(self.indptr[index + 1] - self.indptr[index])
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Vector of per-node degrees in this direction."""
+        return np.diff(self.indptr)
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of a graph (mirrors the paper's Table 2)."""
+
+    num_nodes: int
+    num_edges: int
+    avg_degree: float
+    max_degree: int
+    mean_self_risk: float
+    mean_diffusion: float
+
+    def as_row(self) -> dict[str, float | int]:
+        """Return the statistics as a plain dict (for table printing)."""
+        return {
+            "nodes": self.num_nodes,
+            "edges": self.num_edges,
+            "avg_deg": round(self.avg_degree, 2),
+            "max_deg": self.max_degree,
+            "mean_ps": round(self.mean_self_risk, 4),
+            "mean_pe": round(self.mean_diffusion, 4),
+        }
+
+
+class UncertainGraph:
+    """A directed graph with node self-risk and edge diffusion probabilities.
+
+    Parameters
+    ----------
+    nodes:
+        Optional iterable of ``(label, self_risk)`` pairs to insert.
+    edges:
+        Optional iterable of ``(src, dst, diffusion_probability)`` triples;
+        endpoint labels must already be present via *nodes* (or be inserted
+        first through :meth:`add_node`).
+
+    Examples
+    --------
+    >>> g = UncertainGraph()
+    >>> g.add_node("A", self_risk=0.2)
+    >>> g.add_node("B", self_risk=0.1)
+    >>> g.add_edge("A", "B", probability=0.3)
+    >>> g.num_nodes, g.num_edges
+    (2, 1)
+    """
+
+    __slots__ = (
+        "_index_of",
+        "_labels",
+        "_self_risk",
+        "_edge_src",
+        "_edge_dst",
+        "_edge_prob",
+        "_edge_index",
+        "_out_csr",
+        "_in_csr",
+    )
+
+    def __init__(
+        self,
+        nodes: Iterable[tuple[NodeLabel, float]] | None = None,
+        edges: Iterable[tuple[NodeLabel, NodeLabel, float]] | None = None,
+    ) -> None:
+        self._index_of: dict[NodeLabel, int] = {}
+        self._labels: list[NodeLabel] = []
+        self._self_risk: list[float] = []
+        self._edge_src: list[int] = []
+        self._edge_dst: list[int] = []
+        self._edge_prob: list[float] = []
+        self._edge_index: dict[tuple[int, int], int] = {}
+        self._out_csr: CSRAdjacency | None = None
+        self._in_csr: CSRAdjacency | None = None
+        if nodes is not None:
+            for label, risk in nodes:
+                self.add_node(label, risk)
+        if edges is not None:
+            for src, dst, prob in edges:
+                self.add_edge(src, dst, prob)
+
+    # ------------------------------------------------------------------
+    # Construction and mutation
+    # ------------------------------------------------------------------
+    def add_node(self, label: NodeLabel, self_risk: float = 0.0) -> int:
+        """Insert a node and return its internal index.
+
+        Raises
+        ------
+        GraphError
+            If *label* is already present.
+        ProbabilityError
+            If *self_risk* is outside ``[0, 1]``.
+        """
+        if label in self._index_of:
+            raise GraphError(f"node {label!r} already exists")
+        risk = _check_probability(self_risk, f"self_risk of {label!r}")
+        index = len(self._labels)
+        self._index_of[label] = index
+        self._labels.append(label)
+        self._self_risk.append(risk)
+        self._invalidate()
+        return index
+
+    def add_edge(self, src: NodeLabel, dst: NodeLabel, probability: float) -> int:
+        """Insert the directed edge ``src -> dst`` and return its edge id.
+
+        The edge means: if *src* defaults, *dst* defaults with the given
+        *probability* (the paper's ``p(dst|src)``).
+
+        Raises
+        ------
+        UnknownNodeError
+            If either endpoint has not been added.
+        DuplicateEdgeError
+            If the edge already exists (uncertain graphs here are simple).
+        GraphError
+            If the edge is a self-loop.
+        """
+        s = self.index(src)
+        d = self.index(dst)
+        if s == d:
+            raise GraphError(f"self-loop on {src!r} is not allowed")
+        if (s, d) in self._edge_index:
+            raise DuplicateEdgeError(f"edge {src!r} -> {dst!r} already exists")
+        prob = _check_probability(probability, f"p({dst!r}|{src!r})")
+        edge_id = len(self._edge_src)
+        self._edge_src.append(s)
+        self._edge_dst.append(d)
+        self._edge_prob.append(prob)
+        self._edge_index[(s, d)] = edge_id
+        self._invalidate()
+        return edge_id
+
+    def set_self_risk(self, label: NodeLabel, self_risk: float) -> None:
+        """Replace the self-risk probability of an existing node."""
+        index = self.index(label)
+        self._self_risk[index] = _check_probability(
+            self_risk, f"self_risk of {label!r}"
+        )
+
+    def set_edge_probability(
+        self, src: NodeLabel, dst: NodeLabel, probability: float
+    ) -> None:
+        """Replace the diffusion probability of an existing edge."""
+        s = self.index(src)
+        d = self.index(dst)
+        edge_id = self._edge_index.get((s, d))
+        if edge_id is None:
+            raise UnknownNodeError((src, dst))
+        prob = _check_probability(probability, f"p({dst!r}|{src!r})")
+        self._edge_prob[edge_id] = prob
+        self._invalidate()
+
+    def set_all_self_risks(self, values: Sequence[float] | np.ndarray) -> None:
+        """Bulk-replace every node's self-risk (index-aligned array).
+
+        Validates the whole vector first so a failed call leaves the graph
+        unchanged.
+        """
+        array = np.asarray(values, dtype=np.float64)
+        if array.shape != (self.num_nodes,):
+            raise GraphError(
+                f"need {self.num_nodes} self-risks, got shape {array.shape}"
+            )
+        if np.any((array < 0.0) | (array > 1.0)) or np.any(np.isnan(array)):
+            raise ProbabilityError("self-risks must all lie in [0, 1]")
+        self._self_risk = [float(value) for value in array]
+
+    def set_all_edge_probabilities(
+        self, values: Sequence[float] | np.ndarray
+    ) -> None:
+        """Bulk-replace every edge's diffusion probability (edge-id order).
+
+        Validates the whole vector first so a failed call leaves the graph
+        unchanged.
+        """
+        array = np.asarray(values, dtype=np.float64)
+        if array.shape != (self.num_edges,):
+            raise GraphError(
+                f"need {self.num_edges} probabilities, got shape {array.shape}"
+            )
+        if np.any((array < 0.0) | (array > 1.0)) or np.any(np.isnan(array)):
+            raise ProbabilityError("edge probabilities must all lie in [0, 1]")
+        self._edge_prob = [float(value) for value in array]
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._out_csr = None
+        self._in_csr = None
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes, the paper's ``n``."""
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges, the paper's ``m``."""
+        return len(self._edge_src)
+
+    def __len__(self) -> int:
+        return self.num_nodes
+
+    def __contains__(self, label: NodeLabel) -> bool:
+        return label in self._index_of
+
+    def index(self, label: NodeLabel) -> int:
+        """Internal index of *label*; raises :class:`UnknownNodeError`."""
+        try:
+            return self._index_of[label]
+        except KeyError:
+            raise UnknownNodeError(label) from None
+
+    def label(self, index: int) -> NodeLabel:
+        """Label of the node at internal *index*."""
+        if not 0 <= index < len(self._labels):
+            raise UnknownNodeError(index)
+        return self._labels[index]
+
+    def labels(self) -> list[NodeLabel]:
+        """All node labels in internal-index order (a copy)."""
+        return list(self._labels)
+
+    def nodes(self) -> Iterator[NodeLabel]:
+        """Iterate over node labels in insertion order."""
+        return iter(self._labels)
+
+    def edges(self) -> Iterator[tuple[NodeLabel, NodeLabel, float]]:
+        """Iterate over ``(src_label, dst_label, probability)`` triples."""
+        for eid in range(self.num_edges):
+            yield (
+                self._labels[self._edge_src[eid]],
+                self._labels[self._edge_dst[eid]],
+                self._edge_prob[eid],
+            )
+
+    def has_edge(self, src: NodeLabel, dst: NodeLabel) -> bool:
+        """Whether the directed edge ``src -> dst`` exists."""
+        try:
+            return (self.index(src), self.index(dst)) in self._edge_index
+        except UnknownNodeError:
+            return False
+
+    def self_risk(self, label: NodeLabel) -> float:
+        """Self-risk probability ``ps(label)``."""
+        return self._self_risk[self.index(label)]
+
+    def edge_probability(self, src: NodeLabel, dst: NodeLabel) -> float:
+        """Diffusion probability ``p(dst|src)``."""
+        s = self.index(src)
+        d = self.index(dst)
+        edge_id = self._edge_index.get((s, d))
+        if edge_id is None:
+            raise UnknownNodeError((src, dst))
+        return self._edge_prob[edge_id]
+
+    def in_neighbors(self, label: NodeLabel) -> list[NodeLabel]:
+        """Labels of in-neighbours — the paper's ``N(v)``."""
+        csr = self.in_csr()
+        return [self._labels[i] for i in csr.neighbors(self.index(label))]
+
+    def out_neighbors(self, label: NodeLabel) -> list[NodeLabel]:
+        """Labels of out-neighbours (nodes this node can infect)."""
+        csr = self.out_csr()
+        return [self._labels[i] for i in csr.neighbors(self.index(label))]
+
+    def in_degree(self, label: NodeLabel) -> int:
+        """Number of in-neighbours of *label*."""
+        return self.in_csr().degree(self.index(label))
+
+    def out_degree(self, label: NodeLabel) -> int:
+        """Number of out-neighbours of *label*."""
+        return self.out_csr().degree(self.index(label))
+
+    # ------------------------------------------------------------------
+    # Array views (used by the numeric kernels)
+    # ------------------------------------------------------------------
+    @property
+    def self_risk_array(self) -> np.ndarray:
+        """``float64`` array of self-risk probabilities, index-aligned."""
+        return np.asarray(self._self_risk, dtype=np.float64)
+
+    @property
+    def edge_array(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Canonical edge arrays ``(src, dst, prob)`` in edge-id order."""
+        return (
+            np.asarray(self._edge_src, dtype=np.int64),
+            np.asarray(self._edge_dst, dtype=np.int64),
+            np.asarray(self._edge_prob, dtype=np.float64),
+        )
+
+    def _build_csr(self, direction: str) -> CSRAdjacency:
+        n = self.num_nodes
+        src, dst, prob = self.edge_array
+        keys, values = (src, dst) if direction == "out" else (dst, src)
+        order = np.argsort(keys, kind="stable")
+        counts = np.bincount(keys, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return CSRAdjacency(
+            indptr=indptr,
+            indices=values[order],
+            probs=prob[order],
+            edge_ids=order.astype(np.int64),
+        )
+
+    def out_csr(self) -> CSRAdjacency:
+        """CSR view of out-adjacency (lazily built, cached)."""
+        if self._out_csr is None:
+            self._out_csr = self._build_csr("out")
+        return self._out_csr
+
+    def in_csr(self) -> CSRAdjacency:
+        """CSR view of in-adjacency (lazily built, cached)."""
+        if self._in_csr is None:
+            self._in_csr = self._build_csr("in")
+        return self._in_csr
+
+    # ------------------------------------------------------------------
+    # Derived graphs and interop
+    # ------------------------------------------------------------------
+    def reverse(self) -> "UncertainGraph":
+        """Return ``Gt``, the graph with every edge direction flipped.
+
+        Self-risk probabilities are preserved; the edge ``(u, v, p)``
+        becomes ``(v, u, p)``.  Used by the reverse sampling framework
+        (Algorithm 5).
+        """
+        rev = UncertainGraph()
+        for label, risk in zip(self._labels, self._self_risk):
+            rev.add_node(label, risk)
+        for src, dst, prob in self.edges():
+            rev.add_edge(dst, src, prob)
+        return rev
+
+    def subgraph(self, labels: Sequence[NodeLabel]) -> "UncertainGraph":
+        """Induced subgraph on *labels* (edges with both endpoints kept)."""
+        keep = set(labels)
+        sub = UncertainGraph()
+        for label in labels:
+            sub.add_node(label, self.self_risk(label))
+        for src, dst, prob in self.edges():
+            if src in keep and dst in keep:
+                sub.add_edge(src, dst, prob)
+        return sub
+
+    def copy(self) -> "UncertainGraph":
+        """Deep copy of the graph."""
+        return self.subgraph(self._labels)
+
+    def to_networkx(self):
+        """Export to a :class:`networkx.DiGraph` with probability attrs."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        for label, risk in zip(self._labels, self._self_risk):
+            g.add_node(label, self_risk=risk)
+        for src, dst, prob in self.edges():
+            g.add_edge(src, dst, probability=prob)
+        return g
+
+    @classmethod
+    def from_networkx(
+        cls,
+        g,
+        self_risk_attr: str = "self_risk",
+        probability_attr: str = "probability",
+        default_self_risk: float = 0.0,
+        default_probability: float = 1.0,
+    ) -> "UncertainGraph":
+        """Build an uncertain graph from a :class:`networkx.DiGraph`.
+
+        Missing attributes fall back to the supplied defaults so plain
+        topology-only graphs can be imported and annotated afterwards.
+        """
+        graph = cls()
+        for node, data in g.nodes(data=True):
+            graph.add_node(node, data.get(self_risk_attr, default_self_risk))
+        for src, dst, data in g.edges(data=True):
+            graph.add_edge(src, dst, data.get(probability_attr, default_probability))
+        return graph
+
+    @classmethod
+    def from_arrays(
+        cls,
+        self_risks: Sequence[float],
+        edge_src: Sequence[int],
+        edge_dst: Sequence[int],
+        edge_probs: Sequence[float],
+        labels: Sequence[NodeLabel] | None = None,
+    ) -> "UncertainGraph":
+        """Bulk constructor from parallel arrays (fast path for generators).
+
+        Node ``i`` gets label ``labels[i]`` (default: the integer ``i``).
+        """
+        n = len(self_risks)
+        if labels is None:
+            labels = list(range(n))
+        if len(labels) != n:
+            raise GraphError("labels and self_risks must have equal length")
+        if not len(edge_src) == len(edge_dst) == len(edge_probs):
+            raise GraphError("edge arrays must have equal length")
+        graph = cls()
+        for label, risk in zip(labels, self_risks):
+            graph.add_node(label, risk)
+        for s, d, p in zip(edge_src, edge_dst, edge_probs):
+            graph.add_edge(labels[int(s)], labels[int(d)], p)
+        return graph
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def stats(self) -> GraphStats:
+        """Summary statistics matching the columns of the paper's Table 2.
+
+        Degree here counts both directions (total degree), matching how
+        SNAP-style dataset tables report average/max degree.
+        """
+        n = self.num_nodes
+        if n == 0:
+            return GraphStats(0, 0, 0.0, 0, 0.0, 0.0)
+        total_deg = self.out_csr().degrees + self.in_csr().degrees
+        _, _, probs = self.edge_array
+        return GraphStats(
+            num_nodes=n,
+            num_edges=self.num_edges,
+            avg_degree=float(self.num_edges / n),
+            max_degree=int(total_deg.max(initial=0)),
+            mean_self_risk=float(np.mean(self._self_risk)) if n else 0.0,
+            mean_diffusion=float(probs.mean()) if probs.size else 0.0,
+        )
+
+    def validate(self) -> None:
+        """Run internal consistency checks; raises :class:`GraphError`.
+
+        Intended for tests and for callers that built a graph through the
+        bulk constructors and want a sanity gate before long experiments.
+        """
+        if len(self._labels) != len(self._self_risk):
+            raise GraphError("label/self-risk arrays out of sync")
+        if len(self._index_of) != len(self._labels):
+            raise GraphError("duplicate labels in index map")
+        for arr in (self._edge_src, self._edge_dst):
+            for idx in arr:
+                if not 0 <= idx < self.num_nodes:
+                    raise GraphError(f"edge endpoint {idx} out of range")
+        for p in self._edge_prob:
+            _check_probability(p, "edge probability")
+        for p in self._self_risk:
+            _check_probability(p, "self risk")
+        if len(self._edge_index) != len(self._edge_src):
+            raise GraphError("edge index and edge list disagree")
+
+    def __repr__(self) -> str:
+        return (
+            f"UncertainGraph(nodes={self.num_nodes}, edges={self.num_edges})"
+        )
+
+
+def graph_from_mapping(
+    self_risks: Mapping[NodeLabel, float],
+    diffusion: Mapping[tuple[NodeLabel, NodeLabel], float],
+) -> UncertainGraph:
+    """Convenience constructor from two plain mappings.
+
+    Parameters
+    ----------
+    self_risks:
+        Mapping ``label -> ps(label)``.
+    diffusion:
+        Mapping ``(src, dst) -> p(dst|src)``.  Endpoints must appear in
+        *self_risks*.
+    """
+    graph = UncertainGraph()
+    for label, risk in self_risks.items():
+        graph.add_node(label, risk)
+    for (src, dst), prob in diffusion.items():
+        graph.add_edge(src, dst, prob)
+    return graph

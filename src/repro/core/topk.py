@@ -1,0 +1,64 @@
+"""Top-k selection helpers shared by all detectors.
+
+Selection must be deterministic so that experiments are reproducible and
+precision comparisons are well defined; ties on the score are broken by
+internal node index (insertion order), matching how the paper's Algorithm 1
+"returns k results with the largest estimated value" with a stable sort.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.errors import GraphError
+from repro.core.graph import UncertainGraph
+
+__all__ = ["top_k_indices", "top_k_labels", "kth_largest", "validate_k"]
+
+
+def validate_k(k: int, n: int) -> int:
+    """Check that ``1 <= k <= n`` and return *k* as an ``int``."""
+    k = int(k)
+    if n <= 0:
+        raise GraphError("graph has no nodes")
+    if not 1 <= k <= n:
+        raise GraphError(f"k must be in [1, {n}], got {k}")
+    return k
+
+
+def top_k_indices(scores: Sequence[float] | np.ndarray, k: int) -> np.ndarray:
+    """Indices of the *k* largest scores, best first, ties by low index.
+
+    Implemented as a stable sort on ``(-score, index)`` so equal scores
+    keep insertion order — important for reproducibility when many nodes
+    share an estimate (common with small sample sizes).
+    """
+    arr = np.asarray(scores, dtype=np.float64)
+    k = validate_k(k, arr.size)
+    order = np.argsort(-arr, kind="stable")
+    return order[:k]
+
+
+def top_k_labels(
+    graph: UncertainGraph, scores: Sequence[float] | np.ndarray, k: int
+) -> list:
+    """Labels of the *k* highest-scoring nodes, best first."""
+    arr = np.asarray(scores, dtype=np.float64)
+    if arr.size != graph.num_nodes:
+        raise GraphError(
+            f"scores has length {arr.size}, expected {graph.num_nodes}"
+        )
+    return [graph.label(int(i)) for i in top_k_indices(arr, k)]
+
+
+def kth_largest(values: Sequence[float] | np.ndarray, k: int) -> float:
+    """The k-th largest value (1-based), e.g. the paper's ``Tl``/``Tu``.
+
+    >>> kth_largest([0.9, 0.1, 0.5], 2)
+    0.5
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    k = validate_k(k, arr.size)
+    return float(np.partition(arr, arr.size - k)[arr.size - k])

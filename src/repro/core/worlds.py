@@ -1,0 +1,154 @@
+"""Possible-world semantics for uncertain graphs.
+
+A *possible world* of an uncertain graph fixes, for every node, whether it
+defaults by itself, and for every edge, whether the contagion along it
+survives.  A node **defaults in a world** when it self-defaults or is
+reachable from a self-defaulting node through surviving edges (Section 2.1
+and Figure 3 of the paper).
+
+This module provides:
+
+* :class:`PossibleWorld` — an explicit world realisation.
+* :func:`propagate_defaults` — the forward contagion BFS that turns a world
+  into the set of defaulting nodes.
+* :func:`world_probability` — the probability mass of an explicit world.
+* :func:`enumerate_worlds` — generator over all ``2^(n+m)`` worlds for tiny
+  graphs (used by the exact oracle and by the test suite).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.errors import GraphError
+from repro.core.graph import UncertainGraph
+
+__all__ = [
+    "PossibleWorld",
+    "propagate_defaults",
+    "world_probability",
+    "enumerate_worlds",
+]
+
+
+@dataclass(frozen=True)
+class PossibleWorld:
+    """One realisation of all random choices of an uncertain graph.
+
+    Attributes
+    ----------
+    self_default:
+        Boolean array over internal node indices; ``True`` where the node
+        defaults because of its own factors.
+    edge_survives:
+        Boolean array over canonical edge ids; ``True`` where contagion can
+        cross the edge.
+    """
+
+    self_default: np.ndarray
+    edge_survives: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.self_default.dtype != np.bool_ or self.edge_survives.dtype != np.bool_:
+            raise GraphError("possible world arrays must be boolean")
+
+
+def propagate_defaults(graph: UncertainGraph, world: PossibleWorld) -> np.ndarray:
+    """Compute which nodes default in *world* by forward contagion BFS.
+
+    Starting from all self-defaulting nodes, follow surviving out-edges;
+    every reached node defaults.  Mirrors lines 8–19 of Algorithm 1, with
+    the random draws replaced by the fixed world realisation.
+
+    Returns
+    -------
+    numpy.ndarray
+        Boolean array over internal node indices (the paper's ``hv``).
+    """
+    n = graph.num_nodes
+    if world.self_default.shape != (n,):
+        raise GraphError(
+            f"self_default has shape {world.self_default.shape}, expected ({n},)"
+        )
+    if world.edge_survives.shape != (graph.num_edges,):
+        raise GraphError(
+            "edge_survives has shape "
+            f"{world.edge_survives.shape}, expected ({graph.num_edges},)"
+        )
+    defaulted = world.self_default.copy()
+    out = graph.out_csr()
+    queue: deque[int] = deque(np.flatnonzero(defaulted).tolist())
+    while queue:
+        u = queue.popleft()
+        start, stop = out.indptr[u], out.indptr[u + 1]
+        for pos in range(start, stop):
+            v = int(out.indices[pos])
+            if defaulted[v]:
+                continue
+            if world.edge_survives[out.edge_ids[pos]]:
+                defaulted[v] = True
+                queue.append(v)
+    return defaulted
+
+
+def world_probability(graph: UncertainGraph, world: PossibleWorld) -> float:
+    """Probability mass ``p(W)`` of an explicit world realisation.
+
+    The node and edge choices are mutually independent, so the mass is the
+    product of per-node self-default terms and per-edge survival terms.
+    """
+    ps = graph.self_risk_array
+    _, _, pe = graph.edge_array
+    node_terms = np.where(world.self_default, ps, 1.0 - ps)
+    edge_terms = np.where(world.edge_survives, pe, 1.0 - pe)
+    return float(np.prod(node_terms) * np.prod(edge_terms))
+
+
+def enumerate_worlds(
+    graph: UncertainGraph, max_choices: int = 24
+) -> Iterator[tuple[PossibleWorld, float]]:
+    """Yield every possible world with its probability.
+
+    Only worlds with non-zero probability are produced: choices whose
+    probability is exactly 0 or 1 are pinned instead of enumerated, which
+    keeps the loop feasible for graphs with deterministic components.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph; ``n + m`` *free* (non-deterministic) choices
+        must not exceed *max_choices*.
+    max_choices:
+        Safety cap on the number of enumerated binary choices; the number
+        of yielded worlds is ``2 ** free_choices``.
+
+    Raises
+    ------
+    GraphError
+        When the graph has more free choices than *max_choices*.
+    """
+    ps = graph.self_risk_array
+    _, _, pe = graph.edge_array
+    free_nodes = [i for i, p in enumerate(ps) if 0.0 < p < 1.0]
+    free_edges = [e for e, p in enumerate(pe) if 0.0 < p < 1.0]
+    free = len(free_nodes) + len(free_edges)
+    if free > max_choices:
+        raise GraphError(
+            f"graph has {free} free choices; enumeration capped at {max_choices}"
+        )
+    base_nodes = ps >= 1.0
+    base_edges = pe >= 1.0
+    for bits in itertools.product((False, True), repeat=free):
+        self_default = base_nodes.copy()
+        edge_survives = base_edges.copy()
+        for flag, i in zip(bits[: len(free_nodes)], free_nodes):
+            self_default[i] = flag
+        for flag, e in zip(bits[len(free_nodes) :], free_edges):
+            edge_survives[e] = flag
+        world = PossibleWorld(self_default=self_default, edge_survives=edge_survives)
+        yield world, world_probability(graph, world)

@@ -1,0 +1,64 @@
+"""Synthetic dataset substrate mirroring the paper's Table 2 and §5.2."""
+
+from repro.datasets.fraud import fraud_edges, fraud_graph
+from repro.datasets.guarantee import guarantee_edges, guarantee_graph
+from repro.datasets.interbank import (
+    BalanceSheets,
+    draw_balance_sheets,
+    interbank_graph,
+    ras_matrix,
+)
+from repro.datasets.powerlaw import (
+    citation_edges,
+    directed_powerlaw_edges,
+    powerlaw_weights,
+)
+from repro.datasets.perturbation import perturb_probabilities, stress_self_risks
+from repro.datasets.probabilities import (
+    FEATURE_NAMES,
+    NodeFeatures,
+    assign_financial,
+    assign_uniform,
+    generate_features,
+)
+from repro.datasets.registry import (
+    LoadedDataset,
+    available_datasets,
+    load_dataset,
+    table2_rows,
+)
+from repro.datasets.specs import BENCHMARKS, FINANCIAL, TABLE2_SPECS, DatasetSpec, spec_for
+from repro.datasets.temporal import GuaranteePanel, YearSnapshot, build_guarantee_panel
+
+__all__ = [
+    "fraud_edges",
+    "fraud_graph",
+    "guarantee_edges",
+    "guarantee_graph",
+    "BalanceSheets",
+    "draw_balance_sheets",
+    "interbank_graph",
+    "ras_matrix",
+    "citation_edges",
+    "directed_powerlaw_edges",
+    "powerlaw_weights",
+    "perturb_probabilities",
+    "stress_self_risks",
+    "FEATURE_NAMES",
+    "NodeFeatures",
+    "assign_financial",
+    "assign_uniform",
+    "generate_features",
+    "LoadedDataset",
+    "available_datasets",
+    "load_dataset",
+    "table2_rows",
+    "BENCHMARKS",
+    "FINANCIAL",
+    "TABLE2_SPECS",
+    "DatasetSpec",
+    "spec_for",
+    "GuaranteePanel",
+    "YearSnapshot",
+    "build_guarantee_panel",
+]

@@ -1,0 +1,109 @@
+"""Credit-card fraud transaction network generator.
+
+The paper's Fraud dataset is built from card transactions of a commercial
+bank: an edge is a trade between a consumer and a merchant.  The published
+statistics (Table 2: 14 242 nodes, 236 706 edges, max degree 85 074) imply
+a *multigraph* — a few mega-merchants see more transactions than there are
+nodes.  Our uncertain graphs are simple, so the generator reproduces the
+bipartite heavy-tail shape with at most one edge per (consumer, merchant)
+pair and documents the cap (see DESIGN.md).
+
+Contagion direction: merchant → consumer.  A compromised merchant leaks
+card data to the consumers who traded there, which is the propagation the
+fraud-risk application cares about.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import DatasetError
+from repro.core.graph import UncertainGraph
+from repro.datasets.powerlaw import powerlaw_weights
+from repro.sampling.rng import SeedLike, make_rng
+
+__all__ = ["fraud_edges", "fraud_graph"]
+
+
+def fraud_edges(
+    n: int,
+    m: int,
+    seed: SeedLike = None,
+    merchant_fraction: float = 0.12,
+    merchant_exponent: float = 1.7,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Generate bipartite merchant→consumer edges.
+
+    Parameters
+    ----------
+    n, m:
+        Node and edge targets.  Consumers occupy indices
+        ``[num_merchants, n)``.
+    seed:
+        Randomness control.
+    merchant_fraction:
+        Fraction of nodes that are merchants.
+    merchant_exponent:
+        Tail exponent of merchant popularity (lower = heavier tail,
+        bigger mega-merchants).
+
+    Returns
+    -------
+    tuple
+        ``(src, dst, num_merchants)``; ``src`` are merchant indices.
+    """
+    num_merchants = max(2, int(n * merchant_fraction))
+    num_consumers = n - num_merchants
+    if num_consumers < 2:
+        raise DatasetError("too few consumers; lower merchant_fraction")
+    if m > num_merchants * num_consumers:
+        raise DatasetError(
+            f"cannot place {m} simple bipartite edges between "
+            f"{num_merchants} merchants and {num_consumers} consumers"
+        )
+    rng = make_rng(seed)
+    merchant_weights = powerlaw_weights(num_merchants, merchant_exponent, rng)
+    merchant_probabilities = merchant_weights / merchant_weights.sum()
+    seen: set[tuple[int, int]] = set()
+    src_list: list[int] = []
+    dst_list: list[int] = []
+    while len(src_list) < m:
+        batch = max(64, int((m - len(src_list)) * 1.5))
+        merchants = rng.choice(
+            num_merchants, size=batch, replace=True, p=merchant_probabilities
+        )
+        consumers = rng.integers(num_merchants, n, size=batch)
+        for merchant, consumer in zip(merchants.tolist(), consumers.tolist()):
+            if len(src_list) >= m:
+                break
+            key = (merchant, consumer)
+            if key in seen:
+                continue
+            seen.add(key)
+            src_list.append(merchant)
+            dst_list.append(consumer)
+    return (
+        np.asarray(src_list, dtype=np.int64),
+        np.asarray(dst_list, dtype=np.int64),
+        num_merchants,
+    )
+
+
+def fraud_graph(n: int, m: int, seed: SeedLike = None) -> UncertainGraph:
+    """Fraud network with placeholder probabilities.
+
+    Labels are ``merchant_*`` / ``consumer_*``; probabilities are filled
+    in by the financial model of :mod:`repro.datasets.probabilities`.
+    """
+    rng = make_rng(seed)
+    src, dst, num_merchants = fraud_edges(n, m, seed=rng)
+    labels = [
+        f"merchant_{i:05d}" if i < num_merchants else f"consumer_{i:05d}"
+        for i in range(n)
+    ]
+    graph = UncertainGraph()
+    for label in labels:
+        graph.add_node(label, 0.0)
+    for s, d in zip(src.tolist(), dst.tolist()):
+        graph.add_edge(labels[s], labels[d], 1.0)
+    return graph

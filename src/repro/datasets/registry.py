@@ -1,0 +1,147 @@
+"""Dataset registry: one call builds any Table-2 dataset at any scale.
+
+``load_dataset("guarantee", scale=0.1, seed=7)`` returns the topology from
+the matching generator with probabilities assigned per the paper's
+protocol (uniform for benchmarks, feature-driven for financial networks),
+plus the synthetic features when the financial model produced them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import DatasetError
+from repro.core.graph import UncertainGraph
+from repro.datasets.benchmark import benchmark_graph
+from repro.datasets.fraud import fraud_graph
+from repro.datasets.guarantee import guarantee_graph
+from repro.datasets.interbank import interbank_graph
+from repro.datasets.probabilities import (
+    NodeFeatures,
+    assign_financial,
+    assign_uniform,
+)
+from repro.datasets.specs import TABLE2_SPECS, DatasetSpec, spec_for
+from repro.sampling.rng import SeedLike, make_rng
+
+__all__ = ["LoadedDataset", "load_dataset", "available_datasets", "table2_rows"]
+
+
+@dataclass(frozen=True)
+class LoadedDataset:
+    """A generated dataset ready for experiments.
+
+    Attributes
+    ----------
+    name:
+        Dataset name (Table 2 row).
+    graph:
+        The uncertain graph with probabilities assigned.
+    spec:
+        The published statistics / generator binding.
+    scale:
+        Scale factor actually used.
+    seed:
+        Seed the build was derived from (for provenance in reports).
+    features:
+        Node features when the financial probability model was used,
+        otherwise ``None``.
+    """
+
+    name: str
+    graph: UncertainGraph
+    spec: DatasetSpec
+    scale: float
+    seed: int | None
+    features: NodeFeatures | None
+
+    def k_for_percent(self, percent: float) -> int:
+        """The paper's "k = X%|V|" convention, at least 1."""
+        if percent <= 0:
+            raise DatasetError(f"percent must be positive, got {percent}")
+        return max(1, round(self.graph.num_nodes * percent / 100.0))
+
+
+def available_datasets() -> list[str]:
+    """Names of all registered datasets, in Table-2 order."""
+    return [spec.name for spec in TABLE2_SPECS]
+
+
+def load_dataset(
+    name: str,
+    scale: float | None = None,
+    seed: SeedLike = 0,
+) -> LoadedDataset:
+    """Build the dataset *name* at *scale* (default: spec's default scale).
+
+    The topology and the probability assignment consume independent
+    streams of one seed, so the same seed yields the same dataset across
+    runs and platforms.
+    """
+    spec = spec_for(name)
+    scale = spec.default_scale if scale is None else float(scale)
+    if scale <= 0:
+        raise DatasetError(f"scale must be positive, got {scale}")
+    rng = make_rng(seed)
+    topology_rng, probability_rng = rng.spawn(2)
+    n = spec.scaled_nodes(scale)
+    m = spec.scaled_edges(scale)
+    if spec.generator == "interbank":
+        graph = interbank_graph(n=n, m=min(m, n * (n - 1) - 1), seed=topology_rng)
+        features = None  # probabilities are built into the ME model
+    elif spec.generator == "guarantee":
+        graph = guarantee_graph(n, m, seed=topology_rng)
+        features = None
+    elif spec.generator == "fraud":
+        graph = fraud_graph(n, m, seed=topology_rng)
+        features = None
+    else:
+        graph = benchmark_graph(spec, scale, seed=topology_rng)
+        features = None
+    if spec.generator != "interbank":  # interbank assigns its own probabilities
+        if spec.probability_model == "uniform":
+            assign_uniform(graph, seed=probability_rng)
+        elif spec.probability_model == "financial":
+            features = assign_financial(graph, seed=probability_rng)
+        else:
+            raise DatasetError(
+                f"unknown probability model {spec.probability_model!r}"
+            )
+    seed_value = seed if isinstance(seed, int) else None
+    return LoadedDataset(
+        name=spec.name,
+        graph=graph,
+        spec=spec,
+        scale=scale,
+        seed=seed_value,
+        features=features,
+    )
+
+
+def table2_rows(
+    scale: float | None = None, seed: SeedLike = 0
+) -> list[dict[str, object]]:
+    """Rows comparing published Table-2 statistics with generated graphs.
+
+    One row per dataset with both the paper's numbers and the generated
+    graph's measured statistics — the output of experiment E-T2.
+    """
+    rows: list[dict[str, object]] = []
+    for spec in TABLE2_SPECS:
+        loaded = load_dataset(spec.name, scale=scale, seed=seed)
+        stats = loaded.graph.stats()
+        rows.append(
+            {
+                "dataset": spec.name,
+                "scale": loaded.scale,
+                "paper_nodes": spec.paper_nodes,
+                "nodes": stats.num_nodes,
+                "paper_edges": spec.paper_edges,
+                "edges": stats.num_edges,
+                "paper_avg_deg": spec.paper_avg_degree,
+                "avg_deg": round(stats.avg_degree, 2),
+                "paper_max_deg": spec.paper_max_degree,
+                "max_deg": stats.max_degree,
+            }
+        )
+    return rows

@@ -1,0 +1,23 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from repro.experiments.config import PRESETS, ExperimentConfig, get_config
+from repro.experiments.ground_truth import (
+    GroundTruth,
+    clear_ground_truth_cache,
+    ground_truth_for,
+)
+from repro.experiments.reporting import ExperimentReport, ReportSection
+from repro.experiments.scoring import bsr_scores, bsrbk_scores
+
+__all__ = [
+    "PRESETS",
+    "ExperimentConfig",
+    "get_config",
+    "GroundTruth",
+    "clear_ground_truth_cache",
+    "ground_truth_for",
+    "ExperimentReport",
+    "ReportSection",
+    "bsr_scores",
+    "bsrbk_scores",
+]

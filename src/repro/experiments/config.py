@@ -1,0 +1,118 @@
+"""Experiment configuration presets.
+
+Three presets trade fidelity for runtime:
+
+* ``quick``   — CI-sized: small scales, few ground-truth samples.  The
+  benchmark suite uses this preset so ``pytest benchmarks/`` finishes in
+  minutes.
+* ``default`` — laptop-sized: the scales of DESIGN.md's substitution
+  table and enough samples for stable curves.
+* ``paper``   — the paper's settings (20 000-world ground truth, k from
+  1% to 10%); hours of compute on the larger datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.errors import ExperimentError
+
+__all__ = ["ExperimentConfig", "PRESETS", "get_config"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by all experiments.
+
+    Attributes
+    ----------
+    name:
+        Preset name.
+    seed:
+        Master seed; every experiment derives child streams from it.
+    epsilon, delta:
+        Approximation parameters (paper: 0.3 / 0.1).
+    k_percents:
+        The "k as % of |V|" grid of Figures 4/6/7.
+    ground_truth_samples:
+        Possible worlds for the ground-truth ranking (paper: 20 000).
+    naive_samples:
+        Fixed budget of method N.
+    bound_order:
+        Default order for Algorithms 2/3 (paper settles on 2).
+    bk:
+        Default bottom-k threshold (paper settles on 16).
+    scale_override:
+        When set, every dataset is loaded at this scale instead of its
+        spec default.
+    efficiency_datasets, effectiveness_datasets:
+        Dataset line-ups of Figures 6 and 7.
+    panel_nodes, panel_edges:
+        Temporal-panel size for Table 3.
+    """
+
+    name: str
+    seed: int = 7
+    epsilon: float = 0.3
+    delta: float = 0.1
+    k_percents: tuple[float, ...] = (2.0, 4.0, 6.0, 8.0, 10.0)
+    ground_truth_samples: int = 8_000
+    naive_samples: int = 8_000
+    bound_order: int = 2
+    bk: int = 16
+    scale_override: float | None = None
+    efficiency_datasets: tuple[str, ...] = (
+        "fraud",
+        "guarantee",
+        "interbank",
+        "citation",
+        "wiki",
+        "p2p",
+        "bitcoin",
+        "facebook",
+    )
+    effectiveness_datasets: tuple[str, ...] = (
+        "fraud",
+        "guarantee",
+        "interbank",
+        "citation",
+    )
+    panel_nodes: int = 1_500
+    panel_edges: int = 1_725
+
+    def with_overrides(self, **kwargs) -> "ExperimentConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+PRESETS: dict[str, ExperimentConfig] = {
+    "quick": ExperimentConfig(
+        name="quick",
+        k_percents=(2.0, 6.0, 10.0),
+        ground_truth_samples=2_000,
+        naive_samples=2_000,
+        scale_override=None,
+        panel_nodes=700,
+        panel_edges=805,
+    ),
+    "default": ExperimentConfig(name="default"),
+    "paper": ExperimentConfig(
+        name="paper",
+        k_percents=(1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0),
+        ground_truth_samples=20_000,
+        naive_samples=20_000,
+        scale_override=1.0,
+        panel_nodes=31_309,
+        panel_edges=35_987,
+    ),
+}
+
+
+def get_config(name: str = "default") -> ExperimentConfig:
+    """Look up a preset by name."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown preset {name!r}; known presets: {sorted(PRESETS)}"
+        ) from None

@@ -1,0 +1,148 @@
+"""Supplementary experiment: empirical validation of Theorem 4.
+
+Not a numbered figure in the extended abstract, but the natural check a
+reproduction owes the theory: as the sample budget grows, (a) the mean
+absolute estimation error of the forward sampler must shrink like
+``O(1/sqrt(t))``, and (b) the top-k precision at the Equation-(3) budget
+must meet the (ε, δ) guarantee — the fraction of trials violating the
+Definition-2 conditions must stay below δ.
+
+Run with ``python -m repro.experiments.convergence``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.topk import top_k_indices
+from repro.datasets.registry import load_dataset
+from repro.experiments.config import ExperimentConfig, get_config
+from repro.experiments.ground_truth import ground_truth_for
+from repro.sampling.forward import ForwardSampler
+from repro.sampling.sample_size import basic_sample_size
+from repro.utils.tables import render_table
+
+__all__ = ["error_curve", "guarantee_check", "run", "main"]
+
+#: Sample budgets swept by the error curve.
+BUDGETS: tuple[int, ...] = (50, 100, 200, 400, 800, 1600, 3200)
+
+
+def error_curve(
+    dataset: str = "citation",
+    scale: float | None = None,
+    seed: int = 7,
+    truth_samples: int = 20_000,
+) -> list[dict[str, object]]:
+    """Mean absolute error of ``p̂(v)`` vs sample budget.
+
+    The reference values come from a much larger independent run; the
+    reported ``mae * sqrt(t)`` column should be roughly constant if the
+    estimator converges at the Monte-Carlo rate.
+    """
+    loaded = load_dataset(dataset, scale=scale, seed=seed)
+    truth = ground_truth_for(loaded, samples=truth_samples)
+    rows: list[dict[str, object]] = []
+    for budget in BUDGETS:
+        estimate = ForwardSampler(loaded.graph, seed=seed + budget)
+        probabilities = estimate.estimate_probabilities(budget)
+        mae = float(np.mean(np.abs(probabilities - truth.probabilities)))
+        rows.append(
+            {
+                "dataset": dataset,
+                "samples": budget,
+                "mae": round(mae, 5),
+                "mae*sqrt(t)": round(mae * math.sqrt(budget), 4),
+            }
+        )
+    return rows
+
+
+def guarantee_check(
+    dataset: str = "citation",
+    scale: float | None = None,
+    epsilon: float = 0.3,
+    delta: float = 0.1,
+    k_percent: float = 5.0,
+    trials: int = 20,
+    seed: int = 7,
+    truth_samples: int = 20_000,
+) -> dict[str, object]:
+    """Empirical (ε, δ) check of Definition 2 at the Theorem-4 budget.
+
+    Runs *trials* independent SN-style detections and counts violations:
+    a trial violates when some returned node's true probability is below
+    ``Pk - ε`` or some excluded node's is at least ``Pk + ε``.  The
+    violation rate must not exceed δ (it is usually far below — the
+    union bound is loose).
+    """
+    loaded = load_dataset(dataset, scale=scale, seed=seed)
+    truth = ground_truth_for(loaded, samples=truth_samples)
+    graph = loaded.graph
+    n = graph.num_nodes
+    k = loaded.k_for_percent(k_percent)
+    budget = basic_sample_size(n, k, epsilon, delta)
+    true_p = truth.probabilities
+    kth_value = float(np.sort(true_p)[-k])
+    violations = 0
+    for trial in range(trials):
+        sampler = ForwardSampler(graph, seed=seed * 1000 + trial)
+        estimates = sampler.estimate_probabilities(budget)
+        chosen = set(int(i) for i in top_k_indices(estimates, k))
+        violated = any(
+            true_p[i] < kth_value - epsilon for i in chosen
+        ) or any(
+            true_p[i] >= kth_value + epsilon
+            for i in range(n)
+            if i not in chosen
+        )
+        violations += bool(violated)
+    return {
+        "dataset": dataset,
+        "k": k,
+        "budget(Eq.3)": budget,
+        "epsilon": epsilon,
+        "delta": delta,
+        "trials": trials,
+        "violations": violations,
+        "violation_rate": round(violations / trials, 3),
+        "meets_guarantee": violations / trials <= delta,
+    }
+
+
+def run(config: ExperimentConfig | None = None) -> list[dict[str, object]]:
+    """Error curve + guarantee check on the citation dataset."""
+    config = config or get_config()
+    rows = error_curve(
+        "citation",
+        scale=config.scale_override,
+        seed=config.seed,
+        truth_samples=max(config.ground_truth_samples, 5_000),
+    )
+    rows.append(
+        guarantee_check(
+            "citation",
+            scale=config.scale_override,
+            epsilon=config.epsilon,
+            delta=config.delta,
+            seed=config.seed,
+            truth_samples=max(config.ground_truth_samples, 5_000),
+        )
+    )
+    return rows
+
+
+def main() -> None:
+    """CLI entry point."""
+    config = get_config()
+    curve = error_curve("citation", scale=config.scale_override)
+    print(render_table(curve, title="Estimator convergence (MAE vs budget)"))
+    print()
+    check = guarantee_check("citation", scale=config.scale_override)
+    print(render_table([check], title="(epsilon, delta) guarantee check"))
+
+
+if __name__ == "__main__":
+    main()

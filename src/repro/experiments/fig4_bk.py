@@ -1,0 +1,72 @@
+"""Experiment E-F4 — Figure 4: tuning the bottom-k parameter ``bk``.
+
+For each of the four datasets (Fraud, Guarantee, Interbank, Citation) and
+each ``bk`` in {4, 8, 16, 32, 64}, run BSRBK over the k-grid and report
+precision against the Monte-Carlo ground truth.  The paper's finding to
+reproduce: precision converges rapidly in ``bk`` and is already stable
+around ``bk = 8``–16.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.bsrbk import BottomKDetector
+from repro.datasets.registry import load_dataset
+from repro.experiments.config import ExperimentConfig, get_config
+from repro.experiments.ground_truth import ground_truth_for
+from repro.metrics.ranking import precision_at_k
+from repro.utils.tables import render_table
+
+__all__ = ["BK_GRID", "FIG4_DATASETS", "run", "main"]
+
+#: The bk values Figure 4 sweeps.
+BK_GRID: tuple[int, ...] = (4, 8, 16, 32, 64)
+
+#: The four datasets of Figure 4(a)-(d).
+FIG4_DATASETS: tuple[str, ...] = ("fraud", "guarantee", "interbank", "citation")
+
+
+def run(config: ExperimentConfig | None = None) -> list[dict[str, object]]:
+    """Produce Figure 4's series as one row per (dataset, bk, k%)."""
+    config = config or get_config()
+    rows: list[dict[str, object]] = []
+    for dataset_name in FIG4_DATASETS:
+        loaded = load_dataset(
+            dataset_name, scale=config.scale_override, seed=config.seed
+        )
+        truth = ground_truth_for(loaded, config.ground_truth_samples)
+        for bk in BK_GRID:
+            for percent in config.k_percents:
+                k = loaded.k_for_percent(percent)
+                detector = BottomKDetector(
+                    bk=bk,
+                    epsilon=config.epsilon,
+                    delta=config.delta,
+                    lower_order=config.bound_order,
+                    upper_order=config.bound_order,
+                    seed=config.seed + bk,
+                )
+                result = detector.detect(loaded.graph, k)
+                truth_set = truth.top_k_labels(loaded.graph, k)
+                rows.append(
+                    {
+                        "dataset": dataset_name,
+                        "bk": bk,
+                        "k_percent": percent,
+                        "k": k,
+                        "precision": round(
+                            precision_at_k(result.nodes, truth_set), 4
+                        ),
+                        "samples": result.samples_used,
+                    }
+                )
+    return rows
+
+
+def main() -> None:
+    """CLI entry point: print the Figure-4 table."""
+    rows = run()
+    print(render_table(rows, title="Figure 4 — BSRBK precision vs bk"))
+
+
+if __name__ == "__main__":
+    main()

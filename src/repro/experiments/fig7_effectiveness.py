@@ -1,0 +1,74 @@
+"""Experiment E-F7 — Figure 7: effectiveness (precision) of the methods.
+
+For the four effectiveness datasets and every k in the grid, run all five
+methods and report precision against the Monte-Carlo ground truth.
+Shapes to reproduce: all methods within a few points of each other, N
+marginally best (it spends the most samples), and Interbank at k = 1%
+detected perfectly (the paper's |V|·1% = 1 special case).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.registry import ALL_METHODS, make_detector
+from repro.datasets.registry import load_dataset
+from repro.experiments.config import ExperimentConfig, get_config
+from repro.experiments.ground_truth import ground_truth_for
+from repro.metrics.ranking import precision_at_k
+from repro.utils.tables import render_table
+
+__all__ = ["run", "main"]
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    datasets: tuple[str, ...] | None = None,
+    methods: tuple[str, ...] = ALL_METHODS,
+) -> list[dict[str, object]]:
+    """Produce Figure 7's series: one row per (dataset, method, k%)."""
+    config = config or get_config()
+    datasets = datasets or config.effectiveness_datasets
+    rows: list[dict[str, object]] = []
+    for dataset_name in datasets:
+        loaded = load_dataset(
+            dataset_name, scale=config.scale_override, seed=config.seed
+        )
+        truth = ground_truth_for(loaded, config.ground_truth_samples)
+        for percent in config.k_percents:
+            k = loaded.k_for_percent(percent)
+            truth_set = truth.top_k_labels(loaded.graph, k)
+            for method in methods:
+                detector = make_detector(
+                    method,
+                    samples=config.naive_samples,
+                    epsilon=config.epsilon,
+                    delta=config.delta,
+                    bound_order=config.bound_order,
+                    lower_order=config.bound_order,
+                    upper_order=config.bound_order,
+                    bk=config.bk,
+                    seed=config.seed,
+                )
+                result = detector.detect(loaded.graph, k)
+                rows.append(
+                    {
+                        "dataset": dataset_name,
+                        "method": method,
+                        "k_percent": percent,
+                        "k": k,
+                        "precision": round(
+                            precision_at_k(result.nodes, truth_set), 4
+                        ),
+                        "samples": result.samples_used,
+                    }
+                )
+    return rows
+
+
+def main() -> None:
+    """CLI entry point: print the Figure-7 table."""
+    rows = run()
+    print(render_table(rows, title="Figure 7 — precision vs ground truth"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Persisting experiment output as markdown (EXPERIMENTS.md sections).
+
+The runner collects every experiment's rows and renders one markdown
+report so a fresh clone can regenerate the full paper-vs-measured record
+with a single command.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.utils.tables import render_markdown_table, render_table
+
+__all__ = ["ExperimentReport", "ReportSection"]
+
+
+@dataclass
+class ReportSection:
+    """One experiment's output: a heading, commentary, and row data."""
+
+    title: str
+    rows: list[dict[str, object]]
+    commentary: str = ""
+
+    def to_markdown(self) -> str:
+        """Render the section as markdown."""
+        parts = [f"## {self.title}", ""]
+        if self.commentary:
+            parts.extend([self.commentary, ""])
+        parts.append(render_markdown_table(self.rows))
+        parts.append("")
+        return "\n".join(parts)
+
+    def to_text(self) -> str:
+        """Render the section as an aligned terminal table."""
+        prefix = f"{self.commentary}\n" if self.commentary else ""
+        return prefix + render_table(self.rows, title=self.title)
+
+
+@dataclass
+class ExperimentReport:
+    """A collection of sections destined for one markdown file."""
+
+    heading: str
+    preamble: str = ""
+    sections: list[ReportSection] = field(default_factory=list)
+
+    def add(self, section: ReportSection) -> None:
+        """Append one section."""
+        self.sections.append(section)
+
+    def to_markdown(self) -> str:
+        """Render the whole report."""
+        parts = [f"# {self.heading}", ""]
+        if self.preamble:
+            parts.extend([self.preamble, ""])
+        for section in self.sections:
+            parts.append(section.to_markdown())
+        return "\n".join(parts)
+
+    def write(self, path: str | os.PathLike) -> None:
+        """Write the markdown report to *path*."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_markdown())

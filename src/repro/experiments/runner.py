@@ -1,0 +1,101 @@
+"""Run every experiment and write the consolidated markdown report.
+
+Usage::
+
+    python -m repro.experiments.runner --preset quick --output results.md
+    repro-experiments --preset default
+
+Each experiment can also be run standalone via its own module
+(``python -m repro.experiments.fig6_efficiency`` etc.); this runner exists
+so "regenerate everything the paper reports" is one command.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    fig4_bk,
+    fig5_bounds,
+    fig6_efficiency,
+    fig7_effectiveness,
+    table2_datasets,
+    table3_prediction,
+)
+from repro.experiments.config import PRESETS, get_config
+from repro.experiments.reporting import ExperimentReport, ReportSection
+
+__all__ = ["run_all", "main"]
+
+_EXPERIMENTS = (
+    ("Table 2 — dataset statistics (paper vs generated)", table2_datasets.run),
+    ("Figure 4 — BSRBK precision vs bottom-k parameter", fig4_bk.run),
+    ("Figure 5 — candidate size vs bound orders", fig5_bounds.run),
+    ("Figure 6 — efficiency of N/SN/SR/BSR/BSRBK", fig6_efficiency.run),
+    ("Figure 7 — precision vs Monte-Carlo ground truth", fig7_effectiveness.run),
+    ("Table 3 — loan default prediction AUC", table3_prediction.run),
+)
+
+
+def run_all(preset: str = "quick", verbose: bool = True) -> ExperimentReport:
+    """Execute every experiment under *preset* and collect the report."""
+    config = get_config(preset)
+    report = ExperimentReport(
+        heading="Reproduction results",
+        preamble=(
+            f"Preset `{preset}` (seed={config.seed}, eps={config.epsilon}, "
+            f"delta={config.delta}, ground truth={config.ground_truth_samples} "
+            "worlds).  See EXPERIMENTS.md for the paper-vs-measured analysis."
+        ),
+    )
+    for title, experiment in _EXPERIMENTS:
+        started = time.perf_counter()
+        rows = experiment(config)
+        elapsed = time.perf_counter() - started
+        section = ReportSection(
+            title=title,
+            rows=rows,
+            commentary=f"_{len(rows)} rows, computed in {elapsed:.1f}s._",
+        )
+        report.add(section)
+        if verbose:
+            print(section.to_text())
+            print()
+    if preset == "quick" and verbose:
+        extra = fig6_efficiency.speedup_summary(report.sections[3].rows)
+        print(ReportSection(title="Speedup over N", rows=extra).to_text())
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate every table and figure of the paper.",
+    )
+    parser.add_argument(
+        "--preset",
+        choices=sorted(PRESETS),
+        default="quick",
+        help="fidelity/runtime trade-off (default: quick)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="write the consolidated markdown report to this path",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-experiment printing"
+    )
+    args = parser.parse_args(argv)
+    report = run_all(preset=args.preset, verbose=not args.quiet)
+    if args.output:
+        report.write(args.output)
+        print(f"report written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Graph and result serialisation (text edge lists, JSON, Graphviz DOT)."""
+
+from repro.io.dot import to_dot, write_dot
+from repro.io.edgelist import (
+    dumps_edgelist,
+    loads_edgelist,
+    read_edgelist,
+    write_edgelist,
+)
+from repro.io.jsonio import (
+    graph_from_dict,
+    graph_to_dict,
+    load_graph_json,
+    result_to_dict,
+    save_graph_json,
+    save_results_json,
+)
+
+__all__ = [
+    "to_dot",
+    "write_dot",
+    "dumps_edgelist",
+    "loads_edgelist",
+    "read_edgelist",
+    "write_edgelist",
+    "graph_from_dict",
+    "graph_to_dict",
+    "load_graph_json",
+    "result_to_dict",
+    "save_graph_json",
+    "save_results_json",
+]

@@ -1,0 +1,88 @@
+"""Graphviz DOT export for uncertain graphs.
+
+The deployed system (paper §5.1) visualises guarantee networks with
+D3.js/ForceAtlas2; this exporter produces the equivalent offline
+artefact — a DOT file where node colour intensity encodes self-risk (or
+any supplied score, e.g. estimated default probabilities) and edge
+labels carry diffusion probabilities.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Mapping
+
+from repro.core.errors import GraphError
+from repro.core.graph import NodeLabel, UncertainGraph
+
+__all__ = ["to_dot", "write_dot"]
+
+
+def _quote(label: object) -> str:
+    text = str(label).replace('"', '\\"')
+    return f'"{text}"'
+
+
+def _risk_color(score: float) -> str:
+    """White→red ramp over [0, 1] as a hex RGB colour."""
+    level = int(round(255 * (1.0 - min(max(score, 0.0), 1.0))))
+    return f"#ff{level:02x}{level:02x}"
+
+
+def to_dot(
+    graph: UncertainGraph,
+    scores: Mapping[NodeLabel, float] | None = None,
+    highlight: set | frozenset | None = None,
+    graph_name: str = "uncertain_graph",
+) -> str:
+    """Render *graph* as a DOT string.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph.
+    scores:
+        Optional node colouring scores in ``[0, 1]`` (defaults to each
+        node's self-risk).  Nodes absent from the mapping fall back to
+        self-risk.
+    highlight:
+        Optional set of labels drawn with a bold border (e.g. the top-k
+        answer set).
+    graph_name:
+        DOT graph identifier.
+    """
+    highlight = highlight or frozenset()
+    lines = [f"digraph {graph_name} {{"]
+    lines.append("  node [style=filled, fontsize=10];")
+    for label in graph.nodes():
+        if scores is not None and label in scores:
+            score = float(scores[label])
+        else:
+            score = graph.self_risk(label)
+        if not 0.0 <= score <= 1.0:
+            raise GraphError(
+                f"score for {label!r} must be in [0, 1], got {score}"
+            )
+        attributes = [f'fillcolor="{_risk_color(score)}"']
+        attributes.append(f'tooltip="p={score:.4f}"')
+        if label in highlight:
+            attributes.append("penwidth=3")
+        lines.append(f"  {_quote(label)} [{', '.join(attributes)}];")
+    for src, dst, probability in graph.edges():
+        lines.append(
+            f"  {_quote(src)} -> {_quote(dst)} "
+            f'[label="{probability:.2f}", fontsize=8];'
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def write_dot(
+    graph: UncertainGraph,
+    path: str | os.PathLike,
+    scores: Mapping[NodeLabel, float] | None = None,
+    highlight: set | frozenset | None = None,
+) -> None:
+    """Write the DOT rendering of *graph* to *path*."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_dot(graph, scores=scores, highlight=highlight))

@@ -1,0 +1,84 @@
+"""Plain-text edge-list I/O for uncertain graphs.
+
+Format (whitespace separated, ``#`` comments allowed):
+
+* node lines:  ``N <label> <self_risk>``
+* edge lines:  ``E <src> <dst> <diffusion_probability>``
+
+Node lines must precede the edges that reference them.  Labels are stored
+as strings on read; callers needing typed labels can remap afterwards.
+This format exists so experiment graphs can be checked into text fixtures
+and diffed.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, TextIO
+
+from repro.core.errors import GraphError
+from repro.core.graph import UncertainGraph
+
+__all__ = ["write_edgelist", "read_edgelist", "dumps_edgelist", "loads_edgelist"]
+
+
+def _write(graph: UncertainGraph, handle: TextIO) -> None:
+    handle.write("# uncertain graph edge list\n")
+    handle.write(f"# nodes={graph.num_nodes} edges={graph.num_edges}\n")
+    for label in graph.nodes():
+        handle.write(f"N {label} {graph.self_risk(label):.12g}\n")
+    for src, dst, prob in graph.edges():
+        handle.write(f"E {src} {dst} {prob:.12g}\n")
+
+
+def _parse(lines: Iterable[str]) -> UncertainGraph:
+    graph = UncertainGraph()
+    for line_number, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        kind = parts[0]
+        if kind == "N":
+            if len(parts) != 3:
+                raise GraphError(
+                    f"line {line_number}: node lines need 3 fields, got {len(parts)}"
+                )
+            graph.add_node(parts[1], float(parts[2]))
+        elif kind == "E":
+            if len(parts) != 4:
+                raise GraphError(
+                    f"line {line_number}: edge lines need 4 fields, got {len(parts)}"
+                )
+            graph.add_edge(parts[1], parts[2], float(parts[3]))
+        else:
+            raise GraphError(
+                f"line {line_number}: unknown record type {kind!r}"
+            )
+    return graph
+
+
+def write_edgelist(graph: UncertainGraph, path: str | os.PathLike) -> None:
+    """Write *graph* to *path* in the text edge-list format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        _write(graph, handle)
+
+
+def read_edgelist(path: str | os.PathLike) -> UncertainGraph:
+    """Read an uncertain graph from *path*; labels come back as strings."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return _parse(handle)
+
+
+def dumps_edgelist(graph: UncertainGraph) -> str:
+    """Serialise *graph* to an edge-list string."""
+    import io
+
+    buffer = io.StringIO()
+    _write(graph, buffer)
+    return buffer.getvalue()
+
+
+def loads_edgelist(text: str) -> UncertainGraph:
+    """Parse an edge-list string produced by :func:`dumps_edgelist`."""
+    return _parse(text.splitlines())

@@ -1,0 +1,20 @@
+"""Evaluation metrics: precision@k, AUC, rank agreement."""
+
+from repro.metrics.auc import roc_auc, roc_curve
+from repro.metrics.ranking import (
+    jaccard,
+    kendall_tau,
+    mean_absolute_error,
+    precision_at_k,
+    recall_at_k,
+)
+
+__all__ = [
+    "roc_auc",
+    "roc_curve",
+    "jaccard",
+    "kendall_tau",
+    "mean_absolute_error",
+    "precision_at_k",
+    "recall_at_k",
+]

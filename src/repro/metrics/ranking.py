@@ -1,0 +1,97 @@
+"""Ranking-quality metrics used by the effectiveness experiments.
+
+The paper's Figures 4 and 7 report *precision*: the fraction of the
+returned top-k set that belongs to the ground-truth top-k set.  This
+module also provides recall@k (identical to precision@k when both sets
+have size k, kept separate for clarity when sizes differ), Kendall-tau
+rank agreement, and mean absolute estimation error — the extra metrics the
+library's own ablation benches report.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.errors import ExperimentError
+
+__all__ = [
+    "precision_at_k",
+    "recall_at_k",
+    "jaccard",
+    "kendall_tau",
+    "mean_absolute_error",
+]
+
+
+def precision_at_k(returned: Iterable, truth: Iterable) -> float:
+    """|returned ∩ truth| / |returned| — the paper's precision.
+
+    Raises
+    ------
+    ExperimentError
+        If *returned* is empty.
+    """
+    returned_set = set(returned)
+    truth_set = set(truth)
+    if not returned_set:
+        raise ExperimentError("returned set is empty; precision undefined")
+    return len(returned_set & truth_set) / len(returned_set)
+
+
+def recall_at_k(returned: Iterable, truth: Iterable) -> float:
+    """|returned ∩ truth| / |truth|."""
+    returned_set = set(returned)
+    truth_set = set(truth)
+    if not truth_set:
+        raise ExperimentError("truth set is empty; recall undefined")
+    return len(returned_set & truth_set) / len(truth_set)
+
+
+def jaccard(a: Iterable, b: Iterable) -> float:
+    """Jaccard similarity of two answer sets."""
+    set_a, set_b = set(a), set(b)
+    union = set_a | set_b
+    if not union:
+        raise ExperimentError("both sets empty; Jaccard undefined")
+    return len(set_a & set_b) / len(union)
+
+
+def kendall_tau(order_a: Sequence, order_b: Sequence) -> float:
+    """Kendall tau-a between two rankings of the same item set.
+
+    Items must coincide; returns a value in ``[-1, 1]`` where 1 means the
+    orders agree on every pair.
+    """
+    if set(order_a) != set(order_b):
+        raise ExperimentError("rankings must contain the same items")
+    n = len(order_a)
+    if n < 2:
+        return 1.0
+    position_b = {item: i for i, item in enumerate(order_b)}
+    mapped = [position_b[item] for item in order_a]
+    concordant = discordant = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            if mapped[i] < mapped[j]:
+                concordant += 1
+            else:
+                discordant += 1
+    return (concordant - discordant) / (n * (n - 1) / 2)
+
+
+def mean_absolute_error(
+    estimates: Sequence[float] | np.ndarray,
+    truth: Sequence[float] | np.ndarray,
+) -> float:
+    """Mean |estimate - truth| over aligned probability vectors."""
+    estimates = np.asarray(estimates, dtype=np.float64)
+    truth = np.asarray(truth, dtype=np.float64)
+    if estimates.shape != truth.shape:
+        raise ExperimentError(
+            f"shape mismatch: {estimates.shape} vs {truth.shape}"
+        )
+    if estimates.size == 0:
+        raise ExperimentError("empty vectors; MAE undefined")
+    return float(np.mean(np.abs(estimates - truth)))

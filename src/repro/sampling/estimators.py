@@ -1,0 +1,119 @@
+"""Confidence intervals for sampled default probabilities.
+
+The detectors report point estimates; risk reports want uncertainty.
+Two standard interval constructions over Bernoulli counts are provided:
+
+* :func:`hoeffding_interval` — distribution-free, matches the theory the
+  paper's guarantees are built on (Theorem 2);
+* :func:`wilson_interval` — the Wilson score interval, much tighter for
+  probabilities near 0 or 1 (where loan books live).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.errors import SamplingError
+
+__all__ = ["ProbabilityInterval", "hoeffding_interval", "wilson_interval"]
+
+
+@dataclass(frozen=True)
+class ProbabilityInterval:
+    """A two-sided confidence interval for a probability."""
+
+    estimate: float
+    lower: float
+    upper: float
+    confidence: float
+
+    def __post_init__(self) -> None:
+        if not self.lower <= self.estimate <= self.upper:
+            raise SamplingError(
+                f"inconsistent interval: {self.lower} <= {self.estimate} "
+                f"<= {self.upper} violated"
+            )
+
+    @property
+    def width(self) -> float:
+        """Upper minus lower bound."""
+        return self.upper - self.lower
+
+    def contains(self, value: float) -> bool:
+        """Whether *value* lies inside the interval."""
+        return self.lower <= value <= self.upper
+
+
+def _validate(successes: int, samples: int, confidence: float) -> None:
+    if samples <= 0:
+        raise SamplingError(f"samples must be positive, got {samples}")
+    if not 0 <= successes <= samples:
+        raise SamplingError(
+            f"successes must be in [0, {samples}], got {successes}"
+        )
+    if not 0.0 < confidence < 1.0:
+        raise SamplingError(
+            f"confidence must be in (0, 1), got {confidence}"
+        )
+
+
+def hoeffding_interval(
+    successes: int, samples: int, confidence: float = 0.95
+) -> ProbabilityInterval:
+    """Two-sided Hoeffding interval: estimate ± sqrt(ln(2/α) / 2t)."""
+    _validate(successes, samples, confidence)
+    estimate = successes / samples
+    alpha = 1.0 - confidence
+    radius = math.sqrt(math.log(2.0 / alpha) / (2.0 * samples))
+    return ProbabilityInterval(
+        estimate=estimate,
+        lower=max(0.0, estimate - radius),
+        upper=min(1.0, estimate + radius),
+        confidence=confidence,
+    )
+
+
+#: Standard-normal quantiles for the confidences risk reports use.
+_Z_TABLE = {0.80: 1.2816, 0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+def _z_for(confidence: float) -> float:
+    if confidence in _Z_TABLE:
+        return _Z_TABLE[confidence]
+    # Beasley-Springer-Moro style rational approximation of the normal
+    # quantile for arbitrary confidences.
+    p = 1.0 - (1.0 - confidence) / 2.0
+    t = math.sqrt(-2.0 * math.log(1.0 - p))
+    return t - (2.30753 + 0.27061 * t) / (1.0 + 0.99229 * t + 0.04481 * t * t)
+
+
+def wilson_interval(
+    successes: int, samples: int, confidence: float = 0.95
+) -> ProbabilityInterval:
+    """Wilson score interval — tight near the unit interval's edges."""
+    _validate(successes, samples, confidence)
+    estimate = successes / samples
+    z = _z_for(confidence)
+    z2 = z * z
+    denominator = 1.0 + z2 / samples
+    centre = (estimate + z2 / (2.0 * samples)) / denominator
+    radius = (
+        z
+        * math.sqrt(
+            estimate * (1.0 - estimate) / samples
+            + z2 / (4.0 * samples * samples)
+        )
+        / denominator
+    )
+    # Absorb one-ulp float noise: the Wilson interval provably contains
+    # the point estimate, but centre+radius can round just below it at
+    # the boundaries (e.g. successes == samples).
+    lower = min(max(0.0, centre - radius), estimate)
+    upper = max(min(1.0, centre + radius), estimate)
+    return ProbabilityInterval(
+        estimate=estimate,
+        lower=lower,
+        upper=upper,
+        confidence=confidence,
+    )

@@ -1,0 +1,191 @@
+"""Reverse sampling — Algorithm 5 of the paper.
+
+Instead of materialising a whole possible world and propagating forward,
+the reverse sampler answers, for each *candidate* node ``v``, the question
+"does ``v`` default in this world?" by a lazy backward BFS over in-edges:
+``v`` defaults iff the backward search reaches a node that defaults by
+itself through edges that survive.
+
+Random choices (per-node self-default, per-edge survival) are drawn lazily
+on first encounter and **memoised for the rest of the world**, so multiple
+candidates within one world share consistent randomness — exactly the
+``checked`` / ``survived`` bookkeeping of Algorithm 5.  The ``hv`` memo is
+also shared: once a node is known to default (self-default or a confirmed
+candidate), later candidate searches that touch it stop immediately
+(lines 7–8 of the pseudocode).
+
+The search runs directly on the in-CSR of the original graph, which is the
+out-adjacency of the reversed graph ``Gt`` the paper feeds to Algorithm 5.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.errors import SamplingError
+from repro.core.graph import UncertainGraph
+from repro.sampling.forward import ForwardEstimate
+from repro.sampling.rng import SeedLike, make_rng
+
+__all__ = ["ReverseWorld", "ReverseSampler"]
+
+
+class ReverseWorld:
+    """Lazy possible-world shared by all candidate queries of one sample.
+
+    The world's random choices are materialised on demand and cached, so
+    querying many candidates against one world costs each random draw at
+    most once (the paper's "avoid generating random numbers for the same
+    node/edge multiple times").
+    """
+
+    __slots__ = (
+        "_graph",
+        "_rng",
+        "_in_csr",
+        "_ps",
+        "_node_checked",
+        "_node_self_default",
+        "_edge_checked",
+        "_edge_survived",
+        "_hv",
+        "_visit_stamp",
+        "_stamp",
+        "nodes_touched",
+        "edges_touched",
+    )
+
+    def __init__(self, graph: UncertainGraph, rng: np.random.Generator) -> None:
+        self._graph = graph
+        self._rng = rng
+        self._in_csr = graph.in_csr()
+        self._ps = graph.self_risk_array
+        n, m = graph.num_nodes, graph.num_edges
+        self._node_checked = np.zeros(n, dtype=bool)
+        self._node_self_default = np.zeros(n, dtype=bool)
+        self._edge_checked = np.zeros(m, dtype=bool)
+        self._edge_survived = np.zeros(m, dtype=bool)
+        self._hv = np.zeros(n, dtype=bool)
+        # Per-candidate "visited" is reset with a version stamp instead of
+        # an O(n) clear per candidate.
+        self._visit_stamp = np.zeros(n, dtype=np.int64)
+        self._stamp = 0
+        self.nodes_touched = 0
+        self.edges_touched = 0
+
+    def _node_defaults_by_self(self, u: int) -> bool:
+        """Lazily decide (and memoise) whether *u* defaults by itself."""
+        if not self._node_checked[u]:
+            self._node_checked[u] = True
+            self._node_self_default[u] = self._rng.random() <= self._ps[u]
+            self.nodes_touched += 1
+        return bool(self._node_self_default[u])
+
+    def _edge_survives(self, edge_id: int, probability: float) -> bool:
+        """Lazily decide (and memoise) whether an edge carries contagion."""
+        if not self._edge_checked[edge_id]:
+            self._edge_checked[edge_id] = True
+            self._edge_survived[edge_id] = self._rng.random() <= probability
+            self.edges_touched += 1
+        return bool(self._edge_survived[edge_id])
+
+    def candidate_defaults(self, v: int) -> bool:
+        """Algorithm 5 body: does candidate *v* default in this world?"""
+        self._stamp += 1
+        stamp = self._stamp
+        in_csr = self._in_csr
+        self._visit_stamp[v] = stamp
+        queue: deque[int] = deque((v,))
+        result = False
+        while queue:
+            u = queue.popleft()
+            if self._hv[u]:  # lines 7-8: known defaulting node reached
+                result = True
+                break
+            if self._node_defaults_by_self(u):  # lines 9-13
+                self._hv[u] = True
+                result = True
+                break
+            start, stop = in_csr.indptr[u], in_csr.indptr[u + 1]
+            for pos in range(start, stop):  # lines 14-20
+                neighbor = int(in_csr.indices[pos])
+                if self._visit_stamp[neighbor] == stamp:
+                    continue
+                edge_id = int(in_csr.edge_ids[pos])
+                if self._edge_survives(edge_id, float(in_csr.probs[pos])):
+                    self._visit_stamp[neighbor] = stamp
+                    queue.append(neighbor)
+        if result:
+            self._hv[v] = True
+        return result
+
+
+class ReverseSampler:
+    """Estimate candidate default probabilities via reverse sampling.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph (the *original* direction; the sampler walks
+        its in-edges, which is equivalent to walking ``Gt`` forward).
+    candidates:
+        Internal node indices whose default probability must be estimated
+        (the candidate set ``B`` of Algorithm 4).
+    seed:
+        Seed, generator, or ``None``.
+    """
+
+    def __init__(
+        self,
+        graph: UncertainGraph,
+        candidates: Sequence[int] | np.ndarray,
+        seed: SeedLike = None,
+    ) -> None:
+        self._graph = graph
+        self._candidates = np.asarray(candidates, dtype=np.int64)
+        if self._candidates.size == 0:
+            raise SamplingError("candidate set must not be empty")
+        if self._candidates.min() < 0 or self._candidates.max() >= graph.num_nodes:
+            raise SamplingError("candidate index out of range")
+        self._rng = make_rng(seed)
+        self.nodes_touched = 0
+        self.edges_touched = 0
+
+    @property
+    def candidates(self) -> np.ndarray:
+        """Candidate internal indices (copy not taken; treat as read-only)."""
+        return self._candidates
+
+    def iter_samples(self, samples: int) -> Iterator[np.ndarray]:
+        """Yield, per world, the boolean default vector of the candidates.
+
+        Element ``j`` of each yielded array answers "does candidate ``j``
+        default in this world".  BSRBK consumes this stream one world at a
+        time so it can stop early.
+        """
+        if samples <= 0:
+            raise SamplingError(f"samples must be positive, got {samples}")
+        for _ in range(samples):
+            world = ReverseWorld(self._graph, self._rng)
+            outcome = np.fromiter(
+                (world.candidate_defaults(int(v)) for v in self._candidates),
+                dtype=bool,
+                count=self._candidates.size,
+            )
+            self.nodes_touched += world.nodes_touched
+            self.edges_touched += world.edges_touched
+            yield outcome
+
+    def run(self, samples: int) -> ForwardEstimate:
+        """Run *samples* worlds; counts are aligned with ``candidates``."""
+        counts = np.zeros(self._candidates.size, dtype=np.int64)
+        for outcome in self.iter_samples(samples):
+            counts += outcome
+        return ForwardEstimate(counts=counts, samples=int(samples))
+
+    def estimate_probabilities(self, samples: int) -> np.ndarray:
+        """Estimated ``p(v)`` for each candidate, aligned with input order."""
+        return self.run(samples).probabilities

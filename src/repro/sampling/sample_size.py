@@ -1,0 +1,127 @@
+"""Sample-size theory from Section 3 of the paper.
+
+Implements the Hoeffding tail bound (Theorem 2/3), the basic sample size
+of Equation (3) / Theorem 4, and the reduced sample size of Equation (4) /
+Theorem 5 used after candidate reduction.
+
+All functions are pure and cheap; they are exercised heavily by the
+property-based tests (monotonicity in each parameter).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.errors import SamplingError
+
+__all__ = [
+    "hoeffding_pair_tail",
+    "basic_sample_size",
+    "reduced_sample_size",
+    "epsilon_for_sample_size",
+    "validate_epsilon_delta",
+]
+
+
+def validate_epsilon_delta(epsilon: float, delta: float) -> tuple[float, float]:
+    """Check that ``epsilon, delta`` lie in ``(0, 1)`` and return them."""
+    epsilon = float(epsilon)
+    delta = float(delta)
+    if not 0.0 < epsilon < 1.0:
+        raise SamplingError(f"epsilon must be in (0, 1), got {epsilon}")
+    if not 0.0 < delta < 1.0:
+        raise SamplingError(f"delta must be in (0, 1), got {delta}")
+    return epsilon, delta
+
+
+def hoeffding_pair_tail(t: int, epsilon: float) -> float:
+    """Theorem 3: ``Pr[pu - pv > 0] <= exp(-t eps^2 / 2)``.
+
+    The probability that *t* samples mis-order a pair of nodes whose true
+    default probabilities differ by at least *epsilon*.
+    """
+    if t < 0:
+        raise SamplingError(f"sample size must be non-negative, got {t}")
+    return math.exp(-t * epsilon * epsilon / 2.0)
+
+
+def _pairs_to_bound(k: int, n: int) -> int:
+    """Number of node pairs whose order must be bounded, ``k (n - k)``.
+
+    Degenerate inputs (``k == 0`` or ``k == n``) have nothing to order —
+    the answer set is forced — and are reported as zero pairs; callers
+    short-circuit to a single formal sample in that case.
+    """
+    if k < 0 or n < 0 or k > n:
+        raise SamplingError(f"need 0 <= k <= n, got k={k}, n={n}")
+    return k * (n - k)
+
+
+def basic_sample_size(n: int, k: int, epsilon: float, delta: float) -> int:
+    """Equation (3): samples needed for an (eps, delta)-approximation.
+
+        t = ceil( 2 / eps^2 * ln( k (n - k) / delta ) )
+
+    Parameters
+    ----------
+    n:
+        Number of nodes considered (the candidate universe).
+    k:
+        Size of the answer set.
+    epsilon, delta:
+        Approximation parameters of Definition 2.
+    """
+    epsilon, delta = validate_epsilon_delta(epsilon, delta)
+    pairs = _pairs_to_bound(k, n)
+    if pairs == 0:
+        return 1  # answer set forced; nothing to order
+    t = 2.0 / (epsilon * epsilon) * math.log(pairs / delta)
+    return max(1, math.ceil(t))
+
+
+def reduced_sample_size(
+    candidate_size: int,
+    k: int,
+    k_verified: int,
+    epsilon: float,
+    delta: float,
+) -> int:
+    """Equation (4): sample size after candidate reduction.
+
+        t = ceil( 2 / eps^2 * ln( (k - k') (|B| - k + k') / delta ) )
+
+    Parameters
+    ----------
+    candidate_size:
+        ``|B|``, nodes that survived the pruning of Algorithm 4.
+    k:
+        Requested answer size.
+    k_verified:
+        ``k'``, nodes already verified into the answer by Lemma 1 rule 1.
+    epsilon, delta:
+        Approximation parameters.
+    """
+    epsilon, delta = validate_epsilon_delta(epsilon, delta)
+    if k_verified < 0 or k_verified > k:
+        raise SamplingError(
+            f"verified count must be in [0, k], got k'={k_verified}, k={k}"
+        )
+    remaining = k - k_verified
+    pairs = _pairs_to_bound(remaining, max(candidate_size, remaining))
+    if pairs == 0:
+        return 1  # everything verified or forced; nothing to order
+    t = 2.0 / (epsilon * epsilon) * math.log(pairs / delta)
+    return max(1, math.ceil(t))
+
+
+def epsilon_for_sample_size(t: int, n: int, k: int, delta: float) -> float:
+    """Invert Equation (3): the guarantee a fixed budget *t* buys.
+
+    Useful for reporting what approximation quality the naive fixed-budget
+    method N actually certifies.
+    """
+    if t <= 0:
+        raise SamplingError(f"sample size must be positive, got {t}")
+    _, delta = validate_epsilon_delta(0.5, delta)
+    pairs = max(_pairs_to_bound(k, n), 1)
+    return math.sqrt(2.0 * math.log(pairs / delta) / t)

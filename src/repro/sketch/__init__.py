@@ -1,0 +1,15 @@
+"""Bottom-k sketches and the BSRBK early-stopping rule (paper §2.2, §3.3)."""
+
+from repro.sketch.bottom_k import (
+    BottomKSketch,
+    BottomKStopper,
+    coefficient_of_variation,
+    expected_relative_error,
+)
+
+__all__ = [
+    "BottomKSketch",
+    "BottomKStopper",
+    "coefficient_of_variation",
+    "expected_relative_error",
+]

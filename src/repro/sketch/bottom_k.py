@@ -1,0 +1,238 @@
+"""Bottom-k sketches (Cohen & Kaplan) and the BSRBK early-stop machinery.
+
+Section 2.2 of the paper: hash every distinct element of a multiset into
+``(0, 1)``; the sketch keeps the ``bk`` smallest hash values and estimates
+the number of distinct elements as ``(bk - 1) / L(A, bk)`` where
+``L(A, bk)`` is the bk-th smallest hash.  The expected relative error is
+``sqrt(2 / (pi (bk - 2)))`` and the coefficient of variation is at most
+``1 / sqrt(bk - 2)``.
+
+Section 3.3 uses the sketch as a *stopping rule*: assign every sample id a
+uniform hash, process samples in ascending hash order, and count for each
+candidate the samples in which it defaults.  The first candidate whose
+counter reaches ``bk`` has, provably, the largest estimated default
+probability (Theorem 6); for top-k, stop when ``k - k'`` candidates have
+reached ``bk``.  :class:`BottomKStopper` implements that bookkeeping.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+import numpy as np
+
+from repro.core.errors import SamplingError
+
+__all__ = [
+    "BottomKSketch",
+    "BottomKStopper",
+    "expected_relative_error",
+    "coefficient_of_variation",
+]
+
+
+def _validate_bk(bk: int) -> int:
+    bk = int(bk)
+    if bk < 2:
+        raise SamplingError(f"bottom-k parameter bk must be >= 2, got {bk}")
+    return bk
+
+
+def expected_relative_error(bk: int) -> float:
+    """Expected relative error of a bottom-k estimate: sqrt(2/(pi(bk-2)))."""
+    bk = _validate_bk(bk)
+    if bk <= 2:
+        return math.inf
+    return math.sqrt(2.0 / (math.pi * (bk - 2)))
+
+
+def coefficient_of_variation(bk: int) -> float:
+    """Upper bound on the coefficient of variation: 1/sqrt(bk-2)."""
+    bk = _validate_bk(bk)
+    if bk <= 2:
+        return math.inf
+    return 1.0 / math.sqrt(bk - 2)
+
+
+class BottomKSketch:
+    """Classic bottom-k distinct-count sketch over hash values in (0, 1).
+
+    Maintains the ``bk`` smallest hashes seen so far with a max-heap, so
+    inserts are ``O(log bk)``.
+
+    Examples
+    --------
+    >>> sketch = BottomKSketch(bk=4)
+    >>> for h in [0.9, 0.1, 0.4, 0.2, 0.05]:
+    ...     sketch.add(h)
+    >>> round(sketch.kth_smallest(), 2)
+    0.4
+    """
+
+    def __init__(self, bk: int) -> None:
+        self._bk = _validate_bk(bk)
+        self._heap: list[float] = []  # max-heap via negation
+        self._seen = 0
+
+    @property
+    def bk(self) -> int:
+        """The sketch size parameter."""
+        return self._bk
+
+    @property
+    def size(self) -> int:
+        """How many hashes are currently retained (≤ bk)."""
+        return len(self._heap)
+
+    @property
+    def is_full(self) -> bool:
+        """Whether ``bk`` hashes have been retained."""
+        return len(self._heap) == self._bk
+
+    def add(self, hash_value: float) -> None:
+        """Offer one hash value in ``(0, 1)`` to the sketch."""
+        if not 0.0 < hash_value < 1.0:
+            raise SamplingError(
+                f"hash values must lie strictly in (0, 1), got {hash_value}"
+            )
+        self._seen += 1
+        if len(self._heap) < self._bk:
+            heapq.heappush(self._heap, -hash_value)
+        elif hash_value < -self._heap[0]:
+            heapq.heapreplace(self._heap, -hash_value)
+
+    def update(self, hash_values) -> None:
+        """Offer many hash values at once."""
+        for value in hash_values:
+            self.add(float(value))
+
+    def kth_smallest(self) -> float:
+        """``L(A, bk)`` — requires the sketch to be full."""
+        if not self.is_full:
+            raise SamplingError(
+                f"sketch holds {self.size} < bk={self._bk} hashes; "
+                "cannot read the bk-th smallest"
+            )
+        return -self._heap[0]
+
+    def estimate_distinct(self) -> float:
+        """Distinct-count estimate ``(bk - 1) / L(A, bk)``.
+
+        Falls back to the exact retained count while the sketch is not yet
+        full (every hash seen is retained, so the count is exact assuming
+        hash uniqueness).
+        """
+        if not self.is_full:
+            return float(self.size)
+        return (self._bk - 1) / self.kth_smallest()
+
+
+class BottomKStopper:
+    """Early-stopping bookkeeping for BSRBK (Section 3.3).
+
+    Samples must be fed in **ascending hash order**.  For each sample the
+    caller reports which candidates defaulted; the stopper counts per
+    candidate and freezes a candidate once its counter reaches ``bk``,
+    recording the hash at which it finished (its ``L(A, bk)``).
+
+    Parameters
+    ----------
+    num_candidates:
+        Size of the candidate set being tracked.
+    bk:
+        Counter threshold (the bottom-k parameter).
+    total_samples:
+        The full sample budget ``t`` the hashes were drawn over; needed to
+        turn distinct-count estimates into probabilities.
+    stop_after:
+        Stop once this many candidates have finished (``k - k'``).
+    """
+
+    def __init__(
+        self, num_candidates: int, bk: int, total_samples: int, stop_after: int
+    ) -> None:
+        if num_candidates <= 0:
+            raise SamplingError("num_candidates must be positive")
+        if total_samples <= 0:
+            raise SamplingError("total_samples must be positive")
+        if stop_after <= 0:
+            raise SamplingError("stop_after must be positive")
+        self._bk = _validate_bk(bk)
+        self._total_samples = int(total_samples)
+        self._stop_after = int(stop_after)
+        self._counts = np.zeros(num_candidates, dtype=np.int64)
+        self._finish_hash = np.full(num_candidates, np.nan)
+        self._finished_order: list[int] = []
+        self._processed = 0
+        self._last_hash = 0.0
+
+    @property
+    def processed(self) -> int:
+        """Number of samples consumed so far."""
+        return self._processed
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Per-candidate default counters (read-only view)."""
+        return self._counts
+
+    @property
+    def finished(self) -> list[int]:
+        """Candidate positions that reached ``bk``, in finishing order."""
+        return list(self._finished_order)
+
+    @property
+    def should_stop(self) -> bool:
+        """Whether ``stop_after`` candidates have finished."""
+        return len(self._finished_order) >= self._stop_after
+
+    def offer(self, sample_hash: float, outcome: np.ndarray) -> list[int]:
+        """Consume one sample; return candidates that finished on it.
+
+        Parameters
+        ----------
+        sample_hash:
+            The sample's hash; must be non-decreasing across calls.
+        outcome:
+            Boolean vector over candidates ("defaulted in this world").
+        """
+        if sample_hash < self._last_hash:
+            raise SamplingError(
+                "samples must be offered in ascending hash order: "
+                f"{sample_hash} < {self._last_hash}"
+            )
+        self._last_hash = float(sample_hash)
+        self._processed += 1
+        outcome = np.asarray(outcome, dtype=bool)
+        if outcome.shape != self._counts.shape:
+            raise SamplingError(
+                f"outcome has shape {outcome.shape}, "
+                f"expected {self._counts.shape}"
+            )
+        newly_finished: list[int] = []
+        active = outcome & np.isnan(self._finish_hash)
+        hits = np.flatnonzero(active)
+        self._counts[hits] += 1
+        for position in hits:
+            if self._counts[position] >= self._bk:
+                self._finish_hash[position] = sample_hash
+                self._finished_order.append(int(position))
+                newly_finished.append(int(position))
+        return newly_finished
+
+    def estimates(self) -> np.ndarray:
+        """Per-candidate default-probability estimates.
+
+        Finished candidates use the sketch estimate
+        ``(bk - 1) / (L(A, bk) * t)`` (Theorem 6); unfinished candidates
+        fall back to the empirical frequency over the processed prefix.
+        Finished estimates dominate unfinished ones by construction of the
+        ascending-hash processing order.
+        """
+        if self._processed == 0:
+            raise SamplingError("no samples processed yet")
+        empirical = self._counts / float(self._processed)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            sketched = (self._bk - 1) / (self._finish_hash * self._total_samples)
+        return np.where(np.isnan(self._finish_hash), empirical, sketched)

@@ -1,0 +1,46 @@
+"""The VulnDS loan risk-control system of the paper's Section 5."""
+
+from repro.system.evaluation import EvaluationModule, TermSchedule
+from repro.system.loans import (
+    Decision,
+    Enterprise,
+    LoanApplication,
+    LoanDecision,
+    LoanTerms,
+)
+from repro.system.pipeline import AuditRecord, RiskControlCenter
+from repro.system.rules import (
+    BlacklistRule,
+    ExposureComplianceRule,
+    Rule,
+    RuleCheck,
+    RuleEngine,
+    RuleOutcome,
+    SectorComplianceRule,
+    TermComplianceRule,
+    WhitelistRule,
+)
+from repro.system.vulnds import PortfolioAssessment, VulnDS
+
+__all__ = [
+    "EvaluationModule",
+    "TermSchedule",
+    "Decision",
+    "Enterprise",
+    "LoanApplication",
+    "LoanDecision",
+    "LoanTerms",
+    "AuditRecord",
+    "RiskControlCenter",
+    "BlacklistRule",
+    "ExposureComplianceRule",
+    "Rule",
+    "RuleCheck",
+    "RuleEngine",
+    "RuleOutcome",
+    "SectorComplianceRule",
+    "TermComplianceRule",
+    "WhitelistRule",
+    "PortfolioAssessment",
+    "VulnDS",
+]

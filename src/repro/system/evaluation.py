@@ -1,0 +1,99 @@
+"""The evaluation module of the risk-control centre (paper §5.1).
+
+"Evaluation module leverage the output of VulnDS to quantify the loan
+grant amount, time limit and interest ratio, etc."
+
+Terms are produced by simple monotone schedules over the enterprise's
+estimated default probability: riskier borrowers get a smaller fraction
+of the requested amount, a shorter term, and a higher rate.  The exact
+curves are configuration, not science — what matters for the
+reproduction is that vulnerability flows from detection into pricing,
+as the deployed system does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ReproError
+from repro.system.loans import LoanApplication, LoanTerms
+
+__all__ = ["TermSchedule", "EvaluationModule"]
+
+
+@dataclass(frozen=True)
+class TermSchedule:
+    """Pricing configuration of the evaluation module.
+
+    Attributes
+    ----------
+    base_rate:
+        Annual interest rate for a riskless borrower.
+    risk_premium:
+        Extra rate at vulnerability 1 (linear in between).
+    amount_haircut:
+        Fraction of the requested amount withheld at vulnerability 1.
+    max_term_months:
+        Term cap applied to risky borrowers (risk shortens the term
+        linearly down to ``min_term_months``).
+    min_term_months:
+        Shortest term the schedule will impose.
+    """
+
+    base_rate: float = 0.045
+    risk_premium: float = 0.12
+    amount_haircut: float = 0.8
+    max_term_months: int = 60
+    min_term_months: int = 6
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.base_rate < 1.0:
+            raise ReproError(f"base rate must be in (0,1), got {self.base_rate}")
+        if self.risk_premium < 0:
+            raise ReproError("risk premium must be non-negative")
+        if not 0.0 <= self.amount_haircut <= 1.0:
+            raise ReproError("amount haircut must be in [0, 1]")
+        if self.min_term_months <= 0 or self.max_term_months < self.min_term_months:
+            raise ReproError("term bounds must satisfy 0 < min <= max")
+
+
+class EvaluationModule:
+    """Turns (application, vulnerability) into loan terms."""
+
+    def __init__(self, schedule: TermSchedule | None = None) -> None:
+        self._schedule = schedule or TermSchedule()
+
+    @property
+    def schedule(self) -> TermSchedule:
+        """The pricing configuration in force."""
+        return self._schedule
+
+    def price(
+        self, application: LoanApplication, vulnerability: float
+    ) -> LoanTerms:
+        """Produce terms for an approved application.
+
+        Parameters
+        ----------
+        application:
+            The loan request.
+        vulnerability:
+            Estimated default probability from VulnDS, in ``[0, 1]``.
+        """
+        if not 0.0 <= vulnerability <= 1.0:
+            raise ReproError(
+                f"vulnerability must be in [0, 1], got {vulnerability}"
+            )
+        schedule = self._schedule
+        granted = application.amount * (
+            1.0 - schedule.amount_haircut * vulnerability
+        )
+        rate = schedule.base_rate + schedule.risk_premium * vulnerability
+        term_span = schedule.max_term_months - schedule.min_term_months
+        term_cap = round(schedule.max_term_months - term_span * vulnerability)
+        term = min(application.term_months, max(schedule.min_term_months, term_cap))
+        return LoanTerms(
+            granted_amount=round(granted, 2),
+            term_months=term,
+            annual_interest_rate=round(rate, 6),
+        )

@@ -1,0 +1,119 @@
+"""Domain objects of the VulnDS loan risk-control system (paper §5).
+
+These dataclasses model what flows through the deployed pipeline of
+Figure 8: enterprises (SMEs) with balance-sheet profiles, loan
+applications, and the decisions/terms the risk-control centre produces.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.errors import ReproError
+
+__all__ = [
+    "Enterprise",
+    "LoanApplication",
+    "Decision",
+    "LoanTerms",
+    "LoanDecision",
+]
+
+
+class Decision(enum.Enum):
+    """Outcome of the risk-control pipeline for one application."""
+
+    APPROVE = "approve"
+    REJECT = "reject"
+    REVIEW = "review"  # passed the rules but flagged as vulnerable
+
+
+@dataclass(frozen=True)
+class Enterprise:
+    """A small/medium enterprise known to the bank.
+
+    Attributes
+    ----------
+    enterprise_id:
+        The node label used in the guarantee network.
+    registered_capital:
+        Capital base in currency units; caps the lendable amount.
+    sector:
+        Industry sector (compliance rules may restrict sectors).
+    credit_rating:
+        Internal rating in ``[0, 1]``, higher is better.
+    """
+
+    enterprise_id: str
+    registered_capital: float
+    sector: str = "general"
+    credit_rating: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.registered_capital < 0:
+            raise ReproError(
+                f"registered capital must be non-negative, got "
+                f"{self.registered_capital}"
+            )
+        if not 0.0 <= self.credit_rating <= 1.0:
+            raise ReproError(
+                f"credit rating must be in [0, 1], got {self.credit_rating}"
+            )
+
+
+@dataclass(frozen=True)
+class LoanApplication:
+    """One loan request entering the risk-control centre."""
+
+    application_id: str
+    enterprise: Enterprise
+    amount: float
+    term_months: int
+
+    def __post_init__(self) -> None:
+        if self.amount <= 0:
+            raise ReproError(f"loan amount must be positive, got {self.amount}")
+        if self.term_months <= 0:
+            raise ReproError(
+                f"loan term must be positive, got {self.term_months} months"
+            )
+
+
+@dataclass(frozen=True)
+class LoanTerms:
+    """Terms produced by the evaluation module for an approved loan.
+
+    The paper: "Evaluation module leverage the output of VulnDS to
+    quantify the loan grant amount, time limit and interest ratio."
+    """
+
+    granted_amount: float
+    term_months: int
+    annual_interest_rate: float
+
+    def __post_init__(self) -> None:
+        if self.granted_amount < 0:
+            raise ReproError("granted amount must be non-negative")
+        if not 0.0 < self.annual_interest_rate < 1.0:
+            raise ReproError(
+                "interest rate must be a fraction in (0, 1), got "
+                f"{self.annual_interest_rate}"
+            )
+
+
+@dataclass(frozen=True)
+class LoanDecision:
+    """Final pipeline output for one application."""
+
+    application: LoanApplication
+    decision: Decision
+    reasons: tuple[str, ...] = field(default_factory=tuple)
+    vulnerability: float | None = None
+    terms: LoanTerms | None = None
+
+    def __post_init__(self) -> None:
+        if self.decision is Decision.APPROVE and self.terms is None:
+            raise ReproError("approved loans must carry terms")
+        if self.decision is not Decision.APPROVE and self.terms is not None:
+            raise ReproError("only approved loans may carry terms")

@@ -1,0 +1,204 @@
+"""The rule engine of the risk-control centre (paper §5.1).
+
+"Rule engine mainly includes loan blacklist, white list and compliance
+rules.  If a loan passes the rule check, it will be then processed by
+our proposed vulnerable detection system."
+
+Rules are small, composable predicates over applications; the engine
+evaluates them in order and produces the first decisive outcome —
+whitelist short-circuits to approve-eligible, blacklist to reject,
+compliance violations to reject, otherwise the application proceeds to
+VulnDS.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.errors import ReproError
+from repro.system.loans import LoanApplication
+
+__all__ = [
+    "RuleOutcome",
+    "Rule",
+    "BlacklistRule",
+    "WhitelistRule",
+    "ExposureComplianceRule",
+    "SectorComplianceRule",
+    "TermComplianceRule",
+    "RuleCheck",
+    "RuleEngine",
+]
+
+
+@dataclass(frozen=True)
+class RuleOutcome:
+    """Result of one rule evaluation.
+
+    ``verdict`` is one of ``"pass"`` (not my concern / satisfied),
+    ``"reject"`` (decisively bad), ``"fast_track"`` (decisively good —
+    skip further rules but still run VulnDS, as the deployed system
+    re-evaluates all issued loans regularly).
+    """
+
+    verdict: str
+    reason: str = ""
+
+    _ALLOWED = ("pass", "reject", "fast_track")
+
+    def __post_init__(self) -> None:
+        if self.verdict not in self._ALLOWED:
+            raise ReproError(
+                f"verdict must be one of {self._ALLOWED}, got {self.verdict!r}"
+            )
+
+
+class Rule(abc.ABC):
+    """One check applied to an incoming application."""
+
+    #: Human-readable rule name, used in audit trails.
+    name: str = "rule"
+
+    @abc.abstractmethod
+    def evaluate(self, application: LoanApplication) -> RuleOutcome:
+        """Judge the application."""
+
+
+class BlacklistRule(Rule):
+    """Reject applications from blacklisted enterprises."""
+
+    name = "blacklist"
+
+    def __init__(self, blacklisted_ids: Iterable[str]) -> None:
+        self._blacklist = frozenset(blacklisted_ids)
+
+    def evaluate(self, application: LoanApplication) -> RuleOutcome:
+        if application.enterprise.enterprise_id in self._blacklist:
+            return RuleOutcome(
+                "reject",
+                f"enterprise {application.enterprise.enterprise_id} is "
+                "blacklisted",
+            )
+        return RuleOutcome("pass")
+
+
+class WhitelistRule(Rule):
+    """Fast-track applications from whitelisted enterprises."""
+
+    name = "whitelist"
+
+    def __init__(self, whitelisted_ids: Iterable[str]) -> None:
+        self._whitelist = frozenset(whitelisted_ids)
+
+    def evaluate(self, application: LoanApplication) -> RuleOutcome:
+        if application.enterprise.enterprise_id in self._whitelist:
+            return RuleOutcome(
+                "fast_track",
+                f"enterprise {application.enterprise.enterprise_id} is "
+                "whitelisted",
+            )
+        return RuleOutcome("pass")
+
+
+class ExposureComplianceRule(Rule):
+    """Basel-style cap: amount must not exceed a multiple of capital."""
+
+    name = "exposure-compliance"
+
+    def __init__(self, max_capital_multiple: float = 2.0) -> None:
+        if max_capital_multiple <= 0:
+            raise ReproError("capital multiple must be positive")
+        self._multiple = float(max_capital_multiple)
+
+    def evaluate(self, application: LoanApplication) -> RuleOutcome:
+        cap = application.enterprise.registered_capital * self._multiple
+        if application.amount > cap:
+            return RuleOutcome(
+                "reject",
+                f"amount {application.amount:.0f} exceeds "
+                f"{self._multiple:g}x registered capital ({cap:.0f})",
+            )
+        return RuleOutcome("pass")
+
+
+class SectorComplianceRule(Rule):
+    """Reject applications from restricted sectors."""
+
+    name = "sector-compliance"
+
+    def __init__(self, restricted_sectors: Iterable[str]) -> None:
+        self._restricted = frozenset(s.lower() for s in restricted_sectors)
+
+    def evaluate(self, application: LoanApplication) -> RuleOutcome:
+        if application.enterprise.sector.lower() in self._restricted:
+            return RuleOutcome(
+                "reject",
+                f"sector {application.enterprise.sector!r} is restricted",
+            )
+        return RuleOutcome("pass")
+
+
+class TermComplianceRule(Rule):
+    """Cap the loan term length."""
+
+    name = "term-compliance"
+
+    def __init__(self, max_term_months: int = 60) -> None:
+        if max_term_months <= 0:
+            raise ReproError("max term must be positive")
+        self._max_term = int(max_term_months)
+
+    def evaluate(self, application: LoanApplication) -> RuleOutcome:
+        if application.term_months > self._max_term:
+            return RuleOutcome(
+                "reject",
+                f"term {application.term_months} months exceeds the "
+                f"{self._max_term}-month cap",
+            )
+        return RuleOutcome("pass")
+
+
+@dataclass(frozen=True)
+class RuleCheck:
+    """Aggregated rule-engine verdict for one application."""
+
+    passed: bool
+    fast_tracked: bool
+    reasons: tuple[str, ...]
+
+
+class RuleEngine:
+    """Ordered rule evaluation with early termination.
+
+    Whitelist fast-tracks skip the remaining rules; any rejection stops
+    the pipeline.  All fired reasons are collected for the audit trail.
+    """
+
+    def __init__(self, rules: Iterable[Rule]) -> None:
+        self._rules = list(rules)
+        if not self._rules:
+            raise ReproError("rule engine needs at least one rule")
+
+    @property
+    def rules(self) -> list[Rule]:
+        """The configured rules, in evaluation order (copy)."""
+        return list(self._rules)
+
+    def check(self, application: LoanApplication) -> RuleCheck:
+        """Run the rules against one application."""
+        reasons: list[str] = []
+        for rule in self._rules:
+            outcome = rule.evaluate(application)
+            if outcome.verdict == "reject":
+                reasons.append(f"{rule.name}: {outcome.reason}")
+                return RuleCheck(
+                    passed=False, fast_tracked=False, reasons=tuple(reasons)
+                )
+            if outcome.verdict == "fast_track":
+                reasons.append(f"{rule.name}: {outcome.reason}")
+                return RuleCheck(
+                    passed=True, fast_tracked=True, reasons=tuple(reasons)
+                )
+        return RuleCheck(passed=True, fast_tracked=False, reasons=tuple(reasons))

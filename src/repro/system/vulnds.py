@@ -1,0 +1,134 @@
+"""VulnDS — the vulnerable-enterprise detection service of §5.
+
+"VulnDS assess the self-risk of SME, the risk of guarantee
+relationships, and detect the top-k vulnerable nodes by our methods."
+
+The deployed system plugs HGAR [10] in for self-risk assessment and
+p-wkNN [15] for guarantee-edge risk; both are pluggable callables here,
+with feature-trained defaults from :mod:`repro.baselines.ml`.  Detection
+itself is any configured detector (BSRBK by default, matching the
+deployment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.algorithms.base import DetectionResult, VulnerableNodeDetector
+from repro.algorithms.bsrbk import BottomKDetector
+from repro.core.errors import ReproError
+from repro.core.graph import UncertainGraph
+
+__all__ = ["VulnDS", "PortfolioAssessment"]
+
+#: Signature of a self-risk assessor: features -> probabilities.
+SelfRiskAssessor = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class PortfolioAssessment:
+    """One monthly VulnDS run over the whole guarantee network.
+
+    Attributes
+    ----------
+    detection:
+        The raw top-k detection result.
+    watch_list:
+        Enterprise ids ranked most-vulnerable first.
+    scores:
+        Mapping enterprise id → estimated default probability for the
+        watch-listed enterprises.
+    """
+
+    detection: DetectionResult
+    watch_list: tuple[str, ...]
+    scores: Mapping[str, float]
+
+    def is_watched(self, enterprise_id: str) -> bool:
+        """Whether the enterprise is on the current watch list."""
+        return enterprise_id in self.scores
+
+    def vulnerability(self, enterprise_id: str) -> float | None:
+        """The enterprise's score, or ``None`` if not watch-listed."""
+        return self.scores.get(enterprise_id)
+
+
+class VulnDS:
+    """The vulnerable-SME detection service.
+
+    Parameters
+    ----------
+    graph:
+        The bank's guarantee network (edge probabilities already set by
+        the guarantee-risk model).
+    detector:
+        Top-k detector; defaults to BSRBK with the paper's settings.
+    self_risk_assessor:
+        Optional callable mapping a feature matrix (aligned with the
+        graph's node order) to self-risk probabilities.  When provided,
+        :meth:`refresh_self_risks` pushes new assessments into the graph
+        — the monthly re-scoring step of the deployment.
+    """
+
+    def __init__(
+        self,
+        graph: UncertainGraph,
+        detector: VulnerableNodeDetector | None = None,
+        self_risk_assessor: SelfRiskAssessor | None = None,
+    ) -> None:
+        if graph.num_nodes == 0:
+            raise ReproError("VulnDS needs a non-empty guarantee network")
+        self._graph = graph
+        self._detector = detector or BottomKDetector(bk=16, seed=0)
+        self._assessor = self_risk_assessor
+        self._last_assessment: PortfolioAssessment | None = None
+
+    @property
+    def graph(self) -> UncertainGraph:
+        """The guarantee network the service scores."""
+        return self._graph
+
+    @property
+    def last_assessment(self) -> PortfolioAssessment | None:
+        """The most recent portfolio run, if any."""
+        return self._last_assessment
+
+    def refresh_self_risks(self, features: np.ndarray) -> np.ndarray:
+        """Re-assess every enterprise's self-risk from fresh features.
+
+        Returns the new self-risk vector (also written into the graph).
+        """
+        if self._assessor is None:
+            raise ReproError(
+                "no self-risk assessor configured; construct VulnDS with "
+                "self_risk_assessor=..."
+            )
+        risks = np.clip(
+            np.asarray(self._assessor(features), dtype=np.float64),
+            0.0,
+            1.0,
+        )
+        if risks.shape != (self._graph.num_nodes,):
+            raise ReproError(
+                f"assessor returned shape {risks.shape}, expected "
+                f"({self._graph.num_nodes},)"
+            )
+        self._graph.set_all_self_risks(risks)
+        return risks
+
+    def assess_portfolio(self, k: int) -> PortfolioAssessment:
+        """Detect the top-*k* vulnerable enterprises (one monthly run)."""
+        detection = self._detector.detect(self._graph, k)
+        watch_list = tuple(str(label) for label in detection.nodes)
+        scores = {
+            str(label): float(score)
+            for label, score in detection.scores.items()
+        }
+        assessment = PortfolioAssessment(
+            detection=detection, watch_list=watch_list, scores=scores
+        )
+        self._last_assessment = assessment
+        return assessment

@@ -1,0 +1,12 @@
+"""Small shared utilities (timing, table rendering)."""
+
+from repro.utils.tables import format_cell, render_markdown_table, render_table
+from repro.utils.timing import Stopwatch, timed
+
+__all__ = [
+    "format_cell",
+    "render_markdown_table",
+    "render_table",
+    "Stopwatch",
+    "timed",
+]

@@ -1,0 +1,79 @@
+"""ASCII/markdown table rendering for experiment output.
+
+The experiment scripts print the same rows/series the paper's tables and
+figures report; this module renders them as aligned monospace tables (for
+the terminal) and GitHub-flavoured markdown (for EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = ["render_table", "render_markdown_table", "format_cell"]
+
+
+def format_cell(value: Any) -> str:
+    """Render one cell: floats to 4 significant places, rest via str."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _normalise(
+    rows: Iterable[Mapping[str, Any]], columns: Sequence[str] | None
+) -> tuple[list[str], list[list[str]]]:
+    materialised = [dict(row) for row in rows]
+    if columns is None:
+        columns = []
+        for row in materialised:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    body = [
+        [format_cell(row.get(column, "")) for column in columns]
+        for row in materialised
+    ]
+    return list(columns), body
+
+
+def render_table(
+    rows: Iterable[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render dict-rows as an aligned monospace table."""
+    header, body = _normalise(rows, columns)
+    widths = [len(column) for column in header]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    rule = "-+-".join("-" * width for width in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append(rule)
+    for row in body:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_markdown_table(
+    rows: Iterable[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+) -> str:
+    """Render dict-rows as a GitHub-flavoured markdown table."""
+    header, body = _normalise(rows, columns)
+    lines = [
+        "| " + " | ".join(header) + " |",
+        "|" + "|".join("---" for _ in header) + "|",
+    ]
+    for row in body:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Wall-clock timing helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch", "timed"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    Examples
+    --------
+    >>> watch = Stopwatch()
+    >>> with watch.lap("bounds"):
+    ...     pass
+    >>> "bounds" in watch.laps
+    True
+    """
+
+    laps: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def lap(self, name: str):
+        """Context manager that records the elapsed time under *name*.
+
+        Re-entering the same name accumulates, so per-phase totals over a
+        loop come out right.
+        """
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self.laps[name] = self.laps.get(name, 0.0) + elapsed
+
+    @property
+    def total(self) -> float:
+        """Sum of all recorded laps in seconds."""
+        return sum(self.laps.values())
+
+
+@contextmanager
+def timed():
+    """Context manager yielding a mutable single-cell elapsed-time holder.
+
+    >>> with timed() as cell:
+    ...     pass
+    >>> cell[0] >= 0.0
+    True
+    """
+    cell = [0.0]
+    started = time.perf_counter()
+    try:
+        yield cell
+    finally:
+        cell[0] = time.perf_counter() - started

@@ -1,0 +1,103 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.core.graph import UncertainGraph
+
+# One shared hypothesis profile: modest example counts keep the suite fast
+# while still exercising the properties.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def paper_graph() -> UncertainGraph:
+    """The toy guaranteed-loan network of the paper's Figure 3.
+
+    Five nodes A–E, six edges, all probabilities 0.2 — the setting of
+    Example 1, where the paper computes ``p(B) = 0.232``.
+    """
+    graph = UncertainGraph()
+    for name in "ABCDE":
+        graph.add_node(name, self_risk=0.2)
+    for src, dst in [
+        ("A", "B"),
+        ("A", "C"),
+        ("B", "D"),
+        ("B", "E"),
+        ("C", "E"),
+        ("D", "E"),
+    ]:
+        graph.add_edge(src, dst, probability=0.2)
+    return graph
+
+
+@pytest.fixture
+def chain_graph() -> UncertainGraph:
+    """A 4-node directed chain with distinct probabilities."""
+    graph = UncertainGraph()
+    risks = {"a": 0.5, "b": 0.1, "c": 0.0, "d": 0.2}
+    for name, risk in risks.items():
+        graph.add_node(name, risk)
+    graph.add_edge("a", "b", 0.8)
+    graph.add_edge("b", "c", 0.6)
+    graph.add_edge("c", "d", 0.4)
+    return graph
+
+
+@pytest.fixture
+def diamond_graph() -> UncertainGraph:
+    """A diamond (shared-ancestor) graph: A -> {B, C} -> D."""
+    graph = UncertainGraph()
+    for name in "ABCD":
+        graph.add_node(name, 0.3)
+    graph.add_edge("A", "B", 0.5)
+    graph.add_edge("A", "C", 0.5)
+    graph.add_edge("B", "D", 0.5)
+    graph.add_edge("C", "D", 0.5)
+    return graph
+
+
+@pytest.fixture
+def singleton_graph() -> UncertainGraph:
+    """One node, no edges."""
+    graph = UncertainGraph()
+    graph.add_node("only", 0.4)
+    return graph
+
+
+def random_graph(
+    n: int, edge_probability: float, seed: int, max_prob: float = 1.0
+) -> UncertainGraph:
+    """Erdős–Rényi-ish random uncertain graph for statistical tests."""
+    rng = np.random.default_rng(seed)
+    graph = UncertainGraph()
+    for i in range(n):
+        graph.add_node(i, float(rng.random() * max_prob))
+    for src in range(n):
+        for dst in range(n):
+            if src != dst and rng.random() < edge_probability:
+                graph.add_edge(src, dst, float(rng.random() * max_prob))
+    return graph
+
+
+@pytest.fixture
+def small_random_graph() -> UncertainGraph:
+    """A fixed 7-node random graph small enough for exact enumeration."""
+    rng = np.random.default_rng(123)
+    graph = UncertainGraph()
+    for i in range(7):
+        graph.add_node(i, float(rng.uniform(0.05, 0.6)))
+    edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (0, 3), (2, 5)]
+    for src, dst in edges:
+        graph.add_edge(src, dst, float(rng.uniform(0.1, 0.9)))
+    return graph

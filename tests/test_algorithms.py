@@ -1,0 +1,190 @@
+"""Tests for the five detection algorithms (N, SN, SR, BSR, BSRBK)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import DetectionResult
+from repro.algorithms.bsr import BoundedSampleReverseDetector
+from repro.algorithms.bsrbk import BottomKDetector
+from repro.algorithms.naive import NaiveDetector
+from repro.algorithms.registry import ALL_METHODS, detector_class, make_detector
+from repro.algorithms.sn import SampledNaiveDetector
+from repro.algorithms.sr import SampleReverseDetector
+from repro.core.errors import ExperimentError, GraphError, SamplingError
+from repro.core.exact import exact_default_probabilities, exact_top_k
+from repro.metrics.ranking import precision_at_k
+
+ALL_DETECTORS = [
+    lambda seed: NaiveDetector(samples=2000, seed=seed),
+    lambda seed: SampledNaiveDetector(epsilon=0.2, delta=0.1, seed=seed),
+    lambda seed: SampleReverseDetector(epsilon=0.2, delta=0.1, seed=seed),
+    lambda seed: BoundedSampleReverseDetector(epsilon=0.2, delta=0.1, seed=seed),
+    lambda seed: BottomKDetector(bk=16, epsilon=0.2, delta=0.1, seed=seed),
+]
+
+
+class TestResultInvariants:
+    @pytest.mark.parametrize("factory", ALL_DETECTORS)
+    def test_result_shape(self, paper_graph, factory):
+        result = factory(0).detect(paper_graph, 2)
+        assert isinstance(result, DetectionResult)
+        assert result.k == 2
+        assert len(result.nodes) == 2
+        assert len(set(result.nodes)) == 2
+        assert set(result.scores) >= set(result.nodes)
+        assert result.samples_used >= 0
+        assert result.elapsed_seconds >= 0.0
+        assert 0 <= result.k_verified <= 2
+        assert result.candidate_size <= paper_graph.num_nodes
+
+    @pytest.mark.parametrize("factory", ALL_DETECTORS)
+    def test_k_equals_n(self, paper_graph, factory):
+        result = factory(0).detect(paper_graph, 5)
+        assert sorted(result.nodes) == ["A", "B", "C", "D", "E"]
+
+    @pytest.mark.parametrize("factory", ALL_DETECTORS)
+    def test_invalid_k_rejected(self, paper_graph, factory):
+        detector = factory(0)
+        with pytest.raises(GraphError):
+            detector.detect(paper_graph, 0)
+        with pytest.raises(GraphError):
+            detector.detect(paper_graph, 6)
+
+    def test_top_set_and_summary(self, paper_graph):
+        result = NaiveDetector(samples=500, seed=0).detect(paper_graph, 2)
+        assert result.top_set() == frozenset(result.nodes)
+        summary = result.summary()
+        assert summary["method"] == "N"
+        assert summary["k"] == 2
+
+
+class TestAccuracy:
+    """With a tolerant epsilon, every method should find well-separated
+    top nodes; the fixtures are built so the top-2 gap exceeds epsilon."""
+
+    @pytest.fixture
+    def separated_graph(self):
+        from repro.core.graph import UncertainGraph
+
+        graph = UncertainGraph()
+        risks = [0.9, 0.85, 0.2, 0.15, 0.1, 0.05, 0.12, 0.08]
+        for i, risk in enumerate(risks):
+            graph.add_node(i, risk)
+        edges = [(0, 2), (1, 3), (2, 4), (3, 5), (0, 6), (1, 7)]
+        for src, dst in edges:
+            graph.add_edge(src, dst, 0.3)
+        return graph
+
+    @pytest.mark.parametrize("factory", ALL_DETECTORS)
+    def test_finds_separated_top2(self, separated_graph, factory):
+        truth = set(exact_top_k(separated_graph, 2))
+        result = factory(1).detect(separated_graph, 2)
+        assert precision_at_k(result.nodes, truth) == 1.0
+
+    @pytest.mark.parametrize("factory", ALL_DETECTORS)
+    def test_average_precision_on_paper_graph(self, paper_graph, factory):
+        """Across seeds, mean top-2 precision must clear 0.5 (epsilon-level
+        misses between D (0.237) and B/C (0.232) are legitimate)."""
+        truth = set(exact_top_k(paper_graph, 2))
+        hits = [
+            precision_at_k(factory(seed).detect(paper_graph, 2).nodes, truth)
+            for seed in range(10)
+        ]
+        assert float(np.mean(hits)) >= 0.5
+
+    @pytest.mark.parametrize("factory", ALL_DETECTORS)
+    def test_scores_are_probabilities(self, paper_graph, factory):
+        result = factory(2).detect(paper_graph, 3)
+        for score in result.scores.values():
+            assert -1e-9 <= score <= 1.0 + 1e-9
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("factory", ALL_DETECTORS)
+    def test_same_seed_same_answer(self, paper_graph, factory):
+        first = factory(7).detect(paper_graph, 2)
+        second = factory(7).detect(paper_graph, 2)
+        assert first.nodes == second.nodes
+        assert first.samples_used == second.samples_used
+
+
+class TestMethodSpecifics:
+    def test_naive_uses_fixed_budget(self, paper_graph):
+        result = NaiveDetector(samples=777, seed=0).detect(paper_graph, 1)
+        assert result.samples_used == 777
+
+    def test_naive_rejects_bad_budget(self):
+        with pytest.raises(SamplingError):
+            NaiveDetector(samples=0)
+
+    def test_sn_budget_matches_equation3(self, paper_graph):
+        from repro.sampling.sample_size import basic_sample_size
+
+        result = SampledNaiveDetector(
+            epsilon=0.3, delta=0.1, seed=0
+        ).detect(paper_graph, 2)
+        assert result.samples_used == basic_sample_size(5, 2, 0.3, 0.1)
+
+    def test_sr_candidate_size_recorded(self, paper_graph):
+        result = SampleReverseDetector(seed=0).detect(paper_graph, 1)
+        assert 1 <= result.candidate_size <= 5
+        assert result.details["Tl"] > 0
+
+    def test_bsr_verifies_on_paper_graph(self, paper_graph):
+        """With order-2 bounds, E verifies for k=2 (pl(E) > all other pu)."""
+        result = BoundedSampleReverseDetector(seed=0).detect(paper_graph, 2)
+        assert result.k_verified == 1
+        assert result.nodes[0] == "E"
+
+    def test_bsr_budget_never_exceeds_sn(self, paper_graph):
+        sn = SampledNaiveDetector(seed=0).detect(paper_graph, 2)
+        bsr = BoundedSampleReverseDetector(seed=0).detect(paper_graph, 2)
+        assert bsr.samples_used <= sn.samples_used
+
+    def test_bsrbk_never_exceeds_bsr_budget(self, paper_graph):
+        bsr = BoundedSampleReverseDetector(seed=0).detect(paper_graph, 2)
+        bsrbk = BottomKDetector(bk=4, seed=0).detect(paper_graph, 2)
+        assert bsrbk.samples_used <= bsr.samples_used
+
+    def test_bsrbk_small_bk_stops_early(self, paper_graph):
+        result = BottomKDetector(bk=2, epsilon=0.3, seed=0).detect(
+            paper_graph, 2
+        )
+        assert result.details["stopped_early"] or result.samples_used > 0
+
+    def test_bsrbk_rejects_bad_bk(self):
+        with pytest.raises(SamplingError):
+            BottomKDetector(bk=1)
+
+    def test_detection_result_details_carry_configuration(self, paper_graph):
+        result = BottomKDetector(bk=8, seed=0).detect(paper_graph, 2)
+        assert result.details["bk"] == 8
+        assert "Tl" in result.details
+        assert "Tu" in result.details
+
+
+class TestRegistry:
+    def test_all_methods_listed(self):
+        assert ALL_METHODS == ("N", "SN", "SR", "BSR", "BSRBK")
+
+    @pytest.mark.parametrize("name", ALL_METHODS)
+    def test_make_detector_round_trip(self, name, paper_graph):
+        detector = make_detector(name, seed=0, samples=200)
+        result = detector.detect(paper_graph, 1)
+        assert result.method == name
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ExperimentError):
+            make_detector("nope")
+        with pytest.raises(ExperimentError):
+            detector_class("nope")
+
+    def test_irrelevant_kwargs_filtered(self):
+        detector = make_detector("N", samples=100, bk=4, epsilon=0.2)
+        assert isinstance(detector, NaiveDetector)
+
+    def test_strict_mode_rejects_unknown_kwargs(self):
+        with pytest.raises(ExperimentError):
+            make_detector("N", strict=True, bk=4)

@@ -1,0 +1,153 @@
+"""Tests for the analysis extensions (contagion analytics, what-if)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.contagion import (
+    attribution,
+    default_correlation,
+    systemic_importance,
+)
+from repro.analysis.whatif import (
+    cut_guarantee_impact,
+    derisk_impact,
+    rank_interventions,
+)
+from repro.core.errors import SamplingError
+from repro.core.graph import UncertainGraph
+
+
+@pytest.fixture
+def hub_graph():
+    """A risky hub infecting three safe leaves."""
+    graph = UncertainGraph()
+    graph.add_node("hub", 0.6)
+    for i in range(3):
+        graph.add_node(f"leaf{i}", 0.02)
+        graph.add_edge("hub", f"leaf{i}", 0.8)
+    return graph
+
+
+class TestSystemicImportance:
+    def test_hub_dominates(self, hub_graph):
+        importance = systemic_importance(hub_graph, samples=1500, seed=0)
+        hub = hub_graph.index("hub")
+        assert importance[hub] == max(importance)
+        # Expected downstream defaults of the hub ~ ps * 3 * 0.8 = 1.44.
+        assert importance[hub] == pytest.approx(0.6 * 3 * 0.8, abs=0.2)
+
+    def test_leaves_near_zero(self, hub_graph):
+        importance = systemic_importance(hub_graph, samples=1500, seed=1)
+        for i in range(3):
+            assert importance[hub_graph.index(f"leaf{i}")] < 0.05
+
+    def test_credit_split_between_seeds(self):
+        """Two certain seeds feeding one sink share the credit."""
+        graph = UncertainGraph()
+        graph.add_node("s1", 1.0)
+        graph.add_node("s2", 1.0)
+        graph.add_node("sink", 0.0)
+        graph.add_edge("s1", "sink", 1.0)
+        graph.add_edge("s2", "sink", 1.0)
+        importance = systemic_importance(graph, samples=200, seed=2)
+        assert importance[graph.index("s1")] == pytest.approx(0.5)
+        assert importance[graph.index("s2")] == pytest.approx(0.5)
+
+    def test_invalid_samples(self, hub_graph):
+        with pytest.raises(SamplingError):
+            systemic_importance(hub_graph, samples=0)
+
+
+class TestDefaultCorrelation:
+    def test_matrix_shape_and_diagonal(self, hub_graph):
+        labels = ["hub", "leaf0", "leaf1"]
+        corr = default_correlation(hub_graph, labels, samples=1500, seed=0)
+        assert corr.shape == (3, 3)
+        assert np.allclose(np.diag(corr), 1.0)
+
+    def test_symmetric(self, hub_graph):
+        corr = default_correlation(
+            hub_graph, ["hub", "leaf0"], samples=1000, seed=1
+        )
+        assert corr[0, 1] == pytest.approx(corr[1, 0])
+
+    def test_shared_parent_induces_positive_correlation(self, hub_graph):
+        corr = default_correlation(
+            hub_graph, ["leaf0", "leaf1"], samples=3000, seed=2
+        )
+        assert corr[0, 1] > 0.2  # leaves co-default through the hub
+
+    def test_independent_nodes_uncorrelated(self):
+        graph = UncertainGraph()
+        graph.add_node("a", 0.4)
+        graph.add_node("b", 0.4)
+        corr = default_correlation(graph, ["a", "b"], samples=4000, seed=3)
+        assert abs(corr[0, 1]) < 0.08
+
+    def test_empty_labels_rejected(self, hub_graph):
+        with pytest.raises(SamplingError):
+            default_correlation(hub_graph, [], samples=100)
+
+
+class TestAttribution:
+    def test_blame_lands_on_the_hub(self, hub_graph):
+        blame = attribution(hub_graph, "leaf0", samples=3000, seed=0)
+        assert blame["hub"] > 0.9  # almost every leaf default is hub-borne
+        assert blame.get("leaf0", 0.0) < 0.2
+
+    def test_self_default_attributed_to_self(self):
+        graph = UncertainGraph()
+        graph.add_node("solo", 0.5)
+        blame = attribution(graph, "solo", samples=500, seed=1)
+        assert blame == {"solo": 1.0}
+
+    def test_never_defaulting_target(self):
+        graph = UncertainGraph()
+        graph.add_node("safe", 0.0)
+        assert attribution(graph, "safe", samples=200, seed=2) == {}
+
+    def test_fractions_at_most_one(self, hub_graph):
+        blame = attribution(hub_graph, "leaf1", samples=2000, seed=3)
+        assert all(0.0 < fraction <= 1.0 for fraction in blame.values())
+
+
+class TestWhatIf:
+    def test_derisking_the_hub_protects_leaves(self, hub_graph):
+        impact = derisk_impact(hub_graph, "hub", 0.01, samples=4000, seed=0)
+        assert impact.total_risk_reduction > 1.0  # hub + contagion
+        beneficiaries = dict(impact.top_beneficiaries(hub_graph))
+        assert "hub" in beneficiaries
+        assert any(label.startswith("leaf") for label in beneficiaries)
+
+    def test_original_graph_untouched(self, hub_graph):
+        derisk_impact(hub_graph, "hub", 0.01, samples=500, seed=0)
+        assert hub_graph.self_risk("hub") == pytest.approx(0.6)
+
+    def test_cutting_a_guarantee(self, hub_graph):
+        impact = cut_guarantee_impact(
+            hub_graph, "hub", "leaf0", 0.0, samples=4000, seed=0
+        )
+        leaf0 = hub_graph.index("leaf0")
+        leaf1 = hub_graph.index("leaf1")
+        assert impact.delta[leaf0] < -0.3  # protected
+        assert abs(impact.delta[leaf1]) < 0.05  # unaffected
+        assert hub_graph.edge_probability("hub", "leaf0") == pytest.approx(0.8)
+
+    def test_rank_interventions_prefers_hub(self, hub_graph):
+        ranking = rank_interventions(
+            hub_graph,
+            ["hub", "leaf0", "leaf1"],
+            new_self_risk=0.01,
+            samples=2000,
+            seed=0,
+        )
+        assert ranking[0][0] == "hub"
+        assert ranking[0][1] > ranking[-1][1]
+
+    def test_validation(self, hub_graph):
+        with pytest.raises(SamplingError):
+            derisk_impact(hub_graph, "hub", 0.1, samples=0)
+        with pytest.raises(SamplingError):
+            rank_interventions(hub_graph, [], samples=10)

@@ -1,0 +1,109 @@
+"""Tests for repro.bounds.iterative — Algorithms 2 and 3."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bounds.iterative import bound_pair, lower_bounds, upper_bounds
+from repro.core.eq1 import dag_default_probabilities
+from repro.core.errors import SamplingError
+from repro.core.exact import exact_default_probabilities
+from repro.core.graph import UncertainGraph
+
+
+class TestLowerBounds:
+    def test_order_one_is_self_risk(self, paper_graph):
+        assert np.allclose(lower_bounds(paper_graph, 1), 0.2)
+
+    def test_order_two_matches_one_eq1_step(self, paper_graph):
+        result = lower_bounds(paper_graph, 2)
+        assert result[paper_graph.index("B")] == pytest.approx(0.232)
+
+    def test_monotone_in_order(self, small_random_graph):
+        previous = lower_bounds(small_random_graph, 1)
+        for order in range(2, 6):
+            current = lower_bounds(small_random_graph, order)
+            assert np.all(current >= previous - 1e-12)
+            previous = current
+
+    def test_invalid_order(self, paper_graph):
+        with pytest.raises(SamplingError):
+            lower_bounds(paper_graph, 0)
+
+
+class TestUpperBounds:
+    def test_order_one_pins_neighbors_to_one(self, paper_graph):
+        result = upper_bounds(paper_graph, 1)
+        b = paper_graph.index("B")
+        assert result[b] == pytest.approx(1 - 0.8 * 0.8)
+
+    def test_source_node_upper_equals_self_risk(self, paper_graph):
+        result = upper_bounds(paper_graph, 1)
+        assert result[paper_graph.index("A")] == pytest.approx(0.2)
+
+    def test_monotone_decreasing_in_order(self, small_random_graph):
+        previous = upper_bounds(small_random_graph, 1)
+        for order in range(2, 6):
+            current = upper_bounds(small_random_graph, order)
+            assert np.all(current <= previous + 1e-12)
+            previous = current
+
+    def test_invalid_order(self, paper_graph):
+        with pytest.raises(SamplingError):
+            upper_bounds(paper_graph, -2)
+
+
+class TestBoundsBracketTruth:
+    def test_bracket_eq1_fixed_point_on_dag(self, paper_graph):
+        """On a DAG the Eq.(1) value must sit between the bounds."""
+        value = dag_default_probabilities(paper_graph)
+        for order in (1, 2, 3, 4):
+            assert np.all(lower_bounds(paper_graph, order) <= value + 1e-9)
+            assert np.all(upper_bounds(paper_graph, order) >= value - 1e-9)
+
+    def test_bracket_exact_on_tree(self):
+        """On trees Eq.(1) is exact, so bounds bracket the true p(v)."""
+        graph = UncertainGraph()
+        graph.add_node("r", 0.3)
+        for i, child in enumerate("abc"):
+            graph.add_node(child, 0.1 * (i + 1))
+            graph.add_edge("r", child, 0.4)
+        graph.add_node("leaf", 0.05)
+        graph.add_edge("a", "leaf", 0.7)
+        exact = exact_default_probabilities(graph)
+        for order in (1, 2, 3, 5):
+            assert np.all(lower_bounds(graph, order) <= exact + 1e-9)
+            assert np.all(upper_bounds(graph, order) >= exact - 1e-9)
+
+    def test_high_order_bounds_converge_on_dag(self, paper_graph):
+        lower = lower_bounds(paper_graph, 10)
+        upper = upper_bounds(paper_graph, 10)
+        assert np.allclose(lower, upper, atol=1e-6)
+
+
+class TestBoundPair:
+    def test_pair_never_inverted(self, small_random_graph):
+        for lower_order in (1, 2, 3):
+            for upper_order in (1, 2, 3):
+                lower, upper = bound_pair(
+                    small_random_graph, lower_order, upper_order
+                )
+                assert np.all(lower <= upper)
+
+    def test_pair_never_inverted_on_cyclic_graph(self):
+        graph = UncertainGraph()
+        for i in range(4):
+            graph.add_node(i, 0.2)
+        for i in range(4):
+            graph.add_edge(i, (i + 1) % 4, 0.5)  # directed 4-cycle
+        lower, upper = bound_pair(graph, 3, 3)
+        assert np.all(lower <= upper)
+        assert np.all(lower >= 0.2 - 1e-12)
+        assert np.all(upper <= 1.0)
+
+    def test_sources_have_tight_bounds(self, paper_graph):
+        lower, upper = bound_pair(paper_graph, 2, 2)
+        a = paper_graph.index("A")
+        assert lower[a] == pytest.approx(upper[a])
+        assert lower[a] == pytest.approx(0.2)

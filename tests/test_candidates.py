@@ -1,0 +1,151 @@
+"""Tests for repro.bounds.candidates — Algorithm 4 / Lemma 1."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bounds.candidates import reduce_candidates
+from repro.bounds.iterative import bound_pair
+from repro.core.errors import SamplingError
+from repro.core.exact import exact_top_k
+from repro.core.graph import UncertainGraph
+
+
+def build_tree(seed: int) -> UncertainGraph:
+    """Random-ish out-tree where Eq.(1) is exact (valid bounds)."""
+    rng = np.random.default_rng(seed)
+    graph = UncertainGraph()
+    n = 10
+    for i in range(n):
+        graph.add_node(i, float(rng.uniform(0.05, 0.5)))
+    for child in range(1, n):
+        parent = int(rng.integers(0, child))
+        graph.add_edge(parent, child, float(rng.uniform(0.1, 0.9)))
+    return graph
+
+
+class TestReduceCandidatesMechanics:
+    def test_hand_case(self, paper_graph):
+        lower = np.array([0.2, 0.232, 0.232, 0.2371, 0.3060])
+        upper = np.array([0.2, 0.25, 0.25, 0.30, 0.32])
+        reduction = reduce_candidates(paper_graph, lower, upper, k=1)
+        # Tu = 0.32; only E (idx 4) has pl >= 0.32? No: 0.3060 < 0.32, so
+        # nothing verifies; Tl = 0.3060, candidates need pu >= 0.3060.
+        assert reduction.k_verified == 0
+        assert list(reduction.candidates) == [4]
+
+    def test_verification_needs_lower_to_reach_kth_upper(self, paper_graph):
+        # Rule 1 compares pl(u) against Tu, the k-th largest *upper* bound
+        # over all nodes — which for k=1 includes u's own pu.  A slack
+        # interval therefore never verifies ...
+        lower = np.array([0.1, 0.1, 0.1, 0.1, 0.90])
+        upper = np.array([0.2, 0.2, 0.2, 0.2, 0.95])
+        reduction = reduce_candidates(paper_graph, lower, upper, k=1)
+        assert reduction.k_verified == 0
+        # ... while a pinched-tight winner does.
+        lower[4] = upper[4] = 0.95
+        reduction = reduce_candidates(paper_graph, lower, upper, k=1)
+        assert reduction.k_verified == 1
+        assert list(reduction.verified) == [4]
+        assert reduction.k_remaining == 0
+
+    def test_verification_fires_for_k2_with_separation(self, paper_graph):
+        # For k=2, Tu is the *second* largest upper bound, so a clear
+        # winner verifies as soon as its lower bound clears the runner-up.
+        lower = np.array([0.1, 0.1, 0.1, 0.1, 0.70])
+        upper = np.array([0.2, 0.2, 0.2, 0.6, 0.95])
+        reduction = reduce_candidates(paper_graph, lower, upper, k=2)
+        assert list(reduction.verified) == [4]
+        assert reduction.k_remaining == 1
+
+    def test_thresholds_recorded(self, paper_graph):
+        lower = np.array([0.1, 0.2, 0.3, 0.4, 0.5])
+        upper = np.array([0.2, 0.3, 0.4, 0.5, 0.6])
+        reduction = reduce_candidates(paper_graph, lower, upper, k=2)
+        assert reduction.threshold_lower == pytest.approx(0.4)
+        assert reduction.threshold_upper == pytest.approx(0.5)
+
+    def test_rule2_filters_hopeless_nodes(self, paper_graph):
+        lower = np.array([0.05, 0.2, 0.3, 0.4, 0.5])
+        upper = np.array([0.10, 0.3, 0.4, 0.5, 0.6])
+        reduction = reduce_candidates(paper_graph, lower, upper, k=2)
+        # Tl = 0.4; node 0 has pu = 0.10 < 0.4 -> filtered.
+        assert 0 not in reduction.candidates
+        assert 0 not in reduction.verified
+
+    def test_ties_cannot_oververify(self, paper_graph):
+        lower = np.full(5, 0.5)
+        upper = np.full(5, 0.5)
+        reduction = reduce_candidates(paper_graph, lower, upper, k=2)
+        assert reduction.k_verified <= 2
+
+    def test_verified_sorted_by_lower_bound(self, paper_graph):
+        lower = np.array([0.90, 0.95, 0.1, 0.92, 0.1])
+        upper = np.array([0.90, 0.95, 0.3, 0.92, 0.3])
+        reduction = reduce_candidates(paper_graph, lower, upper, k=3)
+        assert list(reduction.verified) == [1, 3, 0]
+
+    def test_summary_keys(self, paper_graph):
+        lower, upper = bound_pair(paper_graph, 2, 2)
+        summary = reduce_candidates(paper_graph, lower, upper, 2).summary()
+        assert set(summary) == {"k", "k_verified", "candidate_size", "Tl", "Tu"}
+
+    def test_shape_validation(self, paper_graph):
+        with pytest.raises(SamplingError):
+            reduce_candidates(paper_graph, np.zeros(3), np.zeros(5), 1)
+
+    def test_inverted_bounds_rejected(self, paper_graph):
+        lower = np.full(5, 0.9)
+        upper = np.full(5, 0.1)
+        with pytest.raises(SamplingError, match="exceeds upper"):
+            reduce_candidates(paper_graph, lower, upper, 1)
+
+
+class TestReductionSoundness:
+    """On trees (exact Eq.(1)) the reduction must never lose a true answer."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_true_topk_survives(self, seed, k):
+        graph = build_tree(seed)
+        lower, upper = bound_pair(graph, 2, 2)
+        reduction = reduce_candidates(graph, lower, upper, k)
+        true_top = set(exact_top_k(graph, k))
+        survivors = {
+            graph.label(int(i))
+            for i in np.concatenate([reduction.verified, reduction.candidates])
+        }
+        # Allow ties at the boundary: every truly-top node must survive
+        # unless it ties exactly with an excluded one (generic random
+        # probabilities make exact ties measure-zero).
+        assert true_top <= survivors
+
+    @pytest.mark.parametrize("seed", [5, 6, 7])
+    def test_candidate_count_at_least_k_remaining(self, seed):
+        graph = build_tree(seed)
+        lower, upper = bound_pair(graph, 2, 2)
+        for k in (1, 2, 4):
+            reduction = reduce_candidates(graph, lower, upper, k)
+            assert reduction.candidate_size >= reduction.k_remaining
+
+    @pytest.mark.parametrize("seed", [8, 9])
+    def test_verified_nodes_are_truly_top(self, seed):
+        graph = build_tree(seed)
+        lower, upper = bound_pair(graph, 3, 3)
+        k = 3
+        reduction = reduce_candidates(graph, lower, upper, k)
+        true_top = set(exact_top_k(graph, k))
+        for index in reduction.verified:
+            assert graph.label(int(index)) in true_top
+
+    def test_higher_order_never_grows_candidates(self):
+        graph = build_tree(11)
+        k = 3
+        sizes = []
+        for order in (1, 2, 3, 4):
+            lower, upper = bound_pair(graph, order, order)
+            sizes.append(
+                reduce_candidates(graph, lower, upper, k).candidate_size
+            )
+        assert sizes == sorted(sizes, reverse=True)

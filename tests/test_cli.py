@@ -1,0 +1,104 @@
+"""Tests for the repro-detect command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io.edgelist import write_edgelist
+from repro.io.jsonio import save_graph_json
+
+
+@pytest.fixture
+def graph_json(paper_graph, tmp_path):
+    path = tmp_path / "graph.json"
+    save_graph_json(paper_graph, path)
+    return str(path)
+
+
+@pytest.fixture
+def graph_edgelist(paper_graph, tmp_path):
+    path = tmp_path / "graph.txt"
+    write_edgelist(paper_graph, path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_source(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--k", "2"])
+
+    def test_requires_size(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--dataset", "citation"])
+
+    def test_source_and_dataset_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["--graph", "x.json", "--dataset", "citation", "--k", "1"]
+            )
+
+
+class TestMain:
+    def test_json_graph_table_output(self, graph_json, capsys):
+        code = main(["--graph", graph_json, "--k", "2", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "top-2 of 5 nodes" in out
+        assert "rank" in out
+
+    def test_edgelist_graph(self, graph_edgelist, capsys):
+        code = main(
+            ["--graph", graph_edgelist, "--format", "edgelist", "--k", "1"]
+        )
+        assert code == 0
+        assert "top-1" in capsys.readouterr().out
+
+    def test_json_output_parses(self, graph_json, capsys):
+        code = main(["--graph", graph_json, "--k", "2", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["method"] == "BSRBK"
+        assert len(payload["nodes"]) == 2
+
+    def test_named_dataset_with_percent(self, capsys):
+        code = main(
+            [
+                "--dataset",
+                "citation",
+                "--scale",
+                "0.02",
+                "--k-percent",
+                "5",
+                "--method",
+                "SN",
+            ]
+        )
+        assert code == 0
+        assert "SN: top-" in capsys.readouterr().out
+
+    def test_method_n_uses_samples_flag(self, graph_json, capsys):
+        code = main(
+            ["--graph", graph_json, "--k", "1", "--method", "N",
+             "--samples", "123", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["samples_used"] == 123
+
+    def test_missing_file_reports_error(self, capsys):
+        code = main(["--graph", "/nonexistent/graph.json", "--k", "1"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_k_reports_error(self, graph_json, capsys):
+        code = main(["--graph", graph_json, "--k", "50"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_negative_percent_reports_error(self, graph_json, capsys):
+        code = main(["--graph", graph_json, "--k-percent", "-5"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,140 @@
+"""Tests for connectivity analysis (components, circles, reachability)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.components import (
+    guarantee_circles,
+    reachable_from,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+from repro.core.graph import UncertainGraph
+
+
+def two_islands():
+    graph = UncertainGraph()
+    for name in ("a", "b", "c", "x", "y"):
+        graph.add_node(name, 0.1)
+    graph.add_edge("a", "b", 0.5)
+    graph.add_edge("b", "c", 0.5)
+    graph.add_edge("x", "y", 0.5)
+    return graph
+
+
+def circle_and_tail():
+    graph = UncertainGraph()
+    for name in ("p", "q", "r", "tail"):
+        graph.add_node(name, 0.1)
+    graph.add_edge("p", "q", 0.5)
+    graph.add_edge("q", "r", 0.5)
+    graph.add_edge("r", "p", 0.5)  # 3-circle
+    graph.add_edge("r", "tail", 0.5)
+    return graph
+
+
+class TestWeakComponents:
+    def test_two_islands(self):
+        components = weakly_connected_components(two_islands())
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [2, 3]
+
+    def test_largest_first(self):
+        components = weakly_connected_components(two_islands())
+        assert len(components[0]) >= len(components[1])
+
+    def test_direction_ignored(self):
+        graph = UncertainGraph()
+        graph.add_node("u", 0.1)
+        graph.add_node("v", 0.1)
+        graph.add_edge("v", "u", 0.5)  # only an in-edge for u
+        components = weakly_connected_components(graph)
+        assert len(components) == 1
+
+    def test_empty_graph(self):
+        assert weakly_connected_components(UncertainGraph()) == []
+
+    def test_every_node_in_exactly_one_component(self, paper_graph):
+        components = weakly_connected_components(paper_graph)
+        all_members = [node for component in components for node in component]
+        assert sorted(all_members) == sorted(paper_graph.labels())
+
+
+class TestStrongComponents:
+    def test_dag_has_singletons_only(self, paper_graph):
+        components = strongly_connected_components(paper_graph)
+        assert all(len(c) == 1 for c in components)
+        assert len(components) == paper_graph.num_nodes
+
+    def test_circle_detected(self):
+        components = strongly_connected_components(circle_and_tail())
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [1, 3]
+        largest = max(components, key=len)
+        assert set(largest) == {"p", "q", "r"}
+
+    def test_two_circles(self):
+        graph = UncertainGraph()
+        for name in ("a", "b", "c", "d"):
+            graph.add_node(name, 0.1)
+        graph.add_edge("a", "b", 0.5)
+        graph.add_edge("b", "a", 0.5)
+        graph.add_edge("c", "d", 0.5)
+        graph.add_edge("d", "c", 0.5)
+        circles = guarantee_circles(graph)
+        assert len(circles) == 2
+        assert all(len(c) == 2 for c in circles)
+
+    def test_deep_chain_does_not_recurse(self):
+        """Iterative Tarjan must survive graphs deeper than the Python
+        recursion limit."""
+        graph = UncertainGraph()
+        depth = 3000
+        for i in range(depth):
+            graph.add_node(i, 0.0)
+        for i in range(depth - 1):
+            graph.add_edge(i, i + 1, 0.5)
+        components = strongly_connected_components(graph)
+        assert len(components) == depth
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        from repro.datasets.registry import load_dataset
+
+        graph = load_dataset("bitcoin", scale=0.03, seed=3).graph
+        ours = {
+            frozenset(component)
+            for component in strongly_connected_components(graph)
+        }
+        theirs = {
+            frozenset(component)
+            for component in nx.strongly_connected_components(
+                graph.to_networkx()
+            )
+        }
+        assert ours == theirs
+
+
+class TestGuaranteeCircles:
+    def test_no_circles_in_dag(self, paper_graph):
+        assert guarantee_circles(paper_graph) == []
+
+    def test_circle_found(self):
+        circles = guarantee_circles(circle_and_tail())
+        assert len(circles) == 1
+        assert set(circles[0]) == {"p", "q", "r"}
+
+
+class TestReachability:
+    def test_chain(self, chain_graph):
+        assert reachable_from(chain_graph, "a") == {"a", "b", "c", "d"}
+        assert reachable_from(chain_graph, "c") == {"c", "d"}
+        assert reachable_from(chain_graph, "d") == {"d"}
+
+    def test_unknown_label(self, chain_graph):
+        from repro.core.errors import UnknownNodeError
+
+        with pytest.raises(UnknownNodeError):
+            reachable_from(chain_graph, "zz")

@@ -1,0 +1,49 @@
+"""Tests for the supplementary convergence experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.convergence import BUDGETS, error_curve, guarantee_check
+
+
+class TestErrorCurve:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return error_curve(
+            "citation", scale=0.05, seed=5, truth_samples=4000
+        )
+
+    def test_one_row_per_budget(self, rows):
+        assert [row["samples"] for row in rows] == list(BUDGETS)
+
+    def test_error_decreases_overall(self, rows):
+        assert float(rows[-1]["mae"]) < float(rows[0]["mae"])
+
+    def test_normalised_error_bounded(self, rows):
+        normalised = [float(row["mae*sqrt(t)"]) for row in rows]
+        assert max(normalised) / min(normalised) < 5.0
+
+
+class TestGuaranteeCheck:
+    def test_guarantee_holds_empirically(self):
+        result = guarantee_check(
+            "citation",
+            scale=0.05,
+            epsilon=0.3,
+            delta=0.1,
+            trials=8,
+            seed=5,
+            truth_samples=4000,
+        )
+        assert result["meets_guarantee"]
+        assert result["violations"] <= result["trials"]
+        assert result["budget(Eq.3)"] >= 1
+
+    def test_reports_configuration(self):
+        result = guarantee_check(
+            "citation", scale=0.05, trials=2, seed=6, truth_samples=2000
+        )
+        assert result["epsilon"] == 0.3
+        assert result["delta"] == 0.1
+        assert result["k"] >= 1

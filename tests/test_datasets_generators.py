@@ -1,0 +1,166 @@
+"""Tests for the topology generators (powerlaw, citation, guarantee, fraud)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.eq1 import topological_order
+from repro.core.errors import DatasetError
+from repro.datasets.fraud import fraud_edges, fraud_graph
+from repro.datasets.guarantee import guarantee_edges, guarantee_graph
+from repro.datasets.powerlaw import (
+    citation_edges,
+    directed_powerlaw_edges,
+    powerlaw_weights,
+)
+from repro.sampling.rng import make_rng
+
+
+class TestPowerlawWeights:
+    def test_positive(self):
+        weights = powerlaw_weights(1000, 2.5, make_rng(0))
+        assert np.all(weights >= 1.0)
+
+    def test_heavier_tail_with_lower_exponent(self):
+        rng_a, rng_b = make_rng(1), make_rng(1)
+        heavy = powerlaw_weights(5000, 1.8, rng_a)
+        light = powerlaw_weights(5000, 3.5, rng_b)
+        assert heavy.max() > light.max()
+
+    def test_invalid_arguments(self):
+        with pytest.raises(DatasetError):
+            powerlaw_weights(0, 2.5, make_rng(0))
+        with pytest.raises(DatasetError):
+            powerlaw_weights(10, 1.0, make_rng(0))
+
+
+class TestDirectedPowerlawEdges:
+    def test_exact_edge_count(self):
+        src, dst = directed_powerlaw_edges(200, 800, seed=0)
+        assert src.shape == dst.shape == (800,)
+
+    def test_simple_graph(self):
+        src, dst = directed_powerlaw_edges(100, 400, seed=1)
+        pairs = set(zip(src.tolist(), dst.tolist()))
+        assert len(pairs) == 400
+        assert all(s != d for s, d in pairs)
+
+    def test_degree_cap_respected(self):
+        cap = 10
+        src, dst = directed_powerlaw_edges(
+            200, 500, seed=2, max_degree_cap=cap
+        )
+        degree = np.bincount(src, minlength=200) + np.bincount(
+            dst, minlength=200
+        )
+        assert degree.max() <= cap
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(DatasetError):
+            directed_powerlaw_edges(5, 100, seed=0)
+
+    def test_deterministic(self):
+        a = directed_powerlaw_edges(100, 300, seed=5)
+        b = directed_powerlaw_edges(100, 300, seed=5)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_skewed_degrees(self):
+        """Power-law weights must create visible hub structure."""
+        src, _ = directed_powerlaw_edges(500, 3000, seed=3, exponent_out=1.8)
+        out_degree = np.bincount(src, minlength=500)
+        assert out_degree.max() >= 5 * max(out_degree.mean(), 1)
+
+
+class TestCitationEdges:
+    def test_acyclic(self):
+        src, dst = citation_edges(300, 340, seed=0)
+        assert np.all(dst < src)  # papers cite strictly older papers
+
+    def test_topological_via_graph(self):
+        graph = _edges_to_graph(citation_edges(100, 120, seed=1), 100)
+        topological_order(graph)  # must not raise
+
+    def test_edge_count(self):
+        src, dst = citation_edges(500, 560, seed=2)
+        assert src.size == 560
+        assert len(set(zip(src.tolist(), dst.tolist()))) == 560
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(DatasetError):
+            citation_edges(5, 100, seed=0)
+
+    def test_seminal_hubs_attract_citations(self):
+        src, dst = citation_edges(1000, 1150, seed=3)
+        in_degree = np.bincount(dst, minlength=1000)
+        assert in_degree[:20].max() >= 10
+
+
+def _edges_to_graph(edge_arrays, n):
+    from repro.core.graph import UncertainGraph
+
+    src, dst = edge_arrays
+    graph = UncertainGraph()
+    for i in range(n):
+        graph.add_node(i, 0.1)
+    for s, d in zip(src.tolist(), dst.tolist()):
+        graph.add_edge(int(s), int(d), 0.5)
+    return graph
+
+
+class TestGuaranteeGenerator:
+    def test_edge_count_and_simplicity(self):
+        src, dst = guarantee_edges(1000, 1150, seed=0)
+        assert src.size == 1150
+        assert len(set(zip(src.tolist(), dst.tolist()))) == 1150
+
+    def test_mega_hub_exists(self):
+        src, dst = guarantee_edges(2000, 2300, seed=1)
+        degree = np.bincount(src, minlength=2000) + np.bincount(
+            dst, minlength=2000
+        )
+        # Hub 0 should dwarf the average (paper: max degree 14k on 31k nodes).
+        assert degree[0] >= 50 * max(1.0, degree.mean())
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(DatasetError):
+            guarantee_edges(10, 12, seed=0)
+
+    def test_graph_wrapper(self):
+        graph = guarantee_graph(500, 575, seed=2)
+        assert graph.num_nodes == 500
+        assert graph.num_edges == 575
+        assert all(label.startswith("sme_") for label in graph.labels())
+
+    def test_deterministic(self):
+        a = guarantee_edges(300, 345, seed=9)
+        b = guarantee_edges(300, 345, seed=9)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+
+class TestFraudGenerator:
+    def test_bipartite_direction(self):
+        src, dst, num_merchants = fraud_edges(500, 2000, seed=0)
+        assert np.all(src < num_merchants)  # merchants only on the left
+        assert np.all(dst >= num_merchants)  # consumers only on the right
+
+    def test_edge_count(self):
+        src, dst, _ = fraud_edges(500, 2000, seed=1)
+        assert src.size == 2000
+        assert len(set(zip(src.tolist(), dst.tolist()))) == 2000
+
+    def test_merchant_heavy_tail(self):
+        src, _, num_merchants = fraud_edges(1000, 8000, seed=2)
+        merchant_degree = np.bincount(src, minlength=num_merchants)
+        assert merchant_degree.max() >= 4 * merchant_degree.mean()
+
+    def test_impossible_density_rejected(self):
+        with pytest.raises(DatasetError):
+            fraud_edges(20, 10_000, seed=0)
+
+    def test_graph_wrapper_labels(self):
+        graph = fraud_graph(200, 500, seed=3)
+        merchants = [l for l in graph.labels() if l.startswith("merchant_")]
+        consumers = [l for l in graph.labels() if l.startswith("consumer_")]
+        assert len(merchants) + len(consumers) == 200
+        assert graph.num_edges == 500

@@ -1,0 +1,98 @@
+"""Tests for the maximum-entropy interbank generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DatasetError
+from repro.datasets.interbank import (
+    draw_balance_sheets,
+    interbank_graph,
+    ras_matrix,
+)
+from repro.sampling.rng import make_rng
+
+
+class TestBalanceSheets:
+    def test_marginals_balance(self):
+        sheets = draw_balance_sheets(50, make_rng(0))
+        assert sheets.interbank_assets.sum() == pytest.approx(
+            sheets.interbank_liabilities.sum()
+        )
+
+    def test_all_positive(self):
+        sheets = draw_balance_sheets(50, make_rng(1))
+        assert np.all(sheets.total_assets > 0)
+        assert np.all(sheets.interbank_assets >= 0)
+
+    def test_minimum_banks(self):
+        with pytest.raises(DatasetError):
+            draw_balance_sheets(1, make_rng(0))
+
+
+class TestRASMatrix:
+    def test_marginals_satisfied(self):
+        rng = make_rng(2)
+        rows = rng.uniform(1, 10, 30)
+        cols = rng.uniform(1, 10, 30)
+        cols *= rows.sum() / cols.sum()
+        matrix = ras_matrix(rows, cols)
+        assert np.allclose(matrix.sum(axis=1), rows, rtol=1e-6)
+        assert np.allclose(matrix.sum(axis=0), cols, rtol=1e-6)
+
+    def test_zero_diagonal(self):
+        rng = make_rng(3)
+        rows = rng.uniform(1, 10, 20)
+        cols = rows.copy()
+        matrix = ras_matrix(rows, cols)
+        assert np.allclose(np.diag(matrix), 0.0)
+
+    def test_nonnegative(self):
+        rng = make_rng(4)
+        rows = rng.uniform(0.1, 5, 15)
+        cols = rows[::-1].copy()
+        matrix = ras_matrix(rows, cols)
+        assert np.all(matrix >= 0)
+
+    def test_inconsistent_totals_rejected(self):
+        with pytest.raises(DatasetError, match="disagree"):
+            ras_matrix(np.array([1.0, 2.0]), np.array([1.0, 5.0]))
+
+    def test_negative_marginals_rejected(self):
+        with pytest.raises(DatasetError):
+            ras_matrix(np.array([-1.0, 2.0]), np.array([0.0, 1.0]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DatasetError):
+            ras_matrix(np.array([1.0]), np.array([0.5, 0.5]))
+
+
+class TestInterbankGraph:
+    def test_paper_dimensions(self):
+        graph = interbank_graph(n=125, m=249, seed=0)
+        assert graph.num_nodes == 125
+        assert graph.num_edges <= 249  # zero exposures may drop a few
+        assert graph.num_edges >= 200
+
+    def test_probabilities_in_range(self):
+        graph = interbank_graph(n=60, m=120, seed=1)
+        for label in graph.labels():
+            assert 0 < graph.self_risk(label) <= 0.95
+        for _, _, prob in graph.edges():
+            assert 0.01 <= prob <= 0.95
+
+    def test_smaller_banks_riskier(self):
+        graph = interbank_graph(n=80, m=160, seed=2)
+        risks = graph.self_risk_array
+        # Spread should exist (size-dependent risks).
+        assert risks.max() > risks.min() * 1.5
+
+    def test_deterministic(self):
+        a = interbank_graph(n=40, m=80, seed=5)
+        b = interbank_graph(n=40, m=80, seed=5)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_impossible_edge_count_rejected(self):
+        with pytest.raises(DatasetError):
+            interbank_graph(n=5, m=25, seed=0)

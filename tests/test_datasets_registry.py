@@ -1,0 +1,163 @@
+"""Tests for dataset specs, probability models, and the registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DatasetError
+from repro.datasets.probabilities import (
+    FEATURE_NAMES,
+    assign_financial,
+    assign_uniform,
+    generate_features,
+)
+from repro.datasets.registry import available_datasets, load_dataset, table2_rows
+from repro.datasets.specs import (
+    BENCHMARKS,
+    FINANCIAL,
+    TABLE2_SPECS,
+    spec_for,
+)
+
+
+class TestSpecs:
+    def test_eight_datasets(self):
+        assert len(TABLE2_SPECS) == 8
+        assert set(BENCHMARKS) | set(FINANCIAL) == {
+            spec.name for spec in TABLE2_SPECS
+        }
+
+    def test_spec_lookup_case_insensitive(self):
+        assert spec_for("Interbank").name == "interbank"
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(DatasetError):
+            spec_for("enron")
+
+    def test_scaling(self):
+        spec = spec_for("guarantee")
+        assert spec.scaled_nodes(1.0) == 31_309
+        assert spec.scaled_nodes(0.1) == 3_131
+        assert spec.scaled_nodes(1e-9) == 10  # floor
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(DatasetError):
+            spec_for("wiki").scaled_nodes(0.0)
+        with pytest.raises(DatasetError):
+            spec_for("wiki").scaled_edges(-1.0)
+
+    def test_paper_statistics_recorded(self):
+        spec = spec_for("fraud")
+        assert spec.paper_nodes == 14_242
+        assert spec.paper_max_degree == 85_074
+
+
+class TestFeatures:
+    def test_shape_and_names(self):
+        features = generate_features(100, seed=0)
+        assert features.matrix.shape == (100, len(FEATURE_NAMES))
+        assert features.names == FEATURE_NAMES
+        assert features.num_nodes == 100
+        assert features.num_features == len(FEATURE_NAMES)
+
+    def test_latent_risk_is_probability(self):
+        features = generate_features(500, seed=1)
+        assert np.all(features.latent_risk > 0)
+        assert np.all(features.latent_risk < 1)
+
+    def test_deterministic(self):
+        a = generate_features(50, seed=3)
+        b = generate_features(50, seed=3)
+        assert np.array_equal(a.matrix, b.matrix)
+
+    def test_risky_features_raise_latent_risk(self):
+        """Higher debt ratio (col 1) must push latent risk up on average."""
+        features = generate_features(2000, seed=4)
+        debt = features.matrix[:, 1]
+        high = features.latent_risk[debt > 1.0].mean()
+        low = features.latent_risk[debt < -1.0].mean()
+        assert high > low
+
+    def test_invalid_n(self):
+        with pytest.raises(DatasetError):
+            generate_features(0)
+
+
+class TestProbabilityModels:
+    def test_uniform_assignment(self, paper_graph):
+        assign_uniform(paper_graph, seed=0)
+        risks = paper_graph.self_risk_array
+        assert len(np.unique(risks)) == 5  # actually random now
+        _, _, probs = paper_graph.edge_array
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_uniform_deterministic(self, paper_graph):
+        assign_uniform(paper_graph, seed=5)
+        first = paper_graph.self_risk_array.copy()
+        assign_uniform(paper_graph, seed=5)
+        assert np.array_equal(paper_graph.self_risk_array, first)
+
+    def test_financial_assignment(self, paper_graph):
+        features = assign_financial(paper_graph, seed=0)
+        assert features.matrix.shape[0] == 5
+        risks = paper_graph.self_risk_array
+        assert np.all((risks >= 0.005) & (risks <= 0.95))
+        _, _, probs = paper_graph.edge_array
+        assert np.all((probs >= 0.01) & (probs <= 0.95))
+
+
+class TestRegistry:
+    def test_available_names_ordered(self):
+        assert available_datasets() == [spec.name for spec in TABLE2_SPECS]
+
+    @pytest.mark.parametrize("name", [spec.name for spec in TABLE2_SPECS])
+    def test_every_dataset_loads_small(self, name):
+        loaded = load_dataset(name, scale=0.02 if name != "interbank" else 0.5, seed=0)
+        loaded.graph.validate()
+        assert loaded.graph.num_nodes >= 10
+        assert loaded.name == name
+
+    def test_deterministic_load(self):
+        a = load_dataset("citation", scale=0.1, seed=4)
+        b = load_dataset("citation", scale=0.1, seed=4)
+        assert sorted(a.graph.edges()) == sorted(b.graph.edges())
+
+    def test_different_seeds_differ(self):
+        a = load_dataset("citation", scale=0.1, seed=1)
+        b = load_dataset("citation", scale=0.1, seed=2)
+        assert sorted(a.graph.edges()) != sorted(b.graph.edges())
+
+    def test_financial_datasets_expose_features(self):
+        loaded = load_dataset("guarantee", scale=0.02, seed=0)
+        assert loaded.features is not None
+        assert loaded.features.matrix.shape[0] == loaded.graph.num_nodes
+
+    def test_benchmark_datasets_have_no_features(self):
+        loaded = load_dataset("wiki", scale=0.02, seed=0)
+        assert loaded.features is None
+
+    def test_avg_degree_tracks_spec(self):
+        loaded = load_dataset("p2p", scale=0.05, seed=0)
+        stats = loaded.graph.stats()
+        assert stats.avg_degree == pytest.approx(
+            loaded.spec.paper_avg_degree, rel=0.15
+        )
+
+    def test_k_for_percent(self):
+        loaded = load_dataset("interbank", seed=0)
+        assert loaded.k_for_percent(1.0) == 1  # the paper's 1%|V| = 1 case
+        assert loaded.k_for_percent(10.0) == 12  # round(12.5), banker's
+        with pytest.raises(DatasetError):
+            loaded.k_for_percent(0.0)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(DatasetError):
+            load_dataset("wiki", scale=-0.5)
+
+    def test_table2_rows_cover_all(self):
+        rows = table2_rows(scale=None, seed=0)
+        assert [row["dataset"] for row in rows] == available_datasets()
+        for row in rows:
+            assert row["nodes"] > 0
+            assert row["edges"] > 0

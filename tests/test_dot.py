@@ -1,0 +1,54 @@
+"""Tests for the Graphviz DOT exporter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import GraphError
+from repro.io.dot import to_dot, write_dot
+
+
+class TestToDot:
+    def test_structure(self, paper_graph):
+        dot = to_dot(paper_graph)
+        assert dot.startswith("digraph uncertain_graph {")
+        assert dot.rstrip().endswith("}")
+        assert '"A" -> "B"' in dot
+        assert dot.count("->") == paper_graph.num_edges
+
+    def test_default_scores_are_self_risks(self, paper_graph):
+        dot = to_dot(paper_graph)
+        assert 'tooltip="p=0.2000"' in dot
+
+    def test_custom_scores_and_highlight(self, paper_graph):
+        dot = to_dot(
+            paper_graph,
+            scores={"E": 0.95},
+            highlight={"E"},
+        )
+        assert "penwidth=3" in dot
+        assert 'tooltip="p=0.9500"' in dot
+
+    def test_score_out_of_range_rejected(self, paper_graph):
+        with pytest.raises(GraphError):
+            to_dot(paper_graph, scores={"E": 1.5})
+
+    def test_risky_nodes_are_redder(self, paper_graph):
+        safe = to_dot(paper_graph, scores={label: 0.0 for label in "ABCDE"})
+        risky = to_dot(paper_graph, scores={label: 1.0 for label in "ABCDE"})
+        assert "#ffffff" in safe  # white at zero risk
+        assert "#ff0000" in risky  # full red at certain default
+
+    def test_quotes_escaped(self):
+        from repro.core.graph import UncertainGraph
+
+        graph = UncertainGraph()
+        graph.add_node('we"ird', 0.5)
+        dot = to_dot(graph)
+        assert '\\"' in dot
+
+    def test_write_dot(self, paper_graph, tmp_path):
+        path = tmp_path / "graph.dot"
+        write_dot(paper_graph, path, highlight={"E"})
+        content = path.read_text()
+        assert "digraph" in content

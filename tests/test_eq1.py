@@ -1,0 +1,150 @@
+"""Tests for repro.core.eq1 — the Equation (1) operator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.eq1 import (
+    apply_eq1,
+    dag_default_probabilities,
+    iterate_eq1,
+    topological_order,
+)
+from repro.core.errors import GraphError
+from repro.core.exact import exact_default_probabilities
+from repro.core.graph import UncertainGraph
+
+
+class TestApplyEq1:
+    def test_one_step_from_self_risks_matches_paper(self, paper_graph):
+        """Applying Eq.(1) with p(x) = ps(x) gives the paper's p(B)."""
+        result = apply_eq1(paper_graph, paper_graph.self_risk_array)
+        assert result[paper_graph.index("B")] == pytest.approx(0.232)
+
+    def test_no_in_neighbors_returns_self_risk(self, paper_graph):
+        result = apply_eq1(paper_graph, paper_graph.self_risk_array)
+        assert result[paper_graph.index("A")] == pytest.approx(0.2)
+
+    def test_two_in_neighbors_hand_computed(self):
+        graph = UncertainGraph()
+        graph.add_node("u", 0.5)
+        graph.add_node("w", 0.4)
+        graph.add_node("v", 0.1)
+        graph.add_edge("u", "v", 0.6)
+        graph.add_edge("w", "v", 0.3)
+        result = apply_eq1(graph, graph.self_risk_array)
+        expected = 1 - (1 - 0.1) * (1 - 0.6 * 0.5) * (1 - 0.3 * 0.4)
+        assert result[graph.index("v")] == pytest.approx(expected)
+
+    def test_input_of_ones(self, paper_graph):
+        result = apply_eq1(paper_graph, np.ones(5))
+        b = paper_graph.index("B")
+        assert result[b] == pytest.approx(1 - 0.8 * 0.8)
+
+    def test_certain_edge_and_certain_neighbor_forces_default(self):
+        graph = UncertainGraph()
+        graph.add_node("u", 1.0)
+        graph.add_node("v", 0.0)
+        graph.add_edge("u", "v", 1.0)
+        result = apply_eq1(graph, graph.self_risk_array)
+        assert result[graph.index("v")] == pytest.approx(1.0)
+
+    def test_shape_validation(self, paper_graph):
+        with pytest.raises(GraphError):
+            apply_eq1(paper_graph, np.zeros(3))
+
+    def test_empty_graph(self):
+        graph = UncertainGraph()
+        assert apply_eq1(graph, np.zeros(0)).shape == (0,)
+
+    def test_monotone_in_input(self, paper_graph):
+        low = apply_eq1(paper_graph, np.full(5, 0.1))
+        high = apply_eq1(paper_graph, np.full(5, 0.9))
+        assert np.all(high >= low - 1e-12)
+
+    def test_output_in_unit_interval(self, small_random_graph):
+        result = apply_eq1(
+            small_random_graph, small_random_graph.self_risk_array
+        )
+        assert np.all(result >= 0.0)
+        assert np.all(result <= 1.0)
+
+
+class TestIterateEq1:
+    def test_converges_on_dag(self, paper_graph):
+        fixed_point, iterations = iterate_eq1(paper_graph)
+        assert iterations < 100
+        again = apply_eq1(paper_graph, fixed_point)
+        assert np.allclose(again, fixed_point, atol=1e-9)
+
+    def test_monotone_nondecreasing_from_self_risks(self, small_random_graph):
+        current = small_random_graph.self_risk_array
+        for _ in range(5):
+            updated = apply_eq1(small_random_graph, current)
+            assert np.all(updated >= current - 1e-12)
+            current = updated
+
+    def test_custom_start(self, paper_graph):
+        fixed_point, _ = iterate_eq1(paper_graph, start=np.ones(5))
+        # Starting from 1 must land at or above the from-below fixed point.
+        from_below, _ = iterate_eq1(paper_graph)
+        assert np.all(fixed_point >= from_below - 1e-9)
+
+    def test_max_iter_respected(self, small_random_graph):
+        _, iterations = iterate_eq1(small_random_graph, max_iter=3, tol=0.0)
+        assert iterations == 3
+
+
+class TestTopologicalOrder:
+    def test_chain_order(self, chain_graph):
+        order = topological_order(chain_graph)
+        labels = [chain_graph.label(i) for i in order]
+        assert labels == ["a", "b", "c", "d"]
+
+    def test_respects_edges(self, paper_graph):
+        order = topological_order(paper_graph)
+        position = {node: i for i, node in enumerate(order)}
+        for src, dst, _ in paper_graph.edges():
+            assert position[paper_graph.index(src)] < position[
+                paper_graph.index(dst)
+            ]
+
+    def test_cycle_detected(self):
+        graph = UncertainGraph()
+        graph.add_node("x", 0.1)
+        graph.add_node("y", 0.1)
+        graph.add_edge("x", "y", 0.5)
+        graph.add_edge("y", "x", 0.5)
+        with pytest.raises(GraphError, match="cycle"):
+            topological_order(graph)
+
+
+class TestDagProbabilities:
+    def test_matches_iterated_fixed_point(self, paper_graph):
+        direct = dag_default_probabilities(paper_graph)
+        iterated, _ = iterate_eq1(paper_graph)
+        assert np.allclose(direct, iterated, atol=1e-9)
+
+    def test_exact_on_tree(self):
+        """On trees Eq.(1) equals the possible-world probability exactly."""
+        graph = UncertainGraph()
+        graph.add_node("root", 0.3)
+        graph.add_node("left", 0.1)
+        graph.add_node("right", 0.2)
+        graph.add_node("leaf", 0.05)
+        graph.add_edge("root", "left", 0.5)
+        graph.add_edge("root", "right", 0.4)
+        graph.add_edge("left", "leaf", 0.6)
+        eq1 = dag_default_probabilities(graph)
+        exact = exact_default_probabilities(graph)
+        assert np.allclose(eq1, exact, atol=1e-12)
+
+    def test_diamond_overestimates_exact(self, diamond_graph):
+        """Shared ancestors → positive correlation → Eq.(1) over-counts."""
+        eq1 = dag_default_probabilities(diamond_graph)
+        exact = exact_default_probabilities(diamond_graph)
+        d = diamond_graph.index("D")
+        assert eq1[d] >= exact[d] - 1e-12
+        # And strictly so for this configuration:
+        assert eq1[d] > exact[d]

@@ -1,0 +1,102 @@
+"""Tests for the confidence-interval estimators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import SamplingError
+from repro.sampling.estimators import (
+    ProbabilityInterval,
+    hoeffding_interval,
+    wilson_interval,
+)
+
+
+class TestProbabilityInterval:
+    def test_width_and_contains(self):
+        interval = ProbabilityInterval(0.5, 0.4, 0.6, 0.95)
+        assert interval.width == pytest.approx(0.2)
+        assert interval.contains(0.45)
+        assert not interval.contains(0.39)
+
+    def test_inconsistent_interval_rejected(self):
+        with pytest.raises(SamplingError):
+            ProbabilityInterval(0.7, 0.4, 0.6, 0.95)
+
+
+class TestHoeffdingInterval:
+    def test_centre_is_empirical_rate(self):
+        interval = hoeffding_interval(30, 100)
+        assert interval.estimate == pytest.approx(0.3)
+
+    def test_clipped_to_unit_interval(self):
+        low = hoeffding_interval(0, 10)
+        high = hoeffding_interval(10, 10)
+        assert low.lower == 0.0
+        assert high.upper == 1.0
+
+    def test_width_shrinks_with_samples(self):
+        narrow = hoeffding_interval(500, 1000)
+        wide = hoeffding_interval(50, 100)
+        assert narrow.width < wide.width
+
+    def test_width_grows_with_confidence(self):
+        loose = hoeffding_interval(50, 100, confidence=0.8)
+        tight = hoeffding_interval(50, 100, confidence=0.99)
+        assert tight.width > loose.width
+
+    def test_input_validation(self):
+        with pytest.raises(SamplingError):
+            hoeffding_interval(5, 0)
+        with pytest.raises(SamplingError):
+            hoeffding_interval(11, 10)
+        with pytest.raises(SamplingError):
+            hoeffding_interval(5, 10, confidence=1.0)
+
+    def test_coverage_statistical(self):
+        """~95% of intervals must contain the true rate."""
+        rng = np.random.default_rng(0)
+        true_p, t = 0.3, 200
+        covered = 0
+        trials = 300
+        for _ in range(trials):
+            successes = int(rng.binomial(t, true_p))
+            if hoeffding_interval(successes, t).contains(true_p):
+                covered += 1
+        assert covered / trials > 0.9
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        for successes in (0, 1, 17, 99, 100):
+            interval = wilson_interval(successes, 100)
+            assert interval.contains(successes / 100)
+
+    def test_tighter_than_hoeffding_near_edges(self):
+        wilson = wilson_interval(2, 500)
+        hoeffding = hoeffding_interval(2, 500)
+        assert wilson.width < hoeffding.width
+
+    def test_nonstandard_confidence_accepted(self):
+        interval = wilson_interval(40, 100, confidence=0.925)
+        assert 0.0 <= interval.lower <= interval.upper <= 1.0
+
+    def test_coverage_statistical(self):
+        rng = np.random.default_rng(1)
+        true_p, t = 0.05, 400  # edge-ish rate, Wilson's home turf
+        covered = 0
+        trials = 300
+        for _ in range(trials):
+            successes = int(rng.binomial(t, true_p))
+            if wilson_interval(successes, t).contains(true_p):
+                covered += 1
+        assert covered / trials > 0.9
+
+    @given(st.integers(1, 500), st.data())
+    def test_always_well_formed(self, samples, data):
+        successes = data.draw(st.integers(0, samples))
+        interval = wilson_interval(successes, samples)
+        assert 0.0 <= interval.lower <= interval.upper <= 1.0

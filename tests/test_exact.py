@@ -1,0 +1,91 @@
+"""Tests for repro.core.exact — the enumeration oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exact import exact_default_probabilities, exact_top_k
+from repro.core.graph import UncertainGraph
+
+
+class TestExactProbabilities:
+    def test_paper_example_1(self, paper_graph):
+        """The paper's Example 1: p(A) = 0.2 and p(B) = 0.232."""
+        probabilities = exact_default_probabilities(paper_graph)
+        assert probabilities[paper_graph.index("A")] == pytest.approx(0.2)
+        assert probabilities[paper_graph.index("B")] == pytest.approx(0.232)
+
+    def test_symmetry_b_and_c(self, paper_graph):
+        """B and C are symmetric in Figure 3, so p(B) == p(C)."""
+        probabilities = exact_default_probabilities(paper_graph)
+        assert probabilities[paper_graph.index("B")] == pytest.approx(
+            probabilities[paper_graph.index("C")]
+        )
+
+    def test_sink_is_most_vulnerable(self, paper_graph):
+        """E receives risk from everyone, so it has the highest p(v)."""
+        probabilities = exact_default_probabilities(paper_graph)
+        assert np.argmax(probabilities) == paper_graph.index("E")
+
+    def test_isolated_node_probability_is_self_risk(self, singleton_graph):
+        probabilities = exact_default_probabilities(singleton_graph)
+        assert probabilities[0] == pytest.approx(0.4)
+
+    def test_two_node_chain_hand_computed(self):
+        graph = UncertainGraph()
+        graph.add_node("u", 0.3)
+        graph.add_node("v", 0.1)
+        graph.add_edge("u", "v", 0.5)
+        probabilities = exact_default_probabilities(graph)
+        # p(v) = 1 - (1 - 0.1)(1 - 0.5 * 0.3)
+        assert probabilities[graph.index("v")] == pytest.approx(
+            1 - 0.9 * (1 - 0.15)
+        )
+
+    def test_probability_bounds(self, small_random_graph):
+        probabilities = exact_default_probabilities(small_random_graph)
+        ps = small_random_graph.self_risk_array
+        assert np.all(probabilities >= ps - 1e-12)
+        assert np.all(probabilities <= 1.0 + 1e-12)
+
+    def test_deterministic_graph(self):
+        graph = UncertainGraph()
+        graph.add_node("a", 1.0)
+        graph.add_node("b", 0.0)
+        graph.add_edge("a", "b", 1.0)
+        probabilities = exact_default_probabilities(graph)
+        assert probabilities[0] == pytest.approx(1.0)
+        assert probabilities[1] == pytest.approx(1.0)
+
+    def test_monotone_in_edge_probability(self):
+        def p_of_v(edge_probability):
+            graph = UncertainGraph()
+            graph.add_node("u", 0.4)
+            graph.add_node("v", 0.1)
+            graph.add_edge("u", "v", edge_probability)
+            return exact_default_probabilities(graph)[graph.index("v")]
+
+        values = [p_of_v(p) for p in (0.0, 0.25, 0.5, 0.75, 1.0)]
+        assert values == sorted(values)
+        assert values[0] == pytest.approx(0.1)
+
+
+class TestExactTopK:
+    def test_top_1_is_e(self, paper_graph):
+        assert exact_top_k(paper_graph, 1) == ["E"]
+
+    def test_top_2(self, paper_graph):
+        assert exact_top_k(paper_graph, 2) == ["E", "D"]
+
+    def test_top_all_ordering(self, paper_graph):
+        order = exact_top_k(paper_graph, 5)
+        assert order[0] == "E"
+        assert order[1] == "D"
+        assert set(order[2:4]) == {"B", "C"}
+        assert order[4] == "A"
+
+    def test_ties_broken_by_insertion_order(self, paper_graph):
+        # B and C tie exactly; B was inserted first.
+        order = exact_top_k(paper_graph, 5)
+        assert order.index("B") < order.index("C")

@@ -1,0 +1,125 @@
+"""End-to-end integration tests across the whole pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import ALL_METHODS, make_detector
+from repro.core.exact import exact_top_k
+from repro.datasets.registry import load_dataset
+from repro.experiments.ground_truth import ground_truth_for
+from repro.io.jsonio import graph_from_dict, graph_to_dict, result_to_dict
+from repro.metrics.ranking import jaccard, precision_at_k
+
+
+class TestDatasetToDetectionPipeline:
+    """Generate a dataset, compute ground truth, run every method."""
+
+    @pytest.fixture(scope="class")
+    def loaded(self):
+        return load_dataset("citation", scale=0.05, seed=11)
+
+    @pytest.fixture(scope="class")
+    def truth(self, loaded):
+        return ground_truth_for(loaded, samples=3000)
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_method_reaches_reasonable_precision(self, loaded, truth, method):
+        k = loaded.k_for_percent(5.0)
+        detector = make_detector(
+            method, samples=3000, epsilon=0.3, delta=0.1, seed=1
+        )
+        result = detector.detect(loaded.graph, k)
+        truth_set = truth.top_k_labels(loaded.graph, k)
+        precision = precision_at_k(result.nodes, truth_set)
+        # The paper's Figure 7 sits in 0.70-0.96 at these settings.
+        assert precision >= 0.6, f"{method} precision {precision:.2f}"
+
+    def test_methods_agree_with_each_other(self, loaded):
+        k = loaded.k_for_percent(5.0)
+        answers = {}
+        for method in ALL_METHODS:
+            detector = make_detector(
+                method, samples=2000, epsilon=0.3, delta=0.1, seed=2
+            )
+            answers[method] = set(detector.detect(loaded.graph, k).nodes)
+        for method, answer in answers.items():
+            if method == "N":
+                continue
+            assert jaccard(answer, answers["N"]) >= 0.4, method
+
+    def test_pruned_methods_sample_less(self, loaded):
+        k = loaded.k_for_percent(5.0)
+        sn = make_detector("SN", epsilon=0.3, delta=0.1, seed=0).detect(
+            loaded.graph, k
+        )
+        bsr = make_detector("BSR", epsilon=0.3, delta=0.1, seed=0).detect(
+            loaded.graph, k
+        )
+        bsrbk = make_detector("BSRBK", epsilon=0.3, delta=0.1, seed=0).detect(
+            loaded.graph, k
+        )
+        assert bsr.samples_used <= sn.samples_used
+        assert bsrbk.samples_used <= bsr.samples_used
+
+    def test_serialisation_round_trip_preserves_detection(self, loaded):
+        k = 3
+        graph_copy = graph_from_dict(graph_to_dict(loaded.graph))
+        original = make_detector("BSR", seed=5).detect(loaded.graph, k)
+        replayed = make_detector("BSR", seed=5).detect(graph_copy, k)
+        assert original.nodes == replayed.nodes
+        payload = result_to_dict(original)
+        assert payload["k"] == k
+
+
+class TestSmallGraphConsensus:
+    """On an exactly solvable graph, all methods converge to the truth
+    when the probability gaps exceed epsilon."""
+
+    @pytest.fixture(scope="class")
+    def gapped_graph(self):
+        from repro.core.graph import UncertainGraph
+
+        graph = UncertainGraph()
+        risks = [0.85, 0.55, 0.25, 0.1, 0.05, 0.02]
+        for i, risk in enumerate(risks):
+            graph.add_node(f"v{i}", risk)
+        graph.add_edge("v0", "v3", 0.4)
+        graph.add_edge("v1", "v4", 0.4)
+        graph.add_edge("v2", "v5", 0.4)
+        return graph
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_exact_agreement(self, gapped_graph, method, k):
+        truth = set(exact_top_k(gapped_graph, k))
+        detector = make_detector(
+            method, samples=4000, epsilon=0.15, delta=0.05, seed=3
+        )
+        result = detector.detect(gapped_graph, k)
+        assert set(result.nodes) == truth
+
+
+class TestFinancialPipeline:
+    def test_guarantee_detection_hits_high_risk_nodes(self):
+        """Top-k on the guarantee network should be enriched with nodes
+        whose latent risk is high (the financial model's ground truth)."""
+        loaded = load_dataset("guarantee", scale=0.03, seed=13)
+        assert loaded.features is not None
+        k = loaded.k_for_percent(10.0)
+        result = make_detector("BSRBK", seed=4).detect(loaded.graph, k)
+        latent = loaded.features.latent_risk
+        chosen = [loaded.graph.index(label) for label in result.nodes]
+        assert latent[chosen].mean() > latent.mean()
+
+    def test_interbank_contagion_raises_probabilities(self):
+        """Monte-Carlo default probabilities must exceed self-risks for
+        exposed banks (contagion adds risk)."""
+        loaded = load_dataset("interbank", seed=14)
+        truth = ground_truth_for(loaded, samples=3000)
+        ps = loaded.graph.self_risk_array
+        in_degree = loaded.graph.in_csr().degrees
+        exposed = in_degree > 0
+        lift = truth.probabilities[exposed] - ps[exposed]
+        assert lift.mean() > 0

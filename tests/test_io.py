@@ -1,0 +1,122 @@
+"""Tests for repro.io — edge-list and JSON serialisation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.algorithms.naive import NaiveDetector
+from repro.core.errors import GraphError
+from repro.io.edgelist import (
+    dumps_edgelist,
+    loads_edgelist,
+    read_edgelist,
+    write_edgelist,
+)
+from repro.io.jsonio import (
+    graph_from_dict,
+    graph_to_dict,
+    load_graph_json,
+    result_to_dict,
+    save_graph_json,
+    save_results_json,
+)
+
+
+class TestEdgelist:
+    def test_string_round_trip(self, paper_graph):
+        text = dumps_edgelist(paper_graph)
+        back = loads_edgelist(text)
+        assert back.num_nodes == 5
+        assert back.num_edges == 6
+        assert back.self_risk("E") == pytest.approx(0.2)
+        assert back.edge_probability("A", "B") == pytest.approx(0.2)
+
+    def test_file_round_trip(self, paper_graph, tmp_path):
+        path = tmp_path / "graph.txt"
+        write_edgelist(paper_graph, path)
+        back = read_edgelist(path)
+        assert sorted(str(s) for s, _, _ in back.edges()) == sorted(
+            str(s) for s, _, _ in paper_graph.edges()
+        )
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# comment\n\nN a 0.5\nN b 0.25\n# another\nE a b 0.75\n"
+        graph = loads_edgelist(text)
+        assert graph.num_nodes == 2
+        assert graph.edge_probability("a", "b") == pytest.approx(0.75)
+
+    def test_bad_record_type(self):
+        with pytest.raises(GraphError, match="unknown record"):
+            loads_edgelist("X a b\n")
+
+    def test_bad_field_counts(self):
+        with pytest.raises(GraphError):
+            loads_edgelist("N a\n")
+        with pytest.raises(GraphError):
+            loads_edgelist("N a 0.5\nN b 0.5\nE a b\n")
+
+    def test_probability_precision_preserved(self):
+        from repro.core.graph import UncertainGraph
+
+        graph = UncertainGraph()
+        graph.add_node("x", 0.123456789012)
+        assert loads_edgelist(dumps_edgelist(graph)).self_risk(
+            "x"
+        ) == pytest.approx(0.123456789012, abs=1e-12)
+
+
+class TestGraphJson:
+    def test_dict_round_trip(self, paper_graph):
+        payload = graph_to_dict(paper_graph)
+        back = graph_from_dict(payload)
+        assert sorted(back.edges()) == sorted(paper_graph.edges())
+
+    def test_payload_is_json_serialisable(self, paper_graph):
+        json.dumps(graph_to_dict(paper_graph))
+
+    def test_file_round_trip(self, paper_graph, tmp_path):
+        path = tmp_path / "graph.json"
+        save_graph_json(paper_graph, path)
+        back = load_graph_json(path)
+        assert back.num_nodes == paper_graph.num_nodes
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(GraphError):
+            graph_from_dict({"format": "something-else"})
+
+    def test_integer_labels_survive(self):
+        from repro.core.graph import UncertainGraph
+
+        graph = UncertainGraph()
+        graph.add_node(0, 0.5)
+        graph.add_node(1, 0.5)
+        graph.add_edge(0, 1, 0.5)
+        back = graph_from_dict(graph_to_dict(graph))
+        assert back.has_edge(0, 1)
+
+
+class TestResultsJson:
+    def test_result_round_trip(self, paper_graph, tmp_path):
+        result = NaiveDetector(samples=100, seed=0).detect(paper_graph, 2)
+        payload = result_to_dict(result)
+        json.dumps(payload)  # must be serialisable
+        assert payload["method"] == "N"
+        assert len(payload["nodes"]) == 2
+        path = tmp_path / "results.json"
+        save_results_json([result], path)
+        with open(path) as handle:
+            loaded = json.load(handle)
+        assert loaded[0]["k"] == 2
+
+    def test_numpy_values_jsonified(self, paper_graph):
+        import numpy as np
+
+        result = NaiveDetector(samples=50, seed=0).detect(paper_graph, 1)
+        tampered = result.details
+        tampered["np_value"] = np.float64(1.5)
+        tampered["array"] = [np.int64(3)]
+        payload = result_to_dict(result)
+        json.dumps(payload)
+        assert payload["details"]["np_value"] == 1.5

@@ -1,0 +1,159 @@
+"""Tests for repro.metrics — precision, AUC, rank agreement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ExperimentError
+from repro.metrics.auc import roc_auc, roc_curve
+from repro.metrics.ranking import (
+    jaccard,
+    kendall_tau,
+    mean_absolute_error,
+    precision_at_k,
+    recall_at_k,
+)
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        assert precision_at_k({"a", "b"}, {"a", "b"}) == 1.0
+        assert recall_at_k({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_half(self):
+        assert precision_at_k(["a", "x"], ["a", "b"]) == 0.5
+
+    def test_disjoint(self):
+        assert precision_at_k(["x"], ["a"]) == 0.0
+
+    def test_precision_normalises_by_returned(self):
+        assert precision_at_k(["a"], ["a", "b", "c"]) == 1.0
+        assert recall_at_k(["a"], ["a", "b", "c"]) == pytest.approx(1 / 3)
+
+    def test_empty_returned_rejected(self):
+        with pytest.raises(ExperimentError):
+            precision_at_k([], ["a"])
+
+    def test_empty_truth_rejected(self):
+        with pytest.raises(ExperimentError):
+            recall_at_k(["a"], [])
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard({"a"}, {"a"}) == 1.0
+
+    def test_partial(self):
+        assert jaccard({"a", "b"}, {"b", "c"}) == pytest.approx(1 / 3)
+
+    def test_both_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            jaccard([], [])
+
+
+class TestKendallTau:
+    def test_identical_orders(self):
+        assert kendall_tau(["a", "b", "c"], ["a", "b", "c"]) == 1.0
+
+    def test_reversed_orders(self):
+        assert kendall_tau(["a", "b", "c"], ["c", "b", "a"]) == -1.0
+
+    def test_single_swap(self):
+        assert kendall_tau(["a", "b", "c"], ["b", "a", "c"]) == pytest.approx(
+            1 / 3
+        )
+
+    def test_different_items_rejected(self):
+        with pytest.raises(ExperimentError):
+            kendall_tau(["a"], ["b"])
+
+    def test_short_rankings(self):
+        assert kendall_tau(["a"], ["a"]) == 1.0
+
+
+class TestMAE:
+    def test_hand_computed(self):
+        assert mean_absolute_error([0.1, 0.5], [0.2, 0.3]) == pytest.approx(
+            0.15
+        )
+
+    def test_zero_for_equal(self):
+        assert mean_absolute_error([0.4, 0.4], [0.4, 0.4]) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ExperimentError):
+            mean_absolute_error([0.1], [0.1, 0.2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            mean_absolute_error([], [])
+
+
+class TestAUC:
+    def test_perfect_separation(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc(labels, scores) == 1.0
+
+    def test_perfectly_wrong(self):
+        labels = np.array([1, 1, 0, 0])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc(labels, scores) == 0.0
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, 2000)
+        scores = rng.random(2000)
+        assert roc_auc(labels, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_ties_get_half_credit(self):
+        labels = np.array([0, 1])
+        scores = np.array([0.5, 0.5])
+        assert roc_auc(labels, scores) == 0.5
+
+    def test_hand_computed_mixed(self):
+        labels = np.array([1, 0, 1, 0])
+        scores = np.array([0.9, 0.8, 0.7, 0.1])
+        # Pairs: (0.9>0.8)=1, (0.9>0.1)=1, (0.7<0.8)=0, (0.7>0.1)=1 -> 3/4.
+        assert roc_auc(labels, scores) == pytest.approx(0.75)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ExperimentError):
+            roc_auc(np.array([1, 1]), np.array([0.1, 0.2]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ExperimentError):
+            roc_auc(np.array([1, 0]), np.array([0.1]))
+
+    @given(st.integers(1, 10_000))
+    def test_invariant_under_monotone_transform(self, seed):
+        rng = np.random.default_rng(seed)
+        labels = np.concatenate([np.ones(10), np.zeros(10)]).astype(int)
+        scores = rng.random(20)
+        direct = roc_auc(labels, scores)
+        squashed = roc_auc(labels, 1 / (1 + np.exp(-5 * scores)))
+        assert direct == pytest.approx(squashed)
+
+
+class TestROCCurve:
+    def test_endpoints(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        fpr, tpr = roc_curve(labels, scores, thresholds=11)
+        assert fpr[-1] == 1.0
+        assert tpr[-1] == 1.0
+
+    def test_monotone(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 2, 100)
+        scores = rng.random(100)
+        fpr, tpr = roc_curve(labels, scores)
+        assert np.all(np.diff(fpr) >= -1e-12)
+        assert np.all(np.diff(tpr) >= -1e-12)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ExperimentError):
+            roc_curve(np.ones(3), np.array([0.1, 0.2, 0.3]))

@@ -1,0 +1,174 @@
+"""Gradient checks and training tests for the numpy NN engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.ml.nn import (
+    Adam,
+    Conv1D,
+    Dense,
+    GlobalMaxPool1D,
+    LeakyReLU,
+    ReLU,
+    Sequential,
+    bce_grad,
+    bce_with_logits,
+    train_network,
+)
+from repro.core.errors import ReproError
+from repro.sampling.rng import make_rng
+
+
+def finite_difference_check(model, X, y, epsilon=1e-6, tolerance=1e-4):
+    """Compare backprop parameter gradients against central differences."""
+    logits = model.forward(X)
+    model.backward(bce_grad(logits, y))
+    for param, grad in model.parameters():
+        flat = param.ravel()
+        flat_grad = grad.ravel()
+        # Spot-check a handful of coordinates to keep the test fast.
+        rng = np.random.default_rng(0)
+        for index in rng.choice(flat.size, size=min(flat.size, 6), replace=False):
+            original = flat[index]
+            flat[index] = original + epsilon
+            loss_plus = bce_with_logits(model.forward(X), y)
+            flat[index] = original - epsilon
+            loss_minus = bce_with_logits(model.forward(X), y)
+            flat[index] = original
+            numeric = (loss_plus - loss_minus) / (2 * epsilon)
+            assert flat_grad[index] == pytest.approx(
+                numeric, abs=tolerance
+            ), f"gradient mismatch at parameter coordinate {index}"
+
+
+@pytest.fixture
+def toy_data():
+    rng = make_rng(0)
+    X = rng.normal(size=(32, 6))
+    y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(np.float64)
+    return X, y
+
+
+class TestGradients:
+    def test_dense_gradient(self, toy_data):
+        X, y = toy_data
+        model = Sequential([Dense(6, 1, make_rng(1))])
+        finite_difference_check(model, X, y)
+
+    def test_mlp_gradient(self, toy_data):
+        X, y = toy_data
+        rng = make_rng(2)
+        model = Sequential([Dense(6, 8, rng), ReLU(), Dense(8, 1, rng)])
+        finite_difference_check(model, X, y)
+
+    def test_leaky_relu_gradient(self, toy_data):
+        X, y = toy_data
+        rng = make_rng(3)
+        model = Sequential([Dense(6, 5, rng), LeakyReLU(0.1), Dense(5, 1, rng)])
+        finite_difference_check(model, X, y)
+
+    def test_conv_maxpool_gradient(self, toy_data):
+        X, y = toy_data
+        rng = make_rng(4)
+        model = Sequential(
+            [Conv1D(3, 4, rng), ReLU(), GlobalMaxPool1D(), Dense(4, 1, rng)]
+        )
+        finite_difference_check(model, X, y, tolerance=2e-4)
+
+
+class TestLayerMechanics:
+    def test_dense_shapes(self):
+        layer = Dense(4, 7, make_rng(0))
+        out = layer.forward(np.zeros((3, 4)))
+        assert out.shape == (3, 7)
+        back = layer.backward(np.ones((3, 7)))
+        assert back.shape == (3, 4)
+
+    def test_relu_zeroes_negatives(self):
+        layer = ReLU()
+        out = layer.forward(np.array([[-1.0, 2.0]]))
+        assert np.array_equal(out, [[0.0, 2.0]])
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(ReproError):
+            ReLU().backward(np.zeros((1, 1)))
+        with pytest.raises(ReproError):
+            Dense(2, 2, make_rng(0)).backward(np.zeros((1, 2)))
+
+    def test_conv_output_shape(self):
+        layer = Conv1D(3, 5, make_rng(0))
+        out = layer.forward(np.zeros((2, 8)))
+        assert out.shape == (2, 6, 5)
+
+    def test_conv_rejects_short_input(self):
+        layer = Conv1D(5, 2, make_rng(0))
+        with pytest.raises(ReproError):
+            layer.forward(np.zeros((1, 3)))
+
+    def test_maxpool_selects_maximum(self):
+        layer = GlobalMaxPool1D()
+        x = np.array([[[1.0], [5.0], [3.0]]])  # (1, 3, 1)
+        assert layer.forward(x)[0, 0] == 5.0
+
+    def test_maxpool_routes_gradient_to_argmax(self):
+        layer = GlobalMaxPool1D()
+        x = np.array([[[1.0], [5.0], [3.0]]])
+        layer.forward(x)
+        grad = layer.backward(np.array([[2.0]]))
+        assert grad[0, 1, 0] == 2.0
+        assert grad[0, 0, 0] == 0.0
+
+    def test_sequential_requires_layers(self):
+        with pytest.raises(ReproError):
+            Sequential([])
+
+
+class TestLoss:
+    def test_bce_matches_manual(self):
+        logits = np.array([0.0, 2.0])
+        y = np.array([1.0, 0.0])
+        manual = -(np.log(0.5) + np.log(1 - 1 / (1 + np.exp(-2)))) / 2
+        assert bce_with_logits(logits, y) == pytest.approx(manual)
+
+    def test_bce_grad_shape_and_sign(self):
+        logits = np.array([[3.0], [-3.0]])
+        y = np.array([0.0, 1.0])
+        grad = bce_grad(logits, y)
+        assert grad.shape == logits.shape
+        assert grad[0, 0] > 0  # over-predicting a negative
+        assert grad[1, 0] < 0  # under-predicting a positive
+
+    def test_bce_stable_for_large_logits(self):
+        loss = bce_with_logits(np.array([1000.0, -1000.0]), np.array([1.0, 0.0]))
+        assert np.isfinite(loss)
+        assert loss == pytest.approx(0.0, abs=1e-9)
+
+
+class TestTraining:
+    def test_adam_reduces_loss(self, toy_data):
+        X, y = toy_data
+        rng = make_rng(5)
+        model = Sequential([Dense(6, 8, rng), ReLU(), Dense(8, 1, rng)])
+        losses = train_network(
+            model, X, y, epochs=60, batch_size=16, lr=1e-2, seed=6
+        )
+        assert losses[-1] < losses[0] * 0.6
+
+    def test_training_fits_separable_data(self):
+        rng = make_rng(7)
+        X = rng.normal(size=(200, 4))
+        y = (X[:, 0] > 0).astype(np.float64)
+        model = Sequential([Dense(4, 8, rng), ReLU(), Dense(8, 1, rng)])
+        train_network(model, X, y, epochs=80, batch_size=32, lr=1e-2, seed=8)
+        predictions = model.forward(X).ravel() > 0
+        assert (predictions == y.astype(bool)).mean() > 0.95
+
+    def test_adam_step_moves_parameters(self):
+        layer = Dense(2, 1, make_rng(9))
+        before = layer.weight.copy()
+        layer.forward(np.ones((4, 2)))
+        layer.backward(np.ones((4, 1)))
+        Adam(layer.parameters(), lr=0.1).step()
+        assert not np.allclose(layer.weight, before)

@@ -1,0 +1,97 @@
+"""Tests for probability perturbation and the top-k stability property."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bsr import BoundedSampleReverseDetector
+from repro.core.errors import DatasetError
+from repro.datasets.perturbation import perturb_probabilities, stress_self_risks
+from repro.datasets.registry import load_dataset
+from repro.metrics.ranking import jaccard
+
+
+class TestPerturbProbabilities:
+    def test_original_untouched(self, paper_graph):
+        before = paper_graph.self_risk_array.copy()
+        perturb_probabilities(paper_graph, 0.2, seed=0)
+        assert np.array_equal(paper_graph.self_risk_array, before)
+
+    def test_zero_noise_is_identity(self, paper_graph):
+        copy = perturb_probabilities(paper_graph, 0.0, seed=0)
+        assert np.array_equal(copy.self_risk_array, paper_graph.self_risk_array)
+
+    def test_noise_changes_values(self, paper_graph):
+        copy = perturb_probabilities(paper_graph, 0.1, seed=1)
+        assert not np.array_equal(
+            copy.self_risk_array, paper_graph.self_risk_array
+        )
+
+    def test_values_stay_probabilities(self, paper_graph):
+        copy = perturb_probabilities(paper_graph, 5.0, seed=2)
+        assert np.all(copy.self_risk_array >= 0)
+        assert np.all(copy.self_risk_array <= 1)
+        _, _, probabilities = copy.edge_array
+        assert np.all((probabilities >= 0) & (probabilities <= 1))
+
+    def test_selective_perturbation(self, paper_graph):
+        copy = perturb_probabilities(
+            paper_graph, 0.2, seed=3, perturb_edges=False
+        )
+        _, _, probabilities = copy.edge_array
+        assert np.allclose(probabilities, 0.2)
+
+    def test_negative_noise_rejected(self, paper_graph):
+        with pytest.raises(DatasetError):
+            perturb_probabilities(paper_graph, -0.1)
+
+
+class TestStressSelfRisks:
+    def test_global_stress(self, paper_graph):
+        stressed = stress_self_risks(paper_graph, 1.5)
+        assert np.allclose(stressed.self_risk_array, 0.3)
+
+    def test_selective_stress(self, paper_graph):
+        stressed = stress_self_risks(paper_graph, 2.0, labels=["A"])
+        assert stressed.self_risk("A") == pytest.approx(0.4)
+        assert stressed.self_risk("B") == pytest.approx(0.2)
+
+    def test_clipped_at_one(self, paper_graph):
+        stressed = stress_self_risks(paper_graph, 100.0)
+        assert np.all(stressed.self_risk_array <= 1.0)
+
+    def test_negative_multiplier_rejected(self, paper_graph):
+        with pytest.raises(DatasetError):
+            stress_self_risks(paper_graph, -1.0)
+
+
+class TestTopKStability:
+    def test_answers_stable_under_small_noise(self):
+        """The deployment-critical property: estimation error in the
+        probability models must not scramble the watch list."""
+        loaded = load_dataset("guarantee", scale=0.015, seed=17)
+        k = loaded.k_for_percent(10.0)
+        detector = BoundedSampleReverseDetector(seed=17)
+        baseline = set(detector.detect(loaded.graph, k).nodes)
+        overlaps = []
+        for trial in range(3):
+            noisy = perturb_probabilities(loaded.graph, 0.02, seed=trial)
+            answer = set(
+                BoundedSampleReverseDetector(seed=17).detect(noisy, k).nodes
+            )
+            overlaps.append(jaccard(baseline, answer))
+        assert float(np.mean(overlaps)) > 0.6
+
+    def test_stress_raises_system_risk(self):
+        from repro.sampling.forward import ForwardSampler
+
+        loaded = load_dataset("guarantee", scale=0.015, seed=18)
+        baseline = ForwardSampler(
+            loaded.graph, seed=0
+        ).estimate_probabilities(1500)
+        stressed_graph = stress_self_risks(loaded.graph, 1.5)
+        stressed = ForwardSampler(
+            stressed_graph, seed=0
+        ).estimate_probabilities(1500)
+        assert stressed.sum() > baseline.sum()

@@ -1,0 +1,54 @@
+"""Tests for repro.sampling.rng — generator plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sampling.rng import make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        assert make_rng(42).random() == make_rng(42).random()
+
+    def test_different_seeds_differ(self):
+        assert make_rng(1).random() != make_rng(2).random()
+
+    def test_generator_passes_through(self):
+        rng = np.random.default_rng(0)
+        assert make_rng(rng) is rng
+
+    def test_seed_sequence_accepted(self):
+        sequence = np.random.SeedSequence(7)
+        a = make_rng(sequence).random()
+        b = make_rng(np.random.SeedSequence(7)).random()
+        assert a == b
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_reproducible(self):
+        first = [rng.random() for rng in spawn_rngs(3, 4)]
+        second = [rng.random() for rng in spawn_rngs(3, 4)]
+        assert first == second
+
+    def test_children_mutually_distinct(self):
+        draws = [rng.random() for rng in spawn_rngs(3, 8)]
+        assert len(set(draws)) == 8
+
+    def test_spawn_from_generator(self):
+        rng = np.random.default_rng(5)
+        children = spawn_rngs(rng, 2)
+        assert len(children) == 2
+        assert children[0].random() != children[1].random()

@@ -1,0 +1,149 @@
+"""Tests for repro.sampling.sample_size — Equations (3) and (4)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import SamplingError
+from repro.sampling.sample_size import (
+    basic_sample_size,
+    epsilon_for_sample_size,
+    hoeffding_pair_tail,
+    reduced_sample_size,
+    validate_epsilon_delta,
+)
+
+
+class TestValidation:
+    def test_accepts_open_interval(self):
+        assert validate_epsilon_delta(0.3, 0.1) == (0.3, 0.1)
+
+    @pytest.mark.parametrize("epsilon", [0.0, 1.0, -0.1, 1.5])
+    def test_rejects_bad_epsilon(self, epsilon):
+        with pytest.raises(SamplingError):
+            validate_epsilon_delta(epsilon, 0.1)
+
+    @pytest.mark.parametrize("delta", [0.0, 1.0, -0.1, 2.0])
+    def test_rejects_bad_delta(self, delta):
+        with pytest.raises(SamplingError):
+            validate_epsilon_delta(0.3, delta)
+
+
+class TestHoeffdingTail:
+    def test_hand_computed(self):
+        assert hoeffding_pair_tail(100, 0.3) == pytest.approx(
+            math.exp(-100 * 0.09 / 2)
+        )
+
+    def test_zero_samples_gives_trivial_bound(self):
+        assert hoeffding_pair_tail(0, 0.3) == pytest.approx(1.0)
+
+    def test_negative_samples_rejected(self):
+        with pytest.raises(SamplingError):
+            hoeffding_pair_tail(-1, 0.3)
+
+    @given(st.integers(1, 10_000), st.floats(0.01, 0.99))
+    def test_tail_in_unit_interval(self, t, epsilon):
+        tail = hoeffding_pair_tail(t, epsilon)
+        # exp(-t eps^2/2) can underflow to exactly 0.0 for huge t*eps^2.
+        assert 0.0 <= tail <= 1.0
+
+    @given(st.floats(0.01, 0.99))
+    def test_decreasing_in_t(self, epsilon):
+        assert hoeffding_pair_tail(200, epsilon) < hoeffding_pair_tail(
+            100, epsilon
+        )
+
+
+class TestBasicSampleSize:
+    def test_paper_settings_hand_computed(self):
+        """eps=0.3, delta=0.1, n=1000, k=50: t = ceil(2/0.09 ln(47500/0.1))."""
+        expected = math.ceil(2 / 0.09 * math.log(50 * 950 / 0.1))
+        assert basic_sample_size(1000, 50, 0.3, 0.1) == expected
+
+    def test_always_at_least_one(self):
+        assert basic_sample_size(1, 1, 0.9, 0.9) >= 1
+
+    def test_degenerate_k_equals_n(self):
+        # Nothing to order; formula degenerates gracefully.
+        assert basic_sample_size(10, 10, 0.3, 0.1) >= 1
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(SamplingError):
+            basic_sample_size(10, 11, 0.3, 0.1)
+        with pytest.raises(SamplingError):
+            basic_sample_size(10, -1, 0.3, 0.1)
+
+    @given(st.integers(2, 100_000))
+    def test_monotone_in_n(self, n):
+        k = max(1, n // 10)
+        smaller = basic_sample_size(n, k, 0.3, 0.1)
+        larger = basic_sample_size(2 * n, k, 0.3, 0.1)
+        assert larger >= smaller
+
+    @given(st.floats(0.05, 0.5), st.floats(0.05, 0.5))
+    def test_monotone_in_epsilon(self, epsilon, smaller_epsilon):
+        lo, hi = sorted((epsilon, smaller_epsilon))
+        if lo == hi:
+            return
+        assert basic_sample_size(1000, 50, lo, 0.1) >= basic_sample_size(
+            1000, 50, hi, 0.1
+        )
+
+    @given(st.floats(0.01, 0.5), st.floats(0.01, 0.5))
+    def test_monotone_in_delta(self, delta, other_delta):
+        lo, hi = sorted((delta, other_delta))
+        if lo == hi:
+            return
+        assert basic_sample_size(1000, 50, 0.3, lo) >= basic_sample_size(
+            1000, 50, 0.3, hi
+        )
+
+
+class TestReducedSampleSize:
+    def test_matches_basic_when_nothing_verified(self):
+        # |B| = n, k' = 0 reduces to Equation (3).
+        assert reduced_sample_size(1000, 50, 0, 0.3, 0.1) == basic_sample_size(
+            1000, 50, 0.3, 0.1
+        )
+
+    def test_shrinks_with_verification(self):
+        full = reduced_sample_size(500, 50, 0, 0.3, 0.1)
+        partial = reduced_sample_size(500, 50, 30, 0.3, 0.1)
+        assert partial < full
+
+    def test_all_verified_needs_one_sample(self):
+        assert reduced_sample_size(500, 50, 50, 0.3, 0.1) == 1
+
+    def test_shrinks_with_candidate_reduction(self):
+        big = reduced_sample_size(10_000, 50, 0, 0.3, 0.1)
+        small = reduced_sample_size(100, 50, 0, 0.3, 0.1)
+        assert small < big
+
+    def test_invalid_k_verified(self):
+        with pytest.raises(SamplingError):
+            reduced_sample_size(100, 50, 51, 0.3, 0.1)
+        with pytest.raises(SamplingError):
+            reduced_sample_size(100, 50, -1, 0.3, 0.1)
+
+
+class TestEpsilonInversion:
+    def test_round_trip(self):
+        t = basic_sample_size(1000, 50, 0.3, 0.1)
+        epsilon = epsilon_for_sample_size(t, 1000, 50, 0.1)
+        # t was rounded up, so the implied epsilon is at most 0.3.
+        assert epsilon <= 0.3 + 1e-9
+        assert epsilon > 0.25
+
+    def test_more_samples_better_epsilon(self):
+        worse = epsilon_for_sample_size(100, 1000, 50, 0.1)
+        better = epsilon_for_sample_size(10_000, 1000, 50, 0.1)
+        assert better < worse
+
+    def test_rejects_nonpositive_t(self):
+        with pytest.raises(SamplingError):
+            epsilon_for_sample_size(0, 1000, 50, 0.1)

@@ -1,0 +1,134 @@
+"""Tests for the structural baselines (betweenness, PageRank, k-core, InfMax)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.structural import (
+    STRUCTURAL_SCORERS,
+    betweenness_scores,
+    influence_scores,
+    kcore_scores,
+    pagerank_scores,
+)
+from repro.core.errors import ReproError
+from repro.core.graph import UncertainGraph
+
+
+def star_graph(points=6):
+    """Centre broadcasts to all points (contagion hub)."""
+    graph = UncertainGraph()
+    graph.add_node("centre", 0.2)
+    for i in range(points):
+        graph.add_node(f"p{i}", 0.2)
+        graph.add_edge("centre", f"p{i}", 0.8)
+    return graph
+
+
+def path_graph(n=5):
+    graph = UncertainGraph()
+    for i in range(n):
+        graph.add_node(i, 0.1)
+    for i in range(n - 1):
+        graph.add_edge(i, i + 1, 0.9)
+    return graph
+
+
+class TestBetweenness:
+    def test_path_midpoint_highest(self):
+        graph = path_graph(5)
+        scores = betweenness_scores(graph, sample_sources=None)
+        assert int(np.argmax(scores)) == 2
+
+    def test_star_points_zero(self):
+        scores = betweenness_scores(star_graph(), sample_sources=None)
+        assert np.allclose(scores[1:], 0.0)
+
+    def test_sampled_close_to_exact(self):
+        graph = path_graph(9)
+        exact = betweenness_scores(graph, sample_sources=None)
+        sampled = betweenness_scores(graph, sample_sources=9, seed=0)
+        assert int(np.argmax(sampled)) == int(np.argmax(exact))
+
+
+class TestPageRank:
+    def test_sink_accumulates_rank(self):
+        graph = path_graph(4)
+        scores = pagerank_scores(graph)
+        assert int(np.argmax(scores)) == 3
+
+    def test_scores_sum_to_one(self):
+        scores = pagerank_scores(star_graph())
+        assert scores.sum() == pytest.approx(1.0, abs=1e-6)
+
+
+class TestKCore:
+    def test_clique_beats_pendant(self):
+        graph = UncertainGraph()
+        for i in range(5):
+            graph.add_node(i, 0.1)
+        # Triangle 0-1-2 plus pendant path 2->3->4.
+        graph.add_edge(0, 1, 0.5)
+        graph.add_edge(1, 2, 0.5)
+        graph.add_edge(2, 0, 0.5)
+        graph.add_edge(2, 3, 0.5)
+        graph.add_edge(3, 4, 0.5)
+        scores = kcore_scores(graph)
+        assert scores[0] == scores[1] == scores[2] == 2.0
+        assert scores[4] == 1.0
+
+
+class TestInfluence:
+    def test_star_centre_most_influential(self):
+        scores = influence_scores(star_graph(), num_rr_sets=3000, seed=0)
+        assert int(np.argmax(scores)) == 0
+
+    def test_chain_head_most_influential(self):
+        graph = path_graph(4)
+        scores = influence_scores(graph, num_rr_sets=3000, seed=1)
+        assert int(np.argmax(scores)) == 0
+
+    def test_scores_bounded_by_membership_rate(self):
+        scores = influence_scores(path_graph(3), num_rr_sets=500, seed=2)
+        assert np.all(scores >= 0)
+        assert np.all(scores <= 1)
+
+    def test_zero_probability_edges_isolate(self):
+        graph = UncertainGraph()
+        graph.add_node("a", 0.5)
+        graph.add_node("b", 0.5)
+        graph.add_edge("a", "b", 0.0)
+        scores = influence_scores(graph, num_rr_sets=1000, seed=3)
+        # Each node appears only in its own RR sets: rate ≈ 1/n each.
+        assert scores[0] == pytest.approx(0.5, abs=0.1)
+        assert scores[1] == pytest.approx(0.5, abs=0.1)
+
+    def test_invalid_rr_count(self):
+        with pytest.raises(ReproError):
+            influence_scores(path_graph(3), num_rr_sets=0)
+
+    def test_matches_expected_influence_on_deterministic_chain(self):
+        """With certain edges, influence(v) = #descendants + 1 (scaled)."""
+        graph = path_graph(4)  # edges at 0.9 -> near-deterministic
+        scores = influence_scores(graph, num_rr_sets=8000, seed=4)
+        # node 0 reaches everything: appears in ~ (1 + .9 + .81 + .729)/4
+        expected = (1 + 0.9 + 0.81 + 0.729) / 4
+        assert scores[0] == pytest.approx(expected, abs=0.05)
+
+
+class TestScorerRegistry:
+    def test_labels_match_table3(self):
+        assert set(STRUCTURAL_SCORERS) == {
+            "Betweenness",
+            "PageRank",
+            "K-core",
+            "InfMax",
+        }
+
+    @pytest.mark.parametrize("name", sorted(STRUCTURAL_SCORERS))
+    def test_all_scorers_return_full_vectors(self, name):
+        graph = star_graph()
+        scores = STRUCTURAL_SCORERS[name](graph, seed=0)
+        assert scores.shape == (graph.num_nodes,)
+        assert np.all(np.isfinite(scores))

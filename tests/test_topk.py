@@ -1,0 +1,76 @@
+"""Tests for repro.core.topk — deterministic top-k selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import GraphError
+from repro.core.topk import kth_largest, top_k_indices, top_k_labels, validate_k
+
+
+class TestValidateK:
+    def test_accepts_valid(self):
+        assert validate_k(3, 10) == 3
+        assert validate_k(10, 10) == 10
+        assert validate_k(1, 1) == 1
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(GraphError):
+            validate_k(0, 10)
+        with pytest.raises(GraphError):
+            validate_k(-1, 10)
+
+    def test_rejects_k_above_n(self):
+        with pytest.raises(GraphError):
+            validate_k(11, 10)
+
+    def test_rejects_empty_universe(self):
+        with pytest.raises(GraphError):
+            validate_k(1, 0)
+
+
+class TestTopKIndices:
+    def test_basic_selection(self):
+        result = top_k_indices([0.1, 0.9, 0.5], 2)
+        assert list(result) == [1, 2]
+
+    def test_ties_broken_by_low_index(self):
+        result = top_k_indices([0.5, 0.9, 0.5, 0.5], 3)
+        assert list(result) == [1, 0, 2]
+
+    def test_all_equal(self):
+        result = top_k_indices([0.3, 0.3, 0.3], 2)
+        assert list(result) == [0, 1]
+
+    def test_k_equals_n(self):
+        result = top_k_indices([0.2, 0.8, 0.4], 3)
+        assert list(result) == [1, 2, 0]
+
+    def test_negative_scores(self):
+        result = top_k_indices([-0.5, -0.1, -0.9], 1)
+        assert list(result) == [1]
+
+
+class TestTopKLabels:
+    def test_maps_to_labels(self, paper_graph):
+        scores = np.array([0.1, 0.2, 0.3, 0.4, 0.5])
+        assert top_k_labels(paper_graph, scores, 2) == ["E", "D"]
+
+    def test_shape_mismatch(self, paper_graph):
+        with pytest.raises(GraphError):
+            top_k_labels(paper_graph, np.zeros(3), 2)
+
+
+class TestKthLargest:
+    def test_basic(self):
+        assert kth_largest([0.9, 0.1, 0.5], 1) == pytest.approx(0.9)
+        assert kth_largest([0.9, 0.1, 0.5], 2) == pytest.approx(0.5)
+        assert kth_largest([0.9, 0.1, 0.5], 3) == pytest.approx(0.1)
+
+    def test_with_duplicates(self):
+        assert kth_largest([0.5, 0.5, 0.5, 0.2], 3) == pytest.approx(0.5)
+
+    def test_invalid_k(self):
+        with pytest.raises(GraphError):
+            kth_largest([0.5], 2)

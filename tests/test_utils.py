@@ -1,0 +1,96 @@
+"""Tests for repro.utils — tables and timing."""
+
+from __future__ import annotations
+
+import time
+
+from repro.utils.tables import format_cell, render_markdown_table, render_table
+from repro.utils.timing import Stopwatch, timed
+
+
+class TestFormatCell:
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_float_regular(self):
+        assert format_cell(0.12345) == "0.1235"
+
+    def test_float_zero(self):
+        assert format_cell(0.0) == "0"
+
+    def test_float_extreme_uses_scientific(self):
+        assert "e" in format_cell(1234567.0)
+        assert "e" in format_cell(0.0000001)
+
+    def test_string_passthrough(self):
+        assert format_cell("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_columns_inferred_in_order(self):
+        rows = [{"a": 1, "b": 2}, {"b": 3, "c": 4}]
+        text = render_table(rows)
+        header = text.splitlines()[0]
+        assert header.index("a") < header.index("b") < header.index("c")
+
+    def test_title_prepended(self):
+        text = render_table([{"x": 1}], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_missing_cells_blank(self):
+        text = render_table([{"a": 1}, {"b": 2}])
+        assert text  # renders without error
+
+    def test_explicit_columns(self):
+        text = render_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_alignment(self):
+        rows = [{"name": "x", "value": 1}, {"name": "longer", "value": 22}]
+        lines = render_table(rows).splitlines()
+        assert len(lines[1]) == len(lines[2]) == len(lines[3])
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        text = render_markdown_table([{"a": 1, "b": 2}])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+
+class TestStopwatch:
+    def test_laps_accumulate(self):
+        watch = Stopwatch()
+        with watch.lap("phase"):
+            time.sleep(0.01)
+        with watch.lap("phase"):
+            time.sleep(0.01)
+        assert watch.laps["phase"] >= 0.02
+        assert watch.total == sum(watch.laps.values())
+
+    def test_multiple_names(self):
+        watch = Stopwatch()
+        with watch.lap("a"):
+            pass
+        with watch.lap("b"):
+            pass
+        assert set(watch.laps) == {"a", "b"}
+
+    def test_lap_records_on_exception(self):
+        watch = Stopwatch()
+        try:
+            with watch.lap("failing"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert "failing" in watch.laps
+
+
+class TestTimed:
+    def test_measures_elapsed(self):
+        with timed() as cell:
+            time.sleep(0.01)
+        assert cell[0] >= 0.01

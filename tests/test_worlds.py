@@ -1,0 +1,130 @@
+"""Tests for repro.core.worlds — possible-world semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import GraphError
+from repro.core.graph import UncertainGraph
+from repro.core.worlds import (
+    PossibleWorld,
+    enumerate_worlds,
+    propagate_defaults,
+    world_probability,
+)
+
+
+def make_world(graph, default_labels, surviving_edges):
+    """Helper: build a PossibleWorld from label-level descriptions."""
+    self_default = np.zeros(graph.num_nodes, dtype=bool)
+    for label in default_labels:
+        self_default[graph.index(label)] = True
+    src, dst, _ = graph.edge_array
+    edge_survives = np.zeros(graph.num_edges, dtype=bool)
+    for s_label, d_label in surviving_edges:
+        s, d = graph.index(s_label), graph.index(d_label)
+        for eid in range(graph.num_edges):
+            if src[eid] == s and dst[eid] == d:
+                edge_survives[eid] = True
+    return PossibleWorld(self_default=self_default, edge_survives=edge_survives)
+
+
+class TestPossibleWorld:
+    def test_requires_boolean_arrays(self):
+        with pytest.raises(GraphError):
+            PossibleWorld(
+                self_default=np.zeros(2, dtype=float),
+                edge_survives=np.zeros(1, dtype=bool),
+            )
+
+
+class TestPropagation:
+    def test_no_defaults(self, paper_graph):
+        world = make_world(paper_graph, [], [])
+        assert not propagate_defaults(paper_graph, world).any()
+
+    def test_isolated_self_default(self, paper_graph):
+        world = make_world(paper_graph, ["E"], [])
+        defaulted = propagate_defaults(paper_graph, world)
+        assert defaulted[paper_graph.index("E")]
+        assert defaulted.sum() == 1
+
+    def test_contagion_follows_surviving_edges(self, paper_graph):
+        world = make_world(paper_graph, ["A"], [("A", "B"), ("B", "E")])
+        defaulted = propagate_defaults(paper_graph, world)
+        expected = {"A", "B", "E"}
+        actual = {
+            paper_graph.label(i) for i in np.flatnonzero(defaulted)
+        }
+        assert actual == expected
+
+    def test_contagion_blocked_by_dead_edges(self, paper_graph):
+        world = make_world(paper_graph, ["A"], [("B", "E")])
+        defaulted = propagate_defaults(paper_graph, world)
+        assert defaulted.sum() == 1  # B never defaults, so B->E is moot
+
+    def test_surviving_edge_from_healthy_node_is_inert(self, paper_graph):
+        world = make_world(paper_graph, [], [("A", "B"), ("B", "E")])
+        assert not propagate_defaults(paper_graph, world).any()
+
+    def test_multiple_seeds_union(self, chain_graph):
+        world = make_world(chain_graph, ["a", "c"], [("c", "d")])
+        defaulted = propagate_defaults(chain_graph, world)
+        labels = {chain_graph.label(i) for i in np.flatnonzero(defaulted)}
+        assert labels == {"a", "c", "d"}
+
+    def test_shape_validation(self, paper_graph):
+        bad = PossibleWorld(
+            self_default=np.zeros(3, dtype=bool),
+            edge_survives=np.zeros(6, dtype=bool),
+        )
+        with pytest.raises(GraphError):
+            propagate_defaults(paper_graph, bad)
+        bad_edges = PossibleWorld(
+            self_default=np.zeros(5, dtype=bool),
+            edge_survives=np.zeros(2, dtype=bool),
+        )
+        with pytest.raises(GraphError):
+            propagate_defaults(paper_graph, bad_edges)
+
+
+class TestWorldProbability:
+    def test_hand_computed(self, chain_graph):
+        # a defaults; edges a->b survives, others die.
+        world = make_world(chain_graph, ["a"], [("a", "b")])
+        # p = ps(a) (1-ps(b)) (1-ps(c)) (1-ps(d)) * pe(ab) (1-pe(bc)) (1-pe(cd))
+        expected = 0.5 * 0.9 * 1.0 * 0.8 * 0.8 * 0.4 * 0.6
+        assert world_probability(chain_graph, world) == pytest.approx(expected)
+
+    def test_all_worlds_sum_to_one(self, chain_graph):
+        total = sum(p for _, p in enumerate_worlds(chain_graph))
+        assert total == pytest.approx(1.0)
+
+    def test_all_worlds_sum_to_one_paper_graph(self, paper_graph):
+        total = sum(p for _, p in enumerate_worlds(paper_graph))
+        assert total == pytest.approx(1.0)
+
+
+class TestEnumeration:
+    def test_enumeration_size(self, chain_graph):
+        # ps(c) == 0 is pinned, so 3 free nodes + 3 free edges = 64 worlds.
+        worlds = list(enumerate_worlds(chain_graph))
+        assert len(worlds) == 2**6
+
+    def test_deterministic_choices_are_pinned(self):
+        graph = UncertainGraph()
+        graph.add_node("sure", 1.0)
+        graph.add_node("never", 0.0)
+        graph.add_edge("sure", "never", 1.0)
+        worlds = list(enumerate_worlds(graph))
+        assert len(worlds) == 1
+        world, mass = worlds[0]
+        assert mass == pytest.approx(1.0)
+        assert world.self_default[graph.index("sure")]
+        assert not world.self_default[graph.index("never")]
+        assert world.edge_survives.all()
+
+    def test_cap_enforced(self, paper_graph):
+        with pytest.raises(GraphError, match="capped"):
+            list(enumerate_worlds(paper_graph, max_choices=5))
