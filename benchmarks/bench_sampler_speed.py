@@ -1,0 +1,181 @@
+"""Wall-clock benchmark: reference vs batched reverse-sampling engines.
+
+Times the per-candidate-BFS :class:`~repro.sampling.reverse.ReverseSampler`
+(the seed implementation of Algorithm 5) against the vectorised
+:class:`~repro.sampling.reverse.BatchedReverseSampler` on directed
+power-law graphs of growing size, with the forward sampler included for
+context, and writes the measurements to ``BENCH_sampling.json`` at the
+repo root.  Every PR that touches the sampling hot path should re-run
+this and record the deltas in ``CHANGES.md``.
+
+Usage
+-----
+::
+
+    python -m benchmarks.bench_sampler_speed            # full sweep
+    python -m benchmarks.bench_sampler_speed --quick    # CI smoke (seconds)
+    python -m benchmarks.bench_sampler_speed --sizes 2000 5000 --samples 30
+
+The script needs no installed package: it falls back to adding ``src/``
+to ``sys.path`` when ``repro`` is not importable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+try:  # pragma: no cover - import plumbing
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+import numpy as np
+
+from repro.core.graph import UncertainGraph
+from repro.datasets.powerlaw import directed_powerlaw_edges
+from repro.sampling.forward import ForwardSampler
+from repro.sampling.reverse import BatchedReverseSampler, ReverseSampler
+
+DEFAULT_OUTPUT = _REPO_ROOT / "BENCH_sampling.json"
+
+#: ~3 edges per node matches the sparsity of the paper's Table-2 graphs.
+EDGE_FACTOR = 3
+
+
+def build_powerlaw_graph(n: int, seed: int) -> UncertainGraph:
+    """Uncertain power-law graph with §4.1-style uniform probabilities."""
+    rng = np.random.default_rng(seed)
+    src, dst = directed_powerlaw_edges(n, EDGE_FACTOR * n, seed=rng)
+    return UncertainGraph.from_arrays(
+        self_risks=rng.random(n) * 0.2,
+        edge_src=src,
+        edge_dst=dst,
+        edge_probs=rng.random(src.size),
+    )
+
+
+def _time(factory, samples: int, repeats: int) -> float:
+    """Best-of-*repeats* wall-clock seconds for one engine run."""
+    best = float("inf")
+    for _ in range(repeats):
+        sampler = factory()
+        start = time.perf_counter()
+        sampler.run(samples)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_one_size(n: int, samples: int, repeats: int, seed: int) -> dict:
+    """Benchmark all engines on one graph size."""
+    graph = build_powerlaw_graph(n, seed)
+    candidates = np.arange(graph.num_nodes)
+    reference_seconds = _time(
+        lambda: ReverseSampler(graph, candidates, seed=seed), samples, repeats
+    )
+    batched_seconds = _time(
+        lambda: BatchedReverseSampler(graph, candidates, seed=seed),
+        samples,
+        repeats,
+    )
+    forward_seconds = _time(
+        lambda: ForwardSampler(graph, seed=seed), samples, repeats
+    )
+    row = {
+        "nodes": graph.num_nodes,
+        "edges": graph.num_edges,
+        "samples": samples,
+        "reference_reverse_seconds": round(reference_seconds, 6),
+        "batched_reverse_seconds": round(batched_seconds, 6),
+        "forward_seconds": round(forward_seconds, 6),
+        "batched_speedup_vs_reference": round(
+            reference_seconds / max(batched_seconds, 1e-12), 2
+        ),
+    }
+    return row
+
+
+def run(
+    sizes: list[int],
+    samples: int,
+    repeats: int,
+    seed: int,
+    output: Path,
+    mode: str,
+) -> dict:
+    """Run the sweep, print a table, and write the JSON report."""
+    results = []
+    for n in sizes:
+        row = bench_one_size(n, samples, repeats, seed)
+        results.append(row)
+        print(
+            f"n={row['nodes']:>7}  m={row['edges']:>8}  "
+            f"reference={row['reference_reverse_seconds']:.3f}s  "
+            f"batched={row['batched_reverse_seconds']:.3f}s  "
+            f"forward={row['forward_seconds']:.3f}s  "
+            f"speedup={row['batched_speedup_vs_reference']:.1f}x"
+        )
+    report = {
+        "benchmark": "reverse_sampling_engines",
+        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "mode": mode,
+        "seed": seed,
+        "repeats": repeats,
+        "edge_factor": EDGE_FACTOR,
+        "results": results,
+    }
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output}")
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny sizes / few samples so CI can smoke-test in seconds",
+    )
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=None,
+        help="node counts to sweep (default: 2000 5000 10000)",
+    )
+    parser.add_argument(
+        "--samples", type=int, default=None, help="worlds per engine run"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2, help="best-of repeats per timing"
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_OUTPUT,
+        help=f"JSON report path (default: {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        sizes = args.sizes or [300, 800]
+        samples = args.samples or 10
+        repeats = 1
+        mode = "quick"
+    else:
+        sizes = args.sizes or [2000, 5000, 10000]
+        samples = args.samples or 40
+        repeats = args.repeats
+        mode = "full"
+    run(sizes, samples, repeats, args.seed, args.output, mode)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

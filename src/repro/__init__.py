@@ -48,6 +48,7 @@ from repro.core import (
 )
 from repro.metrics import precision_at_k, roc_auc
 from repro.sampling import (
+    BatchedReverseSampler,
     ForwardSampler,
     ReverseSampler,
     basic_sample_size,
@@ -81,6 +82,7 @@ __all__ = [
     "reduce_candidates",
     "ForwardSampler",
     "ReverseSampler",
+    "BatchedReverseSampler",
     "basic_sample_size",
     "reduced_sample_size",
     "BottomKSketch",

@@ -20,7 +20,7 @@ from repro.bounds.candidates import reduce_candidates
 from repro.bounds.iterative import bound_pair
 from repro.core.errors import SamplingError
 from repro.core.graph import UncertainGraph
-from repro.sampling.reverse import ReverseSampler
+from repro.sampling.reverse import reverse_engine
 from repro.sampling.rng import SeedLike, make_rng
 from repro.sampling.sample_size import reduced_sample_size, validate_epsilon_delta
 from repro.sketch.bottom_k import BottomKStopper
@@ -43,6 +43,11 @@ class BottomKDetector(VulnerableNodeDetector):
         Bound iteration counts for Algorithms 2/3.
     seed:
         Randomness control (drives both the sample hashes and the worlds).
+    engine:
+        Reverse-sampling engine: ``"batched"`` (vectorised, default) or
+        ``"reference"`` (the per-candidate Algorithm-5 BFS).  The batched
+        engine materialises worlds a small block at a time, so an early
+        stop wastes at most one partial block.
     """
 
     name = "BSRBK"
@@ -55,6 +60,7 @@ class BottomKDetector(VulnerableNodeDetector):
         lower_order: int = 2,
         upper_order: int = 2,
         seed: SeedLike = None,
+        engine: str = "batched",
     ) -> None:
         super().__init__(seed)
         if bk < 2:
@@ -63,6 +69,7 @@ class BottomKDetector(VulnerableNodeDetector):
         self._epsilon, self._delta = validate_epsilon_delta(epsilon, delta)
         self._lower_order = int(lower_order)
         self._upper_order = int(upper_order)
+        self._engine = reverse_engine(engine)
 
     def _detect(self, graph: UncertainGraph, k: int) -> DetectionResult:
         rng = make_rng(self._seed)
@@ -90,7 +97,7 @@ class BottomKDetector(VulnerableNodeDetector):
                 total_samples=budget,
                 stop_after=reduction.k_remaining,
             )
-            sampler = ReverseSampler(graph, reduction.candidates, seed=rng)
+            sampler = self._engine(graph, reduction.candidates, seed=rng)
             for sample_hash, outcome in zip(
                 hashes, sampler.iter_samples(budget)
             ):

@@ -34,10 +34,12 @@ _REGISTRY: dict[str, Callable[..., VulnerableNodeDetector]] = {
 _ACCEPTED_KEYWORDS: dict[str, frozenset[str]] = {
     "N": frozenset({"samples", "seed", "batch_size"}),
     "SN": frozenset({"epsilon", "delta", "seed", "batch_size"}),
-    "SR": frozenset({"epsilon", "delta", "bound_order", "seed"}),
-    "BSR": frozenset({"epsilon", "delta", "lower_order", "upper_order", "seed"}),
+    "SR": frozenset({"epsilon", "delta", "bound_order", "seed", "engine"}),
+    "BSR": frozenset(
+        {"epsilon", "delta", "lower_order", "upper_order", "seed", "engine"}
+    ),
     "BSRBK": frozenset(
-        {"bk", "epsilon", "delta", "lower_order", "upper_order", "seed"}
+        {"bk", "epsilon", "delta", "lower_order", "upper_order", "seed", "engine"}
     ),
 }
 

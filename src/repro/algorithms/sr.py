@@ -15,7 +15,7 @@ from repro.algorithms.base import DetectionResult, VulnerableNodeDetector
 from repro.bounds.iterative import bound_pair
 from repro.core.graph import UncertainGraph
 from repro.core.topk import kth_largest, top_k_indices
-from repro.sampling.reverse import ReverseSampler
+from repro.sampling.reverse import reverse_engine
 from repro.sampling.rng import SeedLike
 from repro.sampling.sample_size import basic_sample_size, validate_epsilon_delta
 
@@ -34,6 +34,9 @@ class SampleReverseDetector(VulnerableNodeDetector):
         (the paper settles on 2 after the Figure 5 sweep).
     seed:
         Randomness control.
+    engine:
+        Reverse-sampling engine: ``"batched"`` (vectorised, default) or
+        ``"reference"``.
     """
 
     name = "SR"
@@ -44,10 +47,12 @@ class SampleReverseDetector(VulnerableNodeDetector):
         delta: float = 0.1,
         bound_order: int = 2,
         seed: SeedLike = None,
+        engine: str = "batched",
     ) -> None:
         super().__init__(seed)
         self._epsilon, self._delta = validate_epsilon_delta(epsilon, delta)
         self._bound_order = int(bound_order)
+        self._engine = reverse_engine(engine)
 
     def _detect(self, graph: UncertainGraph, k: int) -> DetectionResult:
         lower, upper = bound_pair(graph, self._bound_order, self._bound_order)
@@ -56,7 +61,7 @@ class SampleReverseDetector(VulnerableNodeDetector):
         samples = basic_sample_size(
             int(candidates.size), k, self._epsilon, self._delta
         )
-        sampler = ReverseSampler(graph, candidates, seed=self._seed)
+        sampler = self._engine(graph, candidates, seed=self._seed)
         probabilities = sampler.run(samples).probabilities
         top_positions = top_k_indices(probabilities, k)
         top_indices = candidates[top_positions]

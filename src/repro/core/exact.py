@@ -46,7 +46,9 @@ def exact_default_probabilities(
             continue
         defaulted = propagate_defaults(graph, world)
         probabilities[defaulted] += mass
-    return probabilities
+    # Accumulating many world masses can overshoot 1.0 by a few ulps,
+    # which breaks downstream sqrt(p * (1 - p)) variance formulas.
+    return np.clip(probabilities, 0.0, 1.0)
 
 
 def exact_top_k(graph: UncertainGraph, k: int, max_choices: int = 24) -> list:

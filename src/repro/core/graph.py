@@ -11,12 +11,31 @@ Design notes
 * Nodes are identified by arbitrary hashable *labels* at the API surface
   (enterprise ids, strings, ints).  Internally every node gets a dense
   integer *index* so the hot sampling loops can run on numpy arrays.
-* Adjacency is stored twice in CSR (compressed sparse row) form — once for
-  out-neighbours (forward propagation, Algorithm 1) and once for
-  in-neighbours (Equation 1 and the reverse sampling of Algorithm 5).  The
-  CSR views are built lazily and invalidated by any mutation.
+* Node and edge attributes (self-risks, endpoints, diffusion
+  probabilities) live in amortised-growable **numpy buffers**
+  (:class:`_GrowableArray`), not Python lists: incremental ``add_node`` /
+  ``add_edge`` stay O(1) amortised, while the bulk paths—
+  :meth:`UncertainGraph.from_arrays`, :meth:`UncertainGraph.reverse`,
+  :meth:`UncertainGraph.subgraph`, :meth:`UncertainGraph.copy` — go
+  through one vectorised constructor that validates whole probability
+  vectors with numpy and **adopts** the caller's arrays where safe.  No
+  per-edge Python work happens on any bulk path.
+* The label→index and ``(src, dst)``→edge-id hash maps are built
+  **lazily**: a graph assembled from arrays and consumed by the numeric
+  kernels never pays for a Python dict at all; the maps materialise on
+  the first label or edge lookup.
+* Adjacency is stored twice in CSR (compressed sparse row) form — once
+  for out-neighbours (forward propagation, Algorithm 1) and once for
+  in-neighbours (Equation 1 and the reverse sampling of Algorithm 5).
+  The CSR views are built lazily from the edge arrays.  Topology
+  mutations invalidate them, but **probability-only updates patch the
+  cached CSR arrays in place** — both views address the patch through
+  the shared canonical edge ids, so ``set_edge_probability`` is O(1)
+  after the inverse permutation exists and never triggers a rebuild.
 * All probabilities are validated on insertion; values outside ``[0, 1]``
-  raise :class:`~repro.core.errors.ProbabilityError`.
+  raise :class:`~repro.core.errors.ProbabilityError`.  Bulk setters and
+  constructors validate the entire vector *before* touching any state,
+  so a failed call leaves the graph unchanged.
 """
 
 from __future__ import annotations
@@ -48,6 +67,64 @@ def _check_probability(value: float, what: str) -> float:
     return p
 
 
+def _check_probability_vector(array: np.ndarray, what: str) -> None:
+    """Vectorised range/NaN validation of a whole probability array."""
+    if array.size and (
+        np.any(np.isnan(array)) or np.any((array < 0.0) | (array > 1.0))
+    ):
+        raise ProbabilityError(f"{what} must all lie in [0, 1]")
+
+
+class _GrowableArray:
+    """Amortised-growable numpy buffer backing one attribute column.
+
+    Supports O(1) amortised :meth:`append` for the incremental mutation
+    API while exposing the live prefix as a real ndarray (:attr:`array`)
+    for the vectorised kernels — the best of a Python list and a numpy
+    array without converting between them on every access.
+    """
+
+    __slots__ = ("_data", "_size")
+
+    def __init__(self, dtype, values: np.ndarray | None = None) -> None:
+        if values is None:
+            self._data = np.empty(8, dtype=dtype)
+            self._size = 0
+        else:
+            self._data = np.ascontiguousarray(values, dtype=dtype)
+            self._size = int(self._data.size)
+
+    @property
+    def array(self) -> np.ndarray:
+        """Writable view of the live prefix (no copy)."""
+        return self._data[: self._size]
+
+    def append(self, value) -> None:
+        if self._size == self._data.size:
+            grown = np.empty(max(8, self._data.size * 2), dtype=self._data.dtype)
+            grown[: self._size] = self._data[: self._size]
+            self._data = grown
+        self._data[self._size] = value
+        self._size += 1
+
+    def replace(self, values: np.ndarray) -> None:
+        """Swap in a whole new column of the same length."""
+        self._data = np.ascontiguousarray(values, dtype=self._data.dtype)
+        self._size = int(self._data.size)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __getitem__(self, index):
+        return self.array[index]
+
+    def __setitem__(self, index, value) -> None:
+        self.array[index] = value
+
+    def __iter__(self):
+        return iter(self.array)
+
+
 @dataclass(frozen=True)
 class CSRAdjacency:
     """A compressed-sparse-row view of one direction of adjacency.
@@ -61,7 +138,8 @@ class CSRAdjacency:
         ``int64`` array of neighbour indices, one entry per edge.
     probs:
         ``float64`` array aligned with ``indices`` holding the diffusion
-        probability of each edge.
+        probability of each edge.  Probability-only graph updates are
+        patched into this array in place (the view object survives).
     edge_ids:
         ``int64`` array aligned with ``indices`` giving each entry's
         position in the graph's canonical edge ordering.  Both the forward
@@ -151,6 +229,8 @@ class UncertainGraph:
         "_edge_index",
         "_out_csr",
         "_in_csr",
+        "_out_inverse",
+        "_in_inverse",
     )
 
     def __init__(
@@ -158,21 +238,45 @@ class UncertainGraph:
         nodes: Iterable[tuple[NodeLabel, float]] | None = None,
         edges: Iterable[tuple[NodeLabel, NodeLabel, float]] | None = None,
     ) -> None:
-        self._index_of: dict[NodeLabel, int] = {}
+        self._index_of: dict[NodeLabel, int] | None = {}
         self._labels: list[NodeLabel] = []
-        self._self_risk: list[float] = []
-        self._edge_src: list[int] = []
-        self._edge_dst: list[int] = []
-        self._edge_prob: list[float] = []
-        self._edge_index: dict[tuple[int, int], int] = {}
+        self._self_risk = _GrowableArray(np.float64)
+        self._edge_src = _GrowableArray(np.int64)
+        self._edge_dst = _GrowableArray(np.int64)
+        self._edge_prob = _GrowableArray(np.float64)
+        self._edge_index: dict[tuple[int, int], int] | None = {}
         self._out_csr: CSRAdjacency | None = None
         self._in_csr: CSRAdjacency | None = None
+        self._out_inverse: np.ndarray | None = None
+        self._in_inverse: np.ndarray | None = None
         if nodes is not None:
             for label, risk in nodes:
                 self.add_node(label, risk)
         if edges is not None:
             for src, dst, prob in edges:
                 self.add_edge(src, dst, prob)
+
+    # ------------------------------------------------------------------
+    # Lazy lookup maps
+    # ------------------------------------------------------------------
+    def _node_lookup(self) -> dict[NodeLabel, int]:
+        """Label → index map, materialised on first use after bulk build."""
+        if self._index_of is None:
+            self._index_of = {
+                label: i for i, label in enumerate(self._labels)
+            }
+        return self._index_of
+
+    def _edge_lookup(self) -> dict[tuple[int, int], int]:
+        """``(src, dst)`` → edge-id map, materialised on first use."""
+        if self._edge_index is None:
+            self._edge_index = {
+                (int(s), int(d)): eid
+                for eid, (s, d) in enumerate(
+                    zip(self._edge_src.array, self._edge_dst.array)
+                )
+            }
+        return self._edge_index
 
     # ------------------------------------------------------------------
     # Construction and mutation
@@ -187,11 +291,12 @@ class UncertainGraph:
         ProbabilityError
             If *self_risk* is outside ``[0, 1]``.
         """
-        if label in self._index_of:
+        lookup = self._node_lookup()
+        if label in lookup:
             raise GraphError(f"node {label!r} already exists")
         risk = _check_probability(self_risk, f"self_risk of {label!r}")
         index = len(self._labels)
-        self._index_of[label] = index
+        lookup[label] = index
         self._labels.append(label)
         self._self_risk.append(risk)
         self._invalidate()
@@ -216,14 +321,15 @@ class UncertainGraph:
         d = self.index(dst)
         if s == d:
             raise GraphError(f"self-loop on {src!r} is not allowed")
-        if (s, d) in self._edge_index:
+        lookup = self._edge_lookup()
+        if (s, d) in lookup:
             raise DuplicateEdgeError(f"edge {src!r} -> {dst!r} already exists")
         prob = _check_probability(probability, f"p({dst!r}|{src!r})")
         edge_id = len(self._edge_src)
         self._edge_src.append(s)
         self._edge_dst.append(d)
         self._edge_prob.append(prob)
-        self._edge_index[(s, d)] = edge_id
+        lookup[(s, d)] = edge_id
         self._invalidate()
         return edge_id
 
@@ -237,15 +343,24 @@ class UncertainGraph:
     def set_edge_probability(
         self, src: NodeLabel, dst: NodeLabel, probability: float
     ) -> None:
-        """Replace the diffusion probability of an existing edge."""
+        """Replace the diffusion probability of an existing edge.
+
+        A probability patch does **not** invalidate the cached CSR views:
+        the new value is written through the inverse edge-id permutation
+        into both views' ``probs`` arrays in place, so long-lived CSR
+        holders observe the update and nothing is rebuilt.
+        """
         s = self.index(src)
         d = self.index(dst)
-        edge_id = self._edge_index.get((s, d))
+        edge_id = self._edge_lookup().get((s, d))
         if edge_id is None:
             raise UnknownNodeError((src, dst))
         prob = _check_probability(probability, f"p({dst!r}|{src!r})")
         self._edge_prob[edge_id] = prob
-        self._invalidate()
+        if self._out_csr is not None:
+            self._out_csr.probs[self._out_inverse[edge_id]] = prob
+        if self._in_csr is not None:
+            self._in_csr.probs[self._in_inverse[edge_id]] = prob
 
     def set_all_self_risks(self, values: Sequence[float] | np.ndarray) -> None:
         """Bulk-replace every node's self-risk (index-aligned array).
@@ -258,9 +373,8 @@ class UncertainGraph:
             raise GraphError(
                 f"need {self.num_nodes} self-risks, got shape {array.shape}"
             )
-        if np.any((array < 0.0) | (array > 1.0)) or np.any(np.isnan(array)):
-            raise ProbabilityError("self-risks must all lie in [0, 1]")
-        self._self_risk = [float(value) for value in array]
+        _check_probability_vector(array, "self-risks")
+        self._self_risk.replace(array.copy())
 
     def set_all_edge_probabilities(
         self, values: Sequence[float] | np.ndarray
@@ -268,21 +382,26 @@ class UncertainGraph:
         """Bulk-replace every edge's diffusion probability (edge-id order).
 
         Validates the whole vector first so a failed call leaves the graph
-        unchanged.
+        unchanged.  Like :meth:`set_edge_probability`, cached CSR views are
+        patched in place (one vectorised gather per view), never rebuilt.
         """
         array = np.asarray(values, dtype=np.float64)
         if array.shape != (self.num_edges,):
             raise GraphError(
                 f"need {self.num_edges} probabilities, got shape {array.shape}"
             )
-        if np.any((array < 0.0) | (array > 1.0)) or np.any(np.isnan(array)):
-            raise ProbabilityError("edge probabilities must all lie in [0, 1]")
-        self._edge_prob = [float(value) for value in array]
-        self._invalidate()
+        _check_probability_vector(array, "edge probabilities")
+        self._edge_prob.replace(array.copy())
+        if self._out_csr is not None:
+            self._out_csr.probs[:] = array[self._out_csr.edge_ids]
+        if self._in_csr is not None:
+            self._in_csr.probs[:] = array[self._in_csr.edge_ids]
 
     def _invalidate(self) -> None:
         self._out_csr = None
         self._in_csr = None
+        self._out_inverse = None
+        self._in_inverse = None
 
     # ------------------------------------------------------------------
     # Lookups
@@ -301,12 +420,12 @@ class UncertainGraph:
         return self.num_nodes
 
     def __contains__(self, label: NodeLabel) -> bool:
-        return label in self._index_of
+        return label in self._node_lookup()
 
     def index(self, label: NodeLabel) -> int:
         """Internal index of *label*; raises :class:`UnknownNodeError`."""
         try:
-            return self._index_of[label]
+            return self._node_lookup()[label]
         except KeyError:
             raise UnknownNodeError(label) from None
 
@@ -326,32 +445,32 @@ class UncertainGraph:
 
     def edges(self) -> Iterator[tuple[NodeLabel, NodeLabel, float]]:
         """Iterate over ``(src_label, dst_label, probability)`` triples."""
+        labels = self._labels
+        src = self._edge_src.array
+        dst = self._edge_dst.array
+        prob = self._edge_prob.array
         for eid in range(self.num_edges):
-            yield (
-                self._labels[self._edge_src[eid]],
-                self._labels[self._edge_dst[eid]],
-                self._edge_prob[eid],
-            )
+            yield (labels[src[eid]], labels[dst[eid]], float(prob[eid]))
 
     def has_edge(self, src: NodeLabel, dst: NodeLabel) -> bool:
         """Whether the directed edge ``src -> dst`` exists."""
         try:
-            return (self.index(src), self.index(dst)) in self._edge_index
+            return (self.index(src), self.index(dst)) in self._edge_lookup()
         except UnknownNodeError:
             return False
 
     def self_risk(self, label: NodeLabel) -> float:
         """Self-risk probability ``ps(label)``."""
-        return self._self_risk[self.index(label)]
+        return float(self._self_risk[self.index(label)])
 
     def edge_probability(self, src: NodeLabel, dst: NodeLabel) -> float:
         """Diffusion probability ``p(dst|src)``."""
         s = self.index(src)
         d = self.index(dst)
-        edge_id = self._edge_index.get((s, d))
+        edge_id = self._edge_lookup().get((s, d))
         if edge_id is None:
             raise UnknownNodeError((src, dst))
-        return self._edge_prob[edge_id]
+        return float(self._edge_prob[edge_id])
 
     def in_neighbors(self, label: NodeLabel) -> list[NodeLabel]:
         """Labels of in-neighbours — the paper's ``N(v)``."""
@@ -377,30 +496,38 @@ class UncertainGraph:
     @property
     def self_risk_array(self) -> np.ndarray:
         """``float64`` array of self-risk probabilities, index-aligned."""
-        return np.asarray(self._self_risk, dtype=np.float64)
+        return self._self_risk.array.copy()
 
     @property
     def edge_array(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Canonical edge arrays ``(src, dst, prob)`` in edge-id order."""
         return (
-            np.asarray(self._edge_src, dtype=np.int64),
-            np.asarray(self._edge_dst, dtype=np.int64),
-            np.asarray(self._edge_prob, dtype=np.float64),
+            self._edge_src.array.copy(),
+            self._edge_dst.array.copy(),
+            self._edge_prob.array.copy(),
         )
 
     def _build_csr(self, direction: str) -> CSRAdjacency:
         n = self.num_nodes
-        src, dst, prob = self.edge_array
+        src = self._edge_src.array
+        dst = self._edge_dst.array
+        prob = self._edge_prob.array
         keys, values = (src, dst) if direction == "out" else (dst, src)
         order = np.argsort(keys, kind="stable")
         counts = np.bincount(keys, minlength=n)
         indptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])
+        inverse = np.empty(order.size, dtype=np.int64)
+        inverse[order] = np.arange(order.size, dtype=np.int64)
+        if direction == "out":
+            self._out_inverse = inverse
+        else:
+            self._in_inverse = inverse
         return CSRAdjacency(
             indptr=indptr,
             indices=values[order],
             probs=prob[order],
-            edge_ids=order.astype(np.int64),
+            edge_ids=np.asarray(order, dtype=np.int64),
         )
 
     def out_csr(self) -> CSRAdjacency:
@@ -416,44 +543,166 @@ class UncertainGraph:
         return self._in_csr
 
     # ------------------------------------------------------------------
+    # Bulk construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def _from_validated_arrays(
+        cls,
+        labels: list[NodeLabel],
+        self_risks: np.ndarray,
+        edge_src: np.ndarray,
+        edge_dst: np.ndarray,
+        edge_probs: np.ndarray,
+    ) -> "UncertainGraph":
+        """Adopt pre-validated arrays without copying (internal fast path).
+
+        Callers guarantee: labels unique, probabilities in range,
+        endpoints in range, no self-loops, no duplicate edges, and that
+        the arrays are private to the new graph.
+        """
+        graph = cls.__new__(cls)
+        graph._index_of = None
+        graph._labels = labels
+        graph._self_risk = _GrowableArray(np.float64, self_risks)
+        graph._edge_src = _GrowableArray(np.int64, edge_src)
+        graph._edge_dst = _GrowableArray(np.int64, edge_dst)
+        graph._edge_prob = _GrowableArray(np.float64, edge_probs)
+        graph._edge_index = None
+        graph._out_csr = None
+        graph._in_csr = None
+        graph._out_inverse = None
+        graph._in_inverse = None
+        return graph
+
+    @classmethod
+    def from_arrays(
+        cls,
+        self_risks: Sequence[float] | np.ndarray,
+        edge_src: Sequence[int] | np.ndarray,
+        edge_dst: Sequence[int] | np.ndarray,
+        edge_probs: Sequence[float] | np.ndarray,
+        labels: Sequence[NodeLabel] | None = None,
+    ) -> "UncertainGraph":
+        """Bulk constructor from parallel arrays (fast path for generators).
+
+        Node ``i`` gets label ``labels[i]`` (default: the integer ``i``).
+        All validation is vectorised and runs **before** the graph is
+        assembled, so a rejected input raises without side effects; the
+        graph is built with zero per-edge Python work.
+
+        Raises
+        ------
+        GraphError
+            On mismatched array lengths, out-of-range endpoints,
+            self-loops, or duplicate labels.
+        DuplicateEdgeError
+            If the same ``(src, dst)`` pair appears twice.
+        ProbabilityError
+            If any probability lies outside ``[0, 1]`` or is NaN.
+        """
+        risk_array = np.asarray(self_risks, dtype=np.float64)
+        if risk_array.ndim != 1:
+            raise GraphError("self_risks must be one-dimensional")
+        n = risk_array.size
+        if labels is None:
+            label_list: list[NodeLabel] = list(range(n))
+        else:
+            label_list = list(labels)
+            if len(label_list) != n:
+                raise GraphError("labels and self_risks must have equal length")
+            if len(set(label_list)) != n:
+                raise GraphError("labels must be unique")
+        src_array = np.asarray(edge_src, dtype=np.int64)
+        dst_array = np.asarray(edge_dst, dtype=np.int64)
+        prob_array = np.asarray(edge_probs, dtype=np.float64)
+        if not src_array.size == dst_array.size == prob_array.size:
+            raise GraphError("edge arrays must have equal length")
+        _check_probability_vector(risk_array, "self-risks")
+        _check_probability_vector(prob_array, "edge probabilities")
+        if src_array.size:
+            if (
+                src_array.min() < 0
+                or src_array.max() >= n
+                or dst_array.min() < 0
+                or dst_array.max() >= n
+            ):
+                raise GraphError("edge endpoint index out of range")
+            if np.any(src_array == dst_array):
+                raise GraphError("self-loops are not allowed")
+            keys = src_array * np.int64(n) + dst_array
+            unique_keys = np.unique(keys)
+            if unique_keys.size != keys.size:
+                raise DuplicateEdgeError("duplicate edges in bulk input")
+        return cls._from_validated_arrays(
+            label_list,
+            risk_array.copy(),
+            src_array.copy(),
+            dst_array.copy(),
+            prob_array.copy(),
+        )
+
+    # ------------------------------------------------------------------
     # Derived graphs and interop
     # ------------------------------------------------------------------
     def reverse(self) -> "UncertainGraph":
         """Return ``Gt``, the graph with every edge direction flipped.
 
         Self-risk probabilities are preserved; the edge ``(u, v, p)``
-        becomes ``(v, u, p)``.  Used by the reverse sampling framework
-        (Algorithm 5).
+        becomes ``(v, u, p)`` with the same canonical edge id.  Pure array
+        swaps — O(n + m) with no per-edge Python work.
         """
-        rev = UncertainGraph()
-        for label, risk in zip(self._labels, self._self_risk):
-            rev.add_node(label, risk)
-        for src, dst, prob in self.edges():
-            rev.add_edge(dst, src, prob)
-        return rev
+        return UncertainGraph._from_validated_arrays(
+            list(self._labels),
+            self._self_risk.array.copy(),
+            self._edge_dst.array.copy(),
+            self._edge_src.array.copy(),
+            self._edge_prob.array.copy(),
+        )
 
     def subgraph(self, labels: Sequence[NodeLabel]) -> "UncertainGraph":
-        """Induced subgraph on *labels* (edges with both endpoints kept)."""
-        keep = set(labels)
-        sub = UncertainGraph()
-        for label in labels:
-            sub.add_node(label, self.self_risk(label))
-        for src, dst, prob in self.edges():
-            if src in keep and dst in keep:
-                sub.add_edge(src, dst, prob)
-        return sub
+        """Induced subgraph on *labels* (edges with both endpoints kept).
+
+        Edge filtering and index remapping are vectorised; kept edges
+        preserve their relative canonical order.
+        """
+        label_list = list(labels)
+        kept = np.fromiter(
+            (self.index(label) for label in label_list),
+            dtype=np.int64,
+            count=len(label_list),
+        )
+        if np.unique(kept).size != kept.size:
+            raise GraphError("subgraph labels must be unique")
+        remap = np.full(self.num_nodes, -1, dtype=np.int64)
+        remap[kept] = np.arange(kept.size, dtype=np.int64)
+        src = self._edge_src.array
+        dst = self._edge_dst.array
+        keep_edge = (remap[src] >= 0) & (remap[dst] >= 0)
+        return UncertainGraph._from_validated_arrays(
+            label_list,
+            self._self_risk.array[kept].copy(),
+            remap[src[keep_edge]],
+            remap[dst[keep_edge]],
+            self._edge_prob.array[keep_edge].copy(),
+        )
 
     def copy(self) -> "UncertainGraph":
-        """Deep copy of the graph."""
-        return self.subgraph(self._labels)
+        """Deep copy of the graph (bulk array copies, no per-edge work)."""
+        return UncertainGraph._from_validated_arrays(
+            list(self._labels),
+            self._self_risk.array.copy(),
+            self._edge_src.array.copy(),
+            self._edge_dst.array.copy(),
+            self._edge_prob.array.copy(),
+        )
 
     def to_networkx(self):
         """Export to a :class:`networkx.DiGraph` with probability attrs."""
         import networkx as nx
 
         g = nx.DiGraph()
-        for label, risk in zip(self._labels, self._self_risk):
-            g.add_node(label, self_risk=risk)
+        for label, risk in zip(self._labels, self._self_risk.array):
+            g.add_node(label, self_risk=float(risk))
         for src, dst, prob in self.edges():
             g.add_edge(src, dst, probability=prob)
         return g
@@ -479,33 +728,6 @@ class UncertainGraph:
             graph.add_edge(src, dst, data.get(probability_attr, default_probability))
         return graph
 
-    @classmethod
-    def from_arrays(
-        cls,
-        self_risks: Sequence[float],
-        edge_src: Sequence[int],
-        edge_dst: Sequence[int],
-        edge_probs: Sequence[float],
-        labels: Sequence[NodeLabel] | None = None,
-    ) -> "UncertainGraph":
-        """Bulk constructor from parallel arrays (fast path for generators).
-
-        Node ``i`` gets label ``labels[i]`` (default: the integer ``i``).
-        """
-        n = len(self_risks)
-        if labels is None:
-            labels = list(range(n))
-        if len(labels) != n:
-            raise GraphError("labels and self_risks must have equal length")
-        if not len(edge_src) == len(edge_dst) == len(edge_probs):
-            raise GraphError("edge arrays must have equal length")
-        graph = cls()
-        for label, risk in zip(labels, self_risks):
-            graph.add_node(label, risk)
-        for s, d, p in zip(edge_src, edge_dst, edge_probs):
-            graph.add_edge(labels[int(s)], labels[int(d)], p)
-        return graph
-
     # ------------------------------------------------------------------
     # Statistics
     # ------------------------------------------------------------------
@@ -519,13 +741,13 @@ class UncertainGraph:
         if n == 0:
             return GraphStats(0, 0, 0.0, 0, 0.0, 0.0)
         total_deg = self.out_csr().degrees + self.in_csr().degrees
-        _, _, probs = self.edge_array
+        probs = self._edge_prob.array
         return GraphStats(
             num_nodes=n,
             num_edges=self.num_edges,
             avg_degree=float(self.num_edges / n),
             max_degree=int(total_deg.max(initial=0)),
-            mean_self_risk=float(np.mean(self._self_risk)) if n else 0.0,
+            mean_self_risk=float(self._self_risk.array.mean()) if n else 0.0,
             mean_diffusion=float(probs.mean()) if probs.size else 0.0,
         )
 
@@ -537,17 +759,22 @@ class UncertainGraph:
         """
         if len(self._labels) != len(self._self_risk):
             raise GraphError("label/self-risk arrays out of sync")
-        if len(self._index_of) != len(self._labels):
+        if len(self._node_lookup()) != len(self._labels):
             raise GraphError("duplicate labels in index map")
-        for arr in (self._edge_src, self._edge_dst):
-            for idx in arr:
-                if not 0 <= idx < self.num_nodes:
-                    raise GraphError(f"edge endpoint {idx} out of range")
-        for p in self._edge_prob:
-            _check_probability(p, "edge probability")
-        for p in self._self_risk:
-            _check_probability(p, "self risk")
-        if len(self._edge_index) != len(self._edge_src):
+        if not len(self._edge_src) == len(self._edge_dst) == len(self._edge_prob):
+            raise GraphError("edge attribute arrays out of sync")
+        src = self._edge_src.array
+        dst = self._edge_dst.array
+        if src.size and (
+            src.min() < 0
+            or src.max() >= self.num_nodes
+            or dst.min() < 0
+            or dst.max() >= self.num_nodes
+        ):
+            raise GraphError("edge endpoint out of range")
+        _check_probability_vector(self._edge_prob.array, "edge probabilities")
+        _check_probability_vector(self._self_risk.array, "self risks")
+        if len(self._edge_lookup()) != len(self._edge_src):
             raise GraphError("edge index and edge list disagree")
 
     def __repr__(self) -> str:

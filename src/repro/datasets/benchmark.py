@@ -31,13 +31,13 @@ _POWERLAW_PARAMS: dict[str, tuple[float, float]] = {
 def _edges_to_graph(
     n: int, src: np.ndarray, dst: np.ndarray, prefix: str
 ) -> UncertainGraph:
-    labels = [f"{prefix}_{i:05d}" for i in range(n)]
-    graph = UncertainGraph()
-    for label in labels:
-        graph.add_node(label, 0.0)
-    for s, d in zip(src.tolist(), dst.tolist()):
-        graph.add_edge(labels[s], labels[d], 1.0)
-    return graph
+    return UncertainGraph.from_arrays(
+        self_risks=np.zeros(n),
+        edge_src=src,
+        edge_dst=dst,
+        edge_probs=np.ones(src.size),
+        labels=[f"{prefix}_{i:05d}" for i in range(n)],
+    )
 
 
 def benchmark_graph(

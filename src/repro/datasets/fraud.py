@@ -101,9 +101,10 @@ def fraud_graph(n: int, m: int, seed: SeedLike = None) -> UncertainGraph:
         f"merchant_{i:05d}" if i < num_merchants else f"consumer_{i:05d}"
         for i in range(n)
     ]
-    graph = UncertainGraph()
-    for label in labels:
-        graph.add_node(label, 0.0)
-    for s, d in zip(src.tolist(), dst.tolist()):
-        graph.add_edge(labels[s], labels[d], 1.0)
-    return graph
+    return UncertainGraph.from_arrays(
+        self_risks=np.zeros(n),
+        edge_src=src,
+        edge_dst=dst,
+        edge_probs=np.ones(src.size),
+        labels=labels,
+    )

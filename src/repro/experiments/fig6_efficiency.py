@@ -43,6 +43,10 @@ def run(
                     upper_order=config.bound_order,
                     bk=config.bk,
                     seed=config.seed,
+                    # Work counts must reproduce Algorithm 5's exact
+                    # early-exit draw semantics; the batched engine's
+                    # union closure draws more, so pin the reference.
+                    engine="reference",
                 )
                 result = detector.detect(loaded.graph, k)
                 work = int(result.details.get("nodes_touched", 0)) + int(

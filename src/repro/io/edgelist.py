@@ -25,10 +25,12 @@ __all__ = ["write_edgelist", "read_edgelist", "dumps_edgelist", "loads_edgelist"
 def _write(graph: UncertainGraph, handle: TextIO) -> None:
     handle.write("# uncertain graph edge list\n")
     handle.write(f"# nodes={graph.num_nodes} edges={graph.num_edges}\n")
+    # 17 significant digits round-trips any float64 exactly; 12 does not,
+    # and lossy probabilities break the serialisation round-trip tests.
     for label in graph.nodes():
-        handle.write(f"N {label} {graph.self_risk(label):.12g}\n")
+        handle.write(f"N {label} {graph.self_risk(label):.17g}\n")
     for src, dst, prob in graph.edges():
-        handle.write(f"E {src} {dst} {prob:.12g}\n")
+        handle.write(f"E {src} {dst} {prob:.17g}\n")
 
 
 def _parse(lines: Iterable[str]) -> UncertainGraph:

@@ -6,8 +6,14 @@ from repro.sampling.estimators import (
     wilson_interval,
 )
 from repro.sampling.forward import ForwardEstimate, ForwardSampler, forward_sample_reference
-from repro.sampling.reverse import ReverseSampler, ReverseWorld
-from repro.sampling.rng import SeedLike, make_rng, spawn_rngs
+from repro.sampling.reverse import (
+    BatchedReverseSampler,
+    ReverseSampler,
+    ReverseWorld,
+    WorldArena,
+    reverse_engine,
+)
+from repro.sampling.rng import RandomBlock, SeedLike, make_rng, spawn_rngs
 from repro.sampling.sample_size import (
     basic_sample_size,
     epsilon_for_sample_size,
@@ -23,8 +29,12 @@ __all__ = [
     "ForwardEstimate",
     "ForwardSampler",
     "forward_sample_reference",
+    "BatchedReverseSampler",
     "ReverseSampler",
     "ReverseWorld",
+    "WorldArena",
+    "RandomBlock",
+    "reverse_engine",
     "SeedLike",
     "make_rng",
     "spawn_rngs",

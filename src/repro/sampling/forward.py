@@ -128,12 +128,14 @@ class ForwardSampler:
         self.nodes_touched = 0
         self.edges_touched = 0
         src, dst, prob = graph.edge_array
-        self._edge_src = src
-        self._edge_prob = prob
         # Edges sorted by destination enable a per-destination segment OR.
+        # The probability vector is pre-permuted into that order once, so
+        # each batch draws survival matrices directly in-order instead of
+        # materialising a full ``batch x m`` gather per batch.
         in_csr = graph.in_csr()
         self._in_order = in_csr.edge_ids  # edge ids sorted by destination
         self._in_indptr = in_csr.indptr
+        self._edge_prob_in_order = prob[self._in_order]
         nonempty = np.flatnonzero(np.diff(self._in_indptr) > 0)
         self._nonempty_nodes = nonempty
         self._nonempty_starts = self._in_indptr[nonempty]
@@ -159,8 +161,7 @@ class ForwardSampler:
         self.nodes_touched += batch * n  # lines 4-7 draw for every node
         if m == 0 or not defaulted.any():
             return defaulted
-        survives = self._rng.random((batch, m)) <= self._edge_prob
-        survives_in_order = survives[:, self._in_order]
+        survives_in_order = self._rng.random((batch, m)) <= self._edge_prob_in_order
         frontier = defaulted.copy()
         while True:
             # Which in-ordered edges carry contagion out of the frontier.

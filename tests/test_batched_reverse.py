@@ -1,0 +1,305 @@
+"""Tests for the batched reverse-sampling engine and the world arena.
+
+The contract under test: :class:`BatchedReverseSampler` is an exact
+re-implementation of the :class:`ReverseWorld` reference under a shared
+draw policy (entity-indexed uniforms), statistically indistinguishable
+from the exact oracle under its production block randomness, and reports
+the same engine-neutral work counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SamplingError
+from repro.core.exact import exact_default_probabilities
+from repro.core.graph import UncertainGraph
+from repro.sampling.reverse import (
+    BatchedReverseSampler,
+    ReverseSampler,
+    ReverseWorld,
+    WorldArena,
+)
+from repro.sampling.rng import make_rng
+
+
+def random_graph(n: int, edge_probability: float, seed: int) -> UncertainGraph:
+    rng = np.random.default_rng(seed)
+    graph = UncertainGraph()
+    for i in range(n):
+        graph.add_node(i, float(rng.random() * 0.7))
+    for src in range(n):
+        for dst in range(n):
+            if src != dst and rng.random() < edge_probability:
+                graph.add_edge(src, dst, float(rng.random()))
+    return graph
+
+
+class TestWorldArena:
+    def test_new_world_bumps_epoch(self, paper_graph):
+        arena = WorldArena(paper_graph, 0)
+        assert arena.epoch == 0
+        arena.new_world()
+        assert arena.epoch == 1
+        arena.new_world()
+        assert arena.epoch == 2
+
+    def test_worlds_share_no_state_across_epochs(self):
+        """The hv/checked memos must reset (by stamp) between worlds."""
+        graph = UncertainGraph()
+        graph.add_node("root", 0.5)
+        graph.add_node("leaf", 0.0)
+        graph.add_edge("root", "leaf", 1.0)
+        arena = WorldArena(graph, 0)
+        n, m = graph.num_nodes, graph.num_edges
+        defaulting = arena.new_world(
+            node_uniforms=np.zeros(n), edge_uniforms=np.zeros(m)
+        )
+        assert defaulting.candidate_defaults(graph.index("leaf"))
+        surviving = arena.new_world(
+            node_uniforms=np.ones(n), edge_uniforms=np.zeros(m)
+        )
+        assert not surviving.candidate_defaults(graph.index("leaf"))
+
+    def test_buffers_not_reallocated_between_worlds(self, paper_graph):
+        arena = WorldArena(paper_graph, 0)
+        stamp_buffer = arena._node_stamp
+        for _ in range(5):
+            world = arena.new_world()
+            world.candidate_defaults(0)
+        assert arena._node_stamp is stamp_buffer
+
+    def test_stale_world_raises_instead_of_corrupting(self, paper_graph):
+        """A retired world must not silently overwrite the live world's
+        memo stamps."""
+        arena = WorldArena(paper_graph, 0)
+        stale = arena.new_world()
+        stale.candidate_defaults(0)
+        live = arena.new_world()
+        with pytest.raises(SamplingError, match="retired"):
+            stale.candidate_defaults(1)
+        live.candidate_defaults(0)  # the live world keeps working
+
+    def test_self_risk_mutations_observed_between_worlds(self):
+        graph = UncertainGraph()
+        graph.add_node("a", 0.0)
+        arena = WorldArena(graph, 0)
+        assert not arena.new_world().candidate_defaults(0)
+        graph.set_self_risk("a", 1.0)
+        assert arena.new_world().candidate_defaults(0)
+
+    def test_reverse_world_requires_graph_xor_arena(self, paper_graph):
+        arena = WorldArena(paper_graph, 0)
+        with pytest.raises(SamplingError):
+            ReverseWorld(paper_graph, 0, arena=arena)
+        with pytest.raises(SamplingError):
+            ReverseWorld()
+
+
+class TestExactEngineAgreement:
+    """Batched engine == reference engine under entity-indexed uniforms."""
+
+    @pytest.mark.parametrize("graph_seed", range(8))
+    def test_per_world_agreement_on_random_graphs(self, graph_seed):
+        graph = random_graph(8, 0.25, graph_seed)
+        n, m = graph.num_nodes, graph.num_edges
+        candidates = np.arange(n)
+        batched = BatchedReverseSampler(graph, candidates, seed=0)
+        arena = WorldArena(graph, 0)
+        rng = make_rng(1000 + graph_seed)
+        for _ in range(40):
+            node_u, edge_u = rng.random(n), rng.random(m)
+            reference_world = arena.new_world(
+                node_uniforms=node_u, edge_uniforms=edge_u
+            )
+            reference = np.fromiter(
+                (reference_world.candidate_defaults(int(v)) for v in candidates),
+                dtype=bool,
+                count=n,
+            )
+            batched_outcome = batched.outcomes_for_uniforms(node_u, edge_u)
+            assert np.array_equal(reference, batched_outcome)
+
+    def test_estimates_agree_exactly_under_shared_draws(self, paper_graph):
+        """Same per-world uniforms => identical per-candidate estimates."""
+        n, m = paper_graph.num_nodes, paper_graph.num_edges
+        candidates = np.arange(n)
+        batched = BatchedReverseSampler(paper_graph, candidates, seed=0)
+        arena = WorldArena(paper_graph, 0)
+        rng = make_rng(7)
+        worlds = 200
+        reference_counts = np.zeros(n, dtype=np.int64)
+        batched_counts = np.zeros(n, dtype=np.int64)
+        for _ in range(worlds):
+            node_u, edge_u = rng.random(n), rng.random(m)
+            world = arena.new_world(node_uniforms=node_u, edge_uniforms=edge_u)
+            reference_counts += np.fromiter(
+                (world.candidate_defaults(int(v)) for v in candidates),
+                dtype=bool,
+                count=n,
+            )
+            batched_counts += batched.outcomes_for_uniforms(node_u, edge_u)
+        assert np.array_equal(reference_counts, batched_counts)
+
+    def test_duplicate_and_subset_candidates(self):
+        graph = random_graph(7, 0.3, 42)
+        n, m = graph.num_nodes, graph.num_edges
+        candidates = np.array([3, 0, 3, 5])
+        batched = BatchedReverseSampler(graph, candidates, seed=0)
+        arena = WorldArena(graph, 0)
+        rng = make_rng(9)
+        for _ in range(25):
+            node_u, edge_u = rng.random(n), rng.random(m)
+            world = arena.new_world(node_uniforms=node_u, edge_uniforms=edge_u)
+            reference = np.array(
+                [world.candidate_defaults(int(v)) for v in candidates]
+            )
+            outcome = batched.outcomes_for_uniforms(node_u, edge_u)
+            assert outcome.shape == (4,)
+            assert np.array_equal(reference, outcome)
+            assert outcome[0] == outcome[2]  # duplicate candidate slots agree
+
+    def test_uniform_shape_validation(self, paper_graph):
+        sampler = BatchedReverseSampler(paper_graph, [0], seed=0)
+        with pytest.raises(SamplingError):
+            sampler.outcomes_for_uniforms(np.zeros(3), np.zeros(6))
+        with pytest.raises(SamplingError):
+            sampler.outcomes_for_uniforms(np.zeros(5), np.zeros(2))
+
+
+@pytest.mark.slow
+class TestBatchedStatistics:
+    def test_matches_exact_probabilities(self, paper_graph):
+        exact = exact_default_probabilities(paper_graph)
+        candidates = np.arange(paper_graph.num_nodes)
+        t = 6000
+        estimate = BatchedReverseSampler(
+            paper_graph, candidates, seed=3
+        ).estimate_probabilities(t)
+        sigma = np.sqrt(exact * (1 - exact) / t)
+        assert np.all(np.abs(estimate - exact) < 4 * sigma + 1e-9)
+
+    def test_matches_exact_on_random_graph(self, small_random_graph):
+        exact = exact_default_probabilities(small_random_graph)
+        candidates = np.arange(small_random_graph.num_nodes)
+        t = 6000
+        estimate = BatchedReverseSampler(
+            small_random_graph, candidates, seed=5
+        ).estimate_probabilities(t)
+        sigma = np.sqrt(exact * (1 - exact) / t)
+        assert np.all(np.abs(estimate - exact) < 4 * sigma + 1e-9)
+
+    def test_agrees_with_reference_sampler(self, small_random_graph):
+        t = 6000
+        candidates = np.arange(small_random_graph.num_nodes)
+        reference = ReverseSampler(
+            small_random_graph, candidates, seed=21
+        ).estimate_probabilities(t)
+        batched = BatchedReverseSampler(
+            small_random_graph, candidates, seed=22
+        ).estimate_probabilities(t)
+        sigma = np.sqrt(2 * 0.25 / t)
+        assert np.all(np.abs(reference - batched) < 5 * sigma)
+
+    def test_world_batch_does_not_change_distribution(self, paper_graph):
+        candidates = np.arange(paper_graph.num_nodes)
+        small = BatchedReverseSampler(
+            paper_graph, candidates, seed=5, world_batch=3
+        ).estimate_probabilities(2000)
+        large = BatchedReverseSampler(
+            paper_graph, candidates, seed=5, world_batch=512
+        ).estimate_probabilities(2000)
+        assert np.all(np.abs(small - large) < 0.08)
+
+
+class TestBatchedSamplerApi:
+    def test_validates_candidates(self, paper_graph):
+        with pytest.raises(SamplingError):
+            BatchedReverseSampler(paper_graph, [])
+        with pytest.raises(SamplingError):
+            BatchedReverseSampler(paper_graph, [99])
+        with pytest.raises(SamplingError):
+            BatchedReverseSampler(paper_graph, [-1])
+        with pytest.raises(SamplingError):
+            BatchedReverseSampler(paper_graph, [0], world_batch=0)
+
+    def test_samples_must_be_positive(self, paper_graph):
+        sampler = BatchedReverseSampler(paper_graph, [0], seed=0)
+        with pytest.raises(SamplingError):
+            sampler.run(0)
+        with pytest.raises(SamplingError):
+            list(sampler.iter_samples(-1))
+
+    def test_run_shape(self, paper_graph):
+        candidates = [paper_graph.index("E"), paper_graph.index("D")]
+        estimate = BatchedReverseSampler(paper_graph, candidates, seed=0).run(100)
+        assert estimate.counts.shape == (2,)
+        assert estimate.samples == 100
+
+    def test_iter_samples_streaming(self, paper_graph):
+        sampler = BatchedReverseSampler(
+            paper_graph, [paper_graph.index("E")], seed=0, world_batch=7
+        )
+        outcomes = list(sampler.iter_samples(50))
+        assert len(outcomes) == 50
+        assert all(o.shape == (1,) for o in outcomes)
+        assert all(o.dtype == np.bool_ for o in outcomes)
+
+    def test_deterministic_with_seed(self, paper_graph):
+        candidates = [paper_graph.index("E")]
+        a = BatchedReverseSampler(paper_graph, candidates, seed=8).run(300)
+        b = BatchedReverseSampler(paper_graph, candidates, seed=8).run(300)
+        assert np.array_equal(a.counts, b.counts)
+
+    def test_different_seeds_differ(self, paper_graph):
+        candidates = np.arange(paper_graph.num_nodes)
+        a = BatchedReverseSampler(paper_graph, candidates, seed=1).run(400)
+        b = BatchedReverseSampler(paper_graph, candidates, seed=2).run(400)
+        assert not np.array_equal(a.counts, b.counts)
+
+    def test_touch_counters_are_engine_neutral_draw_counts(self, paper_graph):
+        """Counters mean "distinct per-world draws" in both engines."""
+        n, m = paper_graph.num_nodes, paper_graph.num_edges
+        samples = 50
+        candidates = np.arange(n)
+        batched = BatchedReverseSampler(paper_graph, candidates, seed=0)
+        batched.run(samples)
+        assert 0 < batched.nodes_touched <= samples * n
+        assert batched.edges_touched <= samples * m
+        reference = ReverseSampler(paper_graph, candidates, seed=0)
+        reference.run(samples)
+        assert 0 < reference.nodes_touched <= samples * n
+        assert reference.edges_touched <= samples * m
+
+    def test_counters_attributed_per_consumed_world(self):
+        """Early-stopping consumers must not be charged for unconsumed
+        worlds of a block, whatever the world_batch size."""
+        graph = UncertainGraph()
+        graph.add_node("a", 0.5)
+        graph.add_node("b", 0.2)
+        graph.add_node("c", 0.1)
+        for consumed in (1, 3, 5):
+            for world_batch in (1, 4, 32):
+                sampler = BatchedReverseSampler(
+                    graph, [0, 1, 2], seed=0, world_batch=world_batch
+                )
+                stream = sampler.iter_samples(100)
+                for _ in range(consumed):
+                    next(stream)
+                # Edgeless graph: every consumed world draws exactly one
+                # uniform per candidate, so the count is exact.
+                assert sampler.nodes_touched == consumed * 3
+                assert sampler.edges_touched == 0
+
+    def test_touch_counters_identical_on_edgeless_graph(self):
+        graph = UncertainGraph()
+        graph.add_node("a", 0.5)
+        graph.add_node("b", 0.2)
+        samples = 40
+        batched = BatchedReverseSampler(graph, [0, 1], seed=0)
+        batched.run(samples)
+        reference = ReverseSampler(graph, [0, 1], seed=0)
+        reference.run(samples)
+        assert batched.nodes_touched == reference.nodes_touched == samples * 2
+        assert batched.edges_touched == reference.edges_touched == 0

@@ -102,6 +102,7 @@ class TestReduceCandidatesMechanics:
             reduce_candidates(paper_graph, lower, upper, 1)
 
 
+@pytest.mark.slow
 class TestReductionSoundness:
     """On trees (exact Eq.(1)) the reduction must never lose a true answer."""
 

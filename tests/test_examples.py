@@ -12,6 +12,10 @@ from pathlib import Path
 
 import pytest
 
+# These end-to-end runs dominate suite runtime; deselect with -m "not slow".
+pytestmark = pytest.mark.slow
+
+
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 
 

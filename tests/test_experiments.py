@@ -18,6 +18,9 @@ from repro.experiments.ground_truth import (
 from repro.experiments.reporting import ExperimentReport, ReportSection
 from repro.experiments.scoring import bsr_scores, bsrbk_scores
 
+# These end-to-end runs dominate suite runtime; deselect with -m "not slow".
+pytestmark = pytest.mark.slow
+
 # A deliberately tiny configuration so harness tests run in seconds.
 MICRO = ExperimentConfig(
     name="micro",

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.core.errors import (
     DuplicateEdgeError,
@@ -125,6 +127,60 @@ class TestConstruction:
         with pytest.raises(GraphError):
             UncertainGraph.from_arrays([0.1, 0.2], [0], [1], [0.5], labels=["a"])
 
+    def test_from_arrays_rejects_bad_probabilities(self):
+        with pytest.raises(ProbabilityError):
+            UncertainGraph.from_arrays([0.1, 1.2], [0], [1], [0.5])
+        with pytest.raises(ProbabilityError):
+            UncertainGraph.from_arrays([0.1, 0.2], [0], [1], [1.5])
+        with pytest.raises(ProbabilityError):
+            UncertainGraph.from_arrays([0.1, 0.2], [0], [1], [float("nan")])
+
+    def test_from_arrays_rejects_bad_topology(self):
+        with pytest.raises(GraphError):
+            UncertainGraph.from_arrays([0.1, 0.2], [0], [0], [0.5])  # self-loop
+        with pytest.raises(GraphError):
+            UncertainGraph.from_arrays([0.1, 0.2], [0], [2], [0.5])  # range
+        with pytest.raises(GraphError):
+            UncertainGraph.from_arrays([0.1, 0.2], [-1], [1], [0.5])
+        with pytest.raises(DuplicateEdgeError):
+            UncertainGraph.from_arrays(
+                [0.1, 0.2], [0, 0], [1, 1], [0.5, 0.6]
+            )
+        with pytest.raises(GraphError):
+            UncertainGraph.from_arrays([0.1, 0.2], [], [], [], labels=["a", "a"])
+
+    def test_from_arrays_does_not_adopt_caller_arrays(self):
+        probs = np.array([0.4, 0.5])
+        graph = UncertainGraph.from_arrays([0.1, 0.2, 0.3], [0, 1], [1, 2], probs)
+        probs[0] = 0.99  # caller mutation must not leak into the graph
+        assert graph.edge_probability(0, 1) == pytest.approx(0.4)
+
+    def test_from_arrays_matches_incremental_construction(self):
+        rng = np.random.default_rng(17)
+        n, m = 30, 80
+        risks = rng.random(n)
+        seen: set[tuple[int, int]] = set()
+        while len(seen) < m:
+            s, d = rng.integers(n), rng.integers(n)
+            if s != d:
+                seen.add((int(s), int(d)))
+        src, dst = map(np.array, zip(*sorted(seen)))
+        probs = rng.random(m)
+        bulk = UncertainGraph.from_arrays(risks, src, dst, probs)
+        incremental = UncertainGraph()
+        for i in range(n):
+            incremental.add_node(i, risks[i])
+        for s, d, p in zip(src, dst, probs):
+            incremental.add_edge(int(s), int(d), p)
+        assert list(bulk.edges()) == list(incremental.edges())
+        assert bulk.labels() == incremental.labels()
+        assert np.array_equal(bulk.self_risk_array, incremental.self_risk_array)
+        out_bulk, out_inc = bulk.out_csr(), incremental.out_csr()
+        assert np.array_equal(out_bulk.indptr, out_inc.indptr)
+        assert np.array_equal(out_bulk.indices, out_inc.indices)
+        assert np.array_equal(out_bulk.edge_ids, out_inc.edge_ids)
+        bulk.validate()
+
 
 class TestLookups:
     def test_membership(self, paper_graph):
@@ -222,12 +278,37 @@ class TestMutation:
         with pytest.raises(ProbabilityError):
             paper_graph.set_all_edge_probabilities(np.full(6, -0.1))
 
-    def test_mutation_invalidates_csr_cache(self, paper_graph):
+    def test_bulk_probability_update_patches_csr_in_place(self, paper_graph):
         before = paper_graph.out_csr()
         paper_graph.set_all_edge_probabilities(np.full(6, 0.9))
         after = paper_graph.out_csr()
-        assert after is not before
+        # Probability-only updates must not rebuild the CSR views; the
+        # cached objects survive and observe the new values.
+        assert after is before
         assert np.allclose(after.probs, 0.9)
+
+    def test_topology_mutation_invalidates_csr_cache(self, paper_graph):
+        before = paper_graph.out_csr()
+        paper_graph.add_node("F", 0.1)
+        paper_graph.add_edge("E", "F", 0.5)
+        after = paper_graph.out_csr()
+        assert after is not before
+        assert after.indptr.size == before.indptr.size + 1
+
+    def test_set_edge_probability_does_not_rebuild_csr(self, paper_graph):
+        """Regression: a one-float patch must not invalidate either view."""
+        out_before = paper_graph.out_csr()
+        in_before = paper_graph.in_csr()
+        paper_graph.set_edge_probability("A", "B", 0.81)
+        assert paper_graph.out_csr() is out_before
+        assert paper_graph.in_csr() is in_before
+        # Both views share canonical edge ids, so both see the patch.
+        a, b = paper_graph.index("A"), paper_graph.index("B")
+        out_pos = list(out_before.neighbors(a)).index(b)
+        in_pos = list(in_before.neighbors(b)).index(a)
+        assert out_before.edge_probs(a)[out_pos] == pytest.approx(0.81)
+        assert in_before.edge_probs(b)[in_pos] == pytest.approx(0.81)
+        assert paper_graph.edge_probability("A", "B") == pytest.approx(0.81)
 
 
 class TestCSR:
@@ -361,3 +442,64 @@ class TestStatsAndValidate:
         src, dst, prob = paper_graph.edge_array
         assert src.shape == dst.shape == prob.shape == (6,)
         assert np.allclose(prob, 0.2)
+
+
+@st.composite
+def array_graph_inputs(draw, max_nodes=8):
+    """Parallel-array graph descriptions for the bulk constructor."""
+    n = draw(st.integers(1, max_nodes))
+    risks = draw(
+        st.lists(
+            st.floats(0.0, 1.0, allow_nan=False), min_size=n, max_size=n
+        )
+    )
+    possible = [(s, d) for s in range(n) for d in range(n) if s != d]
+    pairs = draw(
+        st.lists(st.sampled_from(possible), unique=True, max_size=min(12, len(possible)))
+    ) if possible else []
+    probs = draw(
+        st.lists(
+            st.floats(0.0, 1.0, allow_nan=False),
+            min_size=len(pairs),
+            max_size=len(pairs),
+        )
+    )
+    src = [s for s, _ in pairs]
+    dst = [d for _, d in pairs]
+    return risks, src, dst, probs
+
+
+class TestFromArraysProperties:
+    @given(array_graph_inputs())
+    def test_round_trips_edges(self, inputs):
+        risks, src, dst, probs = inputs
+        graph = UncertainGraph.from_arrays(risks, src, dst, probs)
+        graph.validate()
+        assert graph.num_nodes == len(risks)
+        assert graph.num_edges == len(src)
+        assert list(graph.edges()) == [
+            (s, d, pytest.approx(p)) for s, d, p in zip(src, dst, probs)
+        ]
+        assert np.array_equal(graph.self_risk_array, np.asarray(risks))
+        for s, d in zip(src, dst):
+            assert graph.has_edge(s, d)
+
+    @given(array_graph_inputs(), st.integers(0, 100))
+    def test_rejects_bad_probabilities_atomically(self, inputs, seed):
+        risks, src, dst, probs = inputs
+        if not probs:
+            return
+        rng = np.random.default_rng(seed)
+        bad = list(probs)
+        bad[rng.integers(len(bad))] = 1.0 + float(rng.random()) + 1e-9
+        with pytest.raises(ProbabilityError):
+            UncertainGraph.from_arrays(risks, src, dst, bad)
+
+    @given(array_graph_inputs())
+    def test_reverse_round_trip(self, inputs):
+        risks, src, dst, probs = inputs
+        graph = UncertainGraph.from_arrays(risks, src, dst, probs)
+        twice = graph.reverse().reverse()
+        assert list(twice.edges()) == list(graph.edges())
+        assert twice.labels() == graph.labels()
+        graph.reverse().validate()

@@ -13,6 +13,10 @@ from repro.io.jsonio import graph_from_dict, graph_to_dict, result_to_dict
 from repro.metrics.ranking import jaccard, precision_at_k
 
 
+# These end-to-end runs dominate suite runtime; deselect with -m "not slow".
+pytestmark = pytest.mark.slow
+
+
 class TestDatasetToDetectionPipeline:
     """Generate a dataset, compute ground truth, run every method."""
 

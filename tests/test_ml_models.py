@@ -19,6 +19,10 @@ from repro.metrics.auc import roc_auc
 from repro.sampling.rng import make_rng
 
 
+# These end-to-end runs dominate suite runtime; deselect with -m "not slow".
+pytestmark = pytest.mark.slow
+
+
 def separable_data(n=400, d=8, seed=0):
     rng = make_rng(seed)
     X = rng.normal(size=(n, d))

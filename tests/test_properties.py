@@ -9,6 +9,7 @@ with the exact oracle, and top-k determinism.
 from __future__ import annotations
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -20,6 +21,10 @@ from repro.core.graph import UncertainGraph
 from repro.core.topk import top_k_indices
 from repro.core.worlds import enumerate_worlds
 from repro.sampling.forward import ForwardSampler
+
+# Hypothesis example generation over exact world enumeration makes this
+# the heaviest module in the suite; deselect with -m "not slow".
+pytestmark = pytest.mark.slow
 
 
 @st.composite

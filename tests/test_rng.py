@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.sampling.rng import make_rng, spawn_rngs
+from repro.sampling.rng import RandomBlock, make_rng, spawn_rngs
 
 
 class TestMakeRng:
@@ -52,3 +52,50 @@ class TestSpawnRngs:
         children = spawn_rngs(rng, 2)
         assert len(children) == 2
         assert children[0].random() != children[1].random()
+
+
+class TestRandomBlock:
+    def test_scalar_draws_match_generator_stream(self):
+        """Block consumption is bit-identical to scalar rng.random() calls."""
+        block = RandomBlock(make_rng(0), chunk=8)
+        reference = make_rng(0)
+        for _ in range(25):  # crosses multiple refills
+            assert block.next() == reference.random()
+
+    def test_take_matches_generator_stream(self):
+        block = RandomBlock(make_rng(3), chunk=8)
+        reference = make_rng(3)
+        # Mixed scalar/vector consumption, including takes larger than
+        # the chunk, must reproduce the raw stream exactly.
+        drawn = [block.next(), block.next()]
+        drawn.extend(block.take(5))
+        drawn.extend(block.take(20))
+        drawn.append(block.next())
+        expected = [reference.random() for _ in range(len(drawn))]
+        assert np.array_equal(np.asarray(drawn), np.asarray(expected))
+
+    def test_take_zero(self):
+        block = RandomBlock(make_rng(0))
+        assert block.take(0).size == 0
+
+    def test_take_returns_fresh_arrays(self):
+        block = RandomBlock(make_rng(0), chunk=16)
+        first = block.take(4)
+        second = block.take(4)
+        first[:] = -1.0  # must not corrupt later draws
+        assert np.all(second >= 0.0)
+        assert np.all(block.take(4) >= 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomBlock(make_rng(0), chunk=0)
+        with pytest.raises(ValueError):
+            RandomBlock(make_rng(0)).take(-1)
+
+    def test_remaining(self):
+        block = RandomBlock(make_rng(0), chunk=10)
+        assert block.remaining == 0
+        block.next()
+        assert block.remaining == 9
+        block.take(4)
+        assert block.remaining == 5
