@@ -25,9 +25,18 @@ from repro.core.eq1 import (
 )
 from repro.core.exact import exact_default_probabilities, exact_top_k
 from repro.core.graph import CSRAdjacency, GraphStats, UncertainGraph, graph_from_mapping
+from repro.core.propagation import (
+    propagate_defaults_block,
+    propagate_edge_list,
+    ragged_positions,
+)
 from repro.core.topk import kth_largest, top_k_indices, top_k_labels, validate_k
 from repro.core.worlds import (
+    DEFAULT_BLOCK_WORLDS,
+    DEFAULT_MAX_CHOICES,
     PossibleWorld,
+    WorldBlock,
+    enumerate_world_blocks,
     enumerate_worlds,
     propagate_defaults,
     world_probability,
@@ -43,9 +52,16 @@ __all__ = [
     "UncertainGraph",
     "graph_from_mapping",
     "PossibleWorld",
+    "WorldBlock",
     "enumerate_worlds",
+    "enumerate_world_blocks",
     "propagate_defaults",
+    "propagate_defaults_block",
+    "propagate_edge_list",
+    "ragged_positions",
     "world_probability",
+    "DEFAULT_BLOCK_WORLDS",
+    "DEFAULT_MAX_CHOICES",
     "exact_default_probabilities",
     "exact_top_k",
     "apply_eq1",

@@ -6,14 +6,41 @@ survives.  A node **defaults in a world** when it self-defaults or is
 reachable from a self-defaulting node through surviving edges (Section 2.1
 and Figure 3 of the paper).
 
-This module provides:
+This module provides two enumeration engines over the ``2^(n+m)`` worlds:
 
-* :class:`PossibleWorld` — an explicit world realisation.
-* :func:`propagate_defaults` — the forward contagion BFS that turns a world
-  into the set of defaulting nodes.
-* :func:`world_probability` — the probability mass of an explicit world.
-* :func:`enumerate_worlds` — generator over all ``2^(n+m)`` worlds for tiny
-  graphs (used by the exact oracle and by the test suite).
+* :func:`enumerate_worlds` — the scalar reference: one
+  :class:`PossibleWorld` at a time, in plain binary-counting order.  It is
+  the executable specification the bit-parallel engine is tested against.
+* :func:`enumerate_world_blocks` — the bit-parallel production engine:
+  worlds are materialised in blocks of ``W`` as ``(W, n)`` self-default
+  and ``(W, m)`` edge-survival boolean matrices plus a ``(W,)`` mass
+  vector, ready for :func:`repro.core.propagation.propagate_defaults_block`.
+  Memory is bounded by the block size, never by ``2^choices``.
+
+Block scheme and Gray-code masses
+---------------------------------
+Only the *free* choices (probability strictly between 0 and 1) are
+enumerated; deterministic choices are pinned.  The free choices are
+ordered nodes-then-edges and walked in **binary-reflected Gray-code
+order**, so successive worlds — including across block boundaries —
+differ in exactly one choice.  The last ``log2(W)`` choices (the "low"
+choices) sweep all combinations inside each block; the remaining "high"
+choices are constant per block and advance by one Gray flip between
+blocks.
+
+World masses are never recomputed as a fresh ``O(n + m)`` product per
+world.  The high part of each mass is maintained incrementally: one Gray
+flip patches a single choice's term and the sequential suffix product
+after it (:class:`_ExactSuffixProduct`, amortised O(1) multiplies per
+block).  The low part is a handful of vectorised column multiplies per
+block.  Both are *sequential* products in the canonical choice order, so
+every mass is **bit-identical** to what :func:`world_probability`
+computes from scratch for the same realisation — the equivalence tests
+assert exact equality, not approximate.
+
+Scalar helpers (:class:`PossibleWorld`, :func:`propagate_defaults`,
+:func:`world_probability`) are unchanged reference semantics used by the
+tests and by per-world consumers such as the temporal dataset builder.
 """
 
 from __future__ import annotations
@@ -30,10 +57,22 @@ from repro.core.graph import UncertainGraph
 
 __all__ = [
     "PossibleWorld",
+    "WorldBlock",
     "propagate_defaults",
     "world_probability",
     "enumerate_worlds",
+    "enumerate_world_blocks",
+    "DEFAULT_MAX_CHOICES",
+    "DEFAULT_BLOCK_WORLDS",
 ]
+
+#: Safety cap on enumerated binary choices.  The block engine streams
+#: ``2^choices`` worlds through block-sized buffers, so the cap is a
+#: run-time guard, not a memory one.
+DEFAULT_MAX_CHOICES = 28
+
+#: Worlds materialised per block by :func:`enumerate_world_blocks`.
+DEFAULT_BLOCK_WORLDS = 4096
 
 
 @dataclass(frozen=True)
@@ -58,12 +97,56 @@ class PossibleWorld:
             raise GraphError("possible world arrays must be boolean")
 
 
+@dataclass(frozen=True)
+class WorldBlock:
+    """A block of possible worlds materialised as boolean matrices.
+
+    Attributes
+    ----------
+    self_default:
+        Boolean ``(W, n)`` matrix; row ``j`` is world ``j``'s self-default
+        vector.
+    edge_survives:
+        Boolean ``(W, m)`` matrix; row ``j`` is world ``j``'s edge-survival
+        vector.
+    masses:
+        ``float64`` ``(W,)`` vector of world probabilities, bit-identical
+        to :func:`world_probability` of each row.
+    indices:
+        ``int64`` ``(W,)`` vector mapping each row to its position in the
+        binary-counting order of :func:`enumerate_worlds` (the rows
+        themselves are in Gray-code order).  Over a full enumeration the
+        concatenated ``indices`` are a permutation of ``range(2^free)``.
+    """
+
+    self_default: np.ndarray
+    edge_survives: np.ndarray
+    masses: np.ndarray
+    indices: np.ndarray
+
+    @property
+    def num_worlds(self) -> int:
+        """Number of worlds in this block."""
+        return int(self.masses.size)
+
+    def world(self, row: int) -> PossibleWorld:
+        """The explicit :class:`PossibleWorld` of one block row."""
+        return PossibleWorld(
+            self_default=self.self_default[row].copy(),
+            edge_survives=self.edge_survives[row].copy(),
+        )
+
+
 def propagate_defaults(graph: UncertainGraph, world: PossibleWorld) -> np.ndarray:
     """Compute which nodes default in *world* by forward contagion BFS.
 
     Starting from all self-defaulting nodes, follow surviving out-edges;
     every reached node defaults.  Mirrors lines 8–19 of Algorithm 1, with
     the random draws replaced by the fixed world realisation.
+
+    This is the scalar reference; blocks of worlds go through
+    :func:`repro.core.propagation.propagate_defaults_block`, which the
+    tests hold to exact agreement with this function.
 
     Returns
     -------
@@ -101,6 +184,9 @@ def world_probability(graph: UncertainGraph, world: PossibleWorld) -> float:
 
     The node and edge choices are mutually independent, so the mass is the
     product of per-node self-default terms and per-edge survival terms.
+    Both products are sequential left-to-right reductions; the Gray-code
+    incremental masses of :func:`enumerate_world_blocks` reproduce them
+    bit for bit.
     """
     ps = graph.self_risk_array
     _, _, pe = graph.edge_array
@@ -109,14 +195,43 @@ def world_probability(graph: UncertainGraph, world: PossibleWorld) -> float:
     return float(np.prod(node_terms) * np.prod(edge_terms))
 
 
-def enumerate_worlds(
-    graph: UncertainGraph, max_choices: int = 24
-) -> Iterator[tuple[PossibleWorld, float]]:
-    """Yield every possible world with its probability.
+def _free_choices(
+    graph: UncertainGraph,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split the graph's choices into free and pinned parts.
 
-    Only worlds with non-zero probability are produced: choices whose
+    Returns ``(ps, pe, free_nodes, free_edges, base_nodes, base_edges)``:
+    the probability vectors, the indices of the non-deterministic node and
+    edge choices, and the pinned realisation every world shares.
+    """
+    ps = graph.self_risk_array
+    _, _, pe = graph.edge_array
+    free_nodes = np.flatnonzero((ps > 0.0) & (ps < 1.0))
+    free_edges = np.flatnonzero((pe > 0.0) & (pe < 1.0))
+    return ps, pe, free_nodes, free_edges, ps >= 1.0, pe >= 1.0
+
+
+def _check_choice_cap(free: int, max_choices: int) -> None:
+    if free > max_choices:
+        raise GraphError(
+            f"graph has {free} free choices; enumeration capped at {max_choices}"
+        )
+
+
+def enumerate_worlds(
+    graph: UncertainGraph, max_choices: int = DEFAULT_MAX_CHOICES
+) -> Iterator[tuple[PossibleWorld, float]]:
+    """Yield every possible world with its probability (scalar reference).
+
+    Worlds are produced in binary-counting order over the free choices
+    (nodes first, then edges; the last choice varies fastest).  Only
+    worlds with non-zero probability are produced: choices whose
     probability is exactly 0 or 1 are pinned instead of enumerated, which
     keeps the loop feasible for graphs with deterministic components.
+
+    This generator is the executable specification; the production
+    engine is :func:`enumerate_world_blocks`, which the tests hold to
+    exact (bit-level) agreement with this one.
 
     Parameters
     ----------
@@ -132,17 +247,13 @@ def enumerate_worlds(
     GraphError
         When the graph has more free choices than *max_choices*.
     """
-    ps = graph.self_risk_array
-    _, _, pe = graph.edge_array
-    free_nodes = [i for i, p in enumerate(ps) if 0.0 < p < 1.0]
-    free_edges = [e for e, p in enumerate(pe) if 0.0 < p < 1.0]
+    ps, pe, free_node_array, free_edge_array, base_nodes, base_edges = (
+        _free_choices(graph)
+    )
+    free_nodes = free_node_array.tolist()
+    free_edges = free_edge_array.tolist()
     free = len(free_nodes) + len(free_edges)
-    if free > max_choices:
-        raise GraphError(
-            f"graph has {free} free choices; enumeration capped at {max_choices}"
-        )
-    base_nodes = ps >= 1.0
-    base_edges = pe >= 1.0
+    _check_choice_cap(free, max_choices)
     for bits in itertools.product((False, True), repeat=free):
         self_default = base_nodes.copy()
         edge_survives = base_edges.copy()
@@ -152,3 +263,169 @@ def enumerate_worlds(
             edge_survives[e] = flag
         world = PossibleWorld(self_default=self_default, edge_survives=edge_survives)
         yield world, world_probability(graph, world)
+
+
+class _ExactSuffixProduct:
+    """Sequential product over per-choice terms with exact one-flip patches.
+
+    Maintains ``cum[i] = t[0] * t[1] * ... * t[i]`` (left-to-right) for
+    the current term of every choice.  Flipping choice ``i`` replaces its
+    term and recomputes ``cum[i:]`` — because the recomputation *is* the
+    left-to-right product, the patched value is bit-identical to a
+    from-scratch product at every step, while Gray-code enumeration makes
+    the amortised patch cost O(1) multiplies per flip (fast-flipping
+    choices sit at the end of the order).
+    """
+
+    __slots__ = ("_false_terms", "_true_terms", "_terms", "_cum")
+
+    def __init__(self, probabilities: np.ndarray) -> None:
+        p = np.asarray(probabilities, dtype=np.float64)
+        self._true_terms = p
+        self._false_terms = 1.0 - p
+        self._terms = self._false_terms.copy()  # Gray code starts all-False
+        self._cum = np.empty(p.size, dtype=np.float64)
+        self._recompute(0)
+
+    def _recompute(self, start: int) -> None:
+        running = self._cum[start - 1] if start else np.float64(1.0)
+        terms = self._terms
+        cum = self._cum
+        for i in range(start, terms.size):
+            running = running * terms[i]
+            cum[i] = running
+
+    def flip(self, position: int, bit: bool) -> None:
+        """Set choice *position* to *bit* and repair the suffix products."""
+        source = self._true_terms if bit else self._false_terms
+        self._terms[position] = source[position]
+        self._recompute(position)
+
+    @property
+    def value(self) -> float:
+        """The current full product (1.0 when there are no choices)."""
+        return float(self._cum[-1]) if self._cum.size else 1.0
+
+
+def enumerate_world_blocks(
+    graph: UncertainGraph,
+    max_choices: int = DEFAULT_MAX_CHOICES,
+    block_worlds: int = DEFAULT_BLOCK_WORLDS,
+) -> Iterator[WorldBlock]:
+    """Yield all possible worlds in Gray-code order, a block at a time.
+
+    Each yielded :class:`WorldBlock` owns fresh arrays (callers may keep
+    or mutate them).  Memory use is bounded by one block —
+    ``O(block_worlds * (n + m))`` booleans — regardless of how many
+    blocks the enumeration streams.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph; at most *max_choices* free choices.
+    max_choices:
+        Safety cap on the number of enumerated binary choices.
+    block_worlds:
+        Upper bound on worlds per block; rounded down to a power of two
+        and capped at the total number of worlds.
+
+    Raises
+    ------
+    GraphError
+        When the graph has more free choices than *max_choices*, or
+        *block_worlds* is not positive.
+    """
+    if block_worlds < 1:
+        raise GraphError(f"block_worlds must be positive, got {block_worlds}")
+    ps, pe, free_nodes, free_edges, base_nodes, base_edges = _free_choices(graph)
+    n_free = int(free_nodes.size)
+    f = n_free + int(free_edges.size)
+    _check_choice_cap(f, max_choices)
+
+    # Free choices are ordered nodes-then-edges; choice c maps to Gray bit
+    # f - 1 - c, so the *last* choices are the fastest-flipping bits.  The
+    # low b bits sweep inside a block, the high h = f - b bits are fixed
+    # per block and advance by one Gray flip between blocks.
+    b = min(int(block_worlds).bit_length() - 1, f)
+    width = 1 << b
+    blocks = 1 << (f - b)
+    h = f - b
+    free_probs = np.concatenate((ps[free_nodes], pe[free_edges]))
+    n_high_nodes = min(h, n_free)
+
+    # --- low-choice machinery, fixed for the whole enumeration ---------
+    row = np.arange(width, dtype=np.int64)
+    gray_low = row ^ (row >> 1)
+    gray_low_rev = gray_low[::-1].copy()
+
+    def _low_columns(direction_forward: bool):
+        node_cols, edge_cols = [], []
+        source = gray_low if direction_forward else gray_low_rev
+        for c in range(h, f):
+            bits = ((source >> (f - 1 - c)) & 1) != 0
+            p = float(free_probs[c])
+            terms = np.where(bits, p, 1.0 - p)
+            if c < n_free:
+                node_cols.append((int(free_nodes[c]), bits, terms))
+            else:
+                edge_cols.append((int(free_edges[c - n_free]), bits, terms))
+        return node_cols, edge_cols
+
+    low_cols = {True: _low_columns(True), False: _low_columns(False)}
+
+    def _template(direction_forward: bool):
+        self_default = np.repeat(base_nodes[None, :], width, axis=0)
+        edge_survives = np.repeat(base_edges[None, :], width, axis=0)
+        node_cols, edge_cols = low_cols[direction_forward]
+        for index, bits, _ in node_cols:
+            self_default[:, index] = bits
+        for index, bits, _ in edge_cols:
+            edge_survives[:, index] = bits
+        return self_default, edge_survives
+
+    templates = {True: _template(True), False: _template(False)}
+
+    # --- high-choice machinery: exact incremental Gray-code masses -----
+    node_cascade = _ExactSuffixProduct(free_probs[:n_high_nodes])
+    edge_cascade = _ExactSuffixProduct(free_probs[n_high_nodes:h])
+    high_nodes = [(c, int(free_nodes[c])) for c in range(n_high_nodes)]
+    high_edges = [(c, int(free_edges[c - n_free])) for c in range(n_high_nodes, h)]
+    high_bits = np.zeros(h, dtype=bool)
+
+    for k in range(blocks):
+        gray_high = k ^ (k >> 1)
+        if k:
+            # Between blocks exactly one high bit flips: the bit at the
+            # position of k's lowest set bit.  Patch that choice's term.
+            flip_bit = (k & -k).bit_length() - 1
+            choice = h - 1 - flip_bit
+            bit = bool((gray_high >> flip_bit) & 1)
+            high_bits[choice] = bit
+            if choice < n_high_nodes:
+                node_cascade.flip(choice, bit)
+            else:
+                edge_cascade.flip(choice - n_high_nodes, bit)
+        forward = (k & 1) == 0
+        template_sd, template_es = templates[forward]
+        self_default = template_sd.copy()
+        edge_survives = template_es.copy()
+        for choice, index in high_nodes:
+            if high_bits[choice]:
+                self_default[:, index] = True
+        for choice, index in high_edges:
+            if high_bits[choice]:
+                edge_survives[:, index] = True
+        node_cols, edge_cols = low_cols[forward]
+        node_part = np.full(width, node_cascade.value, dtype=np.float64)
+        for _, _, terms in node_cols:
+            node_part *= terms
+        edge_part = np.full(width, edge_cascade.value, dtype=np.float64)
+        for _, _, terms in edge_cols:
+            edge_part *= terms
+        indices = (gray_high << b) | (gray_low if forward else gray_low_rev)
+        yield WorldBlock(
+            self_default=self_default,
+            edge_survives=edge_survives,
+            masses=node_part * edge_part,
+            indices=indices,
+        )

@@ -2,23 +2,53 @@
 
 The paper: "For the ground truth, we use 20000 sampled possible worlds to
 obtain the results."  This module computes exactly that (with the sample
-count configurable), caches it per dataset within a process so Figures 4
-and 7 do not recompute it for every method, and exposes the derived
-top-k answer sets precision is measured against.
+count configurable) and exposes the derived top-k answer sets precision
+is measured against.
+
+Worlds are materialised in bounded chunks — ``(chunk, n)`` self-default
+and ``(chunk, m)`` edge-survival draws resolved by the shared
+multi-world propagation engine
+(:func:`repro.core.propagation.propagate_defaults_block`) — so huge
+sample counts stream instead of allocating one giant batch.  Results are
+cached twice over:
+
+* **in process**, keyed by the dataset identity and every sampling
+  setting, so Figures 4 and 7 never recompute a truth within one run;
+* optionally **on disk** (``cache_dir=`` or the
+  ``REPRO_GROUND_TRUTH_CACHE`` environment variable): each truth is one
+  ``.npz`` keyed by the same tuple, so repeated experiment runs skip the
+  20k-world resampling entirely.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
+import zipfile
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
 from repro.core.graph import UncertainGraph
+from repro.core.propagation import propagate_defaults_block
 from repro.core.topk import top_k_indices
 from repro.datasets.registry import LoadedDataset
-from repro.sampling.forward import ForwardSampler
+from repro.sampling.rng import make_rng
 
-__all__ = ["GroundTruth", "ground_truth_for", "clear_ground_truth_cache"]
+__all__ = [
+    "GroundTruth",
+    "ground_truth_for",
+    "clear_ground_truth_cache",
+    "DEFAULT_CHUNK_SIZE",
+]
+
+#: Worlds materialised per sampling chunk; bounds memory at
+#: ``chunk * (n + m)`` booleans regardless of the total sample count.
+DEFAULT_CHUNK_SIZE = 512
+
+#: Environment variable naming a default on-disk cache directory.
+CACHE_DIR_ENV = "REPRO_GROUND_TRUTH_CACHE"
 
 
 @dataclass(frozen=True)
@@ -46,25 +76,120 @@ _CACHE: dict[tuple, GroundTruth] = {}
 
 
 def clear_ground_truth_cache() -> None:
-    """Drop all cached ground truths (tests use this)."""
+    """Drop all in-process cached ground truths (tests use this)."""
     _CACHE.clear()
 
 
+def _sample_probabilities(
+    graph: UncertainGraph, samples: int, seed: int, chunk_size: int
+) -> np.ndarray:
+    """Estimate ``p(v)`` from *samples* worlds, streamed in chunks.
+
+    Each chunk draws its node and edge realisations in canonical order
+    and resolves contagion with the shared block propagation engine.
+    The chunking changes only memory use and the RNG's block structure;
+    for a fixed ``(seed, chunk_size)`` the estimate is deterministic.
+    """
+    rng = make_rng(seed)
+    ps = graph.self_risk_array
+    _, _, pe = graph.edge_array
+    n, m = graph.num_nodes, graph.num_edges
+    counts = np.zeros(n, dtype=np.int64)
+    remaining = int(samples)
+    while remaining > 0:
+        chunk = min(chunk_size, remaining)
+        self_default = rng.random((chunk, n)) <= ps
+        edge_survives = rng.random((chunk, m)) <= pe
+        defaulted = propagate_defaults_block(graph, self_default, edge_survives)
+        counts += defaulted.sum(axis=0)
+        remaining -= chunk
+    return counts / float(samples)
+
+
+def _disk_cache_path(cache_dir: Path, key: tuple) -> Path:
+    """Stable, filesystem-safe path for one ground-truth key."""
+    digest = hashlib.sha256(repr(key).encode()).hexdigest()[:16]
+    name, scale, build_seed, samples, seed, chunk_size = key
+    stem = f"gt_{name}_x{scale}_b{build_seed}_t{samples}_s{seed}_c{chunk_size}"
+    safe = "".join(c if c.isalnum() or c in "._-" else "-" for c in stem)
+    return cache_dir / f"{safe}_{digest}.npz"
+
+
+def _load_from_disk(path: Path, samples: int) -> GroundTruth | None:
+    """Read one cached truth; ``None`` on any mismatch or corruption."""
+    try:
+        with np.load(path) as data:
+            probabilities = np.asarray(data["probabilities"], dtype=np.float64)
+            stored_samples = int(data["samples"])
+    except (OSError, KeyError, ValueError, zipfile.BadZipFile):
+        return None
+    if stored_samples != samples:
+        return None
+    return GroundTruth(probabilities=probabilities, samples=stored_samples)
+
+
 def ground_truth_for(
-    loaded: LoadedDataset, samples: int, seed: int = 990_001
+    loaded: LoadedDataset,
+    samples: int,
+    seed: int = 990_001,
+    *,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    cache_dir: str | Path | None = None,
 ) -> GroundTruth:
     """Ground truth of a loaded dataset, cached per (dataset, settings).
 
     The cache key includes the dataset identity (name, scale, build seed)
-    and the ground-truth settings, so distinct configurations never
-    collide.
+    and every ground-truth setting — sample count, sampling seed, and
+    chunk size (chunking shapes the random stream) — so distinct
+    configurations never collide.
+
+    Parameters
+    ----------
+    loaded:
+        The dataset instance whose graph is sampled.
+    samples:
+        Number of possible worlds to draw.
+    seed:
+        Sampling seed (independent of the dataset build seed).
+    chunk_size:
+        Worlds materialised per chunk; bounds peak memory for huge
+        sample counts.
+    cache_dir:
+        Directory for the on-disk cache.  Defaults to the
+        ``REPRO_GROUND_TRUTH_CACHE`` environment variable; when neither
+        is set, only the in-process cache is used.
     """
-    key = (loaded.name, loaded.scale, loaded.seed, samples, seed)
+    if samples <= 0:
+        raise ValueError(f"samples must be positive, got {samples}")
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    key = (loaded.name, loaded.scale, loaded.seed, samples, seed, chunk_size)
     cached = _CACHE.get(key)
     if cached is not None:
         return cached
-    sampler = ForwardSampler(loaded.graph, seed=seed)
-    estimate = sampler.run(samples)
-    truth = GroundTruth(probabilities=estimate.probabilities, samples=samples)
+    directory = cache_dir if cache_dir is not None else os.environ.get(CACHE_DIR_ENV)
+    path: Path | None = None
+    if directory:
+        path = _disk_cache_path(Path(directory), key)
+        truth = _load_from_disk(path, samples)
+        if truth is not None:
+            _CACHE[key] = truth
+            return truth
+    probabilities = _sample_probabilities(
+        loaded.graph, samples, seed, chunk_size
+    )
+    truth = GroundTruth(probabilities=probabilities, samples=int(samples))
+    if path is not None:
+        # Write-then-rename so an interrupted run never leaves a
+        # truncated archive at the keyed path for later runs to trip on.
+        path.parent.mkdir(parents=True, exist_ok=True)
+        scratch = path.with_suffix(f".tmp{os.getpid()}.npz")
+        try:
+            np.savez_compressed(
+                scratch, probabilities=truth.probabilities, samples=truth.samples
+            )
+            os.replace(scratch, path)
+        finally:
+            scratch.unlink(missing_ok=True)
     _CACHE[key] = truth
     return truth

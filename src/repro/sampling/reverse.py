@@ -32,7 +32,11 @@ The module is organised around three pieces:
   with flat numpy frontiers: no ``deque``, no per-element ``int()``
   casts, one vectorised uniform draw per frontier.  A second vectorised
   pass propagates self-defaults forward through the surviving explored
-  edges to label every candidate at once.  Given the same entity-indexed
+  edges to label every candidate at once — that pass is the shared
+  multi-world propagation kernel
+  (:func:`repro.core.propagation.propagate_edge_list`), the same code
+  that powers the bit-parallel exact oracle and the Monte-Carlo ground
+  truth.  Given the same entity-indexed
   uniforms it returns exactly the reference's answers (see
   ``tests/test_batched_reverse.py``); under block randomness it is
   statistically identical and an order of magnitude faster.
@@ -61,6 +65,7 @@ import numpy as np
 
 from repro.core.errors import SamplingError
 from repro.core.graph import UncertainGraph
+from repro.core.propagation import propagate_edge_list, ragged_positions
 from repro.sampling.forward import ForwardEstimate
 from repro.sampling.rng import RandomBlock, SeedLike, make_rng
 
@@ -491,21 +496,13 @@ class BatchedReverseSampler:
                 break
             expand_nodes = expand % n
             world_base = expand - expand_nodes
-            counts = indptr[expand_nodes + 1] - indptr[expand_nodes]
-            total = int(counts.sum())
-            if total == 0:
-                break
             # Ragged gather: flat positions of every in-edge slot of the
             # frontier, segment by segment.
-            starts = indptr[expand_nodes]
-            exclusive = np.concatenate(
-                (np.zeros(1, dtype=np.int64), np.cumsum(counts[:-1]))
-            )
-            pos = np.arange(total, dtype=np.int64) + np.repeat(
-                starts - exclusive, counts
-            )
+            pos, counts = ragged_positions(indptr, expand_nodes)
+            if pos.size == 0:
+                break
             if edge_uniforms is None:
-                edge_draws = self._block.take(total)
+                edge_draws = self._block.take(pos.size)
             else:
                 edge_draws = edge_uniforms[csr.edge_ids[pos]]
             survived = edge_draws <= probs[pos]
@@ -526,18 +523,15 @@ class BatchedReverseSampler:
         if seed_parts:
             defaulted[np.concatenate(seed_parts)] = epoch
             if src_parts:
-                edge_src = np.concatenate(src_parts)
-                edge_dst = np.concatenate(dst_parts)
-                while edge_src.size:
-                    pending = defaulted[edge_dst] != epoch
-                    if not pending.all():
-                        edge_src = edge_src[pending]
-                        edge_dst = edge_dst[pending]
-                    carrying = defaulted[edge_src] == epoch
-                    reached = edge_dst[carrying]
-                    if not reached.size:
-                        break
-                    defaulted[reached] = epoch
+                # Forward labelling over the surviving explored edges is
+                # the shared multi-world propagation kernel, running on
+                # this sampler's epoch-stamped arena buffer.
+                propagate_edge_list(
+                    defaulted,
+                    np.concatenate(src_parts),
+                    np.concatenate(dst_parts),
+                    epoch,
+                )
         keys = offsets[:, None] + self._candidates[None, :]
         return (
             defaulted[keys] == epoch,

@@ -168,7 +168,6 @@ class TestExactEngineAgreement:
             sampler.outcomes_for_uniforms(np.zeros(5), np.zeros(2))
 
 
-@pytest.mark.slow
 class TestBatchedStatistics:
     def test_matches_exact_probabilities(self, paper_graph):
         exact = exact_default_probabilities(paper_graph)

@@ -102,7 +102,6 @@ class TestReduceCandidatesMechanics:
             reduce_candidates(paper_graph, lower, upper, 1)
 
 
-@pytest.mark.slow
 class TestReductionSoundness:
     """On trees (exact Eq.(1)) the reduction must never lose a true answer."""
 

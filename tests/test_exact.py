@@ -5,8 +5,32 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.errors import GraphError
 from repro.core.exact import exact_default_probabilities, exact_top_k
 from repro.core.graph import UncertainGraph
+
+
+def seeded_random_graph(
+    seed: int, max_nodes: int = 6, probability_pool=None
+) -> UncertainGraph:
+    """Small random graph; *probability_pool* restricts the value set."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, max_nodes + 1))
+    pairs = [(s, d) for s in range(n) for d in range(n) if s != d]
+    m = int(rng.integers(0, min(len(pairs), 12 - n) + 1))
+    chosen = rng.choice(len(pairs), size=m, replace=False) if m else []
+    if probability_pool is None:
+        risks = rng.uniform(0.0, 1.0, n)
+        probs = rng.uniform(0.0, 1.0, m)
+    else:
+        risks = rng.choice(probability_pool, size=n)
+        probs = rng.choice(probability_pool, size=m)
+    return UncertainGraph.from_arrays(
+        risks,
+        np.fromiter((pairs[i][0] for i in chosen), dtype=np.int64, count=m),
+        np.fromiter((pairs[i][1] for i in chosen), dtype=np.int64, count=m),
+        probs,
+    )
 
 
 class TestExactProbabilities:
@@ -69,6 +93,78 @@ class TestExactProbabilities:
         values = [p_of_v(p) for p in (0.0, 0.25, 0.5, 0.75, 1.0)]
         assert values == sorted(values)
         assert values[0] == pytest.approx(0.1)
+
+
+class TestEngineEquivalence:
+    """The bit-parallel engine against the scalar reference."""
+
+    def test_random_graphs_agree_to_ulps(self):
+        for seed in range(12):
+            graph = seeded_random_graph(seed)
+            block = exact_default_probabilities(graph, engine="block")
+            reference = exact_default_probabilities(graph, engine="reference")
+            # Per-world masses and defaults are bit-identical; only the
+            # reference's sequential accumulation order rounds differently.
+            assert np.allclose(block, reference, rtol=0.0, atol=1e-12)
+
+    def test_pinned_probability_graphs_agree(self):
+        pool = np.array([0.0, 0.1, 0.5, 0.9, 1.0])
+        for seed in range(12):
+            graph = seeded_random_graph(seed + 100, probability_pool=pool)
+            block = exact_default_probabilities(graph, engine="block")
+            reference = exact_default_probabilities(graph, engine="reference")
+            assert np.allclose(block, reference, rtol=0.0, atol=1e-12)
+
+    def test_dyadic_probabilities_agree_exactly(self):
+        """With probabilities in {0, 1/2, 1} every product and sum is
+        exactly representable, so the engines must agree bit for bit."""
+        pool = np.array([0.0, 0.5, 1.0])
+        for seed in range(12):
+            graph = seeded_random_graph(seed + 200, probability_pool=pool)
+            block = exact_default_probabilities(graph, engine="block")
+            reference = exact_default_probabilities(graph, engine="reference")
+            assert np.array_equal(block, reference)
+
+    def test_self_risk_only_graph(self):
+        graph = UncertainGraph()
+        for i, risk in enumerate([0.0, 0.25, 0.5, 1.0]):
+            graph.add_node(i, risk)
+        block = exact_default_probabilities(graph, engine="block")
+        reference = exact_default_probabilities(graph, engine="reference")
+        assert np.array_equal(block, reference)
+        assert np.array_equal(block, graph.self_risk_array)
+
+    def test_symmetric_nodes_tie_exactly(self, paper_graph):
+        """B and C are mathematically symmetric; the compensated block
+        accumulation must preserve the exact tie the scalar engine sees."""
+        block = exact_default_probabilities(paper_graph, engine="block")
+        assert block[paper_graph.index("B")] == block[paper_graph.index("C")]
+
+    def test_block_worlds_setting_does_not_change_result(self, paper_graph):
+        baseline = exact_default_probabilities(paper_graph, block_worlds=4096)
+        for block_worlds in (1, 2, 64, 1024):
+            probabilities = exact_default_probabilities(
+                paper_graph, block_worlds=block_worlds
+            )
+            assert np.allclose(
+                probabilities, baseline, rtol=0.0, atol=1e-15
+            )
+
+    def test_unknown_engine_rejected(self, paper_graph):
+        with pytest.raises(GraphError, match="unknown exact engine"):
+            exact_default_probabilities(paper_graph, engine="warp")
+
+    def test_default_cap_is_raised_to_28(self):
+        from repro.core.worlds import DEFAULT_MAX_CHOICES
+
+        assert DEFAULT_MAX_CHOICES >= 28
+        # 29 free choices must still trip the default cap.
+        risks = np.full(29, 0.5)
+        big = UncertainGraph.from_arrays(
+            risks, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), []
+        )
+        with pytest.raises(GraphError, match="capped"):
+            exact_default_probabilities(big)
 
 
 class TestExactTopK:

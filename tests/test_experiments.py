@@ -81,6 +81,57 @@ class TestGroundTruth:
         assert truth.probabilities.shape == (loaded.graph.num_nodes,)
         assert truth.samples == 150
 
+    def test_chunked_streaming_is_deterministic(self):
+        clear_ground_truth_cache()
+        loaded = load_dataset("citation", scale=0.02, seed=1)
+        first = ground_truth_for(loaded, samples=300, chunk_size=64)
+        clear_ground_truth_cache()
+        second = ground_truth_for(loaded, samples=300, chunk_size=64)
+        assert np.array_equal(first.probabilities, second.probabilities)
+        # chunk_size shapes the random stream, so it is part of the key.
+        other = ground_truth_for(loaded, samples=300, chunk_size=32)
+        assert other is not second
+
+    def test_disk_cache_round_trip(self, tmp_path):
+        clear_ground_truth_cache()
+        loaded = load_dataset("citation", scale=0.02, seed=1)
+        first = ground_truth_for(loaded, samples=200, cache_dir=tmp_path)
+        files = list(tmp_path.glob("*.npz"))
+        assert len(files) == 1
+        # A fresh process is simulated by clearing the in-process cache:
+        # the second call must load from disk, not resample.
+        clear_ground_truth_cache()
+        second = ground_truth_for(loaded, samples=200, cache_dir=tmp_path)
+        assert second is not first
+        assert np.array_equal(first.probabilities, second.probabilities)
+        assert second.samples == 200
+
+    def test_disk_cache_distinguishes_settings(self, tmp_path):
+        clear_ground_truth_cache()
+        loaded = load_dataset("citation", scale=0.02, seed=1)
+        ground_truth_for(loaded, samples=200, cache_dir=tmp_path)
+        ground_truth_for(loaded, samples=300, cache_dir=tmp_path)
+        ground_truth_for(loaded, samples=200, seed=5, cache_dir=tmp_path)
+        assert len(list(tmp_path.glob("*.npz"))) == 3
+
+    def test_corrupt_disk_cache_falls_back_to_resampling(self, tmp_path):
+        clear_ground_truth_cache()
+        loaded = load_dataset("citation", scale=0.02, seed=1)
+        first = ground_truth_for(loaded, samples=120, cache_dir=tmp_path)
+        (path,) = tmp_path.glob("*.npz")
+        for corruption in (b"not a npz archive", path.read_bytes()[:40]):
+            path.write_bytes(corruption)  # garbage, then a truncated zip
+            clear_ground_truth_cache()
+            second = ground_truth_for(loaded, samples=120, cache_dir=tmp_path)
+            assert np.array_equal(first.probabilities, second.probabilities)
+
+    def test_rejects_bad_arguments(self):
+        loaded = load_dataset("citation", scale=0.02, seed=1)
+        with pytest.raises(ValueError):
+            ground_truth_for(loaded, samples=0)
+        with pytest.raises(ValueError):
+            ground_truth_for(loaded, samples=10, chunk_size=0)
+
 
 class TestFigureRuns:
     def test_fig4_rows(self):

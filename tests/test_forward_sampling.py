@@ -65,7 +65,6 @@ class TestVectorisedSampler:
         estimate = ForwardEstimate(counts=np.array([50, 100]), samples=200)
         assert np.allclose(estimate.probabilities, [0.25, 0.5])
 
-    @pytest.mark.slow
     def test_unbiased_against_exact(self, paper_graph):
         exact = exact_default_probabilities(paper_graph)
         t = 8000
@@ -73,7 +72,6 @@ class TestVectorisedSampler:
         sigma = np.sqrt(exact * (1 - exact) / t)
         assert np.all(np.abs(estimate - exact) < 4 * sigma + 1e-9)
 
-    @pytest.mark.slow
     def test_unbiased_on_random_graph(self, small_random_graph):
         exact = exact_default_probabilities(small_random_graph)
         t = 8000
@@ -83,7 +81,6 @@ class TestVectorisedSampler:
         sigma = np.sqrt(exact * (1 - exact) / t)
         assert np.all(np.abs(estimate - exact) < 4 * sigma + 1e-9)
 
-    @pytest.mark.slow
     def test_agrees_with_reference_engine(self, small_random_graph):
         """Both engines estimate the same distribution (2-sample check)."""
         t = 6000

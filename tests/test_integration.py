@@ -13,8 +13,9 @@ from repro.io.jsonio import graph_from_dict, graph_to_dict, result_to_dict
 from repro.metrics.ranking import jaccard, precision_at_k
 
 
-# These end-to-end runs dominate suite runtime; deselect with -m "not slow".
-pytestmark = pytest.mark.slow
+# Once dominated by exact world enumeration, these end-to-end runs now
+# finish in well under a second on the bit-parallel oracle and stay in
+# the smoke tier.
 
 
 class TestDatasetToDetectionPipeline:

@@ -19,12 +19,12 @@ from repro.core.eq1 import apply_eq1, dag_default_probabilities
 from repro.core.exact import exact_default_probabilities, exact_top_k
 from repro.core.graph import UncertainGraph
 from repro.core.topk import top_k_indices
-from repro.core.worlds import enumerate_worlds
+from repro.core.worlds import enumerate_world_blocks, enumerate_worlds
 from repro.sampling.forward import ForwardSampler
 
-# Hypothesis example generation over exact world enumeration makes this
-# the heaviest module in the suite; deselect with -m "not slow".
-pytestmark = pytest.mark.slow
+# Hypothesis example generation over exact world enumeration used to make
+# this the heaviest module in the suite; the bit-parallel oracle collapsed
+# it to a couple of seconds, so it runs in the smoke tier again.
 
 
 @st.composite
@@ -86,6 +86,34 @@ class TestWorldSemantics:
         exact = exact_default_probabilities(graph)
         assert np.all(exact >= graph.self_risk_array - 1e-12)
         assert np.all(exact <= 1.0 + 1e-12)
+
+    @given(small_uncertain_graphs(), st.integers(0, 4))
+    def test_block_enumeration_matches_scalar_bit_for_bit(self, graph, shift):
+        """Property form of the engine equivalence: every Gray-code block
+        row reproduces the scalar generator's realisation and mass exactly
+        (not approximately), for arbitrary block sizes."""
+        scalar = list(enumerate_worlds(graph))
+        seen = []
+        for block in enumerate_world_blocks(graph, block_worlds=1 << shift):
+            for j in range(block.num_worlds):
+                index = int(block.indices[j])
+                seen.append(index)
+                world = block.world(j)
+                reference_world, reference_mass = scalar[index]
+                assert np.array_equal(
+                    world.self_default, reference_world.self_default
+                )
+                assert np.array_equal(
+                    world.edge_survives, reference_world.edge_survives
+                )
+                assert float(block.masses[j]) == reference_mass
+        assert sorted(seen) == list(range(len(scalar)))
+
+    @given(small_uncertain_graphs())
+    def test_exact_engines_agree(self, graph):
+        block = exact_default_probabilities(graph, engine="block")
+        reference = exact_default_probabilities(graph, engine="reference")
+        assert np.allclose(block, reference, rtol=0.0, atol=1e-12)
 
 
 class TestEq1Properties:

@@ -93,7 +93,6 @@ class TestReverseSampler:
         with pytest.raises(SamplingError):
             sampler.run(0)
 
-    @pytest.mark.slow
     def test_matches_exact_probabilities(self, paper_graph):
         exact = exact_default_probabilities(paper_graph)
         candidates = np.arange(paper_graph.num_nodes)
@@ -104,7 +103,6 @@ class TestReverseSampler:
         sigma = np.sqrt(exact * (1 - exact) / t)
         assert np.all(np.abs(estimate - exact) < 4 * sigma + 1e-9)
 
-    @pytest.mark.slow
     def test_matches_exact_on_random_graph(self, small_random_graph):
         exact = exact_default_probabilities(small_random_graph)
         candidates = np.arange(small_random_graph.num_nodes)
@@ -115,7 +113,6 @@ class TestReverseSampler:
         sigma = np.sqrt(exact * (1 - exact) / t)
         assert np.all(np.abs(estimate - exact) < 4 * sigma + 1e-9)
 
-    @pytest.mark.slow
     def test_agrees_with_forward_sampler(self, small_random_graph):
         """The two sampling frameworks estimate the same quantities."""
         t = 6000
