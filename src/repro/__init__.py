@@ -50,11 +50,13 @@ from repro.metrics import precision_at_k, roc_auc
 from repro.sampling import (
     BatchedReverseSampler,
     ForwardSampler,
+    IndexedReverseSampler,
     ReverseSampler,
     basic_sample_size,
     reduced_sample_size,
 )
 from repro.sketch import BottomKSketch
+from repro.streaming import TopKMonitor
 
 __version__ = "1.0.0"
 
@@ -83,6 +85,8 @@ __all__ = [
     "ForwardSampler",
     "ReverseSampler",
     "BatchedReverseSampler",
+    "IndexedReverseSampler",
+    "TopKMonitor",
     "basic_sample_size",
     "reduced_sample_size",
     "BottomKSketch",

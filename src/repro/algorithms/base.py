@@ -10,6 +10,7 @@ regenerated without re-instrumenting the algorithms.
 from __future__ import annotations
 
 import abc
+import dataclasses
 import time
 from dataclasses import dataclass, field
 from typing import Any
@@ -111,18 +112,10 @@ class VulnerableNodeDetector(abc.ABC):
         result = self._detect(graph, k)
         elapsed = time.perf_counter() - started
         # Timing is recorded here so subclasses cannot forget it; the
-        # dataclass is frozen, so rebuild with the measured elapsed time.
-        return DetectionResult(
-            method=result.method,
-            k=result.k,
-            nodes=result.nodes,
-            scores=result.scores,
-            samples_used=result.samples_used,
-            candidate_size=result.candidate_size,
-            k_verified=result.k_verified,
-            elapsed_seconds=elapsed,
-            details=result.details,
-        )
+        # dataclass is frozen, so swap in the measured elapsed time with
+        # `replace`, which carries every other field (present and
+        # future) along unchanged.
+        return dataclasses.replace(result, elapsed_seconds=elapsed)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"

@@ -1,11 +1,19 @@
 """Bound derivation (Algorithms 2/3) and candidate reduction (Algorithm 4)."""
 
 from repro.bounds.candidates import CandidateReduction, reduce_candidates
+from repro.bounds.incremental import (
+    BoundDelta,
+    IncrementalBoundPair,
+    eq1_values_at,
+)
 from repro.bounds.iterative import bound_pair, lower_bounds, upper_bounds
 
 __all__ = [
     "CandidateReduction",
     "reduce_candidates",
+    "BoundDelta",
+    "IncrementalBoundPair",
+    "eq1_values_at",
     "bound_pair",
     "lower_bounds",
     "upper_bounds",

@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.core.errors import SamplingError
 from repro.core.graph import UncertainGraph
-from repro.core.topk import kth_largest, validate_k
+from repro.core.topk import kth_largest, validate_finite_scores, validate_k
 
 __all__ = ["CandidateReduction", "reduce_candidates"]
 
@@ -118,6 +118,11 @@ def reduce_candidates(
             f"bound vectors must have shape ({n},); "
             f"got {lower.shape} and {upper.shape}"
         )
+    # NaN bounds would slip through both Lemma-1 rules (every comparison
+    # is False) while kth_largest would treat them as largest — reject
+    # outright rather than produce a contradictory reduction.
+    validate_finite_scores(lower, "lower bounds")
+    validate_finite_scores(upper, "upper bounds")
     if np.any(lower > upper + 1e-9):
         worst = int(np.argmax(lower - upper))
         raise SamplingError(

@@ -1,0 +1,306 @@
+"""Incremental maintenance of the Algorithm-2/3 bound iterates.
+
+The lower/upper bounds of :mod:`repro.bounds.iterative` are ``z`` Jacobi
+iterations of the Equation-(1) operator, and the operator is *local*: the
+iterate-``t`` value of node ``v`` depends only on ``ps(v)``, the
+probabilities of ``v``'s in-edges, and the iterate-``t-1`` values of
+``v``'s in-neighbours.  When a monitoring update patches a handful of
+self-risks or edge probabilities, the set of nodes whose iterates can
+move therefore grows by at most one out-hop per iteration — the *dirty
+frontier*.  This module keeps every iterate of both chains cached and,
+on refresh, recomputes exactly that frontier, with arithmetic
+bit-identical to a full :func:`~repro.bounds.iterative.bound_pair` call
+(:func:`eq1_values_at` replays :func:`~repro.core.eq1.apply_eq1`'s exact
+per-node accumulation order on a subset).  The streaming
+:class:`~repro.streaming.monitor.TopKMonitor` leans on that exactness:
+its incremental answers must be indistinguishable from fresh detection.
+
+Dirty-frontier recurrence (``t`` counts applications of the operator):
+
+* lower chain — iterate 1 is ``ps`` itself, so only nodes with changed
+  self-risk start dirty; upper chain — iterate 1 already applies the
+  operator, so heads of changed edges start dirty too;
+* every later iterate is dirty at the *persistent* entities (changed
+  self-risks and changed-edge heads — their inputs stay changed forever)
+  plus the out-neighbours of whatever actually moved one iterate below.
+
+``refresh`` aborts (returns ``None``) when a frontier exceeds the
+caller's *limit* — the monitor's cue to fall back to a full rebuild; the
+cache is left inconsistent in that case and must be rebuilt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.eq1 import apply_eq1
+from repro.core.errors import SamplingError
+from repro.core.graph import UncertainGraph
+from repro.core.propagation import ragged_positions
+
+__all__ = ["eq1_values_at", "BoundDelta", "IncrementalBoundPair"]
+
+
+def eq1_values_at(
+    graph: UncertainGraph, current: np.ndarray, nodes: np.ndarray
+) -> np.ndarray:
+    """Equation-(1) values of *nodes* only — bit-identical to the full op.
+
+    Computes, for each requested node, exactly what
+    :func:`repro.core.eq1.apply_eq1` would put there: the same per-edge
+    factors in the same in-CSR segment order, accumulated left-to-right
+    into the same ``exp(sum(log(...)))`` form.  Because every float op
+    matches the full evaluation element for element, splicing the result
+    into a cached full vector reproduces ``apply_eq1`` exactly.
+    """
+    in_csr = graph.in_csr()
+    ps = graph.self_risk_array
+    positions, counts = ragged_positions(in_csr.indptr, nodes)
+    sums = np.zeros(nodes.size, dtype=np.float64)
+    if positions.size:
+        factors = 1.0 - in_csr.probs[positions] * current[in_csr.indices[positions]]
+        with np.errstate(divide="ignore"):
+            logs = np.log(np.maximum(factors, 0.0))
+        np.add.at(
+            sums,
+            np.repeat(np.arange(nodes.size, dtype=np.int64), counts),
+            logs,
+        )
+    return 1.0 - (1.0 - ps[nodes]) * np.exp(sums)
+
+
+def _out_neighbors(graph: UncertainGraph, nodes: np.ndarray) -> np.ndarray:
+    """All out-neighbour indices of *nodes* (with repeats)."""
+    out = graph.out_csr()
+    positions, _ = ragged_positions(out.indptr, nodes)
+    return out.indices[positions]
+
+
+@dataclass(frozen=True)
+class BoundDelta:
+    """What one incremental refresh actually changed in the final bounds.
+
+    ``lower_*`` describe the final lower iterate, ``upper_*`` the final
+    *clamped* upper vector (the pair downstream code consumes).  The
+    old/new value arrays are aligned with the changed-index arrays; the
+    monitor uses them for its threshold-crossing test.
+    """
+
+    lower_changed: np.ndarray
+    lower_old: np.ndarray
+    lower_new: np.ndarray
+    upper_changed: np.ndarray
+    upper_old: np.ndarray
+    upper_new: np.ndarray
+    nodes_recomputed: int
+
+    @property
+    def max_changed_value(self) -> float:
+        """Largest bound value involved in any change (old or new side).
+
+        Every rule of Algorithm 4 — both thresholds and both membership
+        tests — is inert for values strictly below ``Tl``, so a refresh
+        whose ``max_changed_value < Tl`` provably leaves the candidate
+        reduction untouched.
+        """
+        best = -np.inf
+        for array in (
+            self.lower_old,
+            self.lower_new,
+            self.upper_old,
+            self.upper_new,
+        ):
+            if array.size:
+                best = max(best, float(array.max()))
+        return best
+
+
+class IncrementalBoundPair:
+    """Cached Algorithm-2/3 iterate chains with dirty-frontier refresh.
+
+    Parameters
+    ----------
+    graph:
+        The live uncertain graph; the cache reads it on every rebuild or
+        refresh (probability patches are visible through the in-place
+        CSR updates, so no re-registration is needed).
+    lower_order, upper_order:
+        The paper's ``z`` for each chain, as in
+        :func:`~repro.bounds.iterative.bound_pair`.
+    """
+
+    def __init__(
+        self,
+        graph: UncertainGraph,
+        lower_order: int = 2,
+        upper_order: int = 2,
+    ) -> None:
+        lower_order = int(lower_order)
+        upper_order = int(upper_order)
+        if lower_order < 1 or upper_order < 1:
+            raise SamplingError(
+                f"bound orders must be >= 1, got {lower_order}/{upper_order}"
+            )
+        self._graph = graph
+        self._lower_order = lower_order
+        self._upper_order = upper_order
+        self._lower: list[np.ndarray] = []
+        self._upper: list[np.ndarray] = []
+        self._clamped: np.ndarray = np.empty(0)
+        self._ones: np.ndarray = np.empty(0)
+        self.rebuild()
+
+    @property
+    def lower(self) -> np.ndarray:
+        """Final lower-bound vector (live cache — treat as read-only)."""
+        return self._lower[-1]
+
+    @property
+    def upper(self) -> np.ndarray:
+        """Final clamped upper-bound vector (live cache — read-only)."""
+        return self._clamped
+
+    def pair(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(pl, pu)`` exactly as :func:`bound_pair` would return them."""
+        return self._lower[-1], self._clamped
+
+    def rebuild(self) -> None:
+        """Full recompute of both chains (mirrors Algorithms 2 and 3)."""
+        graph = self._graph
+        self._ones = np.ones(graph.num_nodes, dtype=np.float64)
+        current = graph.self_risk_array.copy()
+        self._lower = [current]
+        for _ in range(self._lower_order - 1):
+            current = apply_eq1(graph, current)
+            self._lower.append(current)
+        current = apply_eq1(graph, self._ones)
+        self._upper = [current]
+        for _ in range(self._upper_order - 1):
+            current = apply_eq1(graph, current)
+            self._upper.append(current)
+        self._clamped = np.maximum(self._upper[-1], self._lower[-1])
+
+    def _refresh_chain(
+        self,
+        iterates: list[np.ndarray],
+        seed_changed: np.ndarray,
+        persistent: np.ndarray,
+        first_applied: int,
+        limit: int | None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int] | None:
+        """Advance one chain's dirty frontier through its iterates.
+
+        *first_applied* is the iterate index of the first operator
+        application (1 for the lower chain, whose iterate 0 is ``ps``
+        and is patched by the caller; 0 for the upper chain, whose
+        iterate 0 already applies the operator to the all-ones vector).
+        Returns ``(changed, old, new, recomputed)`` for the final
+        iterate, or ``None`` when a frontier exceeds *limit*.
+        """
+        graph = self._graph
+        changed = seed_changed
+        old_final = np.empty(0)
+        new_final = np.empty(0)
+        recomputed = 0
+        if first_applied >= len(iterates):  # order-1 lower chain
+            return changed, old_final, new_final, recomputed
+        for t in range(first_applied, len(iterates)):
+            if t == 0:
+                dirty = persistent
+                previous = self._ones
+            else:
+                dirty = np.union1d(persistent, _out_neighbors(graph, changed))
+                previous = iterates[t - 1]
+            if limit is not None and dirty.size > limit:
+                return None
+            recomputed += int(dirty.size)
+            new_values = eq1_values_at(graph, previous, dirty)
+            old_values = iterates[t][dirty]
+            moved = new_values != old_values
+            iterates[t][dirty] = new_values
+            changed = dirty[moved]
+            old_final = old_values[moved]
+            new_final = new_values[moved]
+        return changed, old_final, new_final, recomputed
+
+    def refresh(
+        self,
+        dirty_nodes: np.ndarray,
+        dirty_heads: np.ndarray,
+        limit: int | None = None,
+    ) -> BoundDelta | None:
+        """Incrementally absorb patched self-risks / edge probabilities.
+
+        Parameters
+        ----------
+        dirty_nodes:
+            Internal indices whose self-risk changed since the last
+            refresh/rebuild.
+        dirty_heads:
+            Destination indices of edges whose probability changed.
+        limit:
+            Abort threshold on any dirty frontier's size.  On abort the
+            cache is inconsistent — call :meth:`rebuild`.
+
+        Returns
+        -------
+        BoundDelta | None
+            The exact set of final-bound changes, or ``None`` on abort.
+        """
+        dirty_nodes = np.asarray(dirty_nodes, dtype=np.int64)
+        dirty_heads = np.asarray(dirty_heads, dtype=np.int64)
+        persistent = np.union1d(dirty_nodes, dirty_heads)
+        if persistent.size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            zero = np.empty(0)
+            return BoundDelta(empty, zero, zero, empty, zero, zero, 0)
+        if limit is not None and persistent.size > limit:
+            return None
+        ps = self._graph.self_risk_array
+        # Lower chain: iterate 0 is the self-risk vector itself.
+        old_seed = self._lower[0][dirty_nodes]
+        new_seed = ps[dirty_nodes]
+        seed_moved = new_seed != old_seed
+        self._lower[0][dirty_nodes] = new_seed
+        lower = self._refresh_chain(
+            self._lower,
+            dirty_nodes[seed_moved],
+            persistent,
+            first_applied=1,
+            limit=limit,
+        )
+        if lower is None:
+            return None
+        lower_changed, lower_old, lower_new, lower_work = lower
+        if len(self._lower) == 1:  # order-1: the final iterate IS ps
+            lower_old = old_seed[seed_moved]
+            lower_new = new_seed[seed_moved]
+        upper = self._refresh_chain(
+            self._upper,
+            np.empty(0, dtype=np.int64),
+            persistent,
+            first_applied=0,
+            limit=limit,
+        )
+        if upper is None:
+            return None
+        upper_changed, _, _, upper_work = upper
+        # Re-clamp wherever either final iterate moved.
+        touched = np.union1d(lower_changed, upper_changed)
+        clamped_old = self._clamped[touched]
+        clamped_new = np.maximum(
+            self._upper[-1][touched], self._lower[-1][touched]
+        )
+        self._clamped[touched] = clamped_new
+        clamp_moved = clamped_new != clamped_old
+        return BoundDelta(
+            lower_changed=lower_changed,
+            lower_old=lower_old,
+            lower_new=lower_new,
+            upper_changed=touched[clamp_moved],
+            upper_old=clamped_old[clamp_moved],
+            upper_new=clamped_new[clamp_moved],
+            nodes_recomputed=int(persistent.size) + lower_work + upper_work,
+        )

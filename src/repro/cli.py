@@ -1,4 +1,4 @@
-"""Command-line interface for one-off detections.
+"""Command-line interface for one-off detections and streaming replays.
 
 Usage::
 
@@ -6,9 +6,19 @@ Usage::
     repro-detect --dataset guarantee --scale 0.05 --k-percent 5 --method BSR
     python -m repro.cli --graph loans.txt --format edgelist --k 3 --json
 
-Reads a graph (JSON or text edge list, or a named synthetic dataset),
-runs one detection method, and prints the ranked answer — as a table or
-as JSON for scripting.
+    repro-detect stream --dataset guarantee --k 10 --events 25 --verify
+    repro-detect stream --panel --k-percent 2 --json
+
+The default (no subcommand) form reads a graph (JSON or text edge list,
+or a named synthetic dataset), runs one detection method, and prints the
+ranked answer — as a table or as JSON for scripting.
+
+The ``stream`` subcommand drives a :class:`~repro.streaming.monitor.
+TopKMonitor` over an update stream — random single-entity monitoring
+patches (``--events``) or the temporal guarantee panel's year-over-year
+drift (``--panel``) — reporting per-step refresh telemetry and, with
+``--verify``, checking each incremental answer bit-for-bit against a
+fresh BSR detection.
 """
 
 from __future__ import annotations
@@ -16,6 +26,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 
 from repro.algorithms.registry import ALL_METHODS, make_detector
 from repro.core.errors import ReproError
@@ -25,7 +36,7 @@ from repro.io.edgelist import read_edgelist
 from repro.io.jsonio import load_graph_json, result_to_dict
 from repro.utils.tables import render_table
 
-__all__ = ["build_parser", "main"]
+__all__ = ["build_parser", "build_stream_parser", "main", "stream_main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -33,6 +44,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-detect",
         description="Detect the top-k vulnerable nodes of an uncertain graph.",
+        epilog=(
+            "For incremental monitoring over an update stream, use the "
+            "'stream' subcommand: repro-detect stream --help"
+        ),
     )
     source = parser.add_mutually_exclusive_group(required=True)
     source.add_argument("--graph", help="path to a graph file")
@@ -66,6 +81,67 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_stream_parser() -> argparse.ArgumentParser:
+    """Argument parser of the ``stream`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-detect stream",
+        description=(
+            "Replay an update stream through the incremental TopKMonitor."
+        ),
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--graph", help="path to a graph file")
+    source.add_argument(
+        "--dataset",
+        choices=available_datasets(),
+        help="generate a named synthetic dataset",
+    )
+    source.add_argument(
+        "--panel",
+        action="store_true",
+        help=(
+            "replay the temporal guarantee panel's year-over-year drift "
+            "instead of random patches"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("json", "edgelist"),
+        default="json",
+        help="graph file format (default: json)",
+    )
+    parser.add_argument("--scale", type=float, default=None,
+                        help="dataset scale (synthetic datasets only)")
+    size = parser.add_mutually_exclusive_group(required=True)
+    size.add_argument("--k", type=int, help="answer size (absolute)")
+    size.add_argument("--k-percent", type=float,
+                      help="answer size as a percentage of |V|")
+    parser.add_argument("--events", type=int, default=20,
+                        help="random single-entity patches to replay")
+    parser.add_argument("--drift", type=float, default=0.1,
+                        help="std-dev of patch drift (0 draws values fresh)")
+    parser.add_argument(
+        "--engine",
+        choices=("indexed", "batched", "reference"),
+        default="indexed",
+        help="reverse-sampling engine backing the monitor",
+    )
+    parser.add_argument("--epsilon", type=float, default=0.3)
+    parser.add_argument("--delta", type=float, default=0.1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help=(
+            "after each step, run a fresh BSR detection and check the "
+            "incremental answer is bit-identical (also reports speedup)"
+        ),
+    )
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit per-step records as JSON")
+    return parser
+
+
 def _load_graph(args: argparse.Namespace) -> UncertainGraph:
     if args.dataset is not None:
         return load_dataset(args.dataset, scale=args.scale, seed=args.seed).graph
@@ -74,8 +150,118 @@ def _load_graph(args: argparse.Namespace) -> UncertainGraph:
     return read_edgelist(args.graph)
 
 
+def _stream_batches(args: argparse.Namespace):
+    """Yield ``(description, events)`` batches plus the graph to monitor."""
+    from repro.datasets.temporal import build_guarantee_panel
+    from repro.streaming.replay import random_patch_stream
+
+    if args.panel:
+        panel = build_guarantee_panel(seed=args.seed)
+        batches = [
+            (f"year {year}", events) for year, events in panel.update_stream()
+        ]
+        return panel.graph, batches
+    graph = _load_graph(args)
+    drift = args.drift if args.drift > 0 else None
+    events = random_patch_stream(
+        graph, args.events, seed=args.seed, drift=drift
+    )
+    # Keep the patch stream lazy: drift events must read the *current*
+    # (already-patched) value at yield time so month-over-month drift
+    # compounds, exactly as the benchmark replays it.
+    return graph, ((None, [event]) for event in events)
+
+
+def stream_main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``stream`` subcommand."""
+    from repro.algorithms.bsr import BoundedSampleReverseDetector
+    from repro.streaming.monitor import TopKMonitor
+
+    args = build_stream_parser().parse_args(argv)
+    try:
+        graph, batches = _stream_batches(args)
+        if args.k is not None:
+            k = args.k
+        else:
+            if args.k_percent <= 0:
+                raise ReproError("--k-percent must be positive")
+            k = max(1, round(graph.num_nodes * args.k_percent / 100.0))
+        monitor = TopKMonitor(
+            graph,
+            k,
+            epsilon=args.epsilon,
+            delta=args.delta,
+            seed=args.seed,
+            engine=args.engine,
+        )
+        rows: list[dict] = []
+        incremental_total = fresh_total = 0.0
+        for step, (description, events) in enumerate(batches):
+            monitor.apply(events)
+            # refresh() returns *this* step's report even when the batch
+            # turns out to be a no-op (a "clean" report) — top_k() alone
+            # would skip the refresh and leave last_report stale.
+            report = monitor.refresh()
+            result = monitor.top_k()
+            incremental_total += report.elapsed_seconds
+            row = {
+                "step": step,
+                "event": description
+                or "; ".join(event.describe() for event in events),
+                "mode": report.mode,
+                "sampling": report.sampling,
+                "worlds": f"{report.worlds_repaired}/{report.samples}",
+                "ms": round(report.elapsed_seconds * 1e3, 2),
+            }
+            if args.verify:
+                detector = BoundedSampleReverseDetector(
+                    epsilon=args.epsilon,
+                    delta=args.delta,
+                    seed=args.seed,
+                    engine=args.engine,
+                )
+                started = time.perf_counter()
+                fresh = detector.detect(graph, k)
+                fresh_seconds = time.perf_counter() - started
+                fresh_total += fresh_seconds
+                row["fresh_ms"] = round(fresh_seconds * 1e3, 2)
+                row["match"] = (
+                    result.nodes == fresh.nodes
+                    and result.scores == fresh.scores
+                    and result.samples_used == fresh.samples_used
+                )
+            rows.append(row)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.as_json:
+        print(json.dumps({"k": k, "steps": rows}, indent=1))
+    else:
+        title = (
+            f"streaming top-{k} over {graph.num_nodes} nodes "
+            f"({len(rows)} update batches, engine={args.engine})"
+        )
+        print(render_table(rows, title=title))
+        if args.verify and rows:
+            mismatches = sum(1 for row in rows if not row["match"])
+            speedup = fresh_total / max(incremental_total, 1e-12)
+            print(
+                f"verify: {len(rows) - mismatches}/{len(rows)} steps "
+                f"bit-identical to fresh BSR; incremental "
+                f"{incremental_total:.3f}s vs fresh {fresh_total:.3f}s "
+                f"({speedup:.1f}x)"
+            )
+    if args.verify and any(not row["match"] for row in rows):
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "stream":
+        return stream_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

@@ -350,11 +350,7 @@ class UncertainGraph:
         into both views' ``probs`` arrays in place, so long-lived CSR
         holders observe the update and nothing is rebuilt.
         """
-        s = self.index(src)
-        d = self.index(dst)
-        edge_id = self._edge_lookup().get((s, d))
-        if edge_id is None:
-            raise UnknownNodeError((src, dst))
+        edge_id = self.edge_id(src, dst)
         prob = _check_probability(probability, f"p({dst!r}|{src!r})")
         self._edge_prob[edge_id] = prob
         if self._out_csr is not None:
@@ -463,14 +459,23 @@ class UncertainGraph:
         """Self-risk probability ``ps(label)``."""
         return float(self._self_risk[self.index(label)])
 
-    def edge_probability(self, src: NodeLabel, dst: NodeLabel) -> float:
-        """Diffusion probability ``p(dst|src)``."""
+    def edge_id(self, src: NodeLabel, dst: NodeLabel) -> int:
+        """Canonical edge id of ``src -> dst`` (position in edge-id order).
+
+        The id indexes the arrays of :attr:`edge_array` and the
+        ``edge_ids`` column of both CSR views; probability-only updates
+        keep ids stable (only topology mutations renumber).
+        """
         s = self.index(src)
         d = self.index(dst)
         edge_id = self._edge_lookup().get((s, d))
         if edge_id is None:
             raise UnknownNodeError((src, dst))
-        return float(self._edge_prob[edge_id])
+        return edge_id
+
+    def edge_probability(self, src: NodeLabel, dst: NodeLabel) -> float:
+        """Diffusion probability ``p(dst|src)``."""
+        return float(self._edge_prob[self.edge_id(src, dst)])
 
     def in_neighbors(self, label: NodeLabel) -> list[NodeLabel]:
         """Labels of in-neighbours — the paper's ``N(v)``."""

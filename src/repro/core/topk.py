@@ -15,7 +15,30 @@ import numpy as np
 from repro.core.errors import GraphError
 from repro.core.graph import UncertainGraph
 
-__all__ = ["top_k_indices", "top_k_labels", "kth_largest", "validate_k"]
+__all__ = [
+    "top_k_indices",
+    "top_k_labels",
+    "kth_largest",
+    "validate_k",
+    "validate_finite_scores",
+]
+
+
+def validate_finite_scores(values: np.ndarray, what: str = "scores") -> None:
+    """Reject NaN/inf score vectors before any selection runs on them.
+
+    NaN ordering is *inconsistent* between the selection primitives:
+    ``argsort`` on negated scores sorts NaN last (treated as worst) while
+    ``partition`` treats NaN as largest (best), so a NaN bound vector
+    would silently produce ``Tl``/``Tu`` thresholds that contradict the
+    ranking.  All public selection entry points therefore refuse
+    non-finite input outright.
+    """
+    if values.size and not np.isfinite(values).all():
+        bad = int(np.flatnonzero(~np.isfinite(values))[0])
+        raise GraphError(
+            f"{what} must be finite; index {bad} is {values[bad]!r}"
+        )
 
 
 def validate_k(k: int, n: int) -> int:
@@ -36,6 +59,7 @@ def top_k_indices(scores: Sequence[float] | np.ndarray, k: int) -> np.ndarray:
     share an estimate (common with small sample sizes).
     """
     arr = np.asarray(scores, dtype=np.float64)
+    validate_finite_scores(arr)
     k = validate_k(k, arr.size)
     order = np.argsort(-arr, kind="stable")
     return order[:k]
@@ -60,5 +84,6 @@ def kth_largest(values: Sequence[float] | np.ndarray, k: int) -> float:
     0.5
     """
     arr = np.asarray(values, dtype=np.float64)
+    validate_finite_scores(arr)
     k = validate_k(k, arr.size)
     return float(np.partition(arr, arr.size - k)[arr.size - k])

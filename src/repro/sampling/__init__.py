@@ -6,6 +6,12 @@ from repro.sampling.estimators import (
     wilson_interval,
 )
 from repro.sampling.forward import ForwardEstimate, ForwardSampler, forward_sample_reference
+from repro.sampling.indexed import (
+    IndexedReverseSampler,
+    WorldBlock,
+    derive_stream_key,
+    hashed_uniforms,
+)
 from repro.sampling.reverse import (
     BatchedReverseSampler,
     ReverseSampler,
@@ -30,6 +36,10 @@ __all__ = [
     "ForwardSampler",
     "forward_sample_reference",
     "BatchedReverseSampler",
+    "IndexedReverseSampler",
+    "WorldBlock",
+    "derive_stream_key",
+    "hashed_uniforms",
     "ReverseSampler",
     "ReverseWorld",
     "WorldArena",

@@ -1,0 +1,401 @@
+"""Counter-based reverse sampling — the streaming-friendly third engine.
+
+The batched engine (:class:`~repro.sampling.reverse.BatchedReverseSampler`)
+draws its uniforms from one *sequential* stream, so the random choice made
+for an entity depends on every draw that preceded it.  That is fine for a
+one-shot detection, but it couples all worlds together: change one edge
+probability and the whole stream downstream of its first draw shifts, so
+nothing short of a full re-run reproduces what a fresh detection would
+return.
+
+This module replaces the stream with a **counter-based PRF**: the uniform
+for node ``v`` (edge ``e``) in world ``w`` is a pure hash of
+``(stream key, w, entity)`` — the SplitMix64 output function evaluated at
+a per-entity counter.  Consequences:
+
+* every world's outcome is a pure function of ``(seed, w, graph)`` —
+  worlds can be evaluated in any order, in any batch size, and
+  re-evaluated individually, always bit-identically;
+* a probability patch ``p -> p'`` flips an entity's realisation in world
+  ``w`` only when its fixed uniform lies in ``(min(p, p'), max(p, p')]``,
+  so the *expected fraction of invalidated worlds equals |p' - p|* — the
+  property the streaming :class:`~repro.streaming.monitor.TopKMonitor`
+  builds its incremental re-estimation on;
+* the engine needs no memo tables at all: re-hashing an entity is as
+  cheap as memoising it, and two directions/passes agree by construction.
+
+The exploration itself is the same two-pass structure as the batched
+engine — a flat multi-world backward closure followed by forward
+labelling through :func:`repro.core.propagation.propagate_edge_list` —
+and it reports ``nodes_touched`` / ``edges_touched`` in the same unit
+(distinct per-world entity draws).  Under entity-indexed uniforms the
+per-world outcomes equal the reference :class:`ReverseWorld` fed the same
+uniform arrays (see ``tests/test_streaming.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.errors import SamplingError
+from repro.core.graph import UncertainGraph
+from repro.core.propagation import propagate_edge_list, ragged_positions
+from repro.sampling.forward import ForwardEstimate
+from repro.sampling.reverse import _validate_candidates
+from repro.sampling.rng import SeedLike
+
+__all__ = [
+    "hashed_uniforms",
+    "derive_stream_key",
+    "WorldBlock",
+    "IndexedReverseSampler",
+]
+
+_U64 = np.uint64
+_SHIFT_30 = _U64(30)
+_SHIFT_27 = _U64(27)
+_SHIFT_31 = _U64(31)
+_SHIFT_11 = _U64(11)
+_GAMMA = _U64(0x9E3779B97F4A7C15)
+_MIX_1 = _U64(0xBF58476D1CE4E5B9)
+_MIX_2 = _U64(0x94D049BB133111EB)
+_INV_2_53 = 2.0**-53
+
+
+def hashed_uniforms(key: np.uint64, counters: np.ndarray) -> np.ndarray:
+    """Uniforms in ``[0, 1)`` at the given 64-bit counters (vectorised).
+
+    Evaluates the SplitMix64 output function at state
+    ``key + counter * gamma``: counter ``c`` under stream *key* always
+    yields the same double, independent of every other draw.  The top 53
+    mixed bits become the mantissa, matching how
+    :meth:`numpy.random.Generator.random` builds doubles.
+    """
+    z = key + np.asarray(counters, dtype=_U64) * _GAMMA
+    z = (z ^ (z >> _SHIFT_30)) * _MIX_1
+    z = (z ^ (z >> _SHIFT_27)) * _MIX_2
+    z = z ^ (z >> _SHIFT_31)
+    return (z >> _SHIFT_11).astype(np.float64) * _INV_2_53
+
+
+def derive_stream_key(seed: SeedLike) -> np.uint64:
+    """Deterministically map a ``seed`` argument to a 64-bit stream key.
+
+    Integers and :class:`~numpy.random.SeedSequence` instances map to a
+    fixed key (reproducible runs); a :class:`~numpy.random.Generator`
+    draws one word from its stream (caller-managed randomness); ``None``
+    takes fresh OS entropy.
+    """
+    if isinstance(seed, np.random.Generator):
+        return _U64(seed.integers(0, 2**64, dtype=np.uint64))
+    if isinstance(seed, np.random.SeedSequence):
+        sequence = seed
+    else:
+        sequence = np.random.SeedSequence(seed)
+    return _U64(sequence.generate_state(1, np.uint64)[0])
+
+
+@dataclass(frozen=True)
+class WorldBlock:
+    """Outcomes of one explicitly-indexed block of possible worlds.
+
+    Attributes
+    ----------
+    outcomes:
+        Boolean ``(W, |B|)`` matrix; row ``i`` answers "does each
+        candidate default in world ``world_indices[i]``".
+    node_draws, edge_draws:
+        Per-world counts of distinct node / edge draws (the work unit
+        shared with the other reverse engines).
+    touched_nodes, touched_edges:
+        Present when requested: boolean ``(W, n)`` / ``(W, m)`` masks of
+        the entities each world actually drew.  An entity outside a
+        world's mask cannot influence that world's outcome — the
+        invalidation test the streaming monitor relies on.
+    """
+
+    outcomes: np.ndarray
+    node_draws: np.ndarray
+    edge_draws: np.ndarray
+    touched_nodes: np.ndarray | None = None
+    touched_edges: np.ndarray | None = None
+
+
+class IndexedReverseSampler:
+    """Reverse sampling with counter-based per-(world, entity) randomness.
+
+    Drop-in engine for the SR/BSR/BSRBK detectors (``engine="indexed"``)
+    with one extra power: :meth:`outcomes_for_worlds` evaluates an
+    arbitrary set of world indices — including re-evaluating old ones —
+    bit-identically to a sequential :meth:`run`.  Sequential consumption
+    through :meth:`run` / :meth:`iter_samples` uses worlds ``0, 1, 2, …``
+    so repeated calls never reuse a world.
+
+    Parameters
+    ----------
+    graph, candidates, seed:
+        As for :class:`~repro.sampling.reverse.ReverseSampler`; the seed
+        is folded into a 64-bit stream key (:func:`derive_stream_key`).
+    world_batch:
+        Worlds explored per flat batch (memory/speed trade-off only —
+        outcomes are independent of it, unlike the batched engine whose
+        stream consumption depends on batching).
+    """
+
+    __slots__ = (
+        "_graph",
+        "_candidates",
+        "_unique_candidates",
+        "_key",
+        "_in_csr",
+        "_n",
+        "_world_batch",
+        "_cursor",
+        "nodes_touched",
+        "edges_touched",
+    )
+
+    def __init__(
+        self,
+        graph: UncertainGraph,
+        candidates: Sequence[int] | np.ndarray,
+        seed: SeedLike = None,
+        *,
+        world_batch: int | None = None,
+    ) -> None:
+        self._graph = graph
+        self._candidates = _validate_candidates(graph, candidates)
+        self._unique_candidates = np.unique(self._candidates)
+        self._key = derive_stream_key(seed)
+        self._in_csr = graph.in_csr()
+        n = graph.num_nodes
+        self._n = n
+        if world_batch is None:
+            world_batch = max(1, min(32, 2_000_000 // max(n, 1)))
+        if world_batch <= 0:
+            raise SamplingError(
+                f"world_batch must be positive, got {world_batch}"
+            )
+        self._world_batch = int(world_batch)
+        self._cursor = 0
+        self.nodes_touched = 0
+        self.edges_touched = 0
+
+    @property
+    def candidates(self) -> np.ndarray:
+        """Candidate internal indices (copy not taken; treat as read-only)."""
+        return self._candidates
+
+    @property
+    def world_batch(self) -> int:
+        """Worlds explored per flat batch."""
+        return self._world_batch
+
+    @property
+    def stream_key(self) -> np.uint64:
+        """The 64-bit PRF key all of this sampler's uniforms hash from."""
+        return self._key
+
+    @property
+    def counter_stride(self) -> np.uint64:
+        """Counters per world: node ``v`` of world ``w`` sits at
+        ``w * stride + v``, edge ``e`` at ``w * stride + n + e``."""
+        return _U64(self._n + self._graph.num_edges)
+
+    def node_uniforms(self, world: int, nodes: np.ndarray) -> np.ndarray:
+        """The fixed self-default uniforms of *nodes* in one world."""
+        base = _U64(int(world)) * self.counter_stride
+        return hashed_uniforms(
+            self._key, base + np.asarray(nodes).astype(_U64)
+        )
+
+    def edge_uniforms(self, world: int, edges: np.ndarray) -> np.ndarray:
+        """The fixed survival uniforms of edge ids *edges* in one world."""
+        base = _U64(int(world)) * self.counter_stride + _U64(self._n)
+        return hashed_uniforms(
+            self._key, base + np.asarray(edges).astype(_U64)
+        )
+
+    def _explore(
+        self, world_indices: np.ndarray, collect_touched: bool
+    ) -> WorldBlock:
+        """Backward closure + forward labelling for the given worlds."""
+        n = self._n
+        m = self._graph.num_edges
+        csr = self._in_csr
+        indptr, indices, probs = csr.indptr, csr.indices, csr.probs
+        # Self-risks are re-read per block so probability mutations between
+        # calls are observed (edge probs are read live through the CSR).
+        ps = self._graph.self_risk_array
+        worlds = world_indices.size
+        stride = self.counter_stride
+        world_base_u64 = world_indices.astype(_U64) * stride
+        closure = np.zeros(worlds * n, dtype=bool)
+        defaulted = np.zeros(worlds * n, dtype=bool)
+        touched_nodes = (
+            np.zeros(worlds * n, dtype=bool) if collect_touched else None
+        )
+        touched_edges = (
+            np.zeros(worlds * m, dtype=bool) if collect_touched else None
+        )
+        node_draw_counts = np.zeros(worlds, dtype=np.int64)
+        edge_draw_counts = np.zeros(worlds, dtype=np.float64)
+        offsets = np.arange(worlds, dtype=np.int64) * n
+        frontier = (offsets[:, None] + self._unique_candidates[None, :]).ravel()
+        closure[frontier] = True
+        seed_parts: list[np.ndarray] = []
+        src_parts: list[np.ndarray] = []
+        dst_parts: list[np.ndarray] = []
+        while frontier.size:
+            local_world = frontier // n
+            nodes = frontier - local_world * n
+            if touched_nodes is not None:
+                touched_nodes[frontier] = True
+            draws = hashed_uniforms(
+                self._key, world_base_u64[local_world] + nodes.astype(_U64)
+            )
+            self_default = draws <= ps[nodes]
+            node_draw_counts += np.bincount(local_world, minlength=worlds)
+            if self_default.any():
+                seed_parts.append(frontier[self_default])
+            expand = frontier[~self_default]
+            if not expand.size:
+                break
+            expand_nodes = expand % n
+            expand_world = expand // n
+            pos, counts = ragged_positions(indptr, expand_nodes)
+            if pos.size == 0:
+                break
+            edge_ids = csr.edge_ids[pos]
+            pos_world = np.repeat(expand_world, counts)
+            edge_draws = hashed_uniforms(
+                self._key,
+                world_base_u64[pos_world] + _U64(n) + edge_ids.astype(_U64),
+            )
+            if touched_edges is not None:
+                touched_edges[pos_world * m + edge_ids] = True
+            survived = edge_draws <= probs[pos]
+            edge_draw_counts += np.bincount(
+                expand_world, weights=counts, minlength=worlds
+            )
+            if not survived.any():
+                break
+            world_offset = expand - expand_nodes
+            src_keys = (np.repeat(world_offset, counts) + indices[pos])[survived]
+            dst_keys = np.repeat(expand, counts)[survived]
+            src_parts.append(src_keys)
+            dst_parts.append(dst_keys)
+            fresh = src_keys[~closure[src_keys]]
+            if fresh.size:
+                fresh = np.unique(fresh)
+                closure[fresh] = True
+            frontier = fresh
+        if seed_parts:
+            defaulted[np.concatenate(seed_parts)] = True
+            if src_parts:
+                propagate_edge_list(
+                    defaulted,
+                    np.concatenate(src_parts),
+                    np.concatenate(dst_parts),
+                    True,
+                )
+        keys = offsets[:, None] + self._candidates[None, :]
+        return WorldBlock(
+            outcomes=defaulted[keys],
+            node_draws=node_draw_counts,
+            edge_draws=edge_draw_counts.astype(np.int64),
+            touched_nodes=(
+                touched_nodes.reshape(worlds, n)
+                if touched_nodes is not None
+                else None
+            ),
+            touched_edges=(
+                touched_edges.reshape(worlds, m)
+                if touched_edges is not None
+                else None
+            ),
+        )
+
+    def outcomes_for_worlds(
+        self,
+        world_indices: Sequence[int] | np.ndarray,
+        collect_touched: bool = False,
+    ) -> WorldBlock:
+        """Evaluate exactly the given world indices (batched internally).
+
+        Does not advance the sequential cursor or the work counters —
+        this is the random-access surface the streaming monitor repairs
+        invalidated worlds through; callers own the accounting.
+        """
+        world_indices = np.asarray(world_indices, dtype=np.int64)
+        if world_indices.ndim != 1 or world_indices.size == 0:
+            raise SamplingError("world_indices must be a non-empty 1-d array")
+        if world_indices.min() < 0:
+            raise SamplingError("world indices must be non-negative")
+        blocks = [
+            self._explore(world_indices[start : start + self._world_batch],
+                          collect_touched)
+            for start in range(0, world_indices.size, self._world_batch)
+        ]
+        if len(blocks) == 1:
+            return blocks[0]
+        return WorldBlock(
+            outcomes=np.concatenate([b.outcomes for b in blocks]),
+            node_draws=np.concatenate([b.node_draws for b in blocks]),
+            edge_draws=np.concatenate([b.edge_draws for b in blocks]),
+            touched_nodes=(
+                np.concatenate([b.touched_nodes for b in blocks])
+                if collect_touched
+                else None
+            ),
+            touched_edges=(
+                np.concatenate([b.touched_edges for b in blocks])
+                if collect_touched
+                else None
+            ),
+        )
+
+    def iter_samples(self, samples: int) -> Iterator[np.ndarray]:
+        """Yield per-world candidate default vectors for the next worlds.
+
+        Consumes world indices sequentially from the cursor; work
+        counters are attributed per consumed world, as in the other
+        engines.
+        """
+        if samples <= 0:
+            raise SamplingError(f"samples must be positive, got {samples}")
+        start = self._cursor
+        self._cursor += int(samples)
+        for lo in range(start, start + int(samples), self._world_batch):
+            hi = min(lo + self._world_batch, start + int(samples))
+            block = self._explore(
+                np.arange(lo, hi, dtype=np.int64), collect_touched=False
+            )
+            for index in range(hi - lo):
+                self.nodes_touched += int(block.node_draws[index])
+                self.edges_touched += int(block.edge_draws[index])
+                yield block.outcomes[index]
+
+    def run(self, samples: int) -> ForwardEstimate:
+        """Run *samples* sequential worlds; counts align with ``candidates``."""
+        if samples <= 0:
+            raise SamplingError(f"samples must be positive, got {samples}")
+        start = self._cursor
+        self._cursor += int(samples)
+        counts = np.zeros(self._candidates.size, dtype=np.int64)
+        for lo in range(start, start + int(samples), self._world_batch):
+            hi = min(lo + self._world_batch, start + int(samples))
+            block = self._explore(
+                np.arange(lo, hi, dtype=np.int64), collect_touched=False
+            )
+            counts += block.outcomes.sum(axis=0)
+            self.nodes_touched += int(block.node_draws.sum())
+            self.edges_touched += int(block.edge_draws.sum())
+        return ForwardEstimate(counts=counts, samples=int(samples))
+
+    def estimate_probabilities(self, samples: int) -> np.ndarray:
+        """Estimated ``p(v)`` for each candidate, aligned with input order."""
+        return self.run(samples).probabilities

@@ -606,12 +606,15 @@ class BatchedReverseSampler:
         """Estimated ``p(v)`` for each candidate, aligned with input order."""
         return self.run(samples).probabilities
 
-#: Engines selectable by name in the SR/BSR/BSRBK detectors.  Both
+#: Engines selectable by name in the SR/BSR/BSRBK detectors.  All three
 #: report ``nodes_touched`` / ``edges_touched`` in the same unit
-#: (distinct per-world draws), but the batched union closure explores
-#: past Algorithm 5's per-candidate early exits, so its counts can run
-#: higher; experiments that *compare* work counts (Figure 6) should pin
-#: ``engine="reference"``, the executable specification.
+#: (distinct per-world draws), but the batched/indexed union closures
+#: explore past Algorithm 5's per-candidate early exits, so their counts
+#: can run higher; experiments that *compare* work counts (Figure 6)
+#: should pin ``engine="reference"``, the executable specification.
+#: ``"indexed"`` (counter-based per-entity randomness, re-evaluable per
+#: world — the streaming monitor's engine) is resolved lazily to avoid
+#: an import cycle.
 _ENGINES = {
     "batched": BatchedReverseSampler,
     "reference": ReverseSampler,
@@ -619,10 +622,15 @@ _ENGINES = {
 
 
 def reverse_engine(name: str):
-    """Resolve an engine name (``"batched"`` / ``"reference"``) to a class."""
+    """Resolve ``"batched"`` / ``"reference"`` / ``"indexed"`` to a class."""
+    if name == "indexed":
+        from repro.sampling.indexed import IndexedReverseSampler
+
+        return IndexedReverseSampler
     try:
         return _ENGINES[name]
     except KeyError:
+        known = sorted([*_ENGINES, "indexed"])
         raise SamplingError(
-            f"unknown reverse engine {name!r}; choose from {sorted(_ENGINES)}"
+            f"unknown reverse engine {name!r}; choose from {known}"
         ) from None

@@ -1,0 +1,38 @@
+"""Streaming top-k monitoring — incremental detection over a live graph.
+
+The deployed system of the paper's §5 is a *monitoring* system: guarantee
+probabilities and self-risks drift month to month, and the risk-control
+centre re-detects the vulnerable set on every change.  This package
+serves that workload without recomputing from scratch:
+
+* :mod:`repro.streaming.events` — the update-event vocabulary
+  (single-entity and bulk self-risk / edge-probability patches);
+* :mod:`repro.streaming.monitor` — :class:`TopKMonitor`, which holds a
+  live :class:`~repro.core.graph.UncertainGraph` and keeps the top-k
+  answer maintained incrementally, bit-identical to fresh
+  :class:`~repro.algorithms.bsr.BoundedSampleReverseDetector` detection;
+* :mod:`repro.streaming.replay` — adapters that turn the temporal
+  guarantee panel and synthetic drift into replayable update streams.
+"""
+
+from repro.streaming.events import (
+    BulkEdgeProbabilityUpdate,
+    BulkSelfRiskUpdate,
+    EdgeProbabilityUpdate,
+    SelfRiskUpdate,
+    UpdateEvent,
+)
+from repro.streaming.monitor import RefreshReport, TopKMonitor
+from repro.streaming.replay import panel_update_stream, random_patch_stream
+
+__all__ = [
+    "SelfRiskUpdate",
+    "EdgeProbabilityUpdate",
+    "BulkSelfRiskUpdate",
+    "BulkEdgeProbabilityUpdate",
+    "UpdateEvent",
+    "TopKMonitor",
+    "RefreshReport",
+    "panel_update_stream",
+    "random_patch_stream",
+]

@@ -1,0 +1,94 @@
+"""Update-event vocabulary for the streaming monitor.
+
+Events are plain frozen dataclasses describing *probability* changes to
+a live :class:`~repro.core.graph.UncertainGraph` — the mutations the
+paper's monitoring deployment sees month to month.  Topology changes
+(new nodes/guarantees) are not events: apply them directly to the graph
+and the monitor falls back to a full recomputation on its next refresh.
+
+Semantics
+---------
+* :class:`SelfRiskUpdate` / :class:`EdgeProbabilityUpdate` patch one
+  entity by label; values are validated by the graph setters (a bad
+  probability raises before any state changes).
+* :class:`BulkSelfRiskUpdate` / :class:`BulkEdgeProbabilityUpdate` carry
+  a whole replacement vector (index-aligned / edge-id-aligned).  The
+  monitor diffs against current values, so entries that did not actually
+  move dirty nothing — a bulk event is a cheap way to say "here is this
+  month's state".
+* Events within one batch apply in order; the *last* write to an entity
+  wins.  A batch is not transactional: a mid-batch validation error
+  leaves earlier events applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.core.graph import NodeLabel
+
+__all__ = [
+    "SelfRiskUpdate",
+    "EdgeProbabilityUpdate",
+    "BulkSelfRiskUpdate",
+    "BulkEdgeProbabilityUpdate",
+    "UpdateEvent",
+]
+
+
+@dataclass(frozen=True)
+class SelfRiskUpdate:
+    """Replace one node's self-risk probability ``ps(label)``."""
+
+    label: NodeLabel
+    value: float
+
+    def describe(self) -> str:
+        """Short human-readable form for logs and CLI tables."""
+        return f"ps({self.label!r}) <- {self.value:.4f}"
+
+
+@dataclass(frozen=True)
+class EdgeProbabilityUpdate:
+    """Replace one guarantee edge's diffusion probability ``p(dst|src)``."""
+
+    src: NodeLabel
+    dst: NodeLabel
+    value: float
+
+    def describe(self) -> str:
+        """Short human-readable form for logs and CLI tables."""
+        return f"p({self.dst!r}|{self.src!r}) <- {self.value:.4f}"
+
+
+@dataclass(frozen=True)
+class BulkSelfRiskUpdate:
+    """Replace every node's self-risk (index-aligned vector)."""
+
+    values: np.ndarray
+
+    def describe(self) -> str:
+        """Short human-readable form for logs and CLI tables."""
+        return f"bulk self-risks ({np.asarray(self.values).size} nodes)"
+
+
+@dataclass(frozen=True)
+class BulkEdgeProbabilityUpdate:
+    """Replace every edge's diffusion probability (edge-id-aligned)."""
+
+    values: np.ndarray
+
+    def describe(self) -> str:
+        """Short human-readable form for logs and CLI tables."""
+        return f"bulk edge probabilities ({np.asarray(self.values).size} edges)"
+
+
+UpdateEvent = Union[
+    SelfRiskUpdate,
+    EdgeProbabilityUpdate,
+    BulkSelfRiskUpdate,
+    BulkEdgeProbabilityUpdate,
+]

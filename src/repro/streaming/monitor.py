@@ -1,0 +1,708 @@
+"""TopKMonitor — incremental top-k detection over a live uncertain graph.
+
+One monitor owns one continuous query: "the BSR top-``k`` of this graph,
+kept current as probabilities drift".  Its contract is *exact
+equivalence*: after any sequence of updates, :meth:`TopKMonitor.top_k`
+returns the same answer — nodes, scores, sample count, candidate set,
+verified count, work counters — as constructing a fresh
+:class:`~repro.algorithms.bsr.BoundedSampleReverseDetector` with the same
+parameters and seed and calling ``detect`` on the patched graph.  All
+reuse below is therefore *provable* reuse, never approximation.
+
+The pipeline has three stages, each invalidated independently:
+
+1. **Bounds** (Algorithms 2/3) — maintained by
+   :class:`~repro.bounds.incremental.IncrementalBoundPair`: only nodes
+   within ``z`` out-hops of a changed entity are re-evaluated, with
+   arithmetic bit-identical to a fresh :func:`bound_pair`.
+2. **Candidate reduction** (Algorithm 4) — every rule of the reduction
+   is inert for bound values strictly below ``Tl`` (the k-th largest
+   lower bound), so the cached reduction is reused verbatim unless some
+   refreshed bound value crosses ``Tl``; crossing triggers one cheap
+   O(n) re-run.
+3. **Sampling** — depends on the engine:
+
+   * ``engine="indexed"`` (default): per-world outcomes are pure
+     functions of ``(seed, world, graph)``
+     (:class:`~repro.sampling.indexed.IndexedReverseSampler`), so the
+     monitor stores the per-world outcome matrix plus per-world
+     touched-entity masks.  A patched entity invalidates exactly the
+     worlds where its fixed uniform crosses the old→new probability
+     (expected fraction ``|Δp|``) *and* the entity was actually drawn;
+     only those worlds are re-explored and spliced back in.
+   * ``engine="batched"`` / ``"reference"``: the sequential random
+     stream couples all worlds, so sampling is reused only when no
+     changed entity lies in the candidates' ancestor closure (outside
+     it, a fresh run provably replays bit-identically) and is otherwise
+     re-run whole.
+
+When the dirty region exceeds ``full_rebuild_fraction`` of the graph —
+e.g. a bulk monthly re-scoring that moves everything — the monitor falls
+back to a full recomputation, which is the same code path as fresh
+detection and therefore trivially exact (the oracle tests cover both
+routes).  Topology mutations (``add_node`` / ``add_edge`` on the live
+graph) are detected by shape and likewise trigger the full fallback.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.algorithms.base import DetectionResult
+from repro.algorithms.bsr import assemble_answer
+from repro.bounds.candidates import CandidateReduction, reduce_candidates
+from repro.bounds.incremental import BoundDelta, IncrementalBoundPair
+from repro.core.errors import GraphError
+from repro.core.graph import NodeLabel, UncertainGraph
+from repro.core.propagation import ragged_positions
+from repro.core.topk import validate_k
+from repro.sampling.indexed import IndexedReverseSampler, hashed_uniforms
+from repro.sampling.reverse import reverse_engine
+from repro.sampling.rng import SeedLike
+from repro.sampling.sample_size import reduced_sample_size, validate_epsilon_delta
+from repro.streaming.events import (
+    BulkEdgeProbabilityUpdate,
+    BulkSelfRiskUpdate,
+    EdgeProbabilityUpdate,
+    SelfRiskUpdate,
+    UpdateEvent,
+)
+
+__all__ = ["RefreshReport", "TopKMonitor"]
+
+_U64 = np.uint64
+
+
+def ancestor_closure(graph: UncertainGraph, sources: np.ndarray) -> np.ndarray:
+    """Boolean mask of all nodes backward-reachable from *sources*.
+
+    Probability-agnostic (every in-edge counts): this is the superset of
+    nodes any reverse-sampling run over these candidates can ever draw,
+    and an edge can be drawn only if its head is in the mask.  Entities
+    outside are provably irrelevant to the sampling stage.
+    """
+    in_csr = graph.in_csr()
+    mask = np.zeros(graph.num_nodes, dtype=bool)
+    mask[sources] = True
+    frontier = np.unique(np.asarray(sources, dtype=np.int64))
+    while frontier.size:
+        positions, _ = ragged_positions(in_csr.indptr, frontier)
+        if not positions.size:
+            break
+        neighbors = in_csr.indices[positions]
+        fresh = np.unique(neighbors[~mask[neighbors]])
+        if not fresh.size:
+            break
+        mask[fresh] = True
+        frontier = fresh
+    return mask
+
+
+@dataclass(frozen=True)
+class RefreshReport:
+    """Telemetry of one :meth:`TopKMonitor.refresh` call.
+
+    Attributes
+    ----------
+    mode:
+        ``"initial"`` (first evaluation), ``"clean"`` (nothing pending),
+        ``"incremental"`` (dirty-frontier path) or ``"full"`` (fallback).
+    reason:
+        Why this mode was taken (threshold exceeded, topology change, …).
+    dirty_nodes, dirty_edges:
+        Entities whose probability actually changed since last refresh.
+    bounds_recomputed:
+        Node evaluations spent refreshing the bound iterates.
+    reduction_reused:
+        Whether the cached Algorithm-4 reduction survived untouched.
+    sampling:
+        ``"reused"`` (cached estimates provably fresh), ``"repaired"``
+        (indexed engine re-ran only invalidated worlds), ``"resampled"``
+        (whole candidate set re-estimated) or ``"skipped"`` (``k' = k``,
+        nothing to sample).
+    worlds_repaired:
+        Worlds re-evaluated this refresh (equals ``samples`` on a full
+        resample, 0 on reuse).
+    samples:
+        The refresh's Theorem-5 sample budget.
+    elapsed_seconds:
+        Wall-clock cost of the refresh.
+    """
+
+    mode: str
+    reason: str
+    dirty_nodes: int
+    dirty_edges: int
+    bounds_recomputed: int
+    reduction_reused: bool
+    sampling: str
+    worlds_repaired: int
+    samples: int
+    elapsed_seconds: float
+
+
+class TopKMonitor:
+    """Maintain the BSR top-``k`` of a live graph under streaming updates.
+
+    Parameters
+    ----------
+    graph:
+        The live graph.  The monitor *shares* it (no copy): updates go
+        through the monitor's setters (or :meth:`apply`), which patch
+        the graph and record the dirty entities.
+    k:
+        Continuous answer size.
+    epsilon, delta, lower_order, upper_order, seed:
+        Exactly the parameters of
+        :class:`~repro.algorithms.bsr.BoundedSampleReverseDetector`;
+        the equivalence oracle is a fresh detector built with the same
+        values.  Reproducible seeds (ints / SeedSequences) are required
+        for the bit-identity guarantee to be observable.
+    engine:
+        Reverse-sampling engine: ``"indexed"`` (default — enables
+        per-world repair), ``"batched"`` or ``"reference"`` (coarse
+        ancestor-closure invalidation, whole-set resampling).
+    full_rebuild_fraction:
+        Dirty-region threshold (fraction of ``n``) above which refresh
+        falls back to full recomputation.
+    world_state_budget:
+        Cap (in matrix cells) on the indexed engine's per-world
+        touched-mask storage, ``samples * (n + m)``.  Above it the
+        monitor keeps only outcome rows and invalidates on uniform
+        crossings alone — still exact, marginally more re-exploration.
+    """
+
+    def __init__(
+        self,
+        graph: UncertainGraph,
+        k: int,
+        *,
+        epsilon: float = 0.3,
+        delta: float = 0.1,
+        lower_order: int = 2,
+        upper_order: int = 2,
+        seed: SeedLike = 0,
+        engine: str = "indexed",
+        full_rebuild_fraction: float = 0.25,
+        world_state_budget: int = 32_000_000,
+    ) -> None:
+        self._graph = graph
+        self._k = validate_k(k, graph.num_nodes)
+        self._epsilon, self._delta = validate_epsilon_delta(epsilon, delta)
+        self._lower_order = int(lower_order)
+        self._upper_order = int(upper_order)
+        self._seed = seed
+        self._engine_name = str(engine)
+        self._engine = reverse_engine(self._engine_name)
+        if not 0.0 < full_rebuild_fraction <= 1.0:
+            raise GraphError(
+                "full_rebuild_fraction must be in (0, 1], got "
+                f"{full_rebuild_fraction}"
+            )
+        self._full_fraction = float(full_rebuild_fraction)
+        self._world_state_budget = int(world_state_budget)
+        # Pending dirt: entity -> probability at the last refresh.
+        self._dirty_node_old: dict[int, float] = {}
+        self._dirty_edge_old: dict[int, float] = {}
+        # Cached pipeline state (filled by the first refresh).
+        self._shape = (graph.num_nodes, graph.num_edges)
+        self._bounds: IncrementalBoundPair | None = None
+        self._reduction: CandidateReduction | None = None
+        self._samples = 0
+        self._probs: np.ndarray | None = None
+        self._sampling_candidates: np.ndarray | None = None
+        self._nodes_touched = 0
+        self._edges_touched = 0
+        # Indexed-engine world state.
+        self._sampler: IndexedReverseSampler | None = None
+        self._counts: np.ndarray | None = None
+        self._world_outcomes: np.ndarray | None = None
+        self._world_node_draws: np.ndarray | None = None
+        self._world_edge_draws: np.ndarray | None = None
+        self._touched_nodes: np.ndarray | None = None
+        self._touched_edges: np.ndarray | None = None
+        # Coarse-engine closure state.
+        self._closure: np.ndarray | None = None
+        self._result: DetectionResult | None = None
+        self._last_report: RefreshReport | None = None
+        self.stats: dict[str, int] = {
+            "refreshes": 0,
+            "full": 0,
+            "incremental": 0,
+            "clean": 0,
+            "worlds_repaired": 0,
+            "worlds_resampled": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> UncertainGraph:
+        """The live graph this monitor serves."""
+        return self._graph
+
+    @property
+    def k(self) -> int:
+        """The continuous answer size."""
+        return self._k
+
+    @property
+    def engine_name(self) -> str:
+        """Configured reverse-sampling engine."""
+        return self._engine_name
+
+    @property
+    def last_report(self) -> RefreshReport | None:
+        """Telemetry of the most recent refresh, if any."""
+        return self._last_report
+
+    @property
+    def pending_updates(self) -> int:
+        """Entities patched since the last refresh."""
+        return len(self._dirty_node_old) + len(self._dirty_edge_old)
+
+    # ------------------------------------------------------------------
+    # Update intake
+    # ------------------------------------------------------------------
+    def set_self_risk(self, label: NodeLabel, value: float) -> None:
+        """Patch one node's self-risk and mark it dirty."""
+        index = self._graph.index(label)
+        old = self._graph.self_risk(label)
+        self._graph.set_self_risk(label, value)
+        if self._graph.self_risk(label) != old:
+            self._dirty_node_old.setdefault(index, old)
+
+    def set_edge_probability(
+        self, src: NodeLabel, dst: NodeLabel, value: float
+    ) -> None:
+        """Patch one edge's diffusion probability and mark it dirty."""
+        edge_id = self._graph.edge_id(src, dst)
+        old = self._graph.edge_probability(src, dst)
+        self._graph.set_edge_probability(src, dst, value)
+        if self._graph.edge_probability(src, dst) != old:
+            self._dirty_edge_old.setdefault(edge_id, old)
+
+    def set_all_self_risks(self, values: Sequence[float] | np.ndarray) -> None:
+        """Bulk-patch self-risks; only entries that moved become dirty."""
+        old = self._graph.self_risk_array
+        self._graph.set_all_self_risks(values)
+        new = self._graph.self_risk_array
+        for index in np.flatnonzero(new != old):
+            self._dirty_node_old.setdefault(int(index), float(old[index]))
+
+    def set_all_edge_probabilities(
+        self, values: Sequence[float] | np.ndarray
+    ) -> None:
+        """Bulk-patch edge probabilities; only moved entries become dirty."""
+        _, _, old = self._graph.edge_array
+        self._graph.set_all_edge_probabilities(values)
+        _, _, new = self._graph.edge_array
+        for edge in np.flatnonzero(new != old):
+            self._dirty_edge_old.setdefault(int(edge), float(old[edge]))
+
+    def apply(self, events: Iterable[UpdateEvent]) -> int:
+        """Apply a batch of update events in order; returns the count.
+
+        Events apply immediately (last write wins); a validation error
+        propagates and leaves earlier events applied.
+        """
+        count = 0
+        for event in events:
+            if isinstance(event, SelfRiskUpdate):
+                self.set_self_risk(event.label, event.value)
+            elif isinstance(event, EdgeProbabilityUpdate):
+                self.set_edge_probability(event.src, event.dst, event.value)
+            elif isinstance(event, BulkSelfRiskUpdate):
+                self.set_all_self_risks(event.values)
+            elif isinstance(event, BulkEdgeProbabilityUpdate):
+                self.set_all_edge_probabilities(event.values)
+            else:
+                raise GraphError(f"unknown update event: {event!r}")
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Query surface
+    # ------------------------------------------------------------------
+    def top_k(self) -> DetectionResult:
+        """The current answer, refreshing first if updates are pending.
+
+        Pending updates include direct topology mutations on the live
+        graph (detected by shape), not just events routed through the
+        monitor's setters — a stale cached answer is never served.
+        """
+        graph = self._graph
+        stale = (
+            self._result is None
+            or self.pending_updates
+            or (graph.num_nodes, graph.num_edges) != self._shape
+        )
+        if stale:
+            self.refresh()
+        assert self._result is not None
+        return self._result
+
+    def refresh(self) -> RefreshReport:
+        """Fold all pending updates into the cached answer."""
+        started = time.perf_counter()
+        graph = self._graph
+        shape = (graph.num_nodes, graph.num_edges)
+        dirt = self._effective_dirt()
+        nodes_idx, nodes_old, edges_idx, edges_old, heads = dirt
+        if self._result is None:
+            report = self._full_refresh(
+                started, "initial", "first evaluation", dirt
+            )
+        elif shape != self._shape:
+            report = self._full_refresh(
+                started, "full", "graph topology changed", dirt
+            )
+        elif nodes_idx.size == 0 and edges_idx.size == 0:
+            report = RefreshReport(
+                mode="clean",
+                reason="no pending probability changes",
+                dirty_nodes=0,
+                dirty_edges=0,
+                bounds_recomputed=0,
+                reduction_reused=True,
+                sampling="reused",
+                worlds_repaired=0,
+                samples=self._samples,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+        else:
+            limit = max(1, int(self._full_fraction * graph.num_nodes))
+            if nodes_idx.size + heads.size > limit:
+                report = self._full_refresh(
+                    started, "full", "dirty region above threshold", dirt
+                )
+            else:
+                assert self._bounds is not None
+                delta = self._bounds.refresh(nodes_idx, heads, limit=limit)
+                if delta is None:
+                    report = self._full_refresh(
+                        started, "full", "bound frontier above threshold", dirt
+                    )
+                else:
+                    report = self._incremental_refresh(started, delta, dirt)
+        self._dirty_node_old.clear()
+        self._dirty_edge_old.clear()
+        self._shape = shape
+        self._last_report = report
+        self.stats["refreshes"] += 1
+        mode_key = "full" if report.mode == "initial" else report.mode
+        self.stats[mode_key] = self.stats.get(mode_key, 0) + 1
+        return report
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _effective_dirt(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Pending entities whose probability actually differs now.
+
+        Returns ``(node_idx, node_old, edge_idx, edge_old, head_idx)``;
+        entities patched back to their pre-refresh value drop out.
+        """
+        graph = self._graph
+        node_idx = np.fromiter(
+            self._dirty_node_old.keys(), dtype=np.int64,
+            count=len(self._dirty_node_old),
+        )
+        node_old = np.fromiter(
+            self._dirty_node_old.values(), dtype=np.float64,
+            count=len(self._dirty_node_old),
+        )
+        edge_idx = np.fromiter(
+            self._dirty_edge_old.keys(), dtype=np.int64,
+            count=len(self._dirty_edge_old),
+        )
+        edge_old = np.fromiter(
+            self._dirty_edge_old.values(), dtype=np.float64,
+            count=len(self._dirty_edge_old),
+        )
+        # A topology change renumbers entities; the full fallback ignores
+        # dirt entirely, so stale indices are never dereferenced.
+        if (graph.num_nodes, graph.num_edges) != self._shape:
+            return node_idx, node_old, edge_idx, edge_old, edge_idx[:0]
+        if node_idx.size:
+            keep = graph.self_risk_array[node_idx] != node_old
+            node_idx, node_old = node_idx[keep], node_old[keep]
+        heads = edge_idx[:0]
+        if edge_idx.size:
+            _, dst, probs = graph.edge_array
+            keep = probs[edge_idx] != edge_old
+            edge_idx, edge_old = edge_idx[keep], edge_old[keep]
+            heads = np.unique(dst[edge_idx])
+        return node_idx, node_old, edge_idx, edge_old, heads
+
+    def _full_refresh(
+        self, started: float, mode: str, reason: str, dirt
+    ) -> RefreshReport:
+        """Recompute every stage — the same pipeline as fresh detection."""
+        graph = self._graph
+        self._bounds = IncrementalBoundPair(
+            graph, self._lower_order, self._upper_order
+        )
+        lower, upper = self._bounds.pair()
+        reduction = reduce_candidates(graph, lower, upper, self._k)
+        if reduction.k_remaining > 0:
+            samples = reduced_sample_size(
+                reduction.candidate_size,
+                self._k,
+                reduction.k_verified,
+                self._epsilon,
+                self._delta,
+            )
+            self._resample(reduction, samples)
+        else:
+            self._clear_sampling_state()
+        self._reduction = reduction
+        self._assemble(started)
+        nodes_idx, _, edges_idx, _, _ = dirt
+        worlds = self._samples
+        self.stats["worlds_resampled"] += worlds
+        return RefreshReport(
+            mode=mode,
+            reason=reason,
+            dirty_nodes=int(nodes_idx.size),
+            dirty_edges=int(edges_idx.size),
+            bounds_recomputed=graph.num_nodes
+            * (self._lower_order + self._upper_order),
+            reduction_reused=False,
+            sampling="resampled" if worlds else "skipped",
+            worlds_repaired=worlds,
+            samples=self._samples,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+    def _incremental_refresh(
+        self, started: float, delta: BoundDelta, dirt
+    ) -> RefreshReport:
+        """The dirty-frontier path: provable reuse stage by stage."""
+        graph = self._graph
+        nodes_idx, nodes_old, edges_idx, edges_old, heads = dirt
+        assert self._bounds is not None and self._reduction is not None
+        # Stage 2: Algorithm 4 is untouched unless a changed bound value
+        # reaches Tl — below Tl both thresholds and both membership rules
+        # are provably inert.
+        crossed = (
+            delta.max_changed_value >= self._reduction.threshold_lower
+        )
+        reduction = self._reduction
+        if crossed:
+            lower, upper = self._bounds.pair()
+            reduction = reduce_candidates(graph, lower, upper, self._k)
+        # Stage 3: sampling.
+        worlds_repaired = 0
+        if reduction.k_remaining == 0:
+            sampling = "skipped"
+            self._clear_sampling_state()
+        else:
+            samples = reduced_sample_size(
+                reduction.candidate_size,
+                self._k,
+                reduction.k_verified,
+                self._epsilon,
+                self._delta,
+            )
+            inputs_unchanged = (
+                self._sampling_candidates is not None
+                and samples == self._samples
+                and np.array_equal(reduction.candidates, self._sampling_candidates)
+            )
+            if not inputs_unchanged:
+                self._resample(reduction, samples)
+                sampling = "resampled"
+                worlds_repaired = samples
+                self.stats["worlds_resampled"] += samples
+            elif self._engine_name == "indexed":
+                affected = self._affected_worlds(
+                    nodes_idx, nodes_old, edges_idx, edges_old
+                )
+                if affected.size:
+                    self._repair_worlds(affected)
+                    sampling = "repaired"
+                    worlds_repaired = int(affected.size)
+                    self.stats["worlds_repaired"] += worlds_repaired
+                else:
+                    sampling = "reused"
+            else:
+                assert self._closure is not None
+                relevant = bool(self._closure[nodes_idx].any()) or bool(
+                    self._closure[heads].any()
+                )
+                if relevant:
+                    self._resample(reduction, samples)
+                    sampling = "resampled"
+                    worlds_repaired = samples
+                    self.stats["worlds_resampled"] += samples
+                else:
+                    sampling = "reused"
+        self._reduction = reduction
+        self._assemble(started)
+        return RefreshReport(
+            mode="incremental",
+            reason="dirty-frontier refresh",
+            dirty_nodes=int(nodes_idx.size),
+            dirty_edges=int(edges_idx.size),
+            bounds_recomputed=delta.nodes_recomputed,
+            reduction_reused=not crossed,
+            sampling=sampling,
+            worlds_repaired=worlds_repaired,
+            samples=self._samples,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+    def _affected_worlds(
+        self,
+        nodes_idx: np.ndarray,
+        nodes_old: np.ndarray,
+        edges_idx: np.ndarray,
+        edges_old: np.ndarray,
+    ) -> np.ndarray:
+        """Worlds whose cached outcome a dirty entity can have changed.
+
+        World ``w`` is invalidated by entity ``x`` only if ``x``'s fixed
+        uniform in ``w`` crosses the old→new probability (its realisation
+        flips) — expected fraction ``|Δp|`` of worlds — and, when touched
+        masks are kept, only if ``w`` actually drew ``x``.
+        """
+        assert self._sampler is not None
+        graph = self._graph
+        samples = self._samples
+        stride = self._sampler.counter_stride
+        key = self._sampler.stream_key
+        bases = np.arange(samples, dtype=np.uint64) * stride
+        affected = np.zeros(samples, dtype=bool)
+        if nodes_idx.size:
+            new_risks = graph.self_risk_array[nodes_idx]
+            for index, old, new in zip(nodes_idx, nodes_old, new_risks):
+                low, high = sorted((float(old), float(new)))
+                flips = hashed_uniforms(key, bases + _U64(int(index)))
+                flips = (flips > low) & (flips <= high)
+                if self._touched_nodes is not None:
+                    flips &= self._touched_nodes[:, int(index)]
+                affected |= flips
+        if edges_idx.size:
+            offset = _U64(graph.num_nodes)
+            _, _, probs = graph.edge_array
+            for edge, old in zip(edges_idx, edges_old):
+                low, high = sorted((float(old), float(probs[edge])))
+                flips = hashed_uniforms(key, bases + offset + _U64(int(edge)))
+                flips = (flips > low) & (flips <= high)
+                if self._touched_edges is not None:
+                    flips &= self._touched_edges[:, int(edge)]
+                affected |= flips
+        return np.flatnonzero(affected)
+
+    def _repair_worlds(self, worlds: np.ndarray) -> None:
+        """Re-explore only the invalidated worlds and splice them in.
+
+        Running totals (candidate counts, work counters) are updated by
+        the repaired rows' delta — all integer arithmetic, so the state
+        is exactly what a full re-summation would produce, at
+        O(repaired) instead of O(samples) cost.
+        """
+        assert self._sampler is not None and self._world_outcomes is not None
+        collect = self._touched_nodes is not None
+        block = self._sampler.outcomes_for_worlds(
+            worlds, collect_touched=collect
+        )
+        old_rows = self._world_outcomes[worlds]
+        self._counts += block.outcomes.sum(axis=0) - old_rows.sum(axis=0)
+        self._nodes_touched += int(
+            block.node_draws.sum() - self._world_node_draws[worlds].sum()
+        )
+        self._edges_touched += int(
+            block.edge_draws.sum() - self._world_edge_draws[worlds].sum()
+        )
+        self._world_outcomes[worlds] = block.outcomes
+        self._world_node_draws[worlds] = block.node_draws
+        self._world_edge_draws[worlds] = block.edge_draws
+        if collect:
+            self._touched_nodes[worlds] = block.touched_nodes
+            self._touched_edges[worlds] = block.touched_edges
+        self._probs = self._counts / float(self._samples)
+
+    def _resample(self, reduction: CandidateReduction, samples: int) -> None:
+        """Estimate the whole candidate set afresh (as fresh BSR would)."""
+        graph = self._graph
+        sampler = self._engine(graph, reduction.candidates, seed=self._seed)
+        if self._engine_name == "indexed":
+            cells = samples * (graph.num_nodes + graph.num_edges)
+            track = cells <= self._world_state_budget
+            block = sampler.outcomes_for_worlds(
+                np.arange(samples, dtype=np.int64), collect_touched=track
+            )
+            self._sampler = sampler
+            self._world_outcomes = block.outcomes
+            self._world_node_draws = block.node_draws.copy()
+            self._world_edge_draws = block.edge_draws.copy()
+            self._touched_nodes = block.touched_nodes
+            self._touched_edges = block.touched_edges
+            self._counts = block.outcomes.sum(axis=0)
+            self._probs = self._counts / float(samples)
+            self._nodes_touched = int(block.node_draws.sum())
+            self._edges_touched = int(block.edge_draws.sum())
+            self._closure = None
+        else:
+            estimate = sampler.run(samples)
+            self._probs = estimate.probabilities
+            self._nodes_touched = sampler.nodes_touched
+            self._edges_touched = sampler.edges_touched
+            self._sampler = None
+            self._counts = None
+            self._world_outcomes = None
+            self._touched_nodes = self._touched_edges = None
+            self._world_node_draws = self._world_edge_draws = None
+            self._closure = ancestor_closure(graph, reduction.candidates)
+        self._samples = int(samples)
+        self._sampling_candidates = reduction.candidates.copy()
+
+    def _clear_sampling_state(self) -> None:
+        self._samples = 0
+        self._probs = None
+        self._sampling_candidates = None
+        self._nodes_touched = 0
+        self._edges_touched = 0
+        self._sampler = None
+        self._counts = None
+        self._world_outcomes = None
+        self._world_node_draws = self._world_edge_draws = None
+        self._touched_nodes = self._touched_edges = None
+        self._closure = None
+
+    def _assemble(self, started: float) -> None:
+        """Build the DetectionResult exactly as BSR's ``_detect`` does."""
+        assert self._bounds is not None and self._reduction is not None
+        reduction = self._reduction
+        nodes, scores = assemble_answer(
+            self._graph, reduction, self._bounds.lower, self._probs, self._k
+        )
+        self._result = DetectionResult(
+            method="BSR",
+            k=self._k,
+            nodes=nodes,
+            scores=scores,
+            samples_used=self._samples,
+            candidate_size=reduction.candidate_size,
+            k_verified=reduction.k_verified,
+            elapsed_seconds=time.perf_counter() - started,
+            details={
+                "epsilon": self._epsilon,
+                "delta": self._delta,
+                "lower_order": self._lower_order,
+                "upper_order": self._upper_order,
+                **reduction.summary(),
+                "nodes_touched": self._nodes_touched,
+                "edges_touched": self._edges_touched,
+                "streaming_engine": self._engine_name,
+            },
+        )

@@ -8,14 +8,21 @@ proposed VulnDS."
 
 :class:`RiskControlCenter` wires the three stages together, keeps an
 audit log, and implements the monthly re-evaluation batch over issued
-loans.
+loans.  Between the monthly batches the centre can run in *streaming*
+mode (:meth:`RiskControlCenter.enable_streaming`): market updates —
+re-scored self-risks, re-assessed guarantee strengths — are pushed
+through :meth:`RiskControlCenter.apply_market_update`, which refreshes
+the watch list incrementally instead of re-detecting from scratch.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.core.errors import ReproError
+from repro.streaming.events import UpdateEvent
+from repro.streaming.monitor import TopKMonitor
 from repro.system.evaluation import EvaluationModule
 from repro.system.loans import Decision, LoanApplication, LoanDecision
 from repro.system.rules import RuleEngine
@@ -79,10 +86,15 @@ class RiskControlCenter:
             assessment = self.run_monthly_assessment()
         return assessment
 
+    @property
+    def watch_k(self) -> int:
+        """The deployed system's k: watch-listed enterprises per run."""
+        return max(1, round(self.vulnds.graph.num_nodes * self.watch_fraction))
+
     def run_monthly_assessment(self) -> PortfolioAssessment:
         """Stage-2 batch: re-detect the vulnerable enterprises."""
         n = self.vulnds.graph.num_nodes
-        k = max(1, round(n * self.watch_fraction))
+        k = self.watch_k
         assessment = self.vulnds.assess_portfolio(k)
         self._audit(
             "monthly-assessment",
@@ -90,6 +102,56 @@ class RiskControlCenter:
             f"{assessment.detection.samples_used} worlds sampled, "
             f"{assessment.detection.k_verified} bound-verified",
         )
+        return assessment
+
+    def enable_streaming(self, **monitor_kwargs) -> TopKMonitor:
+        """Serve the watch list incrementally between monthly batches.
+
+        Attaches a streaming monitor sized to this centre's watch list
+        (``watch_fraction`` of the portfolio); keyword arguments are
+        forwarded to :class:`~repro.streaming.monitor.TopKMonitor`.
+        """
+        monitor = self.vulnds.enable_streaming(self.watch_k, **monitor_kwargs)
+        self._audit(
+            "streaming-enabled",
+            f"incremental top-{monitor.k} monitor attached "
+            f"(engine={monitor.engine_name})",
+        )
+        return monitor
+
+    def apply_market_update(
+        self, events: Iterable[UpdateEvent]
+    ) -> PortfolioAssessment:
+        """Push market updates and refresh the watch list incrementally.
+
+        The returned assessment is bit-identical to a from-scratch
+        detection on the updated network — the monitor only reuses what
+        it can prove unchanged.  Requires :meth:`enable_streaming`.
+        """
+        applied = self.vulnds.apply_updates(events)
+        monitor = self.vulnds.monitor
+        # refresh() yields *this* update's report even for a no-op batch
+        # (a "clean" report); reading last_report after assess_portfolio
+        # could attribute a previous refresh's telemetry to this update.
+        report = monitor.refresh() if monitor is not None else None
+        assessment = self.vulnds.assess_portfolio(self.watch_k)
+        detail = f"{applied} updates applied"
+        if (
+            report is not None
+            and monitor is not None
+            and monitor.k == self.watch_k
+        ):
+            detail += (
+                f"; refresh={report.mode}, sampling={report.sampling} "
+                f"({report.worlds_repaired}/{report.samples} worlds), "
+                f"{report.elapsed_seconds * 1e3:.1f}ms"
+            )
+        else:
+            # The portfolio grew/shrank since streaming was enabled, so
+            # the assessment fell back to the configured detector; do
+            # not claim streaming telemetry for it.
+            detail += "; served by full detection (watch size changed)"
+        self._audit("market-update", detail)
         return assessment
 
     def process(self, application: LoanApplication) -> LoanDecision:

@@ -13,7 +13,7 @@ deployment).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Mapping
+from typing import Callable, Iterable, Mapping
 
 import numpy as np
 
@@ -21,6 +21,8 @@ from repro.algorithms.base import DetectionResult, VulnerableNodeDetector
 from repro.algorithms.bsrbk import BottomKDetector
 from repro.core.errors import ReproError
 from repro.core.graph import UncertainGraph
+from repro.streaming.events import UpdateEvent
+from repro.streaming.monitor import TopKMonitor
 
 __all__ = ["VulnDS", "PortfolioAssessment"]
 
@@ -85,6 +87,7 @@ class VulnDS:
         self._detector = detector or BottomKDetector(bk=16, seed=0)
         self._assessor = self_risk_assessor
         self._last_assessment: PortfolioAssessment | None = None
+        self._monitor: TopKMonitor | None = None
 
     @property
     def graph(self) -> UncertainGraph:
@@ -95,6 +98,45 @@ class VulnDS:
     def last_assessment(self) -> PortfolioAssessment | None:
         """The most recent portfolio run, if any."""
         return self._last_assessment
+
+    @property
+    def monitor(self) -> TopKMonitor | None:
+        """The attached streaming monitor, if streaming is enabled."""
+        return self._monitor
+
+    def enable_streaming(self, k: int, **monitor_kwargs) -> TopKMonitor:
+        """Switch size-*k* assessments to incremental streaming detection.
+
+        Attaches a :class:`~repro.streaming.monitor.TopKMonitor` to the
+        service's graph.  From here on, :meth:`refresh_self_risks` and
+        :meth:`apply_updates` route probability changes through the
+        monitor, and :meth:`assess_portfolio` calls with this exact *k*
+        are answered incrementally (other sizes still run the configured
+        detector).  Keyword arguments are forwarded to the monitor
+        (seed, engine, epsilon, …).
+
+        Note the algorithm switch this implies: the monitor maintains
+        the *BSR* pipeline with its own parameters/seed (defaults:
+        epsilon 0.3, delta 0.1, seed 0, indexed engine), not whatever
+        detector this service was constructed with — its bit-identity
+        guarantee is against a fresh BSR detector built from the same
+        monitor parameters.  Pass explicit keyword arguments here if
+        the streamed watch list must match a particular configuration.
+        """
+        self._monitor = TopKMonitor(self._graph, k, **monitor_kwargs)
+        return self._monitor
+
+    def apply_updates(self, events: Iterable[UpdateEvent]) -> int:
+        """Stream probability updates into the service; returns the count.
+
+        Requires streaming to be enabled — the monitor is what tracks
+        which parts of the cached assessment each update invalidates.
+        """
+        if self._monitor is None:
+            raise ReproError(
+                "streaming is not enabled; call enable_streaming(k) first"
+            )
+        return self._monitor.apply(events)
 
     def refresh_self_risks(self, features: np.ndarray) -> np.ndarray:
         """Re-assess every enterprise's self-risk from fresh features.
@@ -116,12 +158,27 @@ class VulnDS:
                 f"assessor returned shape {risks.shape}, expected "
                 f"({self._graph.num_nodes},)"
             )
-        self._graph.set_all_self_risks(risks)
+        if self._monitor is not None:
+            # Route through the monitor so the re-scoring is tracked as
+            # a (bulk) streaming update instead of silently staling the
+            # cached assessment.
+            self._monitor.set_all_self_risks(risks)
+        else:
+            self._graph.set_all_self_risks(risks)
         return risks
 
     def assess_portfolio(self, k: int) -> PortfolioAssessment:
-        """Detect the top-*k* vulnerable enterprises (one monthly run)."""
-        detection = self._detector.detect(self._graph, k)
+        """Detect the top-*k* vulnerable enterprises (one monthly run).
+
+        With streaming enabled and ``k`` equal to the monitor's size,
+        the answer comes from the incremental monitor (bit-identical to
+        a fresh BSR detection on the current graph); otherwise the
+        configured detector runs from scratch.
+        """
+        if self._monitor is not None and k == self._monitor.k:
+            detection = self._monitor.top_k()
+        else:
+            detection = self._detector.detect(self._graph, k)
         watch_list = tuple(str(label) for label in detection.nodes)
         scores = {
             str(label): float(score)

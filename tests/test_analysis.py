@@ -151,3 +151,54 @@ class TestWhatIf:
             derisk_impact(hub_graph, "hub", 0.1, samples=0)
         with pytest.raises(SamplingError):
             rank_interventions(hub_graph, [], samples=10)
+        with pytest.raises(SamplingError):
+            rank_interventions(hub_graph, ["hub"], samples=0)
+
+    def test_rank_interventions_estimates_baseline_once(
+        self, hub_graph, monkeypatch
+    ):
+        """Regression: N candidates must cost 1 + N estimates, not 2N.
+
+        The common-random-number baseline is identical for every
+        candidate (same graph, seed, and budget), so ranking must share
+        one baseline run across the whole candidate list.
+        """
+        import repro.analysis.whatif as whatif
+
+        calls = []
+        real_estimate = whatif._estimate
+
+        def counting_estimate(graph, samples, seed):
+            calls.append(graph)
+            return real_estimate(graph, samples, seed)
+
+        monkeypatch.setattr(whatif, "_estimate", counting_estimate)
+        candidates = ["hub", "leaf0", "leaf1", "leaf2"]
+        rank_interventions(hub_graph, candidates, samples=300, seed=0)
+        assert len(calls) == 1 + len(candidates)
+
+    def test_rank_interventions_matches_independent_impacts(self, hub_graph):
+        """Sharing the baseline must not change any ranking score."""
+        candidates = ["hub", "leaf0", "leaf1"]
+        ranking = dict(
+            rank_interventions(
+                hub_graph, candidates, new_self_risk=0.01,
+                samples=800, seed=3,
+            )
+        )
+        for label in candidates:
+            impact = derisk_impact(
+                hub_graph, label, 0.01, samples=800, seed=3
+            )
+            assert ranking[label] == impact.total_risk_reduction
+
+    def test_derisk_impact_accepts_precomputed_baseline(self, hub_graph):
+        from repro.analysis.whatif import _estimate
+
+        baseline = _estimate(hub_graph, 500, 1)
+        shared = derisk_impact(
+            hub_graph, "hub", 0.01, samples=500, seed=1, baseline=baseline
+        )
+        fresh = derisk_impact(hub_graph, "hub", 0.01, samples=500, seed=1)
+        assert np.array_equal(shared.baseline, fresh.baseline)
+        assert np.array_equal(shared.intervened, fresh.intervened)

@@ -101,6 +101,24 @@ class TestReduceCandidatesMechanics:
         with pytest.raises(SamplingError, match="exceeds upper"):
             reduce_candidates(paper_graph, lower, upper, 1)
 
+    def test_non_finite_bounds_rejected(self, paper_graph):
+        """Regression: a NaN bound would slip through both Lemma-1 rules
+        (all comparisons False) while the thresholds treated it as
+        largest — reject instead of reducing inconsistently."""
+        from repro.core.errors import GraphError
+
+        good = np.full(5, 0.5)
+        nan_vector = good.copy()
+        nan_vector[2] = np.nan
+        with pytest.raises(GraphError, match="finite"):
+            reduce_candidates(paper_graph, nan_vector, good, 2)
+        with pytest.raises(GraphError, match="finite"):
+            reduce_candidates(paper_graph, good, nan_vector, 2)
+        inf_vector = good.copy()
+        inf_vector[0] = np.inf
+        with pytest.raises(GraphError, match="finite"):
+            reduce_candidates(paper_graph, good, inf_vector, 2)
+
 
 class TestReductionSoundness:
     """On trees (exact Eq.(1)) the reduction must never lose a true answer."""

@@ -102,3 +102,55 @@ class TestMain:
         code = main(["--graph", graph_json, "--k-percent", "-5"])
         assert code == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestStreamSubcommand:
+    def test_random_patch_replay_verifies(self, graph_json, capsys):
+        code = main(
+            ["stream", "--graph", graph_json, "--k", "2",
+             "--events", "4", "--seed", "1", "--verify"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "streaming top-2" in out
+        assert "4/4 steps bit-identical" in out
+
+    def test_json_output_parses(self, graph_json, capsys):
+        code = main(
+            ["stream", "--graph", graph_json, "--k", "1",
+             "--events", "3", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["k"] == 1
+        assert len(payload["steps"]) == 3
+        assert {"step", "event", "mode", "sampling"} <= set(
+            payload["steps"][0]
+        )
+
+    def test_dataset_source(self, capsys):
+        code = main(
+            ["stream", "--dataset", "guarantee", "--scale", "0.02",
+             "--k-percent", "5", "--events", "2"]
+        )
+        assert code == 0
+        assert "streaming top-" in capsys.readouterr().out
+
+    def test_engine_choice(self, graph_json, capsys):
+        code = main(
+            ["stream", "--graph", graph_json, "--k", "1",
+             "--events", "2", "--engine", "batched", "--verify"]
+        )
+        assert code == 0
+        assert "bit-identical" in capsys.readouterr().out
+
+    def test_requires_source_and_size(self):
+        with pytest.raises(SystemExit):
+            main(["stream", "--k", "2"])
+        with pytest.raises(SystemExit):
+            main(["stream", "--dataset", "guarantee"])
+
+    def test_missing_file_reports_error(self, capsys):
+        code = main(["stream", "--graph", "/nonexistent.json", "--k", "1"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err

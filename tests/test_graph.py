@@ -310,6 +310,62 @@ class TestMutation:
         assert in_before.edge_probs(b)[in_pos] == pytest.approx(0.81)
         assert paper_graph.edge_probability("A", "B") == pytest.approx(0.81)
 
+    def test_in_place_patching_coherent_across_structural_mutation(
+        self, paper_graph
+    ):
+        """Regression: patch → mutate topology → patch must stay coherent.
+
+        ``add_edge`` after a cached CSR pair must invalidate both views
+        (their inverse permutations are stale), and a subsequent
+        ``set_edge_probability`` must patch the *rebuilt* views — never
+        write through a stale permutation into a dead array.
+        """
+        stale_out = paper_graph.out_csr()
+        stale_in = paper_graph.in_csr()
+        paper_graph.set_edge_probability("A", "B", 0.33)
+        paper_graph.add_edge("E", "A", 0.5)  # structural: invalidates CSR
+        rebuilt_out = paper_graph.out_csr()
+        rebuilt_in = paper_graph.in_csr()
+        assert rebuilt_out is not stale_out
+        assert rebuilt_in is not stale_in
+        paper_graph.set_edge_probability("A", "B", 0.44)
+        # The rebuilt views observe the post-mutation patch in place...
+        assert paper_graph.out_csr() is rebuilt_out
+        a, b = paper_graph.index("A"), paper_graph.index("B")
+        out_pos = list(rebuilt_out.neighbors(a)).index(b)
+        in_pos = list(rebuilt_in.neighbors(b)).index(a)
+        assert rebuilt_out.edge_probs(a)[out_pos] == pytest.approx(0.44)
+        assert rebuilt_in.edge_probs(b)[in_pos] == pytest.approx(0.44)
+        # ...and every edge's probability agrees between canonical
+        # storage and both CSR views (full coherence check).
+        src, dst, probs = paper_graph.edge_array
+        for eid in range(paper_graph.num_edges):
+            expected = probs[eid]
+            out_slot = np.flatnonzero(rebuilt_out.edge_ids == eid)[0]
+            in_slot = np.flatnonzero(rebuilt_in.edge_ids == eid)[0]
+            assert rebuilt_out.probs[out_slot] == expected
+            assert rebuilt_in.probs[in_slot] == expected
+
+    def test_bulk_patch_after_structural_mutation(self, paper_graph):
+        paper_graph.out_csr(), paper_graph.in_csr()
+        paper_graph.add_node("F", 0.1)
+        paper_graph.add_edge("F", "A", 0.9)
+        view = paper_graph.out_csr()
+        values = np.linspace(0.1, 0.7, paper_graph.num_edges)
+        paper_graph.set_all_edge_probabilities(values)
+        assert paper_graph.out_csr() is view
+        assert np.array_equal(np.sort(view.probs), np.sort(values))
+        paper_graph.validate()
+
+    def test_edge_id_is_canonical_and_stable_under_patches(self, paper_graph):
+        eid = paper_graph.edge_id("A", "B")
+        _, _, probs = paper_graph.edge_array
+        assert probs[eid] == pytest.approx(0.2)
+        paper_graph.set_edge_probability("A", "B", 0.66)
+        assert paper_graph.edge_id("A", "B") == eid
+        with pytest.raises(UnknownNodeError):
+            paper_graph.edge_id("E", "A")
+
 
 class TestCSR:
     def test_out_csr_consistent_with_edges(self, paper_graph):

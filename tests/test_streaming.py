@@ -1,0 +1,514 @@
+"""Tests for the streaming subsystem: indexed engine, incremental
+bounds, and the TopKMonitor equivalence oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bsr import BoundedSampleReverseDetector
+from repro.bounds.incremental import IncrementalBoundPair, eq1_values_at
+from repro.bounds.iterative import bound_pair
+from repro.core.eq1 import apply_eq1
+from repro.core.errors import GraphError, SamplingError
+from repro.core.graph import UncertainGraph
+from repro.datasets.powerlaw import directed_powerlaw_edges
+from repro.datasets.temporal import build_guarantee_panel
+from repro.sampling.indexed import (
+    IndexedReverseSampler,
+    derive_stream_key,
+    hashed_uniforms,
+)
+from repro.sampling.reverse import WorldArena, reverse_engine
+from repro.streaming.events import (
+    BulkEdgeProbabilityUpdate,
+    BulkSelfRiskUpdate,
+    EdgeProbabilityUpdate,
+    SelfRiskUpdate,
+)
+from repro.streaming.monitor import TopKMonitor, ancestor_closure
+from repro.streaming.replay import panel_update_stream, random_patch_stream
+
+
+def powerlaw_graph(n: int, seed: int, beta_probs: bool = True) -> UncertainGraph:
+    rng = np.random.default_rng(seed)
+    src, dst = directed_powerlaw_edges(n, 3 * n, seed=rng)
+    if beta_probs:
+        probs = np.clip(rng.beta(2.0, 4.0, src.size), 0.01, 0.95)
+    else:
+        probs = rng.random(src.size)
+    return UncertainGraph.from_arrays(rng.random(n) * 0.3, src, dst, probs)
+
+
+class TestHashedUniforms:
+    def test_range_and_determinism(self):
+        key = derive_stream_key(3)
+        u = hashed_uniforms(key, np.arange(10_000))
+        assert float(u.min()) >= 0.0
+        assert float(u.max()) < 1.0
+        assert np.array_equal(u, hashed_uniforms(key, np.arange(10_000)))
+
+    def test_roughly_uniform(self):
+        u = hashed_uniforms(derive_stream_key(0), np.arange(50_000))
+        histogram, _ = np.histogram(u, bins=10, range=(0.0, 1.0))
+        assert histogram.min() > 4500 and histogram.max() < 5500
+
+    def test_keys_decorrelate_streams(self):
+        counters = np.arange(1000)
+        a = hashed_uniforms(derive_stream_key(1), counters)
+        b = hashed_uniforms(derive_stream_key(2), counters)
+        assert not np.array_equal(a, b)
+
+    def test_int_seed_key_is_stable(self):
+        assert derive_stream_key(5) == derive_stream_key(5)
+        assert derive_stream_key(5) != derive_stream_key(6)
+
+
+class TestIndexedReverseSampler:
+    def test_registered_as_engine(self):
+        assert reverse_engine("indexed") is IndexedReverseSampler
+        with pytest.raises(SamplingError):
+            reverse_engine("nope")
+
+    def test_matches_reference_world_per_world(self):
+        graph = powerlaw_graph(80, seed=4)
+        candidates = np.arange(0, 80, 3)
+        sampler = IndexedReverseSampler(graph, candidates, seed=11)
+        arena = WorldArena(graph)
+        for world in range(25):
+            node_u = sampler.node_uniforms(world, np.arange(graph.num_nodes))
+            edge_u = sampler.edge_uniforms(world, np.arange(graph.num_edges))
+            reference = arena.new_world(
+                node_uniforms=node_u, edge_uniforms=edge_u
+            )
+            expected = np.fromiter(
+                (reference.candidate_defaults(int(v)) for v in candidates),
+                dtype=bool,
+                count=candidates.size,
+            )
+            got = sampler.outcomes_for_worlds([world]).outcomes[0]
+            assert np.array_equal(got, expected)
+
+    def test_outcomes_independent_of_world_batch(self):
+        graph = powerlaw_graph(120, seed=5)
+        candidates = np.arange(30)
+        small = IndexedReverseSampler(
+            graph, candidates, seed=3, world_batch=2
+        ).run(40)
+        large = IndexedReverseSampler(
+            graph, candidates, seed=3, world_batch=64
+        ).run(40)
+        assert np.array_equal(small.counts, large.counts)
+
+    def test_random_access_equals_sequential(self):
+        graph = powerlaw_graph(100, seed=6)
+        candidates = np.arange(20)
+        sampler = IndexedReverseSampler(graph, candidates, seed=9)
+        sequential = sampler.run(30)
+        fresh = IndexedReverseSampler(graph, candidates, seed=9)
+        block = fresh.outcomes_for_worlds(np.arange(30))
+        assert np.array_equal(block.outcomes.sum(axis=0), sequential.counts)
+        # A shuffled world order evaluates to the same outcomes per world.
+        shuffled = np.random.default_rng(0).permutation(30)
+        again = fresh.outcomes_for_worlds(shuffled)
+        assert np.array_equal(
+            again.outcomes[np.argsort(shuffled)], block.outcomes
+        )
+
+    def test_iter_samples_matches_run_and_counters(self):
+        graph = powerlaw_graph(90, seed=7)
+        candidates = np.arange(15)
+        runner = IndexedReverseSampler(graph, candidates, seed=2)
+        estimate = runner.run(25)
+        iterator = IndexedReverseSampler(graph, candidates, seed=2)
+        counts = np.zeros(candidates.size, dtype=np.int64)
+        for outcome in iterator.iter_samples(25):
+            counts += outcome
+        assert np.array_equal(counts, estimate.counts)
+        assert iterator.nodes_touched == runner.nodes_touched
+        assert iterator.edges_touched == runner.edges_touched
+
+    def test_sequential_runs_use_fresh_worlds(self):
+        graph = powerlaw_graph(60, seed=8)
+        sampler = IndexedReverseSampler(graph, np.arange(10), seed=1)
+        first = sampler.run(10)
+        second = sampler.run(10)
+        reference = IndexedReverseSampler(graph, np.arange(10), seed=1)
+        block = reference.outcomes_for_worlds(np.arange(20))
+        assert np.array_equal(
+            first.counts + second.counts, block.outcomes.sum(axis=0)
+        )
+
+    def test_touched_masks_cover_every_outcome_dependency(self):
+        graph = powerlaw_graph(70, seed=9)
+        sampler = IndexedReverseSampler(graph, np.arange(12), seed=4)
+        block = sampler.outcomes_for_worlds(
+            np.arange(15), collect_touched=True
+        )
+        # Candidates are always drawn, hence always touched.
+        assert block.touched_nodes[:, :12].all()
+        # Draw counters must agree with the touched masks.
+        assert np.array_equal(
+            block.touched_nodes.sum(axis=1), block.node_draws
+        )
+        assert np.array_equal(
+            block.touched_edges.sum(axis=1), block.edge_draws
+        )
+
+    def test_validation(self):
+        graph = powerlaw_graph(30, seed=10)
+        sampler = IndexedReverseSampler(graph, np.arange(5), seed=0)
+        with pytest.raises(SamplingError):
+            sampler.run(0)
+        with pytest.raises(SamplingError):
+            sampler.outcomes_for_worlds(np.empty(0, dtype=np.int64))
+        with pytest.raises(SamplingError):
+            sampler.outcomes_for_worlds([-1])
+        with pytest.raises(SamplingError):
+            IndexedReverseSampler(graph, np.empty(0, dtype=np.int64))
+
+    def test_usable_by_bsr_detector(self):
+        graph = powerlaw_graph(150, seed=11)
+        result = BoundedSampleReverseDetector(seed=3, engine="indexed").detect(
+            graph, 5
+        )
+        assert len(result.nodes) == 5
+        again = BoundedSampleReverseDetector(seed=3, engine="indexed").detect(
+            graph, 5
+        )
+        assert result.nodes == again.nodes and result.scores == again.scores
+
+
+class TestEq1ValuesAt:
+    def test_bit_identical_to_full_operator(self):
+        graph = powerlaw_graph(200, seed=12)
+        rng = np.random.default_rng(0)
+        current = rng.random(graph.num_nodes)
+        full = apply_eq1(graph, current)
+        for _ in range(5):
+            subset = np.unique(rng.integers(0, graph.num_nodes, size=37))
+            assert np.array_equal(
+                eq1_values_at(graph, current, subset), full[subset]
+            )
+
+    def test_isolated_nodes(self):
+        graph = UncertainGraph([("a", 0.3), ("b", 0.7)], [])
+        values = eq1_values_at(
+            graph, np.zeros(2), np.arange(2, dtype=np.int64)
+        )
+        assert np.array_equal(values, apply_eq1(graph, np.zeros(2)))
+
+
+class TestIncrementalBoundPair:
+    @pytest.mark.parametrize("orders", [(2, 2), (1, 3), (3, 1), (4, 4)])
+    def test_refresh_bit_identical_to_fresh(self, orders):
+        lower_order, upper_order = orders
+        graph = powerlaw_graph(150, seed=13)
+        cache = IncrementalBoundPair(graph, lower_order, upper_order)
+        rng = np.random.default_rng(1)
+        for _ in range(15):
+            if rng.random() < 0.5:
+                index = int(rng.integers(graph.num_nodes))
+                graph.set_self_risk(graph.label(index), float(rng.random()))
+                delta = cache.refresh(
+                    np.array([index]), np.empty(0, dtype=np.int64)
+                )
+            else:
+                edge = int(rng.integers(graph.num_edges))
+                src, dst, _ = graph.edge_array
+                graph.set_edge_probability(
+                    graph.label(int(src[edge])),
+                    graph.label(int(dst[edge])),
+                    float(rng.random()),
+                )
+                delta = cache.refresh(
+                    np.empty(0, dtype=np.int64), np.array([int(dst[edge])])
+                )
+            assert delta is not None
+            lower, upper = bound_pair(graph, lower_order, upper_order)
+            assert np.array_equal(cache.lower, lower)
+            assert np.array_equal(cache.upper, upper)
+
+    def test_delta_reports_exact_changes(self):
+        graph = powerlaw_graph(100, seed=14)
+        cache = IncrementalBoundPair(graph, 2, 2)
+        before_lower = cache.lower.copy()
+        before_upper = cache.upper.copy()
+        index = int(np.argmax(graph.out_csr().degrees))
+        graph.set_self_risk(graph.label(index), 0.99)
+        delta = cache.refresh(np.array([index]), np.empty(0, dtype=np.int64))
+        changed_lower = np.flatnonzero(before_lower != cache.lower)
+        changed_upper = np.flatnonzero(before_upper != cache.upper)
+        assert np.array_equal(np.sort(delta.lower_changed), changed_lower)
+        assert np.array_equal(np.sort(delta.upper_changed), changed_upper)
+        assert delta.max_changed_value >= 0.99
+
+    def test_no_op_refresh(self):
+        graph = powerlaw_graph(50, seed=15)
+        cache = IncrementalBoundPair(graph)
+        delta = cache.refresh(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        )
+        assert delta is not None and delta.lower_changed.size == 0
+        assert delta.max_changed_value == -np.inf
+
+    def test_limit_aborts_then_rebuild_recovers(self):
+        graph = powerlaw_graph(100, seed=16)
+        cache = IncrementalBoundPair(graph)
+        graph.set_all_self_risks(
+            np.clip(graph.self_risk_array + 0.05, 0.0, 1.0)
+        )
+        assert (
+            cache.refresh(
+                np.arange(graph.num_nodes),
+                np.empty(0, dtype=np.int64),
+                limit=5,
+            )
+            is None
+        )
+        cache.rebuild()
+        lower, upper = bound_pair(graph, 2, 2)
+        assert np.array_equal(cache.lower, lower)
+        assert np.array_equal(cache.upper, upper)
+
+    def test_rejects_bad_orders(self):
+        graph = powerlaw_graph(20, seed=17)
+        with pytest.raises(SamplingError):
+            IncrementalBoundPair(graph, lower_order=0)
+
+
+def assert_equivalent(result, fresh):
+    """The monitor's bit-identity contract against fresh detection."""
+    assert result.nodes == fresh.nodes
+    assert result.scores == fresh.scores
+    assert result.samples_used == fresh.samples_used
+    assert result.candidate_size == fresh.candidate_size
+    assert result.k_verified == fresh.k_verified
+    assert result.details["nodes_touched"] == fresh.details["nodes_touched"]
+    assert result.details["edges_touched"] == fresh.details["edges_touched"]
+
+
+class TestTopKMonitorOracle:
+    @pytest.mark.parametrize("engine", ["indexed", "batched"])
+    def test_random_patches_match_fresh_detection(self, engine):
+        graph = powerlaw_graph(200, seed=18)
+        monitor = TopKMonitor(graph, 6, seed=21, engine=engine)
+        detector_args = dict(seed=21, engine=engine)
+        assert_equivalent(
+            monitor.top_k(),
+            BoundedSampleReverseDetector(**detector_args).detect(graph, 6),
+        )
+        for event in random_patch_stream(graph, 25, seed=1, drift=0.1):
+            monitor.apply([event])
+            fresh = BoundedSampleReverseDetector(**detector_args).detect(
+                graph, 6
+            )
+            assert_equivalent(monitor.top_k(), fresh)
+
+    def test_large_patches_match_fresh_detection(self):
+        graph = powerlaw_graph(150, seed=19)
+        monitor = TopKMonitor(graph, 5, seed=8)
+        for event in random_patch_stream(graph, 20, seed=2, drift=None):
+            monitor.apply([event])
+            fresh = BoundedSampleReverseDetector(
+                seed=8, engine="indexed"
+            ).detect(graph, 5)
+            assert_equivalent(monitor.top_k(), fresh)
+
+    @pytest.mark.slow
+    def test_temporal_panel_replay_matches_fresh_detection(self):
+        panel = build_guarantee_panel(num_nodes=250, num_edges=288, seed=6)
+        graph = panel.graph
+        monitor = TopKMonitor(graph, 8, seed=13)
+        for year, events in panel.update_stream():
+            monitor.apply(events)
+            fresh = BoundedSampleReverseDetector(
+                seed=13, engine="indexed"
+            ).detect(graph, 8)
+            assert_equivalent(monitor.top_k(), fresh)
+
+    def test_bulk_updates_route_through_full_fallback(self):
+        graph = powerlaw_graph(120, seed=20)
+        monitor = TopKMonitor(graph, 4, seed=3)
+        monitor.top_k()
+        rng = np.random.default_rng(4)
+        monitor.apply([BulkSelfRiskUpdate(values=rng.random(120) * 0.4)])
+        result = monitor.top_k()
+        assert monitor.last_report.mode == "full"
+        assert monitor.last_report.reason == "dirty region above threshold"
+        assert_equivalent(
+            result,
+            BoundedSampleReverseDetector(seed=3, engine="indexed").detect(
+                graph, 4
+            ),
+        )
+        _, _, probs = graph.edge_array
+        monitor.apply(
+            [BulkEdgeProbabilityUpdate(values=np.clip(probs + 0.2, 0, 1))]
+        )
+        assert_equivalent(
+            monitor.top_k(),
+            BoundedSampleReverseDetector(seed=3, engine="indexed").detect(
+                graph, 4
+            ),
+        )
+
+    def test_direct_topology_mutation_without_events_is_detected(self):
+        """Regression: top_k() after a *direct* graph mutation (no event
+        routed through the monitor) must not serve the stale cache."""
+        graph = powerlaw_graph(80, seed=31)
+        monitor = TopKMonitor(graph, 4, seed=2)
+        monitor.top_k()
+        graph.add_node("whale", 0.95)
+        graph.add_edge("whale", graph.label(0), 0.9)
+        assert monitor.pending_updates == 0  # nothing routed through us
+        result = monitor.top_k()
+        assert monitor.last_report.reason == "graph topology changed"
+        assert_equivalent(
+            result,
+            BoundedSampleReverseDetector(seed=2, engine="indexed").detect(
+                graph, 4
+            ),
+        )
+
+    def test_structural_mutation_falls_back_to_full(self):
+        graph = powerlaw_graph(80, seed=21)
+        monitor = TopKMonitor(graph, 4, seed=5)
+        monitor.top_k()
+        graph.add_node("fresh", 0.6)
+        graph.add_edge("fresh", graph.label(0), 0.7)
+        monitor.set_self_risk("fresh", 0.65)
+        result = monitor.top_k()
+        assert monitor.last_report.mode == "full"
+        assert monitor.last_report.reason == "graph topology changed"
+        assert_equivalent(
+            result,
+            BoundedSampleReverseDetector(seed=5, engine="indexed").detect(
+                graph, 4
+            ),
+        )
+
+
+class TestTopKMonitorBehaviour:
+    def test_clean_refresh_reuses_everything(self):
+        graph = powerlaw_graph(100, seed=22)
+        monitor = TopKMonitor(graph, 5, seed=0)
+        first = monitor.top_k()
+        report = monitor.refresh()
+        assert report.mode == "clean"
+        assert monitor.top_k() is first
+
+    def test_reverted_patch_is_clean(self):
+        graph = powerlaw_graph(100, seed=23)
+        monitor = TopKMonitor(graph, 5, seed=0)
+        monitor.top_k()
+        label = graph.label(0)
+        original = graph.self_risk(label)
+        monitor.set_self_risk(label, 0.9)
+        monitor.set_self_risk(label, original)
+        assert monitor.pending_updates == 1
+        report = monitor.refresh()
+        assert report.mode == "clean"
+        assert monitor.pending_updates == 0
+
+    def test_unchanged_writes_do_not_dirty(self):
+        graph = powerlaw_graph(60, seed=24)
+        monitor = TopKMonitor(graph, 3, seed=0)
+        label = graph.label(1)
+        monitor.set_self_risk(label, graph.self_risk(label))
+        src, dst, _ = graph.edge_array
+        s, d = graph.label(int(src[0])), graph.label(int(dst[0]))
+        monitor.set_edge_probability(s, d, graph.edge_probability(s, d))
+        assert monitor.pending_updates == 0
+
+    def test_apply_dispatch_and_unknown_event(self):
+        graph = powerlaw_graph(60, seed=25)
+        monitor = TopKMonitor(graph, 3, seed=0)
+        src, dst, _ = graph.edge_array
+        events = [
+            SelfRiskUpdate(label=graph.label(2), value=0.42),
+            EdgeProbabilityUpdate(
+                src=graph.label(int(src[0])),
+                dst=graph.label(int(dst[0])),
+                value=0.5,
+            ),
+        ]
+        assert monitor.apply(events) == 2
+        assert graph.self_risk(graph.label(2)) == 0.42
+        with pytest.raises(GraphError):
+            monitor.apply(["not-an-event"])
+
+    def test_telemetry_counts_modes(self):
+        graph = powerlaw_graph(150, seed=26)
+        monitor = TopKMonitor(graph, 5, seed=7)
+        monitor.top_k()
+        for event in random_patch_stream(graph, 10, seed=3, drift=0.05):
+            monitor.apply([event])
+            monitor.top_k()
+        stats = monitor.stats
+        assert stats["refreshes"] == 11
+        assert stats["full"] >= 1
+        assert stats["full"] + stats["incremental"] + stats["clean"] == 11
+
+    def test_validates_parameters(self):
+        graph = powerlaw_graph(30, seed=27)
+        with pytest.raises(GraphError):
+            TopKMonitor(graph, 0)
+        with pytest.raises(GraphError):
+            TopKMonitor(graph, 3, full_rebuild_fraction=0.0)
+        with pytest.raises(SamplingError):
+            TopKMonitor(graph, 3, engine="bogus")
+
+    def test_ancestor_closure(self):
+        graph = UncertainGraph(
+            [(name, 0.1) for name in "abcd"],
+            [("a", "b", 0.5), ("b", "c", 0.5)],
+        )
+        mask = ancestor_closure(graph, np.array([graph.index("c")]))
+        assert mask[graph.index("a")] and mask[graph.index("b")]
+        assert mask[graph.index("c")] and not mask[graph.index("d")]
+
+    def test_world_state_budget_zero_still_exact(self):
+        graph = powerlaw_graph(120, seed=28)
+        monitor = TopKMonitor(graph, 4, seed=9, world_state_budget=0)
+        for event in random_patch_stream(graph, 8, seed=5, drift=0.1):
+            monitor.apply([event])
+            fresh = BoundedSampleReverseDetector(
+                seed=9, engine="indexed"
+            ).detect(graph, 4)
+            assert_equivalent(monitor.top_k(), fresh)
+
+
+class TestReplayStreams:
+    def test_panel_update_stream_years(self):
+        panel = build_guarantee_panel(num_nodes=120, num_edges=138, seed=1)
+        batches = list(panel_update_stream(panel))
+        assert [year for year, _ in batches] == [2012, 2014, 2015, 2016]
+        for year, events in batches:
+            assert len(events) == 1
+            assert isinstance(events[0], BulkSelfRiskUpdate)
+            assert np.array_equal(
+                events[0].values, panel.snapshots[year].self_risks
+            )
+
+    def test_panel_method_delegates(self):
+        panel = build_guarantee_panel(num_nodes=60, num_edges=69, seed=2)
+        years = [year for year, _ in panel.update_stream()]
+        assert years == [2012, 2014, 2015, 2016]
+
+    def test_random_patch_stream_is_reproducible(self):
+        graph = powerlaw_graph(50, seed=29)
+        first = list(random_patch_stream(graph, 10, seed=3))
+        second = list(random_patch_stream(graph, 10, seed=3))
+        assert first == second
+        assert len(first) == 10
+
+    def test_random_patch_stream_drift_stays_in_range(self):
+        graph = powerlaw_graph(50, seed=30)
+        for event in random_patch_stream(graph, 30, seed=4, drift=0.5):
+            assert 0.0 <= event.value <= 1.0
+
+    def test_node_only_graph_never_yields_edge_events(self):
+        graph = UncertainGraph([(i, 0.2) for i in range(5)], [])
+        events = list(random_patch_stream(graph, 10, seed=0))
+        assert all(isinstance(event, SelfRiskUpdate) for event in events)

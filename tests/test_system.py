@@ -302,3 +302,114 @@ class TestRiskControlCenter:
                 vulnds=VulnDS(loan_network.graph),
                 review_threshold=1.5,
             )
+
+
+class TestStreamingIntegration:
+    def test_vulnds_streaming_assessment_matches_fresh_bsr(self, loan_network):
+        from repro.algorithms.bsr import BoundedSampleReverseDetector
+        from repro.streaming.replay import random_patch_stream
+
+        graph = loan_network.graph.copy()
+        service = VulnDS(graph)
+        monitor = service.enable_streaming(8, seed=4)
+        assert service.monitor is monitor
+        first = service.assess_portfolio(8)
+        assert len(first.watch_list) == 8
+        for event in random_patch_stream(graph, 5, seed=2, drift=0.1):
+            service.apply_updates([event])
+            assessment = service.assess_portfolio(8)
+            fresh = BoundedSampleReverseDetector(
+                seed=4, engine="indexed"
+            ).detect(graph, 8)
+            assert assessment.detection.nodes == fresh.nodes
+            assert assessment.detection.scores == fresh.scores
+        # Other sizes still run the configured (non-streaming) detector.
+        other = service.assess_portfolio(3)
+        assert other.detection.method != "BSR" or len(other.watch_list) == 3
+
+    def test_vulnds_apply_updates_requires_streaming(self, loan_network):
+        service = VulnDS(loan_network.graph)
+        with pytest.raises(ReproError):
+            service.apply_updates([])
+
+    def test_refresh_self_risks_routes_through_monitor(self, loan_network):
+        graph = loan_network.graph.copy()
+        service = VulnDS(
+            graph,
+            self_risk_assessor=lambda X: np.full(graph.num_nodes, 0.25),
+        )
+        monitor = service.enable_streaming(5, seed=0)
+        monitor.top_k()
+        service.refresh_self_risks(np.zeros((graph.num_nodes, 4)))
+        assert monitor.pending_updates > 0
+        monitor.top_k()
+        assert monitor.pending_updates == 0
+
+    def test_center_streaming_market_updates(self, loan_network):
+        from repro.streaming.events import SelfRiskUpdate
+        from repro.system.rules import ExposureComplianceRule, RuleEngine
+
+        graph = loan_network.graph.copy()
+        center = RiskControlCenter(
+            rule_engine=RuleEngine(
+                [ExposureComplianceRule(max_capital_multiple=2.0)]
+            ),
+            vulnds=VulnDS(graph),
+            watch_fraction=0.1,
+        )
+        monitor = center.enable_streaming(seed=1)
+        assert monitor.k == center.watch_k
+        label = graph.labels()[0]
+        assessment = center.apply_market_update(
+            [SelfRiskUpdate(label=label, value=0.9)]
+        )
+        assert len(assessment.watch_list) == center.watch_k
+        events = [record.event for record in center.audit_log]
+        assert "streaming-enabled" in events
+        assert "market-update" in events
+        detail = [
+            record.detail
+            for record in center.audit_log
+            if record.event == "market-update"
+        ][0]
+        assert "1 updates applied" in detail and "refresh=" in detail
+
+    def test_center_market_update_requires_streaming(self, loan_network):
+        from repro.system.rules import ExposureComplianceRule, RuleEngine
+
+        center = RiskControlCenter(
+            rule_engine=RuleEngine(
+                [ExposureComplianceRule(max_capital_multiple=2.0)]
+            ),
+            vulnds=VulnDS(loan_network.graph),
+        )
+        with pytest.raises(ReproError):
+            center.apply_market_update([])
+
+    def test_center_no_op_update_audits_clean_refresh(self, loan_network):
+        from repro.streaming.events import SelfRiskUpdate
+        from repro.system.rules import ExposureComplianceRule, RuleEngine
+
+        graph = loan_network.graph.copy()
+        center = RiskControlCenter(
+            rule_engine=RuleEngine(
+                [ExposureComplianceRule(max_capital_multiple=2.0)]
+            ),
+            vulnds=VulnDS(graph),
+            watch_fraction=0.1,
+        )
+        center.enable_streaming(seed=1)
+        label = graph.labels()[0]
+        center.apply_market_update([SelfRiskUpdate(label=label, value=0.8)])
+        # A batch that changes nothing must be audited as *this* update's
+        # clean refresh, not the previous refresh's telemetry.
+        center.apply_market_update(
+            [SelfRiskUpdate(label=label, value=graph.self_risk(label))]
+        )
+        details = [
+            record.detail
+            for record in center.audit_log
+            if record.event == "market-update"
+        ]
+        assert "refresh=clean" in details[-1]
+        assert "refresh=clean" not in details[0]

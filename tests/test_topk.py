@@ -74,3 +74,40 @@ class TestKthLargest:
     def test_invalid_k(self):
         with pytest.raises(GraphError):
             kth_largest([0.5], 2)
+
+
+class TestNonFiniteRejection:
+    """NaN sorts inconsistently between argsort and partition — regression
+    tests that every selection entry point refuses non-finite scores
+    instead of silently producing a contradictory ranking."""
+
+    def test_top_k_indices_rejects_nan(self):
+        with pytest.raises(GraphError, match="finite"):
+            top_k_indices([0.1, np.nan, 0.5], 2)
+
+    def test_top_k_indices_rejects_inf(self):
+        with pytest.raises(GraphError, match="finite"):
+            top_k_indices([0.1, np.inf, 0.5], 2)
+        with pytest.raises(GraphError, match="finite"):
+            top_k_indices([0.1, -np.inf, 0.5], 2)
+
+    def test_top_k_labels_rejects_nan(self, paper_graph):
+        scores = np.array([0.1, 0.2, np.nan, 0.4, 0.5])
+        with pytest.raises(GraphError, match="finite"):
+            top_k_labels(paper_graph, scores, 2)
+
+    def test_kth_largest_rejects_nan(self):
+        with pytest.raises(GraphError, match="finite"):
+            kth_largest([0.9, np.nan, 0.5], 2)
+
+    def test_kth_largest_rejects_inf(self):
+        with pytest.raises(GraphError, match="finite"):
+            kth_largest([0.9, np.inf], 1)
+
+    def test_error_names_offending_index(self):
+        with pytest.raises(GraphError, match="index 1"):
+            top_k_indices([0.1, np.nan, np.nan], 1)
+
+    def test_finite_vectors_still_pass(self):
+        assert list(top_k_indices([0.0, 1.0, 0.5], 2)) == [1, 2]
+        assert kth_largest([0.0, 1.0, 0.5], 2) == pytest.approx(0.5)
