@@ -92,11 +92,7 @@ def bench_one_size(
         started = time.perf_counter()
         fresh = detector.detect(graph, k)
         fresh_seconds += time.perf_counter() - started
-        if not (
-            result.nodes == fresh.nodes
-            and result.scores == fresh.scores
-            and result.samples_used == fresh.samples_used
-        ):
+        if not result.same_answer(fresh):
             mismatches += 1
     if mismatches:
         raise AssertionError(

@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Download and checksum-verify the paper's public SNAP datasets.
+
+Fetches the gzipped edge lists from snap.stanford.edu, decompresses them
+into the data directory (``data/snap`` or ``$REPRO_DATA_DIR``), and
+records/verifies SHA-256 checksums in ``CHECKSUMS.json`` next to the
+files: the first download of a dataset pins its digest
+(trust-on-first-use), every later download or ``--verify-only`` run must
+reproduce it exactly — a silently changed upstream file fails loudly
+instead of poisoning experiments.
+
+Usage::
+
+    python scripts/download_datasets.py                # all known datasets
+    python scripts/download_datasets.py wiki p2p       # a subset
+    python scripts/download_datasets.py --verify-only  # re-hash local files
+    python scripts/download_datasets.py --dest /data   # custom directory
+
+CI never runs this (no network there); the loaders in
+:mod:`repro.datasets.snap` fall back to the synthetic generators when
+the files are absent, and their tests run on bundled fixtures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gzip
+import hashlib
+import json
+import shutil
+import sys
+import tempfile
+import urllib.request
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - script plumbing
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.datasets.snap import SNAP_SOURCES, snap_data_dir
+
+CHECKSUM_FILE = "CHECKSUMS.json"
+
+
+def sha256_of(path: Path, chunk_size: int = 1 << 20) -> str:
+    """Hex SHA-256 digest of *path*, streamed."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while chunk := handle.read(chunk_size):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def load_manifest(directory: Path) -> dict[str, str]:
+    """The recorded ``{file name: sha256}`` manifest (empty if absent)."""
+    path = directory / CHECKSUM_FILE
+    if not path.is_file():
+        return {}
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def save_manifest(directory: Path, manifest: dict[str, str]) -> None:
+    """Write the checksum manifest (sorted, one entry per line)."""
+    path = directory / CHECKSUM_FILE
+    path.write_text(
+        json.dumps(dict(sorted(manifest.items())), indent=2) + "\n",
+        encoding="utf-8",
+    )
+
+
+def verify_file(path: Path, expected: str) -> None:
+    """Raise :class:`ValueError` unless *path* hashes to *expected*."""
+    actual = sha256_of(path)
+    if actual != expected:
+        raise ValueError(
+            f"checksum mismatch for {path.name}: expected {expected}, "
+            f"got {actual}"
+        )
+
+
+def download_one(
+    name: str, directory: Path, manifest: dict[str, str], force: bool
+) -> Path:
+    """Fetch dataset *name* into *directory*; returns the final path.
+
+    Existing files are verified against the manifest and skipped unless
+    *force*.  Fresh downloads land via a temp file (no partial writes),
+    are decompressed, verified against the manifest when an entry
+    exists, and pinned into it otherwise.
+    """
+    file_name, url = SNAP_SOURCES[name]
+    target = directory / file_name
+    if target.is_file() and not force:
+        if file_name in manifest:
+            verify_file(target, manifest[file_name])
+            print(f"{name}: {file_name} present, checksum OK")
+        else:
+            manifest[file_name] = sha256_of(target)
+            print(f"{name}: {file_name} present, checksum pinned")
+        return target
+    print(f"{name}: fetching {url}")
+    with tempfile.NamedTemporaryFile(
+        dir=directory, suffix=".part", delete=False
+    ) as buffer:
+        temp_path = Path(buffer.name)
+        try:
+            with urllib.request.urlopen(url, timeout=120) as response:
+                if url.endswith(".gz"):
+                    with gzip.open(response, "rb") as decompressed:
+                        shutil.copyfileobj(decompressed, buffer)
+                else:
+                    shutil.copyfileobj(response, buffer)
+        except BaseException:
+            temp_path.unlink(missing_ok=True)
+            raise
+    if file_name in manifest:
+        try:
+            verify_file(temp_path, manifest[file_name])
+        except ValueError:
+            temp_path.unlink(missing_ok=True)
+            raise
+    else:
+        manifest[file_name] = sha256_of(temp_path)
+        print(f"{name}: checksum pinned {manifest[file_name][:16]}…")
+    temp_path.replace(target)
+    print(f"{name}: wrote {target}")
+    return target
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "datasets",
+        nargs="*",
+        help=(
+            "datasets to fetch (default: all known: "
+            f"{', '.join(sorted(SNAP_SOURCES))})"
+        ),
+    )
+    parser.add_argument(
+        "--dest",
+        type=Path,
+        default=None,
+        help="target directory (default: data/snap or $REPRO_DATA_DIR)",
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="re-download even when the file exists",
+    )
+    parser.add_argument(
+        "--verify-only",
+        action="store_true",
+        help="only re-hash existing files against the manifest",
+    )
+    args = parser.parse_args(argv)
+    unknown = sorted(set(args.datasets) - set(SNAP_SOURCES))
+    if unknown:
+        parser.error(
+            f"unknown datasets {unknown}; known: {sorted(SNAP_SOURCES)}"
+        )
+    directory = args.dest or snap_data_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest = load_manifest(directory)
+    names = args.datasets or sorted(SNAP_SOURCES)
+    failures = 0
+    for name in names:
+        file_name, _ = SNAP_SOURCES[name]
+        try:
+            if args.verify_only:
+                target = directory / file_name
+                if not target.is_file():
+                    print(f"{name}: {file_name} missing, skipped")
+                    continue
+                if file_name not in manifest:
+                    raise ValueError(
+                        f"{file_name} has no recorded checksum; download "
+                        "it through this script first"
+                    )
+                verify_file(target, manifest[file_name])
+                print(f"{name}: checksum OK")
+            else:
+                download_one(name, directory, manifest, args.force)
+        except (OSError, ValueError) as error:
+            print(f"{name}: FAILED — {error}", file=sys.stderr)
+            failures += 1
+    if not args.verify_only:
+        save_manifest(directory, manifest)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

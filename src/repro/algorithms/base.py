@@ -64,6 +64,23 @@ class DetectionResult:
         """The answer as a set (what precision@k compares)."""
         return frozenset(self.nodes)
 
+    def same_answer(self, other: "DetectionResult") -> bool:
+        """Bit-identity of the *answer* with another result.
+
+        The single definition of the repository's equivalence contract
+        (incremental monitors and the serving layer promise answers
+        ``same_answer``-equal to fresh detection): ranked nodes, their
+        scores, the sample budget, and the Algorithm-4 outcome — but not
+        wall-clock or free-form diagnostics, which legitimately differ.
+        """
+        return (
+            self.nodes == other.nodes
+            and self.scores == other.scores
+            and self.samples_used == other.samples_used
+            and self.candidate_size == other.candidate_size
+            and self.k_verified == other.k_verified
+        )
+
     def summary(self) -> dict[str, Any]:
         """Flat dict for experiment tables."""
         return {

@@ -9,6 +9,9 @@ Usage::
     repro-detect stream --dataset guarantee --k 10 --events 25 --verify
     repro-detect stream --panel --k-percent 2 --json
 
+    repro-detect serve --dataset guarantee --tenants 8 --k 10 --events 20
+    repro-detect serve --dataset wiki --tenants 32 --k-percent 1 --verify
+
 The default (no subcommand) form reads a graph (JSON or text edge list,
 or a named synthetic dataset), runs one detection method, and prints the
 ranked answer — as a table or as JSON for scripting.
@@ -19,6 +22,14 @@ patches (``--events``) or the temporal guarantee panel's year-over-year
 drift (``--panel``) — reporting per-step refresh telemetry and, with
 ``--verify``, checking each incremental answer bit-for-bit against a
 fresh BSR detection.
+
+The ``serve`` subcommand stands up the multi-tenant
+:class:`~repro.serving.service.RiskService`: many per-portfolio monitors
+over copy-on-write views of one shared graph, fed through the async
+ingestion queue.  It replays a per-tenant event stream, then reports
+each tenant's top-k, the sustained update throughput, and what the
+windowed coalescing and buffer sharing saved; ``--verify`` checks every
+tenant's final answer bit-for-bit against fresh detection.
 """
 
 from __future__ import annotations
@@ -36,7 +47,14 @@ from repro.io.edgelist import read_edgelist
 from repro.io.jsonio import load_graph_json, result_to_dict
 from repro.utils.tables import render_table
 
-__all__ = ["build_parser", "build_stream_parser", "main", "stream_main"]
+__all__ = [
+    "build_parser",
+    "build_stream_parser",
+    "build_serve_parser",
+    "main",
+    "stream_main",
+    "serve_main",
+]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -142,12 +160,89 @@ def build_stream_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    """Argument parser of the ``serve`` subcommand."""
+    from repro.serving.pool import available_modes, default_mode
+
+    parser = argparse.ArgumentParser(
+        prog="repro-detect serve",
+        description=(
+            "Serve many tenant monitors over one shared graph through "
+            "the async ingestion queue."
+        ),
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--graph", help="path to a graph file")
+    source.add_argument(
+        "--dataset",
+        choices=available_datasets(),
+        help="generate a named synthetic dataset",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("json", "edgelist"),
+        default="json",
+        help="graph file format (default: json)",
+    )
+    parser.add_argument("--scale", type=float, default=None,
+                        help="dataset scale (synthetic datasets only)")
+    size = parser.add_mutually_exclusive_group(required=True)
+    size.add_argument("--k", type=int, help="answer size (absolute)")
+    size.add_argument("--k-percent", type=float,
+                      help="answer size as a percentage of |V|")
+    parser.add_argument("--tenants", type=int, default=8,
+                        help="portfolio monitors to multiplex (default: 8)")
+    parser.add_argument("--events", type=int, default=20,
+                        help="update events replayed per tenant")
+    parser.add_argument("--drift", type=float, default=0.1,
+                        help="std-dev of patch drift (0 draws values fresh)")
+    parser.add_argument(
+        "--mode",
+        choices=available_modes(),
+        default=default_mode(),
+        help="worker pool execution mode",
+    )
+    parser.add_argument("--shards", type=int, default=None,
+                        help="execution lanes (default: CPU count, max 8)")
+    parser.add_argument("--flush-interval", type=float, default=0.02,
+                        help="ingestion flush window in seconds")
+    parser.add_argument(
+        "--engine",
+        choices=("indexed", "batched", "reference"),
+        default="indexed",
+        help="reverse-sampling engine backing the tenant monitors",
+    )
+    parser.add_argument("--epsilon", type=float, default=0.3)
+    parser.add_argument("--delta", type=float, default=0.1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help=(
+            "after serving, run a fresh BSR detection per tenant and "
+            "check each served answer is bit-identical"
+        ),
+    )
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit per-tenant records as JSON")
+    return parser
+
+
 def _load_graph(args: argparse.Namespace) -> UncertainGraph:
     if args.dataset is not None:
         return load_dataset(args.dataset, scale=args.scale, seed=args.seed).graph
     if args.format == "json":
         return load_graph_json(args.graph)
     return read_edgelist(args.graph)
+
+
+def _resolve_k(args: argparse.Namespace, graph: UncertainGraph) -> int:
+    """The answer size from ``--k`` / ``--k-percent`` (shared validation)."""
+    if args.k is not None:
+        return args.k
+    if args.k_percent <= 0:
+        raise ReproError("--k-percent must be positive")
+    return max(1, round(graph.num_nodes * args.k_percent / 100.0))
 
 
 def _stream_batches(args: argparse.Namespace):
@@ -180,12 +275,7 @@ def stream_main(argv: list[str] | None = None) -> int:
     args = build_stream_parser().parse_args(argv)
     try:
         graph, batches = _stream_batches(args)
-        if args.k is not None:
-            k = args.k
-        else:
-            if args.k_percent <= 0:
-                raise ReproError("--k-percent must be positive")
-            k = max(1, round(graph.num_nodes * args.k_percent / 100.0))
+        k = _resolve_k(args, graph)
         monitor = TopKMonitor(
             graph,
             k,
@@ -225,11 +315,7 @@ def stream_main(argv: list[str] | None = None) -> int:
                 fresh_seconds = time.perf_counter() - started
                 fresh_total += fresh_seconds
                 row["fresh_ms"] = round(fresh_seconds * 1e3, 2)
-                row["match"] = (
-                    result.nodes == fresh.nodes
-                    and result.scores == fresh.scores
-                    and result.samples_used == fresh.samples_used
-                )
+                row["match"] = result.same_answer(fresh)
             rows.append(row)
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
@@ -256,22 +342,162 @@ def stream_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def serve_main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``serve`` subcommand."""
+    import asyncio
+
+    from repro.algorithms.bsr import BoundedSampleReverseDetector
+    from repro.serving import RiskService
+    from repro.streaming.events import apply_event
+    from repro.streaming.replay import random_patch_stream
+
+    args = build_serve_parser().parse_args(argv)
+    service = None
+    try:
+        graph = _load_graph(args)
+        k = _resolve_k(args, graph)
+        if args.tenants < 1:
+            raise ReproError(f"--tenants must be >= 1, got {args.tenants}")
+        if args.events < 1:
+            raise ReproError(f"--events must be >= 1, got {args.events}")
+        service = RiskService(
+            graph,
+            mode=args.mode,
+            shards=args.shards,
+            monitor_defaults={
+                "seed": args.seed,
+                "engine": args.engine,
+                "epsilon": args.epsilon,
+                "delta": args.delta,
+            },
+        )
+        tenant_ids = [f"portfolio-{i:02d}" for i in range(args.tenants)]
+        for tenant_id in tenant_ids:
+            service.register_tenant(tenant_id, k)
+        # Each tenant's stream compounds drift against a shadow copy —
+        # the single-threaded reference state the served answers are
+        # verified against.
+        shadows = {tenant_id: graph.copy() for tenant_id in tenant_ids}
+        drift = args.drift if args.drift > 0 else None
+        streams = {
+            tenant_id: random_patch_stream(
+                shadows[tenant_id],
+                args.events,
+                seed=args.seed + 101 + position,
+                drift=drift,
+            )
+            for position, tenant_id in enumerate(tenant_ids)
+        }
+
+        async def drive() -> None:
+            stop = asyncio.Event()
+            pump = asyncio.create_task(
+                service.serve(flush_interval=args.flush_interval, stop=stop)
+            )
+            for _ in range(args.events):
+                for tenant_id in tenant_ids:
+                    event = next(streams[tenant_id])
+                    service.submit_update(tenant_id, event)
+                    apply_event(shadows[tenant_id], event)
+                await asyncio.sleep(0)
+            stop.set()
+            await pump
+
+        started = time.perf_counter()
+        asyncio.run(drive())
+        results = {
+            tenant_id: service.query_topk(tenant_id)
+            for tenant_id in tenant_ids
+        }
+        elapsed = time.perf_counter() - started
+        rows: list[dict] = []
+        mismatches = 0
+        for tenant_id in tenant_ids:
+            result = results[tenant_id]
+            row = {
+                "tenant": tenant_id,
+                "events": args.events,
+                "top": ", ".join(str(node) for node in result.nodes[:3]),
+                "samples": result.samples_used,
+            }
+            if args.verify:
+                detector = BoundedSampleReverseDetector(
+                    epsilon=args.epsilon,
+                    delta=args.delta,
+                    seed=args.seed,
+                    engine=args.engine,
+                )
+                fresh = detector.detect(shadows[tenant_id], k)
+                row["match"] = result.same_answer(fresh)
+                mismatches += not row["match"]
+            rows.append(row)
+        queue_stats = service.queue.stats.as_dict()
+        shard_stats = service.snapshot().shards
+        # Per-worker deduplicated vs unshared bytes; summing keeps the
+        # ratio honest in fork mode too (each term is within-worker).
+        shared_bytes = sum(int(row["graph_bytes"]) for row in shard_stats)
+        naive_bytes = sum(
+            int(row["graph_bytes_unshared"]) for row in shard_stats
+        )
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        # Shut worker shards down on every exit path — an error after
+        # pool construction must not leak fork worker processes.
+        if service is not None:
+            service.close()
+    total_events = args.events * len(tenant_ids)
+    summary = {
+        "k": k,
+        "tenants": len(tenant_ids),
+        "mode": service.pool.mode,
+        "events": total_events,
+        "elapsed_seconds": round(elapsed, 4),
+        "updates_per_second": round(total_events / max(elapsed, 1e-12), 1),
+        "queue": queue_stats,
+        "graph_bytes_shared": shared_bytes,
+        "graph_bytes_naive": naive_bytes,
+    }
+    if args.as_json:
+        print(json.dumps({**summary, "tenants_detail": rows}, indent=1))
+    else:
+        print(render_table(
+            rows,
+            title=(
+                f"serving top-{k} to {len(tenant_ids)} tenants over "
+                f"{graph.num_nodes} nodes (mode={service.pool.mode})"
+            ),
+        ))
+        print(
+            f"throughput: {summary['updates_per_second']} updates/s "
+            f"({total_events} events in {elapsed:.3f}s); coalescing "
+            f"absorbed {queue_stats['coalesced_away']} events in "
+            f"{queue_stats['flushes']} flushes; graph buffers "
+            f"{shared_bytes / 1e6:.2f}MB shared vs {naive_bytes / 1e6:.2f}MB "
+            f"unshared"
+        )
+        if args.verify:
+            print(
+                f"verify: {len(rows) - mismatches}/{len(rows)} tenants "
+                f"bit-identical to fresh detection"
+            )
+    return 1 if mismatches else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "stream":
         return stream_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         graph = _load_graph(args)
-        if args.k is not None:
-            k = args.k
-        else:
-            if args.k_percent <= 0:
-                raise ReproError("--k-percent must be positive")
-            k = max(1, round(graph.num_nodes * args.k_percent / 100.0))
+        k = _resolve_k(args, graph)
         detector = make_detector(
             args.method,
             samples=args.samples,

@@ -125,6 +125,54 @@ class _GrowableArray:
         return iter(self.array)
 
 
+class _CowColumn(_GrowableArray):
+    """A column whose buffer is shared between graphs until first write.
+
+    :meth:`UncertainGraph.share_view` hands the same underlying ndarray
+    to several graphs; every holder wraps it in one of these.  Reads go
+    straight to the shared buffer; the first mutation — an in-place
+    element write or an append — forks a private copy first, so no
+    holder can ever observe another holder's writes.  ``replace`` swaps
+    in a whole new buffer and therefore never needs a fork.
+
+    Forking is not thread-safe; a shared graph must be mutated from one
+    thread at a time (the serving layer pins each tenant to one worker).
+    """
+
+    __slots__ = ("_shared",)
+
+    def __init__(self, base: np.ndarray) -> None:
+        self._data = base
+        self._size = int(base.size)
+        self._shared = True
+
+    def _fork(self) -> None:
+        if self._shared:
+            self._data = self._data[: self._size].copy()
+            self._shared = False
+
+    @property
+    def is_shared(self) -> bool:
+        """Whether the buffer is still the shared (never-written) one."""
+        return self._shared
+
+    def append(self, value) -> None:
+        self._fork()
+        super().append(value)
+
+    def replace(self, values: np.ndarray) -> None:
+        array = np.ascontiguousarray(values, dtype=self._data.dtype)
+        if self._shared and array is self._data:
+            array = array.copy()
+        self._data = array
+        self._size = int(array.size)
+        self._shared = False
+
+    def __setitem__(self, index, value) -> None:
+        self._fork()
+        super().__setitem__(index, value)
+
+
 @dataclass(frozen=True)
 class CSRAdjacency:
     """A compressed-sparse-row view of one direction of adjacency.
@@ -231,6 +279,8 @@ class UncertainGraph:
         "_in_csr",
         "_out_inverse",
         "_in_inverse",
+        "_shared_maps",
+        "__weakref__",
     )
 
     def __init__(
@@ -249,6 +299,7 @@ class UncertainGraph:
         self._in_csr: CSRAdjacency | None = None
         self._out_inverse: np.ndarray | None = None
         self._in_inverse: np.ndarray | None = None
+        self._shared_maps = False
         if nodes is not None:
             for label, risk in nodes:
                 self.add_node(label, risk)
@@ -278,6 +329,22 @@ class UncertainGraph:
             }
         return self._edge_index
 
+    def _fork_shared_maps(self) -> None:
+        """Privatise label/edge maps shared with sibling COW views.
+
+        Structural mutations append to the label list and lookup dicts;
+        when those objects are shared with :meth:`share_view` siblings,
+        fork them first so a tenant's ``add_node``/``add_edge`` stays
+        invisible to every other holder.
+        """
+        if self._shared_maps:
+            self._labels = list(self._labels)
+            if self._index_of is not None:
+                self._index_of = dict(self._index_of)
+            if self._edge_index is not None:
+                self._edge_index = dict(self._edge_index)
+            self._shared_maps = False
+
     # ------------------------------------------------------------------
     # Construction and mutation
     # ------------------------------------------------------------------
@@ -291,10 +358,11 @@ class UncertainGraph:
         ProbabilityError
             If *self_risk* is outside ``[0, 1]``.
         """
-        lookup = self._node_lookup()
-        if label in lookup:
+        if label in self._node_lookup():
             raise GraphError(f"node {label!r} already exists")
         risk = _check_probability(self_risk, f"self_risk of {label!r}")
+        self._fork_shared_maps()
+        lookup = self._node_lookup()
         index = len(self._labels)
         lookup[label] = index
         self._labels.append(label)
@@ -321,10 +389,11 @@ class UncertainGraph:
         d = self.index(dst)
         if s == d:
             raise GraphError(f"self-loop on {src!r} is not allowed")
-        lookup = self._edge_lookup()
-        if (s, d) in lookup:
+        if (s, d) in self._edge_lookup():
             raise DuplicateEdgeError(f"edge {src!r} -> {dst!r} already exists")
         prob = _check_probability(probability, f"p({dst!r}|{src!r})")
+        self._fork_shared_maps()
+        lookup = self._edge_lookup()
         edge_id = len(self._edge_src)
         self._edge_src.append(s)
         self._edge_dst.append(d)
@@ -577,6 +646,7 @@ class UncertainGraph:
         graph._in_csr = None
         graph._out_inverse = None
         graph._in_inverse = None
+        graph._shared_maps = False
         return graph
 
     @classmethod
@@ -700,6 +770,91 @@ class UncertainGraph:
             self._edge_dst.array.copy(),
             self._edge_prob.array.copy(),
         )
+
+    def share_view(self) -> "UncertainGraph":
+        """Copy-on-write view of this graph (the serving layer's hook).
+
+        The returned graph answers every query identically to this one
+        but *shares* the heavy buffers instead of copying them:
+
+        * label list and label/edge lookup dicts — shared objects,
+          forked by either side before a structural mutation;
+        * self-risk / edge-endpoint / edge-probability columns — shared
+          ndarrays wrapped in :class:`_CowColumn`, forked by whichever
+          holder writes first (this graph's own columns are converted to
+          COW mode too, so mutation on either side is safe);
+        * CSR topology (``indptr`` / ``indices`` / ``edge_ids`` and the
+          inverse permutations) — shared outright: probability patches
+          never touch them and topology mutations rebuild them from the
+          (forked) edge columns.
+
+        Only the CSR ``probs`` columns are copied eagerly (2 m float64):
+        :meth:`set_edge_probability` patches them in place by contract —
+        long-lived samplers hold the view object — so they can never be
+        shared between holders that may diverge.  Everything else is
+        O(1) to share, which is what lets a pool of monitors over one
+        base network hold ~one graph's worth of topology in memory.
+
+        Forking is not thread-safe; mutate any one view from one thread
+        at a time.
+        """
+        shared: dict[str, np.ndarray] = {}
+        for name in ("_self_risk", "_edge_src", "_edge_dst", "_edge_prob"):
+            # One exact live-prefix array object per column, wrapped by
+            # BOTH holders: identity-based memory accounting then sees a
+            # single buffer, and the prefix view drops any spare append
+            # capacity the old column carried.
+            shared[name] = getattr(self, name).array
+            setattr(self, name, _CowColumn(shared[name]))
+        self._shared_maps = True
+        out, inn = self.out_csr(), self.in_csr()
+        view = UncertainGraph.__new__(UncertainGraph)
+        view._index_of = self._node_lookup()
+        view._labels = self._labels
+        view._shared_maps = True
+        view._self_risk = _CowColumn(shared["_self_risk"])
+        view._edge_src = _CowColumn(shared["_edge_src"])
+        view._edge_dst = _CowColumn(shared["_edge_dst"])
+        view._edge_prob = _CowColumn(shared["_edge_prob"])
+        view._edge_index = self._edge_lookup()
+        view._out_csr = CSRAdjacency(
+            indptr=out.indptr,
+            indices=out.indices,
+            probs=out.probs.copy(),
+            edge_ids=out.edge_ids,
+        )
+        view._in_csr = CSRAdjacency(
+            indptr=inn.indptr,
+            indices=inn.indices,
+            probs=inn.probs.copy(),
+            edge_ids=inn.edge_ids,
+        )
+        view._out_inverse = self._out_inverse
+        view._in_inverse = self._in_inverse
+        return view
+
+    def storage_arrays(self) -> list[np.ndarray]:
+        """The ndarrays physically backing this graph (built state only).
+
+        Used by the serving layer's memory accounting: summing ``nbytes``
+        over these arrays *deduplicated by identity* across a set of
+        graphs measures how much buffer sharing :meth:`share_view`
+        actually achieves.  Lazy state that has not been built (CSR
+        views, inverse permutations) is simply absent.
+        """
+        arrays = [
+            self._self_risk._data,
+            self._edge_src._data,
+            self._edge_dst._data,
+            self._edge_prob._data,
+        ]
+        for csr in (self._out_csr, self._in_csr):
+            if csr is not None:
+                arrays.extend([csr.indptr, csr.indices, csr.probs, csr.edge_ids])
+        for inverse in (self._out_inverse, self._in_inverse):
+            if inverse is not None:
+                arrays.append(inverse)
+        return arrays
 
     def to_networkx(self):
         """Export to a :class:`networkx.DiGraph` with probability attrs."""

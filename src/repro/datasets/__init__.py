@@ -27,6 +27,14 @@ from repro.datasets.registry import (
     load_dataset,
     table2_rows,
 )
+from repro.datasets.snap import (
+    SNAP_SOURCES,
+    SnapParseReport,
+    find_snap_file,
+    load_snap_graph,
+    parse_snap_edges,
+    snap_data_dir,
+)
 from repro.datasets.specs import BENCHMARKS, FINANCIAL, TABLE2_SPECS, DatasetSpec, spec_for
 from repro.datasets.temporal import GuaranteePanel, YearSnapshot, build_guarantee_panel
 
@@ -53,6 +61,12 @@ __all__ = [
     "available_datasets",
     "load_dataset",
     "table2_rows",
+    "SNAP_SOURCES",
+    "SnapParseReport",
+    "find_snap_file",
+    "load_snap_graph",
+    "parse_snap_edges",
+    "snap_data_dir",
     "BENCHMARKS",
     "FINANCIAL",
     "TABLE2_SPECS",

@@ -4,6 +4,11 @@
 the matching generator with probabilities assigned per the paper's
 protocol (uniform for benchmarks, feature-driven for financial networks),
 plus the synthetic features when the financial model produced them.
+
+For the public SNAP benchmarks, the *real* edge list is used whenever
+the downloaded file is present (``scripts/download_datasets.py``; see
+:mod:`repro.datasets.snap`), and the synthetic shape-matched generator
+otherwise — :attr:`LoadedDataset.source` records which one a run got.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ from repro.datasets.probabilities import (
     assign_financial,
     assign_uniform,
 )
+from repro.datasets.snap import find_snap_file, load_snap_graph
 from repro.datasets.specs import TABLE2_SPECS, DatasetSpec, spec_for
 from repro.sampling.rng import SeedLike, make_rng
 
@@ -46,6 +52,9 @@ class LoadedDataset:
     features:
         Node features when the financial probability model was used,
         otherwise ``None``.
+    source:
+        ``"snap"`` when the topology came from a downloaded real edge
+        list, ``"synthetic"`` when a generator stood in.
     """
 
     name: str
@@ -54,6 +63,7 @@ class LoadedDataset:
     scale: float
     seed: int | None
     features: NodeFeatures | None
+    source: str = "synthetic"
 
     def k_for_percent(self, percent: float) -> int:
         """The paper's "k = X%|V|" convention, at least 1."""
@@ -76,7 +86,12 @@ def load_dataset(
 
     The topology and the probability assignment consume independent
     streams of one seed, so the same seed yields the same dataset across
-    runs and platforms.
+    runs and platforms — *given the same data directory contents*: when
+    a real SNAP file is present (see :mod:`repro.datasets.snap`) the
+    topology comes from it instead of the seeded generator, and
+    :attr:`LoadedDataset.source` records which one a run got.  Set
+    ``REPRO_DATA_DIR`` to an empty directory to force the synthetic
+    generators (the test suite does exactly this).
     """
     spec = spec_for(name)
     scale = spec.default_scale if scale is None else float(scale)
@@ -86,7 +101,17 @@ def load_dataset(
     topology_rng, probability_rng = rng.spawn(2)
     n = spec.scaled_nodes(scale)
     m = spec.scaled_edges(scale)
-    if spec.generator == "interbank":
+    snap_path = find_snap_file(spec.name)
+    source = "synthetic"
+    if snap_path is not None:
+        # Real SNAP topology; at sub-unit scale, the induced subgraph on
+        # the lowest raw ids keeps the build deterministic.
+        graph = load_snap_graph(
+            snap_path, max_nodes=n if scale != 1.0 else None
+        )
+        features = None
+        source = "snap"
+    elif spec.generator == "interbank":
         graph = interbank_graph(n=n, m=min(m, n * (n - 1) - 1), seed=topology_rng)
         features = None  # probabilities are built into the ME model
     elif spec.generator == "guarantee":
@@ -115,6 +140,7 @@ def load_dataset(
         scale=scale,
         seed=seed_value,
         features=features,
+        source=source,
     )
 
 
@@ -133,6 +159,7 @@ def table2_rows(
         rows.append(
             {
                 "dataset": spec.name,
+                "source": loaded.source,
                 "scale": loaded.scale,
                 "paper_nodes": spec.paper_nodes,
                 "nodes": stats.num_nodes,

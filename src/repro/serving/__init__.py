@@ -1,0 +1,40 @@
+"""Multi-tenant serving layer over the incremental detection pipeline.
+
+The paper frames top-k vulnerable-node detection as an always-on
+financial-risk service; this package is that service's machine room.
+Many per-portfolio :class:`~repro.streaming.monitor.TopKMonitor` tenants
+run over **one** shared base network:
+
+* :mod:`repro.serving.store` — :class:`GraphStore`, deduplicated base
+  snapshots with copy-on-write tenant checkouts;
+* :mod:`repro.serving.coalesce` — last-write-wins batch coalescing,
+  state-equivalent to serial application;
+* :mod:`repro.serving.queue` — :class:`IngestionQueue`, per-tenant
+  buffering with a timed asyncio flush pump;
+* :mod:`repro.serving.pool` — :class:`ServingPool`, sharded single-
+  worker executors (fork / thread / serial) with per-tenant FIFO
+  ordering;
+* :mod:`repro.serving.service` — :class:`RiskService`, the façade the
+  risk-control centre (and the ``repro-detect serve`` CLI) talks to.
+"""
+
+from repro.serving.coalesce import coalesce_events, event_key
+from repro.serving.pool import ServingPool, available_modes, default_mode
+from repro.serving.queue import IngestionQueue, QueueStats
+from repro.serving.service import RiskService, ServiceSnapshot
+from repro.serving.store import GraphStore, StoreMemoryReport, unique_buffer_bytes
+
+__all__ = [
+    "GraphStore",
+    "StoreMemoryReport",
+    "unique_buffer_bytes",
+    "coalesce_events",
+    "event_key",
+    "IngestionQueue",
+    "QueueStats",
+    "ServingPool",
+    "available_modes",
+    "default_mode",
+    "RiskService",
+    "ServiceSnapshot",
+]

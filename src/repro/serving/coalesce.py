@@ -1,0 +1,85 @@
+"""Last-write-wins coalescing of update-event batches.
+
+The ingestion queue buffers events inside a flush window; before a batch
+reaches a monitor, same-entity updates collapse to the final write.  The
+contract is *serial equivalence*: for any sequence of valid events,
+applying :func:`coalesce_events`' output in order leaves a graph in
+exactly the state the original sequence would — the monitor's dirty
+bookkeeping is keyed by entity (first old value wins, the graph holds
+the last written value), so the downstream refresh is bit-identical too
+(``tests/test_streaming.py`` pins this).
+
+Rules
+-----
+* Per-entity events (:class:`~repro.streaming.events.SelfRiskUpdate`,
+  :class:`~repro.streaming.events.EdgeProbabilityUpdate`) are keyed by
+  node label / edge endpoints; a later write to the same key replaces
+  the earlier one and takes the later position in the batch.
+* A bulk event overwrites every entity of its type, so it absorbs all
+  earlier per-entity events of that type (and any earlier bulk); events
+  arriving after it stay after it.
+* Events of different types and different entities commute — each graph
+  setter touches only its own entity — so reordering across keys cannot
+  change the final state.
+
+The equivalence holds for *valid* sequences.  A serial batch is not
+transactional (a mid-batch validation error leaves earlier events
+applied); coalescing only ever validates the surviving final writes, so
+an invalid intermediate value that a later write would have shadowed is
+skipped rather than raised.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.core.errors import GraphError
+from repro.streaming.events import (
+    BulkEdgeProbabilityUpdate,
+    BulkSelfRiskUpdate,
+    EdgeProbabilityUpdate,
+    SelfRiskUpdate,
+    UpdateEvent,
+)
+
+__all__ = ["coalesce_events", "event_key"]
+
+_BULK_NODE = ("bulk", "node")
+_BULK_EDGE = ("bulk", "edge")
+
+
+def event_key(event: UpdateEvent) -> tuple[Hashable, ...]:
+    """The coalescing key of *event* (entity identity, or the bulk slot)."""
+    if isinstance(event, SelfRiskUpdate):
+        return ("node", event.label)
+    if isinstance(event, EdgeProbabilityUpdate):
+        return ("edge", event.src, event.dst)
+    if isinstance(event, BulkSelfRiskUpdate):
+        return _BULK_NODE
+    if isinstance(event, BulkEdgeProbabilityUpdate):
+        return _BULK_EDGE
+    raise GraphError(f"unknown update event: {event!r}")
+
+
+def coalesce_events(events: Iterable[UpdateEvent]) -> list[UpdateEvent]:
+    """Collapse *events* to one write per entity, last write winning.
+
+    Returns a new list whose serial application is state-equivalent to
+    applying *events* in order; see the module docstring for the exact
+    contract.  The output is at most one per-entity event per touched
+    entity plus at most one bulk event per type.
+    """
+    pending: dict[tuple[Hashable, ...], UpdateEvent] = {}
+    for event in events:
+        key = event_key(event)
+        if key == _BULK_NODE or key == _BULK_EDGE:
+            kind = key[1]
+            stale = [
+                k for k in pending if k[0] == kind or k == key
+            ]
+            for k in stale:
+                del pending[k]
+        else:
+            pending.pop(key, None)
+        pending[key] = event
+    return list(pending.values())

@@ -1,0 +1,361 @@
+"""Sharded monitor pool — per-tenant ordering over shared base graphs.
+
+One :class:`ServingPool` multiplexes many :class:`~repro.streaming.
+monitor.TopKMonitor` tenants over a single frozen base graph.  Tenants
+are pinned round-robin to *shards*; each shard is a single-worker
+executor, so everything submitted for a tenant — registrations, update
+batches, queries — executes FIFO in submission order (the per-tenant
+ordering guarantee), while different shards run concurrently.
+
+Execution modes
+---------------
+``"fork"``
+    Each shard is a one-worker :class:`~concurrent.futures.
+    ProcessPoolExecutor` using the ``fork`` start method: workers
+    inherit the base graph through the forked address space — no
+    pickling, and the OS shares the physical pages copy-on-write, the
+    process-level twin of :meth:`~repro.core.graph.UncertainGraph.
+    share_view`'s in-process buffer sharing.  Events and results cross
+    the pipe (small, picklable dataclasses).
+``"thread"``
+    One-worker :class:`~concurrent.futures.ThreadPoolExecutor` shards in
+    this process; buffer sharing via ``share_view`` alone.  The numpy
+    kernels release the GIL for their heavy ops, so shards overlap.
+``"serial"``
+    No executors: operations run inline and come back as resolved
+    futures.  Deterministic single-threaded reference, used by tests
+    and as the fallback where ``fork`` is unavailable.
+
+All three modes produce bit-identical per-tenant answers (the monitors
+are deterministic given seed and event order, which the shard FIFO
+fixes); the mode only chooses where the work runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Hashable, Sequence
+
+from repro.core.errors import ReproError
+from repro.core.graph import UncertainGraph
+from repro.serving.store import GraphStore
+from repro.streaming.events import UpdateEvent
+from repro.streaming.monitor import RefreshReport, TopKMonitor
+
+__all__ = ["ServingPool", "available_modes", "default_mode"]
+
+TenantId = Hashable
+
+#: Worker-side state, keyed by pool id.  In ``fork`` mode every worker
+#: process holds exactly its own shard's slice of this dict; in
+#: ``thread``/``serial`` mode all shards of a pool share one entry.
+_POOL_STATE: dict[str, dict] = {}
+_REGISTER_LOCK = threading.Lock()
+_POOL_IDS = itertools.count()
+
+
+def available_modes() -> tuple[str, ...]:
+    """Execution modes usable on this platform."""
+    modes: list[str] = []
+    if "fork" in multiprocessing.get_all_start_methods():
+        modes.append("fork")
+    modes.extend(["thread", "serial"])
+    return tuple(modes)
+
+
+def default_mode() -> str:
+    """Preferred mode: ``fork`` where supported, else ``thread``."""
+    return "fork" if "fork" in available_modes() else "thread"
+
+
+def _pool_init(pool_id: str, base_graph: UncertainGraph, defaults: dict) -> None:
+    """Install one pool's worker-side state (idempotent per process)."""
+    if pool_id in _POOL_STATE:
+        return
+    store = GraphStore()
+    store.put("base", base_graph)
+    _POOL_STATE[pool_id] = {
+        "store": store, "defaults": defaults, "tenants": {}
+    }
+
+
+def _worker_warmup(pool_id: str) -> int:
+    """No-op used to force worker startup eagerly; returns the pid."""
+    return os.getpid()
+
+
+def _worker_register(
+    pool_id: str, tenant_id: TenantId, k: int, kwargs: dict
+) -> TenantId:
+    state = _POOL_STATE[pool_id]
+    if tenant_id in state["tenants"]:
+        raise ReproError(f"tenant {tenant_id!r} already registered")
+    # checkout -> share_view mutates the base graph's column wrappers;
+    # serialize it across thread-mode shards (fork/serial never race).
+    with _REGISTER_LOCK:
+        graph = state["store"].checkout("base")
+    merged = {**state["defaults"], **kwargs}
+    state["tenants"][tenant_id] = TopKMonitor(graph, k, **merged)
+    return tenant_id
+
+
+def _worker_monitor(pool_id: str, tenant_id: TenantId) -> TopKMonitor:
+    try:
+        return _POOL_STATE[pool_id]["tenants"][tenant_id]
+    except KeyError:
+        raise ReproError(f"unknown tenant {tenant_id!r}") from None
+
+
+def _worker_apply(
+    pool_id: str, tenant_id: TenantId, events: Sequence[UpdateEvent]
+) -> RefreshReport:
+    monitor = _worker_monitor(pool_id, tenant_id)
+    monitor.apply(events)
+    return monitor.refresh()
+
+
+def _worker_query(pool_id: str, tenant_id: TenantId):
+    return _worker_monitor(pool_id, tenant_id).top_k()
+
+
+def _worker_stats(pool_id: str) -> dict:
+    state = _POOL_STATE[pool_id]
+    memory = state["store"].memory_report("base")
+    return {
+        "pid": os.getpid(),
+        "tenants": len(state["tenants"]),
+        # Deduplicated resident bytes of this worker's base + checkouts.
+        # Fork-mode workers each hold (a COW copy of) the base, so
+        # summing across workers double-counts it — physically the OS
+        # shares those pages; compare per worker, not summed.
+        "graph_bytes": memory.shared_bytes,
+        "graph_bytes_unshared": memory.naive_bytes,
+        "monitor_stats": {
+            tenant_id: dict(monitor.stats)
+            for tenant_id, monitor in state["tenants"].items()
+        },
+    }
+
+
+class _Shard:
+    """One FIFO execution lane (a single-worker executor, or inline)."""
+
+    def __init__(
+        self,
+        mode: str,
+        pool_id: str,
+        base_graph: UncertainGraph,
+        defaults: dict,
+    ) -> None:
+        self._mode = mode
+        self._pool_id = pool_id
+        if mode == "serial":
+            self._executor = None
+            _pool_init(pool_id, base_graph, defaults)
+        elif mode == "thread":
+            self._executor = ThreadPoolExecutor(
+                max_workers=1,
+                initializer=_pool_init,
+                initargs=(pool_id, base_graph, defaults),
+            )
+        elif mode == "fork":
+            self._executor = ProcessPoolExecutor(
+                max_workers=1,
+                mp_context=multiprocessing.get_context("fork"),
+                initializer=_pool_init,
+                initargs=(pool_id, base_graph, defaults),
+            )
+        else:
+            raise ReproError(
+                f"unknown pool mode {mode!r}; choose from "
+                f"{available_modes()}"
+            )
+
+    def submit(self, fn, *args) -> Future:
+        if self._executor is not None:
+            return self._executor.submit(fn, *args)
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args))
+        except BaseException as error:  # noqa: BLE001 - mirror executor
+            future.set_exception(error)
+        return future
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+
+
+class ServingPool:
+    """Many monitors, one shared base graph, per-tenant FIFO dispatch.
+
+    Parameters
+    ----------
+    base_graph:
+        The frozen network all tenants monitor.  Treated as immutable
+        from registration onward.
+    shards:
+        Number of execution lanes (default: CPU count, at most 8; always
+        1 in ``serial`` mode).  Tenants are pinned round-robin.
+    mode:
+        ``"fork"`` / ``"thread"`` / ``"serial"`` — see the module
+        docstring.  Default: :func:`default_mode`.
+    monitor_defaults:
+        Keyword defaults applied to every tenant's
+        :class:`~repro.streaming.monitor.TopKMonitor` (seed, engine,
+        epsilon, …); per-tenant kwargs override.
+    """
+
+    def __init__(
+        self,
+        base_graph: UncertainGraph,
+        *,
+        shards: int | None = None,
+        mode: str | None = None,
+        monitor_defaults: dict | None = None,
+    ) -> None:
+        self._mode = mode or default_mode()
+        if self._mode not in available_modes():
+            raise ReproError(
+                f"pool mode {self._mode!r} unavailable here; choose from "
+                f"{available_modes()}"
+            )
+        if shards is None:
+            shards = 1 if self._mode == "serial" else min(
+                os.cpu_count() or 1, 8
+            )
+        if shards < 1:
+            raise ReproError(f"shards must be >= 1, got {shards}")
+        if self._mode == "serial":
+            shards = 1
+        self._pool_id = f"pool-{os.getpid()}-{next(_POOL_IDS)}"
+        self._base_graph = base_graph
+        defaults = dict(monitor_defaults or {})
+        # Build the CSR views before any fork/share: workers inherit
+        # them instead of each rebuilding the argsort.
+        base_graph.out_csr()
+        base_graph.in_csr()
+        self._shards = [
+            _Shard(self._mode, self._pool_id, base_graph, defaults)
+            for _ in range(shards)
+        ]
+        # Start every worker eagerly, at construction time: fork-mode
+        # children should be forked now — before the caller starts an
+        # asyncio pump or other threads whose locks a later lazy fork
+        # could snapshot mid-acquisition.
+        for shard in self._shards:
+            shard.submit(_worker_warmup, self._pool_id).result()
+        self._shard_of: dict[TenantId, _Shard] = {}
+        self._next_shard = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def mode(self) -> str:
+        """The execution mode this pool runs under."""
+        return self._mode
+
+    @property
+    def base_graph(self) -> UncertainGraph:
+        """The frozen base snapshot every tenant monitors (do not mutate).
+
+        In fork mode the workers hold their own inherited copies; this
+        is the parent-side original, kept for identity/consistency
+        checks by callers attaching pre-existing pipelines.
+        """
+        return self._base_graph
+
+    @property
+    def shard_count(self) -> int:
+        """Number of execution lanes."""
+        return len(self._shards)
+
+    def tenants(self) -> list[TenantId]:
+        """Registered tenant ids, registration-ordered."""
+        return list(self._shard_of)
+
+    def has_tenant(self, tenant_id: TenantId) -> bool:
+        """O(1) membership test (the ingestion hot path's validity check)."""
+        return tenant_id in self._shard_of
+
+    def _shard(self, tenant_id: TenantId) -> _Shard:
+        try:
+            return self._shard_of[tenant_id]
+        except KeyError:
+            raise ReproError(f"unknown tenant {tenant_id!r}") from None
+
+    # ------------------------------------------------------------------
+    def register(
+        self, tenant_id: TenantId, k: int, **monitor_kwargs
+    ) -> None:
+        """Attach a tenant monitor (blocks until the worker holds it)."""
+        if self._closed:
+            raise ReproError("pool is shut down")
+        if tenant_id in self._shard_of:
+            raise ReproError(f"tenant {tenant_id!r} already registered")
+        shard = self._shards[self._next_shard % len(self._shards)]
+        shard.submit(
+            _worker_register, self._pool_id, tenant_id, k, monitor_kwargs
+        ).result()
+        self._shard_of[tenant_id] = shard
+        self._next_shard += 1
+
+    def apply(
+        self, tenant_id: TenantId, events: Sequence[UpdateEvent]
+    ) -> "Future[RefreshReport]":
+        """Apply one event batch and refresh; resolves to the report."""
+        return self._shard(tenant_id).submit(
+            _worker_apply, self._pool_id, tenant_id, list(events)
+        )
+
+    def query(self, tenant_id: TenantId) -> Future:
+        """Current top-k; ordered after every prior apply of the tenant."""
+        return self._shard(tenant_id).submit(
+            _worker_query, self._pool_id, tenant_id
+        )
+
+    def query_all(self) -> dict:
+        """Every tenant's current top-k (waits for all)."""
+        futures = {
+            tenant_id: self.query(tenant_id) for tenant_id in self._shard_of
+        }
+        return {
+            tenant_id: future.result()
+            for tenant_id, future in futures.items()
+        }
+
+    def stats(self) -> list[dict]:
+        """Per-worker statistics (pid, tenants, graph bytes, …).
+
+        One row per distinct worker process: fork mode yields a row per
+        shard, while thread/serial shards share this process's state and
+        collapse to a single row.
+        """
+        futures = [
+            shard.submit(_worker_stats, self._pool_id)
+            for shard in self._shards
+        ]
+        rows: dict[int, dict] = {}
+        for future in futures:
+            row = future.result()
+            rows.setdefault(row["pid"], row)
+        return list(rows.values())
+
+    def shutdown(self) -> None:
+        """Stop all shards (idempotent); pending work completes first."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            shard.shutdown()
+        _POOL_STATE.pop(self._pool_id, None)
+
+    def __enter__(self) -> "ServingPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

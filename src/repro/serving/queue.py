@@ -1,0 +1,228 @@
+"""Async ingestion queue — per-tenant buffering with windowed coalescing.
+
+Update traffic arrives as a stream of small per-tenant events; refreshing
+a monitor per event wastes the batch efficiency the incremental pipeline
+already has.  The :class:`IngestionQueue` buffers events per tenant and
+flushes them in *windows*: everything a tenant accumulated inside one
+window is coalesced (:func:`~repro.serving.coalesce.coalesce_events`,
+last write wins — provably state-equivalent to serial application) and
+handed to the sink as one batch.
+
+The buffering core is synchronous and loop-agnostic (``submit`` /
+``drain`` / ``drain_tenant``), guarded by one lock so request threads
+can submit while an event-loop thread drains — no event is ever lost to
+a swap race.  The :meth:`IngestionQueue.pump` coroutine adds the timed
+flush loop for the live service: one ``asyncio`` task draining every
+``flush_interval`` seconds, plus an early flush whenever any tenant's
+backlog reaches ``max_pending`` (signalled thread-safely into the
+pump's loop).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable, Hashable
+
+from repro.core.errors import ReproError
+from repro.serving.coalesce import coalesce_events
+from repro.streaming.events import UpdateEvent
+
+__all__ = ["IngestionQueue", "QueueStats"]
+
+TenantId = Hashable
+#: A flush sink: receives ``(tenant_id, coalesced_events)`` per tenant.
+FlushSink = Callable[[TenantId, list], "Awaitable[None] | None"]
+
+
+@dataclass
+class QueueStats:
+    """Running totals of the queue's traffic.
+
+    ``coalesced_away`` counts events that never reached a monitor
+    because a later same-entity write inside the window absorbed them —
+    the measure of what windowed ingestion saves.
+    """
+
+    submitted: int = 0
+    flushed: int = 0
+    coalesced_away: int = 0
+    flushes: int = 0
+    batches: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict form for JSON telemetry."""
+        return {
+            "submitted": self.submitted,
+            "flushed": self.flushed,
+            "coalesced_away": self.coalesced_away,
+            "flushes": self.flushes,
+            "batches": self.batches,
+        }
+
+
+@dataclass
+class IngestionQueue:
+    """Per-tenant event buffer with last-write-wins window coalescing.
+
+    Parameters
+    ----------
+    max_pending:
+        Per-tenant backlog bound.  ``submit`` signals the pump (or, with
+        no pump running, the next explicit ``drain``) once a tenant
+        holds this many raw events; the queue never drops an event.
+    """
+
+    max_pending: int = 4096
+    stats: QueueStats = field(default_factory=QueueStats)
+
+    def __post_init__(self) -> None:
+        if self.max_pending < 1:
+            raise ReproError(
+                f"max_pending must be >= 1, got {self.max_pending}"
+            )
+        self._pending: dict[TenantId, list[UpdateEvent]] = {}
+        self._lock = threading.Lock()
+        self._wakeup: asyncio.Event | None = None
+        self._pump_loop: asyncio.AbstractEventLoop | None = None
+
+    # ------------------------------------------------------------------
+    # Synchronous core (thread-safe against a concurrent pump)
+    # ------------------------------------------------------------------
+    def submit(self, tenant_id: TenantId, event: UpdateEvent) -> None:
+        """Buffer one event for *tenant_id* (applied at the next flush)."""
+        with self._lock:
+            backlog = self._pending.setdefault(tenant_id, [])
+            backlog.append(event)
+            self.stats.submitted += 1
+            full = len(backlog) >= self.max_pending
+        if full:
+            self._wake_pump()
+
+    def _wake_pump(self) -> None:
+        """Signal the pump's loop (thread-safely) that a backlog is full."""
+        loop, wakeup = self._pump_loop, self._wakeup
+        if loop is None or wakeup is None:
+            return
+        try:
+            loop.call_soon_threadsafe(wakeup.set)
+        except RuntimeError:
+            pass  # pump's loop already closed; the final drain covers it
+
+    def pending(self, tenant_id: TenantId | None = None) -> int:
+        """Raw buffered events — one tenant's, or everyone's."""
+        with self._lock:
+            if tenant_id is not None:
+                return len(self._pending.get(tenant_id, ()))
+            return sum(len(backlog) for backlog in self._pending.values())
+
+    def drain(self) -> dict[TenantId, list[UpdateEvent]]:
+        """Take and coalesce every tenant's backlog (may be empty).
+
+        Tenants come back in first-submission order; each batch is the
+        coalesced, serial-equivalent form of that tenant's raw events.
+        """
+        with self._lock:
+            taken, self._pending = self._pending, {}
+        batches: dict[TenantId, list[UpdateEvent]] = {}
+        for tenant_id, events in taken.items():
+            batches[tenant_id] = self._coalesce_counted(events)
+        if batches:
+            with self._lock:
+                self.stats.flushes += 1
+        return batches
+
+    def drain_tenant(self, tenant_id: TenantId) -> list[UpdateEvent]:
+        """Take and coalesce one tenant's backlog only (may be empty).
+
+        Lets a read of one tenant satisfy read-your-writes without
+        paying for every other tenant's pending refreshes.  Counted as a
+        batch, not as a window flush — ``stats.flushes`` keeps meaning
+        "drain cycles over the whole queue".
+        """
+        with self._lock:
+            events = self._pending.pop(tenant_id, None)
+        if not events:
+            return []
+        return self._coalesce_counted(events)
+
+    def _coalesce_counted(self, events: list[UpdateEvent]) -> list[UpdateEvent]:
+        coalesced = coalesce_events(events)
+        with self._lock:
+            self.stats.flushed += len(coalesced)
+            self.stats.coalesced_away += len(events) - len(coalesced)
+            self.stats.batches += 1
+        return coalesced
+
+    # ------------------------------------------------------------------
+    # Async pump
+    # ------------------------------------------------------------------
+    async def pump(
+        self,
+        sink: FlushSink | None = None,
+        *,
+        flush_interval: float = 0.05,
+        stop: asyncio.Event | None = None,
+        flush: Callable[[], "Awaitable[None]"] | None = None,
+    ) -> None:
+        """Drain every *flush_interval* seconds until *stop*.
+
+        A backlog hitting ``max_pending`` wakes the pump early (safe to
+        trigger from other threads).  Two wiring styles:
+
+        * ``sink`` — the pump drains itself and invokes the sink once
+          per (tenant, batch), awaiting awaitables, so per-tenant
+          batches apply in submission order.
+        * ``flush`` — a coroutine function that performs one whole
+          drain-and-dispatch cycle itself.  Callers whose drain must be
+          atomic with downstream dispatch (e.g. a service keeping
+          queue→worker enqueue order consistent with concurrent
+          per-tenant drains) use this and hold their own lock inside.
+
+        On stop, one final cycle flushes whatever is still buffered.
+        """
+        if flush_interval <= 0:
+            raise ReproError(
+                f"flush_interval must be positive, got {flush_interval}"
+            )
+        if (sink is None) == (flush is None):
+            raise ReproError("pump needs exactly one of sink= or flush=")
+        stop = stop or asyncio.Event()
+        self._wakeup = asyncio.Event()
+        self._pump_loop = asyncio.get_running_loop()
+
+        async def cycle() -> None:
+            if flush is not None:
+                await flush()
+            else:
+                await self._flush_into(sink)
+
+        try:
+            while not stop.is_set():
+                waiters = [
+                    asyncio.create_task(stop.wait()),
+                    asyncio.create_task(self._wakeup.wait()),
+                ]
+                _, pending = await asyncio.wait(
+                    waiters,
+                    timeout=flush_interval,
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                for task in pending:
+                    task.cancel()
+                await asyncio.gather(*pending, return_exceptions=True)
+                self._wakeup.clear()
+                await cycle()
+            await cycle()
+        finally:
+            self._wakeup = None
+            self._pump_loop = None
+
+    async def _flush_into(self, sink: FlushSink) -> None:
+        for tenant_id, events in self.drain().items():
+            if not events:
+                continue
+            outcome = sink(tenant_id, events)
+            if outcome is not None and hasattr(outcome, "__await__"):
+                await outcome

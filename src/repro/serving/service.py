@@ -1,0 +1,259 @@
+"""RiskService — the serving layer's front door.
+
+Ties the pieces together for callers like
+:class:`~repro.system.pipeline.RiskControlCenter`:
+
+* an :class:`~repro.serving.queue.IngestionQueue` absorbing per-tenant
+  update traffic (windowed, last-write-wins coalescing),
+* a :class:`~repro.serving.pool.ServingPool` of per-tenant incremental
+  monitors — each pool worker holds the base snapshot in a
+  :class:`~repro.serving.store.GraphStore` and checks tenant views out
+  of it copy-on-write, which is also where the per-worker memory
+  telemetry in :meth:`RiskService.snapshot` comes from.
+
+The surface is synchronous-friendly — ``submit_update`` buffers, an
+explicit :meth:`flush` applies, :meth:`query_topk` answers after all of
+its tenant's submitted updates — while :meth:`serve` runs the timed
+asyncio flush loop for a live deployment.  Every answer is the
+incremental monitor's, hence bit-identical to a fresh BSR detection with
+the tenant's parameters on the tenant's current graph state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Mapping
+
+from repro.core.errors import ReproError
+from repro.core.graph import UncertainGraph
+from repro.serving.pool import ServingPool
+from repro.serving.queue import IngestionQueue
+from repro.streaming.events import UpdateEvent
+from repro.streaming.monitor import RefreshReport
+
+__all__ = ["RiskService", "ServiceSnapshot"]
+
+TenantId = Hashable
+
+
+@dataclass(frozen=True)
+class ServiceSnapshot:
+    """One consistent telemetry cut of a running service.
+
+    Attributes
+    ----------
+    tenants:
+        Registered tenant ids in registration order.
+    queue:
+        Ingestion-queue counters (submitted / flushed / coalesced-away …).
+    shards:
+        Per-shard worker statistics from the pool (pid, tenant count,
+        deduplicated graph bytes, per-monitor refresh counters).
+    pending:
+        Events buffered but not yet flushed, per tenant.
+    top_k:
+        Per-tenant current answers, present when the snapshot was taken
+        with ``include_topk=True``.
+    """
+
+    tenants: tuple[TenantId, ...]
+    queue: Mapping[str, int]
+    shards: tuple[Mapping, ...]
+    pending: Mapping[TenantId, int]
+    top_k: Mapping[TenantId, object] | None = None
+
+
+class RiskService:
+    """Multi-tenant incremental top-k detection over one shared network.
+
+    Parameters
+    ----------
+    graph:
+        The base network snapshot every tenant monitors; treated as
+        immutable from construction onward.
+    mode, shards, monitor_defaults:
+        Forwarded to :class:`~repro.serving.pool.ServingPool`.
+    max_pending:
+        Per-tenant backlog bound of the ingestion queue.
+    """
+
+    def __init__(
+        self,
+        graph: UncertainGraph,
+        *,
+        mode: str | None = None,
+        shards: int | None = None,
+        monitor_defaults: dict | None = None,
+        max_pending: int = 4096,
+    ) -> None:
+        self._pool = ServingPool(
+            graph,
+            mode=mode,
+            shards=shards,
+            monitor_defaults=monitor_defaults,
+        )
+        self._queue = IngestionQueue(max_pending=max_pending)
+        # Makes [drain the queue -> enqueue to worker shards] atomic, so
+        # concurrent flush paths (the serve() pump, explicit flush(),
+        # per-tenant query_topk drains) cannot reorder a tenant's
+        # batches between queue exit and shard entry — the per-tenant
+        # FIFO the monitors' serial-equivalence rests on.
+        self._dispatch_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def pool(self) -> ServingPool:
+        """The monitor pool executing tenant work."""
+        return self._pool
+
+    @property
+    def queue(self) -> IngestionQueue:
+        """The ingestion queue buffering tenant updates."""
+        return self._queue
+
+    def tenants(self) -> list[TenantId]:
+        """Registered tenant ids."""
+        return self._pool.tenants()
+
+    # ------------------------------------------------------------------
+    # Tenant lifecycle and traffic
+    # ------------------------------------------------------------------
+    def register_tenant(
+        self, tenant_id: TenantId, k: int, **monitor_kwargs
+    ) -> None:
+        """Attach a tenant: a COW view of the snapshot plus a monitor."""
+        self._ensure_open()
+        self._pool.register(tenant_id, k, **monitor_kwargs)
+
+    def submit_update(self, tenant_id: TenantId, event: UpdateEvent) -> None:
+        """Buffer one update for *tenant_id* (applied at the next flush)."""
+        self._ensure_open()
+        if not self._pool.has_tenant(tenant_id):
+            raise ReproError(f"unknown tenant {tenant_id!r}")
+        self._queue.submit(tenant_id, event)
+
+    def submit_updates(
+        self, tenant_id: TenantId, events: Iterable[UpdateEvent]
+    ) -> int:
+        """Buffer a batch of updates; returns how many were accepted."""
+        count = 0
+        for event in events:
+            self.submit_update(tenant_id, event)
+            count += 1
+        return count
+
+    def flush(self) -> dict[TenantId, RefreshReport]:
+        """Apply every buffered update batch; returns per-tenant reports.
+
+        Batches are coalesced (last write per entity wins — provably
+        state-equivalent to serial application) and dispatched to the
+        tenants' shards concurrently; the call returns once every
+        monitor has folded its batch in.
+        """
+        self._ensure_open()
+        futures = self._dispatch_all()
+        return {
+            tenant_id: future.result()
+            for tenant_id, future in futures.items()
+        }
+
+    def _dispatch_all(self) -> dict[TenantId, "object"]:
+        """Atomically drain every backlog and enqueue it shard-side."""
+        with self._dispatch_lock:
+            batches = self._queue.drain()
+            return {
+                tenant_id: self._pool.apply(tenant_id, events)
+                for tenant_id, events in batches.items()
+                if events
+            }
+
+    def query_topk(self, tenant_id: TenantId, *, flush: bool = True):
+        """The tenant's current top-k :class:`DetectionResult`.
+
+        With ``flush=True`` (default) the tenant's own pending updates
+        are applied first, so the answer reflects everything submitted
+        for it before the call — read-your-writes without paying for
+        other tenants' backlogs (their windows flush on their own
+        schedule).
+        """
+        self._ensure_open()
+        if flush:
+            with self._dispatch_lock:
+                events = self._queue.drain_tenant(tenant_id)
+                future = (
+                    self._pool.apply(tenant_id, events) if events else None
+                )
+            if future is not None:
+                future.result()
+        return self._pool.query(tenant_id).result()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshot(self, *, include_topk: bool = False) -> ServiceSnapshot:
+        """Telemetry snapshot; optionally includes per-tenant answers."""
+        self._ensure_open()
+        tenants = tuple(self._pool.tenants())
+        top_k = None
+        if include_topk:
+            if self._queue.pending():
+                self.flush()
+            top_k = self._pool.query_all()
+        return ServiceSnapshot(
+            tenants=tenants,
+            queue=self._queue.stats.as_dict(),
+            shards=tuple(self._pool.stats()),
+            pending={
+                tenant_id: self._queue.pending(tenant_id)
+                for tenant_id in tenants
+            },
+            top_k=top_k,
+        )
+
+    # ------------------------------------------------------------------
+    # Async serving loop
+    # ------------------------------------------------------------------
+    async def serve(
+        self,
+        *,
+        flush_interval: float = 0.05,
+        stop: asyncio.Event | None = None,
+    ) -> None:
+        """Drain the ingestion queue on a timer until *stop* is set.
+
+        Runs :meth:`IngestionQueue.pump` in ``flush=`` mode: each cycle
+        performs the whole drain-and-dispatch under the service's
+        dispatch lock (shared with :meth:`flush` and
+        :meth:`query_topk`), so a request thread draining one tenant
+        mid-cycle can never enqueue ahead of an already-drained earlier
+        batch — per-tenant order is submission order, always.
+        """
+
+        async def flush_cycle() -> None:
+            futures = self._dispatch_all()
+            for future in futures.values():
+                await asyncio.wrap_future(future)
+
+        await self._queue.pump(
+            flush=flush_cycle, flush_interval=flush_interval, stop=stop
+        )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the pool down (idempotent); buffered events are dropped."""
+        if not self._closed:
+            self._closed = True
+            self._pool.shutdown()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ReproError("service is closed")
+
+    def __enter__(self) -> "RiskService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -24,11 +24,15 @@ Semantics
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
+from typing import TYPE_CHECKING, Union
 
 import numpy as np
 
+from repro.core.errors import GraphError
 from repro.core.graph import NodeLabel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.graph import UncertainGraph
 
 __all__ = [
     "SelfRiskUpdate",
@@ -36,6 +40,7 @@ __all__ = [
     "BulkSelfRiskUpdate",
     "BulkEdgeProbabilityUpdate",
     "UpdateEvent",
+    "apply_event",
 ]
 
 
@@ -92,3 +97,23 @@ UpdateEvent = Union[
     BulkSelfRiskUpdate,
     BulkEdgeProbabilityUpdate,
 ]
+
+
+def apply_event(graph: "UncertainGraph", event: UpdateEvent) -> None:
+    """Apply one event directly to *graph* through its setters.
+
+    The executable semantics of the event vocabulary — what a monitor's
+    intake does, minus the dirty bookkeeping.  Serving benchmarks and
+    equivalence tests use it to maintain shadow graphs that replay a
+    tenant's stream outside any monitor.
+    """
+    if isinstance(event, SelfRiskUpdate):
+        graph.set_self_risk(event.label, event.value)
+    elif isinstance(event, EdgeProbabilityUpdate):
+        graph.set_edge_probability(event.src, event.dst, event.value)
+    elif isinstance(event, BulkSelfRiskUpdate):
+        graph.set_all_self_risks(event.values)
+    elif isinstance(event, BulkEdgeProbabilityUpdate):
+        graph.set_all_edge_probabilities(event.values)
+    else:
+        raise GraphError(f"unknown update event: {event!r}")

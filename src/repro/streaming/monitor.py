@@ -409,6 +409,13 @@ class TopKMonitor:
 
         Returns ``(node_idx, node_old, edge_idx, edge_old, head_idx)``;
         entities patched back to their pre-refresh value drop out.
+
+        Entity arrays come back sorted by index, *not* in ingestion
+        order: the dirty dicts are keyed by entity (first-old wins, last
+        value is whatever the graph holds now), so any two event
+        sequences that leave the same graph state — e.g. a coalesced
+        last-write-wins batch vs. its serial original — must hand the
+        refresh pipeline exactly the same arrays.
         """
         graph = self._graph
         node_idx = np.fromiter(
@@ -427,6 +434,12 @@ class TopKMonitor:
             self._dirty_edge_old.values(), dtype=np.float64,
             count=len(self._dirty_edge_old),
         )
+        if node_idx.size:
+            order = np.argsort(node_idx)
+            node_idx, node_old = node_idx[order], node_old[order]
+        if edge_idx.size:
+            order = np.argsort(edge_idx)
+            edge_idx, edge_old = edge_idx[order], edge_old[order]
         # A topology change renumbers entities; the full fallback ignores
         # dirt entirely, so stale indices are never dereferenced.
         if (graph.num_nodes, graph.num_edges) != self._shape:

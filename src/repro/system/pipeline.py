@@ -18,7 +18,7 @@ the watch list incrementally instead of re-detecting from scratch.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import TYPE_CHECKING, Hashable, Iterable
 
 from repro.core.errors import ReproError
 from repro.streaming.events import UpdateEvent
@@ -27,6 +27,9 @@ from repro.system.evaluation import EvaluationModule
 from repro.system.loans import Decision, LoanApplication, LoanDecision
 from repro.system.rules import RuleEngine
 from repro.system.vulnds import PortfolioAssessment, VulnDS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.service import RiskService
 
 __all__ = ["AuditRecord", "RiskControlCenter"]
 
@@ -65,6 +68,10 @@ class RiskControlCenter:
     watch_fraction: float = 0.1
     review_threshold: float = 0.5
     audit_log: list[AuditRecord] = field(default_factory=list)
+    _service: "RiskService | None" = field(
+        default=None, init=False, repr=False
+    )
+    _service_tenant: Hashable = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if not 0.0 < self.watch_fraction <= 1.0:
@@ -119,6 +126,51 @@ class RiskControlCenter:
         )
         return monitor
 
+    def attach_serving(
+        self,
+        service: "RiskService",
+        tenant_id: Hashable | None = None,
+        **monitor_kwargs,
+    ) -> Hashable:
+        """Serve this centre's watch list as one tenant of *service*.
+
+        Many control centres (one per portfolio) can attach to the same
+        :class:`~repro.serving.service.RiskService`, sharing its base
+        graph buffers and worker pool.  The tenant's monitor is sized to
+        this centre's watch list; keyword arguments configure it (seed,
+        engine, epsilon, …).  After attaching,
+        :meth:`apply_market_update` routes events through the service's
+        ingestion queue instead of an in-process monitor — the tenant's
+        copy-on-write view becomes the authoritative live state, while
+        this centre's own graph stays at the shared snapshot.
+        """
+        if self._service is not None:
+            raise ReproError("a serving tenant is already attached")
+        base = service.pool.base_graph
+        ours = self.vulnds.graph
+        if base is not ours and (
+            base.num_nodes != ours.num_nodes
+            or base.num_edges != ours.num_edges
+            or base.labels() != ours.labels()
+        ):
+            raise ReproError(
+                "serving base snapshot does not match this centre's "
+                f"network ({base.num_nodes}n/{base.num_edges}e vs "
+                f"{ours.num_nodes}n/{ours.num_edges}e or labels differ); "
+                "build the RiskService over the same graph"
+            )
+        if tenant_id is None:
+            tenant_id = f"portfolio-{len(service.tenants())}"
+        service.register_tenant(tenant_id, self.watch_k, **monitor_kwargs)
+        self._service = service
+        self._service_tenant = tenant_id
+        self._audit(
+            "serving-attached",
+            f"tenant {tenant_id!r} registered (top-{self.watch_k}, "
+            f"pool mode={service.pool.mode})",
+        )
+        return tenant_id
+
     def apply_market_update(
         self, events: Iterable[UpdateEvent]
     ) -> PortfolioAssessment:
@@ -126,8 +178,12 @@ class RiskControlCenter:
 
         The returned assessment is bit-identical to a from-scratch
         detection on the updated network — the monitor only reuses what
-        it can prove unchanged.  Requires :meth:`enable_streaming`.
+        it can prove unchanged.  Requires :meth:`enable_streaming` (or
+        :meth:`attach_serving`, which routes the updates through the
+        shared service's ingestion queue instead).
         """
+        if self._service is not None:
+            return self._apply_via_service(events)
         applied = self.vulnds.apply_updates(events)
         monitor = self.vulnds.monitor
         # refresh() yields *this* update's report even for a no-op batch
@@ -151,6 +207,30 @@ class RiskControlCenter:
             # the assessment fell back to the configured detector; do
             # not claim streaming telemetry for it.
             detail += "; served by full detection (watch size changed)"
+        self._audit("market-update", detail)
+        return assessment
+
+    def _apply_via_service(
+        self, events: Iterable[UpdateEvent]
+    ) -> PortfolioAssessment:
+        """Route one market update through the attached serving tenant."""
+        service = self._service
+        tenant_id = self._service_tenant
+        assert service is not None
+        applied = service.submit_updates(tenant_id, events)
+        reports = service.flush()
+        detection = service.query_topk(tenant_id, flush=False)
+        assessment = self.vulnds.adopt_assessment(detection)
+        detail = (
+            f"{applied} updates submitted to serving tenant {tenant_id!r}"
+        )
+        report = reports.get(tenant_id)
+        if report is not None:
+            detail += (
+                f"; refresh={report.mode}, sampling={report.sampling} "
+                f"({report.worlds_repaired}/{report.samples} worlds), "
+                f"{report.elapsed_seconds * 1e3:.1f}ms"
+            )
         self._audit("market-update", detail)
         return assessment
 

@@ -57,6 +57,22 @@ class PortfolioAssessment:
         """The enterprise's score, or ``None`` if not watch-listed."""
         return self.scores.get(enterprise_id)
 
+    @classmethod
+    def from_detection(cls, detection: DetectionResult) -> "PortfolioAssessment":
+        """Wrap a raw detection as an assessment (watch list + scores).
+
+        The single place the detection→assessment projection lives; used
+        by :meth:`VulnDS.assess_portfolio` and by the serving layer when
+        a tenant's answer arrives from a :class:`~repro.serving.service.
+        RiskService` instead of an in-process detector.
+        """
+        watch_list = tuple(str(label) for label in detection.nodes)
+        scores = {
+            str(label): float(score)
+            for label, score in detection.scores.items()
+        }
+        return cls(detection=detection, watch_list=watch_list, scores=scores)
+
 
 class VulnDS:
     """The vulnerable-SME detection service.
@@ -179,13 +195,17 @@ class VulnDS:
             detection = self._monitor.top_k()
         else:
             detection = self._detector.detect(self._graph, k)
-        watch_list = tuple(str(label) for label in detection.nodes)
-        scores = {
-            str(label): float(score)
-            for label, score in detection.scores.items()
-        }
-        assessment = PortfolioAssessment(
-            detection=detection, watch_list=watch_list, scores=scores
-        )
+        return self.adopt_assessment(detection)
+
+    def adopt_assessment(self, detection: DetectionResult) -> PortfolioAssessment:
+        """Record an externally computed detection as the current state.
+
+        The serving path computes detections in a tenant monitor that
+        lives outside this service (possibly in another process); this
+        folds such an answer back in so :attr:`last_assessment` — and
+        everything the risk-control centre derives from it — stays
+        coherent regardless of where detection ran.
+        """
+        assessment = PortfolioAssessment.from_detection(detection)
         self._last_assessment = assessment
         return assessment

@@ -19,6 +19,22 @@ settings.register_profile(
 settings.load_profile("repro")
 
 
+@pytest.fixture(autouse=True)
+def _synthetic_datasets_only(monkeypatch, tmp_path_factory):
+    """Isolate tests from real SNAP downloads on the developer's disk.
+
+    ``load_dataset`` substitutes real topology whenever the file exists
+    under ``data/snap`` / ``$REPRO_DATA_DIR``; shape and determinism
+    assertions must not depend on whether someone ran the download
+    script.  Points the data dir at an empty directory — the SNAP tests
+    re-point it at their bundled fixtures explicitly.
+    """
+    monkeypatch.setenv(
+        "REPRO_DATA_DIR",
+        str(tmp_path_factory.getbasetemp() / "no-snap-data"),
+    )
+
+
 @pytest.fixture
 def paper_graph() -> UncertainGraph:
     """The toy guaranteed-loan network of the paper's Figure 3.

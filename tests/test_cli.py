@@ -154,3 +154,57 @@ class TestStreamSubcommand:
         code = main(["stream", "--graph", "/nonexistent.json", "--k", "1"])
         assert code == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestServeSubcommand:
+    def test_serve_verifies_bit_identity(self, graph_json, capsys):
+        code = main(
+            ["serve", "--graph", graph_json, "--k", "2",
+             "--tenants", "3", "--events", "4", "--mode", "serial",
+             "--seed", "1", "--verify"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "serving top-2 to 3 tenants" in out
+        assert "3/3 tenants bit-identical" in out
+        assert "updates/s" in out
+
+    def test_serve_json_output_parses(self, graph_json, capsys):
+        code = main(
+            ["serve", "--graph", graph_json, "--k", "1",
+             "--tenants", "2", "--events", "3", "--mode", "serial",
+             "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tenants"] == 2
+        assert payload["events"] == 6
+        assert len(payload["tenants_detail"]) == 2
+        assert payload["queue"]["submitted"] == 6
+        assert payload["graph_bytes_shared"] > 0
+
+    def test_serve_dataset_source(self, capsys):
+        code = main(
+            ["serve", "--dataset", "guarantee", "--scale", "0.02",
+             "--k-percent", "1", "--tenants", "2", "--events", "2",
+             "--mode", "serial"]
+        )
+        assert code == 0
+        assert "serving top-" in capsys.readouterr().out
+
+    def test_serve_rejects_bad_counts(self, graph_json, capsys):
+        assert main(
+            ["serve", "--graph", graph_json, "--k", "1",
+             "--tenants", "0", "--mode", "serial"]
+        ) == 1
+        assert "tenants" in capsys.readouterr().err
+        assert main(
+            ["serve", "--graph", graph_json, "--k", "1",
+             "--events", "0", "--mode", "serial"]
+        ) == 1
+
+    def test_serve_missing_file_reports_error(self, capsys):
+        code = main(["serve", "--graph", "/nonexistent.json", "--k", "1",
+                     "--mode", "serial"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

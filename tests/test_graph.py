@@ -559,3 +559,102 @@ class TestFromArraysProperties:
         assert list(twice.edges()) == list(graph.edges())
         assert twice.labels() == graph.labels()
         graph.reverse().validate()
+
+
+class TestShareView:
+    """Copy-on-write buffer sharing (the serving layer's graph hook)."""
+
+    def _graph(self):
+        return UncertainGraph.from_arrays(
+            self_risks=[0.1, 0.2, 0.3, 0.4],
+            edge_src=[0, 1, 2],
+            edge_dst=[1, 2, 3],
+            edge_probs=[0.5, 0.6, 0.7],
+            labels=["a", "b", "c", "d"],
+        )
+
+    def test_view_answers_identically(self):
+        graph = self._graph()
+        view = graph.share_view()
+        assert view.labels() == graph.labels()
+        assert list(view.edges()) == list(graph.edges())
+        assert np.array_equal(view.self_risk_array, graph.self_risk_array)
+        view.validate()
+
+    def test_probability_patches_do_not_leak_either_way(self):
+        graph = self._graph()
+        view = graph.share_view()
+        view.set_self_risk("a", 0.9)
+        view.set_edge_probability("a", "b", 0.11)
+        assert graph.self_risk("a") == 0.1
+        assert graph.edge_probability("a", "b") == 0.5
+        graph.set_self_risk("b", 0.8)
+        graph.set_edge_probability("b", "c", 0.22)
+        assert view.self_risk("b") == 0.2
+        assert view.edge_probability("b", "c") == 0.6
+        # Patches land in each holder's cached CSR views in place.
+        in_csr = view.in_csr()
+        eid = view.edge_id("a", "b")
+        position = np.flatnonzero(in_csr.edge_ids == eid)[0]
+        assert in_csr.probs[position] == 0.11
+
+    def test_bulk_setters_fork(self):
+        graph = self._graph()
+        view = graph.share_view()
+        view.set_all_self_risks([0.5, 0.5, 0.5, 0.5])
+        view.set_all_edge_probabilities([0.9, 0.9, 0.9])
+        assert graph.self_risk("a") == 0.1
+        assert graph.edge_probability("a", "b") == 0.5
+
+    def test_structural_mutations_fork_maps(self):
+        graph = self._graph()
+        view = graph.share_view()
+        view.add_node("e", 0.5)
+        view.add_edge("d", "e", 0.3)
+        assert "e" not in graph
+        assert graph.num_edges == 3
+        graph.add_node("f", 0.6)
+        assert "f" not in view
+        view.validate()
+        graph.validate()
+
+    def test_share_view_of_forked_view(self):
+        graph = self._graph()
+        view = graph.share_view()
+        view.set_self_risk("a", 0.7)  # forks the self-risk column
+        second = view.share_view()
+        assert second.self_risk("a") == 0.7
+        second.set_self_risk("a", 0.2)
+        assert view.self_risk("a") == 0.7
+
+    def test_storage_arrays_shared_between_holders(self):
+        graph = self._graph()
+        view = graph.share_view()
+        shared = {id(a) for a in graph.storage_arrays()} & {
+            id(a) for a in view.storage_arrays()
+        }
+        # Attribute columns + CSR topology are shared objects; only the
+        # two CSR probability columns are private per holder.
+        assert len(shared) >= 8
+
+    def test_detection_equivalent_on_view(self):
+        from repro.algorithms.bsr import BoundedSampleReverseDetector
+
+        rng = np.random.default_rng(5)
+        n = 200
+        src = rng.integers(0, n, 600)
+        dst = rng.integers(0, n, 600)
+        keep = src != dst
+        pairs = {(int(s), int(d)) for s, d in zip(src[keep], dst[keep])}
+        src = np.array([p[0] for p in pairs])
+        dst = np.array([p[1] for p in pairs])
+        graph = UncertainGraph.from_arrays(
+            rng.random(n) * 0.3, src, dst, rng.random(src.size)
+        )
+        view = graph.share_view()
+        detector = BoundedSampleReverseDetector(seed=3, engine="indexed")
+        a = detector.detect(graph, 5)
+        b = detector.detect(view, 5)
+        assert a.nodes == b.nodes
+        assert a.scores == b.scores
+        assert a.samples_used == b.samples_used

@@ -1,0 +1,537 @@
+"""Tests for the multi-tenant serving layer.
+
+Covers the COW graph store, event coalescing, the ingestion queue (sync
+core and async pump), the sharded serving pool — including the 8-tenant
+interleaved bit-identity oracle against a single-threaded reference —
+and the RiskService façade plus its RiskControlCenter integration.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bsr import BoundedSampleReverseDetector
+from repro.core.errors import GraphError, ReproError
+from repro.core.graph import UncertainGraph
+from repro.datasets.registry import load_dataset
+from repro.serving import (
+    GraphStore,
+    IngestionQueue,
+    RiskService,
+    ServingPool,
+    available_modes,
+    coalesce_events,
+    unique_buffer_bytes,
+)
+from repro.streaming.events import (
+    BulkEdgeProbabilityUpdate,
+    BulkSelfRiskUpdate,
+    EdgeProbabilityUpdate,
+    SelfRiskUpdate,
+    apply_event,
+)
+from repro.streaming.monitor import TopKMonitor
+from repro.streaming.replay import random_patch_stream
+
+
+@pytest.fixture(scope="module")
+def base_graph() -> UncertainGraph:
+    """A mid-sized guarantee network shared by the serving tests."""
+    return load_dataset("guarantee", scale=0.02, seed=3).graph
+
+
+def tenant_events(graph, count, seed, drift=0.15):
+    """A materialised per-tenant patch stream plus its final shadow."""
+    shadow = graph.copy()
+    events = []
+    for event in random_patch_stream(shadow, count, seed=seed, drift=drift):
+        apply_event(shadow, event)
+        events.append(event)
+    return events, shadow
+
+
+class TestCoalesce:
+    def test_last_write_wins_per_entity(self):
+        events = [
+            SelfRiskUpdate("a", 0.1),
+            EdgeProbabilityUpdate("a", "b", 0.4),
+            SelfRiskUpdate("a", 0.3),
+            EdgeProbabilityUpdate("a", "b", 0.9),
+            SelfRiskUpdate("b", 0.2),
+        ]
+        out = coalesce_events(events)
+        assert len(out) == 3
+        assert {e.value for e in out} == {0.3, 0.9, 0.2}
+
+    def test_bulk_absorbs_earlier_singles_of_its_type(self):
+        bulk = BulkSelfRiskUpdate(values=np.zeros(3))
+        events = [
+            SelfRiskUpdate("a", 0.1),
+            EdgeProbabilityUpdate("a", "b", 0.4),
+            bulk,
+            SelfRiskUpdate("b", 0.2),
+        ]
+        out = coalesce_events(events)
+        # Edge update survives (different type); node single before the
+        # bulk is absorbed; the one after stays after.
+        assert out[0].src == "a" or isinstance(out[0], BulkSelfRiskUpdate)
+        kinds = [type(e) for e in out]
+        assert kinds.count(BulkSelfRiskUpdate) == 1
+        assert out.index(bulk) < out.index(events[3])
+        assert len(out) == 3
+
+    def test_repeated_bulks_keep_last(self):
+        first = BulkEdgeProbabilityUpdate(values=np.zeros(2))
+        second = BulkEdgeProbabilityUpdate(values=np.ones(2))
+        out = coalesce_events([first, second])
+        assert out == [second]
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(GraphError):
+            coalesce_events([object()])
+
+    def test_state_equivalence_on_real_stream(self, base_graph):
+        events, _ = tenant_events(base_graph, 30, seed=11)
+        # Inject same-entity repeats so coalescing actually collapses.
+        events = events + events[:10]
+        serial = base_graph.copy()
+        for event in events:
+            apply_event(serial, event)
+        coalesced_graph = base_graph.copy()
+        coalesced = coalesce_events(events)
+        assert len(coalesced) < len(events)
+        for event in coalesced:
+            apply_event(coalesced_graph, event)
+        assert np.array_equal(
+            serial.self_risk_array, coalesced_graph.self_risk_array
+        )
+        assert np.array_equal(
+            serial.edge_array[2], coalesced_graph.edge_array[2]
+        )
+
+
+class TestGraphStore:
+    def test_checkout_shares_buffers(self, base_graph):
+        store = GraphStore()
+        store.put("loans", base_graph.copy())
+        views = [store.checkout("loans") for _ in range(20)]
+        report = store.memory_report("loans")
+        assert report.checkouts == 20
+        # 21 graphs but far less than 21 graphs' worth of bytes: the
+        # only per-checkout cost is the in-place-patchable CSR probs.
+        assert report.dedup_ratio > 3.0
+        # Views answer identically and mutate independently.
+        label = views[0].labels()[0]
+        views[0].set_self_risk(label, 0.987)
+        assert views[1].self_risk(label) != 0.987
+        assert store.base("loans").self_risk(label) != 0.987
+
+    def test_duplicate_and_unknown_names(self, base_graph):
+        store = GraphStore()
+        store.put("x", base_graph.copy())
+        with pytest.raises(GraphError):
+            store.put("x", base_graph.copy())
+        with pytest.raises(GraphError):
+            store.checkout("y")
+        with pytest.raises(GraphError):
+            store.base("y")
+        assert store.names() == ["x"]
+        assert store.checkout_count("x") == 0
+
+    def test_unique_buffer_bytes_dedupes(self, base_graph):
+        graph = base_graph.copy()
+        graph.out_csr(), graph.in_csr()
+        one = unique_buffer_bytes([graph])
+        view = graph.share_view()
+        both = unique_buffer_bytes([graph, view])
+        assert one < both < 2 * one
+
+
+class TestIngestionQueue:
+    def test_submit_drain_coalesces(self):
+        queue = IngestionQueue()
+        queue.submit("t1", SelfRiskUpdate("a", 0.1))
+        queue.submit("t1", SelfRiskUpdate("a", 0.2))
+        queue.submit("t2", SelfRiskUpdate("b", 0.3))
+        assert queue.pending() == 3
+        assert queue.pending("t1") == 2
+        batches = queue.drain()
+        assert list(batches) == ["t1", "t2"]
+        assert len(batches["t1"]) == 1
+        assert batches["t1"][0].value == 0.2
+        assert queue.pending() == 0
+        stats = queue.stats.as_dict()
+        assert stats["submitted"] == 3
+        assert stats["flushed"] == 2
+        assert stats["coalesced_away"] == 1
+        assert stats["flushes"] == 1
+        assert stats["batches"] == 2
+
+    def test_empty_drain_counts_no_flush(self):
+        queue = IngestionQueue()
+        assert queue.drain() == {}
+        assert queue.stats.flushes == 0
+
+    def test_bad_parameters(self):
+        with pytest.raises(ReproError):
+            IngestionQueue(max_pending=0)
+
+    def test_pump_flushes_on_timer_and_stop(self):
+        queue = IngestionQueue()
+        seen: list[tuple] = []
+
+        async def scenario():
+            stop = asyncio.Event()
+            task = asyncio.create_task(
+                queue.pump(
+                    lambda t, evs: seen.append((t, len(evs))),
+                    flush_interval=0.01,
+                    stop=stop,
+                )
+            )
+            queue.submit("t", SelfRiskUpdate("a", 0.1))
+            await asyncio.sleep(0.05)
+            assert seen == [("t", 1)]
+            queue.submit("t", SelfRiskUpdate("a", 0.2))
+            stop.set()
+            await task  # final drain flushes the straggler
+
+        asyncio.run(scenario())
+        assert seen == [("t", 1), ("t", 1)]
+
+    def test_pump_wakes_early_at_max_pending(self):
+        queue = IngestionQueue(max_pending=3)
+        seen: list[int] = []
+
+        async def scenario():
+            stop = asyncio.Event()
+            task = asyncio.create_task(
+                queue.pump(
+                    lambda t, evs: seen.append(len(evs)),
+                    flush_interval=30.0,  # timer alone would never fire
+                    stop=stop,
+                )
+            )
+            await asyncio.sleep(0)
+            for i in range(3):
+                queue.submit("t", SelfRiskUpdate("a", 0.1 * (i + 1)))
+            await asyncio.sleep(0.05)
+            assert seen, "backlog at max_pending must wake the pump"
+            stop.set()
+            await task
+
+        asyncio.run(scenario())
+
+
+def _reference_answers(graph, streams, k, seed):
+    """Single-threaded reference: one monitor per tenant, serial."""
+    answers = {}
+    for tenant_id, events in streams.items():
+        monitor = TopKMonitor(graph.copy(), k, seed=seed, engine="indexed")
+        monitor.top_k()
+        for batch in events:
+            monitor.apply(batch)
+        answers[tenant_id] = monitor.top_k()
+    return answers
+
+
+class TestServingPool:
+    @pytest.mark.parametrize("mode", available_modes())
+    def test_eight_tenants_interleaved_bit_identical(self, base_graph, mode):
+        """Interleaved updates/queries across 8 tenants == serial runs."""
+        k, seed, tenants = 5, 0, 8
+        streams = {
+            f"t{i}": [
+                batch
+                for batch in np.array_split(
+                    tenant_events(base_graph, 12, seed=40 + i)[0], 3
+                )
+            ]
+            for i in range(tenants)
+        }
+        streams = {
+            tid: [list(batch) for batch in batches if len(batch)]
+            for tid, batches in streams.items()
+        }
+        reference = _reference_answers(base_graph, streams, k, seed)
+        with ServingPool(
+            base_graph.copy() if mode != "fork" else base_graph.copy(),
+            mode=mode,
+            shards=3,
+            monitor_defaults={"seed": seed, "engine": "indexed"},
+        ) as pool:
+            for tid in streams:
+                pool.register(tid, k)
+            # Interleave: round r of every tenant, queries mixed in.
+            mid_queries = {}
+            for round_index in range(3):
+                futures = [
+                    pool.apply(tid, streams[tid][round_index])
+                    for tid in streams
+                ]
+                for future in futures:
+                    future.result()
+                if round_index == 1:
+                    mid_queries = pool.query_all()
+            final = pool.query_all()
+        for tid in streams:
+            assert final[tid].same_answer(reference[tid])
+        # Mid-run queries must also match a reference cut mid-stream.
+        mid_reference = _reference_answers(
+            base_graph,
+            {tid: batches[:2] for tid, batches in streams.items()},
+            k,
+            seed,
+        )
+        for tid in streams:
+            assert mid_queries[tid].nodes == mid_reference[tid].nodes
+            assert mid_queries[tid].scores == mid_reference[tid].scores
+
+    def test_per_tenant_fifo_and_errors(self, base_graph):
+        with ServingPool(
+            base_graph.copy(), mode="serial",
+            monitor_defaults={"seed": 0, "engine": "indexed"},
+        ) as pool:
+            pool.register("a", 3)
+            with pytest.raises(ReproError):
+                pool.register("a", 3)
+            with pytest.raises(ReproError):
+                pool.apply("ghost", []).result()
+            with pytest.raises(ReproError):
+                pool.query("ghost")
+            label = base_graph.labels()[0]
+            r1 = pool.apply("a", [SelfRiskUpdate(label, 0.4)]).result()
+            r2 = pool.apply("a", [SelfRiskUpdate(label, 0.5)]).result()
+            assert r1.mode in ("initial", "incremental", "full")
+            assert r2.dirty_nodes == 1
+            stats = pool.stats()
+            assert stats[0]["tenants"] == 1
+            assert stats[0]["graph_bytes"] > 0
+
+    def test_bad_mode_and_shards(self, base_graph):
+        with pytest.raises(ReproError):
+            ServingPool(base_graph.copy(), mode="quantum")
+        with pytest.raises(ReproError):
+            ServingPool(base_graph.copy(), mode="serial", shards=0)
+
+
+class TestRiskService:
+    def test_read_your_writes_and_bit_identity(self, base_graph):
+        events, shadow = tenant_events(base_graph, 10, seed=77)
+        with RiskService(
+            base_graph.copy(),
+            mode="serial",
+            monitor_defaults={"seed": 0, "engine": "indexed"},
+        ) as service:
+            service.register_tenant("p", 5)
+            for event in events:
+                service.submit_update("p", event)
+            assert service.queue.pending("p") == len(events)
+            result = service.query_topk("p")  # flushes first
+            assert service.queue.pending("p") == 0
+            fresh = BoundedSampleReverseDetector(
+                seed=0, engine="indexed"
+            ).detect(shadow, 5)
+            assert result.same_answer(fresh)
+
+    def test_unknown_tenant_and_closed_service(self, base_graph):
+        service = RiskService(base_graph.copy(), mode="serial")
+        service.register_tenant("p", 3)
+        with pytest.raises(ReproError):
+            service.submit_update("ghost", SelfRiskUpdate("x", 0.1))
+        service.close()
+        with pytest.raises(ReproError):
+            service.register_tenant("q", 3)
+        with pytest.raises(ReproError):
+            service.query_topk("p")
+        service.close()  # idempotent
+
+    def test_snapshot_telemetry(self, base_graph):
+        with RiskService(
+            base_graph.copy(),
+            mode="serial",
+            monitor_defaults={"seed": 0, "engine": "indexed"},
+        ) as service:
+            service.register_tenant("a", 3)
+            service.register_tenant("b", 3)
+            label = base_graph.labels()[1]
+            service.submit_update("a", SelfRiskUpdate(label, 0.31))
+            snap = service.snapshot()
+            assert snap.tenants == ("a", "b")
+            assert snap.pending["a"] == 1 and snap.pending["b"] == 0
+            assert snap.top_k is None
+            full = service.snapshot(include_topk=True)
+            assert set(full.top_k) == {"a", "b"}
+            assert full.queue["submitted"] == 1
+
+    def test_async_serve_loop(self, base_graph):
+        events, shadow = tenant_events(base_graph, 8, seed=5)
+
+        async def scenario():
+            with RiskService(
+                base_graph.copy(),
+                mode="serial",
+                monitor_defaults={"seed": 0, "engine": "indexed"},
+            ) as service:
+                service.register_tenant("p", 4)
+                stop = asyncio.Event()
+                pump = asyncio.create_task(
+                    service.serve(flush_interval=0.01, stop=stop)
+                )
+                for event in events:
+                    service.submit_update("p", event)
+                    await asyncio.sleep(0)
+                await asyncio.sleep(0.05)
+                stop.set()
+                await pump
+                assert service.queue.pending() == 0
+                result = service.query_topk("p", flush=False)
+                fresh = BoundedSampleReverseDetector(
+                    seed=0, engine="indexed"
+                ).detect(shadow, 4)
+                assert result.same_answer(fresh)
+
+        asyncio.run(scenario())
+
+
+class TestPipelineIntegration:
+    def test_control_center_serves_through_service(self, base_graph):
+        from repro.system.pipeline import RiskControlCenter
+        from repro.system.rules import BlacklistRule, RuleEngine
+        from repro.system.vulnds import VulnDS
+
+        graph = base_graph.copy()
+        events, shadow = tenant_events(graph, 8, seed=21)
+        with RiskService(
+            graph,
+            mode="serial",
+            monitor_defaults={"seed": 0, "engine": "indexed"},
+        ) as service:
+            center = RiskControlCenter(
+                rule_engine=RuleEngine([BlacklistRule([])]),
+                vulnds=VulnDS(graph),
+                watch_fraction=0.02,
+            )
+            tenant_id = center.attach_serving(service)
+            assert tenant_id in service.tenants()
+            with pytest.raises(ReproError):
+                center.attach_serving(service)
+            assessment = center.apply_market_update(events)
+            fresh = BoundedSampleReverseDetector(
+                seed=0, engine="indexed"
+            ).detect(shadow, center.watch_k)
+            assert assessment.watch_list == tuple(
+                str(node) for node in fresh.nodes
+            )
+            assert center.vulnds.last_assessment is assessment
+            kinds = [record.event for record in center.audit_log]
+            assert "serving-attached" in kinds
+            assert "market-update" in kinds
+
+
+class TestReviewHardening:
+    """Pins the behaviours added by review: weakref checkouts, per-tenant
+    drains, base-graph attachment guard, O(1) membership."""
+
+    def test_store_releases_dead_checkouts(self, base_graph):
+        import gc
+
+        store = GraphStore()
+        store.put("s", base_graph.copy())
+        keep = store.checkout("s")
+        drop = store.checkout("s")
+        assert store.checkout_count("s") == 2
+        del drop
+        gc.collect()
+        assert store.checkout_count("s") == 1
+        assert store.memory_report("s").checkouts == 1
+        assert keep.num_nodes == base_graph.num_nodes
+
+    def test_drain_tenant_leaves_others_buffered(self):
+        queue = IngestionQueue()
+        queue.submit("a", SelfRiskUpdate("x", 0.1))
+        queue.submit("a", SelfRiskUpdate("x", 0.2))
+        queue.submit("b", SelfRiskUpdate("y", 0.3))
+        batch = queue.drain_tenant("a")
+        assert len(batch) == 1 and batch[0].value == 0.2
+        assert queue.pending("a") == 0
+        assert queue.pending("b") == 1
+        assert queue.drain_tenant("ghost") == []
+
+    def test_query_topk_flushes_only_queried_tenant(self, base_graph):
+        with RiskService(
+            base_graph.copy(),
+            mode="serial",
+            monitor_defaults={"seed": 0, "engine": "indexed"},
+        ) as service:
+            service.register_tenant("a", 3)
+            service.register_tenant("b", 3)
+            label = base_graph.labels()[0]
+            service.submit_update("a", SelfRiskUpdate(label, 0.41))
+            service.submit_update("b", SelfRiskUpdate(label, 0.42))
+            service.query_topk("a")
+            assert service.queue.pending("a") == 0
+            assert service.queue.pending("b") == 1
+
+    def test_attach_serving_rejects_mismatched_graph(self, base_graph):
+        from repro.system.pipeline import RiskControlCenter
+        from repro.system.rules import BlacklistRule, RuleEngine
+        from repro.system.vulnds import VulnDS
+
+        other = load_dataset("guarantee", scale=0.01, seed=9).graph
+        with RiskService(base_graph.copy(), mode="serial") as service:
+            center = RiskControlCenter(
+                rule_engine=RuleEngine([BlacklistRule([])]),
+                vulnds=VulnDS(other),
+                watch_fraction=0.05,
+            )
+            with pytest.raises(ReproError):
+                center.attach_serving(service)
+            assert service.tenants() == []
+
+    def test_pool_has_tenant(self, base_graph):
+        with ServingPool(base_graph.copy(), mode="serial") as pool:
+            assert not pool.has_tenant("t")
+            pool.register("t", 2, seed=0, engine="indexed")
+            assert pool.has_tenant("t")
+
+    def test_threaded_submit_racing_pump_loses_nothing(self, base_graph):
+        """Events submitted from a foreign thread during pump drains all
+        arrive (the documented never-drop guarantee)."""
+        import threading
+
+        queue = IngestionQueue(max_pending=8)
+        received: list = []
+        total = 400
+
+        async def scenario():
+            stop = asyncio.Event()
+            pump = asyncio.create_task(
+                queue.pump(
+                    lambda t, evs: received.extend(evs),
+                    flush_interval=0.001,
+                    stop=stop,
+                )
+            )
+            await asyncio.sleep(0)
+            worker = threading.Thread(
+                target=lambda: [
+                    queue.submit("t", SelfRiskUpdate(i, float(i % 7) / 10))
+                    for i in range(total)
+                ]
+            )
+            worker.start()
+            while worker.is_alive():
+                await asyncio.sleep(0.001)
+            worker.join()
+            await asyncio.sleep(0.02)
+            stop.set()
+            await pump
+
+        asyncio.run(scenario())
+        # Distinct entities coalesce only with themselves; every label
+        # must surface exactly once with its final value.
+        assert {event.label for event in received} == set(range(total))

@@ -1,0 +1,188 @@
+"""Tests for the SNAP loaders and the checksum-verifying downloader.
+
+No network anywhere: the loader tests run on the fixture files under
+``tests/data/snap`` (tiny graphs in the real WikiVote / bitcoin-OTC
+schemas) and the downloader tests exercise its hashing/manifest helpers
+on temp files.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DatasetError
+from repro.datasets.registry import load_dataset, table2_rows
+from repro.datasets.snap import (
+    SNAP_SOURCES,
+    find_snap_file,
+    load_snap_graph,
+    parse_snap_edges,
+    snap_data_dir,
+)
+
+FIXTURES = Path(__file__).parent / "data" / "snap"
+REPO_ROOT = Path(__file__).parent.parent
+
+
+def _load_downloader():
+    """Import scripts/download_datasets.py as a module."""
+    spec = importlib.util.spec_from_file_location(
+        "download_datasets", REPO_ROOT / "scripts" / "download_datasets.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("download_datasets", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestParser:
+    def test_wiki_vote_schema(self):
+        with open(FIXTURES / "wiki-Vote.txt", encoding="utf-8") as handle:
+            src, dst, report = parse_snap_edges(handle)
+        assert report.edges_read == 9
+        assert report.self_loops_dropped == 0
+        assert report.duplicates_dropped == 0
+        assert report.nodes == 7
+        assert src.tolist()[:3] == [30, 30, 30]
+        assert dst.tolist()[:3] == [1412, 3352, 5254]
+
+    def test_comma_schema_with_extra_columns(self):
+        with open(
+            FIXTURES / "soc-sign-bitcoinotc.csv", encoding="utf-8"
+        ) as handle:
+            src, dst, report = parse_snap_edges(handle)
+        # One duplicate (13, 16) pair and one self-loop (10, 10) dropped.
+        assert report.edges_read == 7
+        assert report.self_loops_dropped == 1
+        assert report.duplicates_dropped == 1
+        assert src.size == dst.size == 5
+
+    def test_comments_and_blank_lines_skipped(self):
+        src, dst, report = parse_snap_edges(
+            ["# header", "", "1\t2", "  ", "# more", "2 3 extra ignored"]
+        )
+        assert src.tolist() == [1, 2]
+        assert dst.tolist() == [2, 3]
+        assert report.nodes == 3
+
+    def test_malformed_lines_rejected(self):
+        with pytest.raises(DatasetError):
+            parse_snap_edges(["1"])
+        with pytest.raises(DatasetError):
+            parse_snap_edges(["a b"])
+
+
+class TestLoader:
+    def test_labels_are_sorted_raw_ids(self):
+        graph = load_snap_graph(FIXTURES / "wiki-Vote.txt")
+        assert graph.labels() == [3, 25, 28, 30, 1412, 3352, 5254]
+        assert graph.num_edges == 9
+        # Placeholder probabilities until a model assigns them.
+        assert np.all(graph.self_risk_array == 0.0)
+        assert np.all(graph.edge_array[2] == 1.0)
+
+    def test_max_nodes_induced_subgraph(self):
+        graph = load_snap_graph(FIXTURES / "wiki-Vote.txt", max_nodes=4)
+        assert graph.labels() == [3, 25, 28, 30]
+        # Only edges among the kept ids survive.
+        kept = {(src, dst) for src, dst, _ in graph.edges()}
+        assert kept == {(3, 28), (3, 30), (25, 3), (25, 30), (28, 3), (28, 30)}
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_snap_graph(tmp_path / "nope.txt")
+
+    def test_edgeless_file_rejected(self, tmp_path):
+        empty = tmp_path / "empty.txt"
+        empty.write_text("# nothing here\n", encoding="utf-8")
+        with pytest.raises(DatasetError):
+            load_snap_graph(empty)
+
+
+class TestRegistryIntegration:
+    @pytest.fixture(autouse=True)
+    def _point_at_fixtures(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DATA_DIR", str(FIXTURES))
+
+    def test_data_dir_override(self):
+        assert snap_data_dir() == FIXTURES
+        assert find_snap_file("wiki") == FIXTURES / "wiki-Vote.txt"
+        assert find_snap_file("p2p") is None  # no fixture for it
+        assert find_snap_file("not-a-dataset") is None
+
+    def test_real_file_used_when_present(self):
+        loaded = load_dataset("wiki", scale=1.0, seed=0)
+        assert loaded.source == "snap"
+        assert loaded.graph.num_nodes == 7
+        # The uniform probability protocol ran on the real topology.
+        assert np.any(loaded.graph.edge_array[2] != 1.0)
+        again = load_dataset("wiki", scale=1.0, seed=0)
+        assert np.array_equal(
+            loaded.graph.edge_array[2], again.graph.edge_array[2]
+        )
+
+    def test_synthetic_fallback_when_absent(self):
+        loaded = load_dataset("p2p", scale=0.01, seed=0)
+        assert loaded.source == "synthetic"
+
+    def test_table2_reports_source(self):
+        rows = table2_rows(scale=0.05, seed=0)
+        by_name = {row["dataset"]: row for row in rows}
+        assert by_name["wiki"]["source"] == "snap"
+        assert by_name["guarantee"]["source"] == "synthetic"
+
+
+class TestDownloader:
+    def test_sha256_and_verify(self, tmp_path):
+        downloader = _load_downloader()
+        path = tmp_path / "blob.txt"
+        path.write_bytes(b"hello snap\n")
+        digest = downloader.sha256_of(path)
+        assert len(digest) == 64
+        downloader.verify_file(path, digest)
+        with pytest.raises(ValueError):
+            downloader.verify_file(path, "0" * 64)
+
+    def test_manifest_round_trip(self, tmp_path):
+        downloader = _load_downloader()
+        assert downloader.load_manifest(tmp_path) == {}
+        downloader.save_manifest(tmp_path, {"b.txt": "2" * 64, "a.txt": "1" * 64})
+        manifest = downloader.load_manifest(tmp_path)
+        assert list(manifest) == ["a.txt", "b.txt"]
+
+    def test_existing_file_pinned_then_verified(self, tmp_path, capsys):
+        downloader = _load_downloader()
+        file_name, _ = SNAP_SOURCES["wiki"]
+        target = tmp_path / file_name
+        target.write_text("# fixture\n1\t2\n", encoding="utf-8")
+        manifest = {}
+        downloader.download_one("wiki", tmp_path, manifest, force=False)
+        assert file_name in manifest  # trust-on-first-use pin
+        # Unchanged file passes a re-run...
+        downloader.download_one("wiki", tmp_path, manifest, force=False)
+        # ...and silent corruption fails loudly.
+        target.write_text("tampered\n3\t4\n", encoding="utf-8")
+        with pytest.raises(ValueError):
+            downloader.download_one("wiki", tmp_path, manifest, force=False)
+
+    def test_verify_only_cli(self, tmp_path):
+        downloader = _load_downloader()
+        file_name, _ = SNAP_SOURCES["wiki"]
+        target = tmp_path / file_name
+        target.write_text("# fixture\n1\t2\n", encoding="utf-8")
+        downloader.save_manifest(
+            tmp_path, {file_name: downloader.sha256_of(target)}
+        )
+        assert downloader.main(["--verify-only", "--dest", str(tmp_path), "wiki"]) == 0
+        target.write_text("tampered\n", encoding="utf-8")
+        assert downloader.main(["--verify-only", "--dest", str(tmp_path), "wiki"]) == 1
+
+    def test_unknown_dataset_rejected(self, tmp_path):
+        downloader = _load_downloader()
+        with pytest.raises(SystemExit):
+            downloader.main(["--dest", str(tmp_path), "enron"])

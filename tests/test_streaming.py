@@ -278,12 +278,12 @@ class TestIncrementalBoundPair:
 
 
 def assert_equivalent(result, fresh):
-    """The monitor's bit-identity contract against fresh detection."""
-    assert result.nodes == fresh.nodes
-    assert result.scores == fresh.scores
-    assert result.samples_used == fresh.samples_used
-    assert result.candidate_size == fresh.candidate_size
-    assert result.k_verified == fresh.k_verified
+    """The monitor's bit-identity contract against fresh detection.
+
+    ``same_answer`` is the shared answer contract; the monitor
+    additionally reproduces the engine's exact work telemetry.
+    """
+    assert result.same_answer(fresh)
     assert result.details["nodes_touched"] == fresh.details["nodes_touched"]
     assert result.details["edges_touched"] == fresh.details["edges_touched"]
 
@@ -512,3 +512,113 @@ class TestReplayStreams:
         graph = UncertainGraph([(i, 0.2) for i in range(5)], [])
         events = list(random_patch_stream(graph, 10, seed=0))
         assert all(isinstance(event, SelfRiskUpdate) for event in events)
+
+
+class TestCoalescedIngestion:
+    """The queue's last-write-wins contract against the monitor.
+
+    A coalesced bulk flush must be bit-identical to serial application
+    of the same events — the guarantee the serving layer's ingestion
+    queue leans on — and the refresh must not depend on the order
+    events were ingested in.
+    """
+
+    def _stream_with_repeats(self, graph, count, seed):
+        events = []
+        for event in random_patch_stream(graph, count, seed=seed, drift=0.2):
+            events.append(event)
+        # Re-patch a prefix of the touched entities so coalescing has
+        # genuine same-entity collisions to collapse.
+        rng = np.random.default_rng(seed + 1)
+        for event in list(events[: count // 2]):
+            if isinstance(event, SelfRiskUpdate):
+                events.append(
+                    SelfRiskUpdate(event.label, float(rng.random() * 0.5))
+                )
+            else:
+                events.append(
+                    EdgeProbabilityUpdate(
+                        event.src, event.dst, float(rng.random())
+                    )
+                )
+        return events
+
+    def test_coalesced_flush_matches_serial_application(self):
+        from repro.serving.coalesce import coalesce_events
+
+        base = powerlaw_graph(300, seed=31)
+        events = self._stream_with_repeats(base.copy(), 16, seed=8)
+
+        serial_graph = base.copy()
+        serial = TopKMonitor(serial_graph, 5, seed=2, engine="indexed")
+        serial.top_k()
+        for event in events:
+            serial.apply([event])
+        serial_result = serial.top_k()
+
+        coalesced_graph = base.copy()
+        coalesced = TopKMonitor(coalesced_graph, 5, seed=2, engine="indexed")
+        coalesced.top_k()
+        batch = coalesce_events(events)
+        assert len(batch) < len(events)
+        coalesced.apply(batch)
+        report = coalesced.refresh()
+        coalesced_result = coalesced.top_k()
+
+        # Identical final graph state...
+        assert np.array_equal(
+            serial_graph.self_risk_array, coalesced_graph.self_risk_array
+        )
+        assert np.array_equal(
+            serial_graph.edge_array[2], coalesced_graph.edge_array[2]
+        )
+        # ...identical answers, bit for bit...
+        assert_equivalent(coalesced_result, serial_result)
+        # ...and both equal to fresh detection on the patched graph.
+        fresh = BoundedSampleReverseDetector(seed=2, engine="indexed").detect(
+            coalesced_graph, 5
+        )
+        assert_equivalent(coalesced_result, fresh)
+        assert report.dirty_nodes + report.dirty_edges <= len(batch)
+
+    def test_refresh_is_ingestion_order_deterministic(self):
+        from repro.serving.coalesce import event_key
+
+        base = powerlaw_graph(300, seed=32)
+        # Keep only the first write per entity: absolute-value patches
+        # to DISTINCT entities commute, so forward and reversed
+        # ingestion provably leave the same graph — the refresh must
+        # then be bit-identical, unconditionally.
+        events, seen = [], set()
+        for event in random_patch_stream(
+            base.copy(), 20, seed=9, drift=None
+        ):
+            key = event_key(event)
+            if key not in seen:
+                seen.add(key)
+                events.append(event)
+        assert len(events) >= 10
+
+        def run(ordered_events):
+            graph = base.copy()
+            monitor = TopKMonitor(graph, 5, seed=4, engine="indexed")
+            monitor.top_k()
+            monitor.apply(ordered_events)
+            report = monitor.refresh()
+            return monitor.top_k(), report, graph
+
+        forward_result, forward_report, forward_graph = run(events)
+        reverse_result, reverse_report, reverse_graph = run(events[::-1])
+        assert np.array_equal(
+            forward_graph.self_risk_array, reverse_graph.self_risk_array
+        )
+        assert np.array_equal(
+            forward_graph.edge_array[2], reverse_graph.edge_array[2]
+        )
+        assert_equivalent(reverse_result, forward_result)
+        assert reverse_report.bounds_recomputed == (
+            forward_report.bounds_recomputed
+        )
+        assert reverse_report.worlds_repaired == (
+            forward_report.worlds_repaired
+        )
