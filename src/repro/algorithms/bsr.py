@@ -73,8 +73,10 @@ class BoundedSampleReverseDetector(VulnerableNodeDetector):
     seed:
         Randomness control.
     engine:
-        Reverse-sampling engine: ``"batched"`` (vectorised, default) or
-        ``"reference"`` (the per-candidate Algorithm-5 BFS).
+        Reverse-sampling engine: ``"indexed"`` (counter-PRF worlds,
+        individually re-evaluable — the default, shared with the
+        streaming monitor), ``"batched"`` (vectorised sequential
+        stream) or ``"reference"`` (the per-candidate Algorithm-5 BFS).
     """
 
     name = "BSR"
@@ -86,7 +88,7 @@ class BoundedSampleReverseDetector(VulnerableNodeDetector):
         lower_order: int = 2,
         upper_order: int = 2,
         seed: SeedLike = None,
-        engine: str = "batched",
+        engine: str = "indexed",
     ) -> None:
         super().__init__(seed)
         self._epsilon, self._delta = validate_epsilon_delta(epsilon, delta)

@@ -35,8 +35,8 @@ class SampleReverseDetector(VulnerableNodeDetector):
     seed:
         Randomness control.
     engine:
-        Reverse-sampling engine: ``"batched"`` (vectorised, default) or
-        ``"reference"``.
+        Reverse-sampling engine: ``"indexed"`` (counter-PRF worlds —
+        the default), ``"batched"`` or ``"reference"``.
     """
 
     name = "SR"
@@ -47,7 +47,7 @@ class SampleReverseDetector(VulnerableNodeDetector):
         delta: float = 0.1,
         bound_order: int = 2,
         seed: SeedLike = None,
-        engine: str = "batched",
+        engine: str = "indexed",
     ) -> None:
         super().__init__(seed)
         self._epsilon, self._delta = validate_epsilon_delta(epsilon, delta)

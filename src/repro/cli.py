@@ -144,6 +144,20 @@ def build_stream_parser() -> argparse.ArgumentParser:
         default="indexed",
         help="reverse-sampling engine backing the monitor",
     )
+    parser.add_argument(
+        "--algorithm",
+        choices=("bsr", "bsrbk"),
+        default="bsr",
+        help="maintained detection algorithm (bsrbk needs --engine indexed)",
+    )
+    parser.add_argument("--bk", type=int, default=16,
+                        help="bottom-k counter threshold (bsrbk only)")
+    parser.add_argument(
+        "--world-state",
+        choices=("packed", "dense"),
+        default="packed",
+        help="touched-entity representation backing per-world repair",
+    )
     parser.add_argument("--epsilon", type=float, default=0.3)
     parser.add_argument("--delta", type=float, default=0.1)
     parser.add_argument("--seed", type=int, default=0)
@@ -151,7 +165,7 @@ def build_stream_parser() -> argparse.ArgumentParser:
         "--verify",
         action="store_true",
         help=(
-            "after each step, run a fresh BSR detection and check the "
+            "after each step, run a fresh detection and check the "
             "incremental answer is bit-identical (also reports speedup)"
         ),
     )
@@ -270,6 +284,7 @@ def _stream_batches(args: argparse.Namespace):
 def stream_main(argv: list[str] | None = None) -> int:
     """Entry point of the ``stream`` subcommand."""
     from repro.algorithms.bsr import BoundedSampleReverseDetector
+    from repro.algorithms.bsrbk import BottomKDetector
     from repro.streaming.monitor import TopKMonitor
 
     args = build_stream_parser().parse_args(argv)
@@ -282,7 +297,10 @@ def stream_main(argv: list[str] | None = None) -> int:
             epsilon=args.epsilon,
             delta=args.delta,
             seed=args.seed,
+            algorithm=args.algorithm,
+            bk=args.bk,
             engine=args.engine,
+            world_state=args.world_state,
         )
         rows: list[dict] = []
         incremental_total = fresh_total = 0.0
@@ -304,12 +322,21 @@ def stream_main(argv: list[str] | None = None) -> int:
                 "ms": round(report.elapsed_seconds * 1e3, 2),
             }
             if args.verify:
-                detector = BoundedSampleReverseDetector(
-                    epsilon=args.epsilon,
-                    delta=args.delta,
-                    seed=args.seed,
-                    engine=args.engine,
-                )
+                if args.algorithm == "bsrbk":
+                    detector = BottomKDetector(
+                        bk=args.bk,
+                        epsilon=args.epsilon,
+                        delta=args.delta,
+                        seed=args.seed,
+                        engine=args.engine,
+                    )
+                else:
+                    detector = BoundedSampleReverseDetector(
+                        epsilon=args.epsilon,
+                        delta=args.delta,
+                        seed=args.seed,
+                        engine=args.engine,
+                    )
                 started = time.perf_counter()
                 fresh = detector.detect(graph, k)
                 fresh_seconds = time.perf_counter() - started
@@ -333,9 +360,9 @@ def stream_main(argv: list[str] | None = None) -> int:
             speedup = fresh_total / max(incremental_total, 1e-12)
             print(
                 f"verify: {len(rows) - mismatches}/{len(rows)} steps "
-                f"bit-identical to fresh BSR; incremental "
-                f"{incremental_total:.3f}s vs fresh {fresh_total:.3f}s "
-                f"({speedup:.1f}x)"
+                f"bit-identical to fresh {args.algorithm.upper()}; "
+                f"incremental {incremental_total:.3f}s vs fresh "
+                f"{fresh_total:.3f}s ({speedup:.1f}x)"
             )
     if args.verify and any(not row["match"] for row in rows):
         return 1

@@ -104,8 +104,9 @@ def load_dataset(
     snap_path = find_snap_file(spec.name)
     source = "synthetic"
     if snap_path is not None:
-        # Real SNAP topology; at sub-unit scale, the induced subgraph on
-        # the lowest raw ids keeps the build deterministic.
+        # Real SNAP topology; at sub-unit scale, a deterministic
+        # degree-stratified node sample keeps the scaled row close to
+        # the published degree statistics.
         graph = load_snap_graph(
             snap_path, max_nodes=n if scale != 1.0 else None
         )

@@ -11,7 +11,9 @@ return.
 This module replaces the stream with a **counter-based PRF**: the uniform
 for node ``v`` (edge ``e``) in world ``w`` is a pure hash of
 ``(stream key, w, entity)`` — the SplitMix64 output function evaluated at
-a per-entity counter.  Consequences:
+a per-entity counter (:func:`repro.sampling.rng.hashed_uniforms`, which
+mixes whole counter blocks in place, one numpy dispatch per hash stage).
+Consequences:
 
 * every world's outcome is a pure function of ``(seed, w, graph)`` —
   worlds can be evaluated in any order, in any batch size, and
@@ -22,7 +24,11 @@ a per-entity counter.  Consequences:
   property the streaming :class:`~repro.streaming.monitor.TopKMonitor`
   builds its incremental re-estimation on;
 * the engine needs no memo tables at all: re-hashing an entity is as
-  cheap as memoising it, and two directions/passes agree by construction.
+  cheap as memoising it, and two directions/passes agree by construction;
+* every world also carries a fixed *sample hash*
+  (:meth:`IndexedReverseSampler.world_hashes`, a second PRF key), so
+  BSRBK's ascending-hash processing order is a pure function of the
+  world index — the bottom-k early stop decouples from the stream.
 
 The exploration itself is the same two-pass structure as the batched
 engine — a flat multi-world backward closure followed by forward
@@ -31,6 +37,16 @@ and it reports ``nodes_touched`` / ``edges_touched`` in the same unit
 (distinct per-world entity draws).  Under entity-indexed uniforms the
 per-world outcomes equal the reference :class:`ReverseWorld` fed the same
 uniform arrays (see ``tests/test_streaming.py``).
+
+Two work-count identities the compressed world state
+(:mod:`repro.sampling.worldstate`) relies on, both direct consequences
+of the closure drawing every entity at most once per world:
+
+* ``node_draws[w] == popcount(touched_nodes[w])``;
+* ``edge_draws[w] == sum(in_degree[v] for v in expanded_nodes[w])``
+  where the *expanded* nodes are the touched nodes that did not
+  self-default — an edge is drawn iff its head was expanded, so the
+  ``(W, m)`` edge mask never needs to be materialised.
 """
 
 from __future__ import annotations
@@ -45,7 +61,13 @@ from repro.core.graph import UncertainGraph
 from repro.core.propagation import propagate_edge_list, ragged_positions
 from repro.sampling.forward import ForwardEstimate
 from repro.sampling.reverse import _validate_candidates
-from repro.sampling.rng import SeedLike
+from repro.sampling.rng import (
+    SeedLike,
+    derive_stream_key,
+    hashed_mantissas_inplace as _hashed_lattice,
+    hashed_uniforms,
+    splitmix64_mix,
+)
 
 __all__ = [
     "hashed_uniforms",
@@ -55,47 +77,10 @@ __all__ = [
 ]
 
 _U64 = np.uint64
-_SHIFT_30 = _U64(30)
-_SHIFT_27 = _U64(27)
-_SHIFT_31 = _U64(31)
-_SHIFT_11 = _U64(11)
-_GAMMA = _U64(0x9E3779B97F4A7C15)
-_MIX_1 = _U64(0xBF58476D1CE4E5B9)
-_MIX_2 = _U64(0x94D049BB133111EB)
-_INV_2_53 = 2.0**-53
-
-
-def hashed_uniforms(key: np.uint64, counters: np.ndarray) -> np.ndarray:
-    """Uniforms in ``[0, 1)`` at the given 64-bit counters (vectorised).
-
-    Evaluates the SplitMix64 output function at state
-    ``key + counter * gamma``: counter ``c`` under stream *key* always
-    yields the same double, independent of every other draw.  The top 53
-    mixed bits become the mantissa, matching how
-    :meth:`numpy.random.Generator.random` builds doubles.
-    """
-    z = key + np.asarray(counters, dtype=_U64) * _GAMMA
-    z = (z ^ (z >> _SHIFT_30)) * _MIX_1
-    z = (z ^ (z >> _SHIFT_27)) * _MIX_2
-    z = z ^ (z >> _SHIFT_31)
-    return (z >> _SHIFT_11).astype(np.float64) * _INV_2_53
-
-
-def derive_stream_key(seed: SeedLike) -> np.uint64:
-    """Deterministically map a ``seed`` argument to a 64-bit stream key.
-
-    Integers and :class:`~numpy.random.SeedSequence` instances map to a
-    fixed key (reproducible runs); a :class:`~numpy.random.Generator`
-    draws one word from its stream (caller-managed randomness); ``None``
-    takes fresh OS entropy.
-    """
-    if isinstance(seed, np.random.Generator):
-        return _U64(seed.integers(0, 2**64, dtype=np.uint64))
-    if isinstance(seed, np.random.SeedSequence):
-        sequence = seed
-    else:
-        sequence = np.random.SeedSequence(seed)
-    return _U64(sequence.generate_state(1, np.uint64)[0])
+_TWO_53 = 2.0**53
+#: Salt separating the per-world *sample hash* key from the draw key, so
+#: BSRBK's processing order never correlates with world contents.
+_HASH_SALT = _U64(0xD1B54A32D192ED03)
 
 
 @dataclass(frozen=True)
@@ -110,11 +95,15 @@ class WorldBlock:
     node_draws, edge_draws:
         Per-world counts of distinct node / edge draws (the work unit
         shared with the other reverse engines).
-    touched_nodes, touched_edges:
+    touched_nodes, touched_edges, expanded_nodes:
         Present when requested: boolean ``(W, n)`` / ``(W, m)`` masks of
         the entities each world actually drew.  An entity outside a
         world's mask cannot influence that world's outcome — the
         invalidation test the streaming monitor relies on.
+        ``expanded_nodes`` (``collect="compact"``) marks the touched
+        nodes that did not self-default; edge ``e`` was drawn iff its
+        head is expanded, so the compact mode carries the full edge-mask
+        information in ``n`` bits instead of ``m``.
     """
 
     outcomes: np.ndarray
@@ -122,6 +111,21 @@ class WorldBlock:
     edge_draws: np.ndarray
     touched_nodes: np.ndarray | None = None
     touched_edges: np.ndarray | None = None
+    expanded_nodes: np.ndarray | None = None
+
+
+def _coerce_collect(collect_touched: bool | str | None) -> str | None:
+    """Normalise the ``collect_touched`` argument to a mode name."""
+    if collect_touched is None or collect_touched is False:
+        return None
+    if collect_touched is True or collect_touched == "dense":
+        return "dense"
+    if collect_touched == "compact":
+        return "compact"
+    raise SamplingError(
+        "collect_touched must be False, True/'dense' or 'compact', "
+        f"got {collect_touched!r}"
+    )
 
 
 class IndexedReverseSampler:
@@ -150,6 +154,7 @@ class IndexedReverseSampler:
         "_candidates",
         "_unique_candidates",
         "_key",
+        "_hash_key",
         "_in_csr",
         "_n",
         "_world_batch",
@@ -170,6 +175,9 @@ class IndexedReverseSampler:
         self._candidates = _validate_candidates(graph, candidates)
         self._unique_candidates = np.unique(self._candidates)
         self._key = derive_stream_key(seed)
+        self._hash_key = _U64(
+            splitmix64_mix(np.array([self._key ^ _HASH_SALT], dtype=_U64))[0]
+        )
         self._in_csr = graph.in_csr()
         n = graph.num_nodes
         self._n = n
@@ -219,33 +227,66 @@ class IndexedReverseSampler:
             self._key, base + np.asarray(edges).astype(_U64)
         )
 
+    def world_hashes(
+        self, world_indices: Sequence[int] | np.ndarray
+    ) -> np.ndarray:
+        """The fixed *sample hashes* of the given worlds, in ``[0, 1)``.
+
+        A second counter PRF (salted key) independent of every draw the
+        worlds themselves make.  BSRBK materialises worlds in ascending
+        sample-hash order; because the hash is a pure function of the
+        world index, that order — and therefore the bottom-k stopping
+        point — is identical no matter how, or how incrementally, the
+        worlds are evaluated.
+        """
+        return hashed_uniforms(
+            self._hash_key, np.asarray(world_indices, dtype=np.int64)
+        )
+
     def _explore(
-        self, world_indices: np.ndarray, collect_touched: bool
+        self, world_indices: np.ndarray, collect: str | None
     ) -> WorldBlock:
         """Backward closure + forward labelling for the given worlds."""
         n = self._n
         m = self._graph.num_edges
+        key = self._key
         csr = self._in_csr
         indptr, indices, probs = csr.indptr, csr.indices, csr.probs
+        edge_id_table = csr.edge_ids
         # Self-risks are re-read per block so probability mutations between
         # calls are observed (edge probs are read live through the CSR).
         ps = self._graph.self_risk_array
+        # Probabilities lifted to the 53-bit integer lattice the PRF
+        # emits mantissas on: ``(z >> 11) * 2^-53 <= p`` iff
+        # ``z >> 11 <= floor(p * 2^53)`` (the product is exact — a pure
+        # exponent shift of a 53-bit mantissa), so realisations compare
+        # in uint64 without ever materialising the float uniforms.
+        node_thresholds = np.floor(ps * _TWO_53).astype(_U64)
+        edge_thresholds = np.floor(probs * _TWO_53).astype(_U64)
         worlds = world_indices.size
-        stride = self.counter_stride
-        world_base_u64 = world_indices.astype(_U64) * stride
         closure = np.zeros(worlds * n, dtype=bool)
         defaulted = np.zeros(worlds * n, dtype=bool)
-        touched_nodes = (
-            np.zeros(worlds * n, dtype=bool) if collect_touched else None
-        )
-        touched_edges = (
-            np.zeros(worlds * m, dtype=bool) if collect_touched else None
-        )
+        touched_nodes = touched_edges = expanded_nodes = None
+        if collect is not None:
+            touched_nodes = np.zeros(worlds * n, dtype=bool)
+            if collect == "dense":
+                touched_edges = np.zeros(worlds * m, dtype=bool)
+            else:
+                expanded_nodes = np.zeros(worlds * n, dtype=bool)
         node_draw_counts = np.zeros(worlds, dtype=np.int64)
         edge_draw_counts = np.zeros(worlds, dtype=np.float64)
         offsets = np.arange(worlds, dtype=np.int64) * n
         frontier = (offsets[:, None] + self._unique_candidates[None, :]).ravel()
         closure[frontier] = True
+        # Counter of flat key ``w_local*n + v`` in world ``world_indices
+        # [w_local]`` is ``world_indices[w_local]*stride + v`` =
+        # ``flat + (world_base[w_local] - w_local*n)``; precomputing the
+        # per-world surplus folds the whole counter computation into one
+        # gather + one add per frontier.  ``edge_base`` plays the same
+        # role for edge counters (``world_base + n``, indexed by edge id).
+        world_base = world_indices.astype(_U64) * self.counter_stride
+        node_extra = world_base - offsets.astype(_U64)
+        edge_base = world_base + _U64(n)
         seed_parts: list[np.ndarray] = []
         src_parts: list[np.ndarray] = []
         dst_parts: list[np.ndarray] = []
@@ -254,37 +295,38 @@ class IndexedReverseSampler:
             nodes = frontier - local_world * n
             if touched_nodes is not None:
                 touched_nodes[frontier] = True
-            draws = hashed_uniforms(
-                self._key, world_base_u64[local_world] + nodes.astype(_U64)
-            )
-            self_default = draws <= ps[nodes]
+            counters = frontier.astype(_U64)
+            counters += node_extra[local_world]
+            draws = _hashed_lattice(key, counters)
+            self_default = draws <= node_thresholds[nodes]
             node_draw_counts += np.bincount(local_world, minlength=worlds)
             if self_default.any():
                 seed_parts.append(frontier[self_default])
-            expand = frontier[~self_default]
+            keep = ~self_default
+            expand = frontier[keep]
             if not expand.size:
                 break
-            expand_nodes = expand % n
-            expand_world = expand // n
+            if expanded_nodes is not None:
+                expanded_nodes[expand] = True
+            expand_nodes = nodes[keep]
+            expand_world = local_world[keep]
             pos, counts = ragged_positions(indptr, expand_nodes)
             if pos.size == 0:
                 break
-            edge_ids = csr.edge_ids[pos]
-            pos_world = np.repeat(expand_world, counts)
-            edge_draws = hashed_uniforms(
-                self._key,
-                world_base_u64[pos_world] + _U64(n) + edge_ids.astype(_U64),
-            )
+            edge_ids = edge_id_table[pos]
+            rep_world = np.repeat(expand_world, counts)
+            edge_counters = edge_ids.astype(_U64)
+            edge_counters += edge_base[rep_world]
+            edge_draws = _hashed_lattice(key, edge_counters)
             if touched_edges is not None:
-                touched_edges[pos_world * m + edge_ids] = True
-            survived = edge_draws <= probs[pos]
+                touched_edges[rep_world * m + edge_ids] = True
+            survived = edge_draws <= edge_thresholds[pos]
             edge_draw_counts += np.bincount(
                 expand_world, weights=counts, minlength=worlds
             )
             if not survived.any():
                 break
-            world_offset = expand - expand_nodes
-            src_keys = (np.repeat(world_offset, counts) + indices[pos])[survived]
+            src_keys = (rep_world * n + indices[pos])[survived]
             dst_keys = np.repeat(expand, counts)[survived]
             src_parts.append(src_keys)
             dst_parts.append(dst_keys)
@@ -317,12 +359,43 @@ class IndexedReverseSampler:
                 if touched_edges is not None
                 else None
             ),
+            expanded_nodes=(
+                expanded_nodes.reshape(worlds, n)
+                if expanded_nodes is not None
+                else None
+            ),
         )
+
+    def iter_world_blocks(
+        self,
+        world_indices: Sequence[int] | np.ndarray,
+        collect_touched: bool | str = False,
+    ) -> Iterator[tuple[np.ndarray, WorldBlock]]:
+        """Yield ``(positions, WorldBlock)`` per internal batch.
+
+        ``positions`` indexes into *world_indices* for each yielded
+        block, so consumers can stream arbitrarily many worlds without
+        the dense concatenated masks ever existing at once — the surface
+        the compressed world state is built through.  Does not advance
+        the sequential cursor or the work counters.
+        """
+        collect = _coerce_collect(collect_touched)
+        world_indices = np.asarray(world_indices, dtype=np.int64)
+        if world_indices.ndim != 1 or world_indices.size == 0:
+            raise SamplingError("world_indices must be a non-empty 1-d array")
+        if world_indices.min() < 0:
+            raise SamplingError("world indices must be non-negative")
+        for start in range(0, world_indices.size, self._world_batch):
+            stop = min(start + self._world_batch, world_indices.size)
+            yield (
+                np.arange(start, stop, dtype=np.int64),
+                self._explore(world_indices[start:stop], collect),
+            )
 
     def outcomes_for_worlds(
         self,
         world_indices: Sequence[int] | np.ndarray,
-        collect_touched: bool = False,
+        collect_touched: bool | str = False,
     ) -> WorldBlock:
         """Evaluate exactly the given world indices (batched internally).
 
@@ -330,32 +403,28 @@ class IndexedReverseSampler:
         this is the random-access surface the streaming monitor repairs
         invalidated worlds through; callers own the accounting.
         """
-        world_indices = np.asarray(world_indices, dtype=np.int64)
-        if world_indices.ndim != 1 or world_indices.size == 0:
-            raise SamplingError("world_indices must be a non-empty 1-d array")
-        if world_indices.min() < 0:
-            raise SamplingError("world indices must be non-negative")
         blocks = [
-            self._explore(world_indices[start : start + self._world_batch],
-                          collect_touched)
-            for start in range(0, world_indices.size, self._world_batch)
+            block
+            for _, block in self.iter_world_blocks(
+                world_indices, collect_touched
+            )
         ]
         if len(blocks) == 1:
             return blocks[0]
+
+        def _cat(field: str) -> np.ndarray | None:
+            parts = [getattr(b, field) for b in blocks]
+            if parts[0] is None:
+                return None
+            return np.concatenate(parts)
+
         return WorldBlock(
             outcomes=np.concatenate([b.outcomes for b in blocks]),
             node_draws=np.concatenate([b.node_draws for b in blocks]),
             edge_draws=np.concatenate([b.edge_draws for b in blocks]),
-            touched_nodes=(
-                np.concatenate([b.touched_nodes for b in blocks])
-                if collect_touched
-                else None
-            ),
-            touched_edges=(
-                np.concatenate([b.touched_edges for b in blocks])
-                if collect_touched
-                else None
-            ),
+            touched_nodes=_cat("touched_nodes"),
+            touched_edges=_cat("touched_edges"),
+            expanded_nodes=_cat("expanded_nodes"),
         )
 
     def iter_samples(self, samples: int) -> Iterator[np.ndarray]:
@@ -372,7 +441,7 @@ class IndexedReverseSampler:
         for lo in range(start, start + int(samples), self._world_batch):
             hi = min(lo + self._world_batch, start + int(samples))
             block = self._explore(
-                np.arange(lo, hi, dtype=np.int64), collect_touched=False
+                np.arange(lo, hi, dtype=np.int64), collect=None
             )
             for index in range(hi - lo):
                 self.nodes_touched += int(block.node_draws[index])
@@ -389,7 +458,7 @@ class IndexedReverseSampler:
         for lo in range(start, start + int(samples), self._world_batch):
             hi = min(lo + self._world_batch, start + int(samples))
             block = self._explore(
-                np.arange(lo, hi, dtype=np.int64), collect_touched=False
+                np.arange(lo, hi, dtype=np.int64), collect=None
             )
             counts += block.outcomes.sum(axis=0)
             self.nodes_touched += int(block.node_draws.sum())

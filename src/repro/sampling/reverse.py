@@ -48,8 +48,11 @@ depend on the ``world_batch`` tuning knob.  The unions-of-closures the
 batched engine explores do not replicate Algorithm 5's per-candidate
 early-exit truncation exactly (it may draw somewhat more than the
 reference on the same world), which is why the Figure-6 work-count
-experiment pins ``engine="reference"`` — the executable specification —
-while production detection defaults to the batched engine.
+experiment pins ``engine="reference"`` — the executable specification.
+Production detection defaults to the *indexed* engine
+(:class:`~repro.sampling.indexed.IndexedReverseSampler`): same flat
+closure, counter-PRF randomness, measured at wall-clock parity with the
+batched stream and individually re-evaluable worlds on top.
 
 The searches run directly on the in-CSR of the original graph, which is
 the out-adjacency of the reversed graph ``Gt`` the paper feeds to

@@ -1,0 +1,526 @@
+"""Per-world touched-entity state, dense and bit-packed.
+
+The streaming :class:`~repro.streaming.monitor.TopKMonitor` keeps, for
+every cached possible world, the set of entities that world actually
+drew: a patched entity can only invalidate worlds that drew it, so these
+masks are what turns the counter-PRF's crossing test from "expected
+``|Δp|`` of all worlds" into "expected ``|Δp|`` of the worlds that even
+looked at the entity".  PR 3 stored them as dense ``(samples, n)`` /
+``(samples, m)`` booleans, which caps exact repair at graphs where
+``samples * (n + m)`` bytes fit the world-state budget.
+
+This module provides two interchangeable representations behind one
+interface (the bit-identity tests drive both and assert equal answers,
+repair sets and draw counters):
+
+* :class:`DenseWorldState` — the PR-3 layout, kept as the executable
+  baseline and benchmark foil;
+* :class:`PackedWorldState` — two bit-packed ``uint64`` matrices of
+  ``n`` bits per world (touched nodes, *expanded* nodes) plus an
+  entity→worlds inverted CSR index.  Edge masks are never materialised:
+  edge ``e`` was drawn in a world iff its head node was expanded there
+  (see :mod:`repro.sampling.indexed`), so the ``m``-bit mask collapses
+  onto the ``n``-bit expanded mask.  With ``m ≈ 3n`` this stores world
+  state in ``2n/8`` bytes instead of ``4n`` — a ~16× reduction — and
+  per-world draw counters fall out of popcounts
+  (``node_draws == popcount(touched)``,
+  ``edge_draws == Σ in_degree over expanded``).
+
+Both classes answer the two queries the monitor's repair pipeline is
+built from:
+
+* ``node_pairs(entities)`` / ``edge_pairs(edge_ids, heads)`` — the
+  ``(world row, entity position)`` pairs where the entity was drawn, the
+  input to one bulk counter-PRF crossing test per refresh;
+* ``merge_block(rows, block)`` — OR a freshly-explored closure (an
+  added candidate's worlds) into existing rows, returning the exact
+  per-row draw-count deltas, which is what makes incremental
+  candidate-set repair's work telemetry equal a from-scratch union run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import SamplingError
+
+__all__ = [
+    "pack_bool_rows",
+    "unpack_bool_rows",
+    "popcount",
+    "DenseWorldState",
+    "PackedWorldState",
+]
+
+#: Explicit little-endian word dtype so byte views agree on every platform.
+_WORD = np.dtype("<u8")
+_ONE = np.uint64(1)
+_SIX = np.uint64(6)
+_MASK_63 = np.uint64(63)
+
+if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+
+    def popcount(words: np.ndarray) -> np.ndarray:
+        """Per-element popcount of a ``uint64`` array."""
+        return np.bitwise_count(words)
+
+else:  # pragma: no cover - exercised only on numpy < 2.0
+    _POP8 = np.array(
+        [bin(value).count("1") for value in range(256)], dtype=np.uint8
+    )
+
+    def popcount(words: np.ndarray) -> np.ndarray:
+        """Per-element popcount of a ``uint64`` array (byte-LUT fallback)."""
+        as_bytes = np.ascontiguousarray(words).view(np.uint8)
+        return (
+            _POP8[as_bytes]
+            .reshape(*words.shape, 8)
+            .sum(axis=-1, dtype=np.uint8)
+        )
+
+
+def _num_words(cols: int) -> int:
+    return (int(cols) + 63) // 64
+
+
+def pack_bool_rows(dense: np.ndarray) -> np.ndarray:
+    """Bit-pack a boolean ``(R, C)`` matrix along its columns.
+
+    Returns a ``(R, ceil(C/64))`` little-endian ``uint64`` matrix where
+    column ``c`` lives at word ``c >> 6``, bit ``c & 63``.
+    """
+    dense = np.asarray(dense, dtype=bool)
+    rows, cols = dense.shape
+    words = _num_words(cols)
+    packed8 = np.packbits(dense, axis=1, bitorder="little")
+    if packed8.shape[1] != words * 8:
+        padded = np.zeros((rows, words * 8), dtype=np.uint8)
+        padded[:, : packed8.shape[1]] = packed8
+        packed8 = padded
+    return np.ascontiguousarray(packed8).view(_WORD)
+
+
+def unpack_bool_rows(words: np.ndarray, cols: int) -> np.ndarray:
+    """Invert :func:`pack_bool_rows` back to a boolean ``(R, cols)`` matrix."""
+    as_bytes = np.ascontiguousarray(words).view(np.uint8)
+    return np.unpackbits(
+        as_bytes, axis=1, bitorder="little", count=int(cols)
+    ).astype(bool)
+
+
+def _column_bits(words: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """Boolean ``(R, len(cols))`` matrix of the requested bit columns."""
+    cols = np.asarray(cols, dtype=np.uint64)
+    gathered = words[:, (cols >> _SIX).astype(np.int64)]
+    return ((gathered >> (cols & _MASK_63)[None, :]) & _ONE).astype(bool)
+
+
+class DenseWorldState:
+    """The PR-3 representation: dense boolean touched masks.
+
+    ``(worlds, n)`` touched-node and ``(worlds, m)`` touched-edge
+    booleans.  Kept as the baseline the packed representation is
+    bit-identity-tested and benchmarked against.
+    """
+
+    collect_mode = "dense"
+    kind = "dense"
+
+    __slots__ = ("touched_nodes", "touched_edges", "_n", "_m")
+
+    def __init__(self, worlds: int, num_nodes: int, num_edges: int) -> None:
+        self._n = int(num_nodes)
+        self._m = int(num_edges)
+        self.touched_nodes = np.zeros((worlds, self._n), dtype=bool)
+        self.touched_edges = np.zeros((worlds, self._m), dtype=bool)
+
+    @staticmethod
+    def bytes_needed(worlds: int, num_nodes: int, num_edges: int) -> int:
+        """Storage this representation needs for *worlds* worlds."""
+        return int(worlds) * (int(num_nodes) + int(num_edges))
+
+    @property
+    def worlds(self) -> int:
+        """Number of world rows currently held."""
+        return self.touched_nodes.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        """Actual bytes held by the state."""
+        return self.touched_nodes.nbytes + self.touched_edges.nbytes
+
+    def store_block(self, rows: np.ndarray, block) -> None:
+        """Overwrite *rows* with a freshly explored ``WorldBlock``."""
+        self.touched_nodes[rows] = block.touched_nodes
+        self.touched_edges[rows] = block.touched_edges
+
+    def merge_block(
+        self, rows: np.ndarray, block
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """OR a block into *rows*; returns exact per-row draw deltas.
+
+        The closure explored from a union of candidate sets is the union
+        of the per-set closures (realisations are entity-indexed), so
+        OR-ing an added candidate's closure into the stored masks yields
+        exactly the masks a from-scratch union exploration would, and
+        the draw-count deltas are the newly-set bits.
+        """
+        node_delta = (block.touched_nodes & ~self.touched_nodes[rows]).sum(
+            axis=1
+        )
+        edge_delta = (block.touched_edges & ~self.touched_edges[rows]).sum(
+            axis=1
+        )
+        self.touched_nodes[rows] |= block.touched_nodes
+        self.touched_edges[rows] |= block.touched_edges
+        return node_delta.astype(np.int64), edge_delta.astype(np.int64)
+
+    def node_pairs(
+        self, entities: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(world row, position)`` pairs where each node was drawn."""
+        return np.nonzero(self.touched_nodes[:, entities])
+
+    def edge_pairs(
+        self, edge_ids: np.ndarray, heads: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(world row, position)`` pairs where each edge was drawn."""
+        return np.nonzero(self.touched_edges[:, edge_ids])
+
+    def node_draws(self) -> np.ndarray:
+        """Per-row distinct node-draw counts (mask row sums)."""
+        return self.touched_nodes.sum(axis=1, dtype=np.int64)
+
+    def edge_draws(self) -> np.ndarray:
+        """Per-row distinct edge-draw counts (mask row sums)."""
+        return self.touched_edges.sum(axis=1, dtype=np.int64)
+
+    def resize(self, worlds: int) -> None:
+        """Grow (zero-filled) or truncate to *worlds* rows."""
+        current = self.worlds
+        if worlds == current:
+            return
+        if worlds < current:
+            self.touched_nodes = self.touched_nodes[:worlds].copy()
+            self.touched_edges = self.touched_edges[:worlds].copy()
+            return
+        nodes = np.zeros((worlds, self._n), dtype=bool)
+        edges = np.zeros((worlds, self._m), dtype=bool)
+        nodes[:current] = self.touched_nodes
+        edges[:current] = self.touched_edges
+        self.touched_nodes, self.touched_edges = nodes, edges
+
+
+class PackedWorldState:
+    """Bit-packed world state with an entity→worlds inverted index.
+
+    Two ``(worlds, ceil(n/64))`` little-endian ``uint64`` matrices —
+    touched nodes and expanded nodes — carry the full dense information
+    (edge ``e`` drawn iff ``heads[e]`` expanded).  An inverted CSR over
+    the touched-node bits accelerates ``entity → candidate worlds``
+    lookups; rows repaired since the last index build are tracked as
+    *stale* and always treated as candidates, and every candidate list
+    is filtered through the exact packed bits, so query answers never
+    depend on index freshness.  The index is skipped outright when the
+    touch density is so high that it would rival the packed matrices in
+    size (column bit-scans are the fallback, still exact).
+
+    Parameters
+    ----------
+    worlds, num_nodes, num_edges:
+        State dimensions.
+    heads:
+        ``(m,)`` head (destination) node of every edge id — the map from
+        edge queries onto the expanded-node bits.
+    in_degrees:
+        ``(n,)`` in-degree of every node; ``Σ in_degree over expanded``
+        is a world's exact edge-draw count.
+    """
+
+    collect_mode = "compact"
+    kind = "packed"
+
+    #: Rebuild the inverted index once this fraction of rows went stale.
+    STALE_REBUILD_FRACTION = 0.25
+    #: Below this many world rows a column bit-scan answers an
+    #: entity→worlds query in microseconds, so building the index (a
+    #: full scan of every packed bit) can never amortise; it switches on
+    #: for the large sample counts where column gathers start to hurt.
+    INDEX_MIN_WORLDS = 4096
+
+    __slots__ = (
+        "touched_words",
+        "expanded_words",
+        "_n",
+        "_m",
+        "_heads",
+        "_in_degrees",
+        "_index_indptr",
+        "_index_rows",
+        "_index_disabled",
+        "_stale_rows",
+    )
+
+    def __init__(
+        self,
+        worlds: int,
+        num_nodes: int,
+        num_edges: int,
+        *,
+        heads: np.ndarray,
+        in_degrees: np.ndarray,
+    ) -> None:
+        self._n = int(num_nodes)
+        self._m = int(num_edges)
+        heads = np.asarray(heads, dtype=np.int64)
+        in_degrees = np.asarray(in_degrees, dtype=np.int64)
+        if heads.shape != (self._m,):
+            raise SamplingError(
+                f"heads must have shape ({self._m},), got {heads.shape}"
+            )
+        if in_degrees.shape != (self._n,):
+            raise SamplingError(
+                f"in_degrees must have shape ({self._n},), "
+                f"got {in_degrees.shape}"
+            )
+        self._heads = heads
+        self._in_degrees = in_degrees
+        words = _num_words(self._n)
+        self.touched_words = np.zeros((worlds, words), dtype=_WORD)
+        self.expanded_words = np.zeros((worlds, words), dtype=_WORD)
+        self._index_indptr: np.ndarray | None = None
+        self._index_rows: np.ndarray | None = None
+        self._index_disabled = False
+        self._stale_rows: set[int] = set(range(worlds))
+
+    @staticmethod
+    def bytes_needed(worlds: int, num_nodes: int, num_edges: int) -> int:
+        """Packed-mask storage needed for *worlds* worlds (index excluded —
+        it is a rebuildable accelerator, size-capped below mask storage)."""
+        return int(worlds) * 2 * _num_words(num_nodes) * 8
+
+    @property
+    def worlds(self) -> int:
+        """Number of world rows currently held."""
+        return self.touched_words.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        """Actual bytes held: packed masks plus the live inverted index."""
+        total = self.touched_words.nbytes + self.expanded_words.nbytes
+        if self._index_rows is not None:
+            total += self._index_rows.nbytes + self._index_indptr.nbytes
+        return total
+
+    @property
+    def has_index(self) -> bool:
+        """Whether the inverted entity→worlds index is currently built."""
+        return self._index_rows is not None
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def store_block(self, rows: np.ndarray, block) -> None:
+        """Overwrite *rows* with a freshly explored ``WorldBlock``."""
+        self.touched_words[rows] = pack_bool_rows(block.touched_nodes)
+        self.expanded_words[rows] = pack_bool_rows(block.expanded_nodes)
+        self._mark_stale(rows)
+
+    def merge_block(
+        self, rows: np.ndarray, block
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """OR a block into *rows*; returns exact per-row draw deltas.
+
+        Node deltas are popcounts of the newly-set touched bits; edge
+        deltas are the in-degree sums of the newly-expanded nodes (every
+        in-edge of a node is drawn exactly when the node is expanded).
+        """
+        touched_new = pack_bool_rows(block.touched_nodes)
+        node_delta = popcount(
+            touched_new & ~self.touched_words[rows]
+        ).sum(axis=1, dtype=np.int64)
+        self.touched_words[rows] |= touched_new
+        old_expanded = unpack_bool_rows(self.expanded_words[rows], self._n)
+        newly_expanded = block.expanded_nodes & ~old_expanded
+        edge_delta = newly_expanded @ self._in_degrees
+        self.expanded_words[rows] |= pack_bool_rows(block.expanded_nodes)
+        self._mark_stale(rows)
+        return node_delta, edge_delta.astype(np.int64)
+
+    def resize(self, worlds: int) -> None:
+        """Grow (zero-filled) or truncate to *worlds* rows."""
+        current = self.worlds
+        if worlds == current:
+            return
+        if worlds < current:
+            self.touched_words = self.touched_words[:worlds].copy()
+            self.expanded_words = self.expanded_words[:worlds].copy()
+            self._stale_rows = {r for r in self._stale_rows if r < worlds}
+            self._drop_index()  # may reference truncated rows
+            return
+        words = self.touched_words.shape[1]
+        touched = np.zeros((worlds, words), dtype=_WORD)
+        expanded = np.zeros((worlds, words), dtype=_WORD)
+        touched[:current] = self.touched_words
+        expanded[:current] = self.expanded_words
+        self.touched_words, self.expanded_words = touched, expanded
+        self._stale_rows.update(range(current, worlds))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def node_pairs(
+        self, entities: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(world row, position)`` pairs where each node was drawn."""
+        return self._pairs(self.touched_words, entities)
+
+    def edge_pairs(
+        self, edge_ids: np.ndarray, heads: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(world row, position)`` pairs where each edge was drawn.
+
+        An edge is drawn iff its head node is expanded; the caller
+        passes the heads so the query needs no per-call gather.
+        """
+        return self._pairs(self.expanded_words, heads, index_usable=False)
+
+    def node_draws(self) -> np.ndarray:
+        """Per-row distinct node-draw counts (touched popcounts)."""
+        return popcount(self.touched_words).sum(axis=1, dtype=np.int64)
+
+    def edge_draws(self) -> np.ndarray:
+        """Per-row distinct edge-draw counts (in-degree mass of expanded)."""
+        dense = unpack_bool_rows(self.expanded_words, self._n)
+        return (dense @ self._in_degrees).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _mark_stale(self, rows: np.ndarray) -> None:
+        if self._index_rows is None:
+            return
+        self._stale_rows.update(int(r) for r in np.asarray(rows).ravel())
+        if len(self._stale_rows) > max(
+            64, int(self.STALE_REBUILD_FRACTION * self.worlds)
+        ):
+            self._drop_index()
+
+    def _drop_index(self) -> None:
+        self._index_indptr = None
+        self._index_rows = None
+
+    def _build_index(self) -> None:
+        """(Re)build the touched-node entity→worlds CSR from the packed
+        bits, unless its size would rival the packed matrices."""
+        if self._index_disabled or self.worlds < self.INDEX_MIN_WORLDS:
+            return
+        pair_entities: list[np.ndarray] = []
+        pair_rows: list[np.ndarray] = []
+        total = 0
+        # The index may grow to the packed masks' own footprint before
+        # it stops paying for itself (total state stays ~8× below the
+        # dense layout even then, m ≈ 3n).
+        budget = max(
+            1, self.touched_words.nbytes + self.expanded_words.nbytes
+        )
+        chunk = max(1, (1 << 22) // max(self._n, 1))
+        for start in range(0, self.worlds, chunk):
+            stop = min(start + chunk, self.worlds)
+            dense = unpack_bool_rows(self.touched_words[start:stop], self._n)
+            rows, cols = np.nonzero(dense)
+            pair_rows.append((rows + start).astype(np.int32))
+            pair_entities.append(cols)
+            total += rows.size
+            if total * 4 > budget:
+                # Touch density too high for the index to pay for
+                # itself; column bit-scans stay the exact fallback.
+                self._index_disabled = True
+                return
+        entities = (
+            np.concatenate(pair_entities)
+            if pair_entities
+            else np.empty(0, dtype=np.int64)
+        )
+        rows = (
+            np.concatenate(pair_rows)
+            if pair_rows
+            else np.empty(0, dtype=np.int32)
+        )
+        order = np.argsort(entities, kind="stable")
+        self._index_rows = rows[order]
+        counts = np.bincount(entities, minlength=self._n)
+        self._index_indptr = np.zeros(self._n + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._index_indptr[1:])
+        self._stale_rows.clear()
+
+    def _pairs(
+        self,
+        words: np.ndarray,
+        entities: np.ndarray,
+        index_usable: bool = True,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        entities = np.asarray(entities, dtype=np.int64)
+        if entities.size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        if index_usable and self._index_rows is None:
+            self._build_index()
+        use_index = (
+            index_usable
+            and self._index_rows is not None
+            # The index narrows candidates; with many stale rows the
+            # column scan is both exact and cheaper.
+            and len(self._stale_rows) * entities.size
+            < self.worlds * max(1, entities.size // 4)
+        )
+        if not use_index:
+            rows, positions = np.nonzero(_column_bits(words, entities))
+            return rows, positions
+        starts = self._index_indptr[entities]
+        stops = self._index_indptr[entities + 1]
+        counts = stops - starts
+        candidate_rows_parts: list[np.ndarray] = []
+        position_parts: list[np.ndarray] = []
+        if counts.sum():
+            spans = np.concatenate(
+                [
+                    self._index_rows[s:t]
+                    for s, t in zip(starts, stops)
+                    if t > s
+                ]
+            ).astype(np.int64)
+            candidate_rows_parts.append(spans)
+            position_parts.append(
+                np.repeat(np.arange(entities.size), counts)
+            )
+        if self._stale_rows:
+            stale = np.fromiter(
+                self._stale_rows, dtype=np.int64, count=len(self._stale_rows)
+            )
+            stale.sort()
+            grid_rows = np.repeat(stale, entities.size)
+            grid_pos = np.tile(np.arange(entities.size), stale.size)
+            candidate_rows_parts.append(grid_rows)
+            position_parts.append(grid_pos)
+        if not candidate_rows_parts:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        rows = np.concatenate(candidate_rows_parts)
+        positions = np.concatenate(position_parts)
+        # Exact filter through the live bits (stale candidates may have
+        # lost the entity; indexed non-stale candidates always have it,
+        # but the uniform filter keeps the path single and provably
+        # exact).
+        bit = (
+            words[rows, (entities[positions] >> 6).astype(np.int64)]
+            >> (entities[positions].astype(np.uint64) & _MASK_63)
+        ) & _ONE
+        keep = bit.astype(bool)
+        rows, positions = rows[keep], positions[keep]
+        # Stale rows can duplicate index entries; dedup per (row, pos).
+        if self._stale_rows:
+            combined = rows * entities.size + positions
+            _, first = np.unique(combined, return_index=True)
+            rows, positions = rows[first], positions[first]
+        return rows, positions

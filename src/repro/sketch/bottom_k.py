@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import heapq
 import math
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -27,6 +28,8 @@ from repro.core.errors import SamplingError
 __all__ = [
     "BottomKSketch",
     "BottomKStopper",
+    "BottomKScan",
+    "bottom_k_scan",
     "expected_relative_error",
     "coefficient_of_variation",
 ]
@@ -126,6 +129,107 @@ class BottomKSketch:
         if not self.is_full:
             return float(self.size)
         return (self._bk - 1) / self.kth_smallest()
+
+
+@dataclass(frozen=True)
+class BottomKScan:
+    """Result of one vectorised bottom-k stopping scan.
+
+    Field-for-field equivalent to feeding the scanned rows, in order,
+    through a :class:`BottomKStopper` (the tests pin the equivalence):
+
+    Attributes
+    ----------
+    processed:
+        Samples the stopper would have consumed — the row the
+        ``stop_after``-th candidate finished on (inclusive), or all rows
+        when the stop never fires.
+    stopped_early:
+        Whether ``stop_after`` candidates finished within the rows.
+    finish_positions:
+        Per-candidate row index (0-based) where the candidate's counter
+        reached ``bk``; ``-1`` for candidates unfinished within
+        ``processed``.
+    counts:
+        Per-candidate default counters over the processed prefix, frozen
+        at ``bk`` exactly as the stopper freezes them.
+    estimates:
+        Per-candidate default-probability estimates: sketch estimates
+        for finished candidates, empirical frequencies over the
+        processed prefix otherwise (``BottomKStopper.estimates``).
+    """
+
+    processed: int
+    stopped_early: bool
+    finish_positions: np.ndarray
+    counts: np.ndarray
+    estimates: np.ndarray
+
+
+def bottom_k_scan(
+    outcomes: np.ndarray,
+    hashes: np.ndarray,
+    bk: int,
+    stop_after: int,
+    total_samples: int,
+) -> BottomKScan:
+    """Replay the bottom-k stopping rule over a whole outcome matrix.
+
+    *outcomes* is the boolean ``(rows, candidates)`` default matrix in
+    **ascending hash order**, *hashes* the matching sample hashes.  One
+    cumulative-sum pass replaces the stopper's per-sample Python loop —
+    and because the result is a pure function of the prefix (a longer
+    prefix can only append later finishes, never move earlier ones), the
+    scan gives the same stopping point no matter how incrementally the
+    rows were materialised.  This is what lets BSRBK run over the
+    indexed engine's order-independent worlds and lets the streaming
+    monitor re-run the rule after splicing repaired worlds.
+    """
+    outcomes = np.asarray(outcomes, dtype=bool)
+    if outcomes.ndim != 2 or outcomes.shape[0] == 0:
+        raise SamplingError("outcomes must be a non-empty (rows, B) matrix")
+    rows = outcomes.shape[0]
+    hashes = np.asarray(hashes, dtype=np.float64)
+    if hashes.shape != (rows,):
+        raise SamplingError(
+            f"need one hash per row: {hashes.shape} vs {rows} rows"
+        )
+    bk = _validate_bk(bk)
+    if stop_after <= 0:
+        raise SamplingError("stop_after must be positive")
+    if total_samples <= 0:
+        raise SamplingError("total_samples must be positive")
+    cums = np.cumsum(outcomes, axis=0, dtype=np.int64)
+    reached = cums >= bk
+    finished_any = reached[-1]
+    # argmax finds the first True row; candidates that never reach bk
+    # sort past every real finish position via the sentinel ``rows``.
+    finish = np.where(finished_any, reached.argmax(axis=0), rows)
+    stopped_early = int(finished_any.sum()) >= stop_after
+    if stopped_early:
+        stop_position = int(
+            np.partition(finish, stop_after - 1)[stop_after - 1]
+        )
+        processed = stop_position + 1
+    else:
+        processed = rows
+    finished = finish < processed
+    finish_positions = np.where(finished, finish, -1)
+    counts = np.minimum(cums[processed - 1], bk)
+    empirical = counts / float(processed)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        sketched = (bk - 1) / (
+            hashes[np.clip(finish_positions, 0, rows - 1)]
+            * float(total_samples)
+        )
+    estimates = np.where(finished, sketched, empirical)
+    return BottomKScan(
+        processed=processed,
+        stopped_early=stopped_early,
+        finish_positions=finish_positions,
+        counts=counts,
+        estimates=estimates,
+    )
 
 
 class BottomKStopper:

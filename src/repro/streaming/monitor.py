@@ -1,13 +1,15 @@
 """TopKMonitor — incremental top-k detection over a live uncertain graph.
 
-One monitor owns one continuous query: "the BSR top-``k`` of this graph,
+One monitor owns one continuous query: "the top-``k`` of this graph,
 kept current as probabilities drift".  Its contract is *exact
 equivalence*: after any sequence of updates, :meth:`TopKMonitor.top_k`
 returns the same answer — nodes, scores, sample count, candidate set,
-verified count, work counters — as constructing a fresh
-:class:`~repro.algorithms.bsr.BoundedSampleReverseDetector` with the same
-parameters and seed and calling ``detect`` on the patched graph.  All
-reuse below is therefore *provable* reuse, never approximation.
+verified count, work counters — as constructing a fresh detector
+(:class:`~repro.algorithms.bsr.BoundedSampleReverseDetector`, or
+:class:`~repro.algorithms.bsrbk.BottomKDetector` when
+``algorithm="bsrbk"``) with the same parameters and seed and calling
+``detect`` on the patched graph.  All reuse below is therefore
+*provable* reuse, never approximation.
 
 The pipeline has three stages, each invalidated independently:
 
@@ -26,15 +28,31 @@ The pipeline has three stages, each invalidated independently:
      functions of ``(seed, world, graph)``
      (:class:`~repro.sampling.indexed.IndexedReverseSampler`), so the
      monitor stores the per-world outcome matrix plus per-world
-     touched-entity masks.  A patched entity invalidates exactly the
-     worlds where its fixed uniform crosses the old→new probability
-     (expected fraction ``|Δp|``) *and* the entity was actually drawn;
-     only those worlds are re-explored and spliced back in.
+     touched-entity state (:mod:`repro.sampling.worldstate` —
+     bit-packed by default, the dense PR-3 layout via
+     ``world_state="dense"``).  A patched entity invalidates exactly
+     the worlds where its fixed uniform crosses the old→new
+     probability (expected fraction ``|Δp|``) *and* the entity was
+     actually drawn; only those worlds are re-explored and spliced
+     back in.  When Algorithm 4's candidate set or Theorem 5's budget
+     move, added candidates are *columned in* (their closures explored
+     against the cached worlds and OR-ed into the touched state, with
+     draw counters advanced by the exact popcount deltas) and the world
+     prefix grown or truncated, instead of resampling everything.
    * ``engine="batched"`` / ``"reference"``: the sequential random
      stream couples all worlds, so sampling is reused only when no
      changed entity lies in the candidates' ancestor closure (outside
      it, a fresh run provably replays bit-identically) and is otherwise
      re-run whole.
+
+   With ``algorithm="bsrbk"`` the sampling stage runs BSRBK's bottom-k
+   early stop instead of the full-budget estimate: worlds carry fixed
+   PRF sample hashes, are materialised in ascending hash order, and the
+   stopping rule is re-run as a pure scan over the cached prefix
+   (:func:`~repro.sketch.bottom_k.bottom_k_scan`) after every repair —
+   extending the evaluated prefix on demand when a repair pushes the
+   stopping point later.  Requires the indexed engine (the stream-based
+   engines cannot re-materialise an early-stopped run incrementally).
 
 When the dirty region exceeds ``full_rebuild_fraction`` of the graph —
 e.g. a bulk monthly re-scoring that moves everything — the monitor falls
@@ -56,14 +74,16 @@ from repro.algorithms.base import DetectionResult
 from repro.algorithms.bsr import assemble_answer
 from repro.bounds.candidates import CandidateReduction, reduce_candidates
 from repro.bounds.incremental import BoundDelta, IncrementalBoundPair
-from repro.core.errors import GraphError
+from repro.core.errors import GraphError, SamplingError
 from repro.core.graph import NodeLabel, UncertainGraph
 from repro.core.propagation import ragged_positions
 from repro.core.topk import validate_k
-from repro.sampling.indexed import IndexedReverseSampler, hashed_uniforms
+from repro.sampling.indexed import IndexedReverseSampler
 from repro.sampling.reverse import reverse_engine
-from repro.sampling.rng import SeedLike
+from repro.sampling.rng import SeedLike, hashed_uniform_tile, hashed_uniforms
 from repro.sampling.sample_size import reduced_sample_size, validate_epsilon_delta
+from repro.sampling.worldstate import DenseWorldState, PackedWorldState
+from repro.sketch.bottom_k import bottom_k_scan
 from repro.streaming.events import (
     BulkEdgeProbabilityUpdate,
     BulkSelfRiskUpdate,
@@ -75,6 +95,8 @@ from repro.streaming.events import (
 __all__ = ["RefreshReport", "TopKMonitor"]
 
 _U64 = np.uint64
+#: Cells hashed per chunk when crossing-testing without touched state.
+_TILE_CHUNK = 1 << 22
 
 
 def ancestor_closure(graph: UncertainGraph, sources: np.ndarray) -> np.ndarray:
@@ -121,9 +143,11 @@ class RefreshReport:
         Whether the cached Algorithm-4 reduction survived untouched.
     sampling:
         ``"reused"`` (cached estimates provably fresh), ``"repaired"``
-        (indexed engine re-ran only invalidated worlds), ``"resampled"``
-        (whole candidate set re-estimated) or ``"skipped"`` (``k' = k``,
-        nothing to sample).
+        (indexed engine re-ran only invalidated worlds), ``"columned"``
+        (candidate/budget change absorbed by columning added candidates
+        into the cached worlds and/or resizing the world prefix),
+        ``"resampled"`` (whole candidate set re-estimated) or
+        ``"skipped"`` (``k' = k``, nothing to sample).
     worlds_repaired:
         Worlds re-evaluated this refresh (equals ``samples`` on a full
         resample, 0 on reuse).
@@ -146,7 +170,7 @@ class RefreshReport:
 
 
 class TopKMonitor:
-    """Maintain the BSR top-``k`` of a live graph under streaming updates.
+    """Maintain the top-``k`` of a live graph under streaming updates.
 
     Parameters
     ----------
@@ -162,6 +186,14 @@ class TopKMonitor:
         the equivalence oracle is a fresh detector built with the same
         values.  Reproducible seeds (ints / SeedSequences) are required
         for the bit-identity guarantee to be observable.
+    algorithm:
+        ``"bsr"`` (default) maintains the full-budget BSR estimate;
+        ``"bsrbk"`` maintains BSRBK's bottom-k early-stopped estimate
+        (requires ``engine="indexed"``), with *bk* as the counter
+        threshold.  The equivalence oracle is then a fresh
+        :class:`~repro.algorithms.bsrbk.BottomKDetector`.
+    bk:
+        Bottom-k counter threshold when ``algorithm="bsrbk"``.
     engine:
         Reverse-sampling engine: ``"indexed"`` (default — enables
         per-world repair), ``"batched"`` or ``"reference"`` (coarse
@@ -169,11 +201,18 @@ class TopKMonitor:
     full_rebuild_fraction:
         Dirty-region threshold (fraction of ``n``) above which refresh
         falls back to full recomputation.
+    world_state:
+        Touched-entity representation: ``"packed"`` (default — two
+        bit-packed ``n``-bit masks per world plus an entity→worlds
+        inverted index, ~8–16× smaller) or ``"dense"`` (the PR-3
+        boolean ``(samples, n)`` / ``(samples, m)`` layout).  Both are
+        exact; the bit-identity tests drive them in lockstep.
     world_state_budget:
-        Cap (in matrix cells) on the indexed engine's per-world
-        touched-mask storage, ``samples * (n + m)``.  Above it the
+        Cap (in bytes) on the touched-entity state.  Above it the
         monitor keeps only outcome rows and invalidates on uniform
         crossings alone — still exact, marginally more re-exploration.
+        The packed representation fits ~8× more worlds per byte, which
+        is what extends exact repair to ~100k-node graphs.
     """
 
     def __init__(
@@ -186,8 +225,11 @@ class TopKMonitor:
         lower_order: int = 2,
         upper_order: int = 2,
         seed: SeedLike = 0,
+        algorithm: str = "bsr",
+        bk: int = 16,
         engine: str = "indexed",
         full_rebuild_fraction: float = 0.25,
+        world_state: str = "packed",
         world_state_budget: int = 32_000_000,
     ) -> None:
         self._graph = graph
@@ -198,12 +240,35 @@ class TopKMonitor:
         self._seed = seed
         self._engine_name = str(engine)
         self._engine = reverse_engine(self._engine_name)
+        if algorithm not in ("bsr", "bsrbk"):
+            raise GraphError(
+                f"algorithm must be 'bsr' or 'bsrbk', got {algorithm!r}"
+            )
+        if algorithm == "bsrbk" and self._engine_name != "indexed":
+            raise GraphError(
+                "algorithm='bsrbk' requires engine='indexed': the "
+                "stream-based engines cannot re-materialise an "
+                "early-stopped run incrementally"
+            )
+        if bk < 2:
+            raise SamplingError(f"bk must be >= 2, got {bk}")
+        self._algorithm = algorithm
+        self._bk = int(bk)
         if not 0.0 < full_rebuild_fraction <= 1.0:
             raise GraphError(
                 "full_rebuild_fraction must be in (0, 1], got "
                 f"{full_rebuild_fraction}"
             )
         self._full_fraction = float(full_rebuild_fraction)
+        if world_state == "packed":
+            self._state_cls = PackedWorldState
+        elif world_state == "dense":
+            self._state_cls = DenseWorldState
+        else:
+            raise GraphError(
+                f"world_state must be 'packed' or 'dense', got {world_state!r}"
+            )
+        self._world_state_name = world_state
         self._world_state_budget = int(world_state_budget)
         # Pending dirt: entity -> probability at the last refresh.
         self._dirty_node_old: dict[int, float] = {}
@@ -223,12 +288,21 @@ class TopKMonitor:
         self._world_outcomes: np.ndarray | None = None
         self._world_node_draws: np.ndarray | None = None
         self._world_edge_draws: np.ndarray | None = None
-        self._touched_nodes: np.ndarray | None = None
-        self._touched_edges: np.ndarray | None = None
+        self._world_state: DenseWorldState | PackedWorldState | None = None
+        self._world_ids: np.ndarray | None = None
+        # BSRBK bookkeeping (hash order over the budgeted worlds).
+        self._bk_order: np.ndarray | None = None
+        self._bk_hashes: np.ndarray | None = None
+        self._stop_after = 0
+        self._processed = 0
+        self._stopped_early = False
         # Coarse-engine closure state.
         self._closure: np.ndarray | None = None
         self._result: DetectionResult | None = None
         self._last_report: RefreshReport | None = None
+        #: Row positions repaired by the most recent refresh (testing /
+        #: introspection hook for the repair-set bit-identity suite).
+        self.last_repaired_rows: np.ndarray = np.empty(0, dtype=np.int64)
         self.stats: dict[str, int] = {
             "refreshes": 0,
             "full": 0,
@@ -236,6 +310,7 @@ class TopKMonitor:
             "clean": 0,
             "worlds_repaired": 0,
             "worlds_resampled": 0,
+            "worlds_columned": 0,
         }
 
     # ------------------------------------------------------------------
@@ -255,6 +330,21 @@ class TopKMonitor:
     def engine_name(self) -> str:
         """Configured reverse-sampling engine."""
         return self._engine_name
+
+    @property
+    def algorithm(self) -> str:
+        """The maintained detection algorithm (``"bsr"`` / ``"bsrbk"``)."""
+        return self._algorithm
+
+    @property
+    def world_state_kind(self) -> str:
+        """Configured touched-entity representation."""
+        return self._world_state_name
+
+    @property
+    def world_state_nbytes(self) -> int:
+        """Actual bytes the touched-entity state currently holds."""
+        return 0 if self._world_state is None else self._world_state.nbytes
 
     @property
     def last_report(self) -> RefreshReport | None:
@@ -354,6 +444,7 @@ class TopKMonitor:
         shape = (graph.num_nodes, graph.num_edges)
         dirt = self._effective_dirt()
         nodes_idx, nodes_old, edges_idx, edges_old, heads = dirt
+        self.last_repaired_rows = np.empty(0, dtype=np.int64)
         if self._result is None:
             report = self._full_refresh(
                 started, "initial", "first evaluation", dirt
@@ -479,7 +570,9 @@ class TopKMonitor:
         self._reduction = reduction
         self._assemble(started)
         nodes_idx, _, edges_idx, _, _ = dirt
-        worlds = self._samples
+        worlds = (
+            self._processed if self._algorithm == "bsrbk" else self._samples
+        )
         self.stats["worlds_resampled"] += worlds
         return RefreshReport(
             mode=mode,
@@ -530,22 +623,57 @@ class TopKMonitor:
                 and samples == self._samples
                 and np.array_equal(reduction.candidates, self._sampling_candidates)
             )
-            if not inputs_unchanged:
-                self._resample(reduction, samples)
-                sampling = "resampled"
-                worlds_repaired = samples
-                self.stats["worlds_resampled"] += samples
-            elif self._engine_name == "indexed":
-                affected = self._affected_worlds(
+            if self._engine_name == "indexed" and (
+                inputs_unchanged or self._can_column(reduction, samples)
+            ):
+                # Invalidation runs against the pre-change world rows;
+                # rows the columning step appends are explored against
+                # the already-patched graph and need no repair.
+                affected = self._affected_rows(
                     nodes_idx, nodes_old, edges_idx, edges_old
                 )
-                if affected.size:
-                    self._repair_worlds(affected)
+                if not inputs_unchanged:
+                    appended = self._column_repair(reduction, samples)
+                    affected = affected[affected < self._samples]
+                    sampling = "columned"
+                    worlds_repaired = int(affected.size) + appended
+                    self.stats["worlds_columned"] += appended
+                elif affected.size:
                     sampling = "repaired"
                     worlds_repaired = int(affected.size)
-                    self.stats["worlds_repaired"] += worlds_repaired
                 else:
                     sampling = "reused"
+                if affected.size:
+                    self._repair_rows(affected)
+                    self.stats["worlds_repaired"] += int(affected.size)
+                if self._algorithm == "bsrbk":
+                    # The stopping rule also depends on k_remaining,
+                    # which can move (k_verified drift) while the
+                    # candidate set and Theorem-5 budget stay equal —
+                    # the scan must always run against the fresh value.
+                    stop_changed = (
+                        int(reduction.k_remaining) != self._stop_after
+                    )
+                    self._stop_after = int(reduction.k_remaining)
+                    if affected.size or stop_changed:
+                        # A later stopping point can pull new worlds
+                        # into the evaluated prefix; they are work done
+                        # this refresh, so they count as repaired.
+                        extended = self._bk_rescan()
+                        worlds_repaired += extended
+                        self.stats["worlds_repaired"] += extended
+                        if extended and sampling == "reused":
+                            sampling = "repaired"
+                self.last_repaired_rows = affected
+            elif not inputs_unchanged:
+                self._resample(reduction, samples)
+                sampling = "resampled"
+                worlds_repaired = (
+                    self._processed
+                    if self._algorithm == "bsrbk"
+                    else samples
+                )
+                self.stats["worlds_resampled"] += worlds_repaired
             else:
                 assert self._closure is not None
                 relevant = bool(self._closure[nodes_idx].any()) or bool(
@@ -573,50 +701,85 @@ class TopKMonitor:
             elapsed_seconds=time.perf_counter() - started,
         )
 
-    def _affected_worlds(
+    # ------------------------------------------------------------------
+    # Indexed-engine repair machinery
+    # ------------------------------------------------------------------
+    def _affected_rows(
         self,
         nodes_idx: np.ndarray,
         nodes_old: np.ndarray,
         edges_idx: np.ndarray,
         edges_old: np.ndarray,
     ) -> np.ndarray:
-        """Worlds whose cached outcome a dirty entity can have changed.
+        """Row positions whose cached outcome a dirty entity can change.
 
         World ``w`` is invalidated by entity ``x`` only if ``x``'s fixed
         uniform in ``w`` crosses the old→new probability (its realisation
         flips) — expected fraction ``|Δp|`` of worlds — and, when touched
-        masks are kept, only if ``w`` actually drew ``x``.
+        state is kept, only if ``w`` actually drew ``x``.  All candidate
+        ``(world, entity)`` pairs are hashed in bulk: one tile per chunk
+        without touched state, one ragged gather through the
+        entity→worlds index with it.
         """
-        assert self._sampler is not None
+        assert self._sampler is not None and self._world_ids is not None
         graph = self._graph
-        samples = self._samples
+        rows = self._world_ids.size
         stride = self._sampler.counter_stride
         key = self._sampler.stream_key
-        bases = np.arange(samples, dtype=np.uint64) * stride
-        affected = np.zeros(samples, dtype=bool)
-        if nodes_idx.size:
-            new_risks = graph.self_risk_array[nodes_idx]
-            for index, old, new in zip(nodes_idx, nodes_old, new_risks):
-                low, high = sorted((float(old), float(new)))
-                flips = hashed_uniforms(key, bases + _U64(int(index)))
-                flips = (flips > low) & (flips <= high)
-                if self._touched_nodes is not None:
-                    flips &= self._touched_nodes[:, int(index)]
-                affected |= flips
+        bases = self._world_ids.astype(_U64) * stride
+        state = self._world_state
+        affected = np.zeros(rows, dtype=bool)
+        # edge_array copies all three m-length columns per access; pull
+        # them once for the whole invalidation scan.
         if edges_idx.size:
-            offset = _U64(graph.num_nodes)
-            _, _, probs = graph.edge_array
-            for edge, old in zip(edges_idx, edges_old):
-                low, high = sorted((float(old), float(probs[edge])))
-                flips = hashed_uniforms(key, bases + offset + _U64(int(edge)))
-                flips = (flips > low) & (flips <= high)
-                if self._touched_edges is not None:
-                    flips &= self._touched_edges[:, int(edge)]
-                affected |= flips
+            _, edge_heads, edge_probs = graph.edge_array
+        else:
+            edge_heads = edge_probs = None
+
+        def crossing_pairs(entities, lows, highs, offset, is_edge):
+            counters = entities.astype(_U64) + offset
+            if state is None:
+                # No touched state: test every (world, entity) pair,
+                # tiled so one numpy call hashes a whole chunk.
+                per_chunk = max(1, _TILE_CHUNK // max(entities.size, 1))
+                for start in range(0, rows, per_chunk):
+                    stop = min(start + per_chunk, rows)
+                    tile = hashed_uniform_tile(
+                        key, bases[start:stop], counters
+                    )
+                    hit = (tile > lows[None, :]) & (tile <= highs[None, :])
+                    affected[start:stop] |= hit.any(axis=1)
+                return
+            if is_edge:
+                pair_rows, positions = state.edge_pairs(
+                    entities, edge_heads[entities]
+                )
+            else:
+                pair_rows, positions = state.node_pairs(entities)
+            if pair_rows.size == 0:
+                return
+            draws = hashed_uniforms(
+                key, bases[pair_rows] + counters[positions]
+            )
+            crossed = (draws > lows[positions]) & (draws <= highs[positions])
+            affected[pair_rows[crossed]] = True
+
+        if nodes_idx.size:
+            new_risks = self._graph.self_risk_array[nodes_idx]
+            lows = np.minimum(nodes_old, new_risks)
+            highs = np.maximum(nodes_old, new_risks)
+            crossing_pairs(nodes_idx, lows, highs, _U64(0), is_edge=False)
+        if edges_idx.size:
+            new_probs = edge_probs[edges_idx]
+            lows = np.minimum(edges_old, new_probs)
+            highs = np.maximum(edges_old, new_probs)
+            crossing_pairs(
+                edges_idx, lows, highs, _U64(graph.num_nodes), is_edge=True
+            )
         return np.flatnonzero(affected)
 
-    def _repair_worlds(self, worlds: np.ndarray) -> None:
-        """Re-explore only the invalidated worlds and splice them in.
+    def _repair_rows(self, rows: np.ndarray) -> None:
+        """Re-explore only the invalidated world rows and splice them in.
 
         Running totals (candidate counts, work counters) are updated by
         the repaired rows' delta — all integer arithmetic, so the state
@@ -624,46 +787,208 @@ class TopKMonitor:
         O(repaired) instead of O(samples) cost.
         """
         assert self._sampler is not None and self._world_outcomes is not None
-        collect = self._touched_nodes is not None
-        block = self._sampler.outcomes_for_worlds(
-            worlds, collect_touched=collect
+        state = self._world_state
+        collect = False if state is None else state.collect_mode
+        world_ids = self._world_ids[rows]
+        for positions, block in self._sampler.iter_world_blocks(
+            world_ids, collect_touched=collect
+        ):
+            target = rows[positions]
+            if self._counts is not None:  # BSRBK rescans instead
+                old_rows = self._world_outcomes[target]
+                self._counts += block.outcomes.sum(axis=0) - old_rows.sum(axis=0)
+            self._nodes_touched += int(
+                block.node_draws.sum() - self._world_node_draws[target].sum()
+            )
+            self._edges_touched += int(
+                block.edge_draws.sum() - self._world_edge_draws[target].sum()
+            )
+            self._world_outcomes[target] = block.outcomes
+            self._world_node_draws[target] = block.node_draws
+            self._world_edge_draws[target] = block.edge_draws
+            if state is not None:
+                state.store_block(target, block)
+        if self._algorithm == "bsr":
+            self._probs = self._counts / float(self._samples)
+
+    def _can_column(
+        self, reduction: CandidateReduction, samples: int
+    ) -> bool:
+        """Whether a candidate/budget change is absorbable incrementally.
+
+        Requires the indexed BSR pipeline with touched state (the
+        popcount bookkeeping is what keeps the union draw counters
+        exact), candidates that only *grew* (a removed candidate shrinks
+        every world's closure in ways only a re-exploration can
+        reproduce), and the resized state still within budget.  BSRBK's
+        budget defines the hash order itself, so any change there
+        resamples.
+        """
+        if (
+            self._algorithm != "bsr"
+            or self._world_state is None
+            or self._sampling_candidates is None
+            or self._sampler is None
+        ):
+            return False
+        if not np.isin(
+            self._sampling_candidates, reduction.candidates
+        ).all():
+            return False
+        graph = self._graph
+        return (
+            self._state_cls.bytes_needed(
+                samples, graph.num_nodes, graph.num_edges
+            )
+            <= self._world_state_budget
         )
-        old_rows = self._world_outcomes[worlds]
-        self._counts += block.outcomes.sum(axis=0) - old_rows.sum(axis=0)
-        self._nodes_touched += int(
-            block.node_draws.sum() - self._world_node_draws[worlds].sum()
+
+    def _column_repair(
+        self, reduction: CandidateReduction, samples: int
+    ) -> int:
+        """Absorb a candidate/budget change without resampling.
+
+        Three exact moves, in order: truncate or grow the world prefix
+        (indexed worlds are order-independent, so the first ``samples``
+        worlds of a fresh run are exactly worlds ``0..samples-1``);
+        explore only the *added* candidates over the kept worlds and OR
+        their closures into the touched state (closures of a candidate
+        union are unions of closures, so the merged masks — and the
+        popcount/in-degree draw-count deltas — equal a from-scratch
+        union run's); explore appended worlds with the full new set.
+        Returns the number of appended worlds.
+        """
+        assert self._world_state is not None
+        state = self._world_state
+        graph = self._graph
+        old_candidates = self._sampling_candidates
+        new_candidates = reduction.candidates
+        old_samples = self._samples
+        keep = min(old_samples, samples)
+        # 1. Truncate surplus worlds (recompute totals from survivors).
+        if samples < old_samples:
+            self._world_outcomes = self._world_outcomes[:samples].copy()
+            self._world_node_draws = self._world_node_draws[:samples].copy()
+            self._world_edge_draws = self._world_edge_draws[:samples].copy()
+            state.resize(samples)
+        # 2. Column added candidates into the kept worlds.
+        added = np.setdiff1d(new_candidates, old_candidates)
+        outcomes = np.zeros(
+            (samples, new_candidates.size), dtype=bool
         )
-        self._edges_touched += int(
-            block.edge_draws.sum() - self._world_edge_draws[worlds].sum()
+        old_positions = np.searchsorted(new_candidates, old_candidates)
+        outcomes[:keep, old_positions] = self._world_outcomes[:keep]
+        if samples > old_samples:
+            grow_nodes = np.zeros(samples, dtype=np.int64)
+            grow_edges = np.zeros(samples, dtype=np.int64)
+            grow_nodes[:keep] = self._world_node_draws
+            grow_edges[:keep] = self._world_edge_draws
+            self._world_node_draws = grow_nodes
+            self._world_edge_draws = grow_edges
+            state.resize(samples)
+        self._world_outcomes = outcomes
+        if added.size:
+            added_positions = np.searchsorted(new_candidates, added)
+            added_sampler = IndexedReverseSampler(
+                graph, added, seed=self._seed
+            )
+            for positions, block in added_sampler.iter_world_blocks(
+                np.arange(keep, dtype=np.int64),
+                collect_touched=state.collect_mode,
+            ):
+                outcomes[np.ix_(positions, added_positions)] = block.outcomes
+                node_delta, edge_delta = state.merge_block(positions, block)
+                self._world_node_draws[positions] += node_delta
+                self._world_edge_draws[positions] += edge_delta
+        # 3. The monitor's sampler now serves the new candidate set.
+        sampler = IndexedReverseSampler(
+            graph, new_candidates, seed=self._seed
         )
-        self._world_outcomes[worlds] = block.outcomes
-        self._world_node_draws[worlds] = block.node_draws
-        self._world_edge_draws[worlds] = block.edge_draws
-        if collect:
-            self._touched_nodes[worlds] = block.touched_nodes
-            self._touched_edges[worlds] = block.touched_edges
-        self._probs = self._counts / float(self._samples)
+        self._sampler = sampler
+        appended = samples - keep
+        if appended > 0:
+            for positions, block in sampler.iter_world_blocks(
+                np.arange(keep, samples, dtype=np.int64),
+                collect_touched=state.collect_mode,
+            ):
+                target = positions + keep
+                outcomes[target] = block.outcomes
+                self._world_node_draws[target] = block.node_draws
+                self._world_edge_draws[target] = block.edge_draws
+                state.store_block(target, block)
+        self._counts = outcomes.sum(axis=0)
+        self._probs = self._counts / float(samples)
+        self._nodes_touched = int(self._world_node_draws.sum())
+        self._edges_touched = int(self._world_edge_draws.sum())
+        self._samples = int(samples)
+        self._world_ids = np.arange(samples, dtype=np.int64)
+        self._sampling_candidates = new_candidates.copy()
+        return appended
+
+    # ------------------------------------------------------------------
+    # (Re)sampling
+    # ------------------------------------------------------------------
+    def _tracked_state(
+        self, samples: int, rows: int | None = None
+    ) -> DenseWorldState | PackedWorldState | None:
+        """Fresh touched-entity state, or ``None`` when over budget.
+
+        The budget is judged against *samples* worlds (the most the run
+        can ever hold); *rows* lets BSRBK start with an empty state that
+        grows with the evaluated prefix.
+        """
+        graph = self._graph
+        n, m = graph.num_nodes, graph.num_edges
+        if self._state_cls.bytes_needed(samples, n, m) > self._world_state_budget:
+            return None
+        rows = samples if rows is None else rows
+        if self._state_cls is DenseWorldState:
+            return DenseWorldState(rows, n, m)
+        in_csr = graph.in_csr()
+        return PackedWorldState(
+            rows,
+            n,
+            m,
+            heads=graph.edge_array[1],
+            in_degrees=np.diff(in_csr.indptr),
+        )
 
     def _resample(self, reduction: CandidateReduction, samples: int) -> None:
-        """Estimate the whole candidate set afresh (as fresh BSR would)."""
+        """Estimate the whole candidate set afresh (as fresh detection)."""
         graph = self._graph
         sampler = self._engine(graph, reduction.candidates, seed=self._seed)
         if self._engine_name == "indexed":
-            cells = samples * (graph.num_nodes + graph.num_edges)
-            track = cells <= self._world_state_budget
-            block = sampler.outcomes_for_worlds(
-                np.arange(samples, dtype=np.int64), collect_touched=track
-            )
             self._sampler = sampler
-            self._world_outcomes = block.outcomes
-            self._world_node_draws = block.node_draws.copy()
-            self._world_edge_draws = block.edge_draws.copy()
-            self._touched_nodes = block.touched_nodes
-            self._touched_edges = block.touched_edges
-            self._counts = block.outcomes.sum(axis=0)
-            self._probs = self._counts / float(samples)
-            self._nodes_touched = int(block.node_draws.sum())
-            self._edges_touched = int(block.edge_draws.sum())
+            if self._algorithm == "bsrbk":
+                self._bk_resample(reduction, samples)
+            else:
+                state = self._tracked_state(samples)
+                collect = False if state is None else state.collect_mode
+                outcomes = np.zeros(
+                    (samples, reduction.candidates.size), dtype=bool
+                )
+                node_draws = np.zeros(samples, dtype=np.int64)
+                edge_draws = np.zeros(samples, dtype=np.int64)
+                for rows, block in sampler.iter_world_blocks(
+                    np.arange(samples, dtype=np.int64),
+                    collect_touched=collect,
+                ):
+                    outcomes[rows] = block.outcomes
+                    node_draws[rows] = block.node_draws
+                    edge_draws[rows] = block.edge_draws
+                    if state is not None:
+                        state.store_block(rows, block)
+                self._world_outcomes = outcomes
+                self._world_node_draws = node_draws
+                self._world_edge_draws = edge_draws
+                self._world_state = state
+                self._world_ids = np.arange(samples, dtype=np.int64)
+                self._counts = outcomes.sum(axis=0)
+                self._probs = self._counts / float(samples)
+                self._nodes_touched = int(node_draws.sum())
+                self._edges_touched = int(edge_draws.sum())
+                self._bk_order = self._bk_hashes = None
+                self._processed = 0
             self._closure = None
         else:
             estimate = sampler.run(samples)
@@ -673,11 +998,108 @@ class TopKMonitor:
             self._sampler = None
             self._counts = None
             self._world_outcomes = None
-            self._touched_nodes = self._touched_edges = None
             self._world_node_draws = self._world_edge_draws = None
+            self._world_state = None
+            self._world_ids = None
             self._closure = ancestor_closure(graph, reduction.candidates)
         self._samples = int(samples)
         self._sampling_candidates = reduction.candidates.copy()
+        self._stop_after = int(reduction.k_remaining)
+
+    # ------------------------------------------------------------------
+    # BSRBK (bottom-k early stop over hash-ordered indexed worlds)
+    # ------------------------------------------------------------------
+    def _bk_resample(self, reduction: CandidateReduction, samples: int) -> None:
+        """Fresh BSRBK evaluation: hash-order worlds, evaluate until the
+        stopping rule fires, keep everything evaluated for later repair."""
+        sampler = self._sampler
+        hashes = sampler.world_hashes(np.arange(samples, dtype=np.int64))
+        order = np.argsort(hashes, kind="stable")
+        self._bk_order = order
+        self._bk_hashes = hashes[order]
+        self._world_outcomes = np.zeros(
+            (0, reduction.candidates.size), dtype=bool
+        )
+        self._world_node_draws = np.zeros(0, dtype=np.int64)
+        self._world_edge_draws = np.zeros(0, dtype=np.int64)
+        self._world_state = self._tracked_state(samples, rows=0)
+        self._world_ids = order[:0]
+        self._samples = int(samples)
+        self._stop_after = int(reduction.k_remaining)
+        self._bk_extend_and_scan()
+
+    def _bk_extend_and_scan(self) -> int:
+        """Evaluate hash-ordered worlds until the bottom-k rule stops.
+
+        Re-runs the pure stopping scan over the evaluated prefix after
+        every extension; because a longer prefix only appends later
+        finishes, the stopping point is independent of the chunk
+        schedule — the property that makes the monitor's incremental
+        result bit-identical to a fresh run's.  Returns how many worlds
+        the evaluated prefix grew by (work telemetry).
+        """
+        assert self._sampler is not None and self._bk_order is not None
+        budget = self._samples
+        initial = evaluated = self._world_ids.size
+        chunk = max(64, self._sampler.world_batch, evaluated)
+        scan = None
+        state = self._world_state
+        collect = False if state is None else state.collect_mode
+        while True:
+            if evaluated:
+                scan = bottom_k_scan(
+                    self._world_outcomes,
+                    self._bk_hashes[:evaluated],
+                    self._bk,
+                    self._stop_after,
+                    budget,
+                )
+                if scan.stopped_early or evaluated >= budget:
+                    break
+            take = min(chunk, budget - evaluated)
+            chunk *= 2
+            world_ids = self._bk_order[evaluated : evaluated + take]
+            grown = evaluated + take
+            outcomes = np.zeros(
+                (grown, self._world_outcomes.shape[1]), dtype=bool
+            )
+            outcomes[:evaluated] = self._world_outcomes
+            node_draws = np.zeros(grown, dtype=np.int64)
+            edge_draws = np.zeros(grown, dtype=np.int64)
+            node_draws[:evaluated] = self._world_node_draws
+            edge_draws[:evaluated] = self._world_edge_draws
+            if state is not None:
+                state.resize(grown)
+            for positions, block in self._sampler.iter_world_blocks(
+                world_ids, collect_touched=collect
+            ):
+                target = positions + evaluated
+                outcomes[target] = block.outcomes
+                node_draws[target] = block.node_draws
+                edge_draws[target] = block.edge_draws
+                if state is not None:
+                    state.store_block(target, block)
+            self._world_outcomes = outcomes
+            self._world_node_draws = node_draws
+            self._world_edge_draws = edge_draws
+            evaluated = grown
+            self._world_ids = self._bk_order[:evaluated]
+        self._processed = scan.processed
+        self._stopped_early = scan.stopped_early
+        self._probs = np.clip(scan.estimates, 0.0, 1.0)
+        self._counts = None
+        self._nodes_touched = int(
+            self._world_node_draws[: scan.processed].sum()
+        )
+        self._edges_touched = int(
+            self._world_edge_draws[: scan.processed].sum()
+        )
+        return evaluated - initial
+
+    def _bk_rescan(self) -> int:
+        """Re-run the stopping scan after repairs (extending on demand);
+        returns the number of newly evaluated worlds."""
+        return self._bk_extend_and_scan()
 
     def _clear_sampling_state(self) -> None:
         self._samples = 0
@@ -689,26 +1111,40 @@ class TopKMonitor:
         self._counts = None
         self._world_outcomes = None
         self._world_node_draws = self._world_edge_draws = None
-        self._touched_nodes = self._touched_edges = None
+        self._world_state = None
+        self._world_ids = None
+        self._bk_order = self._bk_hashes = None
+        self._processed = 0
+        self._stopped_early = False
         self._closure = None
 
     def _assemble(self, started: float) -> None:
-        """Build the DetectionResult exactly as BSR's ``_detect`` does."""
+        """Build the DetectionResult exactly as the fresh detector does."""
         assert self._bounds is not None and self._reduction is not None
         reduction = self._reduction
         nodes, scores = assemble_answer(
             self._graph, reduction, self._bounds.lower, self._probs, self._k
         )
-        self._result = DetectionResult(
-            method="BSR",
-            k=self._k,
-            nodes=nodes,
-            scores=scores,
-            samples_used=self._samples,
-            candidate_size=reduction.candidate_size,
-            k_verified=reduction.k_verified,
-            elapsed_seconds=time.perf_counter() - started,
-            details={
+        if self._algorithm == "bsrbk":
+            samples_used = self._processed if self._probs is not None else 0
+            details = {
+                "bk": self._bk,
+                "epsilon": self._epsilon,
+                "delta": self._delta,
+                "lower_order": self._lower_order,
+                "upper_order": self._upper_order,
+                "stopped_early": self._stopped_early
+                if self._probs is not None
+                else False,
+                **reduction.summary(),
+                "nodes_touched": self._nodes_touched,
+                "edges_touched": self._edges_touched,
+                "streaming_engine": self._engine_name,
+            }
+            method = "BSRBK"
+        else:
+            samples_used = self._samples
+            details = {
                 "epsilon": self._epsilon,
                 "delta": self._delta,
                 "lower_order": self._lower_order,
@@ -717,5 +1153,16 @@ class TopKMonitor:
                 "nodes_touched": self._nodes_touched,
                 "edges_touched": self._edges_touched,
                 "streaming_engine": self._engine_name,
-            },
+            }
+            method = "BSR"
+        self._result = DetectionResult(
+            method=method,
+            k=self._k,
+            nodes=nodes,
+            scores=scores,
+            samples_used=samples_used,
+            candidate_size=reduction.candidate_size,
+            k_verified=reduction.k_verified,
+            elapsed_seconds=time.perf_counter() - started,
+            details=details,
         )

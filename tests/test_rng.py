@@ -99,3 +99,35 @@ class TestRandomBlock:
         assert block.remaining == 9
         block.take(4)
         assert block.remaining == 5
+
+
+class TestCounterPRF:
+    """The SplitMix64 counter-PRF primitives agree with one another."""
+
+    def test_mantissas_variants_and_uniforms_agree(self):
+        from repro.sampling.rng import (
+            hashed_mantissas,
+            hashed_mantissas_inplace,
+            hashed_uniforms,
+        )
+
+        key = np.uint64(0x9E3779B97F4A7C15)
+        counters = np.arange(4096, dtype=np.uint64) * np.uint64(977) + key
+        mantissas = hashed_mantissas(key, counters.copy())
+        inplace = hashed_mantissas_inplace(key, counters.copy())
+        uniforms = hashed_uniforms(key, counters.copy())
+        assert np.array_equal(mantissas, inplace)
+        # The documented contract: uniforms == mantissas * 2**-53 exactly.
+        assert np.array_equal(uniforms, mantissas.astype(np.float64) * 2.0**-53)
+        assert ((uniforms >= 0.0) & (uniforms < 1.0)).all()
+
+    def test_tile_matches_elementwise_hashing(self):
+        from repro.sampling.rng import hashed_uniform_tile, hashed_uniforms
+
+        key = np.uint64(1234567891011)
+        rows = np.array([0, 3, 2**63], dtype=np.uint64)
+        cols = np.array([0, 1, 41, 2**62], dtype=np.uint64)
+        tile = hashed_uniform_tile(key, rows, cols)
+        for i, row in enumerate(rows):
+            expected = hashed_uniforms(key, row + cols)
+            assert np.array_equal(tile[i], expected)

@@ -13,6 +13,7 @@ from repro.core.errors import SamplingError
 from repro.sketch.bottom_k import (
     BottomKSketch,
     BottomKStopper,
+    bottom_k_scan,
     coefficient_of_variation,
     expected_relative_error,
 )
@@ -180,3 +181,90 @@ class TestBottomKStopper:
                 break
         estimate = stopper.estimates()[0]
         assert estimate == pytest.approx(true_p, abs=0.15)
+
+
+def _replay_stopper(outcomes, hashes, bk, stop_after, total_samples):
+    """Feed the rows through a scalar BottomKStopper exactly as BSRBK's
+    stream loop does, returning the fields the scan mirrors."""
+    stopper = BottomKStopper(
+        num_candidates=outcomes.shape[1],
+        bk=bk,
+        total_samples=total_samples,
+        stop_after=stop_after,
+    )
+    stopped_early = False
+    for sample_hash, outcome in zip(hashes, outcomes):
+        stopper.offer(float(sample_hash), outcome)
+        if stopper.should_stop:
+            stopped_early = True
+            break
+    return (
+        stopper.processed,
+        stopped_early,
+        stopper.counts.copy(),
+        stopper.estimates(),
+    )
+
+
+class TestBottomKScan:
+    """The vectorised scan is field-for-field the scalar stopper."""
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_matches_stopper_on_random_streams(self, seed):
+        rng = np.random.default_rng(seed)
+        rows = int(rng.integers(1, 60))
+        candidates = int(rng.integers(1, 12))
+        bk = int(rng.integers(2, 6))
+        stop_after = int(rng.integers(1, candidates + 1))
+        total = rows + int(rng.integers(0, 20))
+        outcomes = rng.random((rows, candidates)) < rng.random(candidates)
+        hashes = np.sort(rng.random(rows)) * 0.98 + 0.01
+        scan = bottom_k_scan(outcomes, hashes, bk, stop_after, total)
+        processed, stopped, counts, estimates = _replay_stopper(
+            outcomes, hashes, bk, stop_after, total
+        )
+        assert scan.processed == processed
+        assert scan.stopped_early == stopped
+        assert np.array_equal(scan.counts, counts)
+        assert np.array_equal(scan.estimates, estimates)
+
+    def test_prefix_stability(self):
+        """Once the scan stops within a prefix, every longer prefix
+        stops at the same position with the same estimates — the
+        property that makes BSRBK's result chunk-schedule independent."""
+        rng = np.random.default_rng(3)
+        rows, candidates = 80, 6
+        outcomes = rng.random((rows, candidates)) < 0.35
+        hashes = np.sort(rng.random(rows))
+        base = bottom_k_scan(outcomes, hashes, 3, 2, rows)
+        assert base.stopped_early
+        for extra in (1, 5, rows - base.processed):
+            prefix = base.processed + extra
+            again = bottom_k_scan(
+                outcomes[:prefix], hashes[:prefix], 3, 2, rows
+            )
+            assert again.processed == base.processed
+            assert np.array_equal(again.estimates, base.estimates)
+
+    def test_never_stopping_consumes_all_rows(self):
+        outcomes = np.zeros((10, 3), dtype=bool)
+        hashes = np.linspace(0.1, 0.9, 10)
+        scan = bottom_k_scan(outcomes, hashes, 2, 1, 10)
+        assert not scan.stopped_early
+        assert scan.processed == 10
+        assert (scan.finish_positions == -1).all()
+        assert (scan.estimates == 0.0).all()
+
+    def test_validation(self):
+        outcomes = np.zeros((4, 2), dtype=bool)
+        hashes = np.linspace(0.1, 0.4, 4)
+        with pytest.raises(SamplingError):
+            bottom_k_scan(np.zeros((0, 2), dtype=bool), hashes[:0], 2, 1, 4)
+        with pytest.raises(SamplingError):
+            bottom_k_scan(outcomes, hashes[:2], 2, 1, 4)
+        with pytest.raises(SamplingError):
+            bottom_k_scan(outcomes, hashes, 1, 1, 4)
+        with pytest.raises(SamplingError):
+            bottom_k_scan(outcomes, hashes, 2, 0, 4)
+        with pytest.raises(SamplingError):
+            bottom_k_scan(outcomes, hashes, 2, 1, 0)

@@ -19,6 +19,7 @@ from repro.core.errors import DatasetError
 from repro.datasets.registry import load_dataset, table2_rows
 from repro.datasets.snap import (
     SNAP_SOURCES,
+    degree_stratified_ids,
     find_snap_file,
     load_snap_graph,
     parse_snap_edges,
@@ -27,6 +28,34 @@ from repro.datasets.snap import (
 
 FIXTURES = Path(__file__).parent / "data" / "snap"
 REPO_ROOT = Path(__file__).parent.parent
+
+
+def _powerlaw_snap_lines(seed: int, n: int = 400, m: int = 1600) -> list[str]:
+    """A SNAP-format edge list with power-law degrees and *adversarial*
+    id numbering: preferential targets get the highest raw ids, so a
+    lowest-id cut loses exactly the hubs."""
+    rng = np.random.default_rng(seed)
+    # Preferential attachment-ish: destination picked proportional to
+    # (index + 1), source uniform; then hubs renumbered to the top.
+    dst = rng.choice(n, size=m, p=(np.arange(n) + 1) / (n * (n + 1) / 2))
+    src = rng.integers(0, n, size=m)
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    degree = np.bincount(src, minlength=n) + np.bincount(dst, minlength=n)
+    renumber = np.empty(n, dtype=np.int64)
+    renumber[np.argsort(degree, kind="stable")] = np.arange(n)
+    return [f"{renumber[s]}\t{renumber[d]}" for s, d in zip(src, dst)]
+
+
+def _raw_degrees(
+    src: np.ndarray, dst: np.ndarray, raw_ids: np.ndarray
+) -> np.ndarray:
+    """Total degree of every raw id over the given edges."""
+    positions = {int(raw): index for index, raw in enumerate(raw_ids)}
+    degrees = np.zeros(raw_ids.size, dtype=np.int64)
+    for value in np.concatenate([src, dst]):
+        degrees[positions[int(value)]] += 1
+    return degrees
 
 
 def _load_downloader():
@@ -87,11 +116,76 @@ class TestLoader:
         assert np.all(graph.edge_array[2] == 1.0)
 
     def test_max_nodes_induced_subgraph(self):
-        graph = load_snap_graph(FIXTURES / "wiki-Vote.txt", max_nodes=4)
+        graph = load_snap_graph(
+            FIXTURES / "wiki-Vote.txt", max_nodes=4, subsample="lowest"
+        )
         assert graph.labels() == [3, 25, 28, 30]
         # Only edges among the kept ids survive.
         kept = {(src, dst) for src, dst, _ in graph.edges()}
         assert kept == {(3, 28), (3, 30), (25, 3), (25, 30), (28, 3), (28, 30)}
+
+    def test_max_nodes_unknown_subsample_rejected(self):
+        with pytest.raises(DatasetError):
+            load_snap_graph(
+                FIXTURES / "wiki-Vote.txt", max_nodes=4, subsample="random"
+            )
+
+    def test_degree_subsample_is_deterministic(self, tmp_path):
+        lines = _powerlaw_snap_lines(seed=3)
+        path = tmp_path / "snap.txt"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        first = load_snap_graph(path, max_nodes=120)
+        second = load_snap_graph(path, max_nodes=120)
+        assert first.labels() == second.labels()
+        assert first.num_nodes == 120
+
+    def test_degree_subsample_preserves_degree_distribution(self, tmp_path):
+        """Regression for the scaled-loader bias: the degree-stratified
+        sample must track the full graph's degree statistics far closer
+        than the legacy lowest-raw-id cut.
+
+        The fixture numbers its hubs at *high* raw ids, so the lowest-id
+        cut severs them — exactly the failure mode real SNAP numbering
+        can produce in either direction.
+        """
+        lines = _powerlaw_snap_lines(seed=3)
+        path = tmp_path / "snap.txt"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with open(path, "r", encoding="utf-8") as handle:
+            src, dst, _ = parse_snap_edges(handle)
+        raw_ids = np.unique(np.concatenate([src, dst]))
+        full_degree = _raw_degrees(src, dst, raw_ids)
+        sample = 150
+
+        def sampled_degrees(ids):
+            keep = np.isin(src, ids) & np.isin(dst, ids)
+            return _raw_degrees(src[keep], dst[keep], ids)
+
+        stratified = degree_stratified_ids(src, dst, raw_ids, sample)
+        assert stratified.size == sample
+        assert np.isin(stratified, raw_ids).all()
+        lowest = raw_ids[:sample]
+        full_mean = full_degree.mean()
+        stratified_gap = abs(sampled_degrees(stratified).mean() - full_mean)
+        lowest_gap = abs(sampled_degrees(lowest).mean() - full_mean)
+        assert stratified_gap < lowest_gap
+        # The sampled *node* degrees (in the full graph) must mirror the
+        # full distribution bucket by bucket: each log2 bucket's share
+        # stays within 3 percentage points.
+        member_degrees = full_degree[np.searchsorted(raw_ids, stratified)]
+        full_buckets = np.floor(np.log2(np.maximum(full_degree, 1)))
+        sample_buckets = np.floor(np.log2(np.maximum(member_degrees, 1)))
+        for bucket in np.unique(full_buckets):
+            full_share = (full_buckets == bucket).mean()
+            sample_share = (sample_buckets == bucket).mean()
+            assert abs(full_share - sample_share) < 0.03, (
+                f"bucket {bucket}: {full_share:.3f} vs {sample_share:.3f}"
+            )
+        # The hubs live at high raw ids in this fixture; the stratified
+        # sample keeps its share of them, the lowest-id cut cannot.
+        hub_cut = np.quantile(full_degree, 0.99)
+        hubs = raw_ids[full_degree >= hub_cut]
+        assert np.isin(hubs, stratified).mean() > np.isin(hubs, lowest).mean()
 
     def test_missing_file_rejected(self, tmp_path):
         with pytest.raises(DatasetError):

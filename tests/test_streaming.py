@@ -7,6 +7,7 @@ import numpy as np
 import pytest
 
 from repro.algorithms.bsr import BoundedSampleReverseDetector
+from repro.algorithms.bsrbk import BottomKDetector
 from repro.bounds.incremental import IncrementalBoundPair, eq1_values_at
 from repro.bounds.iterative import bound_pair
 from repro.core.eq1 import apply_eq1
@@ -622,3 +623,177 @@ class TestCoalescedIngestion:
         assert reverse_report.worlds_repaired == (
             forward_report.worlds_repaired
         )
+
+
+def assert_bsrbk_equivalent(result, fresh):
+    """BSRBK's monitor contract: the BSR contract plus the stop point."""
+    assert result.method == fresh.method == "BSRBK"
+    assert_equivalent(result, fresh)
+    assert result.details["stopped_early"] == fresh.details["stopped_early"]
+    assert result.details["bk"] == fresh.details["bk"]
+
+
+class TestTopKMonitorBSRBK:
+    """Incremental BSRBK: bit-identity to a fresh BottomKDetector at
+    every step (the tentpole's acceptance criterion)."""
+
+    @pytest.mark.parametrize("bk", [4, 8])
+    def test_random_patches_match_fresh_bsrbk(self, bk):
+        graph = powerlaw_graph(200, seed=18)
+        monitor = TopKMonitor(graph, 6, seed=21, algorithm="bsrbk", bk=bk)
+        fresh_args = dict(bk=bk, seed=21, engine="indexed")
+        assert_bsrbk_equivalent(
+            monitor.top_k(),
+            BottomKDetector(**fresh_args).detect(graph, 6),
+        )
+        repaired = 0
+        for event in random_patch_stream(graph, 20, seed=1, drift=0.1):
+            monitor.apply([event])
+            fresh = BottomKDetector(**fresh_args).detect(graph, 6)
+            result = monitor.top_k()
+            assert_bsrbk_equivalent(result, fresh)
+            # The stopping threshold must track k_remaining every
+            # refresh, not just on resamples (it can move while the
+            # candidate set and budget stay equal).
+            assert monitor._stop_after == monitor.k - result.k_verified
+            repaired += monitor.last_report.worlds_repaired
+        assert monitor.stats["incremental"] > 0
+
+    def test_large_patches_match_fresh_bsrbk(self):
+        graph = powerlaw_graph(150, seed=19)
+        monitor = TopKMonitor(graph, 5, seed=8, algorithm="bsrbk")
+        for event in random_patch_stream(graph, 12, seed=2, drift=None):
+            monitor.apply([event])
+            fresh = BottomKDetector(bk=16, seed=8, engine="indexed").detect(
+                graph, 5
+            )
+            assert_bsrbk_equivalent(monitor.top_k(), fresh)
+
+    def test_budget_zero_world_state_still_exact(self):
+        graph = powerlaw_graph(120, seed=23)
+        monitor = TopKMonitor(
+            graph, 4, seed=9, algorithm="bsrbk", world_state_budget=0
+        )
+        for event in random_patch_stream(graph, 8, seed=5, drift=0.1):
+            monitor.apply([event])
+            fresh = BottomKDetector(bk=16, seed=9, engine="indexed").detect(
+                graph, 4
+            )
+            assert_bsrbk_equivalent(monitor.top_k(), fresh)
+
+    def test_bsrbk_requires_indexed_engine(self):
+        graph = powerlaw_graph(30, seed=24)
+        with pytest.raises(GraphError, match="indexed"):
+            TopKMonitor(graph, 3, algorithm="bsrbk", engine="batched")
+        with pytest.raises(GraphError):
+            TopKMonitor(graph, 3, algorithm="nope")
+        with pytest.raises(SamplingError):
+            TopKMonitor(graph, 3, algorithm="bsrbk", bk=1)
+
+    def test_fresh_bsrbk_indexed_is_chunk_schedule_independent(self):
+        """The one-shot indexed BSRBK result must not depend on the
+        sampler's world_batch (and hence the chunk schedule the early
+        stop evaluates in) — worlds and hashes are order-independent."""
+        graph = powerlaw_graph(100, seed=25)
+
+        def pinned_engine(world_batch):
+            class PinnedBatchSampler(IndexedReverseSampler):
+                def __init__(self, graph, candidates, seed=None, **kwargs):
+                    kwargs["world_batch"] = world_batch
+                    super().__init__(graph, candidates, seed, **kwargs)
+
+            return PinnedBatchSampler
+
+        results = []
+        for world_batch in (None, 3, 70, 100_000):
+            detector = BottomKDetector(bk=8, seed=3, engine="indexed")
+            if world_batch is not None:
+                # chunk = max(64, world_batch) and grows geometrically,
+                # so these pins produce genuinely different evaluation
+                # schedules (including all-at-once).
+                detector._engine = pinned_engine(world_batch)
+            results.append(detector.detect(graph, 4))
+        for other in results[1:]:
+            assert results[0].same_answer(other)
+            assert results[0].details == other.details
+
+
+class TestCandidateColumnRepair:
+    """Satellite: candidate/budget changes absorbed without resampling,
+    with draw-count bookkeeping exactly equal to fresh detection."""
+
+    def _drive(self, world_state):
+        graph = powerlaw_graph(300, seed=18)
+        monitor = TopKMonitor(graph, 6, seed=21, world_state=world_state)
+        monitor.top_k()
+        rng = np.random.default_rng(5)
+        modes = {}
+        for _ in range(25):
+            node = graph.label(int(rng.integers(0, 300)))
+            current = graph.self_risk(node)
+            # Rising self-risks push bound values over Tl: the reduction
+            # re-runs and the candidate set grows -> the columned path.
+            monitor.set_self_risk(node, min(0.95, current + 0.15))
+            result = monitor.top_k()
+            fresh = BoundedSampleReverseDetector(
+                seed=21, engine="indexed"
+            ).detect(graph, 6)
+            assert_equivalent(result, fresh)
+            report = monitor.last_report
+            modes[report.sampling] = modes.get(report.sampling, 0) + 1
+        return monitor, modes
+
+    @pytest.mark.parametrize("world_state", ["packed", "dense"])
+    def test_growing_candidates_column_in_exactly(self, world_state):
+        monitor, modes = self._drive(world_state)
+        # The whole point: candidate growth must not resample.
+        assert modes.get("columned", 0) > 0
+        assert modes.get("resampled", 0) == 0
+        assert monitor.stats["worlds_columned"] >= 0
+
+    def test_columned_budget_growth_appends_worlds(self):
+        """When the Theorem-5 budget grows with the candidate set, the
+        appended worlds are explored fresh and the prefix is kept."""
+        graph = powerlaw_graph(300, seed=18)
+        monitor = TopKMonitor(graph, 6, seed=21)
+        monitor.top_k()
+        before = monitor.top_k().samples_used
+        rng = np.random.default_rng(5)
+        grew = False
+        for _ in range(25):
+            node = graph.label(int(rng.integers(0, 300)))
+            current = graph.self_risk(node)
+            monitor.set_self_risk(node, min(0.95, current + 0.15))
+            result = monitor.top_k()
+            if (
+                monitor.last_report.sampling == "columned"
+                and result.samples_used > before
+            ):
+                grew = True
+            before = result.samples_used
+        assert grew, "stream never grew the sample budget via columning"
+
+    def test_removed_candidates_fall_back_to_resample(self):
+        """Candidate removal shrinks every world's closure; only a
+        re-exploration reproduces fresh work counters, so the monitor
+        must resample — and stay exact."""
+        graph = powerlaw_graph(250, seed=30)
+        monitor = TopKMonitor(graph, 5, seed=11)
+        monitor.top_k()
+        rng = np.random.default_rng(7)
+        saw_resample = False
+        targets = [graph.label(int(i)) for i in rng.integers(0, 250, 12)]
+        for node in targets:
+            monitor.set_self_risk(node, 0.9)
+        monitor.top_k()
+        for node in targets:
+            # Dropping risks back pulls candidates out of the set.
+            monitor.set_self_risk(node, 0.01)
+            result = monitor.top_k()
+            fresh = BoundedSampleReverseDetector(
+                seed=11, engine="indexed"
+            ).detect(graph, 5)
+            assert_equivalent(result, fresh)
+            if monitor.last_report.sampling == "resampled":
+                saw_resample = True
+        assert saw_resample
