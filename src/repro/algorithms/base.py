@@ -48,6 +48,13 @@ class DetectionResult:
         Wall-clock time of the detection call.
     details:
         Free-form per-method diagnostics (thresholds, bound orders, …).
+    stale:
+        ``False`` for every freshly computed answer.  The durable
+        serving layer sets ``True`` on an answer served from the last
+        snapshot while its tenant is still replaying the WAL — correct
+        as of the snapshot, possibly behind the durable stream.  Not
+        part of :meth:`same_answer` (staleness is serving metadata, not
+        answer content).
     """
 
     method: str
@@ -59,6 +66,7 @@ class DetectionResult:
     k_verified: int
     elapsed_seconds: float
     details: dict[str, Any] = field(default_factory=dict)
+    stale: bool = False
 
     def top_set(self) -> frozenset:
         """The answer as a set (what precision@k compares)."""

@@ -11,6 +11,8 @@ Usage::
 
     repro-detect serve --dataset guarantee --tenants 8 --k 10 --events 20
     repro-detect serve --dataset wiki --tenants 32 --k-percent 1 --verify
+    repro-detect serve --dataset guarantee --k 10 --wal-dir state/ \
+        --fsync always --snapshot-interval 30
 
 The default (no subcommand) form reads a graph (JSON or text edge list,
 or a named synthetic dataset), runs one detection method, and prints the
@@ -221,6 +223,41 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--flush-interval", type=float, default=0.02,
                         help="ingestion flush window in seconds")
     parser.add_argument(
+        "--wal-dir",
+        default=None,
+        help=(
+            "durability directory (write-ahead log + rotated snapshots); "
+            "a directory holding earlier state is recovered on startup"
+        ),
+    )
+    parser.add_argument(
+        "--fsync",
+        choices=("always", "flush", "never"),
+        default="flush",
+        help="WAL fsync policy (with --wal-dir; default: flush)",
+    )
+    parser.add_argument(
+        "--snapshot-interval",
+        type=float,
+        default=None,
+        help="seconds between rotated disk snapshots (with --wal-dir)",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=4096,
+        help="per-tenant ingestion backlog bound (default: 4096)",
+    )
+    parser.add_argument(
+        "--overflow",
+        choices=("wake", "error", "shed"),
+        default="wake",
+        help=(
+            "full-backlog policy: wake the pump (unbounded, default), "
+            "raise BackpressureError, or shed with a counter"
+        ),
+    )
+    parser.add_argument(
         "--engine",
         choices=("indexed", "batched", "reference"),
         default="indexed",
@@ -372,6 +409,7 @@ def stream_main(argv: list[str] | None = None) -> int:
 def serve_main(argv: list[str] | None = None) -> int:
     """Entry point of the ``serve`` subcommand."""
     import asyncio
+    import signal
 
     from repro.algorithms.bsr import BoundedSampleReverseDetector
     from repro.serving import RiskService
@@ -387,6 +425,8 @@ def serve_main(argv: list[str] | None = None) -> int:
             raise ReproError(f"--tenants must be >= 1, got {args.tenants}")
         if args.events < 1:
             raise ReproError(f"--events must be >= 1, got {args.events}")
+        if args.snapshot_interval is not None and args.wal_dir is None:
+            raise ReproError("--snapshot-interval requires --wal-dir")
         service = RiskService(
             graph,
             mode=args.mode,
@@ -397,10 +437,22 @@ def serve_main(argv: list[str] | None = None) -> int:
                 "epsilon": args.epsilon,
                 "delta": args.delta,
             },
+            max_pending=args.max_pending,
+            overflow=args.overflow,
+            wal_dir=args.wal_dir,
+            fsync=args.fsync,
         )
+        recovered = set(service.tenants())
+        if recovered:
+            print(
+                f"recovered {len(recovered)} tenant(s) from "
+                f"{args.wal_dir}",
+                file=sys.stderr,
+            )
         tenant_ids = [f"portfolio-{i:02d}" for i in range(args.tenants)]
         for tenant_id in tenant_ids:
-            service.register_tenant(tenant_id, k)
+            if tenant_id not in recovered:
+                service.register_tenant(tenant_id, k)
         # Each tenant's stream compounds drift against a shadow copy —
         # the single-threaded reference state the served answers are
         # verified against.
@@ -418,17 +470,39 @@ def serve_main(argv: list[str] | None = None) -> int:
 
         async def drive() -> None:
             stop = asyncio.Event()
-            pump = asyncio.create_task(
-                service.serve(flush_interval=args.flush_interval, stop=stop)
-            )
-            for _ in range(args.events):
-                for tenant_id in tenant_ids:
-                    event = next(streams[tenant_id])
-                    service.submit_update(tenant_id, event)
-                    apply_event(shadows[tenant_id], event)
-                await asyncio.sleep(0)
-            stop.set()
-            await pump
+            loop = asyncio.get_running_loop()
+            # Graceful shutdown: SIGINT/SIGTERM set the stop event, the
+            # pump runs its final drain cycle (with --wal-dir nothing
+            # accepted is lost — see RiskService.close), and the normal
+            # reporting path below still runs.
+            handled: list[signal.Signals] = []
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(signum, stop.set)
+                    handled.append(signum)
+                except (NotImplementedError, RuntimeError, ValueError):
+                    pass  # non-main thread / unsupported platform
+            try:
+                pump = asyncio.create_task(
+                    service.serve(
+                        flush_interval=args.flush_interval,
+                        stop=stop,
+                        snapshot_interval=args.snapshot_interval,
+                    )
+                )
+                for _ in range(args.events):
+                    if stop.is_set():
+                        break
+                    for tenant_id in tenant_ids:
+                        event = next(streams[tenant_id])
+                        service.submit_update(tenant_id, event)
+                        apply_event(shadows[tenant_id], event)
+                    await asyncio.sleep(0)
+                stop.set()
+                await pump
+            finally:
+                for signum in handled:
+                    loop.remove_signal_handler(signum)
 
         started = time.perf_counter()
         asyncio.run(drive())

@@ -17,6 +17,7 @@ __all__ = [
     "NotFittedError",
     "DatasetError",
     "ExperimentError",
+    "BackpressureError",
 ]
 
 
@@ -61,3 +62,7 @@ class DatasetError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment configuration is invalid."""
+
+
+class BackpressureError(ReproError):
+    """Raised when an ingestion backlog hits its hard ``max_pending`` cap."""

@@ -1,0 +1,249 @@
+"""Binary codec for update events and the WAL's record framing.
+
+Two layers, both versioned and both deliberately boring:
+
+**Event codec** — one event, one byte string.  A 1-byte type tag
+selects the event class; scalar events carry a compact JSON body
+(labels survive as JSON scalars — ``str`` / ``int`` / ``float`` /
+``bool`` / ``None``), bulk events carry their vector as raw
+little-endian float64 bytes (no JSON float round-tripping, no parsing
+cost at replay time).  ``decode_event(encode_event(e))`` reconstructs
+an equal event for every valid event; the hypothesis suite in
+``tests/test_persistence_codec.py`` pins this, and a committed v1
+golden file pins the on-disk format itself.
+
+**Record framing** — one payload, one self-checking record::
+
+    +------------+------------+--------------------+
+    | length u32 | crc32 u32  | payload bytes ...  |
+    +------------+------------+--------------------+
+
+Little-endian, CRC over the payload only.  A reader walks records until
+the buffer ends *or* a record fails its checks — a short header, a
+payload shorter than its declared length (a torn tail from a crash
+mid-write), or a CRC mismatch (a torn or bit-flipped write).  Framing
+makes corruption detectable, never mis-decodable: everything before the
+first bad record is trusted, everything from it on is discarded.
+
+The segment file header is ``REPROWAL`` + a version byte; readers
+refuse versions they do not understand instead of guessing.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.errors import ReproError
+from repro.streaming.events import (
+    BulkEdgeProbabilityUpdate,
+    BulkSelfRiskUpdate,
+    EdgeProbabilityUpdate,
+    SelfRiskUpdate,
+    UpdateEvent,
+)
+
+__all__ = [
+    "CODEC_VERSION",
+    "WAL_MAGIC",
+    "PersistenceError",
+    "CorruptRecordError",
+    "encode_event",
+    "decode_event",
+    "encode_record",
+    "decode_record_stream",
+    "encode_batch_payload",
+    "decode_batch_payload",
+]
+
+#: On-disk format version; bump on any incompatible layout change.
+CODEC_VERSION = 1
+
+#: Segment file header: magic + version byte.
+WAL_MAGIC = b"REPROWAL" + bytes([CODEC_VERSION])
+
+_RECORD_HEADER = struct.Struct("<II")  # payload length, crc32(payload)
+
+# Event type tags (1 byte each).
+_TAG_SELF_RISK = 1
+_TAG_EDGE_PROB = 2
+_TAG_BULK_SELF_RISK = 3
+_TAG_BULK_EDGE_PROB = 4
+
+# Batch payload kinds.
+BATCH_KIND_EVENTS = b"B"
+BATCH_KIND_REGISTER = b"R"
+
+_JSON_LABEL_TYPES = (str, int, float, bool, type(None))
+
+
+class PersistenceError(ReproError):
+    """Raised when durable state cannot be written or interpreted."""
+
+
+class CorruptRecordError(PersistenceError):
+    """Raised when a record fails framing or checksum validation."""
+
+
+def _check_label(label: object, what: str) -> object:
+    # bool is an int subclass; list it explicitly anyway for clarity.
+    if not isinstance(label, _JSON_LABEL_TYPES):
+        raise PersistenceError(
+            f"{what} {label!r} is not WAL-serialisable; durable serving "
+            f"requires JSON-scalar node labels (str/int/float/bool/None)"
+        )
+    return label
+
+
+def encode_event(event: UpdateEvent) -> bytes:
+    """Encode one update event as a self-describing byte string."""
+    if isinstance(event, SelfRiskUpdate):
+        body = json.dumps(
+            [_check_label(event.label, "node label"), float(event.value)],
+            ensure_ascii=False,
+        ).encode("utf-8")
+        return bytes([_TAG_SELF_RISK]) + body
+    if isinstance(event, EdgeProbabilityUpdate):
+        body = json.dumps(
+            [
+                _check_label(event.src, "edge source label"),
+                _check_label(event.dst, "edge target label"),
+                float(event.value),
+            ],
+            ensure_ascii=False,
+        ).encode("utf-8")
+        return bytes([_TAG_EDGE_PROB]) + body
+    if isinstance(event, BulkSelfRiskUpdate):
+        values = np.ascontiguousarray(event.values, dtype="<f8")
+        return bytes([_TAG_BULK_SELF_RISK]) + values.tobytes()
+    if isinstance(event, BulkEdgeProbabilityUpdate):
+        values = np.ascontiguousarray(event.values, dtype="<f8")
+        return bytes([_TAG_BULK_EDGE_PROB]) + values.tobytes()
+    raise PersistenceError(f"unknown update event: {event!r}")
+
+
+def decode_event(data: bytes) -> UpdateEvent:
+    """Decode one event encoded by :func:`encode_event`."""
+    if not data:
+        raise CorruptRecordError("empty event payload")
+    tag, body = data[0], data[1:]
+    try:
+        if tag == _TAG_SELF_RISK:
+            label, value = json.loads(body.decode("utf-8"))
+            return SelfRiskUpdate(label=label, value=float(value))
+        if tag == _TAG_EDGE_PROB:
+            src, dst, value = json.loads(body.decode("utf-8"))
+            return EdgeProbabilityUpdate(src=src, dst=dst, value=float(value))
+        if tag == _TAG_BULK_SELF_RISK:
+            return BulkSelfRiskUpdate(values=_decode_vector(body))
+        if tag == _TAG_BULK_EDGE_PROB:
+            return BulkEdgeProbabilityUpdate(values=_decode_vector(body))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise CorruptRecordError(f"malformed event body: {error}") from None
+    raise CorruptRecordError(f"unknown event tag {tag}")
+
+
+def _decode_vector(body: bytes) -> np.ndarray:
+    if len(body) % 8:
+        raise CorruptRecordError(
+            f"bulk vector body of {len(body)} bytes is not float64-aligned"
+        )
+    # Copy out of the read buffer so the event owns writable memory.
+    return np.frombuffer(body, dtype="<f8").astype(np.float64)
+
+
+# ----------------------------------------------------------------------
+# Record framing
+# ----------------------------------------------------------------------
+def encode_record(payload: bytes) -> bytes:
+    """Frame *payload* as one length-prefixed, CRC-checksummed record."""
+    return _RECORD_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def decode_record_stream(
+    data: bytes, *, start: int = 0
+) -> Iterator[tuple[bytes, int]]:
+    """Yield ``(payload, end_offset)`` for each intact record in *data*.
+
+    Stops silently at the first torn or corrupt record — the crash-
+    recovery contract: everything before the first bad checksum is
+    durable, everything after it is gone.  The final yielded
+    ``end_offset`` is where a repaired log should be truncated (and
+    where appends may resume).
+    """
+    offset = start
+    total = len(data)
+    while True:
+        if offset + _RECORD_HEADER.size > total:
+            return
+        length, crc = _RECORD_HEADER.unpack_from(data, offset)
+        body_start = offset + _RECORD_HEADER.size
+        body_end = body_start + length
+        if body_end > total:
+            return  # torn tail: payload shorter than declared
+        payload = data[body_start:body_end]
+        if zlib.crc32(payload) != crc:
+            return  # corrupt record: stop trusting the file here
+        offset = body_end
+        yield payload, offset
+
+
+# ----------------------------------------------------------------------
+# Batch payloads (what one WAL record carries)
+# ----------------------------------------------------------------------
+def encode_batch_payload(
+    kind: bytes, seq: int, tenant_id: object, parts: list[bytes]
+) -> bytes:
+    """Encode one WAL batch: kind, sequence, tenant, then *parts*.
+
+    ``kind`` is :data:`BATCH_KIND_EVENTS` (parts = encoded events, in
+    coalesced order) or :data:`BATCH_KIND_REGISTER` (parts = one JSON
+    blob of tenant registration arguments).
+    """
+    tenant_json = json.dumps(
+        _check_label(tenant_id, "tenant id"), ensure_ascii=False
+    ).encode("utf-8")
+    out = bytearray()
+    out += kind
+    out += struct.pack("<Q", seq)
+    out += struct.pack("<I", len(tenant_json))
+    out += tenant_json
+    out += struct.pack("<I", len(parts))
+    for part in parts:
+        out += struct.pack("<I", len(part))
+        out += part
+    return bytes(out)
+
+
+def decode_batch_payload(payload: bytes) -> tuple[bytes, int, object, list[bytes]]:
+    """Decode :func:`encode_batch_payload`'s output."""
+    try:
+        kind = payload[0:1]
+        if kind not in (BATCH_KIND_EVENTS, BATCH_KIND_REGISTER):
+            raise CorruptRecordError(f"unknown batch kind {kind!r}")
+        offset = 1
+        (seq,) = struct.unpack_from("<Q", payload, offset)
+        offset += 8
+        (tenant_len,) = struct.unpack_from("<I", payload, offset)
+        offset += 4
+        tenant_id = json.loads(payload[offset:offset + tenant_len].decode("utf-8"))
+        offset += tenant_len
+        (count,) = struct.unpack_from("<I", payload, offset)
+        offset += 4
+        parts: list[bytes] = []
+        for _ in range(count):
+            (part_len,) = struct.unpack_from("<I", payload, offset)
+            offset += 4
+            parts.append(payload[offset:offset + part_len])
+            offset += part_len
+        if offset != len(payload):
+            raise CorruptRecordError(
+                f"{len(payload) - offset} trailing bytes after batch body"
+            )
+    except (struct.error, ValueError, UnicodeDecodeError) as error:
+        raise CorruptRecordError(f"malformed batch payload: {error}") from None
+    return kind, int(seq), tenant_id, parts

@@ -1,0 +1,449 @@
+"""Segmented write-ahead log of coalesced tenant update batches.
+
+One :class:`WriteAheadLog` owns a directory of append-only segment
+files (``wal-00000001.log``, …).  Every record is one *batch*: either a
+tenant registration (so recovery can rebuild monitors created after the
+last snapshot) or the coalesced event batch a tenant's monitor consumed
+at one flush — written **before** the batch is dispatched to its shard,
+so the durable order is exactly the order the monitors applied
+(write-ahead).  Batches carry a global, strictly increasing sequence
+number; snapshots record per-tenant watermarks against it, and recovery
+replays only the suffix past each tenant's watermark.
+
+Durability knobs
+----------------
+``fsync="always"``
+    fsync after every append — maximum durability, pays a disk flush
+    per batch.
+``fsync="flush"`` (default)
+    fsync once per drain cycle (:meth:`sync`, called by the ingestion
+    path after it appended every tenant's batch for the window) —
+    bounded loss: at most one flush window on power failure, nothing on
+    process crash (the OS holds the bytes).
+``fsync="never"``
+    OS page cache only; still crash-safe against process death.
+
+Crash tolerance
+---------------
+Opening a log *repairs* it: each segment's records are walked in order
+and the file is truncated at the first torn or corrupt record (short
+header, short payload, CRC mismatch); any later segments are discarded
+entirely.  Everything before the first bad checksum is recovered —
+nothing after it is guessed at.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import BinaryIO, Callable, Hashable
+
+from repro.persistence.codec import (
+    BATCH_KIND_EVENTS,
+    BATCH_KIND_REGISTER,
+    CorruptRecordError,
+    PersistenceError,
+    WAL_MAGIC,
+    decode_batch_payload,
+    decode_event,
+    decode_record_stream,
+    encode_batch_payload,
+    encode_event,
+    encode_record,
+)
+from repro.streaming.events import UpdateEvent
+
+__all__ = ["WriteAheadLog", "WalBatch", "FSYNC_POLICIES"]
+
+TenantId = Hashable
+FSYNC_POLICIES = ("always", "flush", "never")
+
+_SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".log"
+
+
+@dataclass(frozen=True)
+class WalBatch:
+    """One durable record: a registration or an applied event batch."""
+
+    seq: int
+    tenant_id: TenantId
+    kind: str  # "events" | "register"
+    events: tuple[UpdateEvent, ...] = ()
+    register: dict | None = None
+
+
+@dataclass
+class _Segment:
+    path: Path
+    first_seq: int | None = None
+    last_seq: int | None = None
+
+    def covers_only_upto(self, seq: int) -> bool:
+        return self.last_seq is not None and self.last_seq <= seq
+
+
+def _segment_index(path: Path) -> int:
+    return int(path.name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)])
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Best-effort directory fsync so renames/creates are durable."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - e.g. network filesystems
+        pass
+    finally:
+        os.close(fd)
+
+
+class WriteAheadLog:
+    """Append-only, checksummed, segment-rotated batch log.
+
+    Parameters
+    ----------
+    directory:
+        Where segments live; created if missing.  Opening scans and
+        repairs existing segments (see the module docstring), so the
+        instance is immediately ready both to replay and to append.
+    fsync:
+        One of :data:`FSYNC_POLICIES`; see the module docstring.
+    segment_max_bytes:
+        Appends past this size rotate to a fresh segment first, keeping
+        snapshot-driven truncation (:meth:`truncate_upto`) effective —
+        only whole dead segments are ever deleted.
+    io_wrapper:
+        Optional wrapper applied to the active segment's append handle;
+        the fault-injection tests use it to inject write errors and
+        partial writes without touching production code paths.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        *,
+        fsync: str = "flush",
+        segment_max_bytes: int = 64 * 1024 * 1024,
+        io_wrapper: Callable[[BinaryIO], BinaryIO] | None = None,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise PersistenceError(
+                f"fsync must be one of {FSYNC_POLICIES}, got {fsync!r}"
+            )
+        if segment_max_bytes < 1024:
+            raise PersistenceError(
+                f"segment_max_bytes must be >= 1024, got {segment_max_bytes}"
+            )
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._fsync = fsync
+        self._segment_max = int(segment_max_bytes)
+        self._io_wrapper = io_wrapper
+        self._handle: BinaryIO | None = None
+        self._segments: list[_Segment] = []
+        self._next_seq = 1
+        #: Last appended batch seq per tenant (rebuilt from disk on open).
+        self.last_seq_of: dict[TenantId, int] = {}
+        self._closed = False
+        self._recover_segments()
+
+    # ------------------------------------------------------------------
+    # Open-time scan and repair
+    # ------------------------------------------------------------------
+    def _segment_paths(self) -> list[Path]:
+        paths = [
+            path
+            for path in self.directory.glob(
+                f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}"
+            )
+            if path.name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)].isdigit()
+        ]
+        return sorted(paths, key=_segment_index)
+
+    def _recover_segments(self) -> None:
+        paths = self._segment_paths()
+        truncated_at: Path | None = None
+        for position, path in enumerate(paths):
+            segment, clean = self._scan_segment(path)
+            self._segments.append(segment)
+            if segment.last_seq is not None:
+                self._next_seq = max(self._next_seq, segment.last_seq + 1)
+            if not clean:
+                # Everything after the first bad checksum is discarded:
+                # later segments were written after the corruption point
+                # in the append order, so they cannot be trusted either.
+                truncated_at = path
+                for orphan in paths[position + 1:]:
+                    orphan.unlink()
+                break
+        if truncated_at is not None:
+            _fsync_dir(self.directory)
+        if not self._segments:
+            self._start_segment(1)
+        else:
+            self._open_for_append(self._segments[-1])
+
+    def _scan_segment(self, path: Path) -> tuple[_Segment, bool]:
+        """Walk one segment; truncate it at the first bad record."""
+        data = path.read_bytes()
+        segment = _Segment(path=path)
+        if len(data) < len(WAL_MAGIC) or data[:8] != WAL_MAGIC[:8]:
+            # Torn during creation (or not a WAL file): recover to empty.
+            path.write_bytes(WAL_MAGIC)
+            return segment, False
+        if data[:len(WAL_MAGIC)] != WAL_MAGIC:
+            raise PersistenceError(
+                f"{path} was written by WAL format version "
+                f"{data[8]}, this build reads version {WAL_MAGIC[8]}"
+            )
+        good_end = len(WAL_MAGIC)
+        clean = True
+        for payload, end in decode_record_stream(data, start=len(WAL_MAGIC)):
+            try:
+                kind, seq, tenant_id, _ = decode_batch_payload(payload)
+            except CorruptRecordError:
+                clean = False
+                break
+            good_end = end
+            if segment.first_seq is None:
+                segment.first_seq = seq
+            segment.last_seq = seq
+            if kind == BATCH_KIND_EVENTS:
+                self.last_seq_of[tenant_id] = seq
+        if good_end < len(data):
+            clean = False
+            with open(path, "r+b") as handle:
+                handle.truncate(good_end)
+        return segment, clean
+
+    # ------------------------------------------------------------------
+    # Append path
+    # ------------------------------------------------------------------
+    def _start_segment(self, index: int) -> None:
+        path = self.directory / (
+            f"{_SEGMENT_PREFIX}{index:08d}{_SEGMENT_SUFFIX}"
+        )
+        path.write_bytes(WAL_MAGIC)
+        _fsync_dir(self.directory)
+        segment = _Segment(path=path)
+        self._segments.append(segment)
+        self._open_for_append(segment)
+
+    def _open_for_append(self, segment: _Segment) -> None:
+        if self._handle is not None:
+            self._handle.close()
+        raw: BinaryIO = open(segment.path, "ab")
+        if self._io_wrapper is not None:
+            raw = self._io_wrapper(raw)
+        self._handle = raw
+
+    @property
+    def active_segment(self) -> Path:
+        """Path of the segment currently being appended to."""
+        return self._segments[-1].path
+
+    @property
+    def segment_paths(self) -> list[Path]:
+        """All live segment paths, oldest first."""
+        return [segment.path for segment in self._segments]
+
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next appended batch will carry."""
+        return self._next_seq
+
+    def _append_payload(self, payload: bytes) -> None:
+        assert self._handle is not None
+        record = encode_record(payload)
+        active = self._segments[-1]
+        if (
+            self._handle.tell() + len(record) > self._segment_max
+            and active.first_seq is not None
+        ):
+            self.rotate()
+        start = self._handle.tell()
+        try:
+            self._handle.write(record)
+            self._handle.flush()
+            if self._fsync == "always":
+                os.fsync(self._handle.fileno())
+        except OSError:
+            # A failed or partial write leaves torn bytes at the tail.
+            # Cut the segment back to the last good record NOW, not at
+            # the next open: this in-process handle keeps appending, and
+            # readers stop at the first bad record — leaving the tear in
+            # place would silently discard every later good batch.
+            self._repair_active_tail(start)
+            raise
+
+    def _repair_active_tail(self, good_end: int) -> None:
+        """Truncate the active segment to *good_end* and reopen it."""
+        active = self._segments[-1]
+        try:
+            if self._handle is not None:
+                self._handle.close()
+        except OSError:  # pragma: no cover - close on a faulted handle
+            pass
+        self._handle = None
+        with open(active.path, "r+b") as handle:
+            handle.truncate(good_end)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._open_for_append(active)
+
+    def append_events(
+        self, tenant_id: TenantId, events: list[UpdateEvent]
+    ) -> int:
+        """Append one coalesced event batch; returns its sequence number."""
+        self._ensure_open()
+        seq = self._next_seq
+        payload = encode_batch_payload(
+            BATCH_KIND_EVENTS,
+            seq,
+            tenant_id,
+            [encode_event(event) for event in events],
+        )
+        self._append_payload(payload)
+        self._note_seq(seq, tenant_id, events=True)
+        return seq
+
+    def append_register(
+        self, tenant_id: TenantId, k: int, monitor_kwargs: dict
+    ) -> int:
+        """Append a tenant registration (k + monitor keyword arguments)."""
+        self._ensure_open()
+        seq = self._next_seq
+        blob = json.dumps(
+            {"k": int(k), "kwargs": monitor_kwargs}, ensure_ascii=False
+        ).encode("utf-8")
+        payload = encode_batch_payload(
+            BATCH_KIND_REGISTER, seq, tenant_id, [blob]
+        )
+        self._append_payload(payload)
+        self._note_seq(seq, tenant_id, events=False)
+        return seq
+
+    def _note_seq(self, seq: int, tenant_id: TenantId, *, events: bool) -> None:
+        self._next_seq = seq + 1
+        active = self._segments[-1]
+        if active.first_seq is None:
+            active.first_seq = seq
+        active.last_seq = seq
+        if events:
+            self.last_seq_of[tenant_id] = seq
+
+    def sync(self) -> None:
+        """fsync the active segment (the ``fsync="flush"`` commit point)."""
+        self._ensure_open()
+        assert self._handle is not None
+        self._handle.flush()
+        if self._fsync != "never":
+            os.fsync(self._handle.fileno())
+
+    def rotate(self) -> None:
+        """Seal the active segment and append to a fresh one."""
+        self._ensure_open()
+        assert self._handle is not None
+        self._handle.flush()
+        if self._fsync != "never":
+            os.fsync(self._handle.fileno())
+        self._start_segment(_segment_index(self._segments[-1].path) + 1)
+
+    # ------------------------------------------------------------------
+    # Read and truncate
+    # ------------------------------------------------------------------
+    def read_batches(self) -> list[WalBatch]:
+        """Every durable batch across all segments, in sequence order.
+
+        Reads from disk (not from in-memory state) so it sees exactly
+        what a recovering process would; a torn tail in the active
+        segment is skipped, not raised.
+        """
+        self._ensure_open()
+        assert self._handle is not None
+        self._handle.flush()
+        batches: list[WalBatch] = []
+        for segment in self._segments:
+            data = segment.path.read_bytes()
+            if data[:len(WAL_MAGIC)] != WAL_MAGIC:
+                break
+            for payload, _ in decode_record_stream(
+                data, start=len(WAL_MAGIC)
+            ):
+                try:
+                    batches.append(_decode_batch(payload))
+                except CorruptRecordError:
+                    return batches
+        return batches
+
+    def truncate_upto(self, seq: int) -> int:
+        """Delete sealed segments wholly covered by a snapshot at *seq*.
+
+        Returns the number of segments removed.  The active segment is
+        never deleted (rotate first — the snapshot path does), and a
+        segment survives if it holds any batch newer than *seq*.
+        """
+        self._ensure_open()
+        removed = 0
+        while len(self._segments) > 1:
+            segment = self._segments[0]
+            if segment.last_seq is None or not segment.covers_only_upto(seq):
+                break
+            segment.path.unlink()
+            self._segments.pop(0)
+            removed += 1
+        if removed:
+            _fsync_dir(self.directory)
+        return removed
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Flush, fsync (unless ``never``) and close the append handle."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._handle is not None:
+            try:
+                self._handle.flush()
+                if self._fsync != "never":
+                    os.fsync(self._handle.fileno())
+            except (OSError, ValueError):  # pragma: no cover - defensive
+                pass
+            self._handle.close()
+            self._handle = None
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise PersistenceError("write-ahead log is closed")
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _decode_batch(payload: bytes) -> WalBatch:
+    kind, seq, tenant_id, parts = decode_batch_payload(payload)
+    if kind == BATCH_KIND_EVENTS:
+        return WalBatch(
+            seq=seq,
+            tenant_id=tenant_id,
+            kind="events",
+            events=tuple(decode_event(part) for part in parts),
+        )
+    try:
+        register = json.loads(parts[0].decode("utf-8"))
+    except (IndexError, ValueError, UnicodeDecodeError) as error:
+        raise CorruptRecordError(
+            f"malformed registration record: {error}"
+        ) from None
+    return WalBatch(
+        seq=seq, tenant_id=tenant_id, kind="register", register=register
+    )

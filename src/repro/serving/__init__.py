@@ -15,23 +15,33 @@ run over **one** shared base network:
   worker executors (fork / thread / serial) with per-tenant FIFO
   ordering;
 * :mod:`repro.serving.service` — :class:`RiskService`, the façade the
-  risk-control centre (and the ``repro-detect serve`` CLI) talks to.
+  risk-control centre (and the ``repro-detect serve`` CLI) talks to,
+  including the durable (``wal_dir=``) write-ahead-logged, snapshot-
+  rotated, crash-recoverable configuration backed by
+  :mod:`repro.persistence`.
 """
 
 from repro.serving.coalesce import coalesce_events, event_key
 from repro.serving.pool import ServingPool, available_modes, default_mode
-from repro.serving.queue import IngestionQueue, QueueStats
+from repro.serving.queue import OVERFLOW_POLICIES, IngestionQueue, QueueStats
 from repro.serving.service import RiskService, ServiceSnapshot
-from repro.serving.store import GraphStore, StoreMemoryReport, unique_buffer_bytes
+from repro.serving.store import (
+    GraphStore,
+    StoreMemoryReport,
+    graph_fingerprint,
+    unique_buffer_bytes,
+)
 
 __all__ = [
     "GraphStore",
     "StoreMemoryReport",
     "unique_buffer_bytes",
+    "graph_fingerprint",
     "coalesce_events",
     "event_key",
     "IngestionQueue",
     "QueueStats",
+    "OVERFLOW_POLICIES",
     "ServingPool",
     "available_modes",
     "default_mode",

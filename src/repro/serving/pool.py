@@ -36,7 +36,9 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import os
+import pickle
 import threading
+import time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Hashable, Sequence
 
@@ -120,6 +122,48 @@ def _worker_apply(
 
 def _worker_query(pool_id: str, tenant_id: TenantId):
     return _worker_monitor(pool_id, tenant_id).top_k()
+
+
+def _worker_dump(pool_id: str, tenant_id: TenantId) -> tuple[bytes, object]:
+    """Pickle one monitor's full state plus its current answer.
+
+    Runs on the tenant's shard FIFO, so the blob reflects exactly the
+    batches dispatched before the dump was enqueued — the property the
+    snapshot watermarks rely on.
+    """
+    monitor = _worker_monitor(pool_id, tenant_id)
+    result = monitor.top_k()
+    return pickle.dumps(monitor, protocol=pickle.HIGHEST_PROTOCOL), result
+
+
+def _worker_restore(pool_id: str, tenant_id: TenantId, blob: bytes) -> TenantId:
+    """Install a previously dumped monitor state (overwrites any)."""
+    monitor = pickle.loads(blob)
+    _POOL_STATE[pool_id]["tenants"][tenant_id] = monitor
+    return tenant_id
+
+
+def _worker_rebuild(
+    pool_id: str, tenant_id: TenantId, k: int, kwargs: dict
+) -> TenantId:
+    """Build a *fresh* monitor for *tenant_id*, overwriting any.
+
+    The heal path's counterpart of :func:`_worker_register`: after a
+    worker respawn there is no state to collide with (fork mode) or the
+    surviving state is being deliberately replaced from durable records
+    (thread/serial), so no duplicate check.
+    """
+    state = _POOL_STATE[pool_id]
+    with _REGISTER_LOCK:
+        graph = state["store"].checkout("base")
+    merged = {**state["defaults"], **kwargs}
+    state["tenants"][tenant_id] = TopKMonitor(graph, k, **merged)
+    return tenant_id
+
+
+def _worker_last_report(pool_id: str, tenant_id: TenantId):
+    """The monitor's most recent refresh report (``None`` if pristine)."""
+    return _worker_monitor(pool_id, tenant_id).last_report
 
 
 def _worker_stats(pool_id: str) -> dict:
@@ -234,7 +278,7 @@ class ServingPool:
             shards = 1
         self._pool_id = f"pool-{os.getpid()}-{next(_POOL_IDS)}"
         self._base_graph = base_graph
-        defaults = dict(monitor_defaults or {})
+        defaults = self._defaults = dict(monitor_defaults or {})
         # Build the CSR views before any fork/share: workers inherit
         # them instead of each rebuilding the argsort.
         base_graph.out_csr()
@@ -247,8 +291,10 @@ class ServingPool:
         # children should be forked now — before the caller starts an
         # asyncio pump or other threads whose locks a later lazy fork
         # could snapshot mid-acquisition.
-        for shard in self._shards:
+        self._pids = [
             shard.submit(_worker_warmup, self._pool_id).result()
+            for shard in self._shards
+        ]
         self._shard_of: dict[TenantId, _Shard] = {}
         self._next_shard = 0
         self._closed = False
@@ -317,6 +363,129 @@ class ServingPool:
         return self._shard(tenant_id).submit(
             _worker_query, self._pool_id, tenant_id
         )
+
+    # ------------------------------------------------------------------
+    # Durability hooks (used by RiskService's snapshot/recovery paths)
+    # ------------------------------------------------------------------
+    def dump_tenant(self, tenant_id: TenantId) -> "Future[tuple[bytes, object]]":
+        """Pickled monitor state + current answer, shard-FIFO-ordered.
+
+        Because the dump runs on the tenant's own execution lane, it
+        reflects every apply enqueued before it and none after — the
+        cheap way to take a consistent per-tenant snapshot without
+        pausing ingestion for anyone else.
+        """
+        return self._shard(tenant_id).submit(
+            _worker_dump, self._pool_id, tenant_id
+        )
+
+    def restore_tenant(self, tenant_id: TenantId, blob: bytes) -> None:
+        """Install a dumped monitor blob for *tenant_id* (blocking).
+
+        A tenant already pinned to a shard is restored in place (the
+        worker-side heal path after a respawn); an unknown tenant is
+        pinned round-robin first, exactly like :meth:`register`.
+        """
+        if self._closed:
+            raise ReproError("pool is shut down")
+        shard = self._shard_of.get(tenant_id)
+        if shard is None:
+            shard = self._shards[self._next_shard % len(self._shards)]
+            self._shard_of[tenant_id] = shard
+            self._next_shard += 1
+        shard.submit(
+            _worker_restore, self._pool_id, tenant_id, blob
+        ).result()
+
+    def rebuild_tenant(self, tenant_id: TenantId, k: int, **monitor_kwargs) -> None:
+        """Recreate *tenant_id*'s monitor from scratch on its shard.
+
+        Used by the heal path for tenants with a durable registration
+        record but no snapshot blob — the WAL replay that follows
+        brings the fresh monitor back to the exact pre-crash state.
+        """
+        self._shard(tenant_id).submit(
+            _worker_rebuild, self._pool_id, tenant_id, k, monitor_kwargs
+        ).result()
+
+    def last_report(self, tenant_id: TenantId) -> Future:
+        """The tenant monitor's most recent refresh report."""
+        return self._shard(tenant_id).submit(
+            _worker_last_report, self._pool_id, tenant_id
+        )
+
+    def shard_alive(self, index: int) -> bool:
+        """Whether lane *index* currently accepts and completes work."""
+        try:
+            self._shards[index].submit(
+                _worker_warmup, self._pool_id
+            ).result()
+        except BaseException:
+            return False
+        return True
+
+    def shard_index(self, tenant_id: TenantId) -> int:
+        """Which execution lane *tenant_id* is pinned to."""
+        return self._shards.index(self._shard(tenant_id))
+
+    def tenants_on_shard(self, index: int) -> list[TenantId]:
+        """Registration-ordered tenants pinned to lane *index*."""
+        shard = self._shards[index]
+        return [
+            tenant_id
+            for tenant_id, owner in self._shard_of.items()
+            if owner is shard
+        ]
+
+    def worker_pids(self) -> list[int]:
+        """Per-shard worker pids (this process's pid in thread/serial)."""
+        return list(self._pids)
+
+    def respawn_shard(
+        self,
+        index: int,
+        *,
+        max_attempts: int = 3,
+        backoff: float = 0.05,
+    ) -> None:
+        """Replace lane *index*'s executor after its worker died.
+
+        Bounded retry with exponential backoff: each attempt builds a
+        fresh single-worker executor and warms it up; persistent
+        failure re-raises the last error.  Tenants pinned to the lane
+        keep their pinning but their worker-side monitors are gone —
+        the caller (the durable service's heal path) restores them from
+        snapshot + WAL replay.  In ``thread``/``serial`` mode the
+        worker-side state lives in this process and survives, so a
+        respawn is just a fresh executor.
+        """
+        old = self._shards[index]
+        try:
+            old.shutdown()
+        except Exception:  # pragma: no cover - broken pools may misbehave
+            pass
+        last_error: BaseException | None = None
+        for attempt in range(max_attempts):
+            if attempt:
+                time.sleep(backoff * (2 ** (attempt - 1)))
+            try:
+                shard = _Shard(
+                    self._mode, self._pool_id, self._base_graph,
+                    self._defaults,
+                )
+                pid = shard.submit(_worker_warmup, self._pool_id).result()
+            except Exception as error:  # pragma: no cover - spawn failure
+                last_error = error
+                continue
+            self._shards[index] = shard
+            self._pids[index] = pid
+            for tenant_id, owner in self._shard_of.items():
+                if owner is old:
+                    self._shard_of[tenant_id] = shard
+            return
+        raise ReproError(
+            f"could not respawn shard {index} after {max_attempts} attempts"
+        ) from last_error
 
     def query_all(self) -> dict:
         """Every tenant's current top-k (waits for all)."""

@@ -16,6 +16,19 @@ flush loop for the live service: one ``asyncio`` task draining every
 ``flush_interval`` seconds, plus an early flush whenever any tenant's
 backlog reaches ``max_pending`` (signalled thread-safely into the
 pump's loop).
+
+``max_pending`` is also the queue's memory bound: the ``overflow``
+policy decides whether a tenant's full backlog keeps growing until the
+pump catches up (``"wake"``, the legacy behaviour), rejects the new
+event with an explicit :class:`~repro.core.errors.BackpressureError`
+(``"error"``), or sheds it with a counter (``"shed"``).
+
+With a :class:`~repro.persistence.wal.WriteAheadLog` attached
+(``wal=``), every drained batch is appended to the log *in coalesced
+form, in dispatch order, before the sink sees it* — the write-ahead
+property crash recovery replays against.  A WAL append failure puts the
+raw events back at the front of the tenant's backlog and re-raises, so
+a disk fault never silently drops accepted traffic.
 """
 
 from __future__ import annotations
@@ -23,13 +36,18 @@ from __future__ import annotations
 import asyncio
 import threading
 from dataclasses import dataclass, field
-from typing import Awaitable, Callable, Hashable
+from typing import TYPE_CHECKING, Awaitable, Callable, Hashable
 
-from repro.core.errors import ReproError
+from repro.core.errors import BackpressureError, ReproError
 from repro.serving.coalesce import coalesce_events
 from repro.streaming.events import UpdateEvent
 
-__all__ = ["IngestionQueue", "QueueStats"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.persistence.wal import WriteAheadLog
+
+__all__ = ["IngestionQueue", "QueueStats", "OVERFLOW_POLICIES"]
+
+OVERFLOW_POLICIES = ("wake", "error", "shed")
 
 TenantId = Hashable
 #: A flush sink: receives ``(tenant_id, coalesced_events)`` per tenant.
@@ -42,7 +60,9 @@ class QueueStats:
 
     ``coalesced_away`` counts events that never reached a monitor
     because a later same-entity write inside the window absorbed them —
-    the measure of what windowed ingestion saves.
+    the measure of what windowed ingestion saves.  ``shed`` counts
+    events rejected by a full backlog under ``overflow="shed"`` (the
+    explicit record that load-shedding, not a bug, dropped them).
     """
 
     submitted: int = 0
@@ -50,6 +70,7 @@ class QueueStats:
     coalesced_away: int = 0
     flushes: int = 0
     batches: int = 0
+    shed: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """Plain-dict form for JSON telemetry."""
@@ -59,6 +80,7 @@ class QueueStats:
             "coalesced_away": self.coalesced_away,
             "flushes": self.flushes,
             "batches": self.batches,
+            "shed": self.shed,
         }
 
 
@@ -71,16 +93,37 @@ class IngestionQueue:
     max_pending:
         Per-tenant backlog bound.  ``submit`` signals the pump (or, with
         no pump running, the next explicit ``drain``) once a tenant
-        holds this many raw events; the queue never drops an event.
+        holds this many raw events.
+    overflow:
+        What a *full* backlog does with the next event.  ``"wake"``
+        (default, the legacy behaviour) accepts it and keeps signalling
+        the pump — memory is unbounded but nothing is ever refused.
+        ``"error"`` raises :class:`~repro.core.errors.BackpressureError`
+        so the caller can retry after the pump catches up; ``"shed"``
+        drops the event and counts it in ``stats.shed``.  Both hard
+        policies bound the queue at ``max_pending`` raw events per
+        tenant.
+    wal:
+        Optional :class:`~repro.persistence.wal.WriteAheadLog`; every
+        drained batch is appended (coalesced, dispatch order) before it
+        reaches the flush sink, and :meth:`drain` commits the log once
+        per cycle (the ``fsync="flush"`` policy's durability point).
     """
 
     max_pending: int = 4096
     stats: QueueStats = field(default_factory=QueueStats)
+    overflow: str = "wake"
+    wal: "WriteAheadLog | None" = None
 
     def __post_init__(self) -> None:
         if self.max_pending < 1:
             raise ReproError(
                 f"max_pending must be >= 1, got {self.max_pending}"
+            )
+        if self.overflow not in OVERFLOW_POLICIES:
+            raise ReproError(
+                f"overflow must be one of {OVERFLOW_POLICIES}, "
+                f"got {self.overflow!r}"
             )
         self._pending: dict[TenantId, list[UpdateEvent]] = {}
         self._lock = threading.Lock()
@@ -90,15 +133,36 @@ class IngestionQueue:
     # ------------------------------------------------------------------
     # Synchronous core (thread-safe against a concurrent pump)
     # ------------------------------------------------------------------
-    def submit(self, tenant_id: TenantId, event: UpdateEvent) -> None:
-        """Buffer one event for *tenant_id* (applied at the next flush)."""
+    def submit(self, tenant_id: TenantId, event: UpdateEvent) -> bool:
+        """Buffer one event for *tenant_id* (applied at the next flush).
+
+        Returns ``True`` if the event was accepted — always, except
+        under ``overflow="shed"`` with a full backlog, where the event
+        is dropped, counted, and ``False`` comes back.
+        """
         with self._lock:
             backlog = self._pending.setdefault(tenant_id, [])
-            backlog.append(event)
-            self.stats.submitted += 1
+            if (
+                len(backlog) >= self.max_pending
+                and self.overflow != "wake"
+            ):
+                if self.overflow == "shed":
+                    self.stats.shed += 1
+                    shed = True
+                else:
+                    raise BackpressureError(
+                        f"tenant {tenant_id!r} backlog is at its "
+                        f"max_pending cap of {self.max_pending} events; "
+                        f"flush (or slow down) before submitting more"
+                    )
+            else:
+                backlog.append(event)
+                self.stats.submitted += 1
+                shed = False
             full = len(backlog) >= self.max_pending
         if full:
             self._wake_pump()
+        return not shed
 
     def _wake_pump(self) -> None:
         """Signal the pump's loop (thread-safely) that a backlog is full."""
@@ -121,13 +185,28 @@ class IngestionQueue:
         """Take and coalesce every tenant's backlog (may be empty).
 
         Tenants come back in first-submission order; each batch is the
-        coalesced, serial-equivalent form of that tenant's raw events.
+        coalesced, serial-equivalent form of that tenant's raw events,
+        WAL-appended (when a log is attached) in exactly this order.  A
+        WAL failure re-queues the failing tenant's and every not-yet-
+        drained tenant's raw events at the front of their backlogs and
+        re-raises — accepted events are never lost to a disk fault.
         """
         with self._lock:
             taken, self._pending = self._pending, {}
         batches: dict[TenantId, list[UpdateEvent]] = {}
-        for tenant_id, events in taken.items():
-            batches[tenant_id] = self._coalesce_counted(events)
+        pending_restore = list(taken.items())
+        try:
+            for tenant_id, events in taken.items():
+                batches[tenant_id] = self._coalesce_counted(
+                    tenant_id, events
+                )
+                pending_restore.pop(0)
+        except BaseException:
+            # The failing tenant's events were restored by
+            # _coalesce_counted; restore the untouched remainder too.
+            self._restore(pending_restore[1:])
+            raise
+        self._wal_commit()
         if batches:
             with self._lock:
                 self.stats.flushes += 1
@@ -145,15 +224,39 @@ class IngestionQueue:
             events = self._pending.pop(tenant_id, None)
         if not events:
             return []
-        return self._coalesce_counted(events)
+        coalesced = self._coalesce_counted(tenant_id, events)
+        self._wal_commit()
+        return coalesced
 
-    def _coalesce_counted(self, events: list[UpdateEvent]) -> list[UpdateEvent]:
+    def _coalesce_counted(
+        self, tenant_id: TenantId, events: list[UpdateEvent]
+    ) -> list[UpdateEvent]:
         coalesced = coalesce_events(events)
+        if self.wal is not None:
+            try:
+                self.wal.append_events(tenant_id, coalesced)
+            except BaseException:
+                self._restore([(tenant_id, events)])
+                raise
         with self._lock:
             self.stats.flushed += len(coalesced)
             self.stats.coalesced_away += len(events) - len(coalesced)
             self.stats.batches += 1
         return coalesced
+
+    def _restore(
+        self, taken: list[tuple[TenantId, list[UpdateEvent]]]
+    ) -> None:
+        """Put un-dispatched raw events back at the head of their backlogs."""
+        with self._lock:
+            for tenant_id, events in taken:
+                backlog = self._pending.setdefault(tenant_id, [])
+                backlog[:0] = events
+
+    def _wal_commit(self) -> None:
+        """One durability point per drain cycle (``fsync="flush"``)."""
+        if self.wal is not None:
+            self.wal.sync()
 
     # ------------------------------------------------------------------
     # Async pump

@@ -4,12 +4,19 @@ Ties the pieces together for callers like
 :class:`~repro.system.pipeline.RiskControlCenter`:
 
 * an :class:`~repro.serving.queue.IngestionQueue` absorbing per-tenant
-  update traffic (windowed, last-write-wins coalescing),
+  update traffic (windowed, last-write-wins coalescing, optional hard
+  backpressure),
 * a :class:`~repro.serving.pool.ServingPool` of per-tenant incremental
   monitors — each pool worker holds the base snapshot in a
   :class:`~repro.serving.store.GraphStore` and checks tenant views out
   of it copy-on-write, which is also where the per-worker memory
-  telemetry in :meth:`RiskService.snapshot` comes from.
+  telemetry in :meth:`RiskService.snapshot` comes from,
+* and, with ``wal_dir=`` set, a durability layer: a
+  :class:`~repro.persistence.wal.WriteAheadLog` of every coalesced
+  batch (appended at flush time, *before* dispatch, so the durable
+  order is exactly the order the monitors applied) plus rotated
+  :class:`~repro.persistence.snapshots.SnapshotStore` snapshots of each
+  monitor's full state.
 
 The surface is synchronous-friendly — ``submit_update`` buffers, an
 explicit :meth:`flush` applies, :meth:`query_topk` answers after all of
@@ -17,12 +24,36 @@ its tenant's submitted updates — while :meth:`serve` runs the timed
 asyncio flush loop for a live deployment.  Every answer is the
 incremental monitor's, hence bit-identical to a fresh BSR detection with
 the tenant's parameters on the tenant's current graph state.
+
+Durability and recovery
+-----------------------
+Constructing a :class:`RiskService` with a ``wal_dir`` that already
+holds state *recovers* it: the latest snapshot's monitor blobs are
+restored into the pool, tenants registered after that snapshot are
+rebuilt from their durable registration records, and every WAL batch
+past each tenant's snapshot watermark is replayed in durable order.
+Monitors are deterministic functions of (base graph, seed, ordered
+batch sequence), so the recovered process reaches the *bit-identical*
+state — answers and work counters — the dead process would have had;
+``tests/test_persistence_faults.py`` SIGKILLs a serving run mid-stream
+to pin exactly that.  A torn WAL tail (a record cut short by the crash)
+is truncated at the first bad checksum; everything before it recovers.
+
+While a tenant's replay is still in flight, ``query_topk(...,
+allow_stale=True)`` serves the last snapshot's answer flagged
+``stale=True`` instead of blocking or erroring.  A shard worker that
+dies (e.g. OOM-killed) is respawned with bounded retry/backoff and its
+tenants are restored from snapshot + WAL replay transparently.
 """
 
 from __future__ import annotations
 
 import asyncio
+import dataclasses
+import json
 import threading
+import time
+from concurrent.futures import BrokenExecutor, Future
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Mapping
 
@@ -30,6 +61,7 @@ from repro.core.errors import ReproError
 from repro.core.graph import UncertainGraph
 from repro.serving.pool import ServingPool
 from repro.serving.queue import IngestionQueue
+from repro.serving.store import graph_fingerprint
 from repro.streaming.events import UpdateEvent
 from repro.streaming.monitor import RefreshReport
 
@@ -56,6 +88,9 @@ class ServiceSnapshot:
     top_k:
         Per-tenant current answers, present when the snapshot was taken
         with ``include_topk=True``.
+    durability:
+        WAL / snapshot / recovery telemetry when the service is durable
+        (``wal_dir`` configured), else ``None``.
     """
 
     tenants: tuple[TenantId, ...]
@@ -63,6 +98,7 @@ class ServiceSnapshot:
     shards: tuple[Mapping, ...]
     pending: Mapping[TenantId, int]
     top_k: Mapping[TenantId, object] | None = None
+    durability: Mapping[str, object] | None = None
 
 
 class RiskService:
@@ -77,6 +113,21 @@ class RiskService:
         Forwarded to :class:`~repro.serving.pool.ServingPool`.
     max_pending:
         Per-tenant backlog bound of the ingestion queue.
+    overflow:
+        The queue's full-backlog policy (``"wake"`` / ``"error"`` /
+        ``"shed"``); see :class:`~repro.serving.queue.IngestionQueue`.
+    wal_dir:
+        Durability directory.  ``None`` (default) keeps the PR-4
+        in-memory behaviour; a path makes the service durable — and, if
+        the directory already holds a WAL/snapshots, *recovers* it (see
+        the module docstring).
+    fsync:
+        WAL fsync policy (``"always"`` / ``"flush"`` / ``"never"``).
+    snapshot_keep:
+        Completed snapshots retained by rotation.
+    snapshot_on_close:
+        Write a final snapshot during a durable :meth:`close`, making
+        the next recovery replay-free.
     """
 
     def __init__(
@@ -87,6 +138,11 @@ class RiskService:
         shards: int | None = None,
         monitor_defaults: dict | None = None,
         max_pending: int = 4096,
+        overflow: str = "wake",
+        wal_dir=None,
+        fsync: str = "flush",
+        snapshot_keep: int = 2,
+        snapshot_on_close: bool = True,
     ) -> None:
         self._pool = ServingPool(
             graph,
@@ -94,12 +150,34 @@ class RiskService:
             shards=shards,
             monitor_defaults=monitor_defaults,
         )
-        self._queue = IngestionQueue(max_pending=max_pending)
+        self._wal = None
+        self._snapshots = None
+        self._fingerprint: str | None = None
+        self._snapshot_on_close = bool(snapshot_on_close)
+        #: tenant -> last replay future still in flight after recovery.
+        self._recovering: dict[TenantId, Future] = {}
+        #: tenant -> snapshot-time answer, served stale while replaying.
+        self._stale_results: dict[TenantId, object] = {}
+        #: tenant -> (k, kwargs) for rebuild-from-scratch healing.
+        self._registered: dict[TenantId, tuple[int, dict]] = {}
+        if wal_dir is not None:
+            from repro.persistence.snapshots import SnapshotStore
+            from repro.persistence.wal import WriteAheadLog
+
+            self._fingerprint = graph_fingerprint(graph)
+            self._wal = WriteAheadLog(wal_dir, fsync=fsync)
+            self._snapshots = SnapshotStore(wal_dir, keep=snapshot_keep)
+            self._recover()
+        self._queue = IngestionQueue(
+            max_pending=max_pending, overflow=overflow, wal=self._wal
+        )
         # Makes [drain the queue -> enqueue to worker shards] atomic, so
         # concurrent flush paths (the serve() pump, explicit flush(),
         # per-tenant query_topk drains) cannot reorder a tenant's
         # batches between queue exit and shard entry — the per-tenant
-        # FIFO the monitors' serial-equivalence rests on.
+        # FIFO the monitors' serial-equivalence rests on.  WAL appends
+        # happen inside the same critical section (the queue appends
+        # while draining), so the durable order is the dispatch order.
         self._dispatch_lock = threading.Lock()
         self._closed = False
 
@@ -114,9 +192,88 @@ class RiskService:
         """The ingestion queue buffering tenant updates."""
         return self._queue
 
+    @property
+    def durable(self) -> bool:
+        """Whether a write-ahead log is configured."""
+        return self._wal is not None
+
+    @property
+    def wal(self):
+        """The write-ahead log, or ``None`` for an in-memory service."""
+        return self._wal
+
     def tenants(self) -> list[TenantId]:
         """Registered tenant ids."""
         return self._pool.tenants()
+
+    def recovering_tenants(self) -> list[TenantId]:
+        """Tenants whose WAL replay has not yet completed."""
+        return [
+            tenant_id
+            for tenant_id, future in self._recovering.items()
+            if not future.done()
+        ]
+
+    # ------------------------------------------------------------------
+    # Recovery (constructor path)
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        """Restore snapshot state and enqueue the WAL replay suffix."""
+        from repro.persistence.codec import PersistenceError
+
+        assert self._wal is not None and self._snapshots is not None
+        watermarks: dict[TenantId, int] = {}
+        snapshot = self._snapshots.latest()
+        if snapshot is not None:
+            if (
+                snapshot.base_fingerprint is not None
+                and self._fingerprint is not None
+                and snapshot.base_fingerprint != self._fingerprint
+            ):
+                raise PersistenceError(
+                    f"snapshot {snapshot.path} was taken against a "
+                    "different base graph (fingerprint mismatch); "
+                    "durable state cannot be replayed onto this network"
+                )
+            for tenant_snapshot in snapshot.tenants.values():
+                tenant_id = tenant_snapshot.tenant_id
+                self._pool.restore_tenant(
+                    tenant_id, tenant_snapshot.load_state_blob()
+                )
+                watermarks[tenant_id] = tenant_snapshot.watermark
+                self._stale_results[tenant_id] = tenant_snapshot.load_result()
+        for batch in self._wal.read_batches():
+            if batch.kind == "register":
+                register = batch.register or {}
+                self._registered[batch.tenant_id] = (
+                    int(register.get("k", 1)),
+                    dict(register.get("kwargs", {})),
+                )
+                if not self._pool.has_tenant(batch.tenant_id):
+                    self._pool.register(
+                        batch.tenant_id,
+                        int(register.get("k", 1)),
+                        **dict(register.get("kwargs", {})),
+                    )
+                continue
+            if batch.seq <= watermarks.get(batch.tenant_id, 0):
+                continue  # already folded into the snapshot blob
+            if not self._pool.has_tenant(batch.tenant_id):
+                raise PersistenceError(
+                    f"WAL batch {batch.seq} addresses tenant "
+                    f"{batch.tenant_id!r} with neither a snapshot nor a "
+                    "registration record — the log is inconsistent"
+                )
+            self._recovering[batch.tenant_id] = self._pool.apply(
+                batch.tenant_id, list(batch.events)
+            )
+
+    def _await_recovery(self) -> None:
+        """Block until every tenant's replay has been applied."""
+        for tenant_id, future in list(self._recovering.items()):
+            self._result_after_break(tenant_id, future)
+            self._recovering.pop(tenant_id, None)
+            self._stale_results.pop(tenant_id, None)
 
     # ------------------------------------------------------------------
     # Tenant lifecycle and traffic
@@ -124,16 +281,41 @@ class RiskService:
     def register_tenant(
         self, tenant_id: TenantId, k: int, **monitor_kwargs
     ) -> None:
-        """Attach a tenant: a COW view of the snapshot plus a monitor."""
-        self._ensure_open()
-        self._pool.register(tenant_id, k, **monitor_kwargs)
+        """Attach a tenant: a COW view of the snapshot plus a monitor.
 
-    def submit_update(self, tenant_id: TenantId, event: UpdateEvent) -> None:
-        """Buffer one update for *tenant_id* (applied at the next flush)."""
+        On a durable service the registration itself is WAL-logged (and
+        its arguments must be JSON-serialisable), so a tenant created
+        after the last snapshot still recovers.
+        """
+        self._ensure_open()
+        if self._wal is not None:
+            from repro.persistence.codec import PersistenceError
+
+            try:
+                json.dumps(monitor_kwargs)
+            except (TypeError, ValueError) as error:
+                raise PersistenceError(
+                    "durable tenants need JSON-serialisable monitor "
+                    f"kwargs: {error}"
+                ) from None
+        self._pool.register(tenant_id, k, **monitor_kwargs)
+        self._registered[tenant_id] = (int(k), dict(monitor_kwargs))
+        if self._wal is not None:
+            self._wal.append_register(tenant_id, int(k), monitor_kwargs)
+            self._wal.sync()
+
+    def submit_update(self, tenant_id: TenantId, event: UpdateEvent) -> bool:
+        """Buffer one update for *tenant_id* (applied at the next flush).
+
+        Returns whether the event was accepted — only ever ``False``
+        under the queue's ``overflow="shed"`` policy with a full
+        backlog; the ``"error"`` policy raises
+        :class:`~repro.core.errors.BackpressureError` instead.
+        """
         self._ensure_open()
         if not self._pool.has_tenant(tenant_id):
             raise ReproError(f"unknown tenant {tenant_id!r}")
-        self._queue.submit(tenant_id, event)
+        return self._queue.submit(tenant_id, event)
 
     def submit_updates(
         self, tenant_id: TenantId, events: Iterable[UpdateEvent]
@@ -141,36 +323,109 @@ class RiskService:
         """Buffer a batch of updates; returns how many were accepted."""
         count = 0
         for event in events:
-            self.submit_update(tenant_id, event)
-            count += 1
+            if self.submit_update(tenant_id, event):
+                count += 1
         return count
 
     def flush(self) -> dict[TenantId, RefreshReport]:
         """Apply every buffered update batch; returns per-tenant reports.
 
         Batches are coalesced (last write per entity wins — provably
-        state-equivalent to serial application) and dispatched to the
-        tenants' shards concurrently; the call returns once every
-        monitor has folded its batch in.
+        state-equivalent to serial application), WAL-appended when the
+        service is durable, and dispatched to the tenants' shards
+        concurrently; the call returns once every monitor has folded
+        its batch in.  A shard whose worker died is healed (respawn +
+        restore from durable state, which includes the just-logged
+        batches) before the call returns.
         """
         self._ensure_open()
         futures = self._dispatch_all()
         return {
-            tenant_id: future.result()
+            tenant_id: self._result_after_break(tenant_id, future)
             for tenant_id, future in futures.items()
         }
 
-    def _dispatch_all(self) -> dict[TenantId, "object"]:
-        """Atomically drain every backlog and enqueue it shard-side."""
+    def _dispatch_all(self) -> dict[TenantId, "Future | None"]:
+        """Atomically drain every backlog and enqueue it shard-side.
+
+        A ``None`` future marks a tenant whose shard was broken at
+        dispatch time and healed in place (the heal's WAL replay covers
+        the drained batch — it was appended before dispatch).
+        """
         with self._dispatch_lock:
             batches = self._queue.drain()
             return {
-                tenant_id: self._pool.apply(tenant_id, events)
+                tenant_id: self._apply_after_break(tenant_id, events)
                 for tenant_id, events in batches.items()
                 if events
             }
 
-    def query_topk(self, tenant_id: TenantId, *, flush: bool = True):
+    def _apply_after_break(
+        self, tenant_id: TenantId, events: list
+    ) -> "Future | None":
+        try:
+            return self._pool.apply(tenant_id, events)
+        except BrokenExecutor:
+            if self._wal is None:
+                raise
+            # The batch is already durable (drained -> WAL-appended),
+            # so healing replays it; nothing is re-dispatched.
+            self._heal_shard(self._pool.shard_index(tenant_id))
+            return None
+
+    def _result_after_break(self, tenant_id: TenantId, future: "Future | None"):
+        """Resolve one shard future, healing a dead worker if durable."""
+        if future is None:
+            return self._pool.last_report(tenant_id).result()
+        try:
+            return future.result()
+        except BrokenExecutor:
+            if self._wal is None:
+                raise
+            index = self._pool.shard_index(tenant_id)
+            if not self._pool.shard_alive(index):
+                self._heal_shard(index)
+            # The submitted work either applied before the crash (then
+            # the heal's snapshot/replay state includes it) or it never
+            # ran (then it was durable and the replay applied it).
+            # Either way the monitor is current; serve its last report.
+            return self._pool.last_report(tenant_id).result()
+
+    def _heal_shard(self, index: int) -> None:
+        """Respawn a dead shard and restore its tenants from durable state."""
+        assert self._wal is not None and self._snapshots is not None
+        self._pool.respawn_shard(index)
+        snapshot = self._snapshots.latest()
+        batches = self._wal.read_batches()
+        for tenant_id in self._pool.tenants_on_shard(index):
+            watermark = 0
+            tenant_snapshot = (
+                snapshot.tenants.get(tenant_id) if snapshot else None
+            )
+            if tenant_snapshot is not None:
+                self._pool.restore_tenant(
+                    tenant_id, tenant_snapshot.load_state_blob()
+                )
+                watermark = tenant_snapshot.watermark
+            else:
+                k, kwargs = self._registered[tenant_id]
+                self._pool.rebuild_tenant(tenant_id, k, **kwargs)
+            for batch in batches:
+                if (
+                    batch.kind == "events"
+                    and batch.tenant_id == tenant_id
+                    and batch.seq > watermark
+                ):
+                    self._pool.apply(tenant_id, list(batch.events)).result()
+            self._recovering.pop(tenant_id, None)
+
+    def query_topk(
+        self,
+        tenant_id: TenantId,
+        *,
+        flush: bool = True,
+        allow_stale: bool = False,
+    ):
         """The tenant's current top-k :class:`DetectionResult`.
 
         With ``flush=True`` (default) the tenant's own pending updates
@@ -178,17 +433,91 @@ class RiskService:
         for it before the call — read-your-writes without paying for
         other tenants' backlogs (their windows flush on their own
         schedule).
+
+        While the tenant is still replaying its WAL after a recovery,
+        ``allow_stale=True`` returns the last snapshot's answer flagged
+        ``stale=True`` immediately instead of waiting for the replay —
+        graceful degradation for latency-bound callers.
         """
         self._ensure_open()
+        replay = self._recovering.get(tenant_id)
+        if replay is not None:
+            if not replay.done() and allow_stale:
+                stale = self._stale_results.get(tenant_id)
+                if stale is not None:
+                    return dataclasses.replace(stale, stale=True)
+            self._result_after_break(tenant_id, replay)
+            self._recovering.pop(tenant_id, None)
+            self._stale_results.pop(tenant_id, None)
         if flush:
             with self._dispatch_lock:
                 events = self._queue.drain_tenant(tenant_id)
                 future = (
-                    self._pool.apply(tenant_id, events) if events else None
+                    self._apply_after_break(tenant_id, events)
+                    if events
+                    else None
                 )
-            if future is not None:
-                future.result()
-        return self._pool.query(tenant_id).result()
+            if events:
+                self._result_after_break(tenant_id, future)
+        try:
+            return self._pool.query(tenant_id).result()
+        except BrokenExecutor:
+            if self._wal is None:
+                raise
+            self._heal_shard(self._pool.shard_index(tenant_id))
+            return self._pool.query(tenant_id).result()
+
+    # ------------------------------------------------------------------
+    # Durable snapshots
+    # ------------------------------------------------------------------
+    def snapshot_to_disk(self):
+        """Write one rotated snapshot of every tenant; truncate the WAL.
+
+        Never blocks or drops live tenant streams: submissions keep
+        landing in the ingestion queue throughout, and each tenant's
+        state dump is just one more task on its shard's FIFO — ordered
+        after the applies already dispatched, before those that follow.
+        The WAL is rotated inside the same dispatch critical section
+        that fixes the watermarks, so sealed segments contain exactly
+        the batches the snapshot covers; they are deleted once the
+        snapshot directory is atomically published (temp + rename).
+
+        Returns the published
+        :class:`~repro.persistence.snapshots.Snapshot`.
+        """
+        from repro.persistence.codec import PersistenceError
+
+        self._ensure_open()
+        if self._wal is None or self._snapshots is None:
+            raise PersistenceError(
+                "snapshot_to_disk needs a durable service (wal_dir=...)"
+            )
+        self._await_recovery()
+        with self._dispatch_lock:
+            wal_seq = self._wal.next_seq - 1
+            tenant_ids = self._pool.tenants()
+            watermarks = {
+                tenant_id: self._wal.last_seq_of.get(tenant_id, 0)
+                for tenant_id in tenant_ids
+            }
+            futures = {
+                tenant_id: self._pool.dump_tenant(tenant_id)
+                for tenant_id in tenant_ids
+            }
+            self._wal.rotate()
+        tenants: dict[TenantId, tuple[bytes, object, int]] = {}
+        for tenant_id, future in futures.items():
+            blob, result = self._result_after_break(tenant_id, future)
+            tenants[tenant_id] = (blob, result, watermarks[tenant_id])
+        published = self._snapshots.write(
+            tenants,
+            wal_seq=wal_seq,
+            base_fingerprint=self._fingerprint,
+        )
+        self._wal.truncate_upto(
+            min(watermarks.values(), default=wal_seq)
+        )
+        return published
 
     # ------------------------------------------------------------------
     # Introspection
@@ -202,6 +531,14 @@ class RiskService:
             if self._queue.pending():
                 self.flush()
             top_k = self._pool.query_all()
+        durability = None
+        if self._wal is not None:
+            durability = {
+                "wal_dir": str(self._wal.directory),
+                "wal_segments": len(self._wal.segment_paths),
+                "next_seq": self._wal.next_seq,
+                "recovering": self.recovering_tenants(),
+            }
         return ServiceSnapshot(
             tenants=tenants,
             queue=self._queue.stats.as_dict(),
@@ -211,6 +548,7 @@ class RiskService:
                 for tenant_id in tenants
             },
             top_k=top_k,
+            durability=durability,
         )
 
     # ------------------------------------------------------------------
@@ -221,6 +559,7 @@ class RiskService:
         *,
         flush_interval: float = 0.05,
         stop: asyncio.Event | None = None,
+        snapshot_interval: float | None = None,
     ) -> None:
         """Drain the ingestion queue on a timer until *stop* is set.
 
@@ -230,12 +569,36 @@ class RiskService:
         :meth:`query_topk`), so a request thread draining one tenant
         mid-cycle can never enqueue ahead of an already-drained earlier
         batch — per-tenant order is submission order, always.
+
+        With ``snapshot_interval`` set (durable services only), the
+        pump also rotates a disk snapshot every that-many seconds.
         """
+        if snapshot_interval is not None and self._wal is None:
+            raise ReproError(
+                "snapshot_interval needs a durable service (wal_dir=...)"
+            )
+        last_snapshot = time.monotonic()
 
         async def flush_cycle() -> None:
+            nonlocal last_snapshot
             futures = self._dispatch_all()
-            for future in futures.values():
-                await asyncio.wrap_future(future)
+            for tenant_id, future in futures.items():
+                if future is None:
+                    continue
+                try:
+                    await asyncio.wrap_future(future)
+                except BrokenExecutor:
+                    if self._wal is None:
+                        raise
+                    index = self._pool.shard_index(tenant_id)
+                    if not self._pool.shard_alive(index):
+                        self._heal_shard(index)
+            if (
+                snapshot_interval is not None
+                and time.monotonic() - last_snapshot >= snapshot_interval
+            ):
+                self.snapshot_to_disk()
+                last_snapshot = time.monotonic()
 
         await self._queue.pump(
             flush=flush_cycle, flush_interval=flush_interval, stop=stop
@@ -243,10 +606,29 @@ class RiskService:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut the pool down (idempotent); buffered events are dropped."""
-        if not self._closed:
-            self._closed = True
-            self._pool.shutdown()
+        """Shut the service down (idempotent).
+
+        An in-memory service keeps the PR-4 contract: buffered events
+        are dropped.  A durable service must not drop accepted traffic:
+        pending events are drained, WAL-appended, and applied, then (by
+        default) a final snapshot is rotated out so the next recovery
+        is replay-free; only then do the workers stop.
+        """
+        if self._closed:
+            return
+        if self._wal is not None:
+            try:
+                self._await_recovery()
+                self.flush()
+                if self._snapshot_on_close and self._pool.tenants():
+                    self.snapshot_to_disk()
+            finally:
+                self._closed = True
+                self._wal.close()
+                self._pool.shutdown()
+            return
+        self._closed = True
+        self._pool.shutdown()
 
     def _ensure_open(self) -> None:
         if self._closed:

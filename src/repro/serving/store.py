@@ -18,6 +18,7 @@ one-copy-per-tenant cost.
 
 from __future__ import annotations
 
+import hashlib
 import weakref
 from dataclasses import dataclass
 
@@ -26,7 +27,35 @@ import numpy as np
 from repro.core.errors import GraphError
 from repro.core.graph import UncertainGraph
 
-__all__ = ["GraphStore", "StoreMemoryReport", "unique_buffer_bytes"]
+__all__ = [
+    "GraphStore",
+    "StoreMemoryReport",
+    "unique_buffer_bytes",
+    "graph_fingerprint",
+]
+
+
+def graph_fingerprint(graph: UncertainGraph) -> str:
+    """Content hash of a graph's labels, topology, and probabilities.
+
+    Two graphs with equal labels (in index order), equal edge arrays,
+    and bit-equal probability columns share a fingerprint.  The durable
+    serving layer stamps it into snapshot manifests so recovery can
+    refuse a ``wal_dir`` that was written against a *different* base
+    network — replaying a loan book's WAL onto the wrong graph would
+    silently produce well-formed nonsense.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"n={graph.num_nodes};m={graph.num_edges};".encode())
+    for label in graph.labels():
+        digest.update(repr(label).encode("utf-8", "backslashreplace"))
+        digest.update(b"\x00")
+    digest.update(np.ascontiguousarray(graph.self_risk_array, "<f8"))
+    src, dst, probs = graph.edge_array
+    digest.update(np.ascontiguousarray(src, "<i8"))
+    digest.update(np.ascontiguousarray(dst, "<i8"))
+    digest.update(np.ascontiguousarray(probs, "<f8"))
+    return digest.hexdigest()
 
 
 def unique_buffer_bytes(graphs) -> int:

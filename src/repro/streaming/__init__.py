@@ -21,6 +21,10 @@ from repro.streaming.events import (
     EdgeProbabilityUpdate,
     SelfRiskUpdate,
     UpdateEvent,
+    apply_event,
+    apply_events,
+    validate_event,
+    validate_events,
 )
 from repro.streaming.monitor import RefreshReport, TopKMonitor
 from repro.streaming.replay import panel_update_stream, random_patch_stream
@@ -31,6 +35,10 @@ __all__ = [
     "BulkSelfRiskUpdate",
     "BulkEdgeProbabilityUpdate",
     "UpdateEvent",
+    "apply_event",
+    "apply_events",
+    "validate_event",
+    "validate_events",
     "TopKMonitor",
     "RefreshReport",
     "panel_update_stream",

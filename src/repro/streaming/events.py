@@ -17,18 +17,23 @@ Semantics
   move dirty nothing — a bulk event is a cheap way to say "here is this
   month's state".
 * Events within one batch apply in order; the *last* write to an entity
-  wins.  A batch is not transactional: a mid-batch validation error
-  leaves earlier events applied.
+  wins.  Batch application is **transactional** where it matters:
+  :func:`validate_events` checks a whole batch against a graph without
+  mutating anything, and both :func:`apply_events` and
+  :meth:`~repro.streaming.monitor.TopKMonitor.apply` validate the batch
+  up front — a mid-batch validation error therefore leaves no event
+  applied (it used to leave the earlier ones in).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Union
+from typing import TYPE_CHECKING, Iterable, Union
 
 import numpy as np
 
-from repro.core.errors import GraphError
+from repro.core.errors import GraphError, ProbabilityError
 from repro.core.graph import NodeLabel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -41,6 +46,9 @@ __all__ = [
     "BulkEdgeProbabilityUpdate",
     "UpdateEvent",
     "apply_event",
+    "apply_events",
+    "validate_event",
+    "validate_events",
 ]
 
 
@@ -99,6 +107,56 @@ UpdateEvent = Union[
 ]
 
 
+def _check_value(value: float, what: str) -> None:
+    v = float(value)
+    if math.isnan(v) or not 0.0 <= v <= 1.0:
+        raise ProbabilityError(f"{what} must be in [0, 1], got {value!r}")
+
+
+def _check_vector(values: np.ndarray, count: int, what: str) -> None:
+    array = np.asarray(values, dtype=np.float64)
+    if array.shape != (count,):
+        raise GraphError(f"need {count} {what}, got shape {array.shape}")
+    if array.size and (
+        np.any(np.isnan(array)) or np.any((array < 0.0) | (array > 1.0))
+    ):
+        raise ProbabilityError(f"{what} must all lie in [0, 1]")
+
+
+def validate_event(graph: "UncertainGraph", event: UpdateEvent) -> None:
+    """Check that *event* would apply cleanly to *graph* — no mutation.
+
+    Raises exactly the error the corresponding graph setter would
+    (unknown entity, out-of-range or NaN probability, shape mismatch),
+    so callers can validate a whole batch before touching any state.
+    Validity of one probability event never depends on earlier events
+    in a batch (topology is not event-mutable), which is what makes
+    validate-all-then-apply equivalent to a rolled-back transaction.
+    """
+    if isinstance(event, SelfRiskUpdate):
+        graph.index(event.label)
+        _check_value(event.value, f"self_risk of {event.label!r}")
+    elif isinstance(event, EdgeProbabilityUpdate):
+        graph.edge_id(event.src, event.dst)
+        _check_value(event.value, f"p({event.dst!r}|{event.src!r})")
+    elif isinstance(event, BulkSelfRiskUpdate):
+        _check_vector(event.values, graph.num_nodes, "self-risks")
+    elif isinstance(event, BulkEdgeProbabilityUpdate):
+        _check_vector(event.values, graph.num_edges, "edge probabilities")
+    else:
+        raise GraphError(f"unknown update event: {event!r}")
+
+
+def validate_events(
+    graph: "UncertainGraph", events: Iterable[UpdateEvent]
+) -> list[UpdateEvent]:
+    """Validate a whole batch against *graph*; returns it materialised."""
+    batch = list(events)
+    for event in batch:
+        validate_event(graph, event)
+    return batch
+
+
 def apply_event(graph: "UncertainGraph", event: UpdateEvent) -> None:
     """Apply one event directly to *graph* through its setters.
 
@@ -117,3 +175,17 @@ def apply_event(graph: "UncertainGraph", event: UpdateEvent) -> None:
         graph.set_all_edge_probabilities(event.values)
     else:
         raise GraphError(f"unknown update event: {event!r}")
+
+
+def apply_events(
+    graph: "UncertainGraph", events: Iterable[UpdateEvent]
+) -> int:
+    """Apply a batch transactionally: validate everything, then mutate.
+
+    A validation error raises before any state changes, so the graph is
+    never left holding half a batch; returns the number applied.
+    """
+    batch = validate_events(graph, events)
+    for event in batch:
+        apply_event(graph, event)
+    return len(batch)

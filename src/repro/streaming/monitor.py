@@ -90,6 +90,7 @@ from repro.streaming.events import (
     EdgeProbabilityUpdate,
     SelfRiskUpdate,
     UpdateEvent,
+    validate_events,
 )
 
 __all__ = ["RefreshReport", "TopKMonitor"]
@@ -398,9 +399,13 @@ class TopKMonitor:
     def apply(self, events: Iterable[UpdateEvent]) -> int:
         """Apply a batch of update events in order; returns the count.
 
-        Events apply immediately (last write wins); a validation error
-        propagates and leaves earlier events applied.
+        Transactional: the whole batch is validated against the graph
+        before any mutation, so a bad event (unknown entity, NaN or
+        out-of-range probability, shape mismatch) raises with the graph
+        and the monitor's dirty bookkeeping untouched.  Within a valid
+        batch, events apply in order and the last write per entity wins.
         """
+        events = validate_events(self._graph, events)
         count = 0
         for event in events:
             if isinstance(event, SelfRiskUpdate):

@@ -1,0 +1,227 @@
+"""Codec tests: event round-trips, record framing, and the v1 golden file."""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.persistence.codec import (
+    BATCH_KIND_EVENTS,
+    BATCH_KIND_REGISTER,
+    CODEC_VERSION,
+    CorruptRecordError,
+    PersistenceError,
+    WAL_MAGIC,
+    decode_batch_payload,
+    decode_event,
+    decode_record_stream,
+    encode_batch_payload,
+    encode_event,
+    encode_record,
+)
+from repro.streaming.events import (
+    BulkEdgeProbabilityUpdate,
+    BulkSelfRiskUpdate,
+    EdgeProbabilityUpdate,
+    SelfRiskUpdate,
+)
+
+GOLDEN = Path(__file__).parent / "data" / "wal_golden_v1.log"
+
+# JSON-scalar labels the durable layer accepts: unicode text (including
+# the empty string), ints, bools, floats, None.
+labels = st.one_of(
+    st.text(max_size=20),
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.booleans(),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.none(),
+)
+probabilities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+vectors = st.lists(probabilities, max_size=30).map(
+    lambda values: np.asarray(values, dtype=np.float64)
+)
+
+
+class TestEventRoundTrip:
+    @given(label=labels, value=probabilities)
+    def test_self_risk(self, label, value):
+        event = SelfRiskUpdate(label=label, value=value)
+        decoded = decode_event(encode_event(event))
+        assert isinstance(decoded, SelfRiskUpdate)
+        assert decoded.label == label and decoded.value == value
+
+    @given(src=labels, dst=labels, value=probabilities)
+    def test_edge_probability(self, src, dst, value):
+        event = EdgeProbabilityUpdate(src=src, dst=dst, value=value)
+        decoded = decode_event(encode_event(event))
+        assert isinstance(decoded, EdgeProbabilityUpdate)
+        assert (decoded.src, decoded.dst, decoded.value) == (src, dst, value)
+
+    @given(values=vectors)
+    def test_bulk_self_risk(self, values):
+        decoded = decode_event(encode_event(BulkSelfRiskUpdate(values)))
+        assert isinstance(decoded, BulkSelfRiskUpdate)
+        assert np.array_equal(decoded.values, values)
+        assert decoded.values.dtype == np.float64
+
+    @given(values=vectors)
+    def test_bulk_edge_probability(self, values):
+        decoded = decode_event(
+            encode_event(BulkEdgeProbabilityUpdate(values))
+        )
+        assert isinstance(decoded, BulkEdgeProbabilityUpdate)
+        assert np.array_equal(decoded.values, values)
+
+    def test_decoded_bulk_vector_is_writable(self):
+        decoded = decode_event(
+            encode_event(BulkSelfRiskUpdate(np.array([0.1, 0.2])))
+        )
+        decoded.values[0] = 0.9  # must own its memory, not the read buffer
+
+    def test_non_json_label_rejected(self):
+        with pytest.raises(PersistenceError, match="JSON-scalar"):
+            encode_event(SelfRiskUpdate(label=("tuple", 1), value=0.5))
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(CorruptRecordError, match="unknown event tag"):
+            decode_event(bytes([250]) + b"{}")
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(CorruptRecordError):
+            decode_event(b"")
+
+    def test_misaligned_bulk_vector_rejected(self):
+        blob = encode_event(BulkSelfRiskUpdate(np.array([0.5])))
+        with pytest.raises(CorruptRecordError, match="aligned"):
+            decode_event(blob + b"xyz")
+
+
+class TestRecordFraming:
+    @given(payloads=st.lists(st.binary(max_size=100), max_size=10))
+    def test_stream_round_trip(self, payloads):
+        data = b"".join(encode_record(payload) for payload in payloads)
+        decoded = [payload for payload, _ in decode_record_stream(data)]
+        assert decoded == payloads
+
+    def test_torn_tail_stops_stream(self):
+        data = encode_record(b"first") + encode_record(b"second")
+        torn = data[:-3]  # cut the last record's payload short
+        decoded = [payload for payload, _ in decode_record_stream(torn)]
+        assert decoded == [b"first"]
+
+    def test_corrupt_crc_stops_stream(self):
+        record_a = encode_record(b"aaaa")
+        record_b = bytearray(encode_record(b"bbbb"))
+        record_b[-1] ^= 0xFF  # flip a payload bit -> CRC mismatch
+        decoded = [
+            payload
+            for payload, _ in decode_record_stream(record_a + bytes(record_b))
+        ]
+        assert decoded == [b"aaaa"]
+
+    def test_end_offset_marks_good_prefix(self):
+        data = encode_record(b"x") + encode_record(b"yy")
+        offsets = [end for _, end in decode_record_stream(data)]
+        assert offsets[-1] == len(data)
+
+    def test_declared_length_is_trusted_only_with_crc(self):
+        # A record claiming a huge payload must not be yielded.
+        header = struct.pack("<II", 10**6, zlib.crc32(b""))
+        assert list(decode_record_stream(header + b"short")) == []
+
+
+class TestBatchPayload:
+    def test_events_round_trip(self):
+        parts = [b"one", b"two", b""]
+        payload = encode_batch_payload(BATCH_KIND_EVENTS, 42, "tenant", parts)
+        kind, seq, tenant_id, decoded = decode_batch_payload(payload)
+        assert kind == BATCH_KIND_EVENTS
+        assert (seq, tenant_id, decoded) == (42, "tenant", parts)
+
+    def test_register_round_trip_with_int_tenant(self):
+        payload = encode_batch_payload(BATCH_KIND_REGISTER, 7, 123, [b"{}"])
+        kind, seq, tenant_id, parts = decode_batch_payload(payload)
+        assert kind == BATCH_KIND_REGISTER
+        assert (seq, tenant_id, parts) == (7, 123, [b"{}"])
+
+    def test_unknown_kind_rejected(self):
+        payload = encode_batch_payload(BATCH_KIND_EVENTS, 1, "t", [])
+        with pytest.raises(CorruptRecordError, match="unknown batch kind"):
+            decode_batch_payload(b"Z" + payload[1:])
+
+    def test_trailing_bytes_rejected(self):
+        payload = encode_batch_payload(BATCH_KIND_EVENTS, 1, "t", [b"x"])
+        with pytest.raises(CorruptRecordError, match="trailing"):
+            decode_batch_payload(payload + b"junk")
+
+    def test_unhashable_tenant_rejected(self):
+        with pytest.raises(PersistenceError, match="tenant id"):
+            encode_batch_payload(BATCH_KIND_EVENTS, 1, object(), [])
+
+
+class TestGoldenFile:
+    """Pin the v1 on-disk format against a committed byte-exact log.
+
+    If this test breaks, the change is a WAL format break: bump
+    CODEC_VERSION and add a new golden file rather than editing this one
+    — version-1 logs in the field must stay readable or be refused,
+    never misread.
+    """
+
+    def test_magic(self):
+        data = GOLDEN.read_bytes()
+        assert data[:9] == b"REPROWAL" + bytes([1])
+        assert CODEC_VERSION == 1, "bump needs a new golden file"
+        assert WAL_MAGIC == data[:9]
+
+    def test_decodes_to_pinned_batches(self):
+        data = GOLDEN.read_bytes()
+        batches = [
+            decode_batch_payload(payload)
+            for payload, _ in decode_record_stream(data, start=len(WAL_MAGIC))
+        ]
+        assert [batch[0] for batch in batches] == [
+            BATCH_KIND_REGISTER,
+            BATCH_KIND_EVENTS,
+            BATCH_KIND_EVENTS,
+            BATCH_KIND_EVENTS,
+        ]
+        assert [batch[1] for batch in batches] == [1, 2, 3, 4]
+        assert [batch[2] for batch in batches] == ["alpha", "alpha", 17, "alpha"]
+
+        register = batches[0][3]
+        assert register == [b'{"k": 3, "kwargs": {"epsilon": 0.5, "seed": 7}}']
+
+        scalars = [decode_event(part) for part in batches[1][3]]
+        assert scalars == [
+            SelfRiskUpdate("B", 0.232),
+            EdgeProbabilityUpdate("A", "B", 0.2),
+        ]
+
+        bulk_self, bulk_edge = [decode_event(part) for part in batches[2][3]]
+        assert np.array_equal(bulk_self.values, [0.0, 0.25, 0.5, 1.0])
+        assert np.array_equal(bulk_edge.values, [0.125, 0.875])
+
+        (unicode_event,) = [decode_event(part) for part in batches[3][3]]
+        assert unicode_event == SelfRiskUpdate("é-node", 1.0)
+
+    def test_wal_reader_recovers_golden(self, tmp_path):
+        from repro.persistence.wal import WriteAheadLog
+
+        target = tmp_path / "wal-00000001.log"
+        target.write_bytes(GOLDEN.read_bytes())
+        with WriteAheadLog(tmp_path) as wal:
+            batches = wal.read_batches()
+        assert [batch.kind for batch in batches] == [
+            "register", "events", "events", "events",
+        ]
+        assert batches[0].register == {
+            "k": 3, "kwargs": {"epsilon": 0.5, "seed": 7},
+        }

@@ -1,0 +1,325 @@
+"""Service-level durability: snapshots, recovery, staleness, shutdown."""
+
+from __future__ import annotations
+
+import dataclasses
+from concurrent.futures import Future
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ProbabilityError
+from repro.core.graph import UncertainGraph
+from repro.persistence.codec import PersistenceError
+from repro.persistence.snapshots import SnapshotStore
+from repro.serving.service import RiskService
+from repro.streaming.events import SelfRiskUpdate, apply_events
+from repro.streaming.monitor import TopKMonitor
+
+DEFAULTS = {"seed": 42, "epsilon": 0.5}
+
+
+def make_graph(n=24, seed=7, density=0.14):
+    rng = np.random.default_rng(seed)
+    graph = UncertainGraph()
+    for i in range(n):
+        graph.add_node(i, float(rng.uniform(0.05, 0.6)))
+    for src in range(n):
+        for dst in range(n):
+            if src != dst and rng.random() < density:
+                graph.add_edge(src, dst, float(rng.uniform(0.1, 0.9)))
+    return graph
+
+
+def patch_stream(graph, count, seed):
+    rng = np.random.default_rng(seed)
+    return [
+        SelfRiskUpdate(
+            int(rng.integers(0, graph.num_nodes)), float(rng.uniform(0, 1))
+        )
+        for _ in range(count)
+    ]
+
+
+def drive(service, tenants, events, *, flush_every=5, snapshot_at=None):
+    for position, event in enumerate(events):
+        for tenant_id in tenants:
+            service.submit_update(tenant_id, event)
+        if (position + 1) % flush_every == 0:
+            service.flush()
+        if snapshot_at is not None and position == snapshot_at:
+            service.snapshot_to_disk()
+    service.flush()
+
+
+def abandon(service):
+    """Simulate a crash: release resources without the durable close."""
+    service._wal.close()
+    service._pool.shutdown()
+    service._closed = True
+
+
+@pytest.fixture
+def graph():
+    return make_graph()
+
+
+@pytest.fixture
+def events(graph):
+    return patch_stream(graph, 30, seed=1)
+
+
+def reference_answers(graph, events, tenants):
+    """Uninterrupted, non-durable run — the bit-identity baseline."""
+    service = RiskService(graph, mode="serial", monitor_defaults=DEFAULTS)
+    for tenant_id, k in tenants.items():
+        service.register_tenant(tenant_id, k)
+    drive(service, list(tenants), events)
+    answers = {t: service.query_topk(t) for t in tenants}
+    stats = service.snapshot().shards[0]["monitor_stats"]
+    service.close()
+    return answers, stats
+
+
+class TestRecovery:
+    def test_snapshot_plus_replay_is_bit_identical(
+        self, graph, events, tmp_path
+    ):
+        tenants = {"t1": 3, "t2": 5}
+        service = RiskService(
+            graph, mode="serial", wal_dir=tmp_path, monitor_defaults=DEFAULTS
+        )
+        for tenant_id, k in tenants.items():
+            service.register_tenant(tenant_id, k)
+        # Snapshot mid-stream: recovery restores it, then replays the
+        # WAL suffix past each tenant's watermark.
+        drive(service, list(tenants), events, snapshot_at=14)
+        abandon(service)
+
+        recovered = RiskService(
+            graph, mode="serial", wal_dir=tmp_path, monitor_defaults=DEFAULTS
+        )
+        assert set(recovered.tenants()) == set(tenants)
+        baseline, baseline_stats = reference_answers(graph, events, tenants)
+        stats = recovered.snapshot().shards[0]["monitor_stats"]
+        for tenant_id in tenants:
+            answer = recovered.query_topk(tenant_id)
+            assert answer.same_answer(baseline[tenant_id])
+            assert not answer.stale
+            # Work counters match too: the recovered monitor is the
+            # same state, not merely the same ranking.
+            assert stats[tenant_id] == baseline_stats[tenant_id]
+        recovered.close()
+
+    def test_wal_only_recovery_without_any_snapshot(
+        self, graph, events, tmp_path
+    ):
+        tenants = {"solo": 4}
+        service = RiskService(
+            graph, mode="serial", wal_dir=tmp_path, monitor_defaults=DEFAULTS
+        )
+        service.register_tenant("solo", 4)
+        drive(service, ["solo"], events)
+        abandon(service)
+
+        recovered = RiskService(
+            graph, mode="serial", wal_dir=tmp_path, monitor_defaults=DEFAULTS
+        )
+        # The tenant came back from its durable registration record.
+        assert recovered.tenants() == ["solo"]
+        baseline, _ = reference_answers(graph, events, tenants)
+        assert recovered.query_topk("solo").same_answer(baseline["solo"])
+        recovered.close()
+
+    def test_registration_kwargs_survive(self, graph, tmp_path):
+        service = RiskService(
+            graph, mode="serial", wal_dir=tmp_path, monitor_defaults=DEFAULTS
+        )
+        service.register_tenant("picky", 2, epsilon=0.4, bk=8)
+        abandon(service)
+        recovered = RiskService(
+            graph, mode="serial", wal_dir=tmp_path, monitor_defaults=DEFAULTS
+        )
+        answer = recovered.query_topk("picky")
+        fresh = TopKMonitor(
+            graph.share_view(), 2, seed=42, epsilon=0.4, bk=8
+        ).top_k()
+        assert answer.same_answer(fresh)
+        recovered.close()
+
+    def test_non_json_monitor_kwargs_refused_up_front(self, graph, tmp_path):
+        service = RiskService(graph, mode="serial", wal_dir=tmp_path)
+        with pytest.raises(PersistenceError, match="JSON"):
+            service.register_tenant("t", 2, seed=np.int64(3))
+        assert service.tenants() == []  # nothing half-registered
+        service.close()
+
+    def test_fingerprint_mismatch_refused(self, graph, events, tmp_path):
+        service = RiskService(
+            graph, mode="serial", wal_dir=tmp_path, monitor_defaults=DEFAULTS
+        )
+        service.register_tenant("t1", 3)
+        drive(service, ["t1"], events[:10])
+        service.snapshot_to_disk()
+        abandon(service)
+        other = make_graph(seed=99)
+        with pytest.raises(PersistenceError, match="fingerprint"):
+            RiskService(
+                other, mode="serial", wal_dir=tmp_path,
+                monitor_defaults=DEFAULTS,
+            )
+
+
+class TestSnapshotRotation:
+    def test_keep_bound_and_wal_truncation(self, graph, events, tmp_path):
+        service = RiskService(
+            graph, mode="serial", wal_dir=tmp_path,
+            monitor_defaults=DEFAULTS, snapshot_keep=2,
+            snapshot_on_close=False,
+        )
+        service.register_tenant("t1", 3)
+        for start in range(0, 30, 10):
+            drive(service, ["t1"], events[start:start + 10])
+            service.snapshot_to_disk()
+        store = SnapshotStore(tmp_path, keep=2)
+        snapshot = store.latest()
+        assert snapshot is not None and snapshot.index == 3
+        snapshots_dir = tmp_path / "snapshots"
+        assert len(list(snapshots_dir.glob("snap-*"))) == 2  # rotated
+        # Sealed segments behind the watermark were deleted; what's left
+        # on disk still recovers to the exact live state.
+        baseline, _ = reference_answers(graph, events, {"t1": 3})
+        live = service.query_topk("t1")
+        assert live.same_answer(baseline["t1"])
+        abandon(service)
+        recovered = RiskService(
+            graph, mode="serial", wal_dir=tmp_path, monitor_defaults=DEFAULTS
+        )
+        assert recovered.query_topk("t1").same_answer(live)
+        recovered.close()
+
+    def test_snapshot_requires_durable_service(self, graph):
+        service = RiskService(graph, mode="serial")
+        with pytest.raises(PersistenceError, match="wal_dir"):
+            service.snapshot_to_disk()
+        service.close()
+
+
+class TestStaleServing:
+    def test_stale_answer_while_replaying(self, graph, events, tmp_path):
+        service = RiskService(
+            graph, mode="serial", wal_dir=tmp_path, monitor_defaults=DEFAULTS
+        )
+        service.register_tenant("t1", 3)
+        drive(service, ["t1"], events[:10])
+        snapshot_answer = service.query_topk("t1")
+        # Freeze a replay in flight: serial mode resolves futures
+        # inline, so pin an unresolved one to exercise the stale path.
+        replay: Future = Future()
+        service._recovering["t1"] = replay
+        service._stale_results["t1"] = snapshot_answer
+
+        stale = service.query_topk("t1", flush=False, allow_stale=True)
+        assert stale.stale
+        assert stale.nodes == snapshot_answer.nodes
+        assert dataclasses.replace(stale, stale=False) == snapshot_answer
+
+        # Replay completes -> fresh, non-stale answers again.
+        replay.set_result(None)
+        fresh = service.query_topk("t1", allow_stale=True)
+        assert not fresh.stale
+        assert "t1" not in service.recovering_tenants()
+        service.close()
+
+    def test_stale_never_leaks_into_fresh_results(self, graph, tmp_path):
+        service = RiskService(
+            graph, mode="serial", wal_dir=tmp_path, monitor_defaults=DEFAULTS
+        )
+        service.register_tenant("t1", 3)
+        assert service.query_topk("t1").stale is False
+        service.close()
+
+
+class TestGracefulShutdown:
+    def test_durable_close_keeps_unflushed_events(
+        self, graph, events, tmp_path
+    ):
+        tenants = {"t1": 3}
+        service = RiskService(
+            graph, mode="serial", wal_dir=tmp_path, monitor_defaults=DEFAULTS
+        )
+        service.register_tenant("t1", 3)
+        drive(service, ["t1"], events[:25])
+        for event in events[25:]:
+            service.submit_update("t1", event)
+        assert service.queue.pending("t1") == 5
+        service.close()  # must flush + apply, not drop
+
+        recovered = RiskService(
+            graph, mode="serial", wal_dir=tmp_path, monitor_defaults=DEFAULTS
+        )
+        baseline, _ = reference_answers(graph, events, tenants)
+        assert recovered.query_topk("t1").same_answer(baseline["t1"])
+        recovered.close()
+
+    def test_close_is_idempotent_and_final(self, graph, tmp_path):
+        service = RiskService(graph, mode="serial", wal_dir=tmp_path)
+        service.register_tenant("t1", 2)
+        service.close()
+        service.close()
+        from repro.core.errors import ReproError
+
+        with pytest.raises(ReproError, match="closed"):
+            service.query_topk("t1")
+
+    def test_snapshot_on_close_makes_recovery_replay_free(
+        self, graph, events, tmp_path
+    ):
+        service = RiskService(
+            graph, mode="serial", wal_dir=tmp_path, monitor_defaults=DEFAULTS
+        )
+        service.register_tenant("t1", 3)
+        drive(service, ["t1"], events)
+        service.close()
+        store = SnapshotStore(tmp_path)
+        assert store.latest() is not None
+        recovered = RiskService(
+            graph, mode="serial", wal_dir=tmp_path, monitor_defaults=DEFAULTS
+        )
+        # Everything was folded into the final snapshot: no suffix left.
+        assert recovered.recovering_tenants() == []
+        baseline, _ = reference_answers(graph, events, {"t1": 3})
+        assert recovered.query_topk("t1").same_answer(baseline["t1"])
+        recovered.close()
+
+
+class TestTransactionalBatches:
+    """Satellite regression: a mid-batch invalid event applies nothing."""
+
+    def test_apply_events_is_all_or_nothing(self, graph):
+        before = graph.self_risk_array.copy()
+        batch = [
+            SelfRiskUpdate(0, 0.9),
+            SelfRiskUpdate(1, 1.7),  # invalid: > 1
+            SelfRiskUpdate(2, 0.1),
+        ]
+        with pytest.raises(ProbabilityError):
+            apply_events(graph, batch)
+        assert np.array_equal(graph.self_risk_array, before)
+
+    def test_monitor_apply_is_all_or_nothing(self, graph):
+        monitor = TopKMonitor(graph.share_view(), 3, **DEFAULTS)
+        untouched = TopKMonitor(graph.share_view(), 3, **DEFAULTS)
+        with pytest.raises(ProbabilityError):
+            monitor.apply([
+                SelfRiskUpdate(0, 0.9),
+                SelfRiskUpdate(1, float("nan")),
+            ])
+        # The failed batch left no partial state: answers and work
+        # counters match a monitor that never saw it.
+        assert monitor.top_k().same_answer(untouched.top_k())
+        assert monitor.stats == untouched.stats
+        # And the monitor still works for good batches afterwards.
+        monitor.apply([SelfRiskUpdate(0, 0.9)])
+        untouched.apply([SelfRiskUpdate(0, 0.9)])
+        assert monitor.top_k().same_answer(untouched.top_k())
