@@ -55,6 +55,15 @@ class DetectionResult:
         as of the snapshot, possibly behind the durable stream.  Not
         part of :meth:`same_answer` (staleness is serving metadata, not
         answer content).
+    degraded:
+        ``False`` for every exact answer.  The SLO-enforced front end
+        sets ``True`` on a *bounds-only* answer — a ranking assembled
+        from the always-warm Eq-(1) lower/upper iterates alone, served
+        when the full sampling repair would blow the caller's latency
+        budget.  A degraded answer is bounds-consistent (every reported
+        node's upper bound reaches the k-th largest lower bound) but
+        not the Theorem-5 estimate; like ``stale`` it is serving
+        metadata, excluded from :meth:`same_answer`.
     """
 
     method: str
@@ -67,6 +76,7 @@ class DetectionResult:
     elapsed_seconds: float
     details: dict[str, Any] = field(default_factory=dict)
     stale: bool = False
+    degraded: bool = False
 
     def top_set(self) -> frozenset:
         """The answer as a set (what precision@k compares)."""

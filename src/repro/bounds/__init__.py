@@ -6,7 +6,12 @@ from repro.bounds.incremental import (
     IncrementalBoundPair,
     eq1_values_at,
 )
-from repro.bounds.iterative import bound_pair, lower_bounds, upper_bounds
+from repro.bounds.iterative import (
+    bound_pair,
+    bounds_only_topk,
+    lower_bounds,
+    upper_bounds,
+)
 
 __all__ = [
     "CandidateReduction",
@@ -15,6 +20,7 @@ __all__ = [
     "IncrementalBoundPair",
     "eq1_values_at",
     "bound_pair",
+    "bounds_only_topk",
     "lower_bounds",
     "upper_bounds",
 ]

@@ -25,7 +25,7 @@ from repro.core.eq1 import apply_eq1
 from repro.core.errors import SamplingError
 from repro.core.graph import UncertainGraph
 
-__all__ = ["lower_bounds", "upper_bounds", "bound_pair"]
+__all__ = ["lower_bounds", "upper_bounds", "bound_pair", "bounds_only_topk"]
 
 
 def _validate_order(order: int) -> int:
@@ -91,3 +91,43 @@ def bound_pair(
     lower = lower_bounds(graph, lower_order)
     upper = np.maximum(upper_bounds(graph, upper_order), lower)
     return lower, upper
+
+
+def bounds_only_topk(
+    lower: np.ndarray, upper: np.ndarray, k: int
+) -> tuple[np.ndarray, float]:
+    """Rank nodes by the bound iterates alone — the *degraded* answer.
+
+    When a latency budget rules out the sampling stage, the cheap
+    Eq-(1) iterates still order the nodes: rank by lower bound
+    (descending — the certified floor), break ties by upper bound
+    (descending — the remaining headroom), then by node index for
+    determinism.
+
+    Returns ``(top_k_indices, threshold_lower)`` where
+    ``threshold_lower`` is ``Tl``, the k-th largest lower bound.  The
+    ranking is *bounds-consistent* by construction: every returned
+    node's lower bound is ``>= Tl`` (they are the k largest), and since
+    ``upper >= lower`` element-wise (:func:`bound_pair` clamps), every
+    returned node's upper bound reaches ``Tl`` too — no node that
+    Lemma 1 rule 2 could disprove is ever reported.
+    """
+    lower = np.asarray(lower, dtype=np.float64)
+    upper = np.asarray(upper, dtype=np.float64)
+    if lower.shape != upper.shape or lower.ndim != 1:
+        raise SamplingError(
+            f"bound vectors must be equal-length 1-D arrays, got "
+            f"{lower.shape} and {upper.shape}"
+        )
+    k = int(k)
+    if not 1 <= k <= lower.size:
+        raise SamplingError(
+            f"k must be in [1, {lower.size}], got {k}"
+        )
+    # lexsort: last key is primary.  Index ascending is the final
+    # tie-break, giving a total, deterministic order.
+    order = np.lexsort(
+        (np.arange(lower.size, dtype=np.int64), -upper, -lower)
+    )
+    top = order[:k]
+    return top, float(lower[top[-1]])

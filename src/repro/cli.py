@@ -13,6 +13,8 @@ Usage::
     repro-detect serve --dataset wiki --tenants 32 --k-percent 1 --verify
     repro-detect serve --dataset guarantee --k 10 --wal-dir state/ \
         --fsync always --snapshot-interval 30
+    repro-detect serve --dataset guarantee --k 10 --port 8080 \
+        --slo-ms 200 --rate-limit 25 --auth desk-a=s3cret
 
 The default (no subcommand) form reads a graph (JSON or text edge list,
 or a named synthetic dataset), runs one detection method, and prints the
@@ -31,7 +33,11 @@ over copy-on-write views of one shared graph, fed through the async
 ingestion queue.  It replays a per-tenant event stream, then reports
 each tenant's top-k, the sustained update throughput, and what the
 windowed coalescing and buffer sharing saved; ``--verify`` checks every
-tenant's final answer bit-for-bit against fresh detection.
+tenant's final answer bit-for-bit against fresh detection.  With
+``--port`` it instead binds the SLO-enforced HTTP front end
+(:mod:`repro.frontend`): per-tenant bearer auth (``--auth``),
+token-bucket rate limits, latency budgets with degraded bounds-only
+answers, and 429 + ``Retry-After`` load shedding.
 """
 
 from __future__ import annotations
@@ -276,6 +282,59 @@ def build_serve_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="emit per-tenant records as JSON")
+    network = parser.add_argument_group(
+        "network front end",
+        "with --port, serve over HTTP (SLO-enforced) instead of "
+        "running the replay demo",
+    )
+    network.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="bind this TCP port (0 picks a free one) and serve HTTP",
+    )
+    network.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    network.add_argument(
+        "--slo-ms",
+        type=float,
+        default=250.0,
+        help="default per-query latency budget in ms (default: 250)",
+    )
+    network.add_argument(
+        "--rate-limit",
+        type=float,
+        default=50.0,
+        help="per-tenant sustained requests/second (default: 50)",
+    )
+    network.add_argument(
+        "--burst",
+        type=float,
+        default=None,
+        help="token-bucket burst capacity (default: rate-limit / 2)",
+    )
+    network.add_argument(
+        "--max-inflight",
+        type=int,
+        default=8,
+        help="global cap on concurrent full queries (default: 8)",
+    )
+    network.add_argument(
+        "--queue-limit",
+        type=int,
+        default=4096,
+        help="reject ingestion past this buffered-event backlog",
+    )
+    network.add_argument(
+        "--auth",
+        action="append",
+        default=None,
+        metavar="TENANT=TOKEN",
+        help=(
+            "tenant bearer token (repeatable); default: "
+            "token-<tenant> for each replay tenant"
+        ),
+    )
     return parser
 
 
@@ -406,6 +465,95 @@ def stream_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _serve_network(args: argparse.Namespace, service, k: int) -> int:
+    """Run ``serve --port``: the SLO-enforced HTTP front end.
+
+    Binds :class:`~repro.frontend.server.FrontendServer` over the
+    already-constructed service and runs until SIGINT/SIGTERM; prints
+    the final overload-control counters on the way out.
+    """
+    import asyncio
+    import signal
+
+    from repro.frontend.server import FrontendServer
+
+    if args.auth:
+        tokens: dict[str, str] = {}
+        for spec in args.auth:
+            tenant, sep, token = spec.partition("=")
+            if not sep or not tenant or not token:
+                raise ReproError(
+                    f"--auth expects TENANT=TOKEN, got {spec!r}"
+                )
+            tokens[tenant] = token
+    else:
+        tokens = {
+            tenant: f"token-{tenant}"
+            for tenant in (
+                f"portfolio-{i:02d}" for i in range(args.tenants)
+            )
+        }
+    recovered = set(service.tenants())
+    for tenant_id in tokens:
+        if tenant_id not in recovered:
+            service.register_tenant(tenant_id, k)
+    server = FrontendServer(
+        service,
+        tokens,
+        host=args.host,
+        port=args.port,
+        slo_ms=args.slo_ms,
+        rate_limit=args.rate_limit,
+        burst=args.burst,
+        max_inflight=args.max_inflight,
+        queue_depth_limit=args.queue_limit,
+        flush_interval=args.flush_interval,
+        snapshot_interval=args.snapshot_interval,
+    )
+
+    async def run() -> tuple[str, dict]:
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        handled: list[signal.Signals] = []
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+                handled.append(signum)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-main thread / unsupported platform
+        await server.start()
+        address = server.address
+        print(
+            f"serving {len(tokens)} tenant(s) on {address} "
+            f"(SLO {args.slo_ms:.0f}ms, rate {args.rate_limit:.0f}/s, "
+            f"inflight {args.max_inflight}; Ctrl-C stops)",
+            file=sys.stderr,
+        )
+        try:
+            await stop.wait()
+        finally:
+            for signum in handled:
+                loop.remove_signal_handler(signum)
+            await server.stop()
+        return address, server._stats_payload()
+
+    address, stats = asyncio.run(run())
+    if args.as_json:
+        print(json.dumps({"address": address, **stats}, indent=1))
+    else:
+        frontend = stats["frontend"]
+        print(
+            f"served {frontend['received']} requests: "
+            f"{frontend['completed']} completed, "
+            f"{frontend['degraded']} degraded, "
+            f"{frontend['rejected_rate'] + frontend['rejected_capacity'] + frontend['rejected_backlog']} rejected "
+            f"(accounted {stats['accounted']}/{frontend['received']}); "
+            f"cache {stats['cache']['hits']} hits / "
+            f"{stats['cache']['misses']} misses"
+        )
+    return 0
+
+
 def serve_main(argv: list[str] | None = None) -> int:
     """Entry point of the ``serve`` subcommand."""
     import asyncio
@@ -449,6 +597,8 @@ def serve_main(argv: list[str] | None = None) -> int:
                 f"{args.wal_dir}",
                 file=sys.stderr,
             )
+        if args.port is not None:
+            return _serve_network(args, service, k)
         tenant_ids = [f"portfolio-{i:02d}" for i in range(args.tenants)]
         for tenant_id in tenant_ids:
             if tenant_id not in recovered:

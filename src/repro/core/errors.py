@@ -18,6 +18,7 @@ __all__ = [
     "DatasetError",
     "ExperimentError",
     "BackpressureError",
+    "FrontendError",
 ]
 
 
@@ -66,3 +67,7 @@ class ExperimentError(ReproError):
 
 class BackpressureError(ReproError):
     """Raised when an ingestion backlog hits its hard ``max_pending`` cap."""
+
+
+class FrontendError(ReproError):
+    """Raised for network front-end failures (protocol, auth, admission)."""

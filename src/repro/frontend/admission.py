@@ -1,0 +1,311 @@
+"""Admission control for the SLO-enforced front end.
+
+Three cooperating pieces, all transport-agnostic and clock-injectable
+(so the tests run with a fake clock, deterministic to the token):
+
+* :class:`TokenBucket` — per-tenant rate limiting.  Refill is computed
+  lazily from the injected monotonic clock; :meth:`TokenBucket.retry_after`
+  is the honest wait until the next token exists, which the server
+  surfaces as the ``Retry-After`` header of a 429.
+* :class:`EwmaCostModel` — the deadline oracle.  Fed every
+  :class:`~repro.streaming.monitor.RefreshReport` that flows back from
+  the serving layer, it decomposes observed refresh latency into a
+  fixed per-refresh base cost plus a per-repaired-world marginal cost
+  (both EWMAs), and tracks each tenant's expected repair size.  The
+  prediction ``base + per_world · expected_worlds`` is what the server
+  compares against the request's remaining latency budget: predicted
+  blow-through means the query is answered from the always-warm Eq-(1)
+  bounds instead of waiting on a repair that cannot finish in time.
+* :class:`AdmissionController` — the gate itself: per-tenant buckets, a
+  global in-flight cap on full (sampling) queries, and an
+  ingestion-backlog limit; every rejection carries a machine-readable
+  reason and a retry hint.
+
+:class:`FrontendStats` is the single counters struct the overload
+benchmark reconciles against: every request the server receives ends in
+exactly one of admitted-completed / degraded / rejected / failed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Hashable
+
+from repro.streaming.monitor import RefreshReport
+
+__all__ = [
+    "TokenBucket",
+    "EwmaCostModel",
+    "AdmissionController",
+    "AdmissionDecision",
+    "FrontendStats",
+]
+
+TenantId = Hashable
+Clock = Callable[[], float]
+
+
+class TokenBucket:
+    """Classic token bucket: *rate* tokens/second, capacity *burst*.
+
+    Not thread-safe by itself — the controller serialises access.
+    """
+
+    def __init__(
+        self, rate: float, burst: float, *, clock: Clock = time.monotonic
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self._rate = float(rate)
+        self._burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(
+            self._burst, self._tokens + (now - self._stamp) * self._rate
+        )
+        self._stamp = now
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take *tokens* if available; ``False`` (and no debit) if not."""
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    def retry_after(self, tokens: float = 1.0) -> float:
+        """Seconds until *tokens* will be available at the current rate."""
+        self._refill()
+        missing = tokens - self._tokens
+        return max(0.0, missing / self._rate)
+
+
+class EwmaCostModel:
+    """Predict a tenant's next full-refresh latency from past reports.
+
+    Model: ``cost = base + per_world · expected_worlds`` where
+
+    * ``base`` — EWMA of refresh latencies with zero repaired worlds
+      (bounds + reduction + bookkeeping; the floor every query pays),
+    * ``per_world`` — EWMA of ``(elapsed - base) / worlds_repaired``
+      over refreshes that did repair work (the marginal world cost),
+    * ``expected_worlds`` — per-tenant EWMA of repair sizes, because
+      repair size tracks each tenant's own update pattern while the
+      per-world cost is a property of the shared machine + graph.
+
+    :meth:`predict` returns ``None`` until at least one report has been
+    observed — a cold model must not fabricate admission decisions, so
+    the server treats ``None`` as "attempt the full query".
+    """
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self._alpha = float(alpha)
+        self._base: float | None = None
+        self._per_world: float | None = None
+        self._expected_worlds: dict[TenantId, float] = {}
+        self._lock = threading.Lock()
+
+    def _fold(self, current: float | None, sample: float) -> float:
+        if current is None:
+            return sample
+        return (1.0 - self._alpha) * current + self._alpha * sample
+
+    def observe(self, tenant_id: TenantId, report: RefreshReport) -> None:
+        """Fold one refresh report into the model."""
+        elapsed = float(report.elapsed_seconds)
+        worlds = int(report.worlds_repaired)
+        with self._lock:
+            if worlds <= 0:
+                self._base = self._fold(self._base, elapsed)
+            else:
+                base = self._base if self._base is not None else 0.0
+                marginal = max(0.0, elapsed - base) / worlds
+                self._per_world = self._fold(self._per_world, marginal)
+            self._expected_worlds[tenant_id] = self._fold(
+                self._expected_worlds.get(tenant_id), float(worlds)
+            )
+
+    def predict(self, tenant_id: TenantId) -> float | None:
+        """Expected seconds for the tenant's next full refresh+query."""
+        with self._lock:
+            if self._base is None and self._per_world is None:
+                return None
+            base = self._base if self._base is not None else 0.0
+            per_world = self._per_world if self._per_world is not None else 0.0
+            worlds = self._expected_worlds.get(tenant_id, 0.0)
+            return base + per_world * worlds
+
+    def snapshot(self) -> dict:
+        """Model internals for the stats endpoint."""
+        with self._lock:
+            return {
+                "base_seconds": self._base,
+                "per_world_seconds": self._per_world,
+                "tenants_tracked": len(self._expected_worlds),
+            }
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check."""
+
+    admitted: bool
+    reason: str = "ok"
+    retry_after: float = 0.0
+
+
+@dataclass
+class FrontendStats:
+    """Every request ends in exactly one terminal counter.
+
+    ``received == completed + degraded + rejected_rate +
+    rejected_capacity + rejected_backlog + auth_failures + bad_requests
+    + errors`` — the reconciliation the overload benchmark gates on.
+    ``timeouts`` double-counts inside ``degraded`` (a deadline
+    expiry *is* served degraded) and exists to split predicted
+    (pre-emptive) from reactive degradation.
+    """
+
+    received: int = 0
+    completed: int = 0
+    degraded: int = 0
+    timeouts: int = 0
+    rejected_rate: int = 0
+    rejected_capacity: int = 0
+    rejected_backlog: int = 0
+    auth_failures: int = 0
+    bad_requests: int = 0
+    errors: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + amount)
+
+    def as_dict(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "received": self.received,
+                "completed": self.completed,
+                "degraded": self.degraded,
+                "timeouts": self.timeouts,
+                "rejected_rate": self.rejected_rate,
+                "rejected_capacity": self.rejected_capacity,
+                "rejected_backlog": self.rejected_backlog,
+                "auth_failures": self.auth_failures,
+                "bad_requests": self.bad_requests,
+                "errors": self.errors,
+            }
+
+    def accounted(self) -> int:
+        """Sum of the terminal counters (must equal ``received``)."""
+        totals = self.as_dict()
+        return (
+            totals["completed"]
+            + totals["degraded"]
+            + totals["rejected_rate"]
+            + totals["rejected_capacity"]
+            + totals["rejected_backlog"]
+            + totals["auth_failures"]
+            + totals["bad_requests"]
+            + totals["errors"]
+        )
+
+
+class AdmissionController:
+    """The front end's gate: rate, concurrency, and backlog limits.
+
+    Parameters
+    ----------
+    rate_limit:
+        Requests/second each tenant may sustain (token-bucket refill).
+    burst:
+        Bucket capacity — short bursts above the rate that are absorbed.
+    max_inflight:
+        Global cap on concurrently executing *full* queries (the
+        sampling path; degraded answers bypass this, that's the point).
+    queue_depth_limit:
+        Reject ingestion once the service's buffered-event backlog
+        exceeds this (the shard futures behind it are what actually
+        back up).
+    clock:
+        Injectable monotonic clock shared by every tenant bucket.
+    """
+
+    def __init__(
+        self,
+        *,
+        rate_limit: float = 50.0,
+        burst: float | None = None,
+        max_inflight: int = 8,
+        queue_depth_limit: int = 4096,
+        clock: Clock = time.monotonic,
+    ) -> None:
+        self._rate = float(rate_limit)
+        self._burst = float(burst) if burst is not None else max(
+            1.0, self._rate / 2.0
+        )
+        self._max_inflight = int(max_inflight)
+        self._queue_depth_limit = int(queue_depth_limit)
+        self._clock = clock
+        self._buckets: dict[TenantId, TokenBucket] = {}
+        self._inflight = 0
+        self._lock = threading.Lock()
+
+    @property
+    def max_inflight(self) -> int:
+        return self._max_inflight
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def _bucket(self, tenant_id: TenantId) -> TokenBucket:
+        bucket = self._buckets.get(tenant_id)
+        if bucket is None:
+            bucket = self._buckets[tenant_id] = TokenBucket(
+                self._rate, self._burst, clock=self._clock
+            )
+        return bucket
+
+    def admit(
+        self, tenant_id: TenantId, *, queue_depth: int = 0
+    ) -> AdmissionDecision:
+        """Check rate + backlog for one request (no concurrency debit)."""
+        with self._lock:
+            bucket = self._bucket(tenant_id)
+            if not bucket.try_acquire():
+                return AdmissionDecision(
+                    False, "rate", max(0.001, bucket.retry_after())
+                )
+        if queue_depth > self._queue_depth_limit:
+            # The backlog drains at the shards' pace; a half-window is
+            # an honest first retry hint without tracking drain rate.
+            return AdmissionDecision(False, "backlog", 0.05)
+        return AdmissionDecision(True)
+
+    def acquire_slot(self) -> bool:
+        """Claim one full-query concurrency slot (False = saturated)."""
+        with self._lock:
+            if self._inflight >= self._max_inflight:
+                return False
+            self._inflight += 1
+            return True
+
+    def release_slot(self) -> None:
+        """Return a slot (safe from executor threads)."""
+        with self._lock:
+            self._inflight = max(0, self._inflight - 1)

@@ -1,0 +1,514 @@
+"""The SLO-enforced network front end over a :class:`RiskService`.
+
+One :class:`FrontendServer` binds an ``asyncio`` HTTP/JSON endpoint
+(:mod:`repro.frontend.protocol`) in front of a
+:class:`~repro.serving.service.RiskService` and enforces, per request:
+
+1. **Authentication** — per-tenant bearer tokens, compared with
+   :func:`hmac.compare_digest`; a token only opens its own tenant.
+2. **Admission** (:class:`~repro.frontend.admission.AdmissionController`)
+   — per-tenant token-bucket rate limits, a global in-flight cap on
+   full sampling queries, and an ingestion-backlog limit; every
+   rejection is a ``429`` carrying ``Retry-After``.
+3. **Deadlines** — every query carries a latency budget (body
+   ``budget_ms``, header ``X-Budget-Ms``, or the server's SLO default).
+   The EWMA cost model predicts the tenant's full refresh+query cost;
+   a predicted blow-through short-circuits to a *degraded* bounds-only
+   answer (:meth:`RiskService.query_degraded`) without ever entering
+   the shard queue, and a full query that overruns its in-flight
+   deadline is answered degraded the moment the budget expires while
+   the real computation finishes (and trains the model) in the
+   background.
+
+The endpoints:
+
+========  ==================  =====================================
+method    path                body / semantics
+========  ==================  =====================================
+GET       /healthz            liveness (no auth)
+GET       /v1/stats           counters: frontend, queue, cache, model
+POST      /v1/register        ``{tenant, k, kwargs?}``
+POST      /v1/update          ``{tenant, event}`` → ``{accepted}``
+POST      /v1/query           ``{tenant, budget_ms?, allow_degraded?}``
+========  ==================  =====================================
+
+Every query response reports ``degraded`` / ``stale`` flags and an
+``X-Elapsed-Ms`` header (server-side handling time — what the SLO gate
+in the benchmark measures).  Per-connection failures are contained:
+a malformed request costs that connection a 400, never the process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import hmac
+import logging
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Hashable, Mapping
+
+from repro.core.errors import FrontendError, ReproError
+from repro.frontend.admission import (
+    AdmissionController,
+    EwmaCostModel,
+    FrontendStats,
+)
+from repro.frontend.protocol import (
+    HttpRequest,
+    event_from_json,
+    read_request,
+    write_response,
+)
+from repro.io.jsonio import result_to_dict
+from repro.serving.service import RiskService
+from repro.streaming.monitor import RefreshReport
+
+__all__ = ["FrontendServer"]
+
+TenantId = Hashable
+_LOG = logging.getLogger(__name__)
+
+
+class FrontendServer:
+    """Serve a :class:`RiskService` over HTTP with SLO enforcement.
+
+    Parameters
+    ----------
+    service:
+        The serving layer to front.  The server runs the service's
+        async flush pump for as long as it is started; the caller keeps
+        ownership (and closes the service after :meth:`stop`).
+    tokens:
+        ``tenant_id -> bearer token``.  Only listed tenants can
+        authenticate; requests must present their own tenant's token.
+    host, port:
+        Bind address; ``port=0`` picks a free port (see :attr:`port`).
+    slo_ms:
+        Default per-query latency budget when the request names none.
+    rate_limit, burst, max_inflight, queue_depth_limit:
+        Admission knobs — see
+        :class:`~repro.frontend.admission.AdmissionController`.
+    deadline_margin:
+        Fraction of the budget a full query may consume before the
+        degraded fallback fires; the remainder pays for the bounds
+        evaluation and serialisation.
+    flush_interval:
+        Cadence of the service's background ingestion pump.
+    snapshot_interval:
+        Forwarded to :meth:`RiskService.serve` — seconds between
+        rotated disk snapshots (durable services only).
+    """
+
+    def __init__(
+        self,
+        service: RiskService,
+        tokens: Mapping[TenantId, str],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        slo_ms: float = 250.0,
+        rate_limit: float = 50.0,
+        burst: float | None = None,
+        max_inflight: int = 8,
+        queue_depth_limit: int = 4096,
+        deadline_margin: float = 0.85,
+        flush_interval: float = 0.02,
+        snapshot_interval: float | None = None,
+    ) -> None:
+        if not 0.0 < deadline_margin <= 1.0:
+            raise FrontendError(
+                f"deadline_margin must be in (0, 1], got {deadline_margin}"
+            )
+        if slo_ms <= 0:
+            raise FrontendError(f"slo_ms must be > 0, got {slo_ms}")
+        self._service = service
+        self._tokens = {
+            tenant: str(token) for tenant, token in dict(tokens).items()
+        }
+        self._host = host
+        self._requested_port = int(port)
+        self._slo_ms = float(slo_ms)
+        self._margin = float(deadline_margin)
+        self._flush_interval = float(flush_interval)
+        self._snapshot_interval = snapshot_interval
+        self.stats = FrontendStats()
+        self.admission = AdmissionController(
+            rate_limit=rate_limit,
+            burst=burst,
+            max_inflight=max_inflight,
+            queue_depth_limit=queue_depth_limit,
+        )
+        self.cost_model = EwmaCostModel()
+        # Full queries block on shard futures; give them their own
+        # threads, capped at the admission in-flight limit so the
+        # executor can never queue beyond what admission admitted.
+        self._query_executor = ThreadPoolExecutor(
+            max_workers=max(1, int(max_inflight)),
+            thread_name_prefix="frontend-query",
+        )
+        # Degraded answers must not queue behind saturated full
+        # queries — that is their whole purpose — so they get a small
+        # dedicated lane.
+        self._degraded_executor = ThreadPoolExecutor(
+            max_workers=2, thread_name_prefix="frontend-degraded"
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._pump_task: asyncio.Task | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolves ``port=0`` after :meth:`start`)."""
+        if self._server is None:
+            raise FrontendError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def address(self) -> str:
+        return f"http://{self._host}:{self.port}"
+
+    async def start(self) -> None:
+        """Bind the socket and launch the service's ingestion pump."""
+        if self._server is not None:
+            raise FrontendError("server already started")
+        self._stop_event = asyncio.Event()
+        self._pump_task = asyncio.ensure_future(
+            self._service.serve(
+                flush_interval=self._flush_interval,
+                stop=self._stop_event,
+                snapshot_interval=self._snapshot_interval,
+            )
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._requested_port
+        )
+
+    async def stop(self) -> None:
+        """Stop accepting, drain the pump, release the executors."""
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        if self._stop_event is not None:
+            self._stop_event.set()
+        if self._pump_task is not None:
+            try:
+                await self._pump_task
+            except Exception:  # pragma: no cover - pump died with service
+                _LOG.exception("ingestion pump exited abnormally")
+            self._pump_task = None
+        self._query_executor.shutdown(wait=False)
+        self._degraded_executor.shutdown(wait=False)
+
+    async def serve_until(self, stop: asyncio.Event) -> None:
+        """Run until *stop* is set (the CLI's foreground mode)."""
+        await self.start()
+        try:
+            await stop.wait()
+        finally:
+            await self.stop()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except FrontendError as error:
+                    self.stats.bump("received")
+                    self.stats.bump("bad_requests")
+                    write_response(
+                        writer, 400, {"error": str(error)}, keep_alive=False
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                self.stats.bump("received")
+                try:
+                    status, payload, headers = await self._dispatch(request)
+                except FrontendError as error:
+                    self.stats.bump("bad_requests")
+                    status, payload, headers = 400, {"error": str(error)}, {}
+                except ReproError as error:
+                    self.stats.bump("errors")
+                    status, payload, headers = 500, {"error": str(error)}, {}
+                except Exception as error:  # noqa: BLE001 - stay alive
+                    _LOG.exception("unhandled error serving %s", request.path)
+                    self.stats.bump("errors")
+                    status, payload, headers = (
+                        500,
+                        {"error": f"internal error: {type(error).__name__}"},
+                        {},
+                    )
+                write_response(
+                    writer,
+                    status,
+                    payload,
+                    headers=headers,
+                    keep_alive=request.keep_alive,
+                )
+                await writer.drain()
+                if not request.keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _dispatch(
+        self, request: HttpRequest
+    ) -> tuple[int, object, dict]:
+        route = (request.method, request.path)
+        if route == ("GET", "/healthz"):
+            self.stats.bump("completed")
+            return 200, {"ok": True}, {}
+        if route == ("GET", "/v1/stats"):
+            self.stats.bump("completed")
+            return 200, self._stats_payload(), {}
+        if route == ("POST", "/v1/register"):
+            return await self._handle_register(request)
+        if route == ("POST", "/v1/update"):
+            return await self._handle_update(request)
+        if route == ("POST", "/v1/query"):
+            return await self._handle_query(request)
+        self.stats.bump("bad_requests")
+        return 404, {"error": f"no route {request.method} {request.path}"}, {}
+
+    # ------------------------------------------------------------------
+    # Auth + admission
+    # ------------------------------------------------------------------
+    def _authenticate(
+        self, request: HttpRequest, body: Mapping
+    ) -> TenantId | None:
+        """The authenticated tenant, or ``None`` (401 recorded)."""
+        tenant = body.get("tenant") if isinstance(body, Mapping) else None
+        header = request.headers.get("authorization", "")
+        scheme, _, presented = header.partition(" ")
+        expected = self._tokens.get(tenant)
+        if (
+            tenant is None
+            or expected is None
+            or scheme.lower() != "bearer"
+            or not hmac.compare_digest(presented.strip(), expected)
+        ):
+            self.stats.bump("auth_failures")
+            return None
+        return tenant
+
+    def _admit(self, tenant: TenantId) -> tuple[int, object, dict] | None:
+        """Run admission; a response triple means rejection."""
+        decision = self.admission.admit(
+            tenant, queue_depth=self._service.queue.pending()
+        )
+        if decision.admitted:
+            return None
+        self.stats.bump(f"rejected_{decision.reason}")
+        retry = max(0.001, decision.retry_after)
+        return (
+            429,
+            {"error": f"rejected: {decision.reason}", "retry_after": retry},
+            {"Retry-After": f"{retry:.3f}"},
+        )
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    async def _handle_register(
+        self, request: HttpRequest
+    ) -> tuple[int, object, dict]:
+        body = request.json()
+        tenant = self._authenticate(request, body)
+        if tenant is None:
+            return 401, {"error": "unauthorized"}, {}
+        rejection = self._admit(tenant)
+        if rejection is not None:
+            return rejection
+        k = body.get("k")
+        if not isinstance(k, int) or k < 1:
+            raise FrontendError(f"k must be a positive integer, got {k!r}")
+        kwargs = body.get("kwargs", {})
+        if not isinstance(kwargs, dict):
+            raise FrontendError("kwargs must be a JSON object")
+        loop = asyncio.get_event_loop()
+        await loop.run_in_executor(
+            self._degraded_executor,
+            lambda: self._service.register_tenant(tenant, k, **kwargs),
+        )
+        self.stats.bump("completed")
+        return 200, {"registered": tenant, "k": k}, {}
+
+    async def _handle_update(
+        self, request: HttpRequest
+    ) -> tuple[int, object, dict]:
+        body = request.json()
+        tenant = self._authenticate(request, body)
+        if tenant is None:
+            return 401, {"error": "unauthorized"}, {}
+        rejection = self._admit(tenant)
+        if rejection is not None:
+            return rejection
+        event = event_from_json(body.get("event"))
+        accepted = self._service.submit_update(tenant, event)
+        self.stats.bump("completed")
+        return 202, {"accepted": bool(accepted)}, {}
+
+    async def _handle_query(
+        self, request: HttpRequest
+    ) -> tuple[int, object, dict]:
+        started = time.perf_counter()
+        body = request.json()
+        tenant = self._authenticate(request, body)
+        if tenant is None:
+            return 401, {"error": "unauthorized"}, {}
+        rejection = self._admit(tenant)
+        if rejection is not None:
+            return rejection
+        budget_ms = body.get(
+            "budget_ms", request.headers.get("x-budget-ms", self._slo_ms)
+        )
+        try:
+            budget = float(budget_ms) / 1000.0
+        except (TypeError, ValueError):
+            raise FrontendError(f"bad budget_ms: {budget_ms!r}")
+        if budget <= 0:
+            raise FrontendError(f"budget_ms must be > 0, got {budget_ms!r}")
+        allow_degraded = bool(body.get("allow_degraded", True))
+        loop = asyncio.get_event_loop()
+
+        # 1. Pre-emptive degradation: the model predicts the full path
+        #    cannot finish inside the budget — do not even enter the
+        #    queue, answer from the always-warm bounds.
+        predicted = self.cost_model.predict(tenant)
+        if (
+            allow_degraded
+            and predicted is not None
+            and predicted > self._margin * budget
+        ):
+            degraded = await self._degraded_answer(loop, tenant)
+            if degraded is not None:
+                self.stats.bump("degraded")
+                return self._result_response(
+                    degraded, started, degraded_reason="predicted"
+                )
+
+        # 2. Concurrency gate on the full path.
+        if not self.admission.acquire_slot():
+            self.stats.bump("rejected_capacity")
+            retry = max(0.001, predicted or 0.05)
+            return (
+                429,
+                {"error": "rejected: capacity", "retry_after": retry},
+                {"Retry-After": f"{retry:.3f}"},
+            )
+
+        # 3. Full query with an in-flight deadline.  The executor future
+        #    is shielded: on expiry it keeps running (releasing its slot
+        #    and training the cost model on completion) while the
+        #    request is answered degraded immediately.
+        future = asyncio.ensure_future(
+            loop.run_in_executor(
+                self._query_executor, self._full_query, tenant
+            )
+        )
+        remaining = self._margin * budget - (time.perf_counter() - started)
+        try:
+            result = await asyncio.wait_for(
+                asyncio.shield(future), max(0.001, remaining)
+            )
+        except asyncio.TimeoutError:
+            if allow_degraded:
+                degraded = await self._degraded_answer(loop, tenant)
+                if degraded is not None:
+                    self.stats.bump("degraded")
+                    self.stats.bump("timeouts")
+                    future.add_done_callback(_swallow)
+                    return self._result_response(
+                        degraded, started, degraded_reason="deadline"
+                    )
+            result = await future  # no degraded path: overrun honestly
+        except Exception:
+            future.add_done_callback(_swallow)
+            raise
+        self.stats.bump("completed")
+        return self._result_response(result, started)
+
+    # ------------------------------------------------------------------
+    # Query internals
+    # ------------------------------------------------------------------
+    def _full_query(self, tenant: TenantId):
+        """Blocking full query (executor thread); trains the cost model."""
+        started = time.perf_counter()
+        try:
+            result = self._service.query_topk(tenant)
+        finally:
+            self.admission.release_slot()
+        elapsed = time.perf_counter() - started
+        report = self._service.last_report(tenant)
+        self.cost_model.observe(
+            tenant,
+            RefreshReport(
+                mode="frontend",
+                reason="observed full query",
+                dirty_nodes=0,
+                dirty_edges=0,
+                bounds_recomputed=0,
+                reduction_reused=True,
+                sampling="observed",
+                worlds_repaired=(
+                    report.worlds_repaired if report is not None else 0
+                ),
+                samples=report.samples if report is not None else 0,
+                elapsed_seconds=elapsed,
+            ),
+        )
+        return result
+
+    async def _degraded_answer(self, loop, tenant: TenantId):
+        """Bounds-only answer on the dedicated lane (None = no mirror)."""
+        return await loop.run_in_executor(
+            self._degraded_executor,
+            lambda: self._service.query_degraded(tenant),
+        )
+
+    def _result_response(
+        self, result, started: float, *, degraded_reason: str | None = None
+    ) -> tuple[int, object, dict]:
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        payload = {
+            "result": result_to_dict(result),
+            "degraded": bool(result.degraded),
+            "stale": bool(result.stale),
+        }
+        if degraded_reason is not None:
+            payload["degraded_reason"] = degraded_reason
+        return 200, payload, {"X-Elapsed-Ms": f"{elapsed_ms:.3f}"}
+
+    def _stats_payload(self) -> dict:
+        return {
+            "frontend": self.stats.as_dict(),
+            "accounted": self.stats.accounted(),
+            "inflight": self.admission.inflight,
+            "queue": dict(self._service.queue.stats.as_dict()),
+            "pending": self._service.queue.pending(),
+            "cache": dict(self._service.cache_stats),
+            "cost_model": self.cost_model.snapshot(),
+            "tenants": len(self._service.tenants()),
+        }
+
+
+def _swallow(future: "asyncio.Future") -> None:
+    """Retrieve a shielded future's exception so it never warns."""
+    if not future.cancelled():
+        future.exception()

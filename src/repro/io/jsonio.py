@@ -95,6 +95,8 @@ def result_to_dict(result: DetectionResult) -> dict[str, Any]:
         "k_verified": result.k_verified,
         "elapsed_seconds": result.elapsed_seconds,
         "details": {key: _jsonify(value) for key, value in result.details.items()},
+        "stale": result.stale,
+        "degraded": result.degraded,
     }
 
 

@@ -34,6 +34,7 @@ fixes); the mode only chooses where the work runs.
 from __future__ import annotations
 
 import itertools
+import logging
 import multiprocessing
 import os
 import pickle
@@ -58,6 +59,7 @@ TenantId = Hashable
 _POOL_STATE: dict[str, dict] = {}
 _REGISTER_LOCK = threading.Lock()
 _POOL_IDS = itertools.count()
+_LOG = logging.getLogger(__name__)
 
 
 def available_modes() -> tuple[str, ...]:
@@ -264,10 +266,21 @@ class ServingPool:
     ) -> None:
         self._mode = mode or default_mode()
         if self._mode not in available_modes():
-            raise ReproError(
-                f"pool mode {self._mode!r} unavailable here; choose from "
-                f"{available_modes()}"
-            )
+            if self._mode == "fork":
+                # Spawn-only platforms (macOS default, Windows) cannot
+                # fork; the thread mode keeps the same per-tenant FIFO
+                # and bit-identical answers, so degrade instead of dying.
+                _LOG.warning(
+                    "pool mode 'fork' unavailable on this platform "
+                    "(start methods: %s); falling back to 'thread'",
+                    multiprocessing.get_all_start_methods(),
+                )
+                self._mode = "thread"
+            else:
+                raise ReproError(
+                    f"pool mode {self._mode!r} unavailable here; choose "
+                    f"from {available_modes()}"
+                )
         if shards is None:
             shards = 1 if self._mode == "serial" else min(
                 os.cpu_count() or 1, 8
@@ -323,6 +336,18 @@ class ServingPool:
     def tenants(self) -> list[TenantId]:
         """Registered tenant ids, registration-ordered."""
         return list(self._shard_of)
+
+    def checkout_base(self) -> UncertainGraph:
+        """A parent-side copy-on-write view of the base snapshot.
+
+        What the serving layer's *bounds mirrors* are built over: the
+        view shares the frozen base buffers until first mutation, like
+        the worker-side checkouts.  ``share_view`` mutates the base
+        graph's column wrappers, so the call is serialised against
+        worker-side registrations (thread mode shares the object).
+        """
+        with _REGISTER_LOCK:
+            return self._base_graph.share_view()
 
     def has_tenant(self, tenant_id: TenantId) -> bool:
         """O(1) membership test (the ingestion hot path's validity check)."""

@@ -50,9 +50,12 @@ from __future__ import annotations
 
 import asyncio
 import dataclasses
+import hashlib
 import json
+import pickle
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import BrokenExecutor, Future
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Mapping
@@ -63,7 +66,7 @@ from repro.serving.pool import ServingPool
 from repro.serving.queue import IngestionQueue
 from repro.serving.store import graph_fingerprint
 from repro.streaming.events import UpdateEvent
-from repro.streaming.monitor import RefreshReport
+from repro.streaming.monitor import RefreshReport, TopKMonitor
 
 __all__ = ["RiskService", "ServiceSnapshot"]
 
@@ -121,6 +124,24 @@ class RiskService:
         in-memory behaviour; a path makes the service durable — and, if
         the directory already holds a WAL/snapshots, *recovers* it (see
         the module docstring).
+    degraded_answers:
+        Keep a parent-side *bounds mirror* per tenant — a
+        :class:`~repro.streaming.monitor.TopKMonitor` over a
+        copy-on-write view of the base snapshot that absorbs every
+        accepted event at submit time.  :meth:`query_degraded` then
+        answers from the mirror's always-warm Eq-(1) iterates without
+        queueing behind the tenant's shard backlog — the degraded path
+        the SLO front end and ``allow_stale`` fall back to.  Costs one
+        COW view plus an ``O((n + m) · z)`` bound evaluation per
+        degraded answer; ``False`` disables mirrors entirely.
+    result_cache_size:
+        Capacity (entries) of the cross-tenant exact-answer cache.
+        Tenants whose monitors share ``(k, kwargs)`` and whose event
+        histories hash to the same state token share cached
+        :class:`DetectionResult` objects — the frozen dataclass makes
+        sharing safe, and monitors are deterministic functions of
+        (base graph, params, event history), so a token hit is provably
+        the bit-identical answer.  ``0`` disables the cache.
     fsync:
         WAL fsync policy (``"always"`` / ``"flush"`` / ``"never"``).
     snapshot_keep:
@@ -143,6 +164,8 @@ class RiskService:
         fsync: str = "flush",
         snapshot_keep: int = 2,
         snapshot_on_close: bool = True,
+        degraded_answers: bool = True,
+        result_cache_size: int = 128,
     ) -> None:
         self._pool = ServingPool(
             graph,
@@ -150,9 +173,10 @@ class RiskService:
             shards=shards,
             monitor_defaults=monitor_defaults,
         )
+        self._monitor_defaults = dict(monitor_defaults or {})
         self._wal = None
         self._snapshots = None
-        self._fingerprint: str | None = None
+        self._fingerprint = graph_fingerprint(graph)
         self._snapshot_on_close = bool(snapshot_on_close)
         #: tenant -> last replay future still in flight after recovery.
         self._recovering: dict[TenantId, Future] = {}
@@ -160,11 +184,24 @@ class RiskService:
         self._stale_results: dict[TenantId, object] = {}
         #: tenant -> (k, kwargs) for rebuild-from-scratch healing.
         self._registered: dict[TenantId, tuple[int, dict]] = {}
+        self._degraded_answers = bool(degraded_answers)
+        #: tenant -> parent-side bounds mirror (see ``degraded_answers``).
+        self._mirrors: dict[TenantId, TopKMonitor] = {}
+        #: tenant -> sha256 state token over the accepted event history
+        #: (``None`` = uncacheable: unknown history or unencodable event).
+        self._tokens: dict[TenantId, str | None] = {}
+        #: Serialises token advancement + mirror application with queue
+        #: submission, so both track exactly the accepted event order.
+        self._token_lock = threading.Lock()
+        self._result_cache: OrderedDict = OrderedDict()
+        self._result_cache_size = int(result_cache_size)
+        self.cache_stats = {"hits": 0, "misses": 0}
+        #: tenant -> most recent RefreshReport the parent observed.
+        self._last_reports: dict[TenantId, RefreshReport] = {}
         if wal_dir is not None:
             from repro.persistence.snapshots import SnapshotStore
             from repro.persistence.wal import WriteAheadLog
 
-            self._fingerprint = graph_fingerprint(graph)
             self._wal = WriteAheadLog(wal_dir, fsync=fsync)
             self._snapshots = SnapshotStore(wal_dir, keep=snapshot_keep)
             self._recover()
@@ -237,24 +274,29 @@ class RiskService:
                 )
             for tenant_snapshot in snapshot.tenants.values():
                 tenant_id = tenant_snapshot.tenant_id
-                self._pool.restore_tenant(
-                    tenant_id, tenant_snapshot.load_state_blob()
-                )
+                blob = tenant_snapshot.load_state_blob()
+                self._pool.restore_tenant(tenant_id, blob)
                 watermarks[tenant_id] = tenant_snapshot.watermark
                 self._stale_results[tenant_id] = tenant_snapshot.load_result()
+                # The snapshot blob is the pickled monitor itself —
+                # unpickling it parent-side gives an exact bounds mirror
+                # at the snapshot watermark (replay advances it below).
+                # Event-history tokens don't survive a crash, so the
+                # tenant rejoins the result cache only after a restart
+                # of its token chain; answers stay exact regardless.
+                if self._degraded_answers:
+                    self._mirrors[tenant_id] = pickle.loads(blob)
+                self._tokens[tenant_id] = None
         for batch in self._wal.read_batches():
             if batch.kind == "register":
                 register = batch.register or {}
-                self._registered[batch.tenant_id] = (
-                    int(register.get("k", 1)),
-                    dict(register.get("kwargs", {})),
-                )
+                k = int(register.get("k", 1))
+                kwargs = dict(register.get("kwargs", {}))
+                self._registered[batch.tenant_id] = (k, kwargs)
                 if not self._pool.has_tenant(batch.tenant_id):
-                    self._pool.register(
-                        batch.tenant_id,
-                        int(register.get("k", 1)),
-                        **dict(register.get("kwargs", {})),
-                    )
+                    self._pool.register(batch.tenant_id, k, **kwargs)
+                    self._make_mirror(batch.tenant_id, k, kwargs)
+                    self._tokens[batch.tenant_id] = self._fingerprint
                 continue
             if batch.seq <= watermarks.get(batch.tenant_id, 0):
                 continue  # already folded into the snapshot blob
@@ -267,6 +309,8 @@ class RiskService:
             self._recovering[batch.tenant_id] = self._pool.apply(
                 batch.tenant_id, list(batch.events)
             )
+            for event in batch.events:
+                self._track_event(batch.tenant_id, event)
 
     def _await_recovery(self) -> None:
         """Block until every tenant's replay has been applied."""
@@ -274,6 +318,92 @@ class RiskService:
             self._result_after_break(tenant_id, future)
             self._recovering.pop(tenant_id, None)
             self._stale_results.pop(tenant_id, None)
+
+    # ------------------------------------------------------------------
+    # Bounds mirrors and state tokens (degraded path + result cache)
+    # ------------------------------------------------------------------
+    def _make_mirror(
+        self, tenant_id: TenantId, k: int, monitor_kwargs: dict
+    ) -> None:
+        """Build the tenant's parent-side bounds mirror, if enabled."""
+        if not self._degraded_answers:
+            return
+        merged = {**self._monitor_defaults, **monitor_kwargs}
+        self._mirrors[tenant_id] = TopKMonitor(
+            self._pool.checkout_base(), k, **merged
+        )
+
+    def _track_event(self, tenant_id: TenantId, event: UpdateEvent) -> None:
+        """Fold one accepted event into the mirror and the state token.
+
+        Called with the accepted-order already fixed (under
+        ``_token_lock`` on the live path; single-threaded during
+        recovery).  An event the mirror rejects (it validates against
+        its own graph) only disables that mirror — the exact path is
+        untouched, and a half-applied mirror is never served.
+        """
+        mirror = self._mirrors.get(tenant_id)
+        if mirror is not None:
+            try:
+                mirror.apply([event])
+            except ReproError:
+                del self._mirrors[tenant_id]
+        token = self._tokens.get(tenant_id)
+        if token is not None:
+            from repro.persistence.codec import PersistenceError, encode_event
+
+            try:
+                payload = encode_event(event)
+            except (PersistenceError, ReproError, TypeError, ValueError):
+                # Unencodable event: the history can no longer be
+                # fingerprinted, so the tenant leaves the result cache.
+                self._tokens[tenant_id] = None
+            else:
+                self._tokens[tenant_id] = hashlib.sha256(
+                    token.encode("ascii") + payload
+                ).hexdigest()
+
+    def _monitor_key(self, tenant_id: TenantId) -> str | None:
+        """Hashable digest of the tenant's effective monitor parameters."""
+        registered = self._registered.get(tenant_id)
+        if registered is None:
+            return None
+        k, kwargs = registered
+        merged = {**self._monitor_defaults, **kwargs}
+        return repr((int(k), sorted((str(key), repr(value)) for key, value in merged.items())))
+
+    def query_degraded(self, tenant_id: TenantId, *, stale: bool = False):
+        """A *degraded* bounds-only answer from the tenant's mirror.
+
+        Never waits on the tenant's shard: the mirror lives in this
+        process and already holds every accepted event, so the answer
+        costs one Eq-(1) bound evaluation (cached between updates) no
+        matter how deep the shard backlog is.  Flagged
+        ``degraded=True`` (and ``stale=True`` when requested — the
+        recovery path marks replay-lagged answers).  Returns ``None``
+        when the tenant has no usable mirror (mirrors disabled, or the
+        mirror was dropped after an unapplicable event).
+        """
+        self._ensure_open()
+        if not self._pool.has_tenant(tenant_id):
+            raise ReproError(f"unknown tenant {tenant_id!r}")
+        with self._token_lock:
+            mirror = self._mirrors.get(tenant_id)
+            if mirror is None:
+                return None
+            result = mirror.bounds_topk()
+        if stale:
+            result = dataclasses.replace(result, stale=True)
+        return result
+
+    def last_report(self, tenant_id: TenantId) -> RefreshReport | None:
+        """The most recent refresh report observed for *tenant_id*.
+
+        Parent-side cache fed by every resolved flush/query future — the
+        front end's cost model reads it without touching the shard FIFO.
+        ``None`` until the tenant's first flushed batch.
+        """
+        return self._last_reports.get(tenant_id)
 
     # ------------------------------------------------------------------
     # Tenant lifecycle and traffic
@@ -300,6 +430,8 @@ class RiskService:
                 ) from None
         self._pool.register(tenant_id, k, **monitor_kwargs)
         self._registered[tenant_id] = (int(k), dict(monitor_kwargs))
+        self._make_mirror(tenant_id, int(k), dict(monitor_kwargs))
+        self._tokens[tenant_id] = self._fingerprint
         if self._wal is not None:
             self._wal.append_register(tenant_id, int(k), monitor_kwargs)
             self._wal.sync()
@@ -315,7 +447,14 @@ class RiskService:
         self._ensure_open()
         if not self._pool.has_tenant(tenant_id):
             raise ReproError(f"unknown tenant {tenant_id!r}")
-        return self._queue.submit(tenant_id, event)
+        # One critical section covers queue admission, mirror
+        # application and token advancement, so all three agree on the
+        # accepted event order (shed events touch none of them).
+        with self._token_lock:
+            accepted = self._queue.submit(tenant_id, event)
+            if accepted:
+                self._track_event(tenant_id, event)
+        return accepted
 
     def submit_updates(
         self, tenant_id: TenantId, events: Iterable[UpdateEvent]
@@ -376,9 +515,11 @@ class RiskService:
     def _result_after_break(self, tenant_id: TenantId, future: "Future | None"):
         """Resolve one shard future, healing a dead worker if durable."""
         if future is None:
-            return self._pool.last_report(tenant_id).result()
+            return self._observe(
+                tenant_id, self._pool.last_report(tenant_id).result()
+            )
         try:
-            return future.result()
+            return self._observe(tenant_id, future.result())
         except BrokenExecutor:
             if self._wal is None:
                 raise
@@ -389,7 +530,15 @@ class RiskService:
             # the heal's snapshot/replay state includes it) or it never
             # ran (then it was durable and the replay applied it).
             # Either way the monitor is current; serve its last report.
-            return self._pool.last_report(tenant_id).result()
+            return self._observe(
+                tenant_id, self._pool.last_report(tenant_id).result()
+            )
+
+    def _observe(self, tenant_id: TenantId, outcome):
+        """Cache refresh telemetry as it flows back from the shards."""
+        if isinstance(outcome, RefreshReport):
+            self._last_reports[tenant_id] = outcome
+        return outcome
 
     def _heal_shard(self, index: int) -> None:
         """Respawn a dead shard and restore its tenants from durable state."""
@@ -437,7 +586,13 @@ class RiskService:
         While the tenant is still replaying its WAL after a recovery,
         ``allow_stale=True`` returns the last snapshot's answer flagged
         ``stale=True`` immediately instead of waiting for the replay —
-        graceful degradation for latency-bound callers.
+        graceful degradation for latency-bound callers.  A tenant that
+        has *no* snapshot-time answer (registered after the last
+        snapshot, so it recovers from its registration record alone)
+        gets the next-best non-blocking answer instead: the bounds
+        mirror's current ranking, flagged both ``degraded`` and
+        ``stale``.  Only when neither exists does ``allow_stale=True``
+        wait for the replay.
         """
         self._ensure_open()
         replay = self._recovering.get(tenant_id)
@@ -446,6 +601,9 @@ class RiskService:
                 stale = self._stale_results.get(tenant_id)
                 if stale is not None:
                     return dataclasses.replace(stale, stale=True)
+                degraded = self.query_degraded(tenant_id, stale=True)
+                if degraded is not None:
+                    return degraded
             self._result_after_break(tenant_id, replay)
             self._recovering.pop(tenant_id, None)
             self._stale_results.pop(tenant_id, None)
@@ -459,13 +617,45 @@ class RiskService:
                 )
             if events:
                 self._result_after_break(tenant_id, future)
+        # Cross-tenant result cache: tenants with identical parameters
+        # and token-equal accepted histories provably hold bit-identical
+        # answers (monitors are deterministic), so the second one is a
+        # dictionary lookup.  Eligible only when nothing is pending for
+        # the tenant — with ``flush=False`` and a backlog, the exact
+        # answer deliberately lags the token.
+        cache_key = None
+        if self._result_cache_size > 0:
+            with self._token_lock:
+                token = self._tokens.get(tenant_id)
+                pending = self._queue.pending(tenant_id)
+            monitor_key = self._monitor_key(tenant_id)
+            if token is not None and monitor_key is not None and not pending:
+                cache_key = (token, monitor_key)
+                cached = self._result_cache.get(cache_key)
+                if cached is not None:
+                    self.cache_stats["hits"] += 1
+                    self._result_cache.move_to_end(cache_key)
+                    return cached
+                self.cache_stats["misses"] += 1
         try:
-            return self._pool.query(tenant_id).result()
+            result = self._pool.query(tenant_id).result()
         except BrokenExecutor:
             if self._wal is None:
                 raise
             self._heal_shard(self._pool.shard_index(tenant_id))
-            return self._pool.query(tenant_id).result()
+            result = self._pool.query(tenant_id).result()
+        if cache_key is not None:
+            with self._token_lock:
+                unchanged = self._tokens.get(tenant_id) == cache_key[0]
+            # A submit that raced the query would make the token newer
+            # than the answer; only a quiescent tenant populates the
+            # cache.
+            if unchanged:
+                self._result_cache[cache_key] = result
+                self._result_cache.move_to_end(cache_key)
+                while len(self._result_cache) > self._result_cache_size:
+                    self._result_cache.popitem(last=False)
+        return result
 
     # ------------------------------------------------------------------
     # Durable snapshots

@@ -74,6 +74,7 @@ from repro.algorithms.base import DetectionResult
 from repro.algorithms.bsr import assemble_answer
 from repro.bounds.candidates import CandidateReduction, reduce_candidates
 from repro.bounds.incremental import BoundDelta, IncrementalBoundPair
+from repro.bounds.iterative import bound_pair, bounds_only_topk
 from repro.core.errors import GraphError, SamplingError
 from repro.core.graph import NodeLabel, UncertainGraph
 from repro.core.propagation import ragged_positions
@@ -274,6 +275,12 @@ class TopKMonitor:
         # Pending dirt: entity -> probability at the last refresh.
         self._dirty_node_old: dict[int, float] = {}
         self._dirty_edge_old: dict[int, float] = {}
+        # Monotone count of accepted probability mutations — the cache
+        # key for the read-only bounds-only answer (see bounds_topk).
+        self._mutations = 0
+        self._bounds_only_cache: (
+            tuple[tuple[int, tuple[int, int]], DetectionResult] | None
+        ) = None
         # Cached pipeline state (filled by the first refresh).
         self._shape = (graph.num_nodes, graph.num_edges)
         self._bounds: IncrementalBoundPair | None = None
@@ -367,6 +374,7 @@ class TopKMonitor:
         self._graph.set_self_risk(label, value)
         if self._graph.self_risk(label) != old:
             self._dirty_node_old.setdefault(index, old)
+            self._mutations += 1
 
     def set_edge_probability(
         self, src: NodeLabel, dst: NodeLabel, value: float
@@ -377,6 +385,7 @@ class TopKMonitor:
         self._graph.set_edge_probability(src, dst, value)
         if self._graph.edge_probability(src, dst) != old:
             self._dirty_edge_old.setdefault(edge_id, old)
+            self._mutations += 1
 
     def set_all_self_risks(self, values: Sequence[float] | np.ndarray) -> None:
         """Bulk-patch self-risks; only entries that moved become dirty."""
@@ -385,6 +394,7 @@ class TopKMonitor:
         new = self._graph.self_risk_array
         for index in np.flatnonzero(new != old):
             self._dirty_node_old.setdefault(int(index), float(old[index]))
+            self._mutations += 1
 
     def set_all_edge_probabilities(
         self, values: Sequence[float] | np.ndarray
@@ -395,6 +405,7 @@ class TopKMonitor:
         _, _, new = self._graph.edge_array
         for edge in np.flatnonzero(new != old):
             self._dirty_edge_old.setdefault(int(edge), float(old[edge]))
+            self._mutations += 1
 
     def apply(self, events: Iterable[UpdateEvent]) -> int:
         """Apply a batch of update events in order; returns the count.
@@ -441,6 +452,77 @@ class TopKMonitor:
             self.refresh()
         assert self._result is not None
         return self._result
+
+    def bounds_topk(self) -> DetectionResult:
+        """A *degraded*, bounds-only answer — cheap, current, read-only.
+
+        Ranks every node by the Eq-(1) iterates alone
+        (:func:`~repro.bounds.iterative.bounds_only_topk`): no candidate
+        reduction, no sampling, no possible-world repair.  This is what
+        the SLO-enforced front end serves when the caller's latency
+        budget rules out a full refresh.
+
+        Unlike :meth:`top_k`, this method **never mutates** the
+        monitor's pipeline state: the incremental bound iterates, dirty
+        bookkeeping, cached reduction and world state are all left
+        exactly as they were, so the next :meth:`refresh` repairs the
+        same frontier it would have without this call.  When the cached
+        bound pair is warm (no pending updates, topology unchanged) it
+        is reused; otherwise a throwaway :func:`bound_pair` is evaluated
+        over the current graph — always-warm in the sense that its cost
+        is ``O((n + m) · z)``, independent of the pending repair size.
+
+        The answer is flagged ``degraded=True`` and is bounds-consistent
+        by construction: every reported node's upper bound reaches
+        ``details["threshold_lower"]`` (the k-th largest lower bound).
+        Repeated calls between mutations hit a one-slot cache.
+        """
+        graph = self._graph
+        shape = (graph.num_nodes, graph.num_edges)
+        key = (self._mutations, shape)
+        cached = self._bounds_only_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        started = time.perf_counter()
+        warm = (
+            self._bounds is not None
+            and not self._dirty_node_old
+            and not self._dirty_edge_old
+            and shape == self._shape
+        )
+        if warm:
+            lower, upper = self._bounds.pair()
+        else:
+            lower, upper = bound_pair(
+                graph, self._lower_order, self._upper_order
+            )
+        top, threshold = bounds_only_topk(lower, upper, self._k)
+        nodes = [graph.label(int(index)) for index in top]
+        scores = {
+            label: float(lower[index]) for label, index in zip(nodes, top)
+        }
+        result = DetectionResult(
+            method="BOUNDS",
+            k=self._k,
+            nodes=nodes,
+            scores=scores,
+            samples_used=0,
+            candidate_size=graph.num_nodes,
+            k_verified=0,
+            elapsed_seconds=time.perf_counter() - started,
+            details={
+                "lower_order": self._lower_order,
+                "upper_order": self._upper_order,
+                "threshold_lower": float(threshold),
+                "bounds_lower": [float(lower[index]) for index in top],
+                "bounds_upper": [float(upper[index]) for index in top],
+                "bounds_reused": warm,
+                "bounds_only": True,
+            },
+            degraded=True,
+        )
+        self._bounds_only_cache = (key, result)
+        return result
 
     def refresh(self) -> RefreshReport:
         """Fold all pending updates into the cached answer."""

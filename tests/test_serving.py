@@ -9,6 +9,7 @@ and the RiskService façade plus its RiskControlCenter integration.
 from __future__ import annotations
 
 import asyncio
+import time
 
 import numpy as np
 import pytest
@@ -535,3 +536,216 @@ class TestReviewHardening:
         # Distinct entities coalesce only with themselves; every label
         # must surface exactly once with its final value.
         assert {event.label for event in received} == set(range(total))
+
+
+class TestCrossTenantResultCache:
+    """Identical (graph, params, accepted-history) cohorts share answers."""
+
+    def make_service(self, base_graph, tenants):
+        service = RiskService(base_graph, mode="serial")
+        for tenant_id in tenants:
+            service.register_tenant(tenant_id, 4, seed=0, engine="indexed")
+        return service
+
+    def test_cohort_hit_is_bit_identical(self, base_graph):
+        service = self.make_service(base_graph, ["a", "b", "c"])
+        try:
+            first = service.query_topk("a")
+            assert service.cache_stats == {"hits": 0, "misses": 1}
+            second = service.query_topk("b")
+            assert service.cache_stats == {"hits": 1, "misses": 1}
+            # The hit IS the cached object — bit-identity is trivial —
+            # and it matches what the shard would have computed.
+            assert second is first
+            fresh = BoundedSampleReverseDetector(
+                seed=0, engine="indexed"
+            ).detect(base_graph, 4)
+            assert second.same_answer(fresh)
+        finally:
+            service.close()
+
+    def test_update_invalidates_only_the_updated_tenant(self, base_graph):
+        service = self.make_service(base_graph, ["a", "b"])
+        try:
+            baseline = service.query_topk("a")
+            assert service.query_topk("b") is baseline
+            target = baseline.nodes[0]
+            assert service.submit_update(
+                "a", SelfRiskUpdate(target, 0.0)
+            )
+            changed = service.query_topk("a")
+            assert not changed.same_answer(baseline)
+            assert service.cache_stats["misses"] == 2  # "a" re-computed
+            # "b" still serves its original cached answer, bit-identical
+            # to a fresh detection over the *unmodified* graph.
+            untouched = service.query_topk("b")
+            assert untouched is baseline
+            # And once "b" accepts the same event, it rejoins the new
+            # cohort: same token chain, same cached object as "a".
+            assert service.submit_update(
+                "b", SelfRiskUpdate(target, 0.0)
+            )
+            assert service.query_topk("b") is changed
+        finally:
+            service.close()
+
+    def test_different_params_never_share(self, base_graph):
+        service = RiskService(base_graph, mode="serial")
+        try:
+            service.register_tenant("s0", 4, seed=0, engine="indexed")
+            service.register_tenant("s1", 4, seed=1, engine="indexed")
+            service.query_topk("s0")
+            service.query_topk("s1")
+            assert service.cache_stats == {"hits": 0, "misses": 2}
+        finally:
+            service.close()
+
+    def test_cache_disabled(self, base_graph):
+        service = RiskService(base_graph, mode="serial", result_cache_size=0)
+        try:
+            service.register_tenant("a", 4, seed=0)
+            service.register_tenant("b", 4, seed=0)
+            service.query_topk("a")
+            service.query_topk("b")
+            assert service.cache_stats == {"hits": 0, "misses": 0}
+        finally:
+            service.close()
+
+
+class TestForkFallback:
+    def test_fork_unavailable_falls_back_to_thread(
+        self, base_graph, monkeypatch, caplog
+    ):
+        import multiprocessing
+
+        monkeypatch.setattr(
+            multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+        )
+        with caplog.at_level("WARNING", logger="repro.serving.pool"):
+            pool = ServingPool(base_graph, mode="fork")
+        try:
+            assert pool.mode == "thread"
+            assert any(
+                "falling back to 'thread'" in record.message
+                for record in caplog.records
+            )
+            pool.register("t", 3, seed=0)
+            assert pool.query("t").result().k == 3
+        finally:
+            pool.shutdown()
+
+    def test_unknown_mode_still_raises(self, base_graph):
+        with pytest.raises(ReproError):
+            ServingPool(base_graph, mode="bogus")
+
+
+class TestStaleQueryNeverBlocks:
+    """Regression: ``allow_stale=True`` with *no* snapshot answer used
+    to fall through to ``replay.result()`` and block on the WAL replay;
+    it must serve the bounds mirror instead."""
+
+    def test_degraded_answer_instead_of_blocking(self, base_graph):
+        from concurrent.futures import Future
+
+        service = RiskService(base_graph, mode="serial")
+        try:
+            service.register_tenant("t", 4, seed=0)
+            stuck = Future()  # a replay that never finishes
+            service._recovering["t"] = stuck
+            assert "t" not in service._stale_results
+            started = time.perf_counter()
+            result = service.query_topk("t", allow_stale=True)
+            assert time.perf_counter() - started < 5.0
+            assert result.degraded and result.stale
+            assert result.details["bounds_only"]
+            assert len(result.nodes) == 4
+        finally:
+            service._recovering.pop("t", None)
+            service.close()
+
+    def test_snapshot_answer_still_preferred(self, base_graph):
+        from concurrent.futures import Future
+
+        service = RiskService(base_graph, mode="serial")
+        try:
+            service.register_tenant("t", 4, seed=0)
+            exact = service.query_topk("t")
+            service._recovering["t"] = Future()
+            service._stale_results["t"] = exact
+            result = service.query_topk("t", allow_stale=True)
+            assert result.stale and not result.degraded
+            assert result.same_answer(exact)
+        finally:
+            service._recovering.pop("t", None)
+            service._stale_results.pop("t", None)
+            service.close()
+
+
+class TestShedOverflowStress:
+    """``overflow="shed"`` under concurrent submit/drain: delivered and
+    shed events exactly partition the submissions, and each tenant's
+    delivered stream stays FIFO."""
+
+    def test_concurrent_submit_drain_partitions_exactly(self):
+        import threading
+
+        queue = IngestionQueue(max_pending=16, overflow="shed")
+        tenants = [f"t{i}" for i in range(4)]
+        per_tenant = 500
+        accepted: dict[str, list[int]] = {t: [] for t in tenants}
+        delivered: dict[str, list[int]] = {t: [] for t in tenants}
+        stop_draining = threading.Event()
+
+        def submitter(tenant: str) -> None:
+            for seq in range(per_tenant):
+                # Unique label per event => coalescing is the identity,
+                # so everything accepted must surface downstream.
+                event = SelfRiskUpdate(f"{tenant}:{seq}", 0.5)
+                if queue.submit(tenant, event):
+                    accepted[tenant].append(seq)
+
+        def drainer() -> None:
+            while not stop_draining.is_set():
+                for tenant, events in queue.drain().items():
+                    delivered[tenant].extend(
+                        int(event.label.split(":")[1]) for event in events
+                    )
+
+        drain_thread = threading.Thread(target=drainer)
+        submit_threads = [
+            threading.Thread(target=submitter, args=(tenant,))
+            for tenant in tenants
+        ]
+        drain_thread.start()
+        for thread in submit_threads:
+            thread.start()
+        for thread in submit_threads:
+            thread.join()
+        stop_draining.set()
+        drain_thread.join()
+        for tenant, events in queue.drain().items():  # final sweep
+            delivered[tenant].extend(
+                int(event.label.split(":")[1]) for event in events
+            )
+
+        total_submitted = len(tenants) * per_tenant
+        total_accepted = sum(len(seqs) for seqs in accepted.values())
+        total_delivered = sum(len(seqs) for seqs in delivered.values())
+        # Accepted + shed account for every submission...
+        assert total_accepted + queue.stats.shed == total_submitted
+        # ...every accepted event was delivered exactly once...
+        assert total_delivered == total_accepted == queue.stats.submitted
+        for tenant in tenants:
+            assert delivered[tenant] == accepted[tenant]
+            # ...and per-tenant FIFO survived the concurrency.
+            assert delivered[tenant] == sorted(delivered[tenant])
+
+    def test_sheds_occur_under_pressure(self):
+        queue = IngestionQueue(max_pending=4, overflow="shed")
+        outcomes = [
+            queue.submit("t", SelfRiskUpdate(f"n{i}", 0.5))
+            for i in range(10)
+        ]
+        assert outcomes == [True] * 4 + [False] * 6
+        assert queue.stats.shed == 6
+        assert len(queue.drain().get("t", [])) == 4

@@ -797,3 +797,103 @@ class TestCandidateColumnRepair:
             if monitor.last_report.sampling == "resampled":
                 saw_resample = True
         assert saw_resample
+
+
+class TestBoundsOnlyAnswers:
+    """The always-warm Eq-(1) degraded path behind ``bounds_topk()``."""
+
+    def test_flagged_and_bounds_consistent(self):
+        graph = powerlaw_graph(150, seed=33)
+        monitor = TopKMonitor(graph, 5, seed=4)
+        result = monitor.bounds_topk()
+        assert result.degraded
+        assert result.details["bounds_only"]
+        assert result.samples_used == 0
+        assert len(result.nodes) == 5
+        # details carry the bound pair of each returned node, aligned
+        # with ``result.nodes``.
+        lower = np.asarray(result.details["bounds_lower"])
+        upper = np.asarray(result.details["bounds_upper"])
+        assert lower.shape == upper.shape == (5,)
+        assert np.all(lower <= upper + 1e-12)
+        # Every returned node's upper bound clears the k-th lower bound
+        # (the bounds-consistency the degraded contract promises).
+        threshold = result.details["threshold_lower"]
+        assert np.all(upper >= threshold - 1e-12)
+        assert result.scores == dict(zip(result.nodes, lower.tolist()))
+
+    def test_contains_every_certain_winner(self):
+        """Any node whose LOWER bound beats the k-th UPPER bound is in
+        every consistent top-k, so the degraded answer must keep it."""
+        graph = powerlaw_graph(200, seed=34)
+        k = 6
+        monitor = TopKMonitor(graph, k, seed=4)
+        result = monitor.bounds_topk()
+        lower, upper = bound_pair(
+            graph,
+            result.details["lower_order"],
+            result.details["upper_order"],
+        )
+        kth_upper = np.partition(upper, -k)[-k]
+        certain = {
+            graph.label(int(i))
+            for i in np.flatnonzero(lower > kth_upper + 1e-12)
+        }
+        assert certain <= set(result.nodes)
+
+    def test_read_only_and_cached(self):
+        """bounds_topk() never mutates the pipeline: the exact oracle
+        still holds afterwards, and repeat calls hit the one-slot
+        cache until a setter actually changes something."""
+        graph = powerlaw_graph(150, seed=35)
+        monitor = TopKMonitor(graph, 5, seed=6)
+        first = monitor.bounds_topk()
+        assert monitor.bounds_topk() is first  # cached, no recompute
+        exact = monitor.top_k()
+        assert_equivalent(
+            exact,
+            BoundedSampleReverseDetector(seed=6, engine="indexed").detect(
+                graph, 5
+            ),
+        )
+        # top_k() doesn't advance the mutation counter, so the one-slot
+        # cache still serves the cold-path result.
+        assert monitor.bounds_topk() is first
+        # A real change invalidates the cache; with the dirt still
+        # pending the recompute takes the throwaway cold path.
+        node = graph.label(0)
+        monitor.set_self_risk(node, 0.77)
+        cold = monitor.bounds_topk()
+        assert cold is not first and not cold.details["bounds_reused"]
+        # Fold the dirt in, change again, fold again: now the cache key
+        # has moved *and* the pipeline is clean, so the recompute reuses
+        # the incremental Eq-(1) iterates.
+        monitor.top_k()
+        monitor.set_self_risk(node, 0.78)
+        monitor.top_k()
+        warm = monitor.bounds_topk()
+        assert warm.details["bounds_reused"]
+        # A no-op write keeps the cache warm.
+        monitor.set_self_risk(node, 0.78)
+        assert monitor.bounds_topk() is warm
+        # And the exact path is still bit-identical after all of it.
+        assert_equivalent(
+            monitor.top_k(),
+            BoundedSampleReverseDetector(seed=6, engine="indexed").detect(
+                graph, 5
+            ),
+        )
+
+    def test_interleaved_with_event_stream_stays_exact(self):
+        graph = powerlaw_graph(120, seed=36)
+        monitor = TopKMonitor(graph, 4, seed=9)
+        for event in random_patch_stream(graph, 10, seed=3, drift=0.1):
+            monitor.apply([event])
+            degraded = monitor.bounds_topk()
+            assert degraded.degraded and len(degraded.nodes) == 4
+            assert_equivalent(
+                monitor.top_k(),
+                BoundedSampleReverseDetector(
+                    seed=9, engine="indexed"
+                ).detect(graph, 4),
+            )
