@@ -25,7 +25,13 @@ from repro.core.eq1 import apply_eq1
 from repro.core.errors import SamplingError
 from repro.core.graph import UncertainGraph
 
-__all__ = ["lower_bounds", "upper_bounds", "bound_pair", "bounds_only_topk"]
+__all__ = [
+    "lower_bounds",
+    "upper_bounds",
+    "bound_pair",
+    "bounds_only_topk",
+    "certified_topk_mask",
+]
 
 
 def _validate_order(order: int) -> int:
@@ -131,3 +137,48 @@ def bounds_only_topk(
     )
     top = order[:k]
     return top, float(lower[top[-1]])
+
+
+def certified_topk_mask(
+    lower: np.ndarray, upper: np.ndarray, k: int
+) -> np.ndarray:
+    """Nodes *provably* in the exact top-k, from the bounds alone.
+
+    Since ``lower(v) <= p(v) <= upper(v)``, node ``v`` is certainly a
+    member of the true top-k whenever fewer than ``k`` **other** nodes
+    could even reach its floor::
+
+        #{ u != v : upper(u) >= lower(v) } < k
+
+    Every node outside that set has ``p(u) <= upper(u) < lower(v) <=
+    p(v)`` and so ranks strictly below ``v``; with at most ``k - 1``
+    possible ties-or-betters, ``v`` makes the top-k under any
+    tie-break.  The comparison is ``>=`` (a node whose ceiling exactly
+    equals the floor counts as a threat), so the certificate is
+    conservative and sound even on exactly-tied bounds.
+
+    This is what lets a *degraded* bounds-only answer carry exact
+    partial information: certified nodes are final winners even while
+    the sampling pipeline is mid-repair.
+
+    Returns a boolean mask over all nodes.  Vectorised: one sort plus
+    one :func:`numpy.searchsorted`, ``O(n log n)``.
+    """
+    lower = np.asarray(lower, dtype=np.float64)
+    upper = np.asarray(upper, dtype=np.float64)
+    if lower.shape != upper.shape or lower.ndim != 1:
+        raise SamplingError(
+            f"bound vectors must be equal-length 1-D arrays, got "
+            f"{lower.shape} and {upper.shape}"
+        )
+    k = int(k)
+    if not 1 <= k <= lower.size:
+        raise SamplingError(
+            f"k must be in [1, {lower.size}], got {k}"
+        )
+    sorted_upper = np.sort(upper)
+    reach_floor = lower.size - np.searchsorted(
+        sorted_upper, lower, side="left"
+    )
+    others = reach_floor - (upper >= lower)  # exclude the node itself
+    return others < k

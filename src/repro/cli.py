@@ -9,6 +9,12 @@ Usage::
     repro-detect stream --dataset guarantee --k 10 --events 25 --verify
     repro-detect stream --panel --k-percent 2 --json
 
+    repro-detect query --list-families
+    repro-detect query --dataset guarantee --family kcore --params '{"k": 3}'
+    repro-detect query --graph loans.json --family reliability \
+        --params '{"pairs": [[0, 7]]}' --worlds 8192 --json
+    repro-detect query --dataset guarantee --scale 0.01 --family skyline --exact
+
     repro-detect serve --dataset guarantee --tenants 8 --k 10 --events 20
     repro-detect serve --dataset wiki --tenants 32 --k-percent 1 --verify
     repro-detect serve --dataset guarantee --k 10 --wal-dir state/ \
@@ -19,6 +25,13 @@ Usage::
 The default (no subcommand) form reads a graph (JSON or text edge list,
 or a named synthetic dataset), runs one detection method, and prints the
 ranked answer — as a table or as JSON for scripting.
+
+The ``query`` subcommand runs any registered query family
+(:mod:`repro.queries`) — top-k, k-core membership probability,
+pairwise/cluster reliability, risk-profile skylines — over **one shared
+set** of sampled possible worlds (``--worlds``), or exhaustively with
+``--exact`` on small graphs.  ``--list-families`` enumerates what is
+registered.
 
 The ``stream`` subcommand drives a :class:`~repro.streaming.monitor.
 TopKMonitor` over an update stream — random single-entity monitoring
@@ -59,9 +72,11 @@ __all__ = [
     "build_parser",
     "build_stream_parser",
     "build_serve_parser",
+    "build_query_parser",
     "main",
     "stream_main",
     "serve_main",
+    "query_main",
 ]
 
 
@@ -336,6 +351,140 @@ def build_serve_parser() -> argparse.ArgumentParser:
         ),
     )
     return parser
+
+
+def build_query_parser() -> argparse.ArgumentParser:
+    """Argument parser of the ``query`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-detect query",
+        description=(
+            "Run a registered query family over one shared set of "
+            "sampled (or, with --exact, exhaustively enumerated) "
+            "possible worlds."
+        ),
+    )
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument("--graph", help="path to a graph file")
+    source.add_argument(
+        "--dataset",
+        choices=available_datasets(),
+        help="generate a named synthetic dataset",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("json", "edgelist"),
+        default="json",
+        help="graph file format (default: json)",
+    )
+    parser.add_argument("--scale", type=float, default=None,
+                        help="dataset scale (synthetic datasets only)")
+    parser.add_argument(
+        "--family",
+        default="topk",
+        help="registered query family to run (default: topk; "
+             "see --list-families)",
+    )
+    parser.add_argument(
+        "--params",
+        default=None,
+        metavar="JSON",
+        help="family parameters as a JSON object, e.g. '{\"k\": 5}'",
+    )
+    parser.add_argument(
+        "--worlds",
+        type=int,
+        default=4096,
+        help="sampled worlds shared by every family (default: 4096)",
+    )
+    parser.add_argument(
+        "--exact",
+        action="store_true",
+        help="enumerate every possible world instead of sampling "
+             "(small graphs only)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--list-families",
+        action="store_true",
+        help="print the registered family names and exit",
+    )
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the result as JSON instead of a table")
+    return parser
+
+
+def query_main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``query`` subcommand."""
+    import numpy as np
+
+    from repro.queries import (
+        QueryEngine,
+        available_families,
+        get_query_family,
+    )
+    from repro.sampling.worldstate import WorldView
+
+    args = build_query_parser().parse_args(argv)
+    if args.list_families:
+        for name in available_families():
+            print(name)
+        return 0
+    try:
+        if args.graph is None and args.dataset is None:
+            raise ReproError(
+                "one of --graph / --dataset is required "
+                "(or --list-families)"
+            )
+        graph = _load_graph(args)
+        params: dict = {}
+        if args.params:
+            try:
+                params = json.loads(args.params)
+            except ValueError as error:
+                raise ReproError(f"--params is not valid JSON: {error}")
+            if not isinstance(params, dict):
+                raise ReproError(
+                    f"--params must be a JSON object, got {args.params!r}"
+                )
+        if args.exact:
+            result = get_query_family(args.family).exact(graph, **params)
+        else:
+            if args.worlds < 1:
+                raise ReproError(
+                    f"--worlds must be >= 1, got {args.worlds}"
+                )
+            view = WorldView(
+                graph,
+                np.arange(args.worlds, dtype=np.int64),
+                seed=args.seed,
+            )
+            result = QueryEngine(view).run(args.family, **params)
+    except (ReproError, OSError, TypeError) as error:
+        # TypeError covers params that the family's signature rejects
+        # (e.g. {"kk": 3}) — a user input problem, not a crash.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.as_json:
+        print(json.dumps(result.to_dict(), indent=1))
+        return 0
+    title = (
+        f"{result.family} ({result.method}) over {result.worlds_used} "
+        f"worlds of {graph.num_nodes} nodes "
+        f"({result.elapsed_seconds:.3f}s)"
+    )
+    rows = [
+        {"node": int(node), "value": round(float(value), 6)}
+        for node, value in zip(result.nodes, result.values)
+    ]
+    if rows:
+        print(render_table(rows, title=title))
+    else:
+        print(title)
+    if not rows and result.details:
+        # Families without per-node answers (reliability) report
+        # through details.
+        print(json.dumps(result.details, indent=1))
+    return 0
 
 
 def _load_graph(args: argparse.Namespace) -> UncertainGraph:
@@ -744,6 +893,8 @@ def main(argv: list[str] | None = None) -> int:
         return stream_main(argv[1:])
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
+    if argv and argv[0] == "query":
+        return query_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

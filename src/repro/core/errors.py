@@ -19,6 +19,7 @@ __all__ = [
     "ExperimentError",
     "BackpressureError",
     "FrontendError",
+    "QueryError",
 ]
 
 
@@ -71,3 +72,7 @@ class BackpressureError(ReproError):
 
 class FrontendError(ReproError):
     """Raised for network front-end failures (protocol, auth, admission)."""
+
+
+class QueryError(ReproError):
+    """Raised when a world-query family is unknown or misconfigured."""

@@ -31,7 +31,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Hashable
+from typing import Callable, Hashable, Mapping
 
 from repro.streaming.monitor import RefreshReport
 
@@ -152,6 +152,41 @@ class EwmaCostModel:
                 "base_seconds": self._base,
                 "per_world_seconds": self._per_world,
                 "tenants_tracked": len(self._expected_worlds),
+            }
+
+    def state_dict(self) -> dict:
+        """Full JSON-serialisable model state, for durable snapshots.
+
+        Tenant keys are coerced through ``str`` so the state survives a
+        JSON round-trip; the front end's tenant ids are strings already.
+        """
+        with self._lock:
+            return {
+                "alpha": self._alpha,
+                "base_seconds": self._base,
+                "per_world_seconds": self._per_world,
+                "expected_worlds": {
+                    str(tenant): float(value)
+                    for tenant, value in self._expected_worlds.items()
+                },
+            }
+
+    def load_state_dict(self, state: Mapping) -> None:
+        """Restore :meth:`state_dict` output (missing keys reset cold).
+
+        A restart therefore predicts from the dead process's learned
+        costs immediately instead of re-warming from ``None`` — the
+        first post-recovery queries get real admission decisions.
+        """
+        base = state.get("base_seconds")
+        per_world = state.get("per_world_seconds")
+        worlds = dict(state.get("expected_worlds") or {})
+        with self._lock:
+            self._base = None if base is None else float(base)
+            self._per_world = None if per_world is None else float(per_world)
+            self._expected_worlds = {
+                str(tenant): float(value)
+                for tenant, value in worlds.items()
             }
 
 

@@ -220,11 +220,24 @@ class FrontendClient:
         tenant: TenantId | None = None,
         budget_ms: float | None = None,
         allow_degraded: bool = True,
+        family: str | None = None,
+        params: Mapping | None = None,
     ) -> ClientResponse:
+        """Query the tenant's current answer.
+
+        With *family* set (``"kcore"``, ``"reliability"``, ``"skyline"``,
+        …) the request routes to that registered query family over the
+        tenant's shared repaired worlds; *params* carries its keyword
+        arguments.  Default is the top-k path.
+        """
         payload: dict = {
             "tenant": self._resolve(tenant),
             "allow_degraded": allow_degraded,
         }
         if budget_ms is not None:
             payload["budget_ms"] = float(budget_ms)
+        if family is not None:
+            payload["family"] = str(family)
+            if params:
+                payload["params"] = dict(params)
         return self.request("POST", "/v1/query", payload)

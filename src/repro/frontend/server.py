@@ -61,6 +61,7 @@ from repro.frontend.protocol import (
     write_response,
 )
 from repro.io.jsonio import result_to_dict
+from repro.queries.base import QueryResult
 from repro.serving.service import RiskService
 from repro.streaming.monitor import RefreshReport
 
@@ -140,6 +141,18 @@ class FrontendServer:
             queue_depth_limit=queue_depth_limit,
         )
         self.cost_model = EwmaCostModel()
+        # Durable services carry the admission model across restarts:
+        # restore whatever the recovered snapshot held, then hand the
+        # model to the service as a snapshot-extras provider so every
+        # future snapshot persists the freshest EWMAs.  A cold restart
+        # therefore predicts from the previous process's learned costs
+        # instead of admitting blind until the model re-warms.
+        recovered = service.recovered_extras.get("ewma_cost_model")
+        if recovered:
+            self.cost_model.load_state_dict(recovered)
+        service.register_extras_provider(
+            "ewma_cost_model", self.cost_model.state_dict
+        )
         # Full queries block on shard futures; give them their own
         # threads, capped at the admission in-flight limit so the
         # executor can never queue beyond what admission admitted.
@@ -385,14 +398,25 @@ class FrontendServer:
         if budget <= 0:
             raise FrontendError(f"budget_ms must be > 0, got {budget_ms!r}")
         allow_degraded = bool(body.get("allow_degraded", True))
+        family = body.get("family")
+        if family is not None and not isinstance(family, str):
+            raise FrontendError(f"family must be a string, got {family!r}")
+        params = body.get("params", {})
+        if not isinstance(params, dict):
+            raise FrontendError("params must be a JSON object")
+        if params and family is None:
+            raise FrontendError("params requires a family")
         loop = asyncio.get_event_loop()
 
         # 1. Pre-emptive degradation: the model predicts the full path
         #    cannot finish inside the budget — do not even enter the
-        #    queue, answer from the always-warm bounds.
+        #    queue, answer from the always-warm bounds.  Only the top-k
+        #    path has a bounds-only twin; family queries always attempt
+        #    the shared-world computation.
         predicted = self.cost_model.predict(tenant)
         if (
-            allow_degraded
+            family is None
+            and allow_degraded
             and predicted is not None
             and predicted > self._margin * budget
         ):
@@ -419,7 +443,7 @@ class FrontendServer:
         #    request is answered degraded immediately.
         future = asyncio.ensure_future(
             loop.run_in_executor(
-                self._query_executor, self._full_query, tenant
+                self._query_executor, self._full_query, tenant, family, params
             )
         )
         remaining = self._margin * budget - (time.perf_counter() - started)
@@ -428,7 +452,7 @@ class FrontendServer:
                 asyncio.shield(future), max(0.001, remaining)
             )
         except asyncio.TimeoutError:
-            if allow_degraded:
+            if allow_degraded and family is None:
                 degraded = await self._degraded_answer(loop, tenant)
                 if degraded is not None:
                     self.stats.bump("degraded")
@@ -447,11 +471,27 @@ class FrontendServer:
     # ------------------------------------------------------------------
     # Query internals
     # ------------------------------------------------------------------
-    def _full_query(self, tenant: TenantId):
-        """Blocking full query (executor thread); trains the cost model."""
+    def _full_query(
+        self,
+        tenant: TenantId,
+        family: str | None = None,
+        params: Mapping | None = None,
+    ):
+        """Blocking full query (executor thread); trains the cost model.
+
+        With *family* set, routes to the service's shared-world family
+        path (:meth:`RiskService.query_family`) instead of the top-k
+        default; both paths train the same EWMA cost model, since both
+        pay the same per-tenant flush-and-repair cost before answering.
+        """
         started = time.perf_counter()
         try:
-            result = self._service.query_topk(tenant)
+            if family is None:
+                result = self._service.query_topk(tenant)
+            else:
+                result = self._service.query_family(
+                    tenant, family, params=dict(params or {})
+                )
         finally:
             self.admission.release_slot()
         elapsed = time.perf_counter() - started
@@ -486,11 +526,21 @@ class FrontendServer:
         self, result, started: float, *, degraded_reason: str | None = None
     ) -> tuple[int, object, dict]:
         elapsed_ms = (time.perf_counter() - started) * 1000.0
-        payload = {
-            "result": result_to_dict(result),
-            "degraded": bool(result.degraded),
-            "stale": bool(result.stale),
-        }
+        if isinstance(result, QueryResult):
+            # Family answers are never degraded/stale: the family path
+            # has no bounds-only twin, so reaching here means the full
+            # shared-world computation ran.
+            payload = {
+                "result": result.to_dict(),
+                "degraded": False,
+                "stale": False,
+            }
+        else:
+            payload = {
+                "result": result_to_dict(result),
+                "degraded": bool(result.degraded),
+                "stale": bool(result.stale),
+            }
         if degraded_reason is not None:
             payload["degraded_reason"] = degraded_reason
         return 200, payload, {"X-Elapsed-Ms": f"{elapsed_ms:.3f}"}

@@ -88,6 +88,10 @@ class Snapshot:
     wal_seq: int
     base_fingerprint: str | None
     tenants: dict[TenantId, TenantSnapshot]
+    #: JSON-serialisable sidecar state (e.g. the front end's admission
+    #: cost model), keyed by provider name.  Empty for snapshots written
+    #: by older builds — readers must tolerate its absence.
+    extras: dict = None  # type: ignore[assignment]
 
 
 class SnapshotStore:
@@ -156,6 +160,9 @@ class SnapshotStore:
             wal_seq=int(manifest["wal_seq"]),
             base_fingerprint=manifest.get("base_fingerprint"),
             tenants=tenants,
+            # Tolerant read: manifests from before the extras field
+            # simply have none.
+            extras=dict(manifest.get("extras") or {}),
         )
 
     # ------------------------------------------------------------------
@@ -165,6 +172,7 @@ class SnapshotStore:
         *,
         wal_seq: int,
         base_fingerprint: str | None = None,
+        extras: dict | None = None,
     ) -> Snapshot:
         """Publish one snapshot atomically and rotate old ones out.
 
@@ -176,6 +184,10 @@ class SnapshotStore:
         wal_seq:
             Global WAL position the snapshot cycle observed; recovery
             treats batches at or below ``min`` tenant watermark as dead.
+        extras:
+            Optional JSON-serialisable sidecar state stored inline in
+            the manifest (must stay small — it is read on every
+            :meth:`latest`).
         """
         dirs = self._snapshot_dirs()
         index = (int(dirs[-1].name[len(_SNAP_PREFIX):]) + 1) if dirs else 1
@@ -208,6 +220,14 @@ class SnapshotStore:
             "base_fingerprint": base_fingerprint,
             "tenants": rows,
         }
+        if extras:
+            try:
+                json.dumps(extras)
+            except (TypeError, ValueError) as error:
+                raise PersistenceError(
+                    f"snapshot extras must be JSON-serialisable: {error}"
+                ) from None
+            manifest["extras"] = extras
         (tmp / _MANIFEST).write_text(
             json.dumps(manifest, indent=1), encoding="utf-8"
         )

@@ -1,0 +1,46 @@
+"""Pluggable query families over shared possible-world state.
+
+Importing this package registers the built-in families:
+
+* ``topk`` — the paper's top-k vulnerable nodes, as a family;
+* ``kcore`` — per-node k-core membership probability;
+* ``reliability`` — pairwise / cluster connectivity probability;
+* ``skyline`` — Pareto-optimal (self-risk, contagion-risk, degree)
+  profiles.
+
+See :mod:`repro.queries.base` for the protocol and registry, and
+:mod:`repro.queries.engine` for the memoising dispatcher the streaming
+monitor embeds.
+"""
+
+from __future__ import annotations
+
+from repro.queries.base import (
+    QueryResult,
+    WorldQuery,
+    available_families,
+    enumerated_world_count,
+    get_query_family,
+    param_key,
+    register_query_family,
+)
+from repro.queries.engine import QueryEngine
+from repro.queries.kcore import KCoreQuery
+from repro.queries.reliability import ReliabilityQuery
+from repro.queries.skyline import SkylineQuery
+from repro.queries.topk import TopKQuery
+
+__all__ = [
+    "QueryResult",
+    "WorldQuery",
+    "QueryEngine",
+    "available_families",
+    "enumerated_world_count",
+    "get_query_family",
+    "param_key",
+    "register_query_family",
+    "TopKQuery",
+    "KCoreQuery",
+    "ReliabilityQuery",
+    "SkylineQuery",
+]

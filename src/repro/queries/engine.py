@@ -1,0 +1,54 @@
+"""Dispatch + memoisation of query families over one shared view.
+
+A :class:`QueryEngine` binds a read-only
+:class:`~repro.sampling.worldstate.WorldView` and answers any
+registered family against it, memoising per ``(family, params)``.  Two
+levels of sharing happen here:
+
+* across *calls*: repeating a query is a dictionary hit;
+* across *families*: distinct families reuse each other's derived
+  per-world products (defaults, component labels, …) through the view's
+  own cache — e.g. ``topk`` and ``skyline`` both ride one propagation
+  fixpoint, and every reliability query rides one component labelling.
+
+The monitor keeps one engine per (mutation-state, shape) and retires it
+wholesale when the underlying worlds change — dirty propagation is by
+construction, not by per-entry invalidation.
+"""
+
+from __future__ import annotations
+
+from repro.queries.base import QueryResult, get_query_family, param_key
+from repro.sampling.worldstate import WorldView
+
+__all__ = ["QueryEngine"]
+
+
+class QueryEngine:
+    """Run registered query families against one fixed world set."""
+
+    __slots__ = ("_view", "_results", "hits", "misses")
+
+    def __init__(self, view: WorldView) -> None:
+        self._view = view
+        self._results: dict[tuple[str, str], QueryResult] = {}
+        #: Memo telemetry (observability + the amortisation benchmark).
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def view(self) -> WorldView:
+        """The shared world view every family executes against."""
+        return self._view
+
+    def run(self, family: str, **params) -> QueryResult:
+        """Estimate *family* over the shared worlds (memoised)."""
+        key = (str(family), param_key(params))
+        cached = self._results.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        result = get_query_family(family).estimate(self._view, **params)
+        self._results[key] = result
+        self.misses += 1
+        return result

@@ -1,0 +1,149 @@
+"""Family ``"skyline"``: Pareto-optimal risk profiles (DySky-flavoured).
+
+The dynamic-skyline direction from PAPERS.md: rank no single score, but
+report every node whose risk profile is **not dominated** — no other
+node is at least as risky on all dimensions and strictly riskier on
+one.  The three dimensions, all "larger is riskier":
+
+* ``self_risk`` — the node's own default probability ``ps(v)`` (an
+  input, identical for estimate and oracle);
+* ``contagion_risk`` — ``P[v defaults through contagion]``, i.e. it
+  defaults in a world without self-defaulting there.  This is the
+  probabilistic dimension: estimated from the shared view worlds,
+  enumerated exactly by the oracle;
+* ``degree`` — total (in + out) structural degree, the node's blast
+  surface.
+
+The skyline is the set a risk officer actually triages: every node that
+is the unique best trade-off somewhere in (self, contagion, exposure)
+space.  Estimate and oracle share the dominance kernel; they differ
+only in where the contagion column comes from.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+import numpy as np
+
+from repro.core.graph import UncertainGraph
+from repro.core.propagation import propagate_defaults_block
+from repro.core.worlds import (
+    DEFAULT_BLOCK_WORLDS,
+    DEFAULT_MAX_CHOICES,
+    enumerate_world_blocks,
+)
+from repro.queries.base import (
+    QueryResult,
+    enumerated_world_count,
+    register_query_family,
+)
+from repro.sampling.worldstate import WorldView
+
+__all__ = ["SkylineQuery", "skyline_mask"]
+
+#: Pairwise comparison cells evaluated per chunk (bounds the transient
+#: ``(n, chunk, 3)`` boolean buffers of the dominance test).
+_DOMINANCE_BUDGET = 1 << 24
+
+_DIMENSIONS = ("self_risk", "contagion_risk", "degree")
+
+
+def skyline_mask(coordinates: np.ndarray) -> np.ndarray:
+    """Boolean mask of the non-dominated rows (maximising every column).
+
+    Row ``u`` dominates row ``v`` when ``u >= v`` on every column and
+    ``u > v`` on at least one; the skyline is every row no other row
+    dominates.  Equal rows dominate nobody, so duplicated profiles all
+    stay on the skyline (deterministic, order-independent).
+    """
+    coordinates = np.asarray(coordinates, dtype=np.float64)
+    n, dims = coordinates.shape
+    keep = np.ones(n, dtype=bool)
+    if n == 0:
+        return keep
+    chunk = max(1, _DOMINANCE_BUDGET // max(n * dims, 1))
+    for start in range(0, n, chunk):
+        stop = min(start + chunk, n)
+        block = coordinates[start:stop]
+        ge = (coordinates[:, None, :] >= block[None, :, :]).all(axis=2)
+        gt = (coordinates[:, None, :] > block[None, :, :]).any(axis=2)
+        keep[start:stop] = ~(ge & gt).any(axis=0)
+    return keep
+
+
+def _degrees(graph: UncertainGraph) -> np.ndarray:
+    return (
+        graph.in_csr().degrees + graph.out_csr().degrees
+    ).astype(np.float64)
+
+
+class SkylineQuery:
+    """Non-dominated nodes over (self-risk, contagion-risk, degree)."""
+
+    name = "skyline"
+
+    def _result(
+        self,
+        graph: UncertainGraph,
+        contagion_risk: np.ndarray,
+        worlds_used: int,
+        method: str,
+        started: float,
+    ) -> QueryResult:
+        coordinates = np.stack(
+            (graph.self_risk_array, contagion_risk, _degrees(graph)),
+            axis=1,
+        )
+        nodes = np.flatnonzero(skyline_mask(coordinates)).astype(np.int64)
+        return QueryResult(
+            family=self.name,
+            params={},
+            nodes=nodes,
+            values=contagion_risk[nodes].copy(),
+            worlds_used=worlds_used,
+            method=method,
+            elapsed_seconds=perf_counter() - started,
+            details={
+                "dimensions": list(_DIMENSIONS),
+                "coordinates": [
+                    [float(c) for c in coordinates[v]] for v in nodes
+                ],
+            },
+        )
+
+    def estimate(self, view: WorldView) -> QueryResult:
+        started = perf_counter()
+        contagion_risk = view.cached(
+            ("skyline", "contagion_risk"),
+            lambda: view.contagion().mean(axis=0),
+        )
+        return self._result(
+            view.graph, contagion_risk, view.num_worlds, "estimate", started
+        )
+
+    def exact(
+        self,
+        graph: UncertainGraph,
+        *,
+        max_choices: int = DEFAULT_MAX_CHOICES,
+        block_worlds: int = DEFAULT_BLOCK_WORLDS,
+    ) -> QueryResult:
+        started = perf_counter()
+        contagion_risk = np.zeros(graph.num_nodes, dtype=np.float64)
+        for block in enumerate_world_blocks(
+            graph, max_choices=max_choices, block_worlds=block_worlds
+        ):
+            defaulted = propagate_defaults_block(
+                graph, block.self_default, block.edge_survives
+            )
+            contagion = defaulted & ~block.self_default
+            contagion_risk += block.masses @ contagion
+        np.clip(contagion_risk, 0.0, 1.0, out=contagion_risk)
+        return self._result(
+            graph, contagion_risk, enumerated_world_count(graph),
+            "exact", started,
+        )
+
+
+register_query_family(SkylineQuery(), replace=True)

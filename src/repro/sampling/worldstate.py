@@ -40,9 +40,18 @@ built from:
 
 from __future__ import annotations
 
+from typing import Callable, Hashable, Sequence, TypeVar
+
 import numpy as np
 
 from repro.core.errors import SamplingError
+from repro.core.graph import UncertainGraph
+from repro.core.propagation import propagate_defaults_block
+from repro.sampling.rng import (
+    SeedLike,
+    derive_stream_key,
+    hashed_mantissas_inplace,
+)
 
 __all__ = [
     "pack_bool_rows",
@@ -50,7 +59,10 @@ __all__ = [
     "popcount",
     "DenseWorldState",
     "PackedWorldState",
+    "WorldView",
 ]
+
+_T = TypeVar("_T")
 
 #: Explicit little-endian word dtype so byte views agree on every platform.
 _WORD = np.dtype("<u8")
@@ -524,3 +536,222 @@ class PackedWorldState:
             _, first = np.unique(combined, return_index=True)
             rows, positions = rows[first], positions[first]
         return rows, positions
+
+
+#: Probabilities lifted to the 53-bit mantissa lattice of the counter PRF
+#: (see :mod:`repro.sampling.indexed`): ``u <= p`` iff the raw mantissa is
+#: ``<= floor(p * 2^53)`` — an exact integer comparison.
+_TWO_53 = 2.0**53
+#: Counter values materialised at once while realising a view (bounds the
+#: transient ``uint64`` buffers, not the boolean result matrices).
+_REALISE_BUDGET = 1 << 22
+
+
+class WorldView:
+    """Read-only realised view of a fixed set of counter-PRF worlds.
+
+    The query-engine surface over shared world state: given the graph, a
+    vector of world indices and the 64-bit stream key, every per-world
+    realisation is a pure hash — node ``v`` of world ``w`` draws at
+    counter ``w * (n + m) + v``, edge ``e`` at ``w * (n + m) + n + e`` —
+    so this view reproduces, **bit-identically**, the outcomes the
+    reverse-sampling engines computed for the same worlds.  In
+    particular, for a :class:`~repro.streaming.monitor.TopKMonitor`'s
+    cached world set, ``view.defaulted()[:, candidates]`` equals the
+    monitor's repaired outcome matrix exactly — which is what lets many
+    query families share one repaired world set instead of each paying
+    for fresh sampling.
+
+    Everything is **lazy and cached**: the realisation matrices, the
+    propagated default matrix, and any family-specific derived product
+    registered through :meth:`cached`.  The view never mutates the graph
+    and never draws new randomness; it is safe to hand to any number of
+    estimators.
+
+    Memory: realising all worlds costs ``O(W * (n + m))`` booleans, so
+    views are meant for the sample counts the monitor keeps (thousands),
+    not for exhaustive enumeration.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph the worlds realise.
+    world_ids:
+        The world indices to materialise (any order, repeats allowed).
+    stream_key:
+        The sampler's 64-bit PRF key (``IndexedReverseSampler
+        .stream_key``).  Exactly one of *stream_key* / *seed* semantics:
+        when *stream_key* is given it is used verbatim; otherwise a key
+        is derived from *seed* exactly as the samplers derive theirs.
+    seed:
+        Seed to derive a stream key from when *stream_key* is ``None``.
+    """
+
+    __slots__ = (
+        "_graph",
+        "_world_ids",
+        "_key",
+        "_n",
+        "_m",
+        "_self_default",
+        "_edge_survives",
+        "_cache",
+    )
+
+    def __init__(
+        self,
+        graph: UncertainGraph,
+        world_ids: Sequence[int] | np.ndarray,
+        *,
+        stream_key: np.uint64 | int | None = None,
+        seed: SeedLike = None,
+    ) -> None:
+        self._graph = graph
+        world_ids = np.asarray(world_ids, dtype=np.int64)
+        if world_ids.ndim != 1 or world_ids.size == 0:
+            raise SamplingError("world_ids must be a non-empty 1-d array")
+        if world_ids.min() < 0:
+            raise SamplingError("world indices must be non-negative")
+        self._world_ids = world_ids.copy()
+        self._world_ids.setflags(write=False)
+        if stream_key is not None:
+            self._key = np.uint64(stream_key)
+        else:
+            self._key = derive_stream_key(seed)
+        self._n = graph.num_nodes
+        self._m = graph.num_edges
+        self._self_default: np.ndarray | None = None
+        self._edge_survives: np.ndarray | None = None
+        self._cache: dict[Hashable, object] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> UncertainGraph:
+        """The graph the worlds realise."""
+        return self._graph
+
+    @property
+    def world_ids(self) -> np.ndarray:
+        """The realised world indices (read-only)."""
+        return self._world_ids
+
+    @property
+    def num_worlds(self) -> int:
+        """Number of realised worlds (rows of every matrix)."""
+        return int(self._world_ids.size)
+
+    @property
+    def num_nodes(self) -> int:
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        return self._m
+
+    @property
+    def stream_key(self) -> np.uint64:
+        """The 64-bit PRF key every realisation hashes from."""
+        return self._key
+
+    # ------------------------------------------------------------------
+    def _realise(self) -> None:
+        """Materialise the ``(W, n)`` / ``(W, m)`` realisation matrices.
+
+        The integer-lattice comparison is the one the indexed sampler's
+        exploration uses (``draw <= floor(p * 2^53)`` on ``uint64``), so
+        per-entity realisations agree bit for bit with any engine keyed
+        the same way.
+        """
+        if self._self_default is not None:
+            return
+        graph = self._graph
+        n, m = self._n, self._m
+        ps = graph.self_risk_array
+        _, _, pe = graph.edge_array
+        node_thresholds = np.floor(ps * _TWO_53).astype(np.uint64)
+        edge_thresholds = np.floor(pe * _TWO_53).astype(np.uint64)
+        stride = np.uint64(n + m)
+        worlds = self.num_worlds
+        self_default = np.empty((worlds, n), dtype=bool)
+        edge_survives = np.empty((worlds, m), dtype=bool)
+        node_ids = np.arange(n, dtype=np.uint64)
+        edge_ids = np.arange(m, dtype=np.uint64) + np.uint64(n)
+        chunk = max(1, _REALISE_BUDGET // max(n + m, 1))
+        key = self._key
+        for start in range(0, worlds, chunk):
+            stop = min(start + chunk, worlds)
+            base = self._world_ids[start:stop].astype(np.uint64) * stride
+            if n:
+                counters = (base[:, None] + node_ids[None, :]).ravel()
+                draws = hashed_mantissas_inplace(key, counters)
+                self_default[start:stop] = (
+                    draws.reshape(stop - start, n)
+                    <= node_thresholds[None, :]
+                )
+            if m:
+                counters = (base[:, None] + edge_ids[None, :]).ravel()
+                draws = hashed_mantissas_inplace(key, counters)
+                edge_survives[start:stop] = (
+                    draws.reshape(stop - start, m)
+                    <= edge_thresholds[None, :]
+                )
+        self._self_default = self_default
+        self._edge_survives = edge_survives
+
+    def self_default(self) -> np.ndarray:
+        """Boolean ``(W, n)``: which nodes self-default in each world."""
+        self._realise()
+        return self._self_default
+
+    def edge_survives(self) -> np.ndarray:
+        """Boolean ``(W, m)``: which edges survive in each world."""
+        self._realise()
+        return self._edge_survives
+
+    def defaulted(self) -> np.ndarray:
+        """Boolean ``(W, n)``: which nodes default (self or contagion).
+
+        Bit-identical to the reverse samplers' per-world outcomes for
+        the same worlds and key (the contagion fixpoint is the shared
+        :func:`~repro.core.propagation.propagate_defaults_block`).
+        """
+        return self.cached(
+            ("defaulted",),
+            lambda: propagate_defaults_block(
+                self._graph, self.self_default(), self.edge_survives()
+            ),
+        )
+
+    def contagion(self) -> np.ndarray:
+        """Boolean ``(W, n)``: defaulted through contagion, not self."""
+        return self.cached(
+            ("contagion",),
+            lambda: self.defaulted() & ~self.self_default(),
+        )
+
+    # ------------------------------------------------------------------
+    def cached(self, key: Hashable, compute: Callable[[], _T]) -> _T:
+        """Memoise a derived per-world product on this view.
+
+        Query families use this to share expensive intermediates (the
+        propagated default matrix, per-world component labels, …) across
+        families and repeated calls — the amortisation the query layer
+        exists for.  The *key* namespace is cooperative; families prefix
+        with their own name.
+        """
+        try:
+            return self._cache[key]  # type: ignore[return-value]
+        except KeyError:
+            value = compute()
+            self._cache[key] = value
+            return value
+
+    def peek(self, key: Hashable) -> object | None:
+        """Return a cached derived product, or ``None`` if not computed.
+
+        Lets a family opportunistically reuse a *related* product
+        without forcing its computation — e.g. the k-core estimator
+        seeds its peel from whichever lower-order membership matrix an
+        earlier query already paid for.
+        """
+        return self._cache.get(key)

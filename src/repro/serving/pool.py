@@ -126,6 +126,18 @@ def _worker_query(pool_id: str, tenant_id: TenantId):
     return _worker_monitor(pool_id, tenant_id).top_k()
 
 
+def _worker_query_family(
+    pool_id: str, tenant_id: TenantId, family: str, params: dict
+):
+    """Run one registered query family on the tenant's shared worlds.
+
+    Executes on the tenant's shard FIFO, so the answer is ordered after
+    every apply dispatched before it — the same read-your-writes
+    guarantee ``_worker_query`` gives the top-k path.
+    """
+    return _worker_monitor(pool_id, tenant_id).query(family, **params)
+
+
 def _worker_dump(pool_id: str, tenant_id: TenantId) -> tuple[bytes, object]:
     """Pickle one monitor's full state plus its current answer.
 
@@ -387,6 +399,24 @@ class ServingPool:
         """Current top-k; ordered after every prior apply of the tenant."""
         return self._shard(tenant_id).submit(
             _worker_query, self._pool_id, tenant_id
+        )
+
+    def query_family(
+        self, tenant_id: TenantId, family: str, params: dict | None = None
+    ) -> Future:
+        """Run *family* on the tenant's shared worlds (shard-ordered).
+
+        Resolves to a :class:`~repro.queries.base.QueryResult`.  The
+        monitor reuses one repaired world set across every family, so
+        consecutive family queries between updates amortise the
+        sampling cost instead of re-drawing worlds per query.
+        """
+        return self._shard(tenant_id).submit(
+            _worker_query_family,
+            self._pool_id,
+            tenant_id,
+            str(family),
+            dict(params or {}),
         )
 
     # ------------------------------------------------------------------

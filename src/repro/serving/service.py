@@ -58,10 +58,11 @@ import time
 from collections import OrderedDict
 from concurrent.futures import BrokenExecutor, Future
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Mapping
+from typing import Callable, Hashable, Iterable, Mapping
 
 from repro.core.errors import ReproError
 from repro.core.graph import UncertainGraph
+from repro.queries.base import param_key
 from repro.serving.pool import ServingPool
 from repro.serving.queue import IngestionQueue
 from repro.serving.store import graph_fingerprint
@@ -198,6 +199,14 @@ class RiskService:
         self.cache_stats = {"hits": 0, "misses": 0}
         #: tenant -> most recent RefreshReport the parent observed.
         self._last_reports: dict[TenantId, RefreshReport] = {}
+        #: name -> provider of JSON-serialisable sidecar state; called
+        #: at snapshot time so auxiliary layers (e.g. the front end's
+        #: admission cost model) persist alongside the monitor blobs.
+        self._extras_providers: dict[str, Callable[[], object]] = {}
+        #: Sidecar state carried by the snapshot this service recovered
+        #: from (empty for a fresh or in-memory service).  Consumers
+        #: read their entry back at attach time.
+        self.recovered_extras: dict[str, object] = {}
         if wal_dir is not None:
             from repro.persistence.snapshots import SnapshotStore
             from repro.persistence.wal import WriteAheadLog
@@ -287,6 +296,8 @@ class RiskService:
                 if self._degraded_answers:
                     self._mirrors[tenant_id] = pickle.loads(blob)
                 self._tokens[tenant_id] = None
+        if snapshot is not None:
+            self.recovered_extras = dict(snapshot.extras or {})
         for batch in self._wal.read_batches():
             if batch.kind == "register":
                 register = batch.register or {}
@@ -630,7 +641,9 @@ class RiskService:
                 pending = self._queue.pending(tenant_id)
             monitor_key = self._monitor_key(tenant_id)
             if token is not None and monitor_key is not None and not pending:
-                cache_key = (token, monitor_key)
+                # The family tag keeps top-k entries disjoint from
+                # query_family entries sharing the same state token.
+                cache_key = (token, "topk", monitor_key)
                 cached = self._result_cache.get(cache_key)
                 if cached is not None:
                     self.cache_stats["hits"] += 1
@@ -657,9 +670,97 @@ class RiskService:
                     self._result_cache.popitem(last=False)
         return result
 
+    def query_family(
+        self,
+        tenant_id: TenantId,
+        family: str,
+        *,
+        params: Mapping | None = None,
+        flush: bool = True,
+    ):
+        """Answer one registered query *family* over the tenant's worlds.
+
+        Same read-your-writes contract as :meth:`query_topk` (the
+        tenant's own backlog is flushed first by default), same
+        cross-tenant result cache — keyed additionally by ``(family,
+        params)``, so a ``kcore`` answer can never be served for a
+        ``reliability`` request even when the state tokens match.  The
+        shard-side monitor runs every family against **one** shared
+        repaired world set, so a burst of family queries between
+        updates costs one sampling pass, not one per query.
+
+        Returns the family's :class:`~repro.queries.base.QueryResult`.
+        """
+        self._ensure_open()
+        params = dict(params or {})
+        family = str(family)
+        replay = self._recovering.get(tenant_id)
+        if replay is not None:
+            self._result_after_break(tenant_id, replay)
+            self._recovering.pop(tenant_id, None)
+            self._stale_results.pop(tenant_id, None)
+        if flush:
+            with self._dispatch_lock:
+                events = self._queue.drain_tenant(tenant_id)
+                future = (
+                    self._apply_after_break(tenant_id, events)
+                    if events
+                    else None
+                )
+            if events:
+                self._result_after_break(tenant_id, future)
+        cache_key = None
+        if self._result_cache_size > 0:
+            with self._token_lock:
+                token = self._tokens.get(tenant_id)
+                pending = self._queue.pending(tenant_id)
+            monitor_key = self._monitor_key(tenant_id)
+            if token is not None and monitor_key is not None and not pending:
+                cache_key = (token, family, param_key(params), monitor_key)
+                cached = self._result_cache.get(cache_key)
+                if cached is not None:
+                    self.cache_stats["hits"] += 1
+                    self._result_cache.move_to_end(cache_key)
+                    return cached
+                self.cache_stats["misses"] += 1
+        try:
+            result = self._pool.query_family(
+                tenant_id, family, params
+            ).result()
+        except BrokenExecutor:
+            if self._wal is None:
+                raise
+            self._heal_shard(self._pool.shard_index(tenant_id))
+            result = self._pool.query_family(
+                tenant_id, family, params
+            ).result()
+        if cache_key is not None:
+            with self._token_lock:
+                unchanged = self._tokens.get(tenant_id) == cache_key[0]
+            if unchanged:
+                self._result_cache[cache_key] = result
+                self._result_cache.move_to_end(cache_key)
+                while len(self._result_cache) > self._result_cache_size:
+                    self._result_cache.popitem(last=False)
+        return result
+
     # ------------------------------------------------------------------
     # Durable snapshots
     # ------------------------------------------------------------------
+    def register_extras_provider(
+        self, name: str, provider: Callable[[], object]
+    ) -> None:
+        """Persist auxiliary layer state alongside monitor snapshots.
+
+        *provider* is called at :meth:`snapshot_to_disk` time and must
+        return JSON-serialisable state; it lands in the snapshot
+        manifest under *name* and resurfaces in
+        :attr:`recovered_extras` after the next recovery.  Used by the
+        SLO front end to carry its EWMA admission cost model across
+        restarts.  Re-registering a name replaces its provider.
+        """
+        self._extras_providers[str(name)] = provider
+
     def snapshot_to_disk(self):
         """Write one rotated snapshot of every tenant; truncate the WAL.
 
@@ -699,10 +800,19 @@ class RiskService:
         for tenant_id, future in futures.items():
             blob, result = self._result_after_break(tenant_id, future)
             tenants[tenant_id] = (blob, result, watermarks[tenant_id])
+        extras = {}
+        for name, provider in self._extras_providers.items():
+            try:
+                extras[name] = provider()
+            except Exception:
+                # A failing sidecar provider must not block durability
+                # of the monitor state; its entry is simply absent.
+                continue
         published = self._snapshots.write(
             tenants,
             wal_seq=wal_seq,
             base_fingerprint=self._fingerprint,
+            extras=extras or None,
         )
         self._wal.truncate_upto(
             min(watermarks.values(), default=wal_seq)

@@ -74,7 +74,11 @@ from repro.algorithms.base import DetectionResult
 from repro.algorithms.bsr import assemble_answer
 from repro.bounds.candidates import CandidateReduction, reduce_candidates
 from repro.bounds.incremental import BoundDelta, IncrementalBoundPair
-from repro.bounds.iterative import bound_pair, bounds_only_topk
+from repro.bounds.iterative import (
+    bound_pair,
+    bounds_only_topk,
+    certified_topk_mask,
+)
 from repro.core.errors import GraphError, SamplingError
 from repro.core.graph import NodeLabel, UncertainGraph
 from repro.core.propagation import ragged_positions
@@ -83,7 +87,11 @@ from repro.sampling.indexed import IndexedReverseSampler
 from repro.sampling.reverse import reverse_engine
 from repro.sampling.rng import SeedLike, hashed_uniform_tile, hashed_uniforms
 from repro.sampling.sample_size import reduced_sample_size, validate_epsilon_delta
-from repro.sampling.worldstate import DenseWorldState, PackedWorldState
+from repro.sampling.worldstate import (
+    DenseWorldState,
+    PackedWorldState,
+    WorldView,
+)
 from repro.sketch.bottom_k import bottom_k_scan
 from repro.streaming.events import (
     BulkEdgeProbabilityUpdate,
@@ -281,6 +289,11 @@ class TopKMonitor:
         self._bounds_only_cache: (
             tuple[tuple[int, tuple[int, int]], DetectionResult] | None
         ) = None
+        # Query-engine dispatch over the repaired worlds: one memoising
+        # engine per (mutation-state, shape); retired wholesale when the
+        # underlying worlds change (see world_view / query).
+        self._query_engine = None
+        self._query_engine_key: tuple[int, tuple[int, int]] | None = None
         # Cached pipeline state (filled by the first refresh).
         self._shape = (graph.num_nodes, graph.num_edges)
         self._bounds: IncrementalBoundPair | None = None
@@ -501,6 +514,10 @@ class TopKMonitor:
         scores = {
             label: float(lower[index]) for label, index in zip(nodes, top)
         }
+        # Certified partial answer: a reported node whose floor beats
+        # every possible k-th competitor is an exact winner even while
+        # the sampling pipeline is degraded/mid-repair.
+        certified = certified_topk_mask(lower, upper, self._k)
         result = DetectionResult(
             method="BOUNDS",
             k=self._k,
@@ -518,11 +535,89 @@ class TopKMonitor:
                 "bounds_upper": [float(upper[index]) for index in top],
                 "bounds_reused": warm,
                 "bounds_only": True,
+                "certified": [bool(certified[index]) for index in top],
+                "certified_count": int(np.count_nonzero(certified[top])),
             },
             degraded=True,
         )
         self._bounds_only_cache = (key, result)
         return result
+
+    def world_view(self, min_worlds: int = 256) -> WorldView:
+        """A read-only :class:`WorldView` over the repaired worlds.
+
+        Refreshes first when updates are pending (the dirty-propagation
+        contract: a view is never handed out over stale worlds), then
+        returns a view realising exactly the world indices the monitor
+        currently keeps repaired, under the sampler's own stream key —
+        so ``view.defaulted()[:, candidates]`` is bit-identical to the
+        cached outcome matrix, and every registered query family
+        integrates over the *same* worlds the top-k answer does.
+
+        When the indexed sampling stage holds no worlds (``k' = 0``, a
+        non-indexed engine, or an over-budget configuration) the view
+        falls back to worlds ``0 .. min_worlds-1`` under a key derived
+        from the monitor's seed — still deterministic, still repairable
+        on the next call.
+
+        Views are cached per mutation-state: repeated calls between
+        accepted updates return the same object (and therefore share
+        every derived per-world product); any accepted probability
+        change or topology change retires the view wholesale.
+        """
+        self._ensure_query_engine(min_worlds)
+        return self._query_engine.view
+
+    def query(self, family: str, **params):
+        """Run a registered query family over the repaired worlds.
+
+        Dispatches through :mod:`repro.queries`: ``family`` names a
+        registered :class:`~repro.queries.base.WorldQuery` (``"topk"``,
+        ``"kcore"``, ``"reliability"``, ``"skyline"``, …) and *params*
+        are its keyword parameters.  Results are memoised per
+        ``(family, params)`` until the next accepted update, and all
+        families share one :meth:`world_view` — one set of realised
+        worlds, one propagation fixpoint, one component labelling,
+        amortised across everything asked of this monitor.
+
+        Returns a :class:`~repro.queries.base.QueryResult`.
+        """
+        self._ensure_query_engine()
+        return self._query_engine.run(family, **params)
+
+    def _ensure_query_engine(self, min_worlds: int = 256) -> None:
+        """(Re)build the memoising engine when the worlds moved."""
+        graph = self._graph
+        stale = (
+            self._result is None
+            or self.pending_updates
+            or (graph.num_nodes, graph.num_edges) != self._shape
+        )
+        if stale:
+            self.refresh()
+        key = (self._mutations, self._shape)
+        if self._query_engine is not None and self._query_engine_key == key:
+            return
+        # Imported lazily: repro.queries depends on the sampling layer,
+        # and the streaming layer must stay importable without it.
+        from repro.queries import QueryEngine
+
+        if (
+            self._sampler is not None
+            and self._world_ids is not None
+            and self._world_ids.size
+        ):
+            view = WorldView(
+                graph, self._world_ids, stream_key=self._sampler.stream_key
+            )
+        else:
+            view = WorldView(
+                graph,
+                np.arange(max(1, int(min_worlds)), dtype=np.int64),
+                seed=self._seed,
+            )
+        self._query_engine = QueryEngine(view)
+        self._query_engine_key = key
 
     def refresh(self) -> RefreshReport:
         """Fold all pending updates into the cached answer."""
