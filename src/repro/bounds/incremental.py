@@ -182,6 +182,51 @@ class IncrementalBoundPair:
             self._upper.append(current)
         self._clamped = np.maximum(self._upper[-1], self._lower[-1])
 
+    def extend_topology(
+        self,
+        dirty_nodes: np.ndarray,
+        dirty_heads: np.ndarray,
+        limit: int | None = None,
+    ) -> BoundDelta | None:
+        """Absorb append-only topology growth, then refresh.
+
+        The graph has grown since the last rebuild/refresh (append-only:
+        new node indices and edge ids strictly above the old ranges).
+        Cached iterates are extended with NaN placeholders for the new
+        nodes and the refresh runs with the new nodes and the new edges'
+        heads folded into the dirty sets (the caller passes them in
+        *dirty_nodes* / *dirty_heads*, unioned with any probability
+        dirt).  The placeholders are never read as a previous-iterate
+        input: new nodes sit in the persistent dirty set, so every
+        iterate recomputes them before any later iterate reads them —
+        and a placeholder compared against its recomputed value always
+        counts as "moved", which conservatively seeds the frontier.
+
+        The returned delta's *old*-value arrays carry NaN entries for
+        the appended nodes (they had no old bound), so callers on the
+        topology path must not feed them into threshold arithmetic —
+        the monitor re-runs its candidate reduction outright instead of
+        consulting ``max_changed_value``.
+        """
+        n_new = self._graph.num_nodes
+        n_old = self._ones.size
+        if n_new < n_old:
+            raise SamplingError(
+                f"graph shrank from {n_old} to {n_new} nodes; topology "
+                "growth is append-only"
+            )
+        if n_new > n_old:
+            pad = np.full(n_new - n_old, np.nan)
+            self._lower = [
+                np.concatenate([iterate, pad]) for iterate in self._lower
+            ]
+            self._upper = [
+                np.concatenate([iterate, pad]) for iterate in self._upper
+            ]
+            self._clamped = np.concatenate([self._clamped, pad])
+            self._ones = np.ones(n_new, dtype=np.float64)
+        return self.refresh(dirty_nodes, dirty_heads, limit)
+
     def _refresh_chain(
         self,
         iterates: list[np.ndarray],

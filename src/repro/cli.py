@@ -22,6 +22,9 @@ Usage::
     repro-detect serve --dataset guarantee --k 10 --port 8080 \
         --slo-ms 200 --rate-limit 25 --auth desk-a=s3cret
 
+    repro-detect crawl --dataset wiki --strategy avrachenkov \
+        --budget 60 --seeds 4 --k 5 --verify
+
 The default (no subcommand) form reads a graph (JSON or text edge list,
 or a named synthetic dataset), runs one detection method, and prints the
 ranked answer — as a table or as JSON for scripting.
@@ -51,6 +54,16 @@ tenant's final answer bit-for-bit against fresh detection.  With
 (:mod:`repro.frontend`): per-tenant bearer auth (``--auth``),
 token-bucket rate limits, latency budgets with degraded bounds-only
 answers, and 429 + ``Retry-After`` load shedding.
+
+The ``crawl`` subcommand treats the loaded graph as *hidden* ground
+truth and discovers it by budgeted crawling (:mod:`repro.crawling`):
+a strategy (``--strategy``) spends ``--budget`` crawl steps from
+``--seeds`` seed nodes while a stable-counter-layout
+:class:`~repro.streaming.monitor.TopKMonitor` ingests each step's
+topology events incrementally — crawl-while-monitoring.  ``--verify``
+checks every post-step answer bit-for-bit against fresh detection on an
+independently replayed observed subgraph; the summary reports the final
+answer's recall of the hidden graph's true top-k.
 """
 
 from __future__ import annotations
@@ -73,10 +86,12 @@ __all__ = [
     "build_stream_parser",
     "build_serve_parser",
     "build_query_parser",
+    "build_crawl_parser",
     "main",
     "stream_main",
     "serve_main",
     "query_main",
+    "crawl_main",
 ]
 
 
@@ -162,10 +177,29 @@ def build_stream_parser() -> argparse.ArgumentParser:
     parser.add_argument("--drift", type=float, default=0.1,
                         help="std-dev of patch drift (0 draws values fresh)")
     parser.add_argument(
+        "--grow",
+        type=int,
+        default=0,
+        help=(
+            "interleave this many topology-growth batches (one new node "
+            "plus attaching edges each) into the stream"
+        ),
+    )
+    parser.add_argument(
         "--engine",
         choices=("indexed", "batched", "reference"),
         default="indexed",
         help="reverse-sampling engine backing the monitor",
+    )
+    parser.add_argument(
+        "--counter-layout",
+        choices=("packed", "stable"),
+        default="packed",
+        help=(
+            "counter-PRF layout; 'stable' (indexed engine only) ingests "
+            "--grow topology batches incrementally instead of falling "
+            "back to full recomputation"
+        ),
     )
     parser.add_argument(
         "--algorithm",
@@ -504,6 +538,53 @@ def _resolve_k(args: argparse.Namespace, graph: UncertainGraph) -> int:
     return max(1, round(graph.num_nodes * args.k_percent / 100.0))
 
 
+def _growth_batches(graph: UncertainGraph, grow: int, seed: int):
+    """``grow`` topology batches: one new node plus attaching edges each.
+
+    Labels and attachment targets are drawn deterministically from
+    *seed*; targets come from the pre-growth label set, so batches stay
+    valid regardless of how they interleave with probability patches.
+    """
+    import numpy as np
+
+    from repro.streaming.events import EdgeAdd, NodeAdd
+
+    rng = np.random.default_rng(np.uint64(seed) ^ np.uint64(0x9E3779B9))
+    labels = graph.labels()
+    for i in range(grow):
+        label = f"grown-{i}"
+        events = [
+            NodeAdd(
+                label, float(rng.uniform(0.05, 0.5)), source="stream:grow"
+            )
+        ]
+        fan = min(int(rng.integers(1, 3)), len(labels))
+        targets = rng.choice(len(labels), size=fan, replace=False)
+        for j in targets:
+            other = labels[int(j)]
+            prob = float(rng.uniform(0.1, 0.9))
+            if rng.random() < 0.5:
+                events.append(
+                    EdgeAdd(other, label, prob, source="stream:grow")
+                )
+            else:
+                events.append(
+                    EdgeAdd(label, other, prob, source="stream:grow")
+                )
+        yield f"+grow {label}", events
+
+
+def _with_growth(batches, graph: UncertainGraph, grow: int, seed: int):
+    """Interleave one growth batch after each stream batch (then drain)."""
+    growth = _growth_batches(graph, grow, seed)
+    for batch in batches:
+        yield batch
+        pending = next(growth, None)
+        if pending is not None:
+            yield pending
+    yield from growth
+
+
 def _stream_batches(args: argparse.Namespace):
     """Yield ``(description, events)`` batches plus the graph to monitor."""
     from repro.datasets.temporal import build_guarantee_panel
@@ -514,22 +595,27 @@ def _stream_batches(args: argparse.Namespace):
         batches = [
             (f"year {year}", events) for year, events in panel.update_stream()
         ]
-        return panel.graph, batches
-    graph = _load_graph(args)
-    drift = args.drift if args.drift > 0 else None
-    events = random_patch_stream(
-        graph, args.events, seed=args.seed, drift=drift
-    )
-    # Keep the patch stream lazy: drift events must read the *current*
-    # (already-patched) value at yield time so month-over-month drift
-    # compounds, exactly as the benchmark replays it.
-    return graph, ((None, [event]) for event in events)
+        graph = panel.graph
+    else:
+        graph = _load_graph(args)
+        drift = args.drift if args.drift > 0 else None
+        events = random_patch_stream(
+            graph, args.events, seed=args.seed, drift=drift
+        )
+        # Keep the patch stream lazy: drift events must read the *current*
+        # (already-patched) value at yield time so month-over-month drift
+        # compounds, exactly as the benchmark replays it.
+        batches = ((None, [event]) for event in events)
+    if getattr(args, "grow", 0):
+        batches = _with_growth(batches, graph, args.grow, args.seed)
+    return graph, batches
 
 
 def stream_main(argv: list[str] | None = None) -> int:
     """Entry point of the ``stream`` subcommand."""
     from repro.algorithms.bsr import BoundedSampleReverseDetector
     from repro.algorithms.bsrbk import BottomKDetector
+    from repro.streaming.events import EdgeAdd, NodeAdd
     from repro.streaming.monitor import TopKMonitor
 
     args = build_stream_parser().parse_args(argv)
@@ -546,10 +632,18 @@ def stream_main(argv: list[str] | None = None) -> int:
             bk=args.bk,
             engine=args.engine,
             world_state=args.world_state,
+            counter_layout=args.counter_layout,
         )
         rows: list[dict] = []
         incremental_total = fresh_total = 0.0
+        topology_events = probability_events = 0
         for step, (description, events) in enumerate(batches):
+            events = list(events)
+            for event in events:
+                if isinstance(event, (NodeAdd, EdgeAdd)):
+                    topology_events += 1
+                else:
+                    probability_events += 1
             monitor.apply(events)
             # refresh() returns *this* step's report even when the batch
             # turns out to be a no-op (a "clean" report) — top_k() alone
@@ -567,6 +661,30 @@ def stream_main(argv: list[str] | None = None) -> int:
                 "ms": round(report.elapsed_seconds * 1e3, 2),
             }
             if args.verify:
+                started = time.perf_counter()
+                if args.counter_layout != "packed":
+                    # The stand-alone detectors draw packed-layout
+                    # worlds; a stable-layout monitor draws a different
+                    # (equally exact) realisation, so the bit-identity
+                    # oracle must be a fresh monitor in the same layout.
+                    fresh = TopKMonitor(
+                        graph,
+                        k,
+                        epsilon=args.epsilon,
+                        delta=args.delta,
+                        seed=args.seed,
+                        algorithm=args.algorithm,
+                        bk=args.bk,
+                        engine=args.engine,
+                        world_state=args.world_state,
+                        counter_layout=args.counter_layout,
+                    ).top_k()
+                    fresh_seconds = time.perf_counter() - started
+                    fresh_total += fresh_seconds
+                    row["fresh_ms"] = round(fresh_seconds * 1e3, 2)
+                    row["match"] = result.same_answer(fresh)
+                    rows.append(row)
+                    continue
                 if args.algorithm == "bsrbk":
                     detector = BottomKDetector(
                         bk=args.bk,
@@ -593,7 +711,12 @@ def stream_main(argv: list[str] | None = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 1
     if args.as_json:
-        print(json.dumps({"k": k, "steps": rows}, indent=1))
+        print(json.dumps({
+            "k": k,
+            "steps": rows,
+            "topology_events": topology_events,
+            "probability_events": probability_events,
+        }, indent=1))
     else:
         title = (
             f"streaming top-{k} over {graph.num_nodes} nodes "
@@ -605,7 +728,9 @@ def stream_main(argv: list[str] | None = None) -> int:
             speedup = fresh_total / max(incremental_total, 1e-12)
             print(
                 f"verify: {len(rows) - mismatches}/{len(rows)} steps "
-                f"bit-identical to fresh {args.algorithm.upper()}; "
+                f"bit-identical to fresh {args.algorithm.upper()} "
+                f"({topology_events} topology + {probability_events} "
+                f"probability events verified); "
                 f"incremental {incremental_total:.3f}s vs fresh "
                 f"{fresh_total:.3f}s ({speedup:.1f}x)"
             )
@@ -885,6 +1010,242 @@ def serve_main(argv: list[str] | None = None) -> int:
     return 1 if mismatches else 0
 
 
+def build_crawl_parser() -> argparse.ArgumentParser:
+    """Argument parser of the ``crawl`` subcommand."""
+    from repro.crawling import CRAWL_STRATEGIES
+
+    parser = argparse.ArgumentParser(
+        prog="repro-detect crawl",
+        description=(
+            "Discover a hidden graph by budgeted crawling while a "
+            "TopKMonitor ingests the topology events incrementally."
+        ),
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--graph", help="path to the hidden graph file")
+    source.add_argument(
+        "--dataset",
+        choices=available_datasets(),
+        help="generate a named synthetic dataset as the hidden graph",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("json", "edgelist"),
+        default="json",
+        help="graph file format (default: json)",
+    )
+    parser.add_argument("--scale", type=float, default=None,
+                        help="dataset scale (synthetic datasets only)")
+    parser.add_argument(
+        "--strategy",
+        choices=sorted(CRAWL_STRATEGIES),
+        default="avrachenkov",
+        help="budget-spending crawl strategy",
+    )
+    parser.add_argument("--budget", type=int, default=50,
+                        help="crawl-step budget")
+    parser.add_argument(
+        "--seeds",
+        default="3",
+        help=(
+            "comma-separated seed node labels, or an integer count of "
+            "deterministically chosen random seeds (default: 3)"
+        ),
+    )
+    size = parser.add_mutually_exclusive_group(required=True)
+    size.add_argument("--k", type=int, help="answer size (absolute)")
+    size.add_argument("--k-percent", type=float,
+                      help="answer size as a percentage of hidden |V|")
+    parser.add_argument(
+        "--algorithm",
+        choices=("bsr", "bsrbk"),
+        default="bsr",
+        help="maintained detection algorithm",
+    )
+    parser.add_argument("--bk", type=int, default=16,
+                        help="bottom-k counter threshold (bsrbk only)")
+    parser.add_argument(
+        "--world-state",
+        choices=("packed", "dense"),
+        default="packed",
+        help="touched-entity representation backing per-world repair",
+    )
+    parser.add_argument(
+        "--counter-layout",
+        choices=("stable", "packed"),
+        default="stable",
+        help=(
+            "counter-PRF layout; 'stable' ingests crawl steps "
+            "incrementally, 'packed' falls back to full recomputation "
+            "per step (the comparison baseline)"
+        ),
+    )
+    parser.add_argument("--epsilon", type=float, default=0.3)
+    parser.add_argument("--delta", type=float, default=0.1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help=(
+            "after each crawl step, check the monitor's answer is "
+            "bit-identical to fresh detection on an independently "
+            "replayed observed subgraph"
+        ),
+    )
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the replay as JSON instead of a table")
+    return parser
+
+
+def _resolve_seeds(args: argparse.Namespace, hidden: UncertainGraph):
+    """Seed labels from ``--seeds`` (explicit list or random count)."""
+    import numpy as np
+
+    spec = str(args.seeds)
+    try:
+        count = int(spec)
+    except ValueError:
+        return [part.strip() for part in spec.split(",") if part.strip()]
+    if count < 1:
+        raise ReproError(f"--seeds count must be >= 1, got {count}")
+    count = min(count, hidden.num_nodes)
+    rng = np.random.default_rng(args.seed)
+    picks = rng.choice(hidden.num_nodes, size=count, replace=False)
+    return [hidden.label(int(index)) for index in sorted(picks)]
+
+
+def crawl_main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``crawl`` subcommand."""
+    from repro.crawling import ObservedGraphSession
+    from repro.streaming.events import apply_events
+    from repro.streaming.monitor import TopKMonitor
+
+    args = build_crawl_parser().parse_args(argv)
+
+    def make_monitor(graph: UncertainGraph, k: int) -> TopKMonitor:
+        return TopKMonitor(
+            graph,
+            k,
+            epsilon=args.epsilon,
+            delta=args.delta,
+            seed=args.seed,
+            algorithm=args.algorithm,
+            bk=args.bk,
+            engine="indexed",
+            world_state=args.world_state,
+            counter_layout=args.counter_layout,
+        )
+
+    try:
+        hidden = _load_graph(args)
+        k = _resolve_k(args, hidden)
+        seeds = _resolve_seeds(args, hidden)
+        truth = set(make_monitor(hidden, k).top_k().nodes)
+        session = ObservedGraphSession(
+            hidden,
+            seeds,
+            strategy=args.strategy,
+            budget=args.budget,
+            seed=args.seed,
+        )
+        # The monitor consumes the session's event stream into its own
+        # live graph — the consumer side of crawl-while-monitoring —
+        # starting as soon as the observed subgraph can hold a top-k.
+        live = UncertainGraph()
+        replay = UncertainGraph() if args.verify else None
+        monitor = None
+        result = None
+        rows: list[dict] = []
+        incremental_total = fresh_total = 0.0
+        topology_events = 0
+        for batch in session.run():
+            topology_events += len(batch.events)
+            if replay is not None:
+                apply_events(replay, batch.events)
+            if monitor is None:
+                apply_events(live, batch.events)
+                if live.num_nodes < k:
+                    continue
+                monitor = make_monitor(live, k)
+                report = monitor.refresh()
+            else:
+                monitor.apply(batch.events)
+                report = monitor.refresh()
+            result = monitor.top_k()
+            incremental_total += report.elapsed_seconds
+            row = {
+                "step": batch.step,
+                "crawled": "(seeds)" if batch.target is None
+                else str(batch.target),
+                "observed": f"{live.num_nodes}n/{live.num_edges}e",
+                "mode": report.mode,
+                "sampling": report.sampling,
+                "worlds": f"{report.worlds_repaired}/{report.samples}",
+                "ms": round(report.elapsed_seconds * 1e3, 2),
+            }
+            if args.verify:
+                started = time.perf_counter()
+                fresh = make_monitor(replay, k).top_k()
+                fresh_seconds = time.perf_counter() - started
+                fresh_total += fresh_seconds
+                row["fresh_ms"] = round(fresh_seconds * 1e3, 2)
+                row["match"] = result.same_answer(fresh)
+            rows.append(row)
+        if monitor is None:
+            raise ReproError(
+                f"budget {args.budget} never observed {k} nodes; "
+                "raise --budget or add seeds"
+            )
+        recall = len(set(result.nodes) & truth) / float(k)
+        frontier = session.frontier
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    coverage = {
+        "observed_nodes": frontier.num_observed,
+        "hidden_nodes": hidden.num_nodes,
+        "observed_edges": frontier.num_observed_edges,
+        "hidden_edges": hidden.num_edges,
+        "crawls_spent": frontier.num_crawled,
+    }
+    if args.as_json:
+        print(json.dumps({
+            "k": k,
+            "strategy": session.strategy_name,
+            "budget": args.budget,
+            "recall": recall,
+            "coverage": coverage,
+            "topology_events": topology_events,
+            "steps": rows,
+        }, indent=1))
+    else:
+        print(render_table(rows, title=(
+            f"crawl({session.strategy_name}): top-{k} while discovering "
+            f"{frontier.num_observed}/{hidden.num_nodes} nodes, "
+            f"{frontier.num_observed_edges}/{hidden.num_edges} edges "
+            f"in {frontier.num_crawled} crawls"
+        )))
+        print(
+            f"recall of hidden true top-{k}: {recall:.2f}; "
+            f"{topology_events} topology events ingested"
+        )
+        if args.verify and rows:
+            mismatches = sum(
+                1 for row in rows if not row.get("match", True)
+            )
+            checked = sum(1 for row in rows if "match" in row)
+            speedup = fresh_total / max(incremental_total, 1e-12)
+            print(
+                f"verify: {checked - mismatches}/{checked} steps "
+                f"bit-identical to fresh detection on the observed "
+                f"subgraph; incremental {incremental_total:.3f}s vs "
+                f"fresh {fresh_total:.3f}s ({speedup:.1f}x)"
+            )
+    if args.verify and any(not row.get("match", True) for row in rows):
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     if argv is None:
@@ -895,6 +1256,8 @@ def main(argv: list[str] | None = None) -> int:
         return serve_main(argv[1:])
     if argv and argv[0] == "query":
         return query_main(argv[1:])
+    if argv and argv[0] == "crawl":
+        return crawl_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

@@ -1,0 +1,50 @@
+"""Partial-observation crawling over a hidden uncertain graph.
+
+Real contagion networks are rarely fully known up front: monitoring
+starts from a handful of seed entities and *discovers* topology by
+spending a crawl budget.  This package models that regime over a hidden
+ground-truth :class:`~repro.core.graph.UncertainGraph`:
+
+* :class:`~repro.crawling.frontier.CrawlFrontier` — the bookkeeping
+  core: which nodes are *crawled* (incident edges revealed), which are
+  merely *observed* (discovered as an endpoint, true self-risk known),
+  and what each crawl newly reveals.
+* :mod:`~repro.crawling.strategies` — pluggable budget-spending
+  policies: ``random``, ``degree`` (max observed degree),
+  ``avrachenkov`` (two-stage hub detection: random warm-up, then top
+  observed degree) and ``risk`` (highest current Eq-(1) upper bound on
+  the observed subgraph).
+* :class:`~repro.crawling.session.ObservedGraphSession` — drives a
+  strategy against a frontier and emits every crawl step as a batch of
+  provenance-stamped :class:`~repro.streaming.events.NodeAdd` /
+  :class:`~repro.streaming.events.EdgeAdd` topology events — the same
+  vocabulary the streaming monitor ingests incrementally and the WAL
+  codec makes durable, so crawl-while-monitoring and replay-after-crash
+  are the ordinary serving paths, not special cases.
+"""
+
+from repro.crawling.frontier import CrawlFrontier, CrawlStep
+from repro.crawling.session import CrawlBatch, ObservedGraphSession
+from repro.crawling.strategies import (
+    CRAWL_STRATEGIES,
+    AvrachenkovStrategy,
+    CrawlStrategy,
+    MaxObservedDegreeStrategy,
+    RandomStrategy,
+    RiskAwareStrategy,
+    resolve_strategy,
+)
+
+__all__ = [
+    "CRAWL_STRATEGIES",
+    "AvrachenkovStrategy",
+    "CrawlBatch",
+    "CrawlFrontier",
+    "CrawlStep",
+    "CrawlStrategy",
+    "MaxObservedDegreeStrategy",
+    "ObservedGraphSession",
+    "RandomStrategy",
+    "RiskAwareStrategy",
+    "resolve_strategy",
+]

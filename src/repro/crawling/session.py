@@ -1,0 +1,187 @@
+"""Observed-graph crawl sessions: discovery as a topology-event stream.
+
+An :class:`ObservedGraphSession` drives one crawl strategy against one
+:class:`~repro.crawling.frontier.CrawlFrontier` and renders every crawl
+step as a batch of :class:`~repro.streaming.events.NodeAdd` /
+:class:`~repro.streaming.events.EdgeAdd` events — the streaming layer's
+ordinary vocabulary.  That single design decision buys the whole stack
+at once: a :class:`~repro.streaming.monitor.TopKMonitor` ingests the
+batches incrementally (crawl-while-monitoring), the persistence codec
+WALs them (a crash mid-crawl replays to the same observed graph), and
+the coalescer passes them through untouched (adds never collapse).
+
+Every event is provenance-stamped ``source="crawl:<strategy>/<step>"``
+(seeds: ``"crawl:seed"``) with ``confidence=1.0`` — crawling reveals
+*true* values in this model; noisy-observation sources can lower the
+confidence without any schema change.
+
+The session also maintains its own materialised observed subgraph by
+applying each batch as it is emitted — strategies rank against it, and
+it is byte-for-byte the graph any consumer replaying the same batches
+would build (the oracle tests rebuild it independently and compare).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.graph import NodeLabel, UncertainGraph
+from repro.crawling.frontier import CrawlFrontier
+from repro.crawling.strategies import CrawlStrategy, resolve_strategy
+from repro.sampling.rng import SeedLike
+from repro.streaming.events import (
+    EdgeAdd,
+    NodeAdd,
+    UpdateEvent,
+    apply_events,
+)
+
+__all__ = ["CrawlBatch", "ObservedGraphSession"]
+
+
+@dataclass(frozen=True)
+class CrawlBatch:
+    """One emitted step: who was crawled and the events it produced.
+
+    ``step`` is -1 for the bootstrap batch (seed observation, no budget
+    spent, ``target`` is ``None``), 0-based for budgeted crawls.
+    """
+
+    step: int
+    target: NodeLabel | None
+    events: tuple[UpdateEvent, ...]
+
+
+class ObservedGraphSession:
+    """Budgeted discovery of a hidden graph as a topology-event stream.
+
+    Parameters
+    ----------
+    hidden:
+        Ground-truth graph (read-only here).
+    seeds:
+        Initially observed labels; emitted as the bootstrap batch.
+    strategy:
+        Name from ``CRAWL_STRATEGIES`` or a strategy instance.
+    budget:
+        Crawl-step budget; ``None`` means crawl until exhaustion.
+    seed:
+        RNG seed for stochastic strategies — (strategy, seed) fully
+        determines the event stream.
+    """
+
+    def __init__(
+        self,
+        hidden: UncertainGraph,
+        seeds: list[NodeLabel],
+        *,
+        strategy: str | CrawlStrategy = "random",
+        budget: int | None = None,
+        seed: SeedLike = 0,
+    ) -> None:
+        self._frontier = CrawlFrontier(hidden, seeds)
+        self._strategy = resolve_strategy(strategy)
+        if budget is not None and budget < 0:
+            raise ValueError(f"budget must be >= 0, got {budget}")
+        self._budget = budget
+        self._rng = np.random.default_rng(seed)
+        self._observed = UncertainGraph()
+        self._steps = 0
+        bootstrap = tuple(
+            NodeAdd(
+                label,
+                self._frontier.self_risk(label),
+                source="crawl:seed",
+                confidence=1.0,
+            )
+            for label in self._frontier.observed_labels()
+        )
+        apply_events(self._observed, bootstrap)
+        self._bootstrap = CrawlBatch(step=-1, target=None, events=bootstrap)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def frontier(self) -> CrawlFrontier:
+        """The underlying crawled/observed bookkeeping."""
+        return self._frontier
+
+    @property
+    def observed_graph(self) -> UncertainGraph:
+        """The materialised observed subgraph (live; do not mutate)."""
+        return self._observed
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The session RNG strategies draw from."""
+        return self._rng
+
+    @property
+    def strategy_name(self) -> str:
+        """The active strategy's registered name."""
+        return self._strategy.name
+
+    @property
+    def budget(self) -> int | None:
+        """Total crawl-step budget (``None`` = unbounded)."""
+        return self._budget
+
+    @property
+    def steps_taken(self) -> int:
+        """Budgeted crawl steps emitted so far."""
+        return self._steps
+
+    @property
+    def bootstrap(self) -> CrawlBatch:
+        """The seed-observation batch (step -1)."""
+        return self._bootstrap
+
+    def budget_left(self) -> bool:
+        """Whether another crawl step may be taken."""
+        if self._frontier.is_exhausted():
+            return False
+        return self._budget is None or self._steps < self._budget
+
+    # ------------------------------------------------------------------
+    # Discovery
+    # ------------------------------------------------------------------
+    def step(self) -> CrawlBatch | None:
+        """Crawl one node; returns its batch, or ``None`` when done.
+
+        The batch orders ``NodeAdd`` before ``EdgeAdd`` so it validates
+        as a unit: every edge's endpoints exist by the time the edge
+        applies, which is what lets consumers apply a whole step
+        transactionally.
+        """
+        if not self.budget_left():
+            return None
+        target = self._strategy.select(self)
+        crawl = self._frontier.crawl(target)
+        source = f"crawl:{self._strategy.name}/{self._steps}"
+        events: list[UpdateEvent] = [
+            NodeAdd(label, risk, source=source, confidence=1.0)
+            for label, risk in crawl.new_nodes
+        ]
+        events.extend(
+            EdgeAdd(src, dst, prob, source=source, confidence=1.0)
+            for src, dst, prob in crawl.new_edges
+        )
+        batch = CrawlBatch(
+            step=self._steps, target=target, events=tuple(events)
+        )
+        apply_events(self._observed, batch.events)
+        self._steps += 1
+        return batch
+
+    def run(self) -> Iterator[CrawlBatch]:
+        """Yield the bootstrap batch, then crawl batches until done."""
+        yield self._bootstrap
+        while True:
+            batch = self.step()
+            if batch is None:
+                return
+            yield batch

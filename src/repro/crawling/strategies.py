@@ -1,0 +1,154 @@
+"""Budget-spending crawl strategies.
+
+A strategy picks the next crawl target from the frontier's crawlable
+set.  All four are deterministic given the session's seeded RNG and the
+frontier's observation order (ties break toward the earliest-observed
+node), so a strategy name + seed fully determines the emitted event
+stream.
+
+``random``
+    Uniform over the crawlable set — the baseline every other strategy
+    must beat for its extra machinery to be worth anything (the CI gate
+    holds ``avrachenkov`` to exactly that standard).
+``degree``
+    Greedy max observed degree: crawl the node the revealed subgraph
+    already shows to be best connected.
+``avrachenkov``
+    Two-stage hub detection (Avrachenkov et al., "Quick Detection of
+    High-degree Entities in Large Directed Networks"): spend the first
+    ``n1`` crawls uniformly at random to seed degree observations, then
+    go greedy on observed degree for the remainder.  ``n1`` defaults to
+    half the session budget.
+``risk``
+    Risk-aware: rank crawlable nodes by their current Eq-(1) *upper*
+    bound on the observed subgraph and crawl the highest.  The upper
+    bound is exactly the quantity Algorithm 4 prunes with — an
+    optimistic envelope of how vulnerable a node could still turn out
+    to be — so budget flows toward nodes that could still matter to the
+    top-k, not toward well-understood ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bounds.iterative import bound_pair
+from repro.core.errors import GraphError
+from repro.core.graph import NodeLabel
+
+__all__ = [
+    "CRAWL_STRATEGIES",
+    "AvrachenkovStrategy",
+    "CrawlStrategy",
+    "MaxObservedDegreeStrategy",
+    "RandomStrategy",
+    "RiskAwareStrategy",
+    "resolve_strategy",
+]
+
+
+class CrawlStrategy:
+    """Base crawl strategy: pick the next target for a session."""
+
+    name = "abstract"
+
+    def select(self, session) -> NodeLabel:
+        """The next node to crawl; *session* is an
+        :class:`~repro.crawling.session.ObservedGraphSession`."""
+        raise NotImplementedError
+
+    def _candidates(self, session) -> list[NodeLabel]:
+        candidates = session.frontier.uncrawled_observed()
+        if not candidates:
+            raise GraphError("no crawlable node remains")
+        return candidates
+
+
+class RandomStrategy(CrawlStrategy):
+    """Uniform over the crawlable set (the recall baseline)."""
+
+    name = "random"
+
+    def select(self, session) -> NodeLabel:
+        candidates = self._candidates(session)
+        return candidates[int(session.rng.integers(len(candidates)))]
+
+
+class MaxObservedDegreeStrategy(CrawlStrategy):
+    """Greedy on observed degree, earliest-observed tie-break."""
+
+    name = "degree"
+
+    def select(self, session) -> NodeLabel:
+        candidates = self._candidates(session)
+        frontier = session.frontier
+        degrees = np.array(
+            [frontier.observed_degree(label) for label in candidates]
+        )
+        return candidates[int(np.argmax(degrees))]
+
+
+class AvrachenkovStrategy(CrawlStrategy):
+    """Two-stage hub detection: ``n1`` random crawls, then greedy degree."""
+
+    name = "avrachenkov"
+
+    def __init__(self, n1: int | None = None) -> None:
+        if n1 is not None and n1 < 0:
+            raise GraphError(f"n1 must be >= 0, got {n1}")
+        self._n1 = n1
+        self._random = RandomStrategy()
+        self._degree = MaxObservedDegreeStrategy()
+
+    def select(self, session) -> NodeLabel:
+        n1 = self._n1
+        if n1 is None:
+            budget = session.budget
+            n1 = 0 if budget is None else budget // 2
+        if session.steps_taken < n1:
+            return self._random.select(session)
+        return self._degree.select(session)
+
+
+class RiskAwareStrategy(CrawlStrategy):
+    """Crawl the highest Eq-(1) upper bound on the observed subgraph."""
+
+    name = "risk"
+
+    def __init__(self, lower_order: int = 2, upper_order: int = 2) -> None:
+        self._lower_order = int(lower_order)
+        self._upper_order = int(upper_order)
+
+    def select(self, session) -> NodeLabel:
+        candidates = self._candidates(session)
+        observed = session.observed_graph
+        _, upper = bound_pair(
+            observed, self._lower_order, self._upper_order
+        )
+        scores = np.array(
+            [upper[observed.index(label)] for label in candidates]
+        )
+        return candidates[int(np.argmax(scores))]
+
+
+#: Registered strategy factories, keyed by CLI/bench name.
+CRAWL_STRATEGIES = {
+    "random": RandomStrategy,
+    "degree": MaxObservedDegreeStrategy,
+    "avrachenkov": AvrachenkovStrategy,
+    "risk": RiskAwareStrategy,
+}
+
+
+def resolve_strategy(strategy: str | CrawlStrategy) -> CrawlStrategy:
+    """A strategy instance from a name or a ready-made instance."""
+    if isinstance(strategy, CrawlStrategy):
+        return strategy
+    try:
+        factory = CRAWL_STRATEGIES[strategy]
+    except KeyError:
+        known = ", ".join(sorted(CRAWL_STRATEGIES))
+        raise GraphError(
+            f"unknown crawl strategy {strategy!r} (known: {known})"
+        ) from None
+    return factory()

@@ -25,6 +25,7 @@ therefore its answers and work counters — bit for bit.
 
 from repro.persistence.codec import (
     CODEC_VERSION,
+    SUPPORTED_WAL_VERSIONS,
     CorruptRecordError,
     decode_event,
     decode_record_stream,
@@ -37,6 +38,7 @@ from repro.persistence.wal import WalBatch, WriteAheadLog
 
 __all__ = [
     "CODEC_VERSION",
+    "SUPPORTED_WAL_VERSIONS",
     "CorruptRecordError",
     "encode_event",
     "decode_event",

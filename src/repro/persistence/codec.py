@@ -9,8 +9,9 @@ selects the event class; scalar events carry a compact JSON body
 little-endian float64 bytes (no JSON float round-tripping, no parsing
 cost at replay time).  ``decode_event(encode_event(e))`` reconstructs
 an equal event for every valid event; the hypothesis suite in
-``tests/test_persistence_codec.py`` pins this, and a committed v1
-golden file pins the on-disk format itself.
+``tests/test_persistence_codec.py`` pins this, and committed golden
+files pin the on-disk format itself (v1, and v2 with provenance and
+topology events).
 
 **Record framing** — one payload, one self-checking record::
 
@@ -42,14 +43,18 @@ from repro.core.errors import ReproError
 from repro.streaming.events import (
     BulkEdgeProbabilityUpdate,
     BulkSelfRiskUpdate,
+    EdgeAdd,
     EdgeProbabilityUpdate,
+    NodeAdd,
     SelfRiskUpdate,
     UpdateEvent,
 )
 
 __all__ = [
     "CODEC_VERSION",
+    "SUPPORTED_WAL_VERSIONS",
     "WAL_MAGIC",
+    "WAL_MAGIC_PREFIX",
     "PersistenceError",
     "CorruptRecordError",
     "encode_event",
@@ -61,10 +66,23 @@ __all__ = [
 ]
 
 #: On-disk format version; bump on any incompatible layout change.
-CODEC_VERSION = 1
+#: v2 (this version) adds optional provenance fields on per-entity
+#: events and the ``NodeAdd``/``EdgeAdd`` topology tags.  v2 is a strict
+#: superset of v1: every event a v1 writer could produce still encodes
+#: byte-identically, so v1 segments remain readable (see
+#: :data:`SUPPORTED_WAL_VERSIONS`).
+CODEC_VERSION = 2
 
-#: Segment file header: magic + version byte.
-WAL_MAGIC = b"REPROWAL" + bytes([CODEC_VERSION])
+#: Versions this reader understands.  v1 files contain only tags 1-4
+#: with provenance-free bodies — a subset of the v2 grammar — so the
+#: same decoder serves both.
+SUPPORTED_WAL_VERSIONS = (1, 2)
+
+#: Magic bytes every supported segment header starts with.
+WAL_MAGIC_PREFIX = b"REPROWAL"
+
+#: Segment file header written by this version: magic + version byte.
+WAL_MAGIC = WAL_MAGIC_PREFIX + bytes([CODEC_VERSION])
 
 _RECORD_HEADER = struct.Struct("<II")  # payload length, crc32(payload)
 
@@ -73,6 +91,8 @@ _TAG_SELF_RISK = 1
 _TAG_EDGE_PROB = 2
 _TAG_BULK_SELF_RISK = 3
 _TAG_BULK_EDGE_PROB = 4
+_TAG_NODE_ADD = 5
+_TAG_EDGE_ADD = 6
 
 # Batch payload kinds.
 BATCH_KIND_EVENTS = b"B"
@@ -99,11 +119,42 @@ def _check_label(label: object, what: str) -> object:
     return label
 
 
+def _provenance_suffix(event: UpdateEvent) -> list:
+    """Optional provenance tail of a JSON event body.
+
+    Empty when the event carries no provenance — which keeps every
+    provenance-free event byte-identical to its v1 encoding (the v1
+    golden file still pins this codec).  When either field is set, both
+    are appended so the decoder can address them positionally.
+    """
+    source, confidence = event.source, event.confidence
+    if source is None and confidence is None:
+        return []
+    if source is not None and not isinstance(source, str):
+        raise PersistenceError(
+            f"event source {source!r} is not WAL-serialisable (want str)"
+        )
+    return [source, None if confidence is None else float(confidence)]
+
+
+def _split_provenance(fields: list, base: int, what: str) -> tuple[list, dict]:
+    """Split a decoded JSON body into base fields + provenance kwargs."""
+    if len(fields) == base:
+        return fields, {}
+    if len(fields) == base + 2:
+        return fields[:base], {
+            "source": fields[base],
+            "confidence": fields[base + 1],
+        }
+    raise ValueError(f"{what} body has {len(fields)} fields, want {base} or {base + 2}")
+
+
 def encode_event(event: UpdateEvent) -> bytes:
     """Encode one update event as a self-describing byte string."""
     if isinstance(event, SelfRiskUpdate):
         body = json.dumps(
-            [_check_label(event.label, "node label"), float(event.value)],
+            [_check_label(event.label, "node label"), float(event.value)]
+            + _provenance_suffix(event),
             ensure_ascii=False,
         ).encode("utf-8")
         return bytes([_TAG_SELF_RISK]) + body
@@ -113,7 +164,8 @@ def encode_event(event: UpdateEvent) -> bytes:
                 _check_label(event.src, "edge source label"),
                 _check_label(event.dst, "edge target label"),
                 float(event.value),
-            ],
+            ]
+            + _provenance_suffix(event),
             ensure_ascii=False,
         ).encode("utf-8")
         return bytes([_TAG_EDGE_PROB]) + body
@@ -123,6 +175,24 @@ def encode_event(event: UpdateEvent) -> bytes:
     if isinstance(event, BulkEdgeProbabilityUpdate):
         values = np.ascontiguousarray(event.values, dtype="<f8")
         return bytes([_TAG_BULK_EDGE_PROB]) + values.tobytes()
+    if isinstance(event, NodeAdd):
+        body = json.dumps(
+            [_check_label(event.label, "node label"), float(event.self_risk)]
+            + _provenance_suffix(event),
+            ensure_ascii=False,
+        ).encode("utf-8")
+        return bytes([_TAG_NODE_ADD]) + body
+    if isinstance(event, EdgeAdd):
+        body = json.dumps(
+            [
+                _check_label(event.src, "edge source label"),
+                _check_label(event.dst, "edge target label"),
+                float(event.probability),
+            ]
+            + _provenance_suffix(event),
+            ensure_ascii=False,
+        ).encode("utf-8")
+        return bytes([_TAG_EDGE_ADD]) + body
     raise PersistenceError(f"unknown update event: {event!r}")
 
 
@@ -133,15 +203,27 @@ def decode_event(data: bytes) -> UpdateEvent:
     tag, body = data[0], data[1:]
     try:
         if tag == _TAG_SELF_RISK:
-            label, value = json.loads(body.decode("utf-8"))
-            return SelfRiskUpdate(label=label, value=float(value))
+            fields = json.loads(body.decode("utf-8"))
+            (label, value), prov = _split_provenance(fields, 2, "self-risk")
+            return SelfRiskUpdate(label=label, value=float(value), **prov)
         if tag == _TAG_EDGE_PROB:
-            src, dst, value = json.loads(body.decode("utf-8"))
-            return EdgeProbabilityUpdate(src=src, dst=dst, value=float(value))
+            fields = json.loads(body.decode("utf-8"))
+            (src, dst, value), prov = _split_provenance(fields, 3, "edge-prob")
+            return EdgeProbabilityUpdate(
+                src=src, dst=dst, value=float(value), **prov
+            )
         if tag == _TAG_BULK_SELF_RISK:
             return BulkSelfRiskUpdate(values=_decode_vector(body))
         if tag == _TAG_BULK_EDGE_PROB:
             return BulkEdgeProbabilityUpdate(values=_decode_vector(body))
+        if tag == _TAG_NODE_ADD:
+            fields = json.loads(body.decode("utf-8"))
+            (label, risk), prov = _split_provenance(fields, 2, "node-add")
+            return NodeAdd(label=label, self_risk=float(risk), **prov)
+        if tag == _TAG_EDGE_ADD:
+            fields = json.loads(body.decode("utf-8"))
+            (src, dst, prob), prov = _split_provenance(fields, 3, "edge-add")
+            return EdgeAdd(src=src, dst=dst, probability=float(prob), **prov)
     except (ValueError, UnicodeDecodeError) as error:
         raise CorruptRecordError(f"malformed event body: {error}") from None
     raise CorruptRecordError(f"unknown event tag {tag}")

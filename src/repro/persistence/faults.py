@@ -33,8 +33,10 @@ from typing import BinaryIO, Callable, Hashable
 
 from repro.persistence.codec import (
     BATCH_KIND_EVENTS,
+    SUPPORTED_WAL_VERSIONS,
     CorruptRecordError,
     WAL_MAGIC,
+    WAL_MAGIC_PREFIX,
     decode_batch_payload,
     decode_record_stream,
 )
@@ -132,7 +134,11 @@ def count_durable_batches(wal_dir: str | os.PathLike) -> int:
             data = path.read_bytes()
         except OSError:
             break
-        if data[: len(WAL_MAGIC)] != WAL_MAGIC:
+        if (
+            data[:8] != WAL_MAGIC_PREFIX
+            or len(data) < len(WAL_MAGIC)
+            or data[8] not in SUPPORTED_WAL_VERSIONS
+        ):
             break
         for payload, _ in decode_record_stream(data, start=len(WAL_MAGIC)):
             try:

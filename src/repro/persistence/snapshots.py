@@ -28,7 +28,11 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Hashable
 
-from repro.persistence.codec import CODEC_VERSION, PersistenceError
+from repro.persistence.codec import (
+    CODEC_VERSION,
+    SUPPORTED_WAL_VERSIONS,
+    PersistenceError,
+)
 
 __all__ = ["SnapshotStore", "Snapshot", "TenantSnapshot"]
 
@@ -140,10 +144,11 @@ class SnapshotStore:
             raise PersistenceError(
                 f"unreadable snapshot manifest {path / _MANIFEST}: {error}"
             ) from None
-        if manifest.get("version") != CODEC_VERSION:
+        if manifest.get("version") not in SUPPORTED_WAL_VERSIONS:
             raise PersistenceError(
                 f"snapshot {path} has format version "
-                f"{manifest.get('version')}, this build reads {CODEC_VERSION}"
+                f"{manifest.get('version')}, this build reads "
+                f"{SUPPORTED_WAL_VERSIONS}"
             )
         tenants: dict[TenantId, TenantSnapshot] = {}
         for row in manifest["tenants"]:

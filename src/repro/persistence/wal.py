@@ -43,9 +43,11 @@ from typing import BinaryIO, Callable, Hashable
 from repro.persistence.codec import (
     BATCH_KIND_EVENTS,
     BATCH_KIND_REGISTER,
+    SUPPORTED_WAL_VERSIONS,
     CorruptRecordError,
     PersistenceError,
     WAL_MAGIC,
+    WAL_MAGIC_PREFIX,
     decode_batch_payload,
     decode_event,
     decode_record_stream,
@@ -186,6 +188,13 @@ class WriteAheadLog:
             _fsync_dir(self.directory)
         if not self._segments:
             self._start_segment(1)
+        elif self._segments[-1].path.read_bytes()[8] != WAL_MAGIC[8]:
+            # Never append current-version records into a segment that
+            # declares an older format: old segments stay exactly the
+            # bytes their writer produced, new batches open a new file.
+            self._start_segment(
+                _segment_index(self._segments[-1].path) + 1
+            )
         else:
             self._open_for_append(self._segments[-1])
 
@@ -193,14 +202,15 @@ class WriteAheadLog:
         """Walk one segment; truncate it at the first bad record."""
         data = path.read_bytes()
         segment = _Segment(path=path)
-        if len(data) < len(WAL_MAGIC) or data[:8] != WAL_MAGIC[:8]:
+        if len(data) < len(WAL_MAGIC) or data[:8] != WAL_MAGIC_PREFIX:
             # Torn during creation (or not a WAL file): recover to empty.
             path.write_bytes(WAL_MAGIC)
             return segment, False
-        if data[:len(WAL_MAGIC)] != WAL_MAGIC:
+        if data[8] not in SUPPORTED_WAL_VERSIONS:
             raise PersistenceError(
                 f"{path} was written by WAL format version "
-                f"{data[8]}, this build reads version {WAL_MAGIC[8]}"
+                f"{data[8]}, this build reads versions "
+                f"{SUPPORTED_WAL_VERSIONS}"
             )
         good_end = len(WAL_MAGIC)
         clean = True
@@ -371,7 +381,10 @@ class WriteAheadLog:
         batches: list[WalBatch] = []
         for segment in self._segments:
             data = segment.path.read_bytes()
-            if data[:len(WAL_MAGIC)] != WAL_MAGIC:
+            if (
+                data[:8] != WAL_MAGIC_PREFIX
+                or data[8] not in SUPPORTED_WAL_VERSIONS
+            ):
                 break
             for payload, _ in decode_record_stream(
                 data, start=len(WAL_MAGIC)

@@ -74,6 +74,9 @@ __all__ = [
     "derive_stream_key",
     "WorldBlock",
     "IndexedReverseSampler",
+    "STABLE_EDGE_BASE",
+    "STABLE_STRIDE",
+    "COUNTER_LAYOUTS",
 ]
 
 _U64 = np.uint64
@@ -81,6 +84,29 @@ _TWO_53 = 2.0**53
 #: Salt separating the per-world *sample hash* key from the draw key, so
 #: BSRBK's processing order never correlates with world contents.
 _HASH_SALT = _U64(0xD1B54A32D192ED03)
+
+#: Counter layouts.  ``"packed"`` (the default) packs each world's
+#: counters contiguously — node ``v`` of world ``w`` at ``w*(n+m) + v``,
+#: edge ``e`` at ``w*(n+m) + n + e`` — which is the historical layout
+#: every pinned result was produced under.  Its stride depends on the
+#: graph's size, so *growing* the graph re-keys every counter.
+#: ``"stable"`` reserves fixed-width lanes instead: node ``v`` at
+#: ``w * 2^33 + v``, edge ``e`` at ``w * 2^33 + 2^32 + e``.  Topology
+#: growth then never moves an existing ``(world, entity)`` counter —
+#: cached realisations stay valid verbatim, which is what makes
+#: incremental topology ingestion bit-identical to fresh detection on
+#: the grown graph.  Capacity bounds: ``n <= 2^32``, ``m <= 2^32``,
+#: world index ``< 2^31`` (so ``w * stride`` fits in 64 bits).
+COUNTER_LAYOUTS = ("packed", "stable")
+
+#: First edge counter within a world's lane under the stable layout.
+STABLE_EDGE_BASE = _U64(2**32)
+
+#: Counters reserved per world under the stable layout.
+STABLE_STRIDE = _U64(2**33)
+
+#: Largest world index addressable under the stable layout.
+_STABLE_MAX_WORLD = 2**31
 
 
 @dataclass(frozen=True)
@@ -147,6 +173,11 @@ class IndexedReverseSampler:
         Worlds explored per flat batch (memory/speed trade-off only —
         outcomes are independent of it, unlike the batched engine whose
         stream consumption depends on batching).
+    counter_layout:
+        ``"packed"`` (default) or ``"stable"`` — see
+        :data:`COUNTER_LAYOUTS`.  Layouts draw *different* uniforms for
+        the same entity, so results are reproducible within a layout
+        but not across layouts.
     """
 
     __slots__ = (
@@ -157,6 +188,7 @@ class IndexedReverseSampler:
         "_hash_key",
         "_in_csr",
         "_n",
+        "_layout",
         "_world_batch",
         "_cursor",
         "nodes_touched",
@@ -170,6 +202,7 @@ class IndexedReverseSampler:
         seed: SeedLike = None,
         *,
         world_batch: int | None = None,
+        counter_layout: str = "packed",
     ) -> None:
         self._graph = graph
         self._candidates = _validate_candidates(graph, candidates)
@@ -181,6 +214,18 @@ class IndexedReverseSampler:
         self._in_csr = graph.in_csr()
         n = graph.num_nodes
         self._n = n
+        if counter_layout not in COUNTER_LAYOUTS:
+            raise SamplingError(
+                f"counter_layout must be one of {COUNTER_LAYOUTS}, "
+                f"got {counter_layout!r}"
+            )
+        if counter_layout == "stable" and (
+            n > int(STABLE_EDGE_BASE) or graph.num_edges > int(STABLE_EDGE_BASE)
+        ):
+            raise SamplingError(
+                "stable counter layout supports at most 2^32 nodes and edges"
+            )
+        self._layout = counter_layout
         if world_batch is None:
             world_batch = max(1, min(32, 2_000_000 // max(n, 1)))
         if world_batch <= 0:
@@ -208,10 +253,25 @@ class IndexedReverseSampler:
         return self._key
 
     @property
+    def counter_layout(self) -> str:
+        """The counter layout this sampler hashes under."""
+        return self._layout
+
+    @property
     def counter_stride(self) -> np.uint64:
         """Counters per world: node ``v`` of world ``w`` sits at
-        ``w * stride + v``, edge ``e`` at ``w * stride + n + e``."""
+        ``w * stride + v``, edge ``e`` at
+        ``w * stride + edge_counter_offset + e``."""
+        if self._layout == "stable":
+            return STABLE_STRIDE
         return _U64(self._n + self._graph.num_edges)
+
+    @property
+    def edge_counter_offset(self) -> np.uint64:
+        """Offset of edge 0's counter within one world's counter lane."""
+        if self._layout == "stable":
+            return STABLE_EDGE_BASE
+        return _U64(self._n)
 
     def node_uniforms(self, world: int, nodes: np.ndarray) -> np.ndarray:
         """The fixed self-default uniforms of *nodes* in one world."""
@@ -222,7 +282,7 @@ class IndexedReverseSampler:
 
     def edge_uniforms(self, world: int, edges: np.ndarray) -> np.ndarray:
         """The fixed survival uniforms of edge ids *edges* in one world."""
-        base = _U64(int(world)) * self.counter_stride + _U64(self._n)
+        base = _U64(int(world)) * self.counter_stride + self.edge_counter_offset
         return hashed_uniforms(
             self._key, base + np.asarray(edges).astype(_U64)
         )
@@ -284,9 +344,13 @@ class IndexedReverseSampler:
         # per-world surplus folds the whole counter computation into one
         # gather + one add per frontier.  ``edge_base`` plays the same
         # role for edge counters (``world_base + n``, indexed by edge id).
+        if self._layout == "stable" and int(world_indices.max()) >= _STABLE_MAX_WORLD:
+            raise SamplingError(
+                "stable counter layout addresses world indices below 2^31"
+            )
         world_base = world_indices.astype(_U64) * self.counter_stride
         node_extra = world_base - offsets.astype(_U64)
-        edge_base = world_base + _U64(n)
+        edge_base = world_base + self.edge_counter_offset
         seed_parts: list[np.ndarray] = []
         src_parts: list[np.ndarray] = []
         dst_parts: list[np.ndarray] = []

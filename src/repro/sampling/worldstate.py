@@ -222,6 +222,28 @@ class DenseWorldState:
         edges[:current] = self.touched_edges
         self.touched_nodes, self.touched_edges = nodes, edges
 
+    def extend(self, num_nodes: int, num_edges: int) -> None:
+        """Append entity columns for appended nodes/edges (zero-filled).
+
+        Topology growth is append-only, so existing columns keep their
+        positions; the new entities start untouched in every cached
+        world — exactly what a fresh exploration of an unaffected world
+        would record, since a closure can only reach a new entity
+        through a new edge.
+        """
+        if num_nodes < self._n or num_edges < self._m:
+            raise SamplingError("world state only extends, never shrinks")
+        if num_nodes > self._n:
+            nodes = np.zeros((self.worlds, num_nodes), dtype=bool)
+            nodes[:, : self._n] = self.touched_nodes
+            self.touched_nodes = nodes
+            self._n = int(num_nodes)
+        if num_edges > self._m:
+            edges = np.zeros((self.worlds, num_edges), dtype=bool)
+            edges[:, : self._m] = self.touched_edges
+            self.touched_edges = edges
+            self._m = int(num_edges)
+
 
 class PackedWorldState:
     """Bit-packed world state with an entity→worlds inverted index.
@@ -377,6 +399,56 @@ class PackedWorldState:
         expanded[:current] = self.expanded_words
         self.touched_words, self.expanded_words = touched, expanded
         self._stale_rows.update(range(current, worlds))
+
+    def extend(
+        self,
+        num_nodes: int,
+        num_edges: int,
+        *,
+        heads: np.ndarray,
+        in_degrees: np.ndarray,
+    ) -> None:
+        """Append entity columns (bits) for appended nodes/edges.
+
+        New node bits start clear in every cached world — a closure can
+        only reach a new entity through a new edge, so an unaffected
+        world's masks are already exactly what a fresh exploration would
+        record.  *heads* / *in_degrees* are the **grown** graph's edge
+        heads and node in-degrees: existing edges keep their ids
+        (append-only growth), so the head table is a pure extension,
+        while in-degrees of existing nodes may grow — the edge-draw
+        identity ``Σ in_degree over expanded`` stays exact for worlds
+        whose expanded set contains no new edge's head, and every other
+        world must be repaired by the caller anyway.
+        """
+        if num_nodes < self._n or num_edges < self._m:
+            raise SamplingError("world state only extends, never shrinks")
+        heads = np.asarray(heads, dtype=np.int64)
+        in_degrees = np.asarray(in_degrees, dtype=np.int64)
+        if heads.shape != (int(num_edges),):
+            raise SamplingError(
+                f"heads must have shape ({num_edges},), got {heads.shape}"
+            )
+        if in_degrees.shape != (int(num_nodes),):
+            raise SamplingError(
+                f"in_degrees must have shape ({num_nodes},), "
+                f"got {in_degrees.shape}"
+            )
+        old_words = self.touched_words.shape[1]
+        new_words = _num_words(int(num_nodes))
+        if new_words > old_words:
+            touched = np.zeros((self.worlds, new_words), dtype=_WORD)
+            expanded = np.zeros((self.worlds, new_words), dtype=_WORD)
+            touched[:, :old_words] = self.touched_words
+            expanded[:, :old_words] = self.expanded_words
+            self.touched_words, self.expanded_words = touched, expanded
+        self._n = int(num_nodes)
+        self._m = int(num_edges)
+        self._heads = heads
+        self._in_degrees = in_degrees
+        # The inverted index is sized to the old entity range; it is a
+        # rebuildable accelerator, so drop rather than patch it.
+        self._drop_index()
 
     # ------------------------------------------------------------------
     # Queries
@@ -553,9 +625,11 @@ class WorldView:
     The query-engine surface over shared world state: given the graph, a
     vector of world indices and the 64-bit stream key, every per-world
     realisation is a pure hash — node ``v`` of world ``w`` draws at
-    counter ``w * (n + m) + v``, edge ``e`` at ``w * (n + m) + n + e`` —
-    so this view reproduces, **bit-identically**, the outcomes the
-    reverse-sampling engines computed for the same worlds.  In
+    counter ``w * (n + m) + v``, edge ``e`` at ``w * (n + m) + n + e``
+    under the default packed layout (the stable layout uses fixed lanes
+    ``w * 2^33 + v`` / ``w * 2^33 + 2^32 + e``) — so this view
+    reproduces, **bit-identically**, the outcomes the reverse-sampling
+    engines computed for the same worlds.  In
     particular, for a :class:`~repro.streaming.monitor.TopKMonitor`'s
     cached world set, ``view.defaulted()[:, candidates]`` equals the
     monitor's repaired outcome matrix exactly — which is what lets many
@@ -585,6 +659,10 @@ class WorldView:
         is derived from *seed* exactly as the samplers derive theirs.
     seed:
         Seed to derive a stream key from when *stream_key* is ``None``.
+    counter_layout:
+        ``"packed"`` (default) or ``"stable"`` — must match the layout
+        of the sampler whose worlds this view reproduces (see
+        :data:`repro.sampling.indexed.COUNTER_LAYOUTS`).
     """
 
     __slots__ = (
@@ -593,6 +671,7 @@ class WorldView:
         "_key",
         "_n",
         "_m",
+        "_layout",
         "_self_default",
         "_edge_survives",
         "_cache",
@@ -605,7 +684,16 @@ class WorldView:
         *,
         stream_key: np.uint64 | int | None = None,
         seed: SeedLike = None,
+        counter_layout: str = "packed",
     ) -> None:
+        from repro.sampling.indexed import COUNTER_LAYOUTS
+
+        if counter_layout not in COUNTER_LAYOUTS:
+            raise SamplingError(
+                f"counter_layout must be one of {COUNTER_LAYOUTS}, "
+                f"got {counter_layout!r}"
+            )
+        self._layout = counter_layout
         self._graph = graph
         world_ids = np.asarray(world_ids, dtype=np.int64)
         if world_ids.ndim != 1 or world_ids.size == 0:
@@ -670,12 +758,19 @@ class WorldView:
         _, _, pe = graph.edge_array
         node_thresholds = np.floor(ps * _TWO_53).astype(np.uint64)
         edge_thresholds = np.floor(pe * _TWO_53).astype(np.uint64)
-        stride = np.uint64(n + m)
+        if self._layout == "stable":
+            from repro.sampling.indexed import STABLE_EDGE_BASE, STABLE_STRIDE
+
+            stride = STABLE_STRIDE
+            edge_offset = STABLE_EDGE_BASE
+        else:
+            stride = np.uint64(n + m)
+            edge_offset = np.uint64(n)
         worlds = self.num_worlds
         self_default = np.empty((worlds, n), dtype=bool)
         edge_survives = np.empty((worlds, m), dtype=bool)
         node_ids = np.arange(n, dtype=np.uint64)
-        edge_ids = np.arange(m, dtype=np.uint64) + np.uint64(n)
+        edge_ids = np.arange(m, dtype=np.uint64) + edge_offset
         chunk = max(1, _REALISE_BUDGET // max(n + m, 1))
         key = self._key
         for start in range(0, worlds, chunk):

@@ -21,6 +21,17 @@ Rules
 * Events of different types and different entities commute — each graph
   setter touches only its own entity — so reordering across keys cannot
   change the final state.
+* Topology events (:class:`~repro.streaming.events.NodeAdd`,
+  :class:`~repro.streaming.events.EdgeAdd`) are **never coalesced**:
+  each occurrence keeps its position in the output.  Growth is
+  append-only and index-assigning, so collapsing or reordering adds
+  would change entity numbering (and would turn a structurally invalid
+  sequence — a duplicate add — into a valid one).  A bulk event does
+  not absorb topology adds either: a bulk vector sized for the grown
+  graph must still apply *after* the adds that grew it.  Probability
+  writes to an entity added earlier in the same window stay after the
+  add for the same reason (dict insertion order preserves the add's
+  earlier slot).
 
 The equivalence holds for *valid* sequences.  A serial batch is not
 transactional (a mid-batch validation error leaves earlier events
@@ -37,7 +48,9 @@ from repro.core.errors import GraphError
 from repro.streaming.events import (
     BulkEdgeProbabilityUpdate,
     BulkSelfRiskUpdate,
+    EdgeAdd,
     EdgeProbabilityUpdate,
+    NodeAdd,
     SelfRiskUpdate,
     UpdateEvent,
 )
@@ -58,6 +71,10 @@ def event_key(event: UpdateEvent) -> tuple[Hashable, ...]:
         return _BULK_NODE
     if isinstance(event, BulkEdgeProbabilityUpdate):
         return _BULK_EDGE
+    if isinstance(event, NodeAdd):
+        return ("add-node", event.label)
+    if isinstance(event, EdgeAdd):
+        return ("add-edge", event.src, event.dst)
     raise GraphError(f"unknown update event: {event!r}")
 
 
@@ -70,7 +87,15 @@ def coalesce_events(events: Iterable[UpdateEvent]) -> list[UpdateEvent]:
     entity plus at most one bulk event per type.
     """
     pending: dict[tuple[Hashable, ...], UpdateEvent] = {}
+    serial = 0
     for event in events:
+        if isinstance(event, (NodeAdd, EdgeAdd)):
+            # Topology adds pass through one-to-one, in order: a unique
+            # key per occurrence means nothing collapses them and a
+            # duplicate add still reaches validation as a duplicate.
+            pending[("topology", serial)] = event
+            serial += 1
+            continue
         key = event_key(event)
         if key == _BULK_NODE or key == _BULK_EDGE:
             kind = key[1]

@@ -6,7 +6,8 @@ centre re-detects the vulnerable set on every change.  This package
 serves that workload without recomputing from scratch:
 
 * :mod:`repro.streaming.events` — the update-event vocabulary
-  (single-entity and bulk self-risk / edge-probability patches);
+  (single-entity and bulk self-risk / edge-probability patches, plus
+  append-only ``NodeAdd``/``EdgeAdd`` topology growth);
 * :mod:`repro.streaming.monitor` — :class:`TopKMonitor`, which holds a
   live :class:`~repro.core.graph.UncertainGraph` and keeps the top-k
   answer maintained incrementally, bit-identical to fresh
@@ -18,7 +19,9 @@ serves that workload without recomputing from scratch:
 from repro.streaming.events import (
     BulkEdgeProbabilityUpdate,
     BulkSelfRiskUpdate,
+    EdgeAdd,
     EdgeProbabilityUpdate,
+    NodeAdd,
     SelfRiskUpdate,
     UpdateEvent,
     apply_event,
@@ -34,6 +37,8 @@ __all__ = [
     "EdgeProbabilityUpdate",
     "BulkSelfRiskUpdate",
     "BulkEdgeProbabilityUpdate",
+    "NodeAdd",
+    "EdgeAdd",
     "UpdateEvent",
     "apply_event",
     "apply_events",

@@ -58,8 +58,35 @@ When the dirty region exceeds ``full_rebuild_fraction`` of the graph —
 e.g. a bulk monthly re-scoring that moves everything — the monitor falls
 back to a full recomputation, which is the same code path as fresh
 detection and therefore trivially exact (the oracle tests cover both
-routes).  Topology mutations (``add_node`` / ``add_edge`` on the live
-graph) are detected by shape and likewise trigger the full fallback.
+routes).
+
+**Topology growth.**  ``NodeAdd`` / ``EdgeAdd`` events (or the
+:meth:`TopKMonitor.add_node` / :meth:`TopKMonitor.add_edge` intake)
+grow the graph append-only.  Under the default ``counter_layout=
+"packed"`` the counter PRF's stride is ``n + m``, so growth re-keys
+every ``(world, entity)`` uniform and the monitor falls back to a full
+recomputation — exact, but O(everything).  With ``counter_layout=
+"stable"`` (requires ``engine="indexed"``) each world owns a fixed
+2^33-counter lane (nodes at ``w·2^33 + v``, edges at ``w·2^33 + 2^32 +
+e``), so growth never moves an existing counter and the monitor ingests
+topology *incrementally*:
+
+* cached world masks are extended by zero bits for the new entities
+  (a cached closure can only reach a new entity through a new edge);
+* the bound iterates extend with the new nodes and refresh with the
+  attachment boundary (new nodes + new edges' heads) as the dirty seed;
+* a cached world must be re-explored **iff** some new edge's head was
+  *expanded* there — reverse exploration draws a node's in-edges only
+  when the node is expanded, so a world whose expanded set misses every
+  new head replays its exploration verbatim on the grown graph;
+* everything else (candidate columning, world-prefix resizing, BSRBK's
+  hash-order rescan) reuses the probability-path machinery.
+
+The result is bit-identical to fresh detection on the grown graph with
+the same stable layout — the crawl-while-monitoring oracle tests pin
+this after every crawl step.  Direct mutations of the live graph that
+bypass the monitor's intake are still caught by shape and handled by
+the full fallback.
 """
 
 from __future__ import annotations
@@ -83,7 +110,7 @@ from repro.core.errors import GraphError, SamplingError
 from repro.core.graph import NodeLabel, UncertainGraph
 from repro.core.propagation import ragged_positions
 from repro.core.topk import validate_k
-from repro.sampling.indexed import IndexedReverseSampler
+from repro.sampling.indexed import COUNTER_LAYOUTS, IndexedReverseSampler
 from repro.sampling.reverse import reverse_engine
 from repro.sampling.rng import SeedLike, hashed_uniform_tile, hashed_uniforms
 from repro.sampling.sample_size import reduced_sample_size, validate_epsilon_delta
@@ -96,7 +123,9 @@ from repro.sketch.bottom_k import bottom_k_scan
 from repro.streaming.events import (
     BulkEdgeProbabilityUpdate,
     BulkSelfRiskUpdate,
+    EdgeAdd,
     EdgeProbabilityUpdate,
+    NodeAdd,
     SelfRiskUpdate,
     UpdateEvent,
     validate_events,
@@ -223,6 +252,17 @@ class TopKMonitor:
         crossings alone — still exact, marginally more re-exploration.
         The packed representation fits ~8× more worlds per byte, which
         is what extends exact repair to ~100k-node graphs.
+    counter_layout:
+        Counter-PRF layout for per-world uniforms (requires
+        ``engine="indexed"`` when not ``"packed"``).  ``"packed"``
+        (default) strides by ``n + m`` — minimal counter space, but any
+        topology growth re-keys every uniform and forces the full
+        fallback.  ``"stable"`` gives each world a fixed 2^33-counter
+        lane so append-only growth (``NodeAdd`` / ``EdgeAdd``) never
+        moves an existing counter, unlocking incremental topology
+        ingestion (see the module docstring).  The two layouts draw
+        *different* (equally exact) world realisations; bit-identity
+        oracles must build the fresh detector with the same layout.
     """
 
     def __init__(
@@ -241,6 +281,7 @@ class TopKMonitor:
         full_rebuild_fraction: float = 0.25,
         world_state: str = "packed",
         world_state_budget: int = 32_000_000,
+        counter_layout: str = "packed",
     ) -> None:
         self._graph = graph
         self._k = validate_k(k, graph.num_nodes)
@@ -280,9 +321,26 @@ class TopKMonitor:
             )
         self._world_state_name = world_state
         self._world_state_budget = int(world_state_budget)
+        if counter_layout not in COUNTER_LAYOUTS:
+            raise GraphError(
+                f"counter_layout must be one of {COUNTER_LAYOUTS}, got "
+                f"{counter_layout!r}"
+            )
+        if counter_layout != "packed" and self._engine_name != "indexed":
+            raise GraphError(
+                "counter_layout='stable' requires engine='indexed': the "
+                "stream-based engines derive their own draw schedules"
+            )
+        self._counter_layout = counter_layout
         # Pending dirt: entity -> probability at the last refresh.
         self._dirty_node_old: dict[int, float] = {}
         self._dirty_edge_old: dict[int, float] = {}
+        # Tracked append-only growth since the last refresh: new node
+        # indices / edge ids accepted through the monitor's own intake.
+        # Growth that bypasses the intake desynchronises these from the
+        # live shape and is caught by _topology_consistent.
+        self._added_nodes: list[int] = []
+        self._added_edges: list[int] = []
         # Monotone count of accepted probability mutations — the cache
         # key for the read-only bounds-only answer (see bounds_topk).
         self._mutations = 0
@@ -329,10 +387,21 @@ class TopKMonitor:
             "full": 0,
             "incremental": 0,
             "clean": 0,
+            "topology": 0,
             "worlds_repaired": 0,
             "worlds_resampled": 0,
             "worlds_columned": 0,
         }
+
+    def __setstate__(self, state: dict) -> None:
+        # Monitors ride inside worker dumps and on-disk snapshots; blobs
+        # written before topology ingestion existed lack the growth
+        # bookkeeping, so default it rather than poison restored shards.
+        self.__dict__.update(state)
+        self.__dict__.setdefault("_added_nodes", [])
+        self.__dict__.setdefault("_added_edges", [])
+        self.__dict__.setdefault("_counter_layout", "packed")
+        self.stats.setdefault("topology", 0)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -361,6 +430,11 @@ class TopKMonitor:
     def world_state_kind(self) -> str:
         """Configured touched-entity representation."""
         return self._world_state_name
+
+    @property
+    def counter_layout(self) -> str:
+        """Configured counter-PRF layout (``"packed"`` / ``"stable"``)."""
+        return self._counter_layout
 
     @property
     def world_state_nbytes(self) -> int:
@@ -420,6 +494,31 @@ class TopKMonitor:
             self._dirty_edge_old.setdefault(int(edge), float(old[edge]))
             self._mutations += 1
 
+    def add_node(self, label: NodeLabel, self_risk: float = 0.0) -> int:
+        """Append a node to the live graph and track it for ingestion.
+
+        Returns the new node's index.  Under ``counter_layout="stable"``
+        the next refresh folds the growth in incrementally; otherwise it
+        takes the exact full fallback.
+        """
+        index = self._graph.add_node(label, self_risk)
+        self._added_nodes.append(int(index))
+        self._mutations += 1
+        return int(index)
+
+    def add_edge(
+        self, src: NodeLabel, dst: NodeLabel, probability: float
+    ) -> int:
+        """Append an edge to the live graph and track it for ingestion.
+
+        Returns the new edge's id.  See :meth:`add_node` for how the
+        next refresh absorbs the growth.
+        """
+        edge_id = self._graph.add_edge(src, dst, probability)
+        self._added_edges.append(int(edge_id))
+        self._mutations += 1
+        return int(edge_id)
+
     def apply(self, events: Iterable[UpdateEvent]) -> int:
         """Apply a batch of update events in order; returns the count.
 
@@ -440,6 +539,10 @@ class TopKMonitor:
                 self.set_all_self_risks(event.values)
             elif isinstance(event, BulkEdgeProbabilityUpdate):
                 self.set_all_edge_probabilities(event.values)
+            elif isinstance(event, NodeAdd):
+                self.add_node(event.label, event.self_risk)
+            elif isinstance(event, EdgeAdd):
+                self.add_edge(event.src, event.dst, event.probability)
             else:
                 raise GraphError(f"unknown update event: {event!r}")
             count += 1
@@ -608,13 +711,17 @@ class TopKMonitor:
             and self._world_ids.size
         ):
             view = WorldView(
-                graph, self._world_ids, stream_key=self._sampler.stream_key
+                graph,
+                self._world_ids,
+                stream_key=self._sampler.stream_key,
+                counter_layout=self._counter_layout,
             )
         else:
             view = WorldView(
                 graph,
                 np.arange(max(1, int(min_worlds)), dtype=np.int64),
                 seed=self._seed,
+                counter_layout=self._counter_layout,
             )
         self._query_engine = QueryEngine(view)
         self._query_engine_key = key
@@ -632,9 +739,13 @@ class TopKMonitor:
                 started, "initial", "first evaluation", dirt
             )
         elif shape != self._shape:
-            report = self._full_refresh(
-                started, "full", "graph topology changed", dirt
-            )
+            report = None
+            if self._can_ingest_topology():
+                report = self._topology_refresh(started, dirt)
+            if report is None:
+                report = self._full_refresh(
+                    started, "full", "graph topology changed", dirt
+                )
         elif nodes_idx.size == 0 and edges_idx.size == 0:
             report = RefreshReport(
                 mode="clean",
@@ -665,6 +776,8 @@ class TopKMonitor:
                     report = self._incremental_refresh(started, delta, dirt)
         self._dirty_node_old.clear()
         self._dirty_edge_old.clear()
+        self._added_nodes.clear()
+        self._added_edges.clear()
         self._shape = shape
         self._last_report = report
         self.stats["refreshes"] += 1
@@ -713,10 +826,14 @@ class TopKMonitor:
         if edge_idx.size:
             order = np.argsort(edge_idx)
             edge_idx, edge_old = edge_idx[order], edge_old[order]
-        # A topology change renumbers entities; the full fallback ignores
-        # dirt entirely, so stale indices are never dereferenced.
+        # Tracked append-only growth keeps every pre-existing index
+        # valid (append-stable numbering), so the dirty entities filter
+        # exactly as on a static graph.  Untracked topology change is
+        # opaque; the full fallback ignores dirt entirely, so the stale
+        # indices are never dereferenced.
         if (graph.num_nodes, graph.num_edges) != self._shape:
-            return node_idx, node_old, edge_idx, edge_old, edge_idx[:0]
+            if not self._topology_consistent():
+                return node_idx, node_old, edge_idx, edge_old, edge_idx[:0]
         if node_idx.size:
             keep = graph.self_risk_array[node_idx] != node_old
             node_idx, node_old = node_idx[keep], node_old[keep]
@@ -727,6 +844,211 @@ class TopKMonitor:
             edge_idx, edge_old = edge_idx[keep], edge_old[keep]
             heads = np.unique(dst[edge_idx])
         return node_idx, node_old, edge_idx, edge_old, heads
+
+    def _topology_consistent(self) -> bool:
+        """Whether the live shape is exactly the tracked append set."""
+        n, m = self._shape
+        return (
+            self._graph.num_nodes == n + len(self._added_nodes)
+            and self._graph.num_edges == m + len(self._added_edges)
+        )
+
+    def _can_ingest_topology(self) -> bool:
+        """Whether the pending shape change qualifies for the
+        incremental topology path (stable counters, warm pipeline, and
+        growth fully explained by the monitor's own intake)."""
+        return (
+            self._engine_name == "indexed"
+            and self._counter_layout == "stable"
+            and self._bounds is not None
+            and self._reduction is not None
+            and self._topology_consistent()
+        )
+
+    def _topology_refresh(self, started: float, dirt) -> RefreshReport | None:
+        """Fold tracked append-only growth in without a full rebuild.
+
+        Returns ``None`` to fall back to the full path (dirty region or
+        bound frontier above threshold).  Stage by stage:
+
+        * **Bounds** extend with NaN placeholders for the new nodes and
+          refresh with the attachment boundary — new nodes plus every
+          new edge's head — unioned into the probability dirt as the
+          seed (:meth:`IncrementalBoundPair.extend_topology`).
+        * **Reduction** always re-runs: the bound delta's old-value
+          telemetry is NaN for new nodes, so the Tl-crossing shortcut
+          has nothing sound to compare against; Algorithm 4 itself is
+          O(n) and cheap next to sampling.
+        * **Sampling** extends the cached world masks with zero bits
+          for the new entities (a cached closure cannot contain them),
+          rebuilds the sampler over the grown CSR — same stream key,
+          same stable counters — and re-explores exactly the worlds
+          whose expanded set contains a new edge's head (reverse
+          exploration draws a node's in-edges only once the node is
+          expanded, so every other world replays verbatim) plus the
+          usual probability-crossing rows.  Candidate/budget drift
+          reuses the columning machinery; BSRBK re-runs its stopping
+          scan over the repaired prefix.
+        """
+        graph = self._graph
+        nodes_idx, nodes_old, edges_idx, edges_old, heads = dirt
+        assert self._bounds is not None and self._reduction is not None
+        new_nodes = np.asarray(sorted(self._added_nodes), dtype=np.int64)
+        new_edges = np.asarray(sorted(self._added_edges), dtype=np.int64)
+        _, dst, _ = graph.edge_array
+        new_heads = (
+            np.unique(dst[new_edges]) if new_edges.size else new_edges
+        )
+        limit = max(1, int(self._full_fraction * graph.num_nodes))
+        bound_nodes = np.union1d(nodes_idx, new_nodes)
+        bound_heads = np.union1d(heads, new_heads)
+        if bound_nodes.size + bound_heads.size > limit:
+            return None
+        delta = self._bounds.extend_topology(
+            bound_nodes, bound_heads, limit=limit
+        )
+        if delta is None:
+            return None
+        lower, upper = self._bounds.pair()
+        reduction = reduce_candidates(graph, lower, upper, self._k)
+        worlds_repaired = 0
+        if reduction.k_remaining == 0:
+            sampling = "skipped"
+            self._clear_sampling_state()
+        else:
+            samples = reduced_sample_size(
+                reduction.candidate_size,
+                self._k,
+                reduction.k_verified,
+                self._epsilon,
+                self._delta,
+            )
+            state = self._world_state
+            over_budget = (
+                state is not None
+                and self._state_cls.bytes_needed(
+                    self._samples, graph.num_nodes, graph.num_edges
+                )
+                > self._world_state_budget
+            )
+            if (
+                self._sampler is None
+                or self._world_outcomes is None
+                or state is None
+                or over_budget
+            ):
+                # Nothing extendable is cached (previous refresh skipped
+                # sampling, or touched state is absent / would blow the
+                # budget after growth).  Re-estimating afresh is still
+                # exact — and bit-identical to the fresh oracle, which
+                # takes this same path.
+                self._resample(reduction, samples)
+                sampling = "resampled"
+                worlds_repaired = (
+                    self._processed
+                    if self._algorithm == "bsrbk"
+                    else samples
+                )
+                self.stats["worlds_resampled"] += worlds_repaired
+            else:
+                # Extend first: old bits are preserved, new entities'
+                # columns start zero, so the pre-growth invalidation
+                # queries below read exactly the pre-growth masks.
+                if self._state_cls is DenseWorldState:
+                    state.extend(graph.num_nodes, graph.num_edges)
+                else:
+                    state.extend(
+                        graph.num_nodes,
+                        graph.num_edges,
+                        heads=dst,
+                        in_degrees=np.diff(graph.in_csr().indptr),
+                    )
+                # The cached sampler's CSR and candidate frontier
+                # predate the growth; stable counters make the rebuild
+                # draw-compatible with every cached world.
+                self._sampler = self._make_indexed_sampler(
+                    self._sampling_candidates
+                )
+                prob_affected = self._affected_rows(
+                    nodes_idx, nodes_old, edges_idx, edges_old
+                )
+                if new_edges.size:
+                    if self._state_cls is DenseWorldState:
+                        # The dense state has no expanded mask and its
+                        # drawn-edge columns are zero for new edges, so
+                        # query the touched bits of the new heads —
+                        # touched ⊇ expanded, and re-exploring a world
+                        # that merely touched (never expanded) a new
+                        # head replays verbatim, so the superset repair
+                        # is exact, just marginally wider.
+                        hit_rows, _ = state.node_pairs(new_heads)
+                    else:
+                        hit_rows, _ = state.edge_pairs(
+                            new_edges, dst[new_edges]
+                        )
+                    topo_affected = np.unique(hit_rows)
+                else:
+                    topo_affected = new_edges
+                affected = np.union1d(prob_affected, topo_affected).astype(
+                    np.int64
+                )
+                inputs_unchanged = (
+                    samples == self._samples
+                    and np.array_equal(
+                        reduction.candidates, self._sampling_candidates
+                    )
+                )
+                if inputs_unchanged or self._can_column(reduction, samples):
+                    if not inputs_unchanged:
+                        appended = self._column_repair(reduction, samples)
+                        affected = affected[affected < self._samples]
+                        sampling = "columned"
+                        worlds_repaired = int(affected.size) + appended
+                        self.stats["worlds_columned"] += appended
+                    elif affected.size:
+                        sampling = "repaired"
+                        worlds_repaired = int(affected.size)
+                    else:
+                        sampling = "reused"
+                    if affected.size:
+                        self._repair_rows(affected)
+                        self.stats["worlds_repaired"] += int(affected.size)
+                    if self._algorithm == "bsrbk":
+                        stop_changed = (
+                            int(reduction.k_remaining) != self._stop_after
+                        )
+                        self._stop_after = int(reduction.k_remaining)
+                        if affected.size or stop_changed:
+                            extended = self._bk_rescan()
+                            worlds_repaired += extended
+                            self.stats["worlds_repaired"] += extended
+                            if extended and sampling == "reused":
+                                sampling = "repaired"
+                    self.last_repaired_rows = affected
+                else:
+                    self._resample(reduction, samples)
+                    sampling = "resampled"
+                    worlds_repaired = (
+                        self._processed
+                        if self._algorithm == "bsrbk"
+                        else samples
+                    )
+                    self.stats["worlds_resampled"] += worlds_repaired
+        self._reduction = reduction
+        self._assemble(started)
+        self.stats["topology"] += 1
+        return RefreshReport(
+            mode="incremental",
+            reason="incremental topology ingestion",
+            dirty_nodes=int(nodes_idx.size),
+            dirty_edges=int(edges_idx.size),
+            bounds_recomputed=delta.nodes_recomputed,
+            reduction_reused=False,
+            sampling=sampling,
+            worlds_repaired=worlds_repaired,
+            samples=self._samples,
+            elapsed_seconds=time.perf_counter() - started,
+        )
 
     def _full_refresh(
         self, started: float, mode: str, reason: str, dirt
@@ -956,9 +1278,29 @@ class TopKMonitor:
             lows = np.minimum(edges_old, new_probs)
             highs = np.maximum(edges_old, new_probs)
             crossing_pairs(
-                edges_idx, lows, highs, _U64(graph.num_nodes), is_edge=True
+                edges_idx,
+                lows,
+                highs,
+                self._sampler.edge_counter_offset,
+                is_edge=True,
             )
         return np.flatnonzero(affected)
+
+    def _make_indexed_sampler(
+        self, candidates: np.ndarray
+    ) -> IndexedReverseSampler:
+        """The monitor's canonical indexed-sampler construction.
+
+        Every rebuild must thread the same seed *and* counter layout —
+        a layout mismatch would re-key the per-world uniforms and
+        silently break the repair-set bit-identity guarantee.
+        """
+        return IndexedReverseSampler(
+            self._graph,
+            candidates,
+            seed=self._seed,
+            counter_layout=self._counter_layout,
+        )
 
     def _repair_rows(self, rows: np.ndarray) -> None:
         """Re-explore only the invalidated world rows and splice them in.
@@ -1071,9 +1413,7 @@ class TopKMonitor:
         self._world_outcomes = outcomes
         if added.size:
             added_positions = np.searchsorted(new_candidates, added)
-            added_sampler = IndexedReverseSampler(
-                graph, added, seed=self._seed
-            )
+            added_sampler = self._make_indexed_sampler(added)
             for positions, block in added_sampler.iter_world_blocks(
                 np.arange(keep, dtype=np.int64),
                 collect_touched=state.collect_mode,
@@ -1083,9 +1423,7 @@ class TopKMonitor:
                 self._world_node_draws[positions] += node_delta
                 self._world_edge_draws[positions] += edge_delta
         # 3. The monitor's sampler now serves the new candidate set.
-        sampler = IndexedReverseSampler(
-            graph, new_candidates, seed=self._seed
-        )
+        sampler = self._make_indexed_sampler(new_candidates)
         self._sampler = sampler
         appended = samples - keep
         if appended > 0:
@@ -1138,8 +1476,8 @@ class TopKMonitor:
     def _resample(self, reduction: CandidateReduction, samples: int) -> None:
         """Estimate the whole candidate set afresh (as fresh detection)."""
         graph = self._graph
-        sampler = self._engine(graph, reduction.candidates, seed=self._seed)
         if self._engine_name == "indexed":
+            sampler = self._make_indexed_sampler(reduction.candidates)
             self._sampler = sampler
             if self._algorithm == "bsrbk":
                 self._bk_resample(reduction, samples)
@@ -1173,6 +1511,7 @@ class TopKMonitor:
                 self._processed = 0
             self._closure = None
         else:
+            sampler = self._engine(graph, reduction.candidates, seed=self._seed)
             estimate = sampler.run(samples)
             self._probs = estimate.probabilities
             self._nodes_touched = sampler.nodes_touched

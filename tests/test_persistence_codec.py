@@ -1,4 +1,5 @@
-"""Codec tests: event round-trips, record framing, and the v1 golden file."""
+"""Codec tests: event round-trips, record framing, and the golden files
+(v1 provenance-free, v2 provenance + topology)."""
 
 from __future__ import annotations
 
@@ -17,7 +18,9 @@ from repro.persistence.codec import (
     CODEC_VERSION,
     CorruptRecordError,
     PersistenceError,
+    SUPPORTED_WAL_VERSIONS,
     WAL_MAGIC,
+    WAL_MAGIC_PREFIX,
     decode_batch_payload,
     decode_event,
     decode_record_stream,
@@ -28,11 +31,14 @@ from repro.persistence.codec import (
 from repro.streaming.events import (
     BulkEdgeProbabilityUpdate,
     BulkSelfRiskUpdate,
+    EdgeAdd,
     EdgeProbabilityUpdate,
+    NodeAdd,
     SelfRiskUpdate,
 )
 
 GOLDEN = Path(__file__).parent / "data" / "wal_golden_v1.log"
+GOLDEN_V2 = Path(__file__).parent / "data" / "wal_golden_v2.log"
 
 # JSON-scalar labels the durable layer accepts: unicode text (including
 # the empty string), ints, bools, floats, None.
@@ -47,6 +53,10 @@ probabilities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
 vectors = st.lists(probabilities, max_size=30).map(
     lambda values: np.asarray(values, dtype=np.float64)
 )
+# Optional provenance: both fields absent, or any combination where at
+# least one is set (the codec serialises the pair positionally).
+sources = st.one_of(st.none(), st.text(max_size=30))
+confidences = st.one_of(st.none(), probabilities)
 
 
 class TestEventRoundTrip:
@@ -101,6 +111,88 @@ class TestEventRoundTrip:
         blob = encode_event(BulkSelfRiskUpdate(np.array([0.5])))
         with pytest.raises(CorruptRecordError, match="aligned"):
             decode_event(blob + b"xyz")
+
+
+class TestProvenanceAndTopologyRoundTrip:
+    """v2 additions: optional provenance on per-entity events, and the
+    ``NodeAdd``/``EdgeAdd`` topology tags."""
+
+    @given(label=labels, value=probabilities,
+           source=sources, confidence=confidences)
+    def test_self_risk_with_provenance(
+        self, label, value, source, confidence
+    ):
+        event = SelfRiskUpdate(
+            label=label, value=value, source=source, confidence=confidence
+        )
+        decoded = decode_event(encode_event(event))
+        assert decoded == event
+
+    @given(src=labels, dst=labels, value=probabilities,
+           source=sources, confidence=confidences)
+    def test_edge_probability_with_provenance(
+        self, src, dst, value, source, confidence
+    ):
+        event = EdgeProbabilityUpdate(
+            src=src,
+            dst=dst,
+            value=value,
+            source=source,
+            confidence=confidence,
+        )
+        decoded = decode_event(encode_event(event))
+        assert decoded == event
+
+    @given(label=labels, risk=probabilities,
+           source=sources, confidence=confidences)
+    def test_node_add(self, label, risk, source, confidence):
+        event = NodeAdd(
+            label=label,
+            self_risk=risk,
+            source=source,
+            confidence=confidence,
+        )
+        decoded = decode_event(encode_event(event))
+        assert isinstance(decoded, NodeAdd)
+        assert decoded == event
+
+    @given(src=labels, dst=labels, prob=probabilities,
+           source=sources, confidence=confidences)
+    def test_edge_add(self, src, dst, prob, source, confidence):
+        event = EdgeAdd(
+            src=src,
+            dst=dst,
+            probability=prob,
+            source=source,
+            confidence=confidence,
+        )
+        decoded = decode_event(encode_event(event))
+        assert isinstance(decoded, EdgeAdd)
+        assert decoded == event
+
+    @given(label=labels, value=probabilities)
+    def test_provenance_free_events_stay_v1_byte_identical(
+        self, label, value
+    ):
+        # The compatibility keystone: a v1 writer's events encode to the
+        # same bytes under the v2 codec, so the v1 golden file keeps
+        # pinning this codec and old readers were never misled.
+        event = SelfRiskUpdate(label=label, value=value)
+        blob = encode_event(event)
+        import json as _json
+
+        assert blob[0] == 1
+        assert _json.loads(blob[1:].decode("utf-8")) == [label, value]
+
+    def test_non_string_source_rejected(self):
+        with pytest.raises(PersistenceError, match="source"):
+            encode_event(SelfRiskUpdate("a", 0.5, source=123))
+
+    def test_wrong_field_count_rejected(self):
+        # 3 fields is neither the 2-field base nor the 4-field
+        # provenance form of a self-risk body.
+        with pytest.raises(CorruptRecordError, match="fields"):
+            decode_event(bytes([1]) + b'["a", 0.5, "stray"]')
 
 
 class TestRecordFraming:
@@ -169,17 +261,22 @@ class TestBatchPayload:
 class TestGoldenFile:
     """Pin the v1 on-disk format against a committed byte-exact log.
 
-    If this test breaks, the change is a WAL format break: bump
-    CODEC_VERSION and add a new golden file rather than editing this one
-    — version-1 logs in the field must stay readable or be refused,
-    never misread.
+    v2 extended the grammar (provenance tails, topology tags) without
+    changing any byte a v1 writer could produce, so this file keeps
+    pinning the current codec.  If decoding it breaks, the change is a
+    WAL format break: bump CODEC_VERSION and add a new golden file
+    rather than editing this one — older logs in the field must stay
+    readable or be refused, never misread.
     """
 
     def test_magic(self):
         data = GOLDEN.read_bytes()
-        assert data[:9] == b"REPROWAL" + bytes([1])
-        assert CODEC_VERSION == 1, "bump needs a new golden file"
-        assert WAL_MAGIC == data[:9]
+        assert data[:9] == WAL_MAGIC_PREFIX + bytes([1])
+        assert CODEC_VERSION == 2, "bump needs a new golden file"
+        assert WAL_MAGIC == WAL_MAGIC_PREFIX + bytes([2])
+        # v1 logs in the field must stay readable, never misread.
+        assert set(SUPPORTED_WAL_VERSIONS) == {1, 2}
+        assert len(WAL_MAGIC) == len(data[:9])
 
     def test_decodes_to_pinned_batches(self):
         data = GOLDEN.read_bytes()
@@ -225,3 +322,69 @@ class TestGoldenFile:
         assert batches[0].register == {
             "k": 3, "kwargs": {"epsilon": 0.5, "seed": 7},
         }
+
+
+class TestGoldenFileV2:
+    """Pin the v2 on-disk format: provenance tails + topology tags.
+
+    Same contract as the v1 pin: if this file stops decoding to exactly
+    these batches, that is a format break — bump CODEC_VERSION and add
+    ``wal_golden_v3.log`` instead of editing this test.
+    """
+
+    def test_magic(self):
+        data = GOLDEN_V2.read_bytes()
+        assert data[:9] == WAL_MAGIC_PREFIX + bytes([2])
+        assert WAL_MAGIC == data[:9]
+
+    def test_decodes_to_pinned_batches(self):
+        data = GOLDEN_V2.read_bytes()
+        batches = [
+            decode_batch_payload(payload)
+            for payload, _ in decode_record_stream(data, start=len(WAL_MAGIC))
+        ]
+        assert [batch[0] for batch in batches] == [
+            BATCH_KIND_REGISTER,
+            BATCH_KIND_EVENTS,
+            BATCH_KIND_EVENTS,
+            BATCH_KIND_EVENTS,
+        ]
+        assert [batch[1] for batch in batches] == [1, 2, 3, 4]
+        assert [batch[2] for batch in batches] == [
+            "alpha", "alpha", "alpha", 17,
+        ]
+
+        register = batches[0][3]
+        assert register == [b'{"k": 3, "kwargs": {"epsilon": 0.5, "seed": 7}}']
+
+        scalars = [decode_event(part) for part in batches[1][3]]
+        assert scalars == [
+            SelfRiskUpdate("B", 0.232, source="feed", confidence=0.875),
+            EdgeProbabilityUpdate("A", "B", 0.2),
+        ]
+
+        topology = [decode_event(part) for part in batches[2][3]]
+        assert topology == [
+            NodeAdd("C", 0.3, source="crawl:seed", confidence=1.0),
+            EdgeAdd("C", "A", 0.45, source="crawl:degree/0", confidence=1.0),
+            EdgeAdd("A", "C", 0.5),
+        ]
+
+        (unicode_event,) = [decode_event(part) for part in batches[3][3]]
+        assert unicode_event == SelfRiskUpdate("é-node", 1.0)
+
+    def test_wal_reader_recovers_golden(self, tmp_path):
+        from repro.persistence.wal import WriteAheadLog
+
+        target = tmp_path / "wal-00000001.log"
+        target.write_bytes(GOLDEN_V2.read_bytes())
+        with WriteAheadLog(tmp_path) as wal:
+            batches = wal.read_batches()
+        assert [batch.kind for batch in batches] == [
+            "register", "events", "events", "events",
+        ]
+        topology = batches[2].events
+        assert topology[0].source == "crawl:seed"
+        assert topology[1] == EdgeAdd(
+            "C", "A", 0.45, source="crawl:degree/0", confidence=1.0
+        )
