@@ -25,6 +25,9 @@ Usage::
     repro-detect crawl --dataset wiki --strategy avrachenkov \
         --budget 60 --seeds 4 --k 5 --verify
 
+    repro-detect replicate --dataset guarantee --tenants 4 --k 10 \
+        --rounds 6 --replicas 2 --verify
+
 The default (no subcommand) form reads a graph (JSON or text edge list,
 or a named synthetic dataset), runs one detection method, and prints the
 ranked answer — as a table or as JSON for scripting.
@@ -64,6 +67,16 @@ topology events incrementally — crawl-while-monitoring.  ``--verify``
 checks every post-step answer bit-for-bit against fresh detection on an
 independently replayed observed subgraph; the summary reports the final
 answer's recall of the hidden graph's true top-k.
+
+The ``replicate`` subcommand runs a self-contained failover drill
+(:mod:`repro.replication`): a durable primary serves tenant streams
+while WAL shippers mirror every accepted batch to ``--replicas``
+replicas; the primary is then crashed, the most-caught-up replica is
+promoted behind an epoch fence, and the deposed primary's late write
+is proven rejected.  The report covers per-batch replication lag,
+promotion time, and — with ``--verify`` — bit-identity of every
+replica's and the promoted service's answers against the pre-crash
+primary.
 """
 
 from __future__ import annotations
@@ -87,11 +100,13 @@ __all__ = [
     "build_serve_parser",
     "build_query_parser",
     "build_crawl_parser",
+    "build_replicate_parser",
     "main",
     "stream_main",
     "serve_main",
     "query_main",
     "crawl_main",
+    "replicate_main",
 ]
 
 
@@ -1097,6 +1112,75 @@ def build_crawl_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_replicate_parser() -> argparse.ArgumentParser:
+    """Argument parser of the ``replicate`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-detect replicate",
+        description=(
+            "Run a replication drill: ship the primary's WAL to "
+            "replicas, crash the primary, promote, and prove the old "
+            "lineage fenced."
+        ),
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--graph", help="path to a graph file")
+    source.add_argument(
+        "--dataset",
+        choices=available_datasets(),
+        help="generate a named synthetic dataset",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("json", "edgelist"),
+        default="json",
+        help="graph file format (default: json)",
+    )
+    parser.add_argument("--scale", type=float, default=None,
+                        help="dataset scale (synthetic datasets only)")
+    size = parser.add_mutually_exclusive_group(required=True)
+    size.add_argument("--k", type=int, help="answer size (absolute)")
+    size.add_argument("--k-percent", type=float,
+                      help="answer size as a percentage of |V|")
+    parser.add_argument("--tenants", type=int, default=4,
+                        help="tenant monitors on the primary (default: 4)")
+    parser.add_argument("--rounds", type=int, default=6,
+                        help="flushed event batches per tenant (default: 6)")
+    parser.add_argument("--events-per-round", type=int, default=4,
+                        help="events per tenant per batch (default: 4)")
+    parser.add_argument("--replicas", type=int, default=2,
+                        help="WAL-shipped replicas (default: 2)")
+    parser.add_argument("--drift", type=float, default=0.1,
+                        help="std-dev of the per-patch probability drift")
+    parser.add_argument(
+        "--state-dir",
+        default=None,
+        help=(
+            "directory for the primary WAL, mirrors, and epoch register "
+            "(default: a temp directory, removed afterwards)"
+        ),
+    )
+    parser.add_argument(
+        "--fsync",
+        choices=("always", "flush"),
+        default="flush",
+        help="primary WAL fsync policy (default: flush)",
+    )
+    parser.add_argument("--epsilon", type=float, default=0.3)
+    parser.add_argument("--delta", type=float, default=0.1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help=(
+            "check every replica's and the promoted service's answers "
+            "bit-for-bit against the pre-crash primary"
+        ),
+    )
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the drill report as JSON")
+    return parser
+
+
 def _resolve_seeds(args: argparse.Namespace, hidden: UncertainGraph):
     """Seed labels from ``--seeds`` (explicit list or random count)."""
     import numpy as np
@@ -1246,6 +1330,214 @@ def crawl_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def replicate_main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``replicate`` subcommand."""
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from repro.core.errors import FencedError
+    from repro.replication import (
+        EpochStore,
+        FailoverCoordinator,
+        LocalSource,
+        ReplicaService,
+        ReplicationHub,
+        WalShipper,
+    )
+    from repro.serving import RiskService
+    from repro.streaming.events import apply_event
+    from repro.streaming.replay import random_patch_stream
+
+    args = build_replicate_parser().parse_args(argv)
+    primary = None
+    promoted = None
+    scratch = None
+    try:
+        graph = _load_graph(args)
+        k = _resolve_k(args, graph)
+        if args.tenants < 1:
+            raise ReproError(f"--tenants must be >= 1, got {args.tenants}")
+        if args.rounds < 1:
+            raise ReproError(f"--rounds must be >= 1, got {args.rounds}")
+        if args.replicas < 1:
+            raise ReproError(
+                f"--replicas must be >= 1, got {args.replicas}"
+            )
+        if args.state_dir is not None:
+            state_dir = Path(args.state_dir)
+            state_dir.mkdir(parents=True, exist_ok=True)
+        else:
+            scratch = Path(tempfile.mkdtemp(prefix="repro-replicate-"))
+            state_dir = scratch
+        monitor_defaults = {
+            "seed": args.seed,
+            "engine": "indexed",
+            "epsilon": args.epsilon,
+            "delta": args.delta,
+        }
+        primary = RiskService(
+            graph,
+            mode="serial",
+            monitor_defaults=monitor_defaults,
+            wal_dir=state_dir / "primary",
+            fsync=args.fsync,
+            epoch_store=EpochStore(state_dir / "epoch.json"),
+            node_id="primary",
+        )
+        tenant_ids = [f"portfolio-{i:02d}" for i in range(args.tenants)]
+        for tenant_id in tenant_ids:
+            primary.register_tenant(tenant_id, k)
+        hub = ReplicationHub(primary)
+        fleet = {}
+        for index in range(args.replicas):
+            node = f"r{index + 1}"
+            replica = ReplicaService(
+                graph,
+                state_dir / node,
+                node_id=node,
+                mode="serial",
+                monitor_defaults=monitor_defaults,
+                fsync="flush",
+            )
+            fleet[node] = (replica, WalShipper(LocalSource(hub), replica))
+        shadows = {tenant_id: graph.copy() for tenant_id in tenant_ids}
+        drift = args.drift if args.drift > 0 else None
+        streams = {
+            tenant_id: random_patch_stream(
+                shadows[tenant_id],
+                # One spare event per stream: the deposed primary's
+                # provably-fenced late write after promotion.
+                args.rounds * args.events_per_round + 1,
+                seed=args.seed + 101 + position,
+                drift=drift,
+            )
+            for position, tenant_id in enumerate(tenant_ids)
+        }
+        # Drive the stream; after every durable flush, step each
+        # shipper until the batch is applied everywhere and record the
+        # replication lag.
+        lags: list[float] = []
+        for _ in range(args.rounds):
+            for tenant_id in tenant_ids:
+                for _ in range(args.events_per_round):
+                    event = next(streams[tenant_id])
+                    primary.submit_update(tenant_id, event)
+                    apply_event(shadows[tenant_id], event)
+            primary.flush()
+            target = primary.durable_seq
+            started = time.perf_counter()
+            for replica, shipper in fleet.values():
+                while replica.applied_seq < target:
+                    shipper.step()
+            lags.append(time.perf_counter() - started)
+        primary_answers = {
+            tenant_id: primary.query_topk(tenant_id, flush=False)
+            for tenant_id in tenant_ids
+        }
+        replica_matches = args.verify and all(
+            primary_answers[tenant_id].same_answer(
+                replica.query_topk(tenant_id)
+            )
+            for _, (replica, _) in fleet.items()
+            for tenant_id in tenant_ids
+        )
+        # The operator declares the primary dead (here: simply stops
+        # routing to it) and promotes the most-caught-up replica.  The
+        # deposed primary is left running so its late write can be
+        # proven fenced.
+        coordinator = FailoverCoordinator(
+            EpochStore(state_dir / "epoch.json")
+        )
+        winner, promoted = coordinator.promote(
+            {node: replica for node, (replica, _) in fleet.items()},
+            fsync=args.fsync,
+        )
+        promoted_answers = {
+            tenant_id: promoted.query_topk(tenant_id, flush=False)
+            for tenant_id in tenant_ids
+        }
+        try:
+            primary.submit_and_sync(
+                tenant_ids[0], next(streams[tenant_ids[0]])
+            )
+            fenced = False
+        except FencedError:
+            fenced = True
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        for service in (primary, promoted):
+            if service is not None:
+                # Crash-style release: the deposed primary's graceful
+                # close would raise through the fence, and the drill
+                # must not mutate state after its verdict.
+                service._wal.close()
+                service._pool.shutdown()
+                service._closed = True
+        if scratch is not None:
+            shutil.rmtree(scratch, ignore_errors=True)
+    lags_ms = sorted(lag * 1e3 for lag in lags)
+    mismatches = 0
+    rows = []
+    for tenant_id in tenant_ids:
+        result = promoted_answers[tenant_id]
+        row = {
+            "tenant": tenant_id,
+            "top": ", ".join(str(node) for node in result.nodes[:3]),
+            "samples": result.samples_used,
+        }
+        if args.verify:
+            row["match"] = result.same_answer(primary_answers[tenant_id])
+            mismatches += not row["match"]
+        rows.append(row)
+    summary = {
+        "k": k,
+        "tenants": len(tenant_ids),
+        "replicas": args.replicas,
+        "rounds": args.rounds,
+        "events": args.tenants * args.rounds * args.events_per_round,
+        "lag_p50_ms": round(lags_ms[len(lags_ms) // 2], 3),
+        "lag_max_ms": round(lags_ms[-1], 3),
+        "failover_winner": winner,
+        "failover_epoch": promoted.epoch,
+        "promotion_seconds": round(
+            coordinator.last_promotion_seconds, 4
+        ),
+        "deposed_primary_fenced": fenced,
+    }
+    if args.verify:
+        summary["replicas_bit_identical"] = bool(replica_matches)
+    if args.as_json:
+        print(json.dumps({**summary, "tenants_detail": rows}, indent=1))
+    else:
+        print(render_table(
+            rows,
+            title=(
+                f"promoted {winner} (epoch {promoted.epoch}) serving "
+                f"top-{k} to {len(tenant_ids)} tenants after failover"
+            ),
+        ))
+        print(
+            f"replication lag: p50 {summary['lag_p50_ms']}ms, "
+            f"max {summary['lag_max_ms']}ms over {args.rounds} batches; "
+            f"promotion took {summary['promotion_seconds']}s; "
+            f"deposed primary fenced: {fenced}"
+        )
+        if args.verify:
+            print(
+                f"verify: {len(rows) - mismatches}/{len(rows)} tenants "
+                f"bit-identical to the pre-crash primary; replicas "
+                f"bit-identical: {bool(replica_matches)}"
+            )
+    if not fenced:
+        return 1
+    if args.verify and (mismatches or not replica_matches):
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     if argv is None:
@@ -1258,6 +1550,8 @@ def main(argv: list[str] | None = None) -> int:
         return query_main(argv[1:])
     if argv and argv[0] == "crawl":
         return crawl_main(argv[1:])
+    if argv and argv[0] == "replicate":
+        return replicate_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

@@ -20,6 +20,8 @@ __all__ = [
     "BackpressureError",
     "FrontendError",
     "QueryError",
+    "ReplicationError",
+    "FencedError",
 ]
 
 
@@ -76,3 +78,24 @@ class FrontendError(ReproError):
 
 class QueryError(ReproError):
     """Raised when a world-query family is unknown or misconfigured."""
+
+
+class ReplicationError(ReproError):
+    """Raised when WAL shipping or replica catch-up cannot proceed."""
+
+
+class FencedError(ReplicationError):
+    """Raised when a deposed primary's write is rejected by epoch fencing.
+
+    Carries the epoch the writer believed it held and the newer epoch
+    that fenced it, so callers can log the hand-off and clients can be
+    redirected to the current primary.
+    """
+
+    def __init__(self, held_epoch: int, current_epoch: int) -> None:
+        super().__init__(
+            f"writer fenced: holds epoch {held_epoch}, "
+            f"cluster is at epoch {current_epoch}"
+        )
+        self.held_epoch = held_epoch
+        self.current_epoch = current_epoch

@@ -205,7 +205,8 @@ class FrontendStats:
 
     ``received == completed + degraded + rejected_rate +
     rejected_capacity + rejected_backlog + auth_failures + bad_requests
-    + errors`` — the reconciliation the overload benchmark gates on.
+    + errors + fenced`` — the reconciliation the overload benchmark
+    gates on.
     ``timeouts`` double-counts inside ``degraded`` (a deadline
     expiry *is* served degraded) and exists to split predicted
     (pre-emptive) from reactive degradation.
@@ -221,6 +222,9 @@ class FrontendStats:
     auth_failures: int = 0
     bad_requests: int = 0
     errors: int = 0
+    #: Writes refused because this node's epoch was superseded — the
+    #: 503 tells the client to re-discover the promoted primary.
+    fenced: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -242,6 +246,7 @@ class FrontendStats:
                 "auth_failures": self.auth_failures,
                 "bad_requests": self.bad_requests,
                 "errors": self.errors,
+                "fenced": self.fenced,
             }
 
     def accounted(self) -> int:
@@ -256,6 +261,7 @@ class FrontendStats:
             + totals["auth_failures"]
             + totals["bad_requests"]
             + totals["errors"]
+            + totals["fenced"]
         )
 
 

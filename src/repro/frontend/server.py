@@ -22,15 +22,26 @@ One :class:`FrontendServer` binds an ``asyncio`` HTTP/JSON endpoint
 
 The endpoints:
 
-========  ==================  =====================================
-method    path                body / semantics
-========  ==================  =====================================
-GET       /healthz            liveness (no auth)
-GET       /v1/stats           counters: frontend, queue, cache, model
-POST      /v1/register        ``{tenant, k, kwargs?}``
-POST      /v1/update          ``{tenant, event}`` → ``{accepted}``
-POST      /v1/query           ``{tenant, budget_ms?, allow_degraded?}``
-========  ==================  =====================================
+========  =========================  =====================================
+method    path                       body / semantics
+========  =========================  =====================================
+GET       /healthz                   liveness (no auth)
+GET       /v1/health                 role/epoch/lag report (no auth)
+GET       /v1/stats                  counters: frontend, queue, cache, model
+POST      /v1/register               ``{tenant, k, kwargs?}``
+POST      /v1/update                 ``{tenant, event, ack?}`` → ``{accepted}``
+POST      /v1/query                  ``{tenant, budget_ms?, allow_degraded?}``
+POST      /v1/replication/fetch      WAL chunk pull (cluster token)
+POST      /v1/replication/bootstrap  snapshot files (cluster token)
+========  =========================  =====================================
+
+``/v1/update`` accepts an ``ack`` level: ``window`` (default — the
+historical buffered-accept), ``durable`` (returns after the event's
+batch is fsynced, with its WAL ``seq``), or ``replicated`` (durable
+plus waits — bounded — for a replica ack; ``replicated: false`` on
+timeout is an honest non-ack, the event is still durable locally).
+Writes refused because this node's epoch was superseded answer ``503``
+with ``Retry-After`` so clients re-route to the promoted primary.
 
 Every query response reports ``degraded`` / ``stale`` flags and an
 ``X-Elapsed-Ms`` header (server-side handling time — what the SLO gate
@@ -41,6 +52,7 @@ a malformed request costs that connection a 400, never the process.
 from __future__ import annotations
 
 import asyncio
+import base64
 import dataclasses
 import hmac
 import logging
@@ -48,7 +60,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Hashable, Mapping
 
-from repro.core.errors import FrontendError, ReproError
+from repro.core.errors import FencedError, FrontendError, ReproError
 from repro.frontend.admission import (
     AdmissionController,
     EwmaCostModel,
@@ -99,6 +111,15 @@ class FrontendServer:
     snapshot_interval:
         Forwarded to :meth:`RiskService.serve` — seconds between
         rotated disk snapshots (durable services only).
+    replication:
+        Optional :class:`~repro.replication.hub.ReplicationHub` for
+        this (primary) service; enables the ``/v1/replication/*``
+        routes and the ``ack=replicated`` write level.
+    cluster_token:
+        Shared bearer token authenticating replication peers.  The
+        replication routes answer 401 without it — it is distinct from
+        every tenant token on purpose (a tenant must not be able to
+        pull the whole cluster's WAL).
     """
 
     def __init__(
@@ -116,6 +137,8 @@ class FrontendServer:
         deadline_margin: float = 0.85,
         flush_interval: float = 0.02,
         snapshot_interval: float | None = None,
+        replication=None,
+        cluster_token: str | None = None,
     ) -> None:
         if not 0.0 < deadline_margin <= 1.0:
             raise FrontendError(
@@ -166,6 +189,17 @@ class FrontendServer:
         self._degraded_executor = ThreadPoolExecutor(
             max_workers=2, thread_name_prefix="frontend-degraded"
         )
+        self._replication = replication
+        self._cluster_token = (
+            None if cluster_token is None else str(cluster_token)
+        )
+        # Replication pulls + durable-ack waits block on disk/fsync;
+        # a dedicated lane keeps them from starving query traffic.
+        # Sized so bounded replicated-ack waits cannot occupy every
+        # worker and starve the very fetches that deliver the acks.
+        self._replication_executor = ThreadPoolExecutor(
+            max_workers=6, thread_name_prefix="frontend-replication"
+        )
         self._server: asyncio.AbstractServer | None = None
         self._stop_event: asyncio.Event | None = None
         self._pump_task: asyncio.Task | None = None
@@ -215,6 +249,7 @@ class FrontendServer:
             self._pump_task = None
         self._query_executor.shutdown(wait=False)
         self._degraded_executor.shutdown(wait=False)
+        self._replication_executor.shutdown(wait=False)
 
     async def serve_until(self, stop: asyncio.Event) -> None:
         """Run until *stop* is set (the CLI's foreground mode)."""
@@ -250,6 +285,16 @@ class FrontendServer:
                 except FrontendError as error:
                     self.stats.bump("bad_requests")
                     status, payload, headers = 400, {"error": str(error)}, {}
+                except FencedError as error:
+                    # This node's writer epoch was superseded by a
+                    # promotion: tell the client to re-route, never
+                    # pretend the write was accepted.
+                    self.stats.bump("fenced")
+                    status, payload, headers = (
+                        503,
+                        {"error": str(error), "fenced": True},
+                        {"Retry-After": "0.050"},
+                    )
                 except ReproError as error:
                     self.stats.bump("errors")
                     status, payload, headers = 500, {"error": str(error)}, {}
@@ -287,6 +332,13 @@ class FrontendServer:
         if route == ("GET", "/healthz"):
             self.stats.bump("completed")
             return 200, {"ok": True}, {}
+        if route == ("GET", "/v1/health"):
+            self.stats.bump("completed")
+            return 200, self._health_payload(), {}
+        if route == ("POST", "/v1/replication/fetch"):
+            return await self._handle_replication_fetch(request)
+        if route == ("POST", "/v1/replication/bootstrap"):
+            return await self._handle_replication_bootstrap(request)
         if route == ("GET", "/v1/stats"):
             self.stats.bump("completed")
             return 200, self._stats_payload(), {}
@@ -335,6 +387,121 @@ class FrontendServer:
             {"Retry-After": f"{retry:.3f}"},
         )
 
+    def _cluster_authenticate(self, request: HttpRequest) -> bool:
+        """Replication-peer auth: the shared cluster token, nothing else."""
+        if self._cluster_token is None:
+            self.stats.bump("auth_failures")
+            return False
+        header = request.headers.get("authorization", "")
+        scheme, _, presented = header.partition(" ")
+        if scheme.lower() != "bearer" or not hmac.compare_digest(
+            presented.strip(), self._cluster_token
+        ):
+            self.stats.bump("auth_failures")
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Replication endpoints
+    # ------------------------------------------------------------------
+    def _health_payload(self) -> dict:
+        service = self._service
+        return {
+            "node": getattr(service, "node_id", "primary"),
+            "role": "primary",
+            "epoch": getattr(service, "epoch", 0),
+            "applied_seq": getattr(service, "durable_seq", 0),
+            "lag": 0,
+            "tenants": len(service.tenants()),
+            "replicas_acked": (
+                self._replication.acked()
+                if self._replication is not None
+                else {}
+            ),
+        }
+
+    async def _handle_replication_fetch(
+        self, request: HttpRequest
+    ) -> tuple[int, object, dict]:
+        if not self._cluster_authenticate(request):
+            return 401, {"error": "unauthorized"}, {}
+        if self._replication is None:
+            self.stats.bump("bad_requests")
+            return 404, {"error": "replication is not enabled"}, {}
+        body = request.json()
+        try:
+            replica = str(body["replica"])
+            segment = int(body["segment"])
+            offset = int(body["offset"])
+        except (KeyError, TypeError, ValueError):
+            raise FrontendError(
+                "fetch needs replica, segment, offset"
+            ) from None
+        max_bytes = body.get("max_bytes")
+        acked_seq = body.get("acked_seq")
+        loop = asyncio.get_event_loop()
+        result = await loop.run_in_executor(
+            self._replication_executor,
+            lambda: self._replication.fetch(
+                replica,
+                segment,
+                offset,
+                max_bytes=None if max_bytes is None else int(max_bytes),
+                acked_seq=None if acked_seq is None else int(acked_seq),
+            ),
+        )
+        chunk = result.chunk
+        self.stats.bump("completed")
+        return (
+            200,
+            {
+                "segment": chunk.segment,
+                "offset": chunk.offset,
+                "data": base64.b64encode(chunk.data).decode("ascii"),
+                "exhausted": chunk.exhausted,
+                "gone": chunk.gone,
+                "oldest_segment": chunk.oldest_segment,
+                "resume_floor": chunk.resume_floor,
+                "primary_seq": result.primary_seq,
+                "epoch": result.epoch,
+            },
+            {},
+        )
+
+    async def _handle_replication_bootstrap(
+        self, request: HttpRequest
+    ) -> tuple[int, object, dict]:
+        if not self._cluster_authenticate(request):
+            return 401, {"error": "unauthorized"}, {}
+        if self._replication is None:
+            self.stats.bump("bad_requests")
+            return 404, {"error": "replication is not enabled"}, {}
+        body = request.json()
+        try:
+            replica = str(body["replica"])
+        except (KeyError, TypeError):
+            raise FrontendError("bootstrap needs replica") from None
+        loop = asyncio.get_event_loop()
+        result = await loop.run_in_executor(
+            self._replication_executor,
+            lambda: self._replication.bootstrap(replica),
+        )
+        self.stats.bump("completed")
+        return (
+            200,
+            {
+                "files": {
+                    relative: base64.b64encode(blob).decode("ascii")
+                    for relative, blob in result.files.items()
+                },
+                "segment": result.segment,
+                "offset": result.offset,
+                "primary_seq": result.primary_seq,
+                "epoch": result.epoch,
+            },
+            {},
+        )
+
     # ------------------------------------------------------------------
     # Endpoints
     # ------------------------------------------------------------------
@@ -373,9 +540,41 @@ class FrontendServer:
         if rejection is not None:
             return rejection
         event = event_from_json(body.get("event"))
-        accepted = self._service.submit_update(tenant, event)
+        ack = body.get("ack", "window")
+        if ack not in ("window", "durable", "replicated"):
+            raise FrontendError(
+                f"ack must be window, durable, or replicated, got {ack!r}"
+            )
+        if ack == "window":
+            accepted = self._service.submit_update(tenant, event)
+            self.stats.bump("completed")
+            return 202, {"accepted": bool(accepted)}, {}
+        if ack == "replicated" and self._replication is None:
+            raise FrontendError("ack=replicated requires replication")
+        try:
+            timeout = min(30.0, max(0.001, float(body.get("timeout", 2.0))))
+        except (TypeError, ValueError):
+            raise FrontendError(
+                f"bad timeout: {body.get('timeout')!r}"
+            ) from None
+        loop = asyncio.get_event_loop()
+        seq = await loop.run_in_executor(
+            self._replication_executor,
+            lambda: self._service.submit_and_sync(tenant, event),
+        )
+        if seq < 0:  # shed at the window — never accepted
+            self.stats.bump("completed")
+            return 202, {"accepted": False}, {}
+        payload: dict = {"accepted": True, "seq": seq}
+        if ack == "replicated":
+            payload["replicated"] = await loop.run_in_executor(
+                self._replication_executor,
+                lambda: self._replication.wait_replicated(
+                    seq, timeout=timeout
+                ),
+            )
         self.stats.bump("completed")
-        return 202, {"accepted": bool(accepted)}, {}
+        return 202, payload, {}
 
     async def _handle_query(
         self, request: HttpRequest

@@ -24,6 +24,7 @@ __all__ = [
     "save_graph_json",
     "load_graph_json",
     "result_to_dict",
+    "result_from_dict",
     "save_results_json",
 ]
 
@@ -98,6 +99,31 @@ def result_to_dict(result: DetectionResult) -> dict[str, Any]:
         "stale": result.stale,
         "degraded": result.degraded,
     }
+
+
+def result_from_dict(payload: dict[str, Any]) -> DetectionResult:
+    """Decode a dict produced by :func:`result_to_dict`.
+
+    Labels come back as their JSON representations (non-JSON-safe label
+    types were stringified on the way out), so compare decoded results
+    with results decoded the same way.
+    """
+    return DetectionResult(
+        method=str(payload["method"]),
+        k=int(payload["k"]),
+        nodes=list(payload["nodes"]),
+        scores={
+            label: float(score)
+            for label, score in payload["scores"].items()
+        },
+        samples_used=int(payload["samples_used"]),
+        candidate_size=int(payload["candidate_size"]),
+        k_verified=int(payload["k_verified"]),
+        elapsed_seconds=float(payload["elapsed_seconds"]),
+        details=dict(payload.get("details", {})),
+        stale=bool(payload.get("stale", False)),
+        degraded=bool(payload.get("degraded", False)),
+    )
 
 
 def _jsonify(value: Any) -> Any:

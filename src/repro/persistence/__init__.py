@@ -32,11 +32,18 @@ from repro.persistence.codec import (
     encode_event,
     encode_record,
 )
-from repro.persistence.faults import CrashHarness, FaultyFile, WriteFaultPlan
+from repro.persistence.faults import (
+    CrashHarness,
+    FaultyFile,
+    WriteFaultPlan,
+    count_durable_batches,
+)
 from repro.persistence.snapshots import SnapshotStore, TenantSnapshot
-from repro.persistence.wal import WalBatch, WriteAheadLog
+from repro.persistence.wal import WalBatch, WalChunk, WriteAheadLog
 
 __all__ = [
+    "WalChunk",
+    "count_durable_batches",
     "CODEC_VERSION",
     "SUPPORTED_WAL_VERSIONS",
     "CorruptRecordError",

@@ -97,6 +97,13 @@ _TAG_EDGE_ADD = 6
 # Batch payload kinds.
 BATCH_KIND_EVENTS = b"B"
 BATCH_KIND_REGISTER = b"R"
+#: Epoch stamp written by a newly promoted (or newly started) primary.
+#: Replicas and recovery treat every later batch as belonging to that
+#: epoch; a record from a lower epoch than a replica's fence is the
+#: signature of a deposed primary's late append and is rejected.  The
+#: kind is additive — event and registration encodings are untouched,
+#: so v1/v2 golden files remain byte-valid.
+BATCH_KIND_EPOCH = b"E"
 
 _JSON_LABEL_TYPES = (str, int, float, bool, type(None))
 
@@ -305,7 +312,7 @@ def decode_batch_payload(payload: bytes) -> tuple[bytes, int, object, list[bytes
     """Decode :func:`encode_batch_payload`'s output."""
     try:
         kind = payload[0:1]
-        if kind not in (BATCH_KIND_EVENTS, BATCH_KIND_REGISTER):
+        if kind not in (BATCH_KIND_EVENTS, BATCH_KIND_REGISTER, BATCH_KIND_EPOCH):
             raise CorruptRecordError(f"unknown batch kind {kind!r}")
         offset = 1
         (seq,) = struct.unpack_from("<Q", payload, offset)

@@ -66,15 +66,39 @@ class WriteFaultPlan:
         before raising — a torn write.  With ``False`` it fails whole.
     message:
         The injected :class:`OSError`'s message.
+    error_errno:
+        Optional errno stamped onto the injected :class:`OSError`
+        (e.g. ``errno.ENOSPC`` for a disk-full fault), so callers that
+        branch on errno see a realistic error.
+    sticky:
+        With ``True`` (default), every write after the trigger fails
+        until :meth:`clear` — a full disk stays full.  With ``False``
+        only the triggering write fails.
     """
 
     fail_after_bytes: int
     partial: bool = True
     message: str = "injected write fault"
+    error_errno: int | None = None
+    sticky: bool = True
 
     def __post_init__(self) -> None:
         self.written = 0
         self.tripped = False
+
+    def clear(self, *, allow_bytes: int | None = None) -> None:
+        """Lift the fault — "space freed".  Subsequent writes succeed
+        until another *allow_bytes* (default: unlimited) pass through."""
+        self.tripped = False
+        self.written = 0
+        self.fail_after_bytes = (
+            (1 << 62) if allow_bytes is None else int(allow_bytes)
+        )
+
+    def make_error(self) -> OSError:
+        if self.error_errno is not None:
+            return OSError(self.error_errno, self.message)
+        return OSError(self.message)
 
 
 class FaultyFile:
@@ -92,7 +116,9 @@ class FaultyFile:
     def write(self, data: bytes) -> int:
         plan = self._plan
         if plan.tripped:
-            raise OSError(plan.message)
+            if plan.sticky:
+                raise plan.make_error()
+            plan.tripped = False
         allowed = plan.fail_after_bytes - plan.written
         if len(data) <= allowed:
             plan.written += len(data)
@@ -102,7 +128,7 @@ class FaultyFile:
             self._raw.write(data[:allowed])
             self._raw.flush()
             plan.written += allowed
-        raise OSError(plan.message)
+        raise plan.make_error()
 
     def __getattr__(self, name: str):
         return getattr(self._raw, name)

@@ -24,9 +24,12 @@ import json
 import os
 import pickle
 import shutil
+import threading
+from collections import Counter
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Hashable
+from typing import Hashable, Iterator
 
 from repro.persistence.codec import (
     CODEC_VERSION,
@@ -117,6 +120,11 @@ class SnapshotStore:
         self.directory = Path(root) / "snapshots"
         self.directory.mkdir(parents=True, exist_ok=True)
         self._keep = int(keep)
+        # Read-pins: snapshot indices a concurrent recovery reader is
+        # still loading from.  Rotation's sweep skips pinned indices so
+        # it can never delete a manifest out from under the reader.
+        self._pin_lock = threading.Lock()
+        self._pins: Counter[int] = Counter()
 
     # ------------------------------------------------------------------
     def _snapshot_dirs(self) -> list[Path]:
@@ -131,11 +139,56 @@ class SnapshotStore:
         return sorted(dirs, key=lambda path: int(path.name[len(_SNAP_PREFIX):]))
 
     def latest(self) -> Snapshot | None:
-        """The newest complete snapshot, or ``None``."""
-        dirs = self._snapshot_dirs()
-        if not dirs:
-            return None
-        return self._load(dirs[-1])
+        """The newest complete snapshot, or ``None``.
+
+        Serialised against the sweep (see :meth:`_sweep`), so the
+        manifest it loads cannot be deleted out from under it.
+        """
+        with self._pin_lock:
+            return self._latest_locked()
+
+    def _latest_locked(self) -> Snapshot | None:
+        """List + load under ``_pin_lock`` (sweeps hold it too)."""
+        while True:
+            dirs = self._snapshot_dirs()
+            if not dirs:
+                return None
+            try:
+                return self._load(dirs[-1])
+            except PersistenceError:
+                if (dirs[-1] / _MANIFEST).exists():
+                    raise  # genuinely unreadable, not swept
+                # Swept before we took the lock: retry the survivors.
+
+    @contextmanager
+    def pin_latest(self) -> Iterator[Snapshot | None]:
+        """Yield the newest snapshot, protected from rotation's sweep.
+
+        Recovery readers load blobs over a window during which a
+        concurrent :meth:`write` may rotate the snapshot they opened
+        past ``keep``; inside this context the pinned index is exempt
+        from sweeping, so every ``load_state_blob`` the reader issues
+        still finds its file.  Pins nest and stack across threads; an
+        unpinned snapshot is reclaimed by the *next* rotation.
+
+        Load and pin happen atomically with respect to the sweep —
+        both hold ``_pin_lock``, closing the window where a snapshot
+        could be chosen and then deleted before its pin registered.
+        """
+        with self._pin_lock:
+            snapshot = self._latest_locked()
+            if snapshot is not None:
+                self._pins[snapshot.index] += 1
+        if snapshot is None:
+            yield None
+            return
+        try:
+            yield snapshot
+        finally:
+            with self._pin_lock:
+                self._pins[snapshot.index] -= 1
+                if self._pins[snapshot.index] <= 0:
+                    del self._pins[snapshot.index]
 
     def _load(self, path: Path) -> Snapshot:
         try:
@@ -244,9 +297,24 @@ class SnapshotStore:
         return self._load(final)
 
     def _sweep(self) -> None:
-        """Drop crashed ``.tmp`` orphans and snapshots beyond ``keep``."""
+        """Drop crashed ``.tmp`` orphans and snapshots beyond ``keep``.
+
+        Pinned snapshots (see :meth:`pin_latest`) are skipped even when
+        they fall outside the keep window — a recovery reader may still
+        be loading their blobs.
+        """
         for orphan in self.directory.glob(f"{_SNAP_PREFIX}*.tmp"):
             shutil.rmtree(orphan, ignore_errors=True)
-        dirs = self._snapshot_dirs()
-        for stale in dirs[:-self._keep] if len(dirs) > self._keep else []:
-            shutil.rmtree(stale, ignore_errors=True)
+        # Deletion runs under the pin lock so a reader's list-and-pin
+        # (:meth:`pin_latest`) can never interleave with it: the reader
+        # sees the directory either before or after one whole sweep.
+        with self._pin_lock:
+            dirs = self._snapshot_dirs()
+            pinned = set(self._pins)
+            stale_dirs = (
+                dirs[:-self._keep] if len(dirs) > self._keep else []
+            )
+            for stale in stale_dirs:
+                if int(stale.name[len(_SNAP_PREFIX):]) in pinned:
+                    continue
+                shutil.rmtree(stale, ignore_errors=True)

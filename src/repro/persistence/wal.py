@@ -41,6 +41,7 @@ from pathlib import Path
 from typing import BinaryIO, Callable, Hashable
 
 from repro.persistence.codec import (
+    BATCH_KIND_EPOCH,
     BATCH_KIND_EVENTS,
     BATCH_KIND_REGISTER,
     SUPPORTED_WAL_VERSIONS,
@@ -57,7 +58,7 @@ from repro.persistence.codec import (
 )
 from repro.streaming.events import UpdateEvent
 
-__all__ = ["WriteAheadLog", "WalBatch", "FSYNC_POLICIES"]
+__all__ = ["WriteAheadLog", "WalBatch", "WalChunk", "FSYNC_POLICIES"]
 
 TenantId = Hashable
 FSYNC_POLICIES = ("always", "flush", "never")
@@ -68,13 +69,47 @@ _SEGMENT_SUFFIX = ".log"
 
 @dataclass(frozen=True)
 class WalBatch:
-    """One durable record: a registration or an applied event batch."""
+    """One durable record: a registration, event batch, or epoch stamp."""
 
     seq: int
     tenant_id: TenantId
-    kind: str  # "events" | "register"
+    kind: str  # "events" | "register" | "epoch"
     events: tuple[UpdateEvent, ...] = ()
     register: dict | None = None
+    #: For ``kind == "epoch"``: the fencing epoch this primary claimed
+    #: and the node id that claimed it.  Every later batch in the log
+    #: belongs to this epoch until the next stamp.
+    epoch: int | None = None
+    node: str | None = None
+
+
+@dataclass(frozen=True)
+class WalChunk:
+    """Raw segment bytes handed to a replication fetch.
+
+    ``data`` starts at ``(segment, offset)`` in the primary's byte
+    order; a replica that mirrors chunks verbatim reproduces the
+    primary's segment files bit for bit, so sequence numbers, CRC
+    framing, and :func:`count_durable_batches` all carry over unchanged.
+    """
+
+    segment: int
+    offset: int
+    data: bytes
+    #: True when this read exhausted a *sealed* segment — the next
+    #: cursor is ``(segment + 1, 0)``.  The active segment is never
+    #: exhausted; an empty chunk there means "caught up, poll again".
+    exhausted: bool
+    #: True when the requested segment was already truncated away; the
+    #: caller must restart from ``oldest_segment`` (or bootstrap from a
+    #: snapshot if it has a gap).
+    gone: bool
+    oldest_segment: int
+    #: Set alongside ``gone``: a reader whose applied sequence reaches
+    #: this floor holds every record the truncated segments contained,
+    #: so ``(oldest_segment, 0)`` is a complete resume point for it.
+    #: Below the floor the reader has a real gap and must re-bootstrap.
+    resume_floor: int | None = None
 
 
 @dataclass
@@ -152,6 +187,10 @@ class WriteAheadLog:
         self._next_seq = 1
         #: Last appended batch seq per tenant (rebuilt from disk on open).
         self.last_seq_of: dict[TenantId, int] = {}
+        #: Replication retain floor: when set, truncation keeps every
+        #: batch newer than this seq even if snapshots no longer need
+        #: it — segments a lagging replica has not acked stay on disk.
+        self._retain_seq: int | None = None
         self._closed = False
         self._recover_segments()
 
@@ -339,6 +378,24 @@ class WriteAheadLog:
         self._note_seq(seq, tenant_id, events=False)
         return seq
 
+    def append_epoch(self, epoch: int, node: str) -> int:
+        """Stamp a fencing epoch claim into the log (promotion point).
+
+        Every batch appended after this record belongs to *epoch*;
+        replicas that have fenced a lower epoch reject anything stamped
+        below their fence, which is what makes a deposed primary's late
+        appends provably dead.
+        """
+        self._ensure_open()
+        seq = self._next_seq
+        blob = json.dumps(
+            {"epoch": int(epoch), "node": str(node)}, ensure_ascii=False
+        ).encode("utf-8")
+        payload = encode_batch_payload(BATCH_KIND_EPOCH, seq, None, [blob])
+        self._append_payload(payload)
+        self._note_seq(seq, None, events=False)
+        return seq
+
     def _note_seq(self, seq: int, tenant_id: TenantId, *, events: bool) -> None:
         self._next_seq = seq + 1
         active = self._segments[-1]
@@ -395,14 +452,82 @@ class WriteAheadLog:
                     return batches
         return batches
 
+    def tail_cursor(self) -> tuple[int, int]:
+        """``(segment_index, byte_offset)`` of the durable append tail."""
+        self._ensure_open()
+        assert self._handle is not None
+        self._handle.flush()
+        active = self._segments[-1]
+        return _segment_index(active.path), active.path.stat().st_size
+
+    def read_from(
+        self, segment: int, offset: int, max_bytes: int = 1 << 20
+    ) -> WalChunk:
+        """Read up to *max_bytes* raw segment bytes for WAL shipping.
+
+        The returned chunk may end mid-record (the replica buffers
+        until the framing completes) and, on the active segment, may
+        race an in-flight append — both are safe because the replica
+        only persists whole CRC-verified records.
+        """
+        self._ensure_open()
+        assert self._handle is not None
+        self._handle.flush()
+        oldest = _segment_index(self._segments[0].path)
+        active_index = _segment_index(self._segments[-1].path)
+        if segment < oldest:
+            # The retain floor only protects replicas that have acked;
+            # report the resume floor so a caught-up reader (whose
+            # cursor merely lingered at the end of the sealed segment)
+            # can skip ahead instead of re-bootstrapping.
+            first = self._segments[0].first_seq
+            floor = (first - 1) if first is not None else self._next_seq - 1
+            return WalChunk(
+                segment=segment, offset=offset, data=b"",
+                exhausted=False, gone=True, oldest_segment=oldest,
+                resume_floor=floor,
+            )
+        if segment > active_index:
+            # The cursor points past the tail (e.g. the replica saw a
+            # sealed segment end before the primary rotated): nothing
+            # yet, poll again.
+            return WalChunk(
+                segment=segment, offset=offset, data=b"",
+                exhausted=False, gone=False, oldest_segment=oldest,
+            )
+        by_index = {
+            _segment_index(entry.path): entry for entry in self._segments
+        }
+        path = by_index[segment].path
+        data = path.read_bytes()
+        chunk = data[offset:offset + max_bytes]
+        sealed = segment != active_index
+        exhausted = sealed and offset + len(chunk) >= len(data)
+        return WalChunk(
+            segment=segment, offset=offset, data=chunk,
+            exhausted=exhausted, gone=False, oldest_segment=oldest,
+        )
+
+    def set_retain_seq(self, seq: int | None) -> None:
+        """Keep batches newer than *seq* truncation-safe (replication).
+
+        The replication hub lowers this to the minimum replica-acked
+        sequence so a lagging replica can always resume from its
+        cursor; ``None`` removes the floor.
+        """
+        self._retain_seq = None if seq is None else int(seq)
+
     def truncate_upto(self, seq: int) -> int:
         """Delete sealed segments wholly covered by a snapshot at *seq*.
 
         Returns the number of segments removed.  The active segment is
         never deleted (rotate first — the snapshot path does), and a
-        segment survives if it holds any batch newer than *seq*.
+        segment survives if it holds any batch newer than *seq* or
+        newer than the replication retain floor (:meth:`set_retain_seq`).
         """
         self._ensure_open()
+        if self._retain_seq is not None:
+            seq = min(seq, self._retain_seq)
         removed = 0
         while len(self._segments) > 1:
             segment = self._segments[0]
@@ -451,6 +576,20 @@ def _decode_batch(payload: bytes) -> WalBatch:
             kind="events",
             events=tuple(decode_event(part) for part in parts),
         )
+    if kind == BATCH_KIND_EPOCH:
+        try:
+            stamp = json.loads(parts[0].decode("utf-8"))
+            return WalBatch(
+                seq=seq,
+                tenant_id=None,
+                kind="epoch",
+                epoch=int(stamp["epoch"]),
+                node=str(stamp["node"]),
+            )
+        except (IndexError, KeyError, ValueError, UnicodeDecodeError) as error:
+            raise CorruptRecordError(
+                f"malformed epoch record: {error}"
+            ) from None
     try:
         register = json.loads(parts[0].decode("utf-8"))
     except (IndexError, ValueError, UnicodeDecodeError) as error:

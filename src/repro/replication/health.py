@@ -1,0 +1,219 @@
+"""Heartbeat probing with bounded backoff before declaring death.
+
+A :class:`HealthMonitor` polls a set of named probes (callables that
+return a health dict — a local service's ``health()`` method or an HTTP
+``/v1/health`` round trip) and tracks, per node, how many *consecutive*
+probes failed.  A node is declared dead only after
+``failure_threshold`` consecutive failures, with bounded exponential
+backoff between the failing probes — one dropped heartbeat under load
+never triggers a failover, and a genuinely dead node is confirmed in
+``failure_threshold`` probes whose total delay is bounded and
+predictable.
+
+The clock and sleep are injectable so the unit tests run the whole
+state machine in virtual time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+__all__ = ["HealthMonitor", "HealthReport"]
+
+
+@dataclass
+class HealthReport:
+    """Latest knowledge about one probed node."""
+
+    node_id: str
+    alive: bool = True
+    consecutive_failures: int = 0
+    #: Last successful probe payload (e.g. role / epoch / lag).
+    status: dict = field(default_factory=dict)
+    last_success: float | None = None
+    last_error: str | None = None
+
+
+class HealthMonitor:
+    """Polls probes, escalates repeated failures into death verdicts.
+
+    Parameters
+    ----------
+    probes:
+        ``node_id -> callable`` returning that node's health dict;
+        raising (or timing out internally) counts as a failed probe.
+    interval:
+        Delay between healthy probe rounds.
+    failure_threshold:
+        Consecutive failures before a node is declared dead.
+    backoff / backoff_cap:
+        After a failed probe the next probe of that node waits
+        ``backoff * 2**(failures-1)`` seconds, capped — a struggling
+        node gets breathing room, and the worst-case time to a death
+        verdict stays bounded.
+    """
+
+    def __init__(
+        self,
+        probes: Mapping[str, Callable[[], dict]],
+        *,
+        interval: float = 0.05,
+        failure_threshold: int = 3,
+        backoff: float = 0.05,
+        backoff_cap: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self._probes = dict(probes)
+        self._interval = float(interval)
+        self._threshold = int(failure_threshold)
+        self._backoff = float(backoff)
+        self._backoff_cap = float(backoff_cap)
+        self._clock = clock
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._reports = {
+            node: HealthReport(node_id=node) for node in self._probes
+        }
+        #: Nodes whose death has already been reported to ``on_death``.
+        self._announced: set[str] = set()
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------
+    def probe_once(self, node_id: str) -> HealthReport:
+        """Run one probe of *node_id* and fold it into the report."""
+        probe = self._probes[node_id]
+        try:
+            status = probe()
+        except Exception as error:  # noqa: BLE001 - any failure counts
+            with self._lock:
+                report = self._reports[node_id]
+                report.consecutive_failures += 1
+                report.last_error = f"{type(error).__name__}: {error}"
+                if report.consecutive_failures >= self._threshold:
+                    report.alive = False
+                return report
+        with self._lock:
+            report = self._reports[node_id]
+            report.alive = True
+            report.consecutive_failures = 0
+            report.status = dict(status) if status else {}
+            report.last_success = self._clock()
+            report.last_error = None
+            self._announced.discard(node_id)
+            return report
+
+    def poll_round(self) -> dict[str, HealthReport]:
+        """Probe every node once; returns the updated reports."""
+        for node in list(self._probes):
+            self.probe_once(node)
+        return self.reports()
+
+    def reports(self) -> dict[str, HealthReport]:
+        with self._lock:
+            return {
+                node: HealthReport(
+                    node_id=report.node_id,
+                    alive=report.alive,
+                    consecutive_failures=report.consecutive_failures,
+                    status=dict(report.status),
+                    last_success=report.last_success,
+                    last_error=report.last_error,
+                )
+                for node, report in self._reports.items()
+            }
+
+    def is_alive(self, node_id: str) -> bool:
+        with self._lock:
+            return self._reports[node_id].alive
+
+    def dead_nodes(self) -> list[str]:
+        with self._lock:
+            return [
+                node
+                for node, report in self._reports.items()
+                if not report.alive
+            ]
+
+    def failure_delay(self, failures: int) -> float:
+        """Backoff before the next probe after *failures* consecutive
+        failures (0.0 when the node is healthy)."""
+        if failures <= 0:
+            return 0.0
+        return min(self._backoff * (2 ** (failures - 1)), self._backoff_cap)
+
+    # ------------------------------------------------------------------
+    def wait_for_death(
+        self, node_id: str, *, timeout: float = 30.0
+    ) -> HealthReport:
+        """Probe *node_id* (with backoff) until it is declared dead.
+
+        Used by failover drivers that already know which node they are
+        watching; raises ``TimeoutError`` if the node stays healthy.
+        """
+        deadline = self._clock() + timeout
+        while True:
+            report = self.probe_once(node_id)
+            if not report.alive:
+                return report
+            if self._clock() > deadline:
+                raise TimeoutError(
+                    f"node {node_id} still healthy after {timeout}s"
+                )
+            self._sleep(
+                self.failure_delay(report.consecutive_failures)
+                or self._interval
+            )
+
+    def run(
+        self,
+        *,
+        on_death: Callable[[HealthReport], None] | None = None,
+        stop: threading.Event | None = None,
+    ) -> None:
+        """Poll all nodes until *stop*; invoke *on_death* once per death.
+
+        A node that recovers (probe succeeds again) is eligible for a
+        fresh death announcement later.
+        """
+        stop = stop or self._stop
+        while not stop.is_set():
+            max_failures = 0
+            for node in list(self._probes):
+                report = self.probe_once(node)
+                max_failures = max(
+                    max_failures, report.consecutive_failures
+                )
+                if not report.alive and on_death is not None:
+                    with self._lock:
+                        fresh = node not in self._announced
+                        self._announced.add(node)
+                    if fresh:
+                        on_death(report)
+            stop.wait(self.failure_delay(max_failures) or self._interval)
+
+    def start(
+        self, *, on_death: Callable[[HealthReport], None] | None = None
+    ) -> "HealthMonitor":
+        if self._thread is not None:
+            raise RuntimeError("health monitor already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self.run,
+            kwargs={"on_death": on_death, "stop": self._stop},
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, *, timeout: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None

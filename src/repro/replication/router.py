@@ -1,0 +1,481 @@
+"""Replica-aware request routing: failover writes, hedged stale reads.
+
+:class:`ReplicatedClient` is the client-side half of the replicated
+topology.  It holds one :class:`NodeHandle` per process (local object
+or HTTP endpoint — the router cannot tell the difference) and:
+
+* **routes writes to the current primary**, discovered from the
+  handles' health reports (role ``primary``, highest epoch wins — a
+  deposed primary that still answers health probes loses to the
+  promoted one).  A write that hits a fenced, dead, or overloaded
+  node retries against a refreshed topology with jittered backoff,
+  honouring ``Retry-After``, until its deadline budget is spent.
+* **fans reads out to replicas**, bounded-stale: a replica whose
+  reported lag exceeds ``max_lag`` batches is skipped; results from a
+  lagging-but-acceptable replica are marked ``stale``.  With no
+  eligible replica the read falls through to the primary.
+* **hedges slow reads**: each node's read latency feeds an EWMA
+  mean/deviation estimate; when the first replica's response exceeds
+  the estimated p99, a second request fires at the next-best node and
+  the first answer to arrive wins.  Hedges are counted, not free —
+  ``stats["hedged_reads"]`` keeps the duplicate-work cost visible.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from typing import Callable, Hashable, Protocol, Sequence
+
+from repro.core.errors import FencedError, ReplicationError
+
+__all__ = [
+    "EwmaLatency",
+    "NodeHandle",
+    "LocalPrimaryHandle",
+    "LocalReplicaHandle",
+    "HttpNodeHandle",
+    "ReplicatedClient",
+]
+
+TenantId = Hashable
+
+
+class NodeUnavailable(ReplicationError):
+    """A handle's process did not answer (dead, fenced, or refusing)."""
+
+    def __init__(self, message: str, *, retry_after: float | None = None):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class EwmaLatency:
+    """EWMA mean + mean-absolute-deviation latency estimate.
+
+    ``p99() ~= mean + 3 * deviation`` — for the roughly exponential
+    service-time tails the front end produces this is a serviceable
+    p99 proxy without keeping a histogram per node.
+    """
+
+    def __init__(self, alpha: float = 0.2) -> None:
+        self._alpha = float(alpha)
+        self._mean: float | None = None
+        self._dev = 0.0
+        self._count = 0
+
+    def observe(self, seconds: float) -> None:
+        seconds = float(seconds)
+        if self._mean is None:
+            self._mean = seconds
+        else:
+            error = seconds - self._mean
+            self._dev = (
+                (1 - self._alpha) * self._dev + self._alpha * abs(error)
+            )
+            self._mean += self._alpha * error
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def p99(self) -> float | None:
+        if self._mean is None:
+            return None
+        return self._mean + 3.0 * self._dev
+
+
+class NodeHandle(Protocol):
+    """What the router needs from one process of the topology."""
+
+    node_id: str
+
+    def health(self) -> dict: ...
+
+    def submit(
+        self, tenant: TenantId, event, *, ack: str = "window",
+        timeout: float = 5.0,
+    ) -> dict: ...
+
+    def query_topk(self, tenant: TenantId, *, max_lag: int | None = None): ...
+
+
+class LocalPrimaryHandle:
+    """In-process handle over a durable :class:`RiskService` (+ hub)."""
+
+    def __init__(self, service, hub=None, *, node_id: str | None = None):
+        self._service = service
+        self._hub = hub
+        self.node_id = node_id if node_id is not None else service.node_id
+
+    def health(self) -> dict:
+        service = self._service
+        return {
+            "node": self.node_id,
+            "role": "primary",
+            "epoch": service.epoch,
+            "applied_seq": service.durable_seq,
+            "lag": 0,
+        }
+
+    def submit(self, tenant, event, *, ack="window", timeout=5.0) -> dict:
+        try:
+            if ack == "window":
+                accepted = self._service.submit_update(tenant, event)
+                return {"accepted": bool(accepted)}
+            seq = self._service.submit_and_sync(tenant, event)
+            if seq < 0:
+                return {"accepted": False}
+            reply = {"accepted": True, "seq": seq}
+            if ack == "replicated":
+                if self._hub is None:
+                    raise ReplicationError(
+                        "ack=replicated needs a replication hub"
+                    )
+                reply["replicated"] = self._hub.wait_replicated(
+                    seq, timeout=timeout
+                )
+            return reply
+        except FencedError as error:
+            raise NodeUnavailable(str(error), retry_after=0.01) from error
+
+    def query_topk(self, tenant, *, max_lag=None):
+        return self._service.query_topk(tenant)
+
+
+class LocalReplicaHandle:
+    """In-process handle over a tailing :class:`ReplicaService`."""
+
+    def __init__(self, replica) -> None:
+        self._replica = replica
+        self.node_id = replica.node_id
+
+    def health(self) -> dict:
+        return self._replica.health()
+
+    def submit(self, tenant, event, *, ack="window", timeout=5.0) -> dict:
+        raise NodeUnavailable(
+            f"{self.node_id} is a replica; writes go to the primary"
+        )
+
+    def query_topk(self, tenant, *, max_lag=None):
+        return self._replica.query_topk(tenant, max_lag=max_lag)
+
+
+class HttpNodeHandle:
+    """Handle over a front end's wire protocol (health + update + query)."""
+
+    def __init__(
+        self, node_id: str, host: str, port: int, token: str, *,
+        tenant_tokens=None, timeout: float = 10.0,
+    ) -> None:
+        from repro.frontend.client import FrontendClient
+
+        self.node_id = str(node_id)
+        # Router-level retries would fight the router's own failover
+        # loop; one attempt per call.
+        self._client = FrontendClient(
+            host, port, token, retries=1, timeout=timeout,
+        )
+        self._tenant_tokens = dict(tenant_tokens or {})
+        self._host, self._port, self._timeout = host, int(port), timeout
+
+    def _tenant_client(self, tenant):
+        token = self._tenant_tokens.get(tenant)
+        if token is None:
+            return self._client
+        from repro.frontend.client import FrontendClient
+
+        return FrontendClient(
+            self._host, self._port, token,
+            retries=1, timeout=self._timeout,
+        )
+
+    def health(self) -> dict:
+        response = self._client.request("GET", "/v1/health")
+        if response.status != 200:
+            raise NodeUnavailable(
+                f"{self.node_id} health: {response.status}"
+            )
+        return response.payload
+
+    def submit(self, tenant, event, *, ack="window", timeout=5.0) -> dict:
+        from repro.frontend.protocol import event_to_json
+
+        response = self._tenant_client(tenant).request(
+            "POST", "/v1/update",
+            {
+                "tenant": tenant,
+                "event": event_to_json(event),
+                "ack": ack,
+                "timeout": timeout,
+            },
+        )
+        if response.status in (202, 200):
+            return response.payload
+        retry_after = None
+        header = response.headers.get("retry-after")
+        if header is not None:
+            try:
+                retry_after = float(header)
+            except ValueError:
+                retry_after = None
+        raise NodeUnavailable(
+            f"{self.node_id} update: {response.status} {response.payload}",
+            retry_after=retry_after,
+        )
+
+    def query_topk(self, tenant, *, max_lag=None):
+        from repro.io.jsonio import result_from_dict
+
+        response = self._tenant_client(tenant).request(
+            "POST", "/v1/query", {"tenant": tenant, "allow_degraded": False}
+        )
+        if response.status != 200:
+            raise NodeUnavailable(
+                f"{self.node_id} query: {response.status}"
+            )
+        return result_from_dict(response.payload["result"])
+
+
+class ReplicatedClient:
+    """Routes one logical client's traffic across the topology."""
+
+    def __init__(
+        self,
+        nodes: Sequence[NodeHandle],
+        *,
+        max_lag: int | None = None,
+        hedge: bool = True,
+        hedge_floor: float = 0.005,
+        refresh_interval: float = 0.25,
+        backoff: float = 0.02,
+        backoff_cap: float = 0.5,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: random.Random | None = None,
+    ) -> None:
+        if not nodes:
+            raise ReplicationError("router needs at least one node")
+        self._nodes = {node.node_id: node for node in nodes}
+        self._max_lag = max_lag
+        self._hedge = bool(hedge)
+        self._hedge_floor = float(hedge_floor)
+        self._refresh_interval = float(refresh_interval)
+        self._backoff = float(backoff)
+        self._backoff_cap = float(backoff_cap)
+        self._clock = clock
+        self._sleep = sleep
+        self._rng = rng if rng is not None else random.Random()
+        self._lock = threading.Lock()
+        self._latency = {node.node_id: EwmaLatency() for node in nodes}
+        self._primary_id: str | None = None
+        self._replica_ids: list[str] = []
+        self._lags: dict[str, int] = {}
+        self._refreshed_at: float | None = None
+        self._read_rr = 0
+        self._hedge_pool = ThreadPoolExecutor(
+            max_workers=4, thread_name_prefix="router-hedge"
+        )
+        self.stats = {
+            "writes": 0,
+            "write_failovers": 0,
+            "reads": 0,
+            "hedged_reads": 0,
+            "hedge_wins": 0,
+            "primary_reads": 0,
+            "topology_refreshes": 0,
+        }
+
+    def close(self) -> None:
+        self._hedge_pool.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def refresh_topology(self, *, force: bool = False) -> None:
+        """Re-probe every node; elect the highest-epoch primary."""
+        with self._lock:
+            now = self._clock()
+            if (
+                not force
+                and self._refreshed_at is not None
+                and now - self._refreshed_at < self._refresh_interval
+                and self._primary_id is not None
+            ):
+                return
+            self._refreshed_at = now
+        self.stats["topology_refreshes"] += 1
+        primaries: list[tuple[int, str]] = []
+        replicas: list[str] = []
+        lags: dict[str, int] = {}
+        for node_id, node in self._nodes.items():
+            try:
+                status = node.health()
+            except Exception:  # noqa: BLE001 - dead node: skip it
+                continue
+            role = status.get("role", "primary")
+            lags[node_id] = int(status.get("lag", 0))
+            if role == "primary":
+                primaries.append((int(status.get("epoch", 0)), node_id))
+            else:
+                replicas.append(node_id)
+        with self._lock:
+            self._lags = lags
+            # A deposed primary still answering health checks reports a
+            # lower epoch than the promoted one and loses the election.
+            self._primary_id = (
+                max(primaries)[1] if primaries else None
+            )
+            self._replica_ids = [
+                node for node in replicas if node != self._primary_id
+            ]
+
+    @property
+    def primary_id(self) -> str | None:
+        with self._lock:
+            return self._primary_id
+
+    @property
+    def replica_ids(self) -> list[str]:
+        with self._lock:
+            return list(self._replica_ids)
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        tenant: TenantId,
+        event,
+        *,
+        ack: str = "window",
+        deadline: float = 5.0,
+    ) -> dict:
+        """Write to the current primary, retrying across a failover.
+
+        Raises :class:`ReplicationError` when the budget is exhausted
+        without any primary accepting the event — the caller knows the
+        event was **not** accepted anywhere.
+        """
+        give_up = self._clock() + float(deadline)
+        attempt = 0
+        last_error: Exception | None = None
+        while True:
+            self.refresh_topology(force=attempt > 0)
+            primary_id = self.primary_id
+            if primary_id is not None:
+                node = self._nodes[primary_id]
+                remaining = max(0.001, give_up - self._clock())
+                try:
+                    reply = node.submit(
+                        tenant, event, ack=ack,
+                        timeout=min(5.0, remaining),
+                    )
+                except (NodeUnavailable, ConnectionError, OSError) as error:
+                    last_error = error
+                    self.stats["write_failovers"] += 1
+                else:
+                    self.stats["writes"] += 1
+                    reply.setdefault("node", primary_id)
+                    return reply
+            attempt += 1
+            retry_after = getattr(last_error, "retry_after", None)
+            delay = (
+                retry_after
+                if retry_after is not None
+                else min(self._backoff_cap, self._backoff * (2 ** attempt))
+                * (0.5 + self._rng.random() / 2.0)
+            )
+            if self._clock() + delay >= give_up:
+                raise ReplicationError(
+                    f"write for tenant {tenant!r} found no accepting "
+                    f"primary within {deadline}s: {last_error}"
+                )
+            self._sleep(delay)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def _eligible_replicas(self) -> list[str]:
+        with self._lock:
+            ordered = list(self._replica_ids)
+            rotation = self._read_rr
+            self._read_rr += 1
+            lags = dict(self._lags)
+        if self._max_lag is not None:
+            ordered = [
+                node for node in ordered
+                if lags.get(node, 0) <= self._max_lag
+            ]
+        if not ordered:
+            return []
+        pivot = rotation % len(ordered)
+        return ordered[pivot:] + ordered[:pivot]
+
+    def _timed_read(self, node_id: str, tenant: TenantId):
+        node = self._nodes[node_id]
+        started = self._clock()
+        result = node.query_topk(tenant, max_lag=self._max_lag)
+        self._latency[node_id].observe(self._clock() - started)
+        return node_id, result
+
+    def query_topk(self, tenant: TenantId):
+        """Read from a replica (stale-bounded), hedging slow responses."""
+        self.refresh_topology()
+        self.stats["reads"] += 1
+        candidates = self._eligible_replicas()
+        if not candidates:
+            return self._read_primary(tenant)
+        first = candidates[0]
+        future = self._hedge_pool.submit(self._timed_read, first, tenant)
+        hedge_after = self._latency[first].p99()
+        if hedge_after is None:
+            hedge_after = self._hedge_floor
+        hedge_after = max(hedge_after, self._hedge_floor)
+        backups = candidates[1:]
+        if not self._hedge or not backups:
+            try:
+                _, result = future.result()
+                return result
+            except Exception:  # noqa: BLE001 - fall back to primary
+                return self._read_primary(tenant)
+        done, _ = wait([future], timeout=hedge_after)
+        if done:
+            try:
+                _, result = future.result()
+                return result
+            except Exception:  # noqa: BLE001
+                return self._read_primary(tenant)
+        # First replica is past its p99 estimate: hedge.
+        self.stats["hedged_reads"] += 1
+        hedge_future = self._hedge_pool.submit(
+            self._timed_read, backups[0], tenant
+        )
+        pending = {future, hedge_future}
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for completed in done:
+                try:
+                    winner, result = completed.result()
+                except Exception:  # noqa: BLE001 - try the other one
+                    continue
+                if completed is hedge_future:
+                    self.stats["hedge_wins"] += 1
+                return result
+        return self._read_primary(tenant)
+
+    def _read_primary(self, tenant: TenantId):
+        primary_id = self.primary_id
+        if primary_id is None:
+            self.refresh_topology(force=True)
+            primary_id = self.primary_id
+        if primary_id is None:
+            raise ReplicationError(
+                "no replica within the staleness bound and no primary"
+            )
+        self.stats["primary_reads"] += 1
+        _, result = self._timed_read(primary_id, tenant)
+        return result

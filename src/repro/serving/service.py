@@ -60,7 +60,7 @@ from concurrent.futures import BrokenExecutor, Future
 from dataclasses import dataclass
 from typing import Callable, Hashable, Iterable, Mapping
 
-from repro.core.errors import ReproError
+from repro.core.errors import FencedError, ReproError
 from repro.core.graph import UncertainGraph
 from repro.queries.base import param_key
 from repro.serving.pool import ServingPool
@@ -69,9 +69,26 @@ from repro.serving.store import graph_fingerprint
 from repro.streaming.events import UpdateEvent
 from repro.streaming.monitor import RefreshReport, TopKMonitor
 
-__all__ = ["RiskService", "ServiceSnapshot"]
+__all__ = ["RiskService", "ServiceSnapshot", "PromotionState"]
 
 TenantId = Hashable
+
+
+@dataclass
+class PromotionState:
+    """Warm state a promoted replica hands to its new :class:`RiskService`.
+
+    A replica that mirrored and applied the primary's WAL already holds
+    live monitors; promotion adopts them instead of re-restoring from
+    snapshot + full replay.  ``applied_upto`` is the last WAL batch seq
+    the pool has folded in — construction replays only the durable
+    suffix past it (the un-acked tail a shipper landed but the apply
+    loop never reached) before the service accepts writes.
+    """
+
+    pool: ServingPool
+    registered: dict[TenantId, tuple[int, dict]]
+    applied_upto: int
 
 
 @dataclass(frozen=True)
@@ -167,13 +184,20 @@ class RiskService:
         snapshot_on_close: bool = True,
         degraded_answers: bool = True,
         result_cache_size: int = 128,
+        adopt: PromotionState | None = None,
+        epoch_store=None,
+        node_id: str = "primary",
     ) -> None:
-        self._pool = ServingPool(
-            graph,
-            mode=mode,
-            shards=shards,
-            monitor_defaults=monitor_defaults,
-        )
+        if adopt is not None:
+            # Promotion path: take over a replica's already-warm pool.
+            self._pool = adopt.pool
+        else:
+            self._pool = ServingPool(
+                graph,
+                mode=mode,
+                shards=shards,
+                monitor_defaults=monitor_defaults,
+            )
         self._monitor_defaults = dict(monitor_defaults or {})
         self._wal = None
         self._snapshots = None
@@ -207,13 +231,39 @@ class RiskService:
         #: from (empty for a fresh or in-memory service).  Consumers
         #: read their entry back at attach time.
         self.recovered_extras: dict[str, object] = {}
+        #: Fencing epoch this writer holds (0 = fencing disabled).
+        self._epoch = 0
+        self._epoch_store = epoch_store
+        self._node_id = str(node_id)
+        if adopt is not None and wal_dir is None:
+            from repro.persistence.codec import PersistenceError
+
+            raise PersistenceError("promotion adoption needs wal_dir=...")
         if wal_dir is not None:
             from repro.persistence.snapshots import SnapshotStore
             from repro.persistence.wal import WriteAheadLog
 
             self._wal = WriteAheadLog(wal_dir, fsync=fsync)
             self._snapshots = SnapshotStore(wal_dir, keep=snapshot_keep)
-            self._recover()
+            if adopt is not None:
+                self._adopt_recover(adopt)
+            else:
+                self._recover()
+        if epoch_store is not None:
+            # Claim a fresh epoch and stamp it into the WAL before the
+            # first write: every batch this writer appends from here on
+            # provably belongs to this epoch, and any older primary's
+            # next fence check (at its next flush) will see it and
+            # refuse to append.
+            from repro.persistence.codec import PersistenceError
+
+            if self._wal is None:
+                raise PersistenceError(
+                    "epoch fencing needs a durable service (wal_dir=...)"
+                )
+            self._epoch = int(epoch_store.claim(self._node_id))
+            self._wal.append_epoch(self._epoch, self._node_id)
+            self._wal.sync()
         self._queue = IngestionQueue(
             max_pending=max_pending, overflow=overflow, wal=self._wal
         )
@@ -248,6 +298,41 @@ class RiskService:
         """The write-ahead log, or ``None`` for an in-memory service."""
         return self._wal
 
+    @property
+    def snapshot_store(self):
+        """The snapshot store, or ``None`` for an in-memory service."""
+        return self._snapshots
+
+    @property
+    def epoch(self) -> int:
+        """The fencing epoch this writer holds (0 = fencing disabled)."""
+        return self._epoch
+
+    @property
+    def node_id(self) -> str:
+        """This process's node identity (used in epoch stamps)."""
+        return self._node_id
+
+    @property
+    def durable_seq(self) -> int:
+        """Last WAL batch sequence made durable (0 for in-memory)."""
+        return 0 if self._wal is None else self._wal.next_seq - 1
+
+    def _check_fence(self) -> None:
+        """Refuse to append if a newer primary has claimed the epoch.
+
+        Called inside every WAL-appending critical section.  There is a
+        small check-then-append window (a claim landing between this
+        read and the append); the replica-side epoch-stamp rejection in
+        :mod:`repro.replication.replica` is the backstop that keeps
+        such a batch out of the surviving lineage.
+        """
+        if self._epoch_store is None:
+            return
+        current = int(self._epoch_store.current().epoch)
+        if current != self._epoch:
+            raise FencedError(self._epoch, current)
+
     def tenants(self) -> list[TenantId]:
         """Registered tenant ids."""
         return self._pool.tenants()
@@ -269,36 +354,46 @@ class RiskService:
 
         assert self._wal is not None and self._snapshots is not None
         watermarks: dict[TenantId, int] = {}
-        snapshot = self._snapshots.latest()
-        if snapshot is not None:
-            if (
-                snapshot.base_fingerprint is not None
-                and self._fingerprint is not None
-                and snapshot.base_fingerprint != self._fingerprint
-            ):
-                raise PersistenceError(
-                    f"snapshot {snapshot.path} was taken against a "
-                    "different base graph (fingerprint mismatch); "
-                    "durable state cannot be replayed onto this network"
-                )
-            for tenant_snapshot in snapshot.tenants.values():
-                tenant_id = tenant_snapshot.tenant_id
-                blob = tenant_snapshot.load_state_blob()
-                self._pool.restore_tenant(tenant_id, blob)
-                watermarks[tenant_id] = tenant_snapshot.watermark
-                self._stale_results[tenant_id] = tenant_snapshot.load_result()
-                # The snapshot blob is the pickled monitor itself —
-                # unpickling it parent-side gives an exact bounds mirror
-                # at the snapshot watermark (replay advances it below).
-                # Event-history tokens don't survive a crash, so the
-                # tenant rejoins the result cache only after a restart
-                # of its token chain; answers stay exact regardless.
-                if self._degraded_answers:
-                    self._mirrors[tenant_id] = pickle.loads(blob)
-                self._tokens[tenant_id] = None
-        if snapshot is not None:
-            self.recovered_extras = dict(snapshot.extras or {})
+        # Read-pin while loading blobs: a concurrent rotation (another
+        # thread's snapshot_to_disk, or an operator process sharing the
+        # directory) cannot sweep this snapshot out from under us.
+        with self._snapshots.pin_latest() as snapshot:
+            if snapshot is not None:
+                if (
+                    snapshot.base_fingerprint is not None
+                    and self._fingerprint is not None
+                    and snapshot.base_fingerprint != self._fingerprint
+                ):
+                    raise PersistenceError(
+                        f"snapshot {snapshot.path} was taken against a "
+                        "different base graph (fingerprint mismatch); "
+                        "durable state cannot be replayed onto this network"
+                    )
+                for tenant_snapshot in snapshot.tenants.values():
+                    tenant_id = tenant_snapshot.tenant_id
+                    blob = tenant_snapshot.load_state_blob()
+                    self._pool.restore_tenant(tenant_id, blob)
+                    watermarks[tenant_id] = tenant_snapshot.watermark
+                    self._stale_results[tenant_id] = (
+                        tenant_snapshot.load_result()
+                    )
+                    # The snapshot blob is the pickled monitor itself —
+                    # unpickling it parent-side gives an exact bounds
+                    # mirror at the snapshot watermark (replay advances
+                    # it below).  Event-history tokens don't survive a
+                    # crash, so the tenant rejoins the result cache only
+                    # after a restart of its token chain; answers stay
+                    # exact regardless.
+                    if self._degraded_answers:
+                        self._mirrors[tenant_id] = pickle.loads(blob)
+                    self._tokens[tenant_id] = None
+                self.recovered_extras = dict(snapshot.extras or {})
         for batch in self._wal.read_batches():
+            if batch.kind == "epoch":
+                # A previous lineage's fence stamp; recovery replays
+                # the batches regardless of which epoch wrote them —
+                # they were all accepted by the then-legitimate primary.
+                continue
             if batch.kind == "register":
                 register = batch.register or {}
                 k = int(register.get("k", 1))
@@ -322,6 +417,49 @@ class RiskService:
             )
             for event in batch.events:
                 self._track_event(batch.tenant_id, event)
+
+    def _adopt_recover(self, adopt: PromotionState) -> None:
+        """Promotion: keep the warm pool, replay only the un-acked tail.
+
+        The adopted pool already applied every batch up to
+        ``adopt.applied_upto``; batches past it (durable on the mirror
+        but never handed to the apply loop) are replayed synchronously
+        here, so by the time construction returns the service answers
+        from the complete durable history — the "replays its un-acked
+        WAL suffix before accepting writes" promotion contract.
+        """
+        from repro.persistence.codec import PersistenceError
+
+        assert self._wal is not None
+        self._registered = dict(adopt.registered)
+        for batch in self._wal.read_batches():
+            if batch.kind == "epoch":
+                continue
+            if batch.kind == "register":
+                register = batch.register or {}
+                k = int(register.get("k", 1))
+                kwargs = dict(register.get("kwargs", {}))
+                self._registered.setdefault(batch.tenant_id, (k, kwargs))
+                if not self._pool.has_tenant(batch.tenant_id):
+                    self._pool.register(batch.tenant_id, k, **kwargs)
+                continue
+            if batch.seq <= adopt.applied_upto:
+                continue
+            if not self._pool.has_tenant(batch.tenant_id):
+                raise PersistenceError(
+                    f"WAL batch {batch.seq} addresses tenant "
+                    f"{batch.tenant_id!r} unknown to the adopted pool"
+                )
+            self._pool.apply(batch.tenant_id, list(batch.events)).result()
+        # Rebuild parent-side mirrors from the live monitors so the
+        # degraded/bounds path works immediately after promotion; the
+        # token chain restarts (like post-crash recovery), so these
+        # tenants rejoin the result cache on their next quiet period.
+        for tenant_id in self._pool.tenants():
+            self._tokens[tenant_id] = None
+            if self._degraded_answers:
+                blob, _ = self._pool.dump_tenant(tenant_id).result()
+                self._mirrors[tenant_id] = pickle.loads(blob)
 
     def _await_recovery(self) -> None:
         """Block until every tenant's replay has been applied."""
@@ -439,6 +577,7 @@ class RiskService:
                     "durable tenants need JSON-serialisable monitor "
                     f"kwargs: {error}"
                 ) from None
+        self._check_fence()
         self._pool.register(tenant_id, k, **monitor_kwargs)
         self._registered[tenant_id] = (int(k), dict(monitor_kwargs))
         self._make_mirror(tenant_id, int(k), dict(monitor_kwargs))
@@ -477,6 +616,40 @@ class RiskService:
                 count += 1
         return count
 
+    def submit_and_sync(self, tenant_id: TenantId, event: UpdateEvent) -> int:
+        """Accept one update and make it durable before returning.
+
+        The write path behind durable acks: the event is admitted,
+        drained into a coalesced batch, WAL-appended and fsynced (per
+        the service's fsync policy) inside the dispatch critical
+        section, then applied.  Returns the WAL batch sequence the
+        event became durable under — the number replication acks are
+        phrased in — or ``-1`` if the queue shed it.
+
+        Raises :class:`~repro.core.errors.FencedError` on a deposed
+        primary: the event stays buffered but is provably never made
+        durable by this writer.
+        """
+        self._ensure_open()
+        if self._wal is None:
+            from repro.persistence.codec import PersistenceError
+
+            raise PersistenceError(
+                "submit_and_sync needs a durable service (wal_dir=...)"
+            )
+        if not self.submit_update(tenant_id, event):
+            return -1
+        with self._dispatch_lock:
+            self._check_fence()
+            events = self._queue.drain_tenant(tenant_id)
+            future = (
+                self._apply_after_break(tenant_id, events) if events else None
+            )
+            seq = self._wal.last_seq_of.get(tenant_id, 0)
+        if events:
+            self._result_after_break(tenant_id, future)
+        return seq
+
     def flush(self) -> dict[TenantId, RefreshReport]:
         """Apply every buffered update batch; returns per-tenant reports.
 
@@ -503,6 +676,7 @@ class RiskService:
         the drained batch — it was appended before dispatch).
         """
         with self._dispatch_lock:
+            self._check_fence()
             batches = self._queue.drain()
             return {
                 tenant_id: self._apply_after_break(tenant_id, events)
@@ -555,29 +729,31 @@ class RiskService:
         """Respawn a dead shard and restore its tenants from durable state."""
         assert self._wal is not None and self._snapshots is not None
         self._pool.respawn_shard(index)
-        snapshot = self._snapshots.latest()
         batches = self._wal.read_batches()
-        for tenant_id in self._pool.tenants_on_shard(index):
-            watermark = 0
-            tenant_snapshot = (
-                snapshot.tenants.get(tenant_id) if snapshot else None
-            )
-            if tenant_snapshot is not None:
-                self._pool.restore_tenant(
-                    tenant_id, tenant_snapshot.load_state_blob()
+        with self._snapshots.pin_latest() as snapshot:
+            for tenant_id in self._pool.tenants_on_shard(index):
+                watermark = 0
+                tenant_snapshot = (
+                    snapshot.tenants.get(tenant_id) if snapshot else None
                 )
-                watermark = tenant_snapshot.watermark
-            else:
-                k, kwargs = self._registered[tenant_id]
-                self._pool.rebuild_tenant(tenant_id, k, **kwargs)
-            for batch in batches:
-                if (
-                    batch.kind == "events"
-                    and batch.tenant_id == tenant_id
-                    and batch.seq > watermark
-                ):
-                    self._pool.apply(tenant_id, list(batch.events)).result()
-            self._recovering.pop(tenant_id, None)
+                if tenant_snapshot is not None:
+                    self._pool.restore_tenant(
+                        tenant_id, tenant_snapshot.load_state_blob()
+                    )
+                    watermark = tenant_snapshot.watermark
+                else:
+                    k, kwargs = self._registered[tenant_id]
+                    self._pool.rebuild_tenant(tenant_id, k, **kwargs)
+                for batch in batches:
+                    if (
+                        batch.kind == "events"
+                        and batch.tenant_id == tenant_id
+                        and batch.seq > watermark
+                    ):
+                        self._pool.apply(
+                            tenant_id, list(batch.events)
+                        ).result()
+                self._recovering.pop(tenant_id, None)
 
     def query_topk(
         self,
@@ -620,6 +796,7 @@ class RiskService:
             self._stale_results.pop(tenant_id, None)
         if flush:
             with self._dispatch_lock:
+                self._check_fence()
                 events = self._queue.drain_tenant(tenant_id)
                 future = (
                     self._apply_after_break(tenant_id, events)
@@ -701,6 +878,7 @@ class RiskService:
             self._stale_results.pop(tenant_id, None)
         if flush:
             with self._dispatch_lock:
+                self._check_fence()
                 events = self._queue.drain_tenant(tenant_id)
                 future = (
                     self._apply_after_break(tenant_id, events)
@@ -922,6 +1100,12 @@ class RiskService:
                 self.flush()
                 if self._snapshot_on_close and self._pool.tenants():
                     self.snapshot_to_disk()
+            except FencedError:
+                # A deposed primary closing down: its buffered events
+                # were never acked by the new lineage and must NOT be
+                # made durable — dropping them here is the fence doing
+                # its job, not data loss.
+                pass
             finally:
                 self._closed = True
                 self._wal.close()

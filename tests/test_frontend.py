@@ -31,7 +31,7 @@ from repro.frontend import (
     event_to_json,
     read_request,
 )
-from repro.frontend.client import ClientResponse
+from repro.frontend.client import CircuitOpenError, ClientResponse
 from repro.serving import RiskService
 from repro.streaming.events import (
     BulkEdgeProbabilityUpdate,
@@ -348,6 +348,157 @@ class TestClientBackoff:
         client, sleeps = self.make_client([unauthorized])
         assert client.request("POST", "/v1/query", {}).status == 401
         assert sleeps == []
+
+
+# ----------------------------------------------------------------------
+# Client retry budget and circuit breaker (fake clock, no sockets)
+# ----------------------------------------------------------------------
+class TestClientBudgetAndBreaker:
+    def make_client(self, outcomes, **kwargs):
+        """Scripted transport + a clock that only sleeps advance."""
+
+        class Clock:
+            now = 0.0
+
+        def sleep(seconds):
+            Clock.now += seconds
+
+        client = FrontendClient(
+            "127.0.0.1",
+            1,
+            "tok",
+            tenant="t",
+            sleep=sleep,
+            clock=lambda: Clock.now,
+            rng=random.Random(7),
+            **kwargs,
+        )
+        script = iter(outcomes)
+        calls: list[str] = []
+
+        def fake_once(method, path, payload):
+            calls.append(path)
+            outcome = next(script)
+            if isinstance(outcome, Exception):
+                raise outcome
+            return outcome
+
+        client._once = fake_once
+        return client, Clock, calls
+
+    def test_budget_exhaustion_stops_before_the_sleep(self):
+        # Each retry wants a 0.25 s Retry-After; a 0.4 s budget admits
+        # exactly one sleep — the second would overrun, so the client
+        # surfaces the last 429 with attempts left unspent.
+        throttled = ClientResponse(429, {"error": "rate"}, {"retry-after": "0.25"})
+        client, clock, calls = self.make_client(
+            [throttled] * 5, retries=5, retry_budget=0.4
+        )
+        response = client.request("POST", "/v1/query", {})
+        assert response.status == 429
+        assert len(calls) == 2  # not the full 5-attempt schedule
+        assert clock.now <= 0.4
+
+    def test_budget_exhaustion_with_transport_errors_raises(self):
+        error = ConnectionRefusedError("down")
+        client, clock, calls = self.make_client(
+            [error] * 5,
+            retries=5,
+            backoff=0.2,
+            backoff_cap=0.2,
+            retry_budget=0.3,
+        )
+        with pytest.raises(FrontendError, match="failed after"):
+            client.request("GET", "/healthz")
+        assert len(calls) < 5
+        assert clock.now <= 0.3
+
+    def test_generous_budget_changes_nothing(self):
+        error = ConnectionRefusedError("down")
+        ok = ClientResponse(200, None, {})
+        client, _, calls = self.make_client(
+            [error, ok], retry_budget=60.0
+        )
+        assert client.request("GET", "/healthz").ok
+        assert len(calls) == 2
+
+    def test_breaker_opens_after_threshold_and_fails_fast(self):
+        error = ConnectionRefusedError("down")
+        client, clock, calls = self.make_client(
+            [error] * 6,
+            retries=1,  # isolate the breaker from retry behaviour
+            breaker_threshold=3,
+            breaker_cooldown=5.0,
+        )
+        for _ in range(3):
+            with pytest.raises(FrontendError):
+                client.request("GET", "/healthz")
+        assert client.breaker_state == "open"
+        # While open, requests fail fast without touching the wire.
+        with pytest.raises(CircuitOpenError):
+            client.request("GET", "/healthz")
+        assert len(calls) == 3
+
+    def test_half_open_probe_success_closes_the_circuit(self):
+        error = ConnectionRefusedError("down")
+        ok = ClientResponse(200, {"ok": True}, {})
+        client, clock, calls = self.make_client(
+            [error, error, ok, ok],
+            retries=1,
+            breaker_threshold=2,
+            breaker_cooldown=1.0,
+        )
+        for _ in range(2):
+            with pytest.raises(FrontendError):
+                client.request("GET", "/healthz")
+        assert client.breaker_state == "open"
+        clock.now += 1.5  # cooldown elapses -> next call is the probe
+        assert client.request("GET", "/healthz").ok
+        assert client.breaker_state == "closed"
+        # Fully closed again: the next request flows normally.
+        assert client.request("GET", "/healthz").ok
+        assert len(calls) == 4
+
+    def test_half_open_probe_failure_reopens_for_another_cooldown(self):
+        error = ConnectionRefusedError("down")
+        client, clock, calls = self.make_client(
+            [error] * 4,
+            retries=1,
+            breaker_threshold=2,
+            breaker_cooldown=1.0,
+        )
+        for _ in range(2):
+            with pytest.raises(FrontendError):
+                client.request("GET", "/healthz")
+        clock.now += 1.5
+        with pytest.raises(FrontendError):  # the probe itself fails
+            client.request("GET", "/healthz")
+        assert client.breaker_state == "open"
+        with pytest.raises(CircuitOpenError):  # re-opened, fail fast
+            client.request("GET", "/healthz")
+        assert len(calls) == 3
+
+    def test_429_counts_as_alive_not_failure(self):
+        # Backpressure is not death: a stream of 429s must never open
+        # the breaker, only 503s and transport errors do.
+        throttled = ClientResponse(429, {"error": "rate"}, {"retry-after": "0.01"})
+        client, _, calls = self.make_client(
+            [throttled] * 4, retries=2, breaker_threshold=2
+        )
+        for _ in range(2):
+            assert client.request("POST", "/v1/query", {}).status == 429
+        assert client.breaker_state == "closed"
+        assert len(calls) == 4
+
+    def test_503_opens_the_breaker(self):
+        fenced = ClientResponse(
+            503, {"error": "fenced", "fenced": True}, {"retry-after": "0.05"}
+        )
+        client, _, _ = self.make_client(
+            [fenced] * 4, retries=2, breaker_threshold=2
+        )
+        client.request("POST", "/v1/update", {})
+        assert client.breaker_state == "open"
 
 
 # ----------------------------------------------------------------------

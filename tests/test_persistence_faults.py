@@ -244,3 +244,92 @@ class TestCliGracefulShutdown:
         assert "serving top-3" in stdout  # reporting path still ran
         # The durable state it left behind is recoverable.
         assert count_durable_batches(wal_dir) >= 2
+
+
+class TestDiskFullAppend:
+    """ENOSPC on ``WriteAheadLog.append``: shed, stay clean, resume."""
+
+    def make_wal(self, tmp_path, plan):
+        from repro.persistence.faults import FaultyFile
+        from repro.persistence.wal import WriteAheadLog
+
+        return WriteAheadLog(
+            tmp_path / "wal",
+            fsync="always",
+            io_wrapper=lambda raw: FaultyFile(raw, plan),
+        )
+
+    def test_enospc_keeps_segment_clean_and_resumes(self, tmp_path):
+        import errno
+
+        from repro.persistence.faults import WriteFaultPlan
+        from repro.persistence.wal import WriteAheadLog
+
+        plan = WriteFaultPlan(
+            fail_after_bytes=300,
+            partial=True,
+            error_errno=errno.ENOSPC,
+            message="No space left on device",
+        )
+        wal = self.make_wal(tmp_path, plan)
+        events = [SelfRiskUpdate(1, 0.25), SelfRiskUpdate(2, 0.75)]
+        durable = 0
+        with pytest.raises(OSError) as failure:
+            for _ in range(40):
+                wal.append_events("t1", events)
+                durable += 1
+        assert failure.value.errno == errno.ENOSPC
+        assert durable > 0  # the fault landed mid-stream, not at open
+        # The torn tail was repaired in place: on-disk bytes hold
+        # exactly the batches that were acked, nothing half-written.
+        assert count_durable_batches(tmp_path / "wal") == durable
+
+        # The disk is still full: further appends shed with ENOSPC,
+        # and each failure leaves the segment no worse.
+        for _ in range(3):
+            with pytest.raises(OSError):
+                wal.append_events("t1", events)
+        assert count_durable_batches(tmp_path / "wal") == durable
+
+        # Space frees: the very next append on the same handle lands.
+        plan.clear()
+        wal.append_events("t1", events)
+        wal.append_events("t1", events)
+        assert count_durable_batches(tmp_path / "wal") == durable + 2
+        wal.close()
+
+        # And a restart sees one continuous, gap-free batch sequence.
+        reopened = WriteAheadLog(tmp_path / "wal", fsync="always")
+        batches = [
+            batch for batch in reopened.read_batches()
+            if batch.tenant_id == "t1"
+        ]
+        assert len(batches) == durable + 2
+        seqs = [batch.seq for batch in batches]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+        reopened.close()
+
+    def test_whole_write_failure_is_also_clean(self, tmp_path):
+        import errno
+
+        from repro.persistence.faults import WriteFaultPlan
+
+        plan = WriteFaultPlan(
+            fail_after_bytes=250,
+            partial=False,  # the kernel rejected the write outright
+            error_errno=errno.ENOSPC,
+            sticky=False,
+        )
+        wal = self.make_wal(tmp_path, plan)
+        events = [SelfRiskUpdate(3, 0.5)]
+        durable = 0
+        with pytest.raises(OSError):
+            for _ in range(40):
+                wal.append_events("t1", events)
+                durable += 1
+        assert count_durable_batches(tmp_path / "wal") == durable
+        plan.clear()
+        wal.append_events("t1", events)
+        assert count_durable_batches(tmp_path / "wal") == durable + 1
+        wal.close()

@@ -323,3 +323,66 @@ class TestTransactionalBatches:
         monitor.apply([SelfRiskUpdate(0, 0.9)])
         untouched.apply([SelfRiskUpdate(0, 0.9)])
         assert monitor.top_k().same_answer(untouched.top_k())
+
+
+class TestSnapshotRotationRace:
+    """Rotation sweeping must never delete a pinned recovery read."""
+
+    @staticmethod
+    def write_snapshot(store, stamp):
+        return store.write(
+            {"t1": (f"blob-{stamp}".encode(), {"stamp": stamp}, stamp)},
+            wal_seq=stamp,
+        )
+
+    def test_pinned_snapshot_survives_rotation_past_keep(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=1)
+        self.write_snapshot(store, 1)
+        with store.pin_latest() as pinned:
+            assert pinned is not None and pinned.index == 1
+            # Two rotations put the pinned snapshot well outside the
+            # keep window; the sweep must skip it while we hold the pin.
+            self.write_snapshot(store, 2)
+            self.write_snapshot(store, 3)
+            state = pinned.tenants["t1"]
+            assert state.state_path.read_bytes() == b"blob-1"
+            assert state.result_path.exists()
+        # Unpinned now: the next rotation reclaims it.
+        self.write_snapshot(store, 4)
+        assert not pinned.path.exists()
+        latest = store.latest()
+        assert latest is not None and latest.index == 4
+
+    def test_concurrent_rotate_and_recover_never_lose_a_read(
+        self, tmp_path
+    ):
+        import threading
+
+        store = SnapshotStore(tmp_path, keep=1)
+        self.write_snapshot(store, 0)
+        stop = threading.Event()
+        failures = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    with store.pin_latest() as snapshot:
+                        assert snapshot is not None
+                        blob = snapshot.tenants["t1"].state_path.read_bytes()
+                        stamp = int(blob.decode().split("-")[1])
+                        assert stamp == snapshot.wal_seq
+                except Exception as error:  # noqa: BLE001
+                    failures.append(error)
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            for stamp in range(1, 40):
+                self.write_snapshot(store, stamp)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert not failures, failures

@@ -1,0 +1,733 @@
+"""Replication layer units: shipping, fencing, health, failover, routing.
+
+The chaos matrix (``test_replication_chaos.py``) proves the end-to-end
+zero-loss claims under SIGKILL; this file pins the mechanisms those
+runs compose — cursor arithmetic, mirror byte-identity, epoch claims,
+corruption rewind, death verdicts, and the router's failover/hedging
+policies — each in isolation, deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.errors import FencedError, ReplicationError
+from repro.core.graph import UncertainGraph
+from repro.persistence.wal import WriteAheadLog
+from repro.replication import (
+    EpochStore,
+    FailoverCoordinator,
+    HealthMonitor,
+    LocalSource,
+    ReplicaService,
+    ReplicatedClient,
+    ReplicationHub,
+    WalShipper,
+)
+from repro.replication.router import (
+    EwmaLatency,
+    LocalPrimaryHandle,
+    LocalReplicaHandle,
+    NodeUnavailable,
+)
+from repro.serving.service import RiskService
+from repro.streaming.events import SelfRiskUpdate
+
+DEFAULTS = {"seed": 42, "epsilon": 0.5}
+
+
+def make_graph(n=14, seed=7, density=0.2):
+    rng = random.Random(seed)
+    graph = UncertainGraph()
+    for i in range(n):
+        graph.add_node(i, rng.uniform(0.05, 0.6))
+    for src in range(n):
+        for dst in range(n):
+            if src != dst and rng.random() < density:
+                graph.add_edge(src, dst, rng.uniform(0.1, 0.9))
+    return graph
+
+
+def make_primary(tmp_path, *, name="primary", store=None, subdir="p"):
+    return RiskService(
+        make_graph(),
+        mode="serial",
+        wal_dir=tmp_path / subdir,
+        fsync="always",
+        monitor_defaults=DEFAULTS,
+        epoch_store=store,
+        node_id=name,
+    )
+
+
+def make_replica(tmp_path, *, name="r1", subdir=None):
+    return ReplicaService(
+        make_graph(),
+        tmp_path / (subdir or name),
+        node_id=name,
+        mode="serial",
+        monitor_defaults=DEFAULTS,
+    )
+
+
+def drive(primary, tenant, count, *, seed=3, start=0):
+    rng = random.Random(seed + start)
+    for _ in range(count):
+        primary.submit_and_sync(
+            tenant,
+            SelfRiskUpdate(rng.randrange(14), rng.uniform(0.0, 1.0)),
+        )
+
+
+def mirror_bytes_match(primary_dir, mirror_dir):
+    """Every primary segment exists on the mirror with identical bytes."""
+    for path in sorted(primary_dir.glob("wal-*.log")):
+        twin = mirror_dir / path.name
+        assert twin.exists(), f"mirror is missing {path.name}"
+        assert twin.read_bytes() == path.read_bytes(), (
+            f"mirror bytes diverge in {path.name}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Epoch store
+# ----------------------------------------------------------------------
+class TestEpochStore:
+    def test_missing_register_is_epoch_zero(self, tmp_path):
+        store = EpochStore(tmp_path / "epoch.json")
+        record = store.current()
+        assert record.epoch == 0
+        assert record.owner is None
+
+    def test_claims_are_monotonic_and_owned(self, tmp_path):
+        store = EpochStore(tmp_path / "epoch.json")
+        assert store.claim("a") == 1
+        assert store.claim("b") == 2
+        record = store.current()
+        assert record.epoch == 2
+        assert record.owner == "b"
+
+    def test_concurrent_claims_never_collide(self, tmp_path):
+        store = EpochStore(tmp_path / "epoch.json")
+        claimed: list[int] = []
+        lock = threading.Lock()
+
+        def worker(node):
+            for _ in range(5):
+                epoch = store.claim(node)
+                with lock:
+                    claimed.append(epoch)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"n{i}",))
+            for i in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sorted(claimed) == list(range(1, 31))
+
+    def test_unreadable_register_raises(self, tmp_path):
+        path = tmp_path / "epoch.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ReplicationError, match="unreadable"):
+            EpochStore(path).current()
+
+
+# ----------------------------------------------------------------------
+# WAL cursor reads (the hub's raw material)
+# ----------------------------------------------------------------------
+class TestWalCursorReads:
+    def test_read_from_round_trips_segment_bytes(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal", fsync="flush")
+        wal.append_register("t", 3, {})
+        wal.append_events("t", [SelfRiskUpdate(1, 0.5)])
+        raw = wal.active_segment.read_bytes()
+        chunk = wal.read_from(1, 0)
+        assert chunk.data == raw
+        assert not chunk.exhausted  # active segment: more may come
+        # Resuming from the returned cursor yields nothing new.
+        again = wal.read_from(1, len(raw))
+        assert again.data == b""
+        wal.close()
+
+    def test_sealed_segment_reports_exhausted(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal", fsync="flush")
+        wal.append_events("t", [SelfRiskUpdate(1, 0.5)])
+        wal.rotate()
+        chunk = wal.read_from(1, 0)
+        assert chunk.exhausted
+        # The cursor steps to the next segment at offset zero.
+        nxt = wal.read_from(2, 0)
+        assert not nxt.exhausted
+        assert nxt.data  # magic header of the fresh active segment
+        wal.close()
+
+    def test_reading_ahead_of_active_is_an_empty_poll(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal", fsync="flush")
+        chunk = wal.read_from(5, 0)
+        assert chunk.data == b""
+        assert not chunk.exhausted and not chunk.gone
+        wal.close()
+
+    def test_truncated_segment_reports_gone(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal", fsync="flush")
+        wal.append_events("t", [SelfRiskUpdate(1, 0.5)])
+        wal.rotate()
+        assert wal.truncate_upto(10) == 1
+        chunk = wal.read_from(1, 0)
+        assert chunk.gone
+        assert chunk.oldest_segment == 2
+        wal.close()
+
+    def test_retain_floor_blocks_truncation(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal", fsync="flush")
+        wal.append_events("t", [SelfRiskUpdate(1, 0.5)])  # seq 1
+        wal.rotate()
+        wal.set_retain_seq(0)  # a replica acked nothing yet
+        assert wal.truncate_upto(10) == 0
+        wal.set_retain_seq(1)  # replica caught up through seq 1
+        assert wal.truncate_upto(10) == 1
+        wal.close()
+
+
+# ----------------------------------------------------------------------
+# Shipping: mirrors, restarts, bootstrap, fencing
+# ----------------------------------------------------------------------
+class TestWalShipping:
+    def test_catch_up_is_bit_identical_and_byte_identical(self, tmp_path):
+        primary = make_primary(tmp_path)
+        primary.register_tenant("t1", 5)
+        hub = ReplicationHub(primary)
+        replica = make_replica(tmp_path)
+        shipper = WalShipper(LocalSource(hub), replica)
+        drive(primary, "t1", 12)
+        shipper.catch_up()
+        assert replica.lag == 0
+        assert replica.applied_seq == primary.durable_seq
+        assert primary.query_topk("t1").same_answer(
+            replica.query_topk("t1")
+        )
+        mirror_bytes_match(tmp_path / "p", tmp_path / "r1")
+        assert hub.acked()["r1"] == primary.durable_seq
+        primary.close()
+        replica.close()
+
+    def test_live_tail_follows_new_writes(self, tmp_path):
+        primary = make_primary(tmp_path)
+        primary.register_tenant("t1", 5)
+        hub = ReplicationHub(primary)
+        replica = make_replica(tmp_path)
+        shipper = WalShipper(LocalSource(hub), replica)
+        drive(primary, "t1", 4)
+        shipper.catch_up()
+        before = replica.applied_seq
+        drive(primary, "t1", 4, start=1)
+        shipper.catch_up()
+        assert replica.applied_seq > before
+        assert primary.query_topk("t1").same_answer(
+            replica.query_topk("t1")
+        )
+        primary.close()
+        replica.close()
+
+    def test_shipping_follows_segment_rotation(self, tmp_path):
+        primary = make_primary(tmp_path)
+        primary.register_tenant("t1", 5)
+        hub = ReplicationHub(primary)
+        replica = make_replica(tmp_path)
+        shipper = WalShipper(LocalSource(hub), replica)
+        drive(primary, "t1", 5)
+        shipper.catch_up()
+        # Snapshot rotates the WAL; the retain floor (replica acked
+        # everything) lets truncation proceed on the primary, but the
+        # replica has already mirrored those bytes.
+        primary.snapshot_to_disk()
+        drive(primary, "t1", 5, start=2)
+        shipper.catch_up()
+        assert replica.stats["segments_opened"] >= 1
+        assert primary.query_topk("t1").same_answer(
+            replica.query_topk("t1")
+        )
+        primary.close()
+        replica.close()
+
+    def test_replica_restart_resumes_from_durable_cursor(self, tmp_path):
+        primary = make_primary(tmp_path)
+        primary.register_tenant("t1", 5)
+        hub = ReplicationHub(primary)
+        replica = make_replica(tmp_path)
+        shipper = WalShipper(LocalSource(hub), replica)
+        drive(primary, "t1", 6)
+        shipper.catch_up()
+        cursor = replica.durable_cursor
+        replica.close()
+        drive(primary, "t1", 6, start=5)
+        # A new process on the same mirror dir: local recovery rebuilds
+        # the pool from the mirrored WAL, then shipping resumes from
+        # the durable cursor — no re-shipping of verified bytes.
+        restarted = make_replica(tmp_path)
+        assert restarted.durable_cursor == cursor
+        resumed = WalShipper(LocalSource(hub), restarted)
+        resumed.catch_up()
+        assert primary.query_topk("t1").same_answer(
+            restarted.query_topk("t1")
+        )
+        mirror_bytes_match(tmp_path / "p", tmp_path / "r1")
+        primary.close()
+        restarted.close()
+
+    def test_cold_bootstrap_after_primary_truncation(self, tmp_path):
+        primary = make_primary(tmp_path)
+        primary.register_tenant("t1", 5)
+        drive(primary, "t1", 8)
+        # Snapshot + truncate: segment 1 is gone; a cold replica can
+        # only reach a complete state via the snapshot files.
+        primary.snapshot_to_disk()
+        drive(primary, "t1", 3, start=4)
+        hub = ReplicationHub(primary)
+        replica = make_replica(tmp_path)
+        shipper = WalShipper(LocalSource(hub), replica)
+        shipper.catch_up()
+        assert not replica.is_cold
+        assert primary.query_topk("t1").same_answer(
+            replica.query_topk("t1")
+        )
+        primary.close()
+        replica.close()
+
+    def test_fenced_replica_rejects_old_epoch_stream(self, tmp_path):
+        store = EpochStore(tmp_path / "epoch.json")
+        primary = make_primary(tmp_path, store=store)  # claims epoch 1
+        primary.register_tenant("t1", 5)
+        hub = ReplicationHub(primary)
+        replica = make_replica(tmp_path)
+        shipper = WalShipper(LocalSource(hub), replica)
+        drive(primary, "t1", 3)
+        shipper.catch_up()
+        applied = replica.applied_seq
+        cursor = replica.durable_cursor
+        # A promotion elsewhere fences this replica above the deposed
+        # primary's epoch; its stream must now be rejected wholesale.
+        replica.fence_below(2)
+        drive(primary, "t1", 2, start=9)
+        with pytest.raises(FencedError):
+            shipper.catch_up()
+        assert replica.applied_seq == applied
+        assert replica.durable_cursor == cursor  # nothing persisted
+        primary.close()
+        replica.close()
+
+
+# ----------------------------------------------------------------------
+# Satellite 4: bit damage in a shipped chunk
+# ----------------------------------------------------------------------
+class CorruptingSource:
+    """Wraps a source; flips one bit in the Nth non-empty fetch."""
+
+    def __init__(self, inner, *, corrupt_fetch=2):
+        self._inner = inner
+        self._corrupt_fetch = corrupt_fetch
+        self._nonempty = 0
+        self.corrupted = 0
+
+    def fetch(self, replica_id, segment, offset, **kwargs):
+        result = self._inner.fetch(replica_id, segment, offset, **kwargs)
+        chunk = result.chunk
+        if chunk.data:
+            self._nonempty += 1
+            if self._nonempty == self._corrupt_fetch:
+                damaged = bytearray(chunk.data)
+                damaged[len(damaged) // 2] ^= 0x10
+                self.corrupted += 1
+                import dataclasses
+
+                return dataclasses.replace(
+                    result,
+                    chunk=dataclasses.replace(chunk, data=bytes(damaged)),
+                )
+        return result
+
+    def bootstrap(self, replica_id):
+        return self._inner.bootstrap(replica_id)
+
+
+class TestShippedCorruption:
+    def test_bit_flip_detected_rewound_and_recovered(self, tmp_path):
+        primary = make_primary(tmp_path)
+        primary.register_tenant("t1", 5)
+        hub = ReplicationHub(primary)
+        replica = make_replica(tmp_path)
+        source = CorruptingSource(LocalSource(hub), corrupt_fetch=2)
+        # Small fetches so the damaged chunk is mid-stream, with clean
+        # records before and after it.
+        shipper = WalShipper(source, replica, max_bytes=96)
+        drive(primary, "t1", 10)
+        shipper.catch_up()
+        assert source.corrupted == 1
+        assert shipper.stats["corruption_retries"] == 1
+        assert replica.stats["corrupt_chunks"] == 1
+        # Catch-up completed bit-identically despite the damage.
+        assert replica.lag == 0
+        assert primary.query_topk("t1").same_answer(
+            replica.query_topk("t1")
+        )
+        mirror_bytes_match(tmp_path / "p", tmp_path / "r1")
+        primary.close()
+        replica.close()
+
+
+# ----------------------------------------------------------------------
+# Health monitor (virtual time)
+# ----------------------------------------------------------------------
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.now += seconds
+
+
+class TestHealthMonitor:
+    def test_death_needs_consecutive_failures(self):
+        outcomes = iter([Exception("x"), {"ok": 1}, Exception("x"),
+                         Exception("x"), Exception("x")])
+
+        def probe():
+            outcome = next(outcomes)
+            if isinstance(outcome, Exception):
+                raise outcome
+            return outcome
+
+        clock = FakeClock()
+        monitor = HealthMonitor(
+            {"n": probe}, failure_threshold=3,
+            clock=clock, sleep=clock.sleep,
+        )
+        assert monitor.probe_once("n").consecutive_failures == 1
+        # One success resets the count: no flap-triggered failover.
+        assert monitor.probe_once("n").consecutive_failures == 0
+        for _ in range(2):
+            assert monitor.probe_once("n").alive
+        assert not monitor.probe_once("n").alive
+        assert monitor.dead_nodes() == ["n"]
+
+    def test_backoff_is_exponential_and_bounded(self):
+        monitor = HealthMonitor(
+            {"n": dict}, backoff=0.05, backoff_cap=0.4,
+        )
+        delays = [monitor.failure_delay(f) for f in range(1, 7)]
+        assert delays[:4] == [0.05, 0.1, 0.2, 0.4]
+        assert all(delay <= 0.4 for delay in delays)
+        assert monitor.failure_delay(0) == 0.0
+
+    def test_wait_for_death_confirms_in_bounded_probes(self):
+        clock = FakeClock()
+        calls = []
+
+        def probe():
+            calls.append(clock.now)
+            raise ConnectionRefusedError("dead")
+
+        monitor = HealthMonitor(
+            {"n": probe}, failure_threshold=3, backoff=0.05,
+            backoff_cap=0.4, clock=clock, sleep=clock.sleep,
+        )
+        report = monitor.wait_for_death("n", timeout=10.0)
+        assert not report.alive
+        assert len(calls) == 3  # threshold probes, no more
+        assert "ConnectionRefusedError" in report.last_error
+
+    def test_wait_for_death_times_out_on_healthy_node(self):
+        clock = FakeClock()
+        monitor = HealthMonitor(
+            {"n": dict}, interval=1.0, clock=clock, sleep=clock.sleep,
+        )
+        with pytest.raises(TimeoutError):
+            monitor.wait_for_death("n", timeout=5.0)
+
+
+# ----------------------------------------------------------------------
+# Failover choice
+# ----------------------------------------------------------------------
+class TestFailoverChoice:
+    @staticmethod
+    def fake(applied, cursor):
+        return SimpleNamespace(applied_seq=applied, durable_cursor=cursor)
+
+    def test_most_caught_up_wins(self):
+        replicas = {
+            "a": self.fake(5, (1, 100)),
+            "b": self.fake(9, (1, 200)),
+            "c": self.fake(7, (1, 150)),
+        }
+        assert FailoverCoordinator.choose(replicas) == "b"
+
+    def test_cursor_breaks_applied_ties(self):
+        replicas = {
+            "a": self.fake(9, (2, 50)),
+            "b": self.fake(9, (1, 900)),
+        }
+        assert FailoverCoordinator.choose(replicas) == "a"
+
+    def test_full_tie_prefers_smallest_id(self):
+        replicas = {
+            "r2": self.fake(9, (1, 100)),
+            "r1": self.fake(9, (1, 100)),
+            "r10": self.fake(9, (1, 100)),
+        }
+        assert FailoverCoordinator.choose(replicas) == "r1"
+
+    def test_no_candidates_raises(self):
+        with pytest.raises(ReplicationError):
+            FailoverCoordinator.choose({})
+
+
+# ----------------------------------------------------------------------
+# In-process promotion end to end
+# ----------------------------------------------------------------------
+class TestPromotion:
+    def test_promote_fences_deposed_primary_and_keeps_answers(
+        self, tmp_path
+    ):
+        store = EpochStore(tmp_path / "epoch.json")
+        primary = make_primary(tmp_path, name="p1", store=store)
+        primary.register_tenant("t1", 5)
+        hub = ReplicationHub(primary)
+        replica = make_replica(tmp_path)
+        shipper = WalShipper(LocalSource(hub), replica)
+        drive(primary, "t1", 8)
+        shipper.catch_up()
+        reference = primary.query_topk("t1")
+
+        coordinator = FailoverCoordinator(store)
+        winner, promoted = coordinator.promote(
+            {"r1": replica}, fsync="always"
+        )
+        try:
+            assert winner == "r1"
+            assert promoted.epoch == 2
+            assert reference.same_answer(promoted.query_topk("t1"))
+            # The deposed primary's late append is provably dead.
+            with pytest.raises(FencedError):
+                primary.submit_and_sync(
+                    "t1", SelfRiskUpdate(0, 0.123)
+                )
+            # The promoted node accepts writes immediately.
+            assert promoted.submit_and_sync(
+                "t1", SelfRiskUpdate(0, 0.9)
+            ) > 0
+            event = coordinator.events[-1]
+            assert event.winner == "r1" and event.epoch == 2
+        finally:
+            promoted.close()
+            primary.close()
+
+    def test_promoted_mirror_restarts_as_plain_durable_service(
+        self, tmp_path
+    ):
+        store = EpochStore(tmp_path / "epoch.json")
+        primary = make_primary(tmp_path, name="p1", store=store)
+        primary.register_tenant("t1", 5)
+        hub = ReplicationHub(primary)
+        replica = make_replica(tmp_path)
+        WalShipper(LocalSource(hub), replica).catch_up()
+        drive(primary, "t1", 6)
+        WalShipper(LocalSource(hub), replica).catch_up()
+        _, promoted = FailoverCoordinator(store).promote(
+            {"r1": replica}, fsync="always"
+        )
+        promoted.submit_and_sync("t1", SelfRiskUpdate(1, 0.42))
+        expected = promoted.query_topk("t1")
+        promoted.close()
+        primary.close()
+        # The promoted lineage's WAL dir is a normal durable service
+        # dir: a cold restart recovers the same answers.
+        restarted = RiskService(
+            make_graph(), mode="serial", wal_dir=tmp_path / "r1",
+            fsync="always", monitor_defaults=DEFAULTS,
+        )
+        try:
+            assert expected.same_answer(restarted.query_topk("t1"))
+        finally:
+            restarted.close()
+
+
+# ----------------------------------------------------------------------
+# Router
+# ----------------------------------------------------------------------
+class FakeNode:
+    def __init__(self, node_id, *, role="replica", epoch=1, lag=0,
+                 alive=True, submit_error=None, read_delay=0.0,
+                 result=None):
+        self.node_id = node_id
+        self.role = role
+        self.epoch = epoch
+        self.lag = lag
+        self.alive = alive
+        self.submit_error = submit_error
+        self.read_delay = read_delay
+        self.result = result if result is not None else f"answer-{node_id}"
+        self.submits = 0
+        self.reads = 0
+
+    def health(self):
+        if not self.alive:
+            raise ConnectionRefusedError("dead")
+        return {"node": self.node_id, "role": self.role,
+                "epoch": self.epoch, "lag": self.lag}
+
+    def submit(self, tenant, event, *, ack="window", timeout=5.0):
+        self.submits += 1
+        if self.submit_error is not None:
+            raise self.submit_error
+        return {"accepted": True, "seq": self.submits}
+
+    def query_topk(self, tenant, *, max_lag=None):
+        self.reads += 1
+        if self.read_delay:
+            time.sleep(self.read_delay)
+        return self.result
+
+
+class TestRouter:
+    def test_highest_epoch_primary_wins_the_election(self):
+        deposed = FakeNode("old", role="primary", epoch=1)
+        promoted = FakeNode("new", role="primary", epoch=2)
+        router = ReplicatedClient([deposed, promoted])
+        router.refresh_topology()
+        assert router.primary_id == "new"
+        reply = router.submit("t", object())
+        assert reply["node"] == "new"
+        assert deposed.submits == 0
+        router.close()
+
+    def test_write_retries_across_failover(self):
+        failing = FakeNode(
+            "p1", role="primary", epoch=1,
+            submit_error=NodeUnavailable("fenced", retry_after=0.0),
+        )
+        standby = FakeNode("p2", role="replica", epoch=1)
+        router = ReplicatedClient(
+            [failing, standby], sleep=lambda _: None,
+            refresh_interval=0.0,
+        )
+
+        original = failing.submit
+
+        def failing_submit(*args, **kwargs):
+            # The dying primary rejects once, then the standby is
+            # promoted (role flip) and the old one stops answering.
+            try:
+                return original(*args, **kwargs)
+            finally:
+                failing.alive = False
+                standby.role = "primary"
+                standby.epoch = 2
+
+        failing.submit = failing_submit
+        reply = router.submit("t", object(), deadline=5.0)
+        assert reply["node"] == "p2"
+        assert router.stats["write_failovers"] >= 1
+        router.close()
+
+    def test_write_deadline_budget_is_honoured(self):
+        clock = FakeClock()
+        dead = FakeNode(
+            "p1", role="primary",
+            submit_error=NodeUnavailable("down", retry_after=0.2),
+        )
+        router = ReplicatedClient(
+            [dead], clock=clock, sleep=clock.sleep,
+            refresh_interval=0.0,
+        )
+        with pytest.raises(ReplicationError, match="no accepting"):
+            router.submit("t", object(), deadline=1.0)
+        assert clock.now <= 1.0  # never slept past the budget
+        router.close()
+
+    def test_reads_skip_replicas_past_the_staleness_bound(self):
+        primary = FakeNode("p", role="primary", epoch=1)
+        laggy = FakeNode("r", role="replica", lag=50)
+        router = ReplicatedClient([primary, laggy], max_lag=5)
+        router.refresh_topology()
+        result = router.query_topk("t")
+        assert result == "answer-p"
+        assert laggy.reads == 0
+        assert router.stats["primary_reads"] == 1
+        router.close()
+
+    def test_in_bound_replica_serves_reads(self):
+        primary = FakeNode("p", role="primary", epoch=1)
+        fresh = FakeNode("r", role="replica", lag=2)
+        router = ReplicatedClient([primary, fresh], max_lag=5)
+        result = router.query_topk("t")
+        assert result == "answer-r"
+        assert primary.reads == 0
+        router.close()
+
+    def test_slow_replica_read_is_hedged(self):
+        primary = FakeNode("p", role="primary", epoch=1)
+        slow = FakeNode("r1", role="replica", read_delay=0.25)
+        fast = FakeNode("r2", role="replica")
+        router = ReplicatedClient(
+            [primary, slow, fast], hedge_floor=0.01,
+        )
+        router.refresh_topology()
+        # Teach the estimator r1 is normally fast, so 250 ms reads as
+        # an outlier well past the estimated p99.
+        for _ in range(8):
+            router._latency["r1"].observe(0.002)
+        started = time.monotonic()
+        result = router.query_topk("t")
+        elapsed = time.monotonic() - started
+        assert result == "answer-r2"  # the hedge won
+        assert router.stats["hedged_reads"] == 1
+        assert router.stats["hedge_wins"] == 1
+        assert elapsed < 0.25  # did not wait out the slow replica
+        router.close()
+
+    def test_local_handles_route_against_real_services(self, tmp_path):
+        primary = make_primary(tmp_path)
+        primary.register_tenant("t1", 5)
+        hub = ReplicationHub(primary)
+        replica = make_replica(tmp_path)
+        shipper = WalShipper(LocalSource(hub), replica)
+        drive(primary, "t1", 5)
+        shipper.catch_up()
+        router = ReplicatedClient(
+            [LocalPrimaryHandle(primary, hub), LocalReplicaHandle(replica)],
+            max_lag=0,
+        )
+        reply = router.submit(
+            "t1", SelfRiskUpdate(2, 0.5), ack="durable"
+        )
+        assert reply["accepted"] and reply["seq"] > 0
+        shipper.catch_up()
+        answer = router.query_topk("t1")
+        assert primary.query_topk("t1").same_answer(answer)
+        router.close()
+        primary.close()
+        replica.close()
+
+
+class TestEwmaLatency:
+    def test_tracks_mean_and_deviation(self):
+        ewma = EwmaLatency(alpha=0.5)
+        assert ewma.p99() is None
+        ewma.observe(0.1)
+        assert ewma.p99() == pytest.approx(0.1)
+        for _ in range(20):
+            ewma.observe(0.1)
+        assert ewma.p99() == pytest.approx(0.1, abs=0.01)
+        ewma.observe(1.0)  # an outlier lifts both mean and deviation
+        assert ewma.p99() > 0.5
